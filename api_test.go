@@ -1,0 +1,154 @@
+package dae_test
+
+import (
+	"strings"
+	"testing"
+
+	"dae"
+)
+
+// End-to-end tests of the public API surface, as a downstream user would
+// exercise it.
+
+const apiSrc = `
+float half(float x) { return x * 0.5; }
+
+task blur(float Dst[n], float Src[n], int n, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		Dst[i] = half(Src[i-1]) + half(Src[i+1]);
+	}
+}
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	mod, err := dae.Compile(apiSrc, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dae.DefaultOptions()
+	opts.ParamHints = map[string]int64{"n": 8192, "lo": 1, "hi": 1025}
+	results, err := dae.GenerateAccess(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results["blur"]
+	if r.Strategy != dae.StrategyAffine {
+		t.Fatalf("strategy = %v (%s), want affine (calls inlined, affine indices)", r.Strategy, r.Reason)
+	}
+	if mod.Func("blur_access") == nil {
+		t.Fatal("access version not added to module")
+	}
+
+	// IR round trip through the public parser.
+	mod2, err := dae.ParseIR(mod.String())
+	if err != nil {
+		t.Fatalf("ParseIR: %v", err)
+	}
+	if len(mod2.Funcs) != len(mod.Funcs) {
+		t.Error("round trip lost functions")
+	}
+
+	// Build and trace a workload.
+	const n, chunk = 8192, 1024
+	h := dae.NewHeap()
+	dst := h.AllocFloat("Dst", n)
+	src := h.AllocFloat("Src", n)
+	for i := 0; i < n; i++ {
+		src.F[i] = float64(i)
+	}
+	var tasks []dae.Task
+	for lo := 1; lo+chunk < n; lo += chunk {
+		tasks = append(tasks, dae.Task{Name: "blur", Args: []dae.Value{
+			dae.Ptr(dst), dae.Ptr(src), dae.Int(n), dae.Int(int64(lo)), dae.Int(int64(lo + chunk)),
+		}})
+	}
+	w := &dae.Workload{Name: "blur", Module: mod,
+		Access:  map[string]*dae.Func{"blur": r.Access},
+		Batches: [][]dae.Task{tasks}}
+
+	tr, err := dae.Run(w, dae.DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The computation happened: blur of a ramp is the midpoint value.
+	if got, want := dst.F[100], float64(100); got != want {
+		t.Errorf("Dst[100] = %g, want %g", got, want)
+	}
+
+	m := dae.DefaultMachine()
+	for _, pol := range []dae.FreqPolicy{
+		dae.PolicyFixed, dae.PolicyMinMax, dae.PolicyOptimalEDP, dae.PolicyMinFixed, dae.PolicyOnline,
+	} {
+		met := dae.Evaluate(tr, m, pol)
+		if met.Time <= 0 || met.Energy <= 0 || met.EDP <= 0 {
+			t.Errorf("policy %d: non-positive metrics %+v", pol, met)
+		}
+	}
+
+	// Profile-guided refinement through the public API (nothing prunable in
+	// a pure stream, but the call path must work).
+	if _, err := dae.RefineAccess(r, dae.DefaultRefine(), tasks[0].Args); err != nil {
+		t.Fatalf("RefineAccess: %v", err)
+	}
+
+	// Machine knobs.
+	if dae.IdealDVFS().TransitionLatency != 0 {
+		t.Error("IdealDVFS should have zero transition latency")
+	}
+}
+
+func TestPublicAPICoreScaling(t *testing.T) {
+	// The virtual-time scheduler must show near-linear scaling for a batch
+	// of independent equal tasks.
+	mod, err := dae.Compile(apiSrc, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dae.DefaultOptions()
+	opts.HullTest = false
+	if _, err := dae.GenerateAccess(mod, opts); err != nil {
+		t.Fatal(err)
+	}
+	build := func() *dae.Workload {
+		const n, chunk = 16384, 1024
+		h := dae.NewHeap()
+		dst := h.AllocFloat("Dst", n)
+		src := h.AllocFloat("Src", n)
+		var tasks []dae.Task
+		for lo := 1; lo+chunk < n; lo += chunk {
+			tasks = append(tasks, dae.Task{Name: "blur", Args: []dae.Value{
+				dae.Ptr(dst), dae.Ptr(src), dae.Int(n), dae.Int(int64(lo)), dae.Int(int64(lo + chunk)),
+			}})
+		}
+		return &dae.Workload{Name: "blur", Module: mod,
+			Access:  map[string]*dae.Func{"blur": mod.Func("blur_access")},
+			Batches: [][]dae.Task{tasks}}
+	}
+
+	m := dae.DefaultMachine()
+	times := map[int]float64{}
+	for _, cores := range []int{1, 4} {
+		cfg := dae.DefaultTraceConfig()
+		cfg.Cores = cores
+		tr, err := dae.Run(build(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[cores] = dae.Evaluate(tr, m, dae.PolicyFixed).Time
+	}
+	speedup := times[1] / times[4]
+	if speedup < 2.5 {
+		t.Errorf("4-core speedup = %.2f, want near-linear (> 2.5)", speedup)
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	_, err := dae.Compile(`task t(int n) { x = 1; }`, "bad")
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("compile error not surfaced: %v", err)
+	}
+	_, err = dae.ParseIR("func bogus {")
+	if err == nil {
+		t.Error("ParseIR should reject malformed input")
+	}
+}

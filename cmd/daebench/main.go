@@ -1,0 +1,116 @@
+// Command daebench regenerates the paper's evaluation artifacts from the
+// simulated machine: Table 1, Figure 3 (a/b/c), Figure 4 (Cholesky, FFT,
+// LibQ), and the §6.1 zero-transition-latency projection.
+//
+// Usage:
+//
+//	daebench [-exp table1|fig3|fig4|zerolat|refined|strategies|all] [-cores 4] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dae/internal/bench"
+	daepass "dae/internal/dae"
+	"dae/internal/dvfs"
+	"dae/internal/eval"
+	"dae/internal/rt"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig3, fig4, zerolat, refined, strategies, all")
+	cores := flag.Int("cores", 4, "number of simulated cores")
+	csvDir := flag.String("csv", "", "also write the selected experiments as CSV files into this directory")
+	flag.Parse()
+
+	cfg := rt.DefaultTraceConfig()
+	cfg.Cores = *cores
+	fmt.Fprintf(os.Stderr, "daebench: tracing 7 benchmarks x 3 versions on %d cores...\n", cfg.Cores)
+	data, err := eval.CollectAll(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	m := rt.DefaultMachine()
+
+	want := func(name string) bool { return *exp == name || *exp == "all" }
+
+	writeCSV := func(name string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "daebench: wrote %s\n", filepath.Join(*csvDir, name))
+	}
+
+	if want("table1") {
+		rows := eval.Table1(data, m)
+		fmt.Print(eval.FormatTable1(rows), "\n")
+		writeCSV("table1.csv", func(f *os.File) error { return eval.WriteTable1CSV(f, rows) })
+	}
+	if want("fig3") {
+		rows := eval.Fig3(data, m)
+		fmt.Print(eval.FormatFig3(rows, "Time"), "\n")
+		fmt.Print(eval.FormatFig3(rows, "Energy"), "\n")
+		fmt.Print(eval.FormatFig3(rows, "EDP"), "\n")
+		fmt.Print(eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (500ns transitions)"), "\n")
+		for _, metric := range []string{"Time", "Energy", "EDP"} {
+			metric := metric
+			writeCSV("fig3_"+metric+".csv", func(f *os.File) error { return eval.WriteFig3CSV(f, rows, metric) })
+		}
+	}
+	if want("fig4") {
+		for _, name := range []string{"Cholesky", "FFT", "LibQ"} {
+			for _, d := range data {
+				if d.Name == name {
+					p := eval.Fig4(d, m)
+					fmt.Print(eval.FormatFig4(p), "\n")
+					writeCSV("fig4_"+name+".csv", func(f *os.File) error { return eval.WriteFig4CSV(f, p) })
+				}
+			}
+		}
+	}
+	if want("zerolat") {
+		ideal := m
+		ideal.DVFS = dvfs.Ideal()
+		rows := eval.Fig3(data, ideal)
+		fmt.Print(eval.FormatFig3(rows, "EDP"), "\n")
+		fmt.Print(eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (zero-latency transitions)"), "\n")
+	}
+	if want("refined") {
+		// The §7 future-work pipeline: compiler DAE with profile-guided
+		// prefetch pruning applied before tracing.
+		fmt.Fprintln(os.Stderr, "daebench: re-tracing with profile-refined access versions...")
+		var refined []*eval.AppData
+		for _, app := range bench.Apps() {
+			d, err := eval.CollectRefined(app, cfg, daepass.DefaultRefine(), 4)
+			if err != nil {
+				fatal(err)
+			}
+			refined = append(refined, d)
+		}
+		rows := eval.Fig3(refined, m)
+		fmt.Print(eval.FormatFig3(rows, "EDP"), "\n")
+		fmt.Print(eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (refined, 500ns)"), "\n")
+	}
+	if want("strategies") {
+		fmt.Print(eval.FormatStrategies(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daebench:", err)
+	os.Exit(1)
+}

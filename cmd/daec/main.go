@@ -1,0 +1,130 @@
+// Command daec compiles a TaskC source file, generates access versions for
+// every task, and reports the compiler's decisions — the command-line face
+// of the paper's transformation.
+//
+// Usage:
+//
+//	daec [-hints N=64,B=8] [-dump] [-no-simplify-cfg] [-prefetch-stores]
+//	     [-force-skeleton] [-line-stride n] file.tc
+//
+// With no file, a built-in demo (the paper's Listing 1 LU kernel) is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dae"
+)
+
+const demoSrc = `
+// Listing 1(a) of the paper: the LU kernel.
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}
+`
+
+func main() {
+	hints := flag.String("hints", "", "comma-separated parameter hints, e.g. N=64,B=8 (enable the hull profitability test)")
+	dump := flag.Bool("dump", false, "print the full module IR (tasks and generated access versions)")
+	noSimplify := flag.Bool("no-simplify-cfg", false, "keep loop-body conditionals in skeleton access versions")
+	stores := flag.Bool("prefetch-stores", false, "also prefetch written locations")
+	forceSkel := flag.Bool("force-skeleton", false, "disable the polyhedral path")
+	lineStride := flag.Int("line-stride", 0, "stride the innermost affine prefetch loop by this many elements (8 = one per cache line)")
+	fromIR := flag.Bool("ir", false, "treat the input as textual IR (as printed by -dump) instead of TaskC source")
+	flag.Parse()
+
+	src := demoSrc
+	name := "demo"
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+		name = flag.Arg(0)
+	}
+
+	var mod *dae.Module
+	var err error
+	if *fromIR {
+		mod, err = dae.ParseIR(src)
+	} else {
+		mod, err = dae.Compile(src, name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := dae.DefaultOptions()
+	opts.SimplifyCFG = !*noSimplify
+	opts.PrefetchStores = *stores
+	opts.ForceSkeleton = *forceSkel
+	opts.CacheLineStride = *lineStride
+	if *hints != "" {
+		opts.ParamHints = map[string]int64{}
+		for _, kv := range strings.Split(*hints, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad hint %q (want name=value)", kv))
+			}
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad hint value in %q: %v", kv, err))
+			}
+			opts.ParamHints[parts[0]] = v
+		}
+	} else {
+		opts.HullTest = false
+	}
+
+	results, err := dae.GenerateAccess(mod, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dump {
+		// IR only, suitable for feeding back through -ir.
+		fmt.Print(mod)
+		return
+	}
+
+	var names []string
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := results[n]
+		fmt.Printf("task @%s: strategy=%s loops=%d/%d", n, r.Strategy, r.AffineLoops, r.TotalLoops)
+		if r.Strategy == dae.StrategyAffine {
+			fmt.Printf(" classes=%d nests=%d", r.Classes, r.MergedNests)
+			if r.NOrig > 0 {
+				fmt.Printf(" NConvUn=%d NOrig=%d", r.NConvUn, r.NOrig)
+			}
+		}
+		if r.Reason != "" {
+			fmt.Printf(" (%s)", r.Reason)
+		}
+		fmt.Println()
+		if r.Access != nil {
+			fmt.Printf("\n%s\n", r.Access)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command daerun executes one evaluation benchmark under the simulated DAE
+// runtime and prints time/energy/EDP for the coupled, manual-DAE, and
+// compiler-DAE versions across the frequency policies.
+//
+// Usage:
+//
+//	daerun [-cores 4] [-zero-latency] [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dae/internal/bench"
+	daepass "dae/internal/dae"
+	"dae/internal/dvfs"
+	"dae/internal/eval"
+	"dae/internal/rt"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "number of simulated cores")
+	zeroLat := flag.Bool("zero-latency", false, "assume instantaneous DVFS transitions (future hardware, paper sec. 6.1)")
+	refine := flag.Bool("refine", false, "apply profile-guided prefetch pruning to the compiler-generated access versions")
+	traceOut := flag.String("trace-out", "", "save the compiler-DAE trace as JSON to this file")
+	flag.Parse()
+
+	name := "LU"
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
+	}
+	app, err := bench.AppByName(name)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := rt.DefaultTraceConfig()
+	cfg.Cores = *cores
+	fmt.Printf("tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", app.Name, cfg.Cores)
+	var data *eval.AppData
+	if *refine {
+		data, err = eval.CollectRefined(app, cfg, daepass.DefaultRefine(), 4)
+	} else {
+		data, err = eval.Collect(app, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	m := rt.DefaultMachine()
+	if *zeroLat {
+		m.DVFS = dvfs.Ideal()
+	}
+
+	base := rt.Evaluate(data.CAE, m, rt.PolicyFixed)
+	fmt.Printf("\n%-28s %10s %10s %12s %8s %8s\n", "configuration", "time(ms)", "energy(J)", "EDP(mJ*s)", "T/Tbase", "EDP/base")
+	show := func(label string, met rt.Metrics) {
+		fmt.Printf("%-28s %10.4f %10.4f %12.6f %8.3f %8.3f\n",
+			label, met.Time*1e3, met.Energy, met.EDP*1e3, met.Time/base.Time, met.EDP/base.EDP)
+	}
+	show("CAE (max f.)", base)
+	show("CAE (optimal f.)", rt.Evaluate(data.CAE, m, rt.PolicyOptimalEDP))
+	show("Manual DAE (min/max f.)", rt.Evaluate(data.Manual, m, rt.PolicyMinMax))
+	show("Manual DAE (optimal f.)", rt.Evaluate(data.Manual, m, rt.PolicyOptimalEDP))
+	show("Compiler DAE (min/max f.)", rt.Evaluate(data.Auto, m, rt.PolicyMinMax))
+	show("Compiler DAE (optimal f.)", rt.Evaluate(data.Auto, m, rt.PolicyOptimalEDP))
+
+	met := rt.Evaluate(data.Auto, m, rt.PolicyMinMax)
+	fmt.Printf("\ncompiler DAE: %d tasks, TA=%.2f%%, mean access phase %.2f us, %d DVFS switches\n",
+		met.Tasks, met.TAFraction()*100, met.MeanAccessSeconds()*1e6, met.Transitions)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rt.SaveTrace(f, data.Auto); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	fmt.Print("\n", eval.FormatStrategies([]*eval.AppData{data}))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daerun:", err)
+	os.Exit(1)
+}

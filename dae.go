@@ -1,0 +1,186 @@
+// Package dae is a Go reproduction of "Fix the code. Don't tweak the
+// hardware: A new compiler approach to Voltage-Frequency scaling"
+// (Jimborean, Koukos, Spiliopoulos, Black-Schaffer, Kaxiras — CGO 2014).
+//
+// The library contains a complete decoupled access-execute (DAE) toolchain:
+//
+//   - a C-like task language (TaskC) with a front end, an SSA IR, and the
+//     classic scalar optimizations (internal/taskc, internal/ir,
+//     internal/passes);
+//   - the paper's contribution: automatic generation of prefetch-only
+//     access phases, via a polyhedral analysis for affine tasks and an
+//     optimized task skeleton for non-affine tasks (internal/dae, with
+//     internal/scev and internal/poly as analyses);
+//   - a deterministic machine model: cache hierarchy, interval timing
+//     model, DVFS levels, and the paper's calibrated power model
+//     (internal/mem, internal/cpu, internal/dvfs, internal/power);
+//   - the DAE runtime that schedules access+execute task pairs across
+//     simulated cores under per-phase DVFS policies (internal/rt);
+//   - the seven evaluation benchmarks and the harness regenerating every
+//     table and figure of the paper (internal/bench, internal/eval).
+//
+// The typical flow:
+//
+//	mod, _ := dae.Compile(src, "kernel")
+//	results, _ := dae.GenerateAccess(mod, dae.DefaultOptions())
+//	// inspect results["mytask"].Access, run under the simulated runtime...
+package dae
+
+import (
+	daepass "dae/internal/dae"
+	"dae/internal/dvfs"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/mem"
+	"dae/internal/rt"
+)
+
+// Compiler-side types.
+type (
+	// Module is a compiled TaskC program.
+	Module = ir.Module
+	// Func is one IR function (a task, an access version, or a helper).
+	Func = ir.Func
+	// Options configure access-version generation (see Defaults).
+	Options = daepass.Options
+	// Result describes how one task's access version was generated.
+	Result = daepass.Result
+	// Strategy identifies the generation path (affine / skeleton / none).
+	Strategy = daepass.Strategy
+)
+
+// Generation strategies.
+const (
+	StrategyNone     = daepass.StrategyNone
+	StrategyAffine   = daepass.StrategyAffine
+	StrategySkeleton = daepass.StrategySkeleton
+)
+
+// Simulation-side types.
+type (
+	// Heap is the simulated address space benchmarks allocate arrays in.
+	Heap = interp.Heap
+	// Seg is one simulated allocation.
+	Seg = interp.Seg
+	// Value is a task argument (Int, Float, or Ptr).
+	Value = interp.Value
+	// Workload is a phased task graph over a compiled module.
+	Workload = rt.Workload
+	// Task is one schedulable task invocation.
+	Task = rt.Task
+	// Trace is the frequency-independent record of one workload execution.
+	Trace = rt.Trace
+	// TraceConfig selects core count, cache hierarchy, and coupling.
+	TraceConfig = rt.TraceConfig
+	// Machine bundles the timing, DVFS, and power models.
+	Machine = rt.Machine
+	// Metrics is the outcome of evaluating a trace under a policy.
+	Metrics = rt.Metrics
+	// FreqPolicy selects per-phase frequencies.
+	FreqPolicy = rt.FreqPolicy
+	// HierarchyConfig describes the cache hierarchy.
+	HierarchyConfig = mem.HierarchyConfig
+	// DVFSTable is the machine's voltage-frequency capability.
+	DVFSTable = dvfs.Table
+)
+
+// Frequency policies.
+const (
+	// PolicyFixed runs everything at Machine.FixedFreq.
+	PolicyFixed = rt.PolicyFixed
+	// PolicyMinMax runs access at fmin and execute at fmax.
+	PolicyMinMax = rt.PolicyMinMax
+	// PolicyOptimalEDP picks each phase's locally EDP-optimal level.
+	PolicyOptimalEDP = rt.PolicyOptimalEDP
+	// PolicyMinFixed runs access at fmin and execute at Machine.FixedFreq.
+	PolicyMinFixed = rt.PolicyMinFixed
+	// PolicyOnline predicts each phase's level from the previous instance
+	// of the same task type (the runtime scheme the paper cites).
+	PolicyOnline = rt.PolicyOnline
+)
+
+// Compile parses, type-checks, and lowers TaskC source into an IR module.
+func Compile(src, name string) (*Module, error) { return lower.Compile(src, name) }
+
+// ParseIR parses the textual IR form printed by Module.String back into a
+// module (the printer/parser round trip is lossless up to SSA numbering).
+func ParseIR(src string) (*Module, error) { return ir.ParseModule(src) }
+
+// DefaultOptions returns the paper's access-generation configuration.
+func DefaultOptions() Options { return daepass.Defaults() }
+
+// GenerateAccess optimizes the module (-O3: inlining, SSA, folding) and
+// generates an access version for every task, adding them to the module as
+// "<task>_access". The result map is keyed by task name.
+func GenerateAccess(m *Module, opts Options) (map[string]*Result, error) {
+	return daepass.GenerateModule(m, opts)
+}
+
+// RefineOptions configure profile-guided prefetch pruning.
+type RefineOptions = daepass.RefineOptions
+
+// DefaultRefine returns the standard profile-guided refinement settings.
+func DefaultRefine() RefineOptions { return daepass.DefaultRefine() }
+
+// RefineAccess profiles a task's generated access version on representative
+// argument sets and removes prefetch instructions that rarely miss the
+// private caches (resident tables, redundant same-line fetches) — the
+// profiling step the paper proposes as future work (§6.2.3, §7). It returns
+// the number of pruned static prefetches. Call before tracing workloads
+// that use the access version.
+func RefineAccess(res *Result, opts RefineOptions, argSets ...[]Value) (int, error) {
+	return daepass.RefineAccess(res, opts, argSets...)
+}
+
+// VariantChoice reports the outcome of multi-version access selection.
+type VariantChoice = daepass.VariantChoice
+
+// SelectAccessVariant picks between a task's simplified and full-CFG access
+// variants (generated with Options.MultiVersion) by profiling representative
+// argument sets on the machine's timing model — the "multiple statically
+// generated access versions" direction of the paper's §5.2.2. Access phases
+// are scored at fmin and execute phases at fmax.
+func SelectAccessVariant(res *Result, m Machine, hier HierarchyConfig, argSets ...[]Value) (VariantChoice, error) {
+	return daepass.SelectAccessVariant(res, m.CPU, hier,
+		m.DVFS.Fmin().Freq, m.DVFS.Fmax().Freq, argSets...)
+}
+
+// VizAccessMap renders a Figure 1/2 style cell map of one 2-D array for a
+// concrete task invocation: '#' cells are accessed and prefetched, 'A' cells
+// accessed but not prefetched (a coverage gap), 'P' prefetched but never
+// accessed (over-prefetching). The execute phase runs on cloned data.
+func VizAccessMap(task, access *Func, args []Value, seg *Seg, rows, cols int) (string, error) {
+	return daepass.VizAccessMap(task, access, args, seg, rows, cols)
+}
+
+// NewHeap returns an empty simulated heap.
+func NewHeap() *Heap { return interp.NewHeap() }
+
+// Int wraps an integer task argument.
+func Int(v int64) Value { return interp.Int(v) }
+
+// Float wraps a float task argument.
+func Float(v float64) Value { return interp.Float(v) }
+
+// Ptr wraps an array task argument.
+func Ptr(s *Seg) Value { return interp.Ptr(s) }
+
+// DefaultTraceConfig returns the quad-core evaluation machine with the
+// downscaled cache hierarchy.
+func DefaultTraceConfig() TraceConfig { return rt.DefaultTraceConfig() }
+
+// DefaultMachine returns the evaluation machine with 500 ns DVFS
+// transitions.
+func DefaultMachine() Machine { return rt.DefaultMachine() }
+
+// IdealDVFS returns the zero-transition-latency DVFS table of §6.1.
+func IdealDVFS() DVFSTable { return dvfs.Ideal() }
+
+// Run traces a workload: every task executes through the interpreter
+// against its core's simulated caches, access phase first where available.
+func Run(w *Workload, cfg TraceConfig) (*Trace, error) { return rt.Run(w, cfg) }
+
+// Evaluate replays a trace under a frequency policy, returning time, energy
+// and EDP.
+func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics { return rt.Evaluate(tr, m, pol) }

@@ -1,0 +1,113 @@
+// affine-stencil walks through the paper's polyhedral examples (§5.1):
+// Listing 1's whole-matrix vs block access, Listing 2's multi-array merge,
+// Listing 3's access classes, and the profitability test that rejects a
+// too-wide convex hull (Figure 1(b)'s failure mode).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dae"
+)
+
+const src = `
+// Listing 1(b): a 3-deep nest touching only a Block x Block region of A.
+task lublock(float A[N][N], int N, int Block) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < Block; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}
+
+// Listing 2(a): one nest reading two arrays.
+task multiarray(float A[N][N], float D[N][N], int N, int Block) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			for (int k = 0; k < Block; k++) {
+				A[j][k] -= D[j][i] * A[i][k];
+			}
+		}
+	}
+}
+
+// Listing 3(a): two blocks of the same array (classA and classD of Fig. 2).
+task blocks(float A[N][N], int N, int Block, int Ax, int Ay, int Dx, int Dy) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			for (int k = i+1; k < Block; k++) {
+				A[Ax+j][Ay+k] -= A[Dx+j][Dy+i] * A[Ax+i][Ay+k];
+			}
+		}
+	}
+}
+
+// Figure 1(b)'s cautionary case: only the diagonal is touched, so the
+// bounding hull (N^2 cells) dwarfs the N touched cells and must be rejected.
+task diagonal(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		A[0][0] += A[i][i];
+	}
+}
+`
+
+func main() {
+	mod, err := dae.Compile(src, "stencils")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dae.DefaultOptions()
+	opts.ParamHints = map[string]int64{
+		"N": 64, "Block": 8, "Ax": 0, "Ay": 0, "Dx": 32, "Dy": 32,
+	}
+	results, err := dae.GenerateAccess(mod, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range []string{"lublock", "multiarray", "blocks", "diagonal"} {
+		r := results[name]
+		fmt.Printf("== task %s ==\n", name)
+		fmt.Printf("strategy: %s", r.Strategy)
+		if r.Strategy == dae.StrategyAffine {
+			fmt.Printf(" (classes=%d, merged nests=%d, NConvUn=%d, NOrig=%d)",
+				r.Classes, r.MergedNests, r.NConvUn, r.NOrig)
+		}
+		if r.Reason != "" {
+			fmt.Printf("\nreason: %s", r.Reason)
+		}
+		fmt.Println()
+		if r.Access != nil {
+			fmt.Printf("\n%s\n", r.Access)
+		}
+	}
+
+	// Render the paper's Figure 2: the two prefetched blocks of `blocks`,
+	// with the in-between region untouched.
+	h := dae.NewHeap()
+	a := h.AllocFloat("A", 24*24)
+	for i := range a.F {
+		a.F[i] = 1
+	}
+	args := []dae.Value{dae.Ptr(a), dae.Int(24), dae.Int(6),
+		dae.Int(0), dae.Int(0), dae.Int(12), dae.Int(12)}
+	viz, err := dae.VizAccessMap(mod.Func("blocks"), results["blocks"].Access, args, a, 24, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 2 reproduction (classA top-left, classD center, hull gap between):\n%s\n", viz)
+
+	fmt.Println(`Notes:
+ - lublock's 3-deep nest becomes a 2-deep prefetch nest over Block x Block
+   (Listing 1(c)); the memory-range analysis of §5.1.1 would instead have
+   fetched full rows of the N x N matrix.
+ - multiarray merges the A and D class nests into one (Listing 2(b)).
+ - blocks keeps classA and classD apart, skipping the in-between region of
+   Fig. 2, and merges their equal-trip nests (Listing 3(b)).
+ - diagonal fails the NConvUn <= NOrig test and falls back to the skeleton
+   strategy, prefetching exactly A[i][i] per iteration.`)
+}

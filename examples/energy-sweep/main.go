@@ -1,0 +1,92 @@
+// energy-sweep reproduces the shape of the paper's Figure 4 on a single
+// kernel: it sweeps the execute-phase frequency from fmin to fmax (access
+// phase pinned at fmin) and prints time/energy/EDP for coupled execution and
+// for the compiler-generated DAE version, showing that coupled execution
+// trades time for energy while DAE holds time nearly flat.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dae"
+)
+
+const src = `
+task stencil(float Dst[n], float Src[n], int n, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		Dst[i] = 0.25*Src[i-1] + 0.5*Src[i] + 0.25*Src[i+1];
+	}
+}
+`
+
+func main() {
+	mod, err := dae.Compile(src, "sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dae.DefaultOptions()
+	opts.ParamHints = map[string]int64{"n": 65536, "lo": 1, "hi": 2049}
+	results, err := dae.GenerateAccess(mod, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results["stencil"]
+	fmt.Printf("stencil access strategy: %s (NConvUn=%d, NOrig=%d)\n\n", r.Strategy, r.NConvUn, r.NOrig)
+
+	const n, chunk = 65536, 2048
+	build := func() (*dae.Workload, *dae.Seg) {
+		h := dae.NewHeap()
+		dst := h.AllocFloat("Dst", n)
+		srcA := h.AllocFloat("Src", n)
+		for i := 0; i < n; i++ {
+			srcA.F[i] = float64(i % 97)
+		}
+		var tasks []dae.Task
+		for lo := 1; lo+chunk < n; lo += chunk {
+			tasks = append(tasks, dae.Task{Name: "stencil", Args: []dae.Value{
+				dae.Ptr(dst), dae.Ptr(srcA), dae.Int(n),
+				dae.Int(int64(lo)), dae.Int(int64(lo + chunk)),
+			}})
+		}
+		return &dae.Workload{
+			Name:    "stencil",
+			Module:  mod,
+			Access:  map[string]*dae.Func{"stencil": r.Access},
+			Batches: [][]dae.Task{tasks},
+		}, dst
+	}
+
+	wDAE, _ := build()
+	cfg := dae.DefaultTraceConfig()
+	trDAE, err := dae.Run(wDAE, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wCAE, _ := build()
+	cfg.Decoupled = false
+	trCAE, err := dae.Run(wCAE, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := dae.DefaultMachine()
+	fmt.Printf("%8s | %22s | %30s\n", "", "coupled (CAE)", "decoupled (access @ fmin)")
+	fmt.Printf("%8s | %10s %11s | %10s %11s %7s\n", "f(GHz)", "time(us)", "energy(mJ)", "time(us)", "energy(mJ)", "EDPx")
+	baseEDP := 0.0
+	for i, lvl := range m.DVFS.Levels {
+		mm := m
+		mm.FixedFreq = lvl.Freq
+		cae := dae.Evaluate(trCAE, mm, dae.PolicyFixed)
+		dd := dae.Evaluate(trDAE, mm, dae.PolicyMinFixed)
+		if i == len(m.DVFS.Levels)-1 {
+			baseEDP = cae.EDP
+		}
+		_ = baseEDP
+		fmt.Printf("%8.1f | %10.1f %11.3f | %10.1f %11.3f %7.3f\n",
+			lvl.Freq, cae.Time*1e6, cae.Energy*1e3, dd.Time*1e6, dd.Energy*1e3, dd.EDP/cae.EDP)
+	}
+	fmt.Println("\nAs the paper's Figure 4 shows: coupled time stretches as f drops,")
+	fmt.Println("while the decoupled version's execute phase shrinks with f on a")
+	fmt.Println("prefetched cache and its access phase stays pinned at fmin.")
+}

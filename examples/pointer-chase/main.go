@@ -1,0 +1,109 @@
+// pointer-chase demonstrates the skeleton strategy (§5.2) on codes the
+// polyhedral model cannot touch: linked-list traversal (pointer chasing) and
+// data-dependent conditionals. It shows which loads survive into the access
+// version, which conditional prefetches are dropped by the CFG
+// simplification, and the measured effect of the access phase on the execute
+// phase's cache misses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dae"
+)
+
+const src = `
+// A linked list threaded through an index array: p = Next[p]. The access
+// version must KEEP the Next loads (they feed the addresses) and prefetch
+// both Next[p] and Val[p].
+task chase(int Next[n], float Val[n], float Out[one], int n, int one, int start, int steps) {
+	int p = start;
+	float s = 0;
+	for (int k = 0; k < steps; k++) {
+		s += Val[p];
+		p = Next[p];
+	}
+	Out[0] = s;
+}
+
+// A data-dependent branch: B[i] is only read when A[i] > 0.5. The simplified
+// CFG drops the conditional, so only the guaranteed A[i] access is
+// prefetched (§5.2.2: "only data which is guaranteed to be accessed in all
+// iterations is prefetched").
+task cond(float A[n], float B[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		if (A[i] > 0.5) {
+			s += B[i];
+		}
+	}
+	Out[0] = s;
+}
+`
+
+func main() {
+	mod, err := dae.Compile(src, "pointer-chase")
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := dae.GenerateAccess(mod, dae.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"chase", "cond"} {
+		r := results[name]
+		fmt.Printf("== task %s: strategy=%s ==\n\n%s\n", name, r.Strategy, r.Access)
+	}
+
+	// Run the chase workload and show the cache effect of the access phase.
+	const n = 32768
+	h := dae.NewHeap()
+	next := h.AllocInt("Next", n)
+	val := h.AllocFloat("Val", n)
+	out := h.AllocFloat("Out", 1)
+	// A full-cycle permutation with a large stride defeats any spatial
+	// locality: every hop is a fresh cache line.
+	for i := 0; i < n; i++ {
+		next.I[i] = int64((i + 4097) % n)
+		val.F[i] = float64(i % 13)
+	}
+
+	const chunk = 1024
+	var tasks []dae.Task
+	for c := 0; c < n/chunk; c++ {
+		tasks = append(tasks, dae.Task{Name: "chase", Args: []dae.Value{
+			dae.Ptr(next), dae.Ptr(val), dae.Ptr(out),
+			dae.Int(n), dae.Int(1), dae.Int(int64(c * chunk)), dae.Int(chunk),
+		}})
+	}
+	w := &dae.Workload{
+		Name:    "chase",
+		Module:  mod,
+		Access:  map[string]*dae.Func{"chase": results["chase"].Access},
+		Batches: [][]dae.Task{tasks},
+	}
+
+	cfg := dae.DefaultTraceConfig()
+	trDAE, err := dae.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Decoupled = false
+	trCAE, err := dae.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := dae.DefaultMachine()
+	base := dae.Evaluate(trCAE, m, dae.PolicyFixed)
+	opt := dae.Evaluate(trDAE, m, dae.PolicyOptimalEDP)
+	fmt.Printf("pointer chase, %d hops in %d tasks:\n", n, len(tasks))
+	fmt.Printf("  coupled @ fmax : time %8.1f us  energy %7.3f mJ\n", base.Time*1e6, base.Energy*1e3)
+	fmt.Printf("  DAE optimal    : time %8.1f us  energy %7.3f mJ  (EDP x%.2f)\n",
+		opt.Time*1e6, opt.Energy*1e3, opt.EDP/base.EDP)
+	fmt.Println("\nThe helper-thread-style clone pays off even though the access phase")
+	fmt.Println("must serially chase the same pointers: it runs at fmin where the")
+	fmt.Println("chasing is memory-latency-bound anyway, and the execute phase then")
+	fmt.Println("runs compute-bound at fmax.")
+}

@@ -1,0 +1,3 @@
+module dae
+
+go 1.22

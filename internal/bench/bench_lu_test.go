@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"testing"
+
+	"dae/internal/dae"
+	"dae/internal/rt"
+)
+
+// traceAndVerify traces the built workload and checks the computed result.
+func traceAndVerify(t *testing.T, b *Built, decoupled bool) *rt.Trace {
+	t.Helper()
+	cfg := rt.DefaultTraceConfig()
+	cfg.Decoupled = decoupled
+	tr, err := rt.Run(b.W, cfg)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return tr
+}
+
+func TestLUAutoAffineAndCorrect(t *testing.T) {
+	b, err := buildLU(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []string{"lu_diag", "lu_row", "lu_col", "lu_int"} {
+		r := b.Results[task]
+		if r == nil {
+			t.Fatalf("no result for %s", task)
+		}
+		if r.Strategy != dae.StrategyAffine {
+			t.Errorf("%s strategy = %s (%s), want affine", task, r.Strategy, r.Reason)
+		}
+	}
+	tr := traceAndVerify(t, b, true)
+	if len(tr.Records) == 0 {
+		t.Fatal("no task records")
+	}
+	for _, rec := range tr.Records {
+		if !rec.HasAccess {
+			t.Fatalf("task %s ran without access phase", rec.Name)
+		}
+	}
+}
+
+func TestLUManualCorrect(t *testing.T) {
+	b, err := buildLU(Manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.W.Access) != 4 {
+		t.Fatalf("manual access map has %d entries, want 4", len(b.W.Access))
+	}
+	traceAndVerify(t, b, true)
+}
+
+func TestLUCoupledCorrect(t *testing.T) {
+	b, err := buildLU(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceAndVerify(t, b, false)
+}
+
+func TestCholeskyAutoAffineAndCorrect(t *testing.T) {
+	b, err := buildCholesky(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []string{"chol_diag", "chol_panel", "chol_update"} {
+		r := b.Results[task]
+		if r == nil || r.Strategy != dae.StrategyAffine {
+			t.Errorf("%s not affine: %+v", task, r)
+		}
+	}
+	traceAndVerify(t, b, true)
+}
+
+func TestCholeskyManualCorrect(t *testing.T) {
+	b, err := buildCholesky(Manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceAndVerify(t, b, true)
+}
+
+func TestLUDAEBeatsCAEOnEDP(t *testing.T) {
+	bDAE, err := buildLU(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trDAE := traceAndVerify(t, bDAE, true)
+
+	bCAE, err := buildLU(Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trCAE := traceAndVerify(t, bCAE, false)
+
+	m := rt.DefaultMachine()
+	base := rt.Evaluate(trCAE, m, rt.PolicyFixed)
+	daeOpt := rt.Evaluate(trDAE, m, rt.PolicyOptimalEDP)
+	if daeOpt.EDP >= base.EDP {
+		t.Errorf("LU DAE optimal EDP %.4g should beat CAE@fmax %.4g", daeOpt.EDP, base.EDP)
+	}
+	if daeOpt.Time > base.Time*1.10 {
+		t.Errorf("LU DAE time %.4g vs CAE %.4g exceeds 10%% degradation", daeOpt.Time, base.Time)
+	}
+}

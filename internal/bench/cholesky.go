@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// Cholesky: blocked right-looking Cholesky factorization A = L·Lᵀ (SPLASH2
+// kernel structure), storing L in the lower triangle. Three task types per
+// step: diagonal-block factorization (with sqrt), panel triangular solve,
+// and trailing symmetric rank-B updates. All tasks are affine loop nests
+// (Table 1: 3/3 affine loops).
+const cholSrc = `
+task chol_diag(float A[N][N], int N, int B, int kk) {
+	for (int j = 0; j < B; j++) {
+		float d = A[kk+j][kk+j];
+		for (int t = 0; t < j; t++) {
+			d -= A[kk+j][kk+t] * A[kk+j][kk+t];
+		}
+		A[kk+j][kk+j] = sqrt(d);
+		for (int i = j+1; i < B; i++) {
+			float s = A[kk+i][kk+j];
+			for (int t = 0; t < j; t++) {
+				s -= A[kk+i][kk+t] * A[kk+j][kk+t];
+			}
+			A[kk+i][kk+j] = s / A[kk+j][kk+j];
+		}
+	}
+}
+
+task chol_panel(float A[N][N], int N, int B, int kk, int ii) {
+	for (int c = 0; c < B; c++) {
+		for (int r = 0; r < B; r++) {
+			float s = A[ii+r][kk+c];
+			for (int t = 0; t < c; t++) {
+				s -= A[ii+r][kk+t] * A[kk+c][kk+t];
+			}
+			A[ii+r][kk+c] = s / A[kk+c][kk+c];
+		}
+	}
+}
+
+task chol_update(float A[N][N], int N, int B, int kk, int ii, int jj) {
+	for (int r = 0; r < B; r++) {
+		for (int c = 0; c < B; c++) {
+			float s = A[ii+r][jj+c];
+			for (int t = 0; t < B; t++) {
+				s -= A[ii+r][kk+t] * A[jj+c][kk+t];
+			}
+			A[ii+r][jj+c] = s;
+		}
+	}
+}
+
+// Manual access versions with the expert's selective prefetching.
+void chol_diag_manual(float A[N][N], int N, int B, int kk) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[kk+i][kk+j];
+		}
+	}
+}
+
+void chol_panel_manual(float A[N][N], int N, int B, int kk, int ii) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[kk+i][kk+j];
+		}
+	}
+}
+
+void chol_update_manual(float A[N][N], int N, int B, int kk, int ii, int jj) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[ii+i][kk+j];
+			prefetch A[jj+i][kk+j];
+		}
+	}
+}
+`
+
+const (
+	cholN = 192
+	cholB = 32
+)
+
+func buildCholesky(v Variant) (*Built, error) {
+	n, b := cholN, cholB
+	hints := map[string]int64{"N": int64(n), "B": int64(b), "kk": 0, "ii": int64(b), "jj": int64(b)}
+	w, results, err := buildCommon("Cholesky", cholSrc, hints, v)
+	if err != nil {
+		return nil, err
+	}
+
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", n*n)
+	initSPD(a.F, n)
+	ref := make([]float64, n*n)
+	copy(ref, a.F)
+
+	ap := interp.Ptr(a)
+	nn := interp.Int(int64(n))
+	bb := interp.Int(int64(b))
+	nb := n / b
+	for k := 0; k < nb; k++ {
+		kk := interp.Int(int64(k * b))
+		w.Batches = append(w.Batches, []rt.Task{{
+			Name: "chol_diag", Args: []interp.Value{ap, nn, bb, kk},
+		}})
+		var panel []rt.Task
+		for i := k + 1; i < nb; i++ {
+			panel = append(panel, rt.Task{Name: "chol_panel",
+				Args: []interp.Value{ap, nn, bb, kk, interp.Int(int64(i * b))}})
+		}
+		if len(panel) > 0 {
+			w.Batches = append(w.Batches, panel)
+		}
+		var updates []rt.Task
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j <= i; j++ {
+				updates = append(updates, rt.Task{Name: "chol_update",
+					Args: []interp.Value{ap, nn, bb, kk,
+						interp.Int(int64(i * b)), interp.Int(int64(j * b))}})
+			}
+		}
+		if len(updates) > 0 {
+			w.Batches = append(w.Batches, updates)
+		}
+	}
+
+	verify := func() error {
+		if err := refCholesky(ref, n); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if !approxEqual(ref[i*n+j], a.F[i*n+j], 1e-6) {
+					return fmt.Errorf("Cholesky mismatch at (%d,%d): got %g, want %g",
+						i, j, a.F[i*n+j], ref[i*n+j])
+				}
+			}
+		}
+		return nil
+	}
+	return &Built{W: w, Results: results, Heap: h, Verify: verify}, nil
+}
+
+// initSPD builds a symmetric positive-definite matrix.
+func initSPD(a []float64, n int) {
+	rng := newLCG(777)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.float()
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+		a[i*n+i] += float64(n)
+	}
+}
+
+// refCholesky is the unblocked reference factorization of the lower triangle.
+func refCholesky(a []float64, n int) error {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for t := 0; t < j; t++ {
+			d -= a[j*n+t] * a[j*n+t]
+		}
+		if d <= 0 {
+			return fmt.Errorf("reference Cholesky: matrix not SPD at %d", j)
+		}
+		a[j*n+j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for t := 0; t < j; t++ {
+				s -= a[i*n+t] * a[j*n+t]
+			}
+			a[i*n+j] = s / a[j*n+j]
+		}
+	}
+	return nil
+}

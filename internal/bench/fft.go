@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// FFT: iterative radix-2 decimation-in-time FFT over split real/imaginary
+// arrays (the SPLASH2 kernel's role). The bit-reversal permutation and the
+// div/mod butterfly indexing are non-affine, so the compiler uses the
+// skeleton strategy for every loop (Table 1: 0/6 affine); the butterfly
+// helpers are function calls that must be inlined first (§6.2.2).
+const fftSrc = `
+float cmulre(float a, float b, float c, float d) { return a*c - b*d; }
+float cmulim(float a, float b, float c, float d) { return a*d + b*c; }
+
+task fft_bitrev(float Xre[n], float Xim[n], float Yre[n], float Yim[n], int n, int bits, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		int r = 0;
+		int v = i;
+		for (int b = 0; b < bits; b++) {
+			r = (r << 1) | (v & 1);
+			v = v >> 1;
+		}
+		Yre[r] = Xre[i];
+		Yim[r] = Xim[i];
+	}
+}
+
+task fft_stage(float Yre[n], float Yim[n], float Wre[n], float Wim[n], int n, int s, int woff, int lo, int hi) {
+	int m = 1 << s;
+	int hm = m >> 1;
+	for (int j = lo; j < hi; j++) {
+		int blk = j / hm;
+		int t = j % hm;
+		int i0 = blk * m + t;
+		int i1 = i0 + hm;
+		float wr = Wre[woff + t];
+		float wi = Wim[woff + t];
+		float ar = Yre[i0];
+		float ai = Yim[i0];
+		float br = Yre[i1];
+		float bi = Yim[i1];
+		float tr = cmulre(wr, wi, br, bi);
+		float ti = cmulim(wr, wi, br, bi);
+		Yre[i0] = ar + tr;
+		Yim[i0] = ai + ti;
+		Yre[i1] = ar - tr;
+		Yim[i1] = ai - ti;
+	}
+}
+
+// The expert's manual access version for the butterfly stages prefetches the
+// contiguous region the chunk touches, one prefetch per cache line, and
+// skips the twiddle tables (§6.2.2: "greatly simplified ... prefetches less
+// data"). Bit reversal gets no manual access version: its gather pattern is
+// impractical to write by hand, which is exactly the limitation of the
+// manual approach the paper motivates with.
+void fft_stage_manual(float Yre[n], float Yim[n], float Wre[n], float Wim[n], int n, int s, int woff, int lo, int hi) {
+	int m = 1 << s;
+	int hm = m >> 1;
+	int base = (lo / hm) * m;
+	int cnt = ((hi - lo) / hm) * m;
+	for (int i = 0; i < cnt; i += 8) {
+		prefetch Yre[base + i];
+		prefetch Yim[base + i];
+	}
+}
+`
+
+const (
+	fftN = 16384
+	// Task granularities are sized so each task's working set fits the
+	// private L1+L2 (§3.1): a butterfly chunk touches ~32 KiB of Y plus
+	// twiddles; a bit-reversal chunk gathers one scattered line per element.
+	fftChunk    = 512
+	fftRevChunk = 256
+)
+
+func buildFFT(v Variant) (*Built, error) {
+	n := fftN
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	hints := map[string]int64{
+		"n": int64(n), "bits": int64(bits), "woff": 3,
+		"s": 3, "lo": 0, "hi": int64(fftChunk),
+	}
+	w, results, err := buildCommon("FFT", fftSrc, hints, v)
+	if err != nil {
+		return nil, err
+	}
+
+	h := interp.NewHeap()
+	xre := h.AllocFloat("Xre", n)
+	xim := h.AllocFloat("Xim", n)
+	yre := h.AllocFloat("Yre", n)
+	yim := h.AllocFloat("Yim", n)
+	// Per-stage twiddle tables laid out contiguously (the standard layout
+	// that avoids the power-of-two stride pathology of indexing one global
+	// table at stride n/m): stage s's factors live at [woff(s), woff(s)+2^(s-1)).
+	wre := h.AllocFloat("Wre", n)
+	wim := h.AllocFloat("Wim", n)
+
+	rng := newLCG(4242)
+	for i := 0; i < n; i++ {
+		xre.F[i] = rng.float()*2 - 1
+		xim.F[i] = rng.float()*2 - 1
+	}
+	woff := make([]int, bits+1)
+	{
+		o := 0
+		for s := 1; s <= bits; s++ {
+			woff[s] = o
+			m := 1 << s
+			hm := m >> 1
+			for t := 0; t < hm; t++ {
+				ang := -2 * math.Pi * float64(t*(n/m)) / float64(n)
+				wre.F[o+t] = math.Cos(ang)
+				wim.F[o+t] = math.Sin(ang)
+			}
+			o += hm
+		}
+	}
+	refRe := append([]float64{}, xre.F...)
+	refIm := append([]float64{}, xim.F...)
+
+	args := func(extra ...interp.Value) []interp.Value {
+		base := []interp.Value{
+			interp.Ptr(yre), interp.Ptr(yim), interp.Ptr(wre), interp.Ptr(wim),
+			interp.Int(int64(n)),
+		}
+		return append(base, extra...)
+	}
+
+	// Bit-reversal batch.
+	var bitrev []rt.Task
+	for lo := 0; lo < n; lo += fftRevChunk {
+		bitrev = append(bitrev, rt.Task{Name: "fft_bitrev", Args: []interp.Value{
+			interp.Ptr(xre), interp.Ptr(xim), interp.Ptr(yre), interp.Ptr(yim),
+			interp.Int(int64(n)), interp.Int(int64(bits)),
+			interp.Int(int64(lo)), interp.Int(int64(lo + fftRevChunk)),
+		}})
+	}
+	w.Batches = append(w.Batches, bitrev)
+
+	// One batch per stage.
+	for s := 1; s <= bits; s++ {
+		var stage []rt.Task
+		for lo := 0; lo < n/2; lo += fftChunk {
+			stage = append(stage, rt.Task{Name: "fft_stage", Args: args(
+				interp.Int(int64(s)), interp.Int(int64(woff[s])),
+				interp.Int(int64(lo)), interp.Int(int64(lo+fftChunk)),
+			)})
+		}
+		w.Batches = append(w.Batches, stage)
+	}
+
+	verify := func() error {
+		gr, gi := refFFT(refRe, refIm)
+		for i := 0; i < n; i++ {
+			if math.Abs(gr[i]-yre.F[i]) > 1e-6*(1+math.Abs(gr[i])) ||
+				math.Abs(gi[i]-yim.F[i]) > 1e-6*(1+math.Abs(gi[i])) {
+				return fmt.Errorf("FFT mismatch at %d: got (%g,%g), want (%g,%g)",
+					i, yre.F[i], yim.F[i], gr[i], gi[i])
+			}
+		}
+		return nil
+	}
+	return &Built{W: w, Results: results, Heap: h, Verify: verify}, nil
+}
+
+// refFFT is the Go reference: the identical iterative radix-2 DIT algorithm.
+func refFFT(re, im []float64) ([]float64, []float64) {
+	n := len(re)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	outRe := make([]float64, n)
+	outIm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := 0
+		v := i
+		for b := 0; b < bits; b++ {
+			r = (r << 1) | (v & 1)
+			v >>= 1
+		}
+		outRe[r] = re[i]
+		outIm[r] = im[i]
+	}
+	for s := 1; s <= bits; s++ {
+		m := 1 << s
+		hm := m >> 1
+		tw := n / m
+		for j := 0; j < n/2; j++ {
+			blk := j / hm
+			t := j % hm
+			i0 := blk*m + t
+			i1 := i0 + hm
+			ang := -2 * math.Pi * float64(t*tw) / float64(n)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			br, bi := outRe[i1], outIm[i1]
+			tr := wr*br - wi*bi
+			ti := wr*bi + wi*br
+			ar, ai := outRe[i0], outIm[i0]
+			outRe[i0], outIm[i0] = ar+tr, ai+ti
+			outRe[i1], outIm[i1] = ar-tr, ai-ti
+		}
+	}
+	return outRe, outIm
+}

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// LBM: a D2Q9 lattice-Boltzmann step (the SPEC CPU2006 470.lbm role) in
+// pull form: a gather streaming kernel followed by a collision kernel with
+// bounce-back at obstacle cells. The streaming offsets are loaded from a
+// table and the obstacle test is data-dependent control flow, so both
+// kernels are non-affine (Table 1: 0/1 affine for the hot loop). Collision
+// writes (9 per cell) are coupled to the computation in the execute phase —
+// the reason the paper's LBM benefits less from DAE than from plain coupled
+// frequency scaling (§6.1).
+const lbmSrc = `
+task lbm_stream(float Src[Q][HW], float Tmp[Q][HW], int Off[Q], int Q, int HW, int lo, int hi) {
+	for (int idx = lo; idx < hi; idx++) {
+		for (int q = 0; q < Q; q++) {
+			Tmp[q][idx] = Src[q][idx - Off[q]];
+		}
+	}
+}
+
+task lbm_collide(float Tmp[Q][HW], float Dst[Q][HW], int Obst[HW], float Cx[Q], float Cy[Q], float Wt[Q], int Opp[Q], int Q, int HW, int lo, int hi, float omega) {
+	for (int idx = lo; idx < hi; idx++) {
+		int ob = Obst[idx];
+		if (ob == 1) {
+			for (int q = 0; q < Q; q++) {
+				Dst[q][idx] = Tmp[Opp[q]][idx];
+			}
+		} else {
+			float rho = 0;
+			float ux = 0;
+			float uy = 0;
+			for (int q = 0; q < Q; q++) {
+				float f = Tmp[q][idx];
+				rho += f;
+				ux += f * Cx[q];
+				uy += f * Cy[q];
+			}
+			ux /= rho;
+			uy /= rho;
+			float usq = ux*ux + uy*uy;
+			for (int q = 0; q < Q; q++) {
+				float cu = Cx[q]*ux + Cy[q]*uy;
+				float feq = Wt[q] * rho * (1.0 + 3.0*cu + 4.5*cu*cu - 1.5*usq);
+				float fq = Tmp[q][idx];
+				Dst[q][idx] = fq - omega * (fq - feq);
+			}
+		}
+	}
+}
+
+// The expert's manual access versions prefetch the distributions and the
+// obstacle map at cache-line granularity, skipping the small constant
+// tables that stay resident.
+void lbm_stream_manual(float Src[Q][HW], float Tmp[Q][HW], int Off[Q], int Q, int HW, int lo, int hi) {
+	for (int idx = lo; idx < hi; idx += 8) {
+		for (int q = 0; q < Q; q++) {
+			prefetch Src[q][idx];
+		}
+	}
+}
+
+void lbm_collide_manual(float Tmp[Q][HW], float Dst[Q][HW], int Obst[HW], float Cx[Q], float Cy[Q], float Wt[Q], int Opp[Q], int Q, int HW, int lo, int hi, float omega) {
+	for (int idx = lo; idx < hi; idx += 8) {
+		prefetch Obst[idx];
+		for (int q = 0; q < Q; q++) {
+			prefetch Tmp[q][idx];
+		}
+	}
+}
+`
+
+const (
+	lbmH     = 96
+	lbmW     = 96
+	lbmSteps = 3
+	lbmChunk = 4 // rows per task, sized to fit the private caches (§3.1)
+	// lbmPad pads each of the 9 distribution planes so their stride is not a
+	// multiple of the cache set count (the standard array-padding fix; an
+	// unpadded 9216-element plane stride maps all planes onto the same sets).
+	lbmPad = 72
+)
+
+func buildLBM(v Variant) (*Built, error) {
+	hw := lbmH*lbmW + lbmPad
+	hints := map[string]int64{
+		"Q": 9, "HW": int64(hw), "lo": int64(lbmW), "hi": int64(lbmW + lbmChunk*lbmW),
+		"omega": 1,
+	}
+	w, results, err := buildCommon("LBM", lbmSrc, hints, v)
+	if err != nil {
+		return nil, err
+	}
+
+	h := interp.NewHeap()
+	f0 := h.AllocFloat("F", 9*hw)
+	tmp := h.AllocFloat("Tmp", 9*hw)
+	obst := h.AllocInt("Obst", hw)
+	cx := h.AllocFloat("Cx", 9)
+	cy := h.AllocFloat("Cy", 9)
+	wt := h.AllocFloat("Wt", 9)
+	off := h.AllocInt("Off", 9)
+	opp := h.AllocInt("Opp", 9)
+
+	// D2Q9 constants: rest, E, N, W, S, NE, NW, SW, SE.
+	dx := []int64{0, 1, 0, -1, 0, 1, -1, -1, 1}
+	dy := []int64{0, 0, 1, 0, -1, 1, 1, -1, -1}
+	wts := []float64{4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36}
+	opps := []int64{0, 3, 4, 1, 2, 7, 8, 5, 6}
+	for q := 0; q < 9; q++ {
+		cx.F[q] = float64(dx[q])
+		cy.F[q] = float64(dy[q])
+		wt.F[q] = wts[q]
+		off.I[q] = dy[q]*int64(lbmW) + dx[q]
+		opp.I[q] = opps[q]
+	}
+	rng := newLCG(99)
+	for i := 0; i < lbmH*lbmW; i++ {
+		row, col := i/lbmW, i%lbmW
+		if row > 1 && row < lbmH-2 && col > 1 && col < lbmW-2 && rng.intn(20) == 0 {
+			obst.I[i] = 1
+		}
+	}
+	for q := 0; q < 9; q++ {
+		for i := 0; i < lbmH*lbmW; i++ {
+			f0.F[q*hw+i] = wts[q] * (1 + 0.01*rng.float())
+		}
+	}
+	ref := append([]float64{}, f0.F...)
+	refObst := append([]int64{}, obst.I...)
+
+	const omega = 1.2
+	interiorChunks := func(mk func(lo, hi int64) rt.Task) []rt.Task {
+		var batch []rt.Task
+		for row := 1; row < lbmH-1; row += lbmChunk {
+			last := row + lbmChunk
+			if last > lbmH-1 {
+				last = lbmH - 1
+			}
+			batch = append(batch, mk(int64(row*lbmW), int64(last*lbmW)))
+		}
+		return batch
+	}
+	for step := 0; step < lbmSteps; step++ {
+		w.Batches = append(w.Batches, interiorChunks(func(lo, hi int64) rt.Task {
+			return rt.Task{Name: "lbm_stream", Args: []interp.Value{
+				interp.Ptr(f0), interp.Ptr(tmp), interp.Ptr(off),
+				interp.Int(9), interp.Int(int64(hw)), interp.Int(lo), interp.Int(hi),
+			}}
+		}))
+		w.Batches = append(w.Batches, interiorChunks(func(lo, hi int64) rt.Task {
+			return rt.Task{Name: "lbm_collide", Args: []interp.Value{
+				interp.Ptr(tmp), interp.Ptr(f0), interp.Ptr(obst),
+				interp.Ptr(cx), interp.Ptr(cy), interp.Ptr(wt), interp.Ptr(opp),
+				interp.Int(9), interp.Int(int64(hw)), interp.Int(lo), interp.Int(hi),
+				interp.Float(omega),
+			}}
+		}))
+	}
+
+	verify := func() error {
+		out := refLBM(ref, refObst, dx, dy, wts, opps, omega, hw)
+		for i := range out {
+			if !approxEqual(out[i], f0.F[i], 1e-6) {
+				return fmt.Errorf("LBM mismatch at %d: got %g, want %g", i, f0.F[i], out[i])
+			}
+		}
+		return nil
+	}
+	return &Built{W: w, Results: results, Heap: h, Verify: verify}, nil
+}
+
+// refLBM is the Go reference pull-scheme stream+collide.
+func refLBM(init []float64, obst []int64, dx, dy []int64, wts []float64, opp []int64, omega float64, hw int) []float64 {
+	f := append([]float64{}, init...)
+	tmp := make([]float64, 9*hw)
+	for step := 0; step < lbmSteps; step++ {
+		for idx := lbmW; idx < (lbmH-1)*lbmW; idx++ {
+			for q := 0; q < 9; q++ {
+				off := dy[q]*int64(lbmW) + dx[q]
+				tmp[q*hw+idx] = f[q*hw+idx-int(off)]
+			}
+		}
+		for idx := lbmW; idx < (lbmH-1)*lbmW; idx++ {
+			if obst[idx] == 1 {
+				for q := 0; q < 9; q++ {
+					f[q*hw+idx] = tmp[int(opp[q])*hw+idx]
+				}
+				continue
+			}
+			rho, ux, uy := 0.0, 0.0, 0.0
+			for q := 0; q < 9; q++ {
+				v := tmp[q*hw+idx]
+				rho += v
+				ux += v * float64(dx[q])
+				uy += v * float64(dy[q])
+			}
+			ux /= rho
+			uy /= rho
+			usq := ux*ux + uy*uy
+			for q := 0; q < 9; q++ {
+				cu := float64(dx[q])*ux + float64(dy[q])*uy
+				feq := wts[q] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*usq)
+				fq := tmp[q*hw+idx]
+				f[q*hw+idx] = fq - omega*(fq-feq)
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// LibQ: quantum gate simulation in the style of SPEC CPU2006 462.libquantum:
+// the register is an array of basis states St plus amplitude arrays, and each
+// gate sweeps the whole register testing control bits. The bit tests are
+// data-dependent conditionals inside the sweep loops — the skeleton path
+// drops them, prefetching the whole chunk (§6.2.3: the automatic version
+// prefetches more than the expert's, trading a longer low-frequency access
+// phase for energy). All loops are non-affine (Table 1: 0/6 affine).
+const libqSrc = `
+task libq_sigma_x(int St[n], int n, int tmask, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		St[i] = St[i] ^ tmask;
+	}
+}
+
+task libq_cnot(int St[n], int n, int cmask, int tmask, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		int s = St[i];
+		if ((s & cmask) == cmask) {
+			St[i] = s ^ tmask;
+		}
+	}
+}
+
+task libq_toffoli(int St[n], int n, int c1mask, int c2mask, int tmask, int lo, int hi) {
+	int cm = c1mask | c2mask;
+	for (int i = lo; i < hi; i++) {
+		int s = St[i];
+		if ((s & cm) == cm) {
+			St[i] = s ^ tmask;
+		}
+	}
+}
+
+task libq_phase(int St[n], float Are[n], float Aim[n], int n, int tmask, float pr, float pi, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		int s = St[i];
+		float ar = Are[i];
+		float ai = Aim[i];
+		if ((s & tmask) == tmask) {
+			Are[i] = ar * pr - ai * pi;
+			Aim[i] = ar * pi + ai * pr;
+		}
+	}
+}
+
+// The expert's manual access versions prefetch one address per cache line
+// (the redundant-prefetch elimination of §6.2.3) and only the arrays a gate
+// touches.
+void libq_sigma_x_manual(int St[n], int n, int tmask, int lo, int hi) {
+	for (int i = lo; i < hi; i += 8) {
+		prefetch St[i];
+	}
+}
+
+void libq_cnot_manual(int St[n], int n, int cmask, int tmask, int lo, int hi) {
+	for (int i = lo; i < hi; i += 8) {
+		prefetch St[i];
+	}
+}
+
+void libq_toffoli_manual(int St[n], int n, int c1mask, int c2mask, int tmask, int lo, int hi) {
+	for (int i = lo; i < hi; i += 8) {
+		prefetch St[i];
+	}
+}
+
+void libq_phase_manual(int St[n], float Are[n], float Aim[n], int n, int tmask, float pr, float pi, int lo, int hi) {
+	for (int i = lo; i < hi; i += 8) {
+		prefetch St[i];
+		prefetch Are[i];
+		prefetch Aim[i];
+	}
+}
+`
+
+const (
+	libqN     = 32768
+	libqChunk = 2048
+)
+
+// libqGate describes one gate of the simulated circuit.
+type libqGate struct {
+	kind   string
+	bits   [3]int
+	pr, pi float64
+}
+
+func buildLibQ(v Variant) (*Built, error) {
+	n := libqN
+	hints := map[string]int64{"n": int64(n), "lo": 0, "hi": libqChunk}
+	w, results, err := buildCommon("LibQ", libqSrc, hints, v)
+	if err != nil {
+		return nil, err
+	}
+
+	h := interp.NewHeap()
+	st := h.AllocInt("St", n)
+	are := h.AllocFloat("Are", n)
+	aim := h.AllocFloat("Aim", n)
+	rng := newLCG(31337)
+	for i := 0; i < n; i++ {
+		st.I[i] = int64(i) ^ int64(rng.intn(1<<15))
+		are.F[i] = rng.float()*2 - 1
+		aim.F[i] = rng.float()*2 - 1
+	}
+	refSt := append([]int64{}, st.I...)
+	refRe := append([]float64{}, are.F...)
+	refIm := append([]float64{}, aim.F...)
+
+	gates := libqCircuit()
+	for _, g := range gates {
+		var batch []rt.Task
+		for lo := 0; lo < n; lo += libqChunk {
+			hi := lo + libqChunk
+			args := libqArgs(g, st, are, aim, n, lo, hi)
+			batch = append(batch, rt.Task{Name: "libq_" + g.kind, Args: args})
+		}
+		w.Batches = append(w.Batches, batch)
+	}
+
+	verify := func() error {
+		refLibQ(refSt, refRe, refIm, gates)
+		for i := 0; i < n; i++ {
+			if refSt[i] != st.I[i] {
+				return fmt.Errorf("LibQ state mismatch at %d: got %d, want %d", i, st.I[i], refSt[i])
+			}
+			if !approxEqual(refRe[i], are.F[i], 1e-9) || !approxEqual(refIm[i], aim.F[i], 1e-9) {
+				return fmt.Errorf("LibQ amplitude mismatch at %d", i)
+			}
+		}
+		return nil
+	}
+	return &Built{W: w, Results: results, Heap: h, Verify: verify}, nil
+}
+
+// libqCircuit returns a deterministic 24-gate circuit mixing gate types,
+// like the modular-exponentiation circuits libquantum builds for Shor runs.
+func libqCircuit() []libqGate {
+	var gates []libqGate
+	rng := newLCG(2718)
+	for k := 0; k < 24; k++ {
+		b1 := rng.intn(14)
+		b2 := (b1 + 1 + rng.intn(12)) % 14
+		b3 := (b2 + 1 + rng.intn(12)) % 14
+		switch k % 4 {
+		case 0:
+			gates = append(gates, libqGate{kind: "toffoli", bits: [3]int{b1, b2, b3}})
+		case 1:
+			gates = append(gates, libqGate{kind: "cnot", bits: [3]int{b1, b2, 0}})
+		case 2:
+			gates = append(gates, libqGate{kind: "sigma_x", bits: [3]int{b1, 0, 0}})
+		default:
+			gates = append(gates, libqGate{kind: "phase", bits: [3]int{b1, 0, 0}, pr: 0.6, pi: 0.8})
+		}
+	}
+	return gates
+}
+
+func libqArgs(g libqGate, st, are, aim *interp.Seg, n, lo, hi int) []interp.Value {
+	nn := interp.Int(int64(n))
+	l, r := interp.Int(int64(lo)), interp.Int(int64(hi))
+	switch g.kind {
+	case "sigma_x":
+		return []interp.Value{interp.Ptr(st), nn, interp.Int(1 << g.bits[0]), l, r}
+	case "cnot":
+		return []interp.Value{interp.Ptr(st), nn,
+			interp.Int(1 << g.bits[0]), interp.Int(1 << g.bits[1]), l, r}
+	case "toffoli":
+		return []interp.Value{interp.Ptr(st), nn,
+			interp.Int(1 << g.bits[0]), interp.Int(1 << g.bits[1]), interp.Int(1 << g.bits[2]), l, r}
+	default: // phase
+		return []interp.Value{interp.Ptr(st), interp.Ptr(are), interp.Ptr(aim), nn,
+			interp.Int(1 << g.bits[0]), interp.Float(g.pr), interp.Float(g.pi), l, r}
+	}
+}
+
+// refLibQ is the Go reference circuit simulation.
+func refLibQ(st []int64, re, im []float64, gates []libqGate) {
+	for _, g := range gates {
+		switch g.kind {
+		case "sigma_x":
+			t := int64(1) << g.bits[0]
+			for i := range st {
+				st[i] ^= t
+			}
+		case "cnot":
+			c, t := int64(1)<<g.bits[0], int64(1)<<g.bits[1]
+			for i := range st {
+				if st[i]&c == c {
+					st[i] ^= t
+				}
+			}
+		case "toffoli":
+			cm := int64(1)<<g.bits[0] | int64(1)<<g.bits[1]
+			t := int64(1) << g.bits[2]
+			for i := range st {
+				if st[i]&cm == cm {
+					st[i] ^= t
+				}
+			}
+		default: // phase
+			t := int64(1) << g.bits[0]
+			for i := range st {
+				if st[i]&t == t {
+					ar, ai := re[i], im[i]
+					re[i] = ar*g.pr - ai*g.pi
+					im[i] = ar*g.pi + ai*g.pr
+				}
+			}
+		}
+	}
+}

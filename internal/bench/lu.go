@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// LU: blocked right-looking LU factorization without pivoting (the SPLASH2
+// kernel's structure). Four task types per step k: the diagonal-block
+// factorization, the row-panel and column-panel triangular updates, and the
+// interior rank-B updates. Every task is a pure affine loop nest, so the
+// compiler handles LU entirely through the polyhedral path (Table 1: 3/3
+// affine loops).
+const luSrc = `
+task lu_diag(float A[N][N], int N, int B, int kk) {
+	for (int i = 0; i < B; i++) {
+		for (int j = i+1; j < B; j++) {
+			A[kk+j][kk+i] /= A[kk+i][kk+i];
+			for (int t = i+1; t < B; t++) {
+				A[kk+j][kk+t] -= A[kk+j][kk+i] * A[kk+i][kk+t];
+			}
+		}
+	}
+}
+
+task lu_row(float A[N][N], int N, int B, int kk, int jj) {
+	for (int i = 0; i < B; i++) {
+		for (int r = 0; r < i; r++) {
+			for (int c = 0; c < B; c++) {
+				A[kk+i][jj+c] -= A[kk+i][kk+r] * A[kk+r][jj+c];
+			}
+		}
+	}
+}
+
+task lu_col(float A[N][N], int N, int B, int kk, int ii) {
+	for (int c = 0; c < B; c++) {
+		for (int r = 0; r < B; r++) {
+			float s = A[ii+r][kk+c];
+			for (int t = 0; t < c; t++) {
+				s -= A[ii+r][kk+t] * A[kk+t][kk+c];
+			}
+			A[ii+r][kk+c] = s / A[kk+c][kk+c];
+		}
+	}
+}
+
+task lu_int(float A[N][N], int N, int B, int ii, int jj, int kk) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			float s = A[ii+i][jj+j];
+			for (int t = 0; t < B; t++) {
+				s -= A[ii+i][kk+t] * A[kk+t][jj+j];
+			}
+			A[ii+i][jj+j] = s;
+		}
+	}
+}
+
+// Manual DAE access versions: the expert prefetches selectively — only the
+// blocks that are read-shared with other tasks, skipping the read-write
+// target block (§6.2.1: "performs selective prefetching, thus less data is
+// actually brought in the cache").
+void lu_diag_manual(float A[N][N], int N, int B, int kk) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[kk+i][kk+j];
+		}
+	}
+}
+
+void lu_row_manual(float A[N][N], int N, int B, int kk, int jj) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[kk+i][kk+j];
+		}
+	}
+}
+
+void lu_col_manual(float A[N][N], int N, int B, int kk, int ii) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[kk+i][kk+j];
+		}
+	}
+}
+
+void lu_int_manual(float A[N][N], int N, int B, int ii, int jj, int kk) {
+	for (int i = 0; i < B; i++) {
+		for (int j = 0; j < B; j++) {
+			prefetch A[ii+i][kk+j];
+			prefetch A[kk+i][jj+j];
+		}
+	}
+}
+`
+
+// luN and luB size the default evaluation run.
+const (
+	luN = 192
+	luB = 32
+)
+
+func buildLU(v Variant) (*Built, error) {
+	return buildLUScaled(v, luN, luB)
+}
+
+func buildLUScaled(v Variant, n, b int) (*Built, error) {
+	hints := map[string]int64{"N": int64(n), "B": int64(b), "kk": 0, "ii": int64(b), "jj": int64(b)}
+	w, results, err := buildCommon("LU", luSrc, hints, v)
+	if err != nil {
+		return nil, err
+	}
+
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", n*n)
+	initLU(a.F, n)
+	ref := make([]float64, n*n)
+	copy(ref, a.F)
+
+	ap := interp.Ptr(a)
+	argsN := interp.Int(int64(n))
+	argsB := interp.Int(int64(b))
+	nb := n / b
+	for k := 0; k < nb; k++ {
+		kk := interp.Int(int64(k * b))
+		w.Batches = append(w.Batches, []rt.Task{{
+			Name: "lu_diag", Args: []interp.Value{ap, argsN, argsB, kk},
+		}})
+		var panel []rt.Task
+		for j := k + 1; j < nb; j++ {
+			panel = append(panel, rt.Task{Name: "lu_row",
+				Args: []interp.Value{ap, argsN, argsB, kk, interp.Int(int64(j * b))}})
+			panel = append(panel, rt.Task{Name: "lu_col",
+				Args: []interp.Value{ap, argsN, argsB, kk, interp.Int(int64(j * b))}})
+		}
+		if len(panel) > 0 {
+			w.Batches = append(w.Batches, panel)
+		}
+		var interior []rt.Task
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				interior = append(interior, rt.Task{Name: "lu_int",
+					Args: []interp.Value{ap, argsN, argsB,
+						interp.Int(int64(i * b)), interp.Int(int64(j * b)), kk}})
+			}
+		}
+		if len(interior) > 0 {
+			w.Batches = append(w.Batches, interior)
+		}
+	}
+
+	verify := func() error {
+		refLU(ref, n)
+		for i := range ref {
+			if !approxEqual(ref[i], a.F[i], 1e-6) {
+				return fmt.Errorf("LU mismatch at %d: got %g, want %g", i, a.F[i], ref[i])
+			}
+		}
+		return nil
+	}
+	return &Built{W: w, Results: results, Heap: h, Verify: verify}, nil
+}
+
+// initLU fills a diagonally dominant matrix so factoring needs no pivoting.
+func initLU(a []float64, n int) {
+	rng := newLCG(12345)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = rng.float() + 0.5
+		}
+		a[i*n+i] += float64(n)
+	}
+}
+
+// refLU is the unblocked right-looking reference factorization; it performs
+// the same floating-point operations in the same order as the blocked task
+// decomposition.
+func refLU(a []float64, n int) {
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= a[i*n+k] * a[k*n+j]
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	daepass "dae/internal/dae"
+	"dae/internal/rt"
+)
+
+// TestRefineAllAppsStaysCorrect applies profile-guided prefetch pruning to
+// every benchmark and checks the refined workloads still trace and verify:
+// refinement must never change computed results (access phases write
+// nothing) and never break the generated IR.
+func TestRefineAllAppsStaysCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("refine sweep in short mode")
+	}
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			b, err := app.Build(Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := b.Refine(daepass.DefaultRefine(), 3)
+			if err != nil {
+				t.Fatalf("refine: %v", err)
+			}
+			tr, err := rt.Run(b.W, rt.DefaultTraceConfig())
+			if err != nil {
+				t.Fatalf("trace after refine: %v", err)
+			}
+			if err := b.Verify(); err != nil {
+				t.Fatalf("verify after refine: %v", err)
+			}
+			met := rt.Evaluate(tr, rt.DefaultMachine(), rt.PolicyOptimalEDP)
+			t.Logf("%s: pruned %d prefetch instrs; EDP %.4g", app.Name, pruned, met.EDP)
+		})
+	}
+}

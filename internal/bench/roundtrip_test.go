@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+)
+
+// TestModuleTextRoundTrip pushes every benchmark's full optimized module
+// (tasks, helpers, generated access versions, manual access functions)
+// through the IR printer and parser and checks print-parse-print
+// idempotence plus re-verification — a broad structural test of both the
+// printer and the parser over every instruction shape the compiler emits.
+func TestModuleTextRoundTrip(t *testing.T) {
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			b, err := app.Build(Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1 := b.W.Module.String()
+			m2, err := ir.ParseModule(s1)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			s2 := m2.String()
+			m3, err := ir.ParseModule(s2)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if s3 := m3.String(); s2 != s3 {
+				t.Error("print-parse-print is not idempotent")
+			}
+			if len(m2.Funcs) != len(b.W.Module.Funcs) {
+				t.Errorf("function count %d, want %d", len(m2.Funcs), len(b.W.Module.Funcs))
+			}
+		})
+	}
+}
+
+// TestReparsedModuleComputesSameResult executes a kernel from a reparsed
+// module and compares against the original execution bit for bit.
+func TestReparsedModuleComputesSameResult(t *testing.T) {
+	b, err := buildLUScaled(Auto, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := b.W.Module
+	m2, err := ir.ParseModule(mod.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(m *ir.Module) []float64 {
+		h := interp.NewHeap()
+		a := h.AllocFloat("A", 64*64)
+		initLU(a.F, 64)
+		env := interp.NewEnv(interp.NewProgram(m), nil)
+		// One interior update block exercises loads, stores, fma chains.
+		if _, err := env.Call(m.Func("lu_int"), interp.Ptr(a),
+			interp.Int(64), interp.Int(16),
+			interp.Int(16), interp.Int(32), interp.Int(0)); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(a.F))
+		copy(out, a.F)
+		return out
+	}
+	orig := run(mod)
+	reparsed := run(m2)
+	for i := range orig {
+		if orig[i] != reparsed[i] {
+			t.Fatalf("mismatch at %d: %g vs %g", i, orig[i], reparsed[i])
+		}
+	}
+}

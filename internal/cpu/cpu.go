@@ -1,0 +1,136 @@
+// Package cpu implements the interval timing model the paper's evaluation
+// methodology rests on (§3.1–3.2, citing Keramidas et al. [13]): a phase's
+// execution time at frequency f decomposes into a frequency-scaled core
+// component and a frequency-independent memory component,
+//
+//	T(f) = C_cpu / f + T_mem .
+//
+// C_cpu comes from the dynamic instruction mix (issue width, long-latency
+// operations, private-cache hits); T_mem comes from accesses serviced by the
+// shared L3 and DRAM, with memory-level parallelism (MLP) factors that give
+// prefetches much more overlap than blocking loads — the paper's reason for
+// turning loads into prefetches in access phases.
+package cpu
+
+import (
+	"dae/internal/interp"
+	"dae/internal/mem"
+)
+
+// Params are the microarchitectural constants of the model.
+type Params struct {
+	// IssueWidth is the sustained instructions per cycle of the pipeline.
+	IssueWidth float64
+	// DivCycles is the extra latency charged per FP divide.
+	DivCycles float64
+	// MathCycles is the extra latency charged per math intrinsic.
+	MathCycles float64
+	// L2HitCycles is the extra core cycles per load serviced by the L2.
+	L2HitCycles float64
+	// L3HitNs is the (frequency-independent) time per L3-serviced access.
+	L3HitNs float64
+	// MemNs is the DRAM access latency.
+	MemNs float64
+	// MLPLoad is the average overlap of blocking-load DRAM misses.
+	MLPLoad float64
+	// MLPPrefetch is the average overlap of prefetch DRAM accesses; the
+	// non-blocking builtin prefetch retires immediately, so it reaches the
+	// MSHR limit (§3.1).
+	MLPPrefetch float64
+	// MLPStore is the overlap of store (RFO) misses drained from the store
+	// buffer; stores rarely stall retirement (§5.2.1 footnote) but do
+	// consume memory time, which is what couples LBM's writes to its
+	// execute phase (§6.1).
+	MLPStore float64
+}
+
+// DefaultParams returns constants representative of the evaluation machine.
+func DefaultParams() Params {
+	return Params{
+		IssueWidth:  4,
+		DivCycles:   14,
+		MathCycles:  18,
+		L2HitCycles: 6,
+		L3HitNs:     10,
+		MemNs:       65,
+		MLPLoad:     2.5,
+		MLPPrefetch: 7,
+		MLPStore:    6,
+	}
+}
+
+// PhaseWork is the measured work of one task phase: the dynamic instruction
+// mix and the cache service levels of its memory accesses.
+type PhaseWork struct {
+	Counts interp.Counts
+	Mem    mem.Stats
+}
+
+// Add accumulates other into w.
+func (w *PhaseWork) Add(other PhaseWork) {
+	w.Counts.Add(other.Counts)
+	w.Mem.Add(other.Mem)
+}
+
+// Components decomposes the phase into core cycles, blocking memory seconds
+// (demand loads serviced by the L3 or DRAM, which stall the pipeline), and
+// streaming memory seconds (prefetches and stores, which are non-blocking
+// and overlap with computation up to the MSHR/bandwidth limit).
+func (p Params) Components(w PhaseWork) (cpuCycles, blockingSec, streamSec float64) {
+	c := w.Counts
+	cpuCycles = float64(c.Total()) / p.IssueWidth
+	cpuCycles += float64(c.FloatDiv) * p.DivCycles
+	cpuCycles += float64(c.MathOps) * p.MathCycles
+	cpuCycles += float64(w.Mem.At[mem.Load][mem.L2]) * p.L2HitCycles
+
+	blocking := float64(w.Mem.At[mem.Load][mem.L3])*p.L3HitNs +
+		float64(w.Mem.At[mem.Load][mem.Mem])*p.MemNs/p.MLPLoad
+	stream := float64(w.Mem.At[mem.Prefetch][mem.L3])*p.L3HitNs/p.MLPPrefetch +
+		float64(w.Mem.At[mem.Prefetch][mem.Mem])*p.MemNs/p.MLPPrefetch +
+		float64(w.Mem.At[mem.Store][mem.L3])*p.L3HitNs/p.MLPStore +
+		float64(w.Mem.At[mem.Store][mem.Mem])*p.MemNs/p.MLPStore
+	return cpuCycles, blocking * 1e-9, stream * 1e-9
+}
+
+// Time returns the phase duration in seconds at core frequency fGHz:
+//
+//	T(f) = T_blocking + max(C_cpu/f, T_stream)
+//
+// Blocking loads serialize with everything; the non-blocking prefetch/store
+// streams overlap with computation (the out-of-order core keeps issuing
+// while the MSHRs drain), so whichever of the two is longer bounds the
+// phase.
+func (p Params) Time(w PhaseWork, fGHz float64) float64 {
+	cpuCycles, blocking, stream := p.Components(w)
+	cpuSec := cpuCycles / (fGHz * 1e9)
+	if stream > cpuSec {
+		return blocking + stream
+	}
+	return blocking + cpuSec
+}
+
+// IPC returns the committed instructions per core cycle at fGHz (the input
+// to the paper's Ceff power model). Higher frequency lowers IPC for
+// memory-bound phases because the same memory seconds span more cycles.
+func (p Params) IPC(w PhaseWork, fGHz float64) float64 {
+	cycles := p.Time(w, fGHz) * fGHz * 1e9
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(w.Counts.Total()) / cycles
+}
+
+// MemBoundedness returns the fraction of the phase's time at fGHz that is
+// memory-bound (would not shrink if the core ran infinitely fast).
+func (p Params) MemBoundedness(w PhaseWork, fGHz float64) float64 {
+	_, blocking, stream := p.Components(w)
+	t := p.Time(w, fGHz)
+	if t <= 0 {
+		return 0
+	}
+	memOnly := blocking + stream
+	if memOnly > t {
+		memOnly = t
+	}
+	return memOnly / t
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/mem"
+)
+
+func computeBoundWork() PhaseWork {
+	var w PhaseWork
+	w.Counts.Float = 800_000
+	w.Counts.Int = 150_000
+	w.Counts.Loads = 50_000
+	w.Mem.At[mem.Load][mem.L1] = 50_000
+	return w
+}
+
+func memoryBoundWork() PhaseWork {
+	var w PhaseWork
+	w.Counts.Int = 20_000
+	w.Counts.Loads = 10_000
+	w.Mem.At[mem.Load][mem.Mem] = 10_000
+	return w
+}
+
+func TestComputeBoundScalesWithFrequency(t *testing.T) {
+	p := DefaultParams()
+	w := computeBoundWork()
+	t16 := p.Time(w, 1.6)
+	t34 := p.Time(w, 3.4)
+	speedup := t16 / t34
+	want := 3.4 / 1.6
+	if math.Abs(speedup-want)/want > 0.02 {
+		t.Errorf("compute-bound speedup = %.3f, want ≈ %.3f", speedup, want)
+	}
+}
+
+func TestMemoryBoundFlatWithFrequency(t *testing.T) {
+	p := DefaultParams()
+	w := memoryBoundWork()
+	t16 := p.Time(w, 1.6)
+	t34 := p.Time(w, 3.4)
+	if t16/t34 > 1.05 {
+		t.Errorf("memory-bound phase scaled %.3f× with frequency, want ≈ flat", t16/t34)
+	}
+	if p.MemBoundedness(w, 3.4) < 0.9 {
+		t.Errorf("mem-boundedness = %.2f, want > 0.9", p.MemBoundedness(w, 3.4))
+	}
+}
+
+func TestPrefetchMLPBeatsLoads(t *testing.T) {
+	p := DefaultParams()
+	var loads, prefs PhaseWork
+	loads.Counts.Loads = 10_000
+	loads.Mem.At[mem.Load][mem.Mem] = 10_000
+	prefs.Counts.Prefetches = 10_000
+	prefs.Mem.At[mem.Prefetch][mem.Mem] = 10_000
+	tl := p.Time(loads, 1.6)
+	tp := p.Time(prefs, 1.6)
+	if tp*2 > tl {
+		t.Errorf("prefetch phase (%.3g s) should be much faster than load phase (%.3g s)", tp, tl)
+	}
+}
+
+func TestIPCBehaviour(t *testing.T) {
+	p := DefaultParams()
+	cb := computeBoundWork()
+	mb := memoryBoundWork()
+	// Compute-bound IPC approaches the issue width and is stable across f.
+	if ipc := p.IPC(cb, 3.4); ipc < 3 {
+		t.Errorf("compute-bound IPC = %.2f, want near issue width", ipc)
+	}
+	if math.Abs(p.IPC(cb, 1.6)-p.IPC(cb, 3.4)) > 0.2 {
+		t.Error("compute-bound IPC should not depend on frequency much")
+	}
+	// Memory-bound IPC is low and drops as frequency rises.
+	if p.IPC(mb, 3.4) >= p.IPC(mb, 1.6) {
+		t.Error("memory-bound IPC should fall with frequency")
+	}
+	if p.IPC(mb, 3.4) > 0.5 {
+		t.Errorf("memory-bound IPC = %.2f, want < 0.5", p.IPC(mb, 3.4))
+	}
+}
+
+func TestDivAndMathPenalties(t *testing.T) {
+	p := DefaultParams()
+	var plain, div PhaseWork
+	plain.Counts.Float = 1000
+	div.Counts.Float = 900
+	div.Counts.FloatDiv = 100
+	if p.Time(div, 2.0) <= p.Time(plain, 2.0) {
+		t.Error("divides should cost more than adds")
+	}
+	var math0, math1 PhaseWork
+	math0.Counts.Int = 1000
+	math1.Counts.Int = 900
+	math1.Counts.MathOps = 100
+	if p.Time(math1, 2.0) <= p.Time(math0, 2.0) {
+		t.Error("math intrinsics should cost more")
+	}
+}
+
+func TestL2HitCyclesScaleWithFrequency(t *testing.T) {
+	p := DefaultParams()
+	var w PhaseWork
+	w.Counts.Loads = 1000
+	w.Mem.At[mem.Load][mem.L2] = 1000
+	// L2 hits are core-clocked: time should scale with frequency.
+	if p.Time(w, 1.6)/p.Time(w, 3.2) < 1.8 {
+		t.Error("L2-hit-bound phase should scale with frequency")
+	}
+}
+
+func TestAddPhaseWork(t *testing.T) {
+	a := computeBoundWork()
+	b := memoryBoundWork()
+	sum := a
+	sum.Add(b)
+	if sum.Counts.Total() != a.Counts.Total()+b.Counts.Total() {
+		t.Error("counts add")
+	}
+	if sum.Mem.Total(mem.Load) != a.Mem.Total(mem.Load)+b.Mem.Total(mem.Load) {
+		t.Error("mem stats add")
+	}
+}
+
+func TestInterpCountsIntegration(t *testing.T) {
+	var c interp.Counts
+	c.Int = 5
+	c.Loads = 3
+	var w PhaseWork
+	w.Counts = c
+	if p := DefaultParams(); p.Time(w, 2.0) <= 0 {
+		t.Error("time must be positive for nonzero work")
+	}
+}

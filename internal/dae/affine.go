@@ -1,0 +1,346 @@
+package dae
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/ir"
+	"dae/internal/poly"
+	"dae/internal/scev"
+)
+
+// access is one analyzed memory access of the task.
+type access struct {
+	instr   ir.Instr // the load or store
+	gep     *ir.GEP
+	base    *ir.Param
+	isStore bool
+
+	// dom is the iteration domain over this access's trip counters.
+	dom *poly.Polyhedron
+	// amap maps trip counters to index-space (one row per GEP dimension).
+	amap *poly.AffineMap
+	// offsets is the per-dimension symbolic (IV-free) part of each index,
+	// used to split accesses into classes (§5.1.2, trade-off 3).
+	offsets []scev.Affine
+	// amapRowsPending holds the per-dimension index expressions between the
+	// two analysis phases (the symbol space must be complete before the rows
+	// can be rendered as fixed-width vectors).
+	amapRowsPending []kAffine
+}
+
+// accessClass groups accesses to the same array with the same symbolic
+// offsets; the class is prefetched by one loop nest over its bounding box.
+type accessClass struct {
+	base     *ir.Param
+	rank     int
+	accesses []*access
+	// bounds[d] holds, per access, the FM-derived lower/upper bound lists of
+	// index dimension d.
+	bounds []classDimBounds
+}
+
+type classDimBounds struct {
+	lowers [][]poly.Bound // per access
+	uppers [][]poly.Bound
+}
+
+// affineInfo is the result of classifying a task for the affine strategy.
+type affineInfo struct {
+	sp      *space
+	classes []*accessClass
+	// repGEP supplies the Dims operands for address generation per class.
+	repGEP map[*accessClass]*ir.GEP
+
+	totalLoops  int
+	affineLoops int
+}
+
+// analyzeAffine checks whether f is a pure affine loop nest and builds the
+// polyhedral description of its (read) accesses. A nil result with reason
+// means the affine strategy does not apply.
+func analyzeAffine(f *ir.Func, opts Options) (*affineInfo, string) {
+	an := scev.Analyze(f)
+	total := len(an.Loops.AllLoops())
+	info := &affineInfo{sp: newSpace(), repGEP: make(map[*accessClass]*ir.GEP), totalLoops: total}
+
+	// Count affine loops for reporting (Table 1): loops with a well-formed
+	// IV whose bounds are affine.
+	for _, l := range an.Loops.AllLoops() {
+		if iv := an.IVFor(l); iv != nil && iv.WellFormed() {
+			info.affineLoops++
+		}
+	}
+
+	// Structural check: every conditional branch must be a loop-header exit.
+	for _, b := range f.Blocks {
+		if _, ok := b.Term().(*ir.CondBr); !ok {
+			continue
+		}
+		l := an.Loops.ByHeader[b]
+		if l == nil {
+			return info, "data-dependent control flow (conditional outside loop header)"
+		}
+		if iv := an.IVFor(l); iv == nil || !iv.WellFormed() {
+			return info, fmt.Sprintf("loop at %%%s has no affine induction variable", b.Name)
+		}
+	}
+
+	// No calls may remain.
+	var reason string
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Call); ok && reason == "" {
+			reason = "task contains calls that were not inlined"
+		}
+	})
+	if reason != "" {
+		return info, reason
+	}
+
+	// Analyze every memory access.
+	var accesses []*access
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			var gep *ir.GEP
+			isStore := false
+			switch x := in.(type) {
+			case *ir.Load:
+				g, ok := x.Ptr.(*ir.GEP)
+				if !ok {
+					return info, "load through a non-GEP pointer"
+				}
+				gep = g
+			case *ir.Store:
+				g, ok := x.Ptr.(*ir.GEP)
+				if !ok {
+					return info, "store through a non-GEP pointer"
+				}
+				gep = g
+				isStore = true
+			default:
+				continue
+			}
+			base, ok := gep.Base.(*ir.Param)
+			if !ok {
+				return info, "access whose base is not a task parameter"
+			}
+
+			ivs, ok := an.LoopNestOf(b)
+			if !ok {
+				return info, fmt.Sprintf("access in %%%s is not enclosed in a well-formed nest", b.Name)
+			}
+			dom, sub, err := nestDomain(ivs, info.sp)
+			if err != nil {
+				return info, err.Error()
+			}
+
+			idxAff := make([]kAffine, len(gep.Idx))
+			offsets := make([]scev.Affine, len(gep.Idx))
+			for d, iv := range gep.Idx {
+				a, okAff := an.AffineOf(iv)
+				if !okAff {
+					return info, fmt.Sprintf("non-affine subscript in %%%s", b.Name)
+				}
+				ka, err := sub.substAffine(a)
+				if err != nil {
+					return info, err.Error()
+				}
+				idxAff[d] = ka
+				offsets[d] = a.SymbolPart()
+			}
+			acc := &access{
+				instr: in, gep: gep, base: base, isStore: isStore,
+				dom: dom, offsets: offsets,
+			}
+			// Defer building amap rows until the symbol space is complete.
+			acc.amapRowsPending = idxAff
+			accesses = append(accesses, acc)
+		}
+	}
+	if len(accesses) == 0 {
+		return info, "task performs no memory accesses"
+	}
+
+	// The symbol space is now complete; materialize maps and pad domains.
+	npar := info.sp.nPar()
+	for _, acc := range accesses {
+		nk := acc.dom.NVar
+		acc.dom = padParams(acc.dom, npar)
+		rows := make([][]int64, len(acc.amapRowsPending))
+		for d, ka := range acc.amapRowsPending {
+			rows[d] = ka.vec(nk, npar)
+		}
+		acc.amap = &poly.AffineMap{NVar: nk, NPar: npar, Rows: rows}
+	}
+
+	// Group reads into classes (stores optionally included).
+	classKey := func(a *access) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s/%d", a.base.Nam, len(a.offsets))
+		for _, off := range a.offsets {
+			fmt.Fprintf(&sb, "|%s", off.String())
+		}
+		return sb.String()
+	}
+	byKey := make(map[string]*accessClass)
+	var order []string
+	for _, acc := range accesses {
+		if acc.isStore && !opts.PrefetchStores {
+			continue
+		}
+		k := classKey(acc)
+		cl := byKey[k]
+		if cl == nil {
+			cl = &accessClass{base: acc.base, rank: len(acc.offsets)}
+			byKey[k] = cl
+			order = append(order, k)
+			info.repGEP[cl] = acc.gep
+		}
+		cl.accesses = append(cl.accesses, acc)
+	}
+	if len(order) == 0 {
+		return info, "no prefetchable (read) accesses"
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		info.classes = append(info.classes, byKey[k])
+	}
+
+	// Per-class, per-dimension symbolic bounds via FM projection of the
+	// graph polytope { (k, t) : k ∈ dom, t = index_d(k) }.
+	for _, cl := range info.classes {
+		cl.bounds = make([]classDimBounds, cl.rank)
+		for d := 0; d < cl.rank; d++ {
+			for _, acc := range cl.accesses {
+				vb, err := indexBounds(acc, d)
+				if err != nil {
+					return info, err.Error()
+				}
+				if len(vb.Lower) == 0 || len(vb.Upper) == 0 {
+					return info, "unbounded access index"
+				}
+				for _, bnd := range append(append([]poly.Bound{}, vb.Lower...), vb.Upper...) {
+					if bnd.Den != 1 {
+						return info, "access bound with non-unit divisor"
+					}
+				}
+				cl.bounds[d].lowers = append(cl.bounds[d].lowers, vb.Lower)
+				cl.bounds[d].uppers = append(cl.bounds[d].uppers, vb.Upper)
+			}
+		}
+	}
+	return info, ""
+}
+
+// padParams widens the polyhedron's parameter dimension to npar.
+func padParams(p *poly.Polyhedron, npar int) *poly.Polyhedron {
+	if p.NPar == npar {
+		return p
+	}
+	q := poly.NewPolyhedron(p.NVar, npar)
+	for _, c := range p.Cons {
+		v := make([]int64, p.NVar+npar+1)
+		copy(v, c.V[:p.NVar])
+		copy(v[p.NVar:], c.V[p.NVar:p.NVar+p.NPar])
+		v[len(v)-1] = c.V[len(c.V)-1]
+		q.AddConstraint(v)
+	}
+	return q
+}
+
+// indexBounds computes the symbolic bounds of index dimension d of acc over
+// its iteration domain: introduce t as an extra variable constrained to equal
+// the index expression, then project away the trip counters.
+func indexBounds(acc *access, d int) (poly.VarBounds, error) {
+	dom := acc.dom
+	nk, npar := dom.NVar, dom.NPar
+	g := poly.NewPolyhedron(nk+1, npar) // vars: k_0..k_{nk-1}, t
+	for _, c := range dom.Cons {
+		v := make([]int64, nk+1+npar+1)
+		copy(v, c.V[:nk])
+		copy(v[nk+1:], c.V[nk:])
+		g.AddConstraint(v)
+	}
+	row := acc.amap.Rows[d]
+	// t - index(k) = 0
+	eq := make([]int64, nk+1+npar+1)
+	for i := 0; i < nk; i++ {
+		eq[i] = -row[i]
+	}
+	eq[nk] = 1
+	for j := 0; j < npar; j++ {
+		eq[nk+1+j] = -row[nk+j]
+	}
+	eq[len(eq)-1] = -row[len(row)-1]
+	g.AddEquality(eq)
+	return g.BoundsOfVar(nk), nil
+}
+
+// classCounts evaluates NConvUn (bounding-box cells) and NOrig (exact
+// distinct touched cells) for a class at the given parameter values.
+func classCounts(cl *accessClass, params []int64) (nconv, norig int64, ok bool) {
+	nconv = 1
+	for d := 0; d < cl.rank; d++ {
+		lo, hi, okd := classDimRange(cl, d, params)
+		if !okd {
+			return 0, 0, false
+		}
+		ext := hi - lo + 1
+		if ext < 0 {
+			ext = 0
+		}
+		nconv *= ext
+	}
+	doms := make([]*poly.Polyhedron, len(cl.accesses))
+	maps := make([]*poly.AffineMap, len(cl.accesses))
+	for i, acc := range cl.accesses {
+		doms[i] = acc.dom
+		maps[i] = acc.amap
+	}
+	norig = poly.CountDistinctImages(doms, maps, params)
+	return nconv, norig, true
+}
+
+// classDimRange evaluates the class's index-space range in dimension d:
+// [min over accesses of each access's max-lower, max over accesses of each
+// access's min-upper].
+func classDimRange(cl *accessClass, d int, params []int64) (int64, int64, bool) {
+	var lo, hi int64
+	for i := range cl.accesses {
+		l, ok := (poly.VarBounds{Lower: cl.bounds[d].lowers[i]}).EvalLower(params)
+		if !ok {
+			return 0, 0, false
+		}
+		u, ok := (poly.VarBounds{Upper: cl.bounds[d].uppers[i]}).EvalUpper(params)
+		if !ok {
+			return 0, 0, false
+		}
+		if i == 0 || l < lo {
+			lo = l
+		}
+		if i == 0 || u > hi {
+			hi = u
+		}
+	}
+	return lo, hi, true
+}
+
+// hintVector resolves Options.ParamHints against the symbol space. Symbols
+// that are parameters use the hint by name; other symbols (entry-block
+// computations) are unsupported for counting and make the hull test skip.
+func hintVector(sp *space, hints map[string]int64) ([]int64, bool) {
+	out := make([]int64, sp.nPar())
+	for i, s := range sp.syms {
+		p, ok := s.(*ir.Param)
+		if !ok {
+			return nil, false
+		}
+		v, ok := hints[p.Nam]
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}

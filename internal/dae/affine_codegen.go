@@ -1,0 +1,310 @@
+package dae
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+	"dae/internal/poly"
+)
+
+// nestGroup is a set of classes prefetched by one shared loop nest
+// (the merge optimization of §5.1.2, trade-offs 2 and 3).
+type nestGroup struct {
+	rank    int
+	classes []*accessClass
+}
+
+// mergeClasses groups classes whose per-dimension iteration counts match
+// within tol. Extent equality is checked symbolically when the bound
+// expressions are syntactically equal, and numerically at the parameter
+// hints otherwise. The merged nest iterates each dimension's largest extent.
+func mergeClasses(info *affineInfo, hints []int64, haveHints bool, tol int64) []*nestGroup {
+	var groups []*nestGroup
+	for _, cl := range info.classes {
+		placed := false
+		for _, g := range groups {
+			if g.rank != cl.rank {
+				continue
+			}
+			if extentsMatch(g.classes[0], cl, hints, haveHints, tol) {
+				g.classes = append(g.classes, cl)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &nestGroup{rank: cl.rank, classes: []*accessClass{cl}})
+		}
+	}
+	return groups
+}
+
+// extentsMatch reports whether two classes have per-dimension iteration
+// counts within tol of each other.
+func extentsMatch(a, b *accessClass, hints []int64, haveHints bool, tol int64) bool {
+	for d := 0; d < a.rank; d++ {
+		if symbolicExtentEqual(a, b, d) {
+			continue
+		}
+		if !haveHints {
+			return false
+		}
+		alo, ahi, ok1 := classDimRange(a, d, hints)
+		blo, bhi, ok2 := classDimRange(b, d, hints)
+		if !ok1 || !ok2 {
+			return false
+		}
+		diff := (ahi - alo) - (bhi - blo)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// symbolicExtentEqual holds when both classes have single-access single-bound
+// ranges whose (upper - lower) differences are syntactically equal.
+func symbolicExtentEqual(a, b *accessClass, d int) bool {
+	ea, ok := singleExtent(a, d)
+	if !ok {
+		return false
+	}
+	eb, ok := singleExtent(b, d)
+	if !ok {
+		return false
+	}
+	return ea.Equal(eb)
+}
+
+func singleExtent(cl *accessClass, d int) (poly.ParamExpr, bool) {
+	if len(cl.accesses) != 1 {
+		return poly.ParamExpr{}, false
+	}
+	if len(cl.bounds[d].lowers[0]) != 1 || len(cl.bounds[d].uppers[0]) != 1 {
+		return poly.ParamExpr{}, false
+	}
+	lo := cl.bounds[d].lowers[0][0]
+	hi := cl.bounds[d].uppers[0][0]
+	if lo.Den != 1 || hi.Den != 1 {
+		return poly.ParamExpr{}, false
+	}
+	return hi.Num.Sub(lo.Num), true
+}
+
+// generateAffineAccess emits the access function: one loop nest per group,
+// each scanning [0, extent_d) per dimension and prefetching every class of
+// the group at (lower_d + t_d).
+func generateAffineAccess(f *ir.Func, info *affineInfo, groups []*nestGroup, opts Options) (*ir.Func, error) {
+	params := make([]*ir.Param, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = &ir.Param{Nam: p.Nam, Typ: p.Typ}
+	}
+	af := ir.NewFunc(f.Name+"_access", ir.VoidT, params)
+	bd := ir.NewBuilder(af)
+	entry := bd.NewBlock("entry")
+	bd.SetBlock(entry)
+	im := newImporter(f, af, bd)
+
+	type classAddr struct {
+		cl     *accessClass
+		lowers []ir.Value // per dim
+		base   ir.Value
+		dims   []ir.Value
+	}
+
+	for gi, g := range groups {
+		// The group nest iterates each dimension's largest class extent;
+		// every class anchors addresses at its own lower bounds.
+		extents := make([]ir.Value, g.rank)
+		var addrs []classAddr
+		for _, cl := range g.classes {
+			ca := classAddr{cl: cl}
+			rep := info.repGEP[cl]
+			baseV, err := im.value(rep.Base)
+			if err != nil {
+				return nil, err
+			}
+			ca.base = baseV
+			for _, dv := range rep.Dims {
+				nv, err := im.value(dv)
+				if err != nil {
+					return nil, err
+				}
+				ca.dims = append(ca.dims, nv)
+			}
+			for d := 0; d < g.rank; d++ {
+				lo, hi, err := classBoundIR(im, bd, info, cl, d)
+				if err != nil {
+					return nil, err
+				}
+				ca.lowers = append(ca.lowers, lo)
+				ext := bd.Bin(ir.IAdd, bd.Bin(ir.ISub, hi, lo), ir.CI(1))
+				if extents[d] == nil {
+					extents[d] = ext
+				} else {
+					extents[d] = bd.Bin(ir.IMax, extents[d], ext)
+				}
+			}
+			addrs = append(addrs, ca)
+		}
+
+		// Build the nest: for t_d in [0, extent_d) { prefetch ... }.
+		cur := bd.Block()
+		var phis []*ir.Phi
+		var headers, latches []*ir.Block
+		exit := bd.NewBlock(fmt.Sprintf("g%d.done", gi))
+		for d := 0; d < g.rank; d++ {
+			header := bd.NewBlock(fmt.Sprintf("g%d.h%d", gi, d))
+			latch := bd.NewBlock(fmt.Sprintf("g%d.l%d", gi, d))
+			headers = append(headers, header)
+			latches = append(latches, latch)
+
+			if d == 0 {
+				// The preheader (bounds block) falls into the outer header;
+				// inner headers are entered by the enclosing header's
+				// conditional branch, added below.
+				bd.SetBlock(cur)
+				bd.Br(header)
+			}
+			pred := cur
+			if d > 0 {
+				pred = headers[d-1]
+			}
+			bd.SetBlock(header)
+			t := bd.Phi(ir.IntT, fmt.Sprintf("t%d", d))
+			t.AddIncoming(ir.CI(0), pred)
+			phis = append(phis, t)
+		}
+
+		// Innermost body.
+		body := bd.NewBlock(fmt.Sprintf("g%d.body", gi))
+		bd.SetBlock(body)
+		emitted := map[string]bool{}
+		for _, ca := range addrs {
+			idx := make([]ir.Value, g.rank)
+			for d := 0; d < g.rank; d++ {
+				idx[d] = bd.Bin(ir.IAdd, ca.lowers[d], phis[d])
+			}
+			key := prefetchKey(ca.base, idx)
+			if opts.Dedup && emitted[key] {
+				continue
+			}
+			emitted[key] = true
+			addr := bd.GEP(ca.base, ca.dims, idx)
+			bd.Prefetch(addr)
+		}
+
+		// Wire headers: header_d branches to header_{d+1} (or body) while
+		// t_d < extent_d, else to latch_{d-1} (or the group exit).
+		for d := 0; d < g.rank; d++ {
+			bd.SetBlock(headers[d])
+			cond := bd.Cmp(ir.LT, phis[d], extents[d])
+			var inner *ir.Block
+			if d == g.rank-1 {
+				inner = body
+			} else {
+				inner = headers[d+1]
+			}
+			var out *ir.Block
+			if d == 0 {
+				out = exit
+			} else {
+				out = latches[d-1]
+			}
+			bd.CondBr(cond, inner, out)
+		}
+		// Body falls into the innermost latch.
+		bd.SetBlock(body)
+		bd.Br(latches[g.rank-1])
+		// Latches increment and re-enter their header.
+		for d := 0; d < g.rank; d++ {
+			bd.SetBlock(latches[d])
+			step := int64(1)
+			if opts.CacheLineStride > 1 && d == g.rank-1 {
+				step = int64(opts.CacheLineStride)
+			}
+			next := bd.Bin(ir.IAdd, phis[d], ir.CI(step))
+			phis[d].AddIncoming(next, latches[d])
+			bd.Br(headers[d])
+		}
+
+		bd.SetBlock(exit)
+	}
+	bd.Ret(nil)
+
+	if err := af.Verify(); err != nil {
+		return nil, fmt.Errorf("dae: generated affine access version is invalid: %w\n%s", err, af)
+	}
+	return af, nil
+}
+
+// classBoundIR materializes the class's dimension-d lower and upper bounds
+// as IR values: lower = min over accesses of (max over FM lower bounds),
+// upper = max over accesses of (min over FM upper bounds).
+func classBoundIR(im *importer, bd *ir.Builder, info *affineInfo, cl *accessClass, d int) (ir.Value, ir.Value, error) {
+	var lo, hi ir.Value
+	for i := range cl.accesses {
+		accLo, err := reduceBounds(im, bd, info, cl.bounds[d].lowers[i], ir.IMax)
+		if err != nil {
+			return nil, nil, err
+		}
+		accHi, err := reduceBounds(im, bd, info, cl.bounds[d].uppers[i], ir.IMin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			lo, hi = accLo, accHi
+		} else {
+			lo = bd.Bin(ir.IMin, lo, accLo)
+			hi = bd.Bin(ir.IMax, hi, accHi)
+		}
+	}
+	return lo, hi, nil
+}
+
+func reduceBounds(im *importer, bd *ir.Builder, info *affineInfo, bounds []poly.Bound, op ir.BinOp) (ir.Value, error) {
+	var acc ir.Value
+	for i, b := range bounds {
+		v, err := paramExprIR(im, bd, info, b.Num)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			acc = v
+		} else {
+			acc = bd.Bin(op, acc, v)
+		}
+	}
+	return acc, nil
+}
+
+// paramExprIR renders a ParamExpr over the symbol space as IR.
+func paramExprIR(im *importer, bd *ir.Builder, info *affineInfo, e poly.ParamExpr) (ir.Value, error) {
+	var acc ir.Value = ir.CI(e.Const)
+	for j, c := range e.Coef {
+		if c == 0 {
+			continue
+		}
+		sym, err := im.value(info.sp.syms[j])
+		if err != nil {
+			return nil, err
+		}
+		term := sym
+		if c != 1 {
+			term = bd.Bin(ir.IMul, ir.CI(c), sym)
+		}
+		acc = bd.Bin(ir.IAdd, acc, term)
+	}
+	return acc, nil
+}
+
+func prefetchKey(base ir.Value, idx []ir.Value) string {
+	s := fmt.Sprintf("%p", base)
+	for _, v := range idx {
+		s += fmt.Sprintf("/%p", v)
+	}
+	return s
+}

@@ -1,0 +1,564 @@
+package dae
+
+import (
+	"strings"
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+)
+
+// genFromSrc compiles src, optimizes it, and generates access versions for
+// all tasks with the given hints.
+func genFromSrc(t *testing.T, src string, hints map[string]int64) (*ir.Module, map[string]*Result) {
+	t.Helper()
+	m, err := lower.Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts := Defaults()
+	opts.ParamHints = hints
+	results, err := GenerateModule(m, opts)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return m, results
+}
+
+// addrTracer records distinct element addresses by event kind.
+type addrTracer struct {
+	loads      map[int64]bool
+	stores     map[int64]bool
+	prefetches map[int64]bool
+}
+
+func newAddrTracer() *addrTracer {
+	return &addrTracer{loads: map[int64]bool{}, stores: map[int64]bool{}, prefetches: map[int64]bool{}}
+}
+
+func (a *addrTracer) Load(addr int64)     { a.loads[addr] = true }
+func (a *addrTracer) Store(addr int64)    { a.stores[addr] = true }
+func (a *addrTracer) Prefetch(addr int64) { a.prefetches[addr] = true }
+
+// checkCoverage runs the execute and access versions and asserts that the
+// access version prefetches every address the execute version loads, and
+// that the access version itself writes nothing.
+func checkCoverage(t *testing.T, m *ir.Module, task string, args ...interp.Value) {
+	t.Helper()
+	prog := interp.NewProgram(m)
+
+	trAcc := newAddrTracer()
+	env := interp.NewEnv(prog, trAcc)
+	if _, err := env.Call(m.Func(task+"_access"), args...); err != nil {
+		t.Fatalf("access run: %v", err)
+	}
+	if len(trAcc.stores) != 0 {
+		t.Fatalf("access version wrote %d addresses; must write nothing", len(trAcc.stores))
+	}
+
+	trExe := newAddrTracer()
+	env.SetTracer(trExe)
+	if _, err := env.Call(m.Func(task), args...); err != nil {
+		t.Fatalf("execute run: %v", err)
+	}
+
+	missing := 0
+	for a := range trExe.loads {
+		if !trAcc.prefetches[a] && !trAcc.loads[a] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("access version misses %d of %d loaded addresses", missing, len(trExe.loads))
+	}
+}
+
+func countLoops(f *ir.Func) int {
+	dt := ir.NewDomTree(f)
+	return len(ir.FindLoops(f, dt).AllLoops())
+}
+
+const luListing1a = `
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}
+`
+
+func TestListing1aLU(t *testing.T) {
+	m, res := genFromSrc(t, luListing1a, map[string]int64{"N": 12})
+	r := res["lu"]
+	if r.Strategy != StrategyAffine {
+		t.Fatalf("strategy = %s (%s), want affine", r.Strategy, r.Reason)
+	}
+	if r.TotalLoops != 3 || r.AffineLoops != 3 {
+		t.Errorf("loops = %d/%d, want 3/3 (Table 1 row for LU)", r.AffineLoops, r.TotalLoops)
+	}
+	// The paper's key claim for Listing 1: a 3-deep execute nest is
+	// prefetched by a 2-deep access nest covering the whole matrix.
+	acc := m.Func("lu_access")
+	if acc == nil {
+		t.Fatal("no access version in module")
+	}
+	if got := countLoops(acc); got != 2 {
+		t.Errorf("access nest depth = %d loops, want 2:\n%s", got, acc)
+	}
+	// Whole-matrix hull: NConvUn == NOrig == N².
+	if r.NConvUn != r.NOrig || r.NConvUn != 12*12 {
+		t.Errorf("NConvUn=%d NOrig=%d, want both 144", r.NConvUn, r.NOrig)
+	}
+
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 12*12)
+	for i := range a.F {
+		a.F[i] = float64(i%7) + 1
+	}
+	checkCoverage(t, m, "lu", interp.Ptr(a), interp.Int(12))
+}
+
+const luListing1b = `
+task lublock(float A[N][N], int N, int Block) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < Block; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}
+`
+
+func TestListing1bBlock(t *testing.T) {
+	m, res := genFromSrc(t, luListing1b, map[string]int64{"N": 64, "Block": 8})
+	r := res["lublock"]
+	if r.Strategy != StrategyAffine {
+		t.Fatalf("strategy = %s (%s), want affine", r.Strategy, r.Reason)
+	}
+	// Hull covers Block², not Block rows of N (the §5.1.1 range-analysis
+	// failure mode).
+	if r.NConvUn != 64 {
+		t.Errorf("NConvUn = %d, want 64 (Block²)", r.NConvUn)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 64*64)
+	for i := range a.F {
+		a.F[i] = float64(i%5) + 1
+	}
+	checkCoverage(t, m, "lublock", interp.Ptr(a), interp.Int(64), interp.Int(8))
+
+	// The access version must NOT prefetch beyond the block's bounding box:
+	// count prefetched addresses == Block².
+	tr := newAddrTracer()
+	env := interp.NewEnv(interp.NewProgram(m), tr)
+	if _, err := env.Call(m.Func("lublock_access"), interp.Ptr(a), interp.Int(64), interp.Int(8)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.prefetches) != 64 {
+		t.Errorf("prefetched %d distinct addresses, want 64", len(tr.prefetches))
+	}
+}
+
+const listing2 = `
+task mul(float A[N][N], float D[N][N], int N, int Block) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			for (int k = 0; k < Block; k++) {
+				A[j][k] -= D[j][i] * A[i][k];
+			}
+		}
+	}
+}
+`
+
+func TestListing2MultipleArrays(t *testing.T) {
+	m, res := genFromSrc(t, listing2, map[string]int64{"N": 32, "Block": 8})
+	r := res["mul"]
+	if r.Strategy != StrategyAffine {
+		t.Fatalf("strategy = %s (%s), want affine", r.Strategy, r.Reason)
+	}
+	if r.Classes != 2 {
+		t.Errorf("classes = %d, want 2 (A and D)", r.Classes)
+	}
+	if r.MergedNests != 1 {
+		t.Errorf("merged nests = %d, want 1 (Listing 2(b))", r.MergedNests)
+	}
+	acc := m.Func("mul_access")
+	if got := countLoops(acc); got != 2 {
+		t.Errorf("access loops = %d, want 2:\n%s", got, acc)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 32*32)
+	d := h.AllocFloat("D", 32*32)
+	for i := range a.F {
+		a.F[i] = 1
+		d.F[i] = 2
+	}
+	checkCoverage(t, m, "mul", interp.Ptr(a), interp.Ptr(d), interp.Int(32), interp.Int(8))
+}
+
+const listing3 = `
+task blocks(float A[N][N], int N, int Block, int Ax, int Ay, int Dx, int Dy) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			for (int k = i+1; k < Block; k++) {
+				A[Ax+j][Ay+k] -= A[Dx+j][Dy+i] * A[Ax+i][Ay+k];
+			}
+		}
+	}
+}
+`
+
+func TestListing3BlocksOfSameArray(t *testing.T) {
+	hints := map[string]int64{"N": 64, "Block": 8, "Ax": 0, "Ay": 0, "Dx": 32, "Dy": 32}
+	m, res := genFromSrc(t, listing3, hints)
+	r := res["blocks"]
+	if r.Strategy != StrategyAffine {
+		t.Fatalf("strategy = %s (%s), want affine", r.Strategy, r.Reason)
+	}
+	if r.Classes != 2 {
+		t.Errorf("classes = %d, want 2 (classA, classD of Fig. 2)", r.Classes)
+	}
+	if r.MergedNests != 1 {
+		t.Errorf("merged nests = %d, want 1 (Listing 3(b))", r.MergedNests)
+	}
+
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 64*64)
+	for i := range a.F {
+		a.F[i] = float64(i%3) + 1
+	}
+	args := []interp.Value{interp.Ptr(a), interp.Int(64), interp.Int(8),
+		interp.Int(0), interp.Int(0), interp.Int(32), interp.Int(32)}
+	checkCoverage(t, m, "blocks", args...)
+
+	// The in-between region (Fig. 2 light grey) must not be prefetched: the
+	// two classes together cover at most 2·Block² cells (their own boxes),
+	// never the convex hull spanning both blocks (which would be ≥ 32²).
+	tr := newAddrTracer()
+	env := interp.NewEnv(interp.NewProgram(m), tr)
+	if _, err := env.Call(m.Func("blocks_access"), args...); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.prefetches); got < int(r.NOrig) || got > 2*8*8 {
+		t.Errorf("prefetched %d cells, want within [NOrig=%d, 2·Block²=128]", got, r.NOrig)
+	}
+}
+
+func TestHullRejectionDiagonal(t *testing.T) {
+	// Only the diagonal is touched: NOrig = N but the box hull is N².
+	// The §5.1.2 profitability test must reject the hull and fall back to
+	// the skeleton strategy.
+	src := `
+task diag(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		A[0][0] += A[i][i];
+	}
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{"N": 16})
+	r := res["diag"]
+	if r.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %s, want skeleton (hull rejected); reason=%q", r.Strategy, r.Reason)
+	}
+	if !strings.Contains(r.Reason, "hull too wide") {
+		t.Errorf("reason = %q, want hull rejection", r.Reason)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 16*16)
+	checkCoverage(t, m, "diag", interp.Ptr(a), interp.Int(16))
+}
+
+func TestSkeletonIndirection(t *testing.T) {
+	// CG-style gather: y[i] += V[j]*x[C[j]].
+	src := `
+task spmv(float Y[n], float V[nnz], int C[nnz], float X[m], int R[n1], int n, int nnz, int m, int n1) {
+	for (int i = 0; i < n; i++) {
+		float s = 0;
+		for (int j = R[i]; j < R[i+1]; j++) {
+			s += V[j] * X[C[j]];
+		}
+		Y[i] = Y[i] + s;
+	}
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{})
+	r := res["spmv"]
+	if r.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %s (%s), want skeleton", r.Strategy, r.Reason)
+	}
+	acc := m.Func("spmv_access")
+	if acc == nil {
+		t.Fatal("no access version")
+	}
+	// The skeleton must keep the loads of R and C (address chains) and must
+	// not contain stores.
+	hasStore := false
+	acc.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Store); ok {
+			hasStore = true
+		}
+	})
+	if hasStore {
+		t.Errorf("skeleton contains stores:\n%s", acc)
+	}
+
+	// Semantic coverage on a small CSR matrix.
+	h := interp.NewHeap()
+	n, mcols := 4, 6
+	rptr := h.AllocInt("R", n+1)
+	copy(rptr.I, []int64{0, 2, 3, 5, 6})
+	nnz := 6
+	col := h.AllocInt("C", nnz)
+	copy(col.I, []int64{0, 3, 1, 2, 5, 4})
+	v := h.AllocFloat("V", nnz)
+	x := h.AllocFloat("X", mcols)
+	y := h.AllocFloat("Y", n)
+	for i := range v.F {
+		v.F[i] = float64(i + 1)
+	}
+	for i := range x.F {
+		x.F[i] = float64(10 * i)
+	}
+	checkCoverage(t, m, "spmv",
+		interp.Ptr(y), interp.Ptr(v), interp.Ptr(col), interp.Ptr(x), interp.Ptr(rptr),
+		interp.Int(int64(n)), interp.Int(int64(nnz)), interp.Int(int64(mcols)), interp.Int(int64(n+1)))
+}
+
+func TestSkeletonDropsBodyConditionals(t *testing.T) {
+	src := `
+task cond(float A[n], float B[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		if (A[i] > 0.5) {
+			s += B[i];
+		}
+	}
+	Out[0] = s;
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{})
+	r := res["cond"]
+	if r.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %s (%s), want skeleton", r.Strategy, r.Reason)
+	}
+	acc := m.Func("cond_access")
+	// After CFG simplification the only conditional left is the loop header:
+	// exactly one CondBr.
+	nCond := 0
+	prefetchBases := map[string]bool{}
+	acc.Instrs(func(in ir.Instr) {
+		switch x := in.(type) {
+		case *ir.CondBr:
+			nCond++
+		case *ir.Prefetch:
+			if g, ok := x.Ptr.(*ir.GEP); ok {
+				if p, ok := g.Base.(*ir.Param); ok {
+					prefetchBases[p.Nam] = true
+				}
+			}
+		}
+	})
+	if nCond != 1 {
+		t.Errorf("conditionals in access version = %d, want 1 (loop header only):\n%s", nCond, acc)
+	}
+	// A[i] is guaranteed-accessed → prefetched; B[i] is conditional → not.
+	if !prefetchBases["A"] {
+		t.Errorf("A not prefetched: %v\n%s", prefetchBases, acc)
+	}
+	if prefetchBases["B"] {
+		t.Errorf("conditional access B must not be prefetched (guaranteed-only rule):\n%s", acc)
+	}
+}
+
+func TestSkeletonPointerChasing(t *testing.T) {
+	src := `
+task chase(int Next[n], float Val[n], float Out[one], int n, int one, int start, int steps) {
+	int p = start;
+	float s = 0;
+	for (int k = 0; k < steps; k++) {
+		s += Val[p];
+		p = Next[p];
+	}
+	Out[0] = s;
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{})
+	r := res["chase"]
+	if r.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %s (%s), want skeleton", r.Strategy, r.Reason)
+	}
+	acc := m.Func("chase_access")
+	// The Next[p] load must survive (it feeds the next address).
+	nLoads := 0
+	acc.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Load); ok {
+			nLoads++
+		}
+	})
+	if nLoads == 0 {
+		t.Errorf("pointer-chasing load was removed:\n%s", acc)
+	}
+
+	h := interp.NewHeap()
+	n := 8
+	next := h.AllocInt("Next", n)
+	val := h.AllocFloat("Val", n)
+	out := h.AllocFloat("Out", 1)
+	for i := 0; i < n; i++ {
+		next.I[i] = int64((i + 3) % n)
+		val.F[i] = float64(i)
+	}
+	checkCoverage(t, m, "chase",
+		interp.Ptr(next), interp.Ptr(val), interp.Ptr(out),
+		interp.Int(int64(n)), interp.Int(1), interp.Int(0), interp.Int(20))
+}
+
+func TestNoAccessVersionWhenAddressDependsOnWrites(t *testing.T) {
+	// The read X[P[i]] chases addresses through P, which the task itself
+	// writes: with stores dropped, the skeleton would chase stale pointers,
+	// so no access version may be generated (§5.2.2 step 5).
+	src := `
+task selfmod(int P[n], float X[n], float Out[n], int n) {
+	for (int i = 1; i < n; i++) {
+		P[i] = P[i-1] + 1;
+		Out[i] = X[P[i]];
+	}
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{})
+	r := res["selfmod"]
+	if r.Strategy != StrategyNone {
+		t.Fatalf("strategy = %s, want none (address depends on task writes)", r.Strategy)
+	}
+	if r.Access != nil || m.Func("selfmod_access") != nil {
+		t.Error("no access function should be added")
+	}
+	if r.Reason == "" {
+		t.Error("expected a reason")
+	}
+}
+
+func TestNoAccessVersionControlDependsOnWrites(t *testing.T) {
+	src := `
+task ctrl(int A[n], int n) {
+	int i = 0;
+	while (i < n && A[i] != 0) {
+		A[i] = 0;
+		i++;
+	}
+}
+`
+	_, res := genFromSrc(t, src, map[string]int64{})
+	r := res["ctrl"]
+	if r.Strategy != StrategyNone {
+		t.Fatalf("strategy = %s, want none (loop control reads written array)", r.Strategy)
+	}
+}
+
+func TestForceSkeletonAblation(t *testing.T) {
+	m, err := lower.Compile(luListing1a, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Defaults()
+	opts.ParamHints = map[string]int64{"N": 12}
+	opts.ForceSkeleton = true
+	res, err := GenerateModule(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["lu"].Strategy != StrategySkeleton {
+		t.Errorf("strategy = %s, want skeleton (forced)", res["lu"].Strategy)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 12*12)
+	for i := range a.F {
+		a.F[i] = float64(i%7) + 1
+	}
+	checkCoverage(t, m, "lu", interp.Ptr(a), interp.Int(12))
+}
+
+func TestAccessLeanerThanExecute(t *testing.T) {
+	// The affine access version must execute far fewer instructions than
+	// the task itself (the whole point of a lean access phase).
+	m, _ := genFromSrc(t, luListing1a, map[string]int64{"N": 24})
+	prog := interp.NewProgram(m)
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 24*24)
+	for i := range a.F {
+		a.F[i] = float64(i%7) + 1
+	}
+	env := interp.NewEnv(prog, nil)
+	if _, err := env.Call(m.Func("lu_access"), interp.Ptr(a), interp.Int(24)); err != nil {
+		t.Fatal(err)
+	}
+	accessOps := env.Counts().Total()
+	env.ResetCounts()
+	if _, err := env.Call(m.Func("lu"), interp.Ptr(a), interp.Int(24)); err != nil {
+		t.Fatal(err)
+	}
+	executeOps := env.Counts().Total()
+	if accessOps*2 >= executeOps {
+		t.Errorf("access version not lean: %d ops vs execute %d", accessOps, executeOps)
+	}
+}
+
+func TestGenerateRejectsNonTask(t *testing.T) {
+	m, err := lower.Compile(`int f(int x) { return x; }`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(m.Func("f"), Defaults()); err == nil {
+		t.Error("expected error for non-task")
+	}
+}
+
+func TestStridedLoopAffine(t *testing.T) {
+	src := `
+task strided(float A[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i += 4) {
+		s += A[i];
+	}
+	Out[0] = s;
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{"n": 64, "one": 1})
+	r := res["strided"]
+	// A box hull over a stride-4 access covers 4× the touched cells: the
+	// profitability test must reject it.
+	if r.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %s (%s), want skeleton via hull rejection", r.Strategy, r.Reason)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 64)
+	out := h.AllocFloat("Out", 1)
+	checkCoverage(t, m, "strided", interp.Ptr(a), interp.Ptr(out), interp.Int(64), interp.Int(1))
+}
+
+func TestDownCountingLoopAffine(t *testing.T) {
+	src := `
+task rev(float A[n], float B[n], int n) {
+	for (int i = n - 1; i >= 0; i--) {
+		B[i] = A[i];
+	}
+}
+`
+	m, res := genFromSrc(t, src, map[string]int64{"n": 16})
+	r := res["rev"]
+	if r.Strategy != StrategyAffine {
+		t.Fatalf("strategy = %s (%s), want affine", r.Strategy, r.Reason)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 16)
+	b := h.AllocFloat("B", 16)
+	checkCoverage(t, m, "rev", interp.Ptr(a), interp.Ptr(b), interp.Int(16))
+}

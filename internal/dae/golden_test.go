@@ -1,0 +1,148 @@
+package dae
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dae/internal/ir"
+	"dae/internal/lower"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden access-version files")
+
+// goldenCases pin the exact generated access IR for the paper's listings;
+// any change to the generation pipeline that alters the output shows up as
+// a readable diff against testdata/*.ir. Regenerate intentionally with
+//
+//	go test ./internal/dae -run Golden -update
+var goldenCases = []struct {
+	name  string
+	src   string
+	task  string
+	hints map[string]int64
+}{
+	{
+		name: "listing1a_lu",
+		src: `
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}`,
+		task:  "lu",
+		hints: map[string]int64{"N": 12},
+	},
+	{
+		name: "listing2_multiarray",
+		src: `
+task mul(float A[N][N], float D[N][N], int N, int Block) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			for (int k = 0; k < Block; k++) {
+				A[j][k] -= D[j][i] * A[i][k];
+			}
+		}
+	}
+}`,
+		task:  "mul",
+		hints: map[string]int64{"N": 32, "Block": 8},
+	},
+	{
+		name: "listing3_classes",
+		src: `
+task blocks(float A[N][N], int N, int Block, int Ax, int Ay, int Dx, int Dy) {
+	for (int i = 0; i < Block; i++) {
+		for (int j = i+1; j < Block; j++) {
+			for (int k = i+1; k < Block; k++) {
+				A[Ax+j][Ay+k] -= A[Dx+j][Dy+i] * A[Ax+i][Ay+k];
+			}
+		}
+	}
+}`,
+		task:  "blocks",
+		hints: map[string]int64{"N": 64, "Block": 8, "Ax": 0, "Ay": 0, "Dx": 32, "Dy": 32},
+	},
+	{
+		name: "skeleton_spmv",
+		src: `
+task spmv(float Y[n], float V[nnz], int C[nnz], float X[m], int R[n1], int n, int nnz, int m, int n1) {
+	for (int i = 0; i < n; i++) {
+		float s = 0;
+		for (int j = R[i]; j < R[i+1]; j++) {
+			s += V[j] * X[C[j]];
+		}
+		Y[i] = Y[i] + s;
+	}
+}`,
+		task:  "spmv",
+		hints: map[string]int64{},
+	},
+	{
+		name: "skeleton_conditional",
+		src: `
+task cond(float A[n], float B[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		if (A[i] > 0.5) {
+			s += B[i];
+		}
+	}
+	Out[0] = s;
+}`,
+		task:  "cond",
+		hints: map[string]int64{},
+	},
+}
+
+func TestGoldenAccessVersions(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := lower.Compile(tc.src, tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Defaults()
+			opts.ParamHints = tc.hints
+			results, err := GenerateModule(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := results[tc.task]
+			if r.Access == nil {
+				t.Fatalf("no access version (%s)", r.Reason)
+			}
+			// Canonicalize register numbering through a parser round trip.
+			canon, err := ir.ParseFunc(r.Access.String())
+			if err != nil {
+				t.Fatalf("canonicalize: %v", err)
+			}
+			got := canon.String()
+
+			path := filepath.Join("testdata", tc.name+".ir")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("access version changed.\n--- got:\n%s\n--- want:\n%s", got, want)
+			}
+		})
+	}
+}

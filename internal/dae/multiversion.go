@@ -1,0 +1,103 @@
+package dae
+
+import (
+	"fmt"
+
+	"dae/internal/cpu"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/mem"
+)
+
+// The paper's §5.2.2 closing remark proposes keeping conditionals when a
+// branch is executed for the majority of iterations, selecting among
+// "multiple statically generated access versions" at runtime. This file
+// implements that: with Options.MultiVersion the skeleton path emits both
+// the simplified-CFG variant (Result.Access) and the full-CFG variant
+// (Result.AccessFull), and SelectAccessVariant picks between them by
+// profiling representative task instances.
+
+// VariantChoice reports the outcome of profile-based variant selection.
+type VariantChoice struct {
+	// Chosen is the selected access function.
+	Chosen *ir.Func
+	// Simplified is true when the simplified-CFG variant won.
+	Simplified bool
+	// SimplifiedScore and FullScore are the modeled per-profile-run times
+	// (access at fAcc plus the following execute at fExe), in seconds.
+	SimplifiedScore float64
+	FullScore       float64
+}
+
+// SelectAccessVariant profiles both skeleton variants of res on the given
+// representative argument sets: each variant's access phase runs before a
+// cloned-data execution of the task, and the variant with the lower modeled
+// total time (access at fAccGHz + execute at fExeGHz) wins. When res has no
+// full variant the simplified one wins trivially.
+func SelectAccessVariant(res *Result, p cpu.Params, hier mem.HierarchyConfig, fAccGHz, fExeGHz float64, argSets ...[]interp.Value) (VariantChoice, error) {
+	if res.Access == nil {
+		return VariantChoice{}, fmt.Errorf("dae: task @%s has no access version", res.Task.Name)
+	}
+	if res.AccessFull == nil {
+		return VariantChoice{Chosen: res.Access, Simplified: true}, nil
+	}
+	if len(argSets) == 0 {
+		return VariantChoice{}, fmt.Errorf("dae: variant selection needs representative argument sets")
+	}
+
+	score := func(access *ir.Func) (float64, error) {
+		mod := ir.NewModule("select")
+		prog := interp.NewProgram(mod)
+		l3 := mem.NewCache(hier.L3)
+		h := mem.NewHierarchy(hier, l3)
+		tr := &coreTracerLite{h: h}
+		env := interp.NewEnv(prog, tr)
+		scratch := interp.NewHeap()
+		total := 0.0
+		for _, args := range argSets {
+			cloned := interp.CloneArgs(scratch, args)
+
+			env.ResetCounts()
+			h.ResetStats()
+			if _, err := env.Call(access, cloned...); err != nil {
+				return 0, fmt.Errorf("dae: profiling access variant: %w", err)
+			}
+			accWork := cpu.PhaseWork{Counts: env.Counts(), Mem: h.Stats}
+
+			env.ResetCounts()
+			h.ResetStats()
+			if _, err := env.Call(res.Task, cloned...); err != nil {
+				return 0, fmt.Errorf("dae: profiling execute phase: %w", err)
+			}
+			exeWork := cpu.PhaseWork{Counts: env.Counts(), Mem: h.Stats}
+
+			total += p.Time(accWork, fAccGHz) + p.Time(exeWork, fExeGHz)
+		}
+		return total, nil
+	}
+
+	simp, err := score(res.Access)
+	if err != nil {
+		return VariantChoice{}, err
+	}
+	full, err := score(res.AccessFull)
+	if err != nil {
+		return VariantChoice{}, err
+	}
+	out := VariantChoice{SimplifiedScore: simp, FullScore: full}
+	if full < simp {
+		out.Chosen = res.AccessFull
+	} else {
+		out.Chosen = res.Access
+		out.Simplified = true
+	}
+	return out, nil
+}
+
+// coreTracerLite adapts interpreter events onto a hierarchy (local copy to
+// avoid importing the runtime package).
+type coreTracerLite struct{ h *mem.Hierarchy }
+
+func (t *coreTracerLite) Load(a int64)     { t.h.Access(a, mem.Load) }
+func (t *coreTracerLite) Store(a int64)    { t.h.Access(a, mem.Store) }
+func (t *coreTracerLite) Prefetch(a int64) { t.h.Access(a, mem.Prefetch) }

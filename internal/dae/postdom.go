@@ -1,0 +1,127 @@
+package dae
+
+import "dae/internal/ir"
+
+// postDom computes immediate post-dominators over the reversed CFG with a
+// virtual exit joining all return blocks (and, defensively, blocks with no
+// successors). It reuses the Cooper–Harvey–Kennedy scheme on reverse
+// postorder of the reversed graph.
+type postDom struct {
+	order  []*ir.Block // reverse postorder of reversed CFG (exits first)
+	index  map[*ir.Block]int
+	ipdomM map[*ir.Block]*ir.Block
+}
+
+func newPostDom(f *ir.Func) *postDom {
+	// successors in the reversed graph = predecessors in the original.
+	preds := f.Preds()
+	var exits []*ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Succs()) == 0 {
+			exits = append(exits, b)
+		}
+	}
+
+	pd := &postDom{index: map[*ir.Block]int{}, ipdomM: map[*ir.Block]*ir.Block{}}
+
+	// Postorder DFS from the virtual exit (i.e., from each real exit).
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, p := range preds[b] {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		post = append(post, b)
+	}
+	for _, e := range exits {
+		if !seen[e] {
+			dfs(e)
+		}
+	}
+	// reverse postorder
+	for i := len(post) - 1; i >= 0; i-- {
+		pd.order = append(pd.order, post[i])
+	}
+	for i, b := range pd.order {
+		pd.index[b] = i
+	}
+
+	// Virtual exit is the parent of every real exit.
+	for _, e := range exits {
+		pd.ipdomM[e] = e // roots point at themselves (virtual exit elided)
+	}
+	exitSet := map[*ir.Block]bool{}
+	for _, e := range exits {
+		exitSet[e] = true
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range pd.order {
+			if exitSet[b] {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, s := range b.Succs() {
+				if _, ok := pd.ipdomM[s]; !ok {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = s
+				} else {
+					newIdom = pd.intersect(s, newIdom, exitSet)
+					if newIdom == nil {
+						break
+					}
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if pd.ipdomM[b] != newIdom {
+				pd.ipdomM[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return pd
+}
+
+// intersect walks the two candidates up the post-dominator tree; it returns
+// nil when the only common post-dominator is the virtual exit (the two paths
+// reach different return blocks).
+func (pd *postDom) intersect(a, b *ir.Block, exitSet map[*ir.Block]bool) *ir.Block {
+	for a != b {
+		for pd.index[a] > pd.index[b] {
+			if exitSet[a] {
+				return nil
+			}
+			a = pd.ipdomM[a]
+		}
+		for pd.index[b] > pd.index[a] {
+			if exitSet[b] {
+				return nil
+			}
+			b = pd.ipdomM[b]
+		}
+		if a != b && exitSet[a] && exitSet[b] {
+			return nil
+		}
+	}
+	return a
+}
+
+// ipdom returns the immediate post-dominator of b, or nil when b is a return
+// block or post-dominated only by the virtual exit.
+func (pd *postDom) ipdom(b *ir.Block) *ir.Block {
+	p, ok := pd.ipdomM[b]
+	if !ok || p == b {
+		return nil
+	}
+	return p
+}

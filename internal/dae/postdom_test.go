@@ -1,0 +1,146 @@
+package dae
+
+import (
+	"testing"
+
+	"dae/internal/ir"
+)
+
+// diamond builds entry → (a|b) → join → ret and returns the blocks.
+func diamond(t *testing.T) (*ir.Func, *ir.Block, *ir.Block, *ir.Block, *ir.Block) {
+	t.Helper()
+	c := &ir.Param{Nam: "c", Typ: ir.BoolT}
+	f := ir.NewFunc("f", ir.VoidT, []*ir.Param{c})
+	bd := ir.NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	a := bd.NewBlock("a")
+	b := bd.NewBlock("b")
+	join := bd.NewBlock("join")
+	bd.SetBlock(entry)
+	bd.CondBr(c, a, b)
+	bd.SetBlock(a)
+	bd.Br(join)
+	bd.SetBlock(b)
+	bd.Br(join)
+	bd.SetBlock(join)
+	bd.Ret(nil)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return f, entry, a, b, join
+}
+
+func TestPostDomDiamond(t *testing.T) {
+	f, entry, a, b, join := diamond(t)
+	pd := newPostDom(f)
+	if got := pd.ipdom(entry); got != join {
+		t.Errorf("ipdom(entry) = %v, want join", name(got))
+	}
+	if got := pd.ipdom(a); got != join {
+		t.Errorf("ipdom(a) = %v, want join", name(got))
+	}
+	if got := pd.ipdom(b); got != join {
+		t.Errorf("ipdom(b) = %v, want join", name(got))
+	}
+	if got := pd.ipdom(join); got != nil {
+		t.Errorf("ipdom(join) = %v, want nil (exit)", name(got))
+	}
+}
+
+func TestPostDomMultipleExits(t *testing.T) {
+	// entry branches to two separate return blocks: its only post-dominator
+	// is the virtual exit, so ipdom must be nil.
+	c := &ir.Param{Nam: "c", Typ: ir.BoolT}
+	f := ir.NewFunc("f", ir.IntT, []*ir.Param{c})
+	bd := ir.NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	a := bd.NewBlock("a")
+	b := bd.NewBlock("b")
+	bd.SetBlock(entry)
+	bd.CondBr(c, a, b)
+	bd.SetBlock(a)
+	bd.Ret(ir.CI(1))
+	bd.SetBlock(b)
+	bd.Ret(ir.CI(2))
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	pd := newPostDom(f)
+	if got := pd.ipdom(entry); got != nil {
+		t.Errorf("ipdom(entry) = %v, want nil (paths reach different exits)", name(got))
+	}
+}
+
+func TestPostDomChain(t *testing.T) {
+	f := ir.NewFunc("f", ir.VoidT, nil)
+	bd := ir.NewBuilder(f)
+	b1 := bd.NewBlock("b1")
+	b2 := bd.NewBlock("b2")
+	b3 := bd.NewBlock("b3")
+	bd.SetBlock(b1)
+	bd.Br(b2)
+	bd.SetBlock(b2)
+	bd.Br(b3)
+	bd.SetBlock(b3)
+	bd.Ret(nil)
+	pd := newPostDom(f)
+	if pd.ipdom(b1) != b2 || pd.ipdom(b2) != b3 || pd.ipdom(b3) != nil {
+		t.Errorf("chain ipdoms wrong: %v %v %v",
+			name(pd.ipdom(b1)), name(pd.ipdom(b2)), name(pd.ipdom(b3)))
+	}
+}
+
+func TestPostDomLoop(t *testing.T) {
+	// entry → header ⇄ body; header → exit. The loop header post-dominates
+	// the body and entry.
+	f := ir.NewFunc("f", ir.VoidT, []*ir.Param{{Nam: "c", Typ: ir.BoolT}})
+	bd := ir.NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	header := bd.NewBlock("header")
+	body := bd.NewBlock("body")
+	exit := bd.NewBlock("exit")
+	bd.SetBlock(entry)
+	bd.Br(header)
+	bd.SetBlock(header)
+	bd.CondBr(f.Params[0], body, exit)
+	bd.SetBlock(body)
+	bd.Br(header)
+	bd.SetBlock(exit)
+	bd.Ret(nil)
+
+	pd := newPostDom(f)
+	if got := pd.ipdom(entry); got != header {
+		t.Errorf("ipdom(entry) = %v, want header", name(got))
+	}
+	if got := pd.ipdom(body); got != header {
+		t.Errorf("ipdom(body) = %v, want header", name(got))
+	}
+	if got := pd.ipdom(header); got != exit {
+		t.Errorf("ipdom(header) = %v, want exit", name(got))
+	}
+}
+
+func name(b *ir.Block) string {
+	if b == nil {
+		return "<nil>"
+	}
+	return b.Name
+}
+
+func TestRegionBetween(t *testing.T) {
+	f, entry, a, b, join := diamond(t)
+	region := regionBetween(f, entry, join)
+	if len(region) != 2 {
+		t.Fatalf("region = %d blocks, want 2", len(region))
+	}
+	seen := map[*ir.Block]bool{}
+	for _, blk := range region {
+		seen[blk] = true
+	}
+	if !seen[a] || !seen[b] {
+		t.Error("region should contain both branch blocks")
+	}
+	if seen[join] || seen[entry] {
+		t.Error("region must exclude the branch point and the join")
+	}
+}

@@ -1,0 +1,138 @@
+package dae
+
+import (
+	"fmt"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/mem"
+	"dae/internal/passes"
+)
+
+// PrefetchProfile records, for one static prefetch instruction, how its
+// dynamic instances were serviced during a profiling run.
+type PrefetchProfile struct {
+	// Total is the number of executed instances.
+	Total int64
+	// Misses counts instances whose line was not in the core's private
+	// caches (serviced by the L3 or DRAM).
+	Misses int64
+}
+
+// MissRatio returns Misses/Total (0 for never-executed instructions).
+func (p PrefetchProfile) MissRatio() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Misses) / float64(p.Total)
+}
+
+// profiler attributes prefetch events to static instructions through a
+// scratch cache hierarchy.
+type profiler struct {
+	hier  *mem.Hierarchy
+	stats map[ir.Instr]*PrefetchProfile
+}
+
+func (p *profiler) hook(src ir.Instr, addr int64) {
+	st := p.stats[src]
+	if st == nil {
+		st = &PrefetchProfile{}
+		p.stats[src] = st
+	}
+	st.Total++
+	if level := p.hier.Access(addr, mem.Prefetch); level >= mem.L3 {
+		st.Misses++
+	}
+}
+
+// loads and stores during profiling still warm the hierarchy so the miss
+// attribution reflects realistic cache contents.
+func (p *profiler) Load(addr int64)     { p.hier.Access(addr, mem.Load) }
+func (p *profiler) Store(addr int64)    { p.hier.Access(addr, mem.Store) }
+func (p *profiler) Prefetch(addr int64) { p.hier.Access(addr, mem.Prefetch) }
+
+// ProfileAccess executes the access version once per provided argument set
+// against a scratch hierarchy and returns per-prefetch-instruction service
+// statistics. Access versions write nothing, so profiling is safe on live
+// benchmark data.
+func ProfileAccess(access *ir.Func, hier mem.HierarchyConfig, argSets ...[]interp.Value) (map[ir.Instr]*PrefetchProfile, error) {
+	if access == nil {
+		return nil, fmt.Errorf("dae: no access version to profile")
+	}
+	mod := ir.NewModule("profile")
+	prog := interp.NewProgram(mod)
+	l3 := mem.NewCache(hier.L3)
+	p := &profiler{hier: mem.NewHierarchy(hier, l3), stats: make(map[ir.Instr]*PrefetchProfile)}
+	env := interp.NewEnv(prog, p)
+	env.SetPrefetchHook(p.hook)
+	for _, args := range argSets {
+		if _, err := env.Call(access, args...); err != nil {
+			return nil, fmt.Errorf("dae: profiling run failed: %w", err)
+		}
+	}
+	return p.stats, nil
+}
+
+// RefineOptions configure profile-guided pruning.
+type RefineOptions struct {
+	// MinMissRatio is the smallest private-cache miss ratio a prefetch
+	// instruction must exhibit to be kept. Instructions below the threshold
+	// prefetch lines that are (almost) always already cached — redundant
+	// same-line prefetches or cache-resident tables — and are removed, the
+	// expert knowledge of §6.2.3 automated through profiling (the paper's
+	// stated future work, §7).
+	MinMissRatio float64
+	// Hierarchy is the cache configuration profiled against.
+	Hierarchy mem.HierarchyConfig
+}
+
+// DefaultRefine returns the standard refinement configuration.
+func DefaultRefine() RefineOptions {
+	return RefineOptions{MinMissRatio: 0.02, Hierarchy: mem.EvalHierarchy()}
+}
+
+// RefineAccess profiles res.Access on the given representative argument sets
+// and deletes prefetch instructions whose miss ratio falls below
+// opts.MinMissRatio, followed by the standard cleanups (which also remove
+// address chains that only fed deleted prefetches). It returns the number of
+// static prefetch instructions removed. Tasks without an access version are
+// a no-op.
+func RefineAccess(res *Result, opts RefineOptions, argSets ...[]interp.Value) (int, error) {
+	if res.Access == nil {
+		return 0, nil
+	}
+	if len(argSets) == 0 {
+		return 0, fmt.Errorf("dae: RefineAccess needs at least one representative argument set")
+	}
+	stats, err := ProfileAccess(res.Access, opts.Hierarchy, argSets...)
+	if err != nil {
+		return 0, err
+	}
+
+	removed := 0
+	for _, b := range res.Access.Blocks {
+		for _, in := range append([]ir.Instr{}, b.Instrs...) {
+			pf, ok := in.(*ir.Prefetch)
+			if !ok {
+				continue
+			}
+			st := stats[pf]
+			if st == nil {
+				// Never executed under the profile: keep (unknown).
+				continue
+			}
+			if st.MissRatio() < opts.MinMissRatio {
+				b.Remove(pf)
+				removed++
+			}
+		}
+	}
+	if removed > 0 {
+		passes.CleanupOnly(res.Access)
+		if err := res.Access.Verify(); err != nil {
+			return removed, fmt.Errorf("dae: refined access version invalid: %w", err)
+		}
+	}
+	return removed, nil
+}

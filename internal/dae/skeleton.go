@@ -1,0 +1,412 @@
+package dae
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+	"dae/internal/passes"
+)
+
+// generateSkeletonAccess builds the access version of a non-affine task as an
+// optimized clone of the original (§5.2.2):
+//
+//  1. (calls were already inlined by the -O3 pipeline; reject leftovers)
+//  2. clone the task,
+//  3. mark reads of task-external data (loads through parameter pointers)
+//     and attach a prefetch to each,
+//  4. mark instructions preserving loop control flow,
+//  5. close the marks over use-def chains; reject the task if an
+//     address/control chain reads an array the task also writes (the
+//     paper's "no visible side effects" condition),
+//  6. simplify the CFG by removing loop-body conditionals that do not feed
+//     loop control, then discard unmarked instructions and all stores, and
+//     run the standard cleanups.
+func generateSkeletonAccess(f *ir.Func, opts Options) (*ir.Func, error) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok {
+				return nil, fmt.Errorf("dae: task @%s calls @%s which was not inlined", f.Name, c.Callee.Name)
+			}
+		}
+	}
+
+	af := ir.CloneFunc(f, f.Name+"_access")
+	af.IsTask = false
+	af.RemoveUnreachable()
+
+	dt := ir.NewDomTree(af)
+	loops := ir.FindLoops(af, dt)
+
+	// Arrays the task writes.
+	stored := map[ir.Value]bool{}
+	af.Instrs(func(in ir.Instr) {
+		if st, ok := in.(*ir.Store); ok {
+			if base, ok := baseParamOf(st.Ptr); ok {
+				stored[base] = true
+			}
+		}
+	})
+
+	// Control marks: closure over everything loop control depends on.
+	ctl := map[ir.Instr]bool{}
+	for _, l := range loops.AllLoops() {
+		for _, b := range l.Blocks {
+			cb, ok := b.Term().(*ir.CondBr)
+			if !ok {
+				continue
+			}
+			// A conditional inside a loop is loop control when at least one
+			// target leaves the loop (header test or break-style exit).
+			if !l.Contains(cb.Then) || !l.Contains(cb.Else) {
+				markClosure(cb.Cond, ctl)
+			}
+		}
+	}
+
+	// The "no side effects" condition: a load feeding control from a stored
+	// array would see different data once stores are dropped.
+	for in := range ctl {
+		if ld, ok := in.(*ir.Load); ok {
+			if base, ok := baseParamOf(ld.Ptr); ok && stored[base] {
+				return nil, fmt.Errorf("dae: loop control of @%s depends on array %%%s that the task writes", f.Name, base.Ref())
+			}
+		}
+	}
+
+	// Remove loop-body conditionals that do not maintain loop control flow
+	// (§5.2.2 step 6 / "Simplified CFG"). Values computed under such
+	// conditionals become unavailable; loads depending on them lose their
+	// prefetch.
+	if opts.SimplifyCFG {
+		if err := dropBodyConditionals(af, ctl); err != nil {
+			return nil, err
+		}
+		af.RemoveUnreachable()
+		dt = ir.NewDomTree(af)
+		loops = ir.FindLoops(af, dt)
+	}
+
+	// Root prefetches: every remaining load through a parameter pointer.
+	type rootLoad struct {
+		load *ir.Load
+		gep  *ir.GEP
+	}
+	var roots []rootLoad
+	af.Instrs(func(in ir.Instr) {
+		ld, ok := in.(*ir.Load)
+		if !ok {
+			return
+		}
+		gep, ok := ld.Ptr.(*ir.GEP)
+		if !ok {
+			return
+		}
+		if _, ok := baseParamOf(gep); ok {
+			roots = append(roots, rootLoad{load: ld, gep: gep})
+		}
+	})
+
+	// Address marks: closure over the prefetch addresses. This keeps the
+	// loads that feed indirection chains (pointer chasing) alive.
+	addr := map[ir.Instr]bool{}
+	for _, r := range roots {
+		markClosure(r.gep, addr)
+	}
+
+	// Address chains reading written arrays are rejected for the same
+	// reason as control chains (the skeleton would chase stale pointers).
+	for in := range addr {
+		if ld, ok := in.(*ir.Load); ok {
+			if base, ok := baseParamOf(ld.Ptr); ok && stored[base] {
+				return nil, fmt.Errorf("dae: address computation of @%s depends on array %%%s that the task writes", f.Name, base.Ref())
+			}
+		}
+	}
+
+	// Conditionals that survived CFG simplification (kept because loop
+	// control lives in their region, or simplification was disabled) still
+	// need their conditions; keep those chains alive too.
+	for _, b := range af.Blocks {
+		if cb, ok := b.Term().(*ir.CondBr); ok {
+			markClosure(cb.Cond, ctl)
+		}
+	}
+
+	// Insert prefetches next to the roots ("accompany, rather than replace,
+	// each load", §5.2.1), deduplicating identical addresses per block.
+	seen := map[string]bool{}
+	for _, r := range roots {
+		if opts.Dedup {
+			key := fmt.Sprintf("%s/%p", r.load.Parent().Name, r.gep)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		r.load.Parent().InsertBefore(ir.NewPrefetch(r.gep), r.load)
+	}
+
+	// Optionally prefetch store targets (off by default: §5.2.1 found write
+	// prefetching not to help).
+	if opts.PrefetchStores {
+		af.Instrs(func(in ir.Instr) {
+			if st, ok := in.(*ir.Store); ok {
+				if g, ok := st.Ptr.(*ir.GEP); ok {
+					if _, isParam := baseParamOf(g); isParam {
+						st.Parent().InsertBefore(ir.NewPrefetch(g), st)
+					}
+				}
+			}
+		})
+	}
+
+	// Discard stores and every unmarked instruction; keep prefetches,
+	// terminators, and the phis/values the marked sets depend on.
+	keep := map[ir.Instr]bool{}
+	for in := range ctl {
+		keep[in] = true
+	}
+	for in := range addr {
+		keep[in] = true
+	}
+	for _, b := range af.Blocks {
+		for _, in := range append([]ir.Instr{}, b.Instrs...) {
+			switch in.(type) {
+			case *ir.Prefetch:
+				continue
+			case *ir.Store:
+				b.Remove(in)
+				continue
+			}
+			if ir.IsTerminator(in) {
+				continue
+			}
+			if !keep[in] {
+				b.Remove(in)
+			}
+		}
+	}
+
+	// Final cleanups (-O3 on the access version).
+	passes.CleanupOnly(af)
+	if err := af.Verify(); err != nil {
+		return nil, fmt.Errorf("dae: generated skeleton access version is invalid: %w\n%s", err, af)
+	}
+	return af, nil
+}
+
+// baseParamOf walks GEP chains to the underlying parameter.
+func baseParamOf(v ir.Value) (*ir.Param, bool) {
+	for {
+		switch x := v.(type) {
+		case *ir.Param:
+			return x, x.Typ.IsPtr()
+		case *ir.GEP:
+			v = x.Base
+		default:
+			return nil, false
+		}
+	}
+}
+
+// markClosure marks the defining instruction of v and, transitively, the
+// definitions of every operand (including phi incomings).
+func markClosure(v ir.Value, marks map[ir.Instr]bool) {
+	in, ok := v.(ir.Instr)
+	if !ok {
+		return
+	}
+	if marks[in] {
+		return
+	}
+	marks[in] = true
+	for _, op := range in.Operands() {
+		markClosure(op, marks)
+	}
+}
+
+// dropBodyConditionals rewrites every conditional branch that stays inside
+// its loop (or is outside all loops) into an unconditional branch to the
+// join point (immediate post-dominator), unless the conditional region
+// defines values that loop control depends on. Join-point phis that lose
+// their definitions take the straight-path value when one exists from the
+// rewritten edge; otherwise their dependents are dropped by the caller's
+// mark logic (the phi is simply not marked).
+func dropBodyConditionals(f *ir.Func, ctl map[ir.Instr]bool) error {
+	for {
+		changed := false
+		dt := ir.NewDomTree(f)
+		loops := ir.FindLoops(f, dt)
+		pdt := newPostDom(f)
+
+		for _, b := range f.Blocks {
+			cb, ok := b.Term().(*ir.CondBr)
+			if !ok {
+				continue
+			}
+			l := loops.Of[b]
+			if l != nil && (!l.Contains(cb.Then) || !l.Contains(cb.Else)) {
+				continue // loop control: keep
+			}
+			join := pdt.ipdom(b)
+			if join == nil || join == b {
+				continue
+			}
+			// Region blocks: reachable from b without passing through join.
+			region := regionBetween(f, b, join)
+			// Keep the conditional if loop headers or control-marked values
+			// live in the region.
+			unsafe := false
+			for _, rb := range region {
+				if loops.ByHeader[rb] != nil {
+					unsafe = true // a whole loop hides inside: keep (rare)
+					break
+				}
+				for _, in := range rb.Instrs {
+					if ctl[in] {
+						unsafe = true
+						break
+					}
+				}
+				if unsafe {
+					break
+				}
+			}
+			if unsafe {
+				continue
+			}
+
+			// Rewire: b jumps straight to join.
+			b.Remove(cb)
+			b.Append(ir.NewBr(join))
+			// Region blocks become unreachable; detach them (this also
+			// removes their phi edges into join).
+			f.RemoveUnreachable()
+			// Phis in join may now have a single incoming or refer only to
+			// b; a phi missing an edge from b gets one poisoned with an
+			// arbitrary surviving incoming value only if that value
+			// dominates b — otherwise the phi is replaced by dropping its
+			// dependents (handled by not marking them).
+			fixJoinPhis(f, b, join)
+			changed = true
+			break
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// fixJoinPhis repairs join's phis after b was wired straight to it: each phi
+// either already has an incoming for b, or it gains one. The value used is
+// an incoming whose definition dominates b when available; otherwise the phi
+// is conditional data — it is removed and its transitive users are deleted
+// (dropping the corresponding prefetches, which matches the paper's "only
+// data guaranteed to be accessed is prefetched").
+func fixJoinPhis(f *ir.Func, b, join *ir.Block) {
+	dt := ir.NewDomTree(f)
+	preds := f.Preds()[join]
+	for _, phi := range append([]*ir.Phi{}, join.Phis()...) {
+		if phi.Incoming(b) != nil {
+			// Drop incomings from removed predecessors.
+			for _, in := range append([]ir.PhiIn{}, phi.In...) {
+				if !blockInSlice(preds, in.Pred) {
+					phi.RemoveIncoming(in.Pred)
+				}
+			}
+			continue
+		}
+		// Find a surviving incoming whose def dominates b.
+		var repl ir.Value
+		for _, in := range phi.In {
+			if def, ok := in.Val.(ir.Instr); ok {
+				if def.Parent() != nil && dt.Reachable(def.Parent()) && dt.Dominates(def.Parent(), b) {
+					repl = in.Val
+					break
+				}
+			} else {
+				repl = in.Val // constants/params always available
+				break
+			}
+		}
+		if repl != nil {
+			f.ReplaceAllUses(phi, repl)
+			join.Remove(phi)
+			continue
+		}
+		deleteWithUsers(f, phi)
+	}
+	// Other phis' stale edges (defensive).
+	for _, blk := range f.Blocks {
+		ps := f.Preds()[blk]
+		for _, phi := range append([]*ir.Phi{}, blk.Phis()...) {
+			for _, in := range append([]ir.PhiIn{}, phi.In...) {
+				if !blockInSlice(ps, in.Pred) {
+					phi.RemoveIncoming(in.Pred)
+				}
+			}
+		}
+	}
+}
+
+// deleteWithUsers removes in and, transitively, every instruction that uses
+// it. Terminators are never deleted (they cannot depend on dropped
+// conditionals: control-marked regions are kept).
+func deleteWithUsers(f *ir.Func, in ir.Instr) {
+	users := map[ir.Instr][]ir.Instr{}
+	f.Instrs(func(u ir.Instr) {
+		for _, op := range u.Operands() {
+			if def, ok := op.(ir.Instr); ok {
+				users[def] = append(users[def], u)
+			}
+		}
+	})
+	var kill func(x ir.Instr)
+	killed := map[ir.Instr]bool{}
+	kill = func(x ir.Instr) {
+		if killed[x] || ir.IsTerminator(x) {
+			return
+		}
+		killed[x] = true
+		for _, u := range users[x] {
+			kill(u)
+		}
+		if x.Parent() != nil {
+			x.Parent().Remove(x)
+		}
+	}
+	kill(in)
+}
+
+func blockInSlice(s []*ir.Block, b *ir.Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// regionBetween returns the blocks reachable from b's successors without
+// passing through join.
+func regionBetween(f *ir.Func, b, join *ir.Block) []*ir.Block {
+	seen := map[*ir.Block]bool{join: true, b: true}
+	var out []*ir.Block
+	var work []*ir.Block
+	for _, s := range b.Succs() {
+		work = append(work, s)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		for _, s := range n.Succs() {
+			work = append(work, s)
+		}
+	}
+	return out
+}

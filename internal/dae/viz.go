@@ -1,0 +1,113 @@
+package dae
+
+import (
+	"fmt"
+	"strings"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+)
+
+// VizAccessMap renders the paper's Figure 1/2 style cell map for one 2-D
+// array: which cells the execute version touches and which the access
+// version prefetches, on one concrete task invocation.
+//
+//	.  untouched
+//	#  accessed and prefetched (the goal)
+//	P  prefetched but never accessed (over-prefetching, Fig. 1(b)/Fig. 2 grey)
+//	A  accessed but not prefetched (a coverage gap, e.g. a dropped
+//	   conditional access)
+//
+// The execute version runs on cloned data so the caller's arrays are
+// untouched. seg must be the array to visualize, laid out row-major as
+// rows×cols.
+func VizAccessMap(task, access *ir.Func, args []interp.Value, seg *interp.Seg, rows, cols int) (string, error) {
+	if rows*cols > seg.Len() {
+		return "", fmt.Errorf("dae: grid %dx%d exceeds array of %d elements", rows, cols, seg.Len())
+	}
+	prog := interp.NewProgram(ir.NewModule("viz"))
+
+	inSeg := func(addr int64) (int, bool) {
+		idx := (addr - seg.Addr(0)) / interp.WordSize
+		if idx < 0 || idx >= int64(rows*cols) {
+			return 0, false
+		}
+		return int(idx), true
+	}
+
+	prefetched := make([]bool, rows*cols)
+	accessed := make([]bool, rows*cols)
+
+	if access != nil {
+		tr := &vizTracer{}
+		env := interp.NewEnv(prog, tr)
+		if _, err := env.Call(access, args...); err != nil {
+			return "", fmt.Errorf("dae: access run: %w", err)
+		}
+		for _, a := range tr.prefetches {
+			if i, ok := inSeg(a); ok {
+				prefetched[i] = true
+			}
+		}
+	}
+
+	// The execute phase mutates its arrays; run it on clones. Addresses
+	// recorded belong to the cloned segment, so translate through the clone.
+	scratch := interp.NewHeap()
+	cloned := interp.CloneArgs(scratch, args)
+	var clonedSeg *interp.Seg
+	for _, s := range scratch.Segs() {
+		if s.Name() == seg.Name()+".clone" {
+			clonedSeg = s
+		}
+	}
+	if clonedSeg == nil {
+		return "", fmt.Errorf("dae: array %q is not an argument of the task", seg.Name())
+	}
+	tr := &vizTracer{}
+	env := interp.NewEnv(prog, tr)
+	if _, err := env.Call(task, cloned...); err != nil {
+		return "", fmt.Errorf("dae: execute run: %w", err)
+	}
+	inClone := func(addr int64) (int, bool) {
+		idx := (addr - clonedSeg.Addr(0)) / interp.WordSize
+		if idx < 0 || idx >= int64(rows*cols) {
+			return 0, false
+		}
+		return int(idx), true
+	}
+	for _, a := range append(tr.loads, tr.stores...) {
+		if i, ok := inClone(a); ok {
+			accessed[i] = true
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%dx%d): '#' accessed+prefetched, 'A' accessed only, 'P' prefetched only\n",
+		seg.Name(), rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			switch {
+			case accessed[i] && prefetched[i]:
+				sb.WriteByte('#')
+			case accessed[i]:
+				sb.WriteByte('A')
+			case prefetched[i]:
+				sb.WriteByte('P')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+type vizTracer struct {
+	loads, stores, prefetches []int64
+}
+
+func (t *vizTracer) Load(a int64)     { t.loads = append(t.loads, a) }
+func (t *vizTracer) Store(a int64)    { t.stores = append(t.stores, a) }
+func (t *vizTracer) Prefetch(a int64) { t.prefetches = append(t.prefetches, a) }

@@ -1,0 +1,128 @@
+package dae
+
+import (
+	"strings"
+	"testing"
+
+	"dae/internal/interp"
+)
+
+func TestVizAccessMapBlocks(t *testing.T) {
+	// The Listing 3 / Figure 2 picture: two blocks of one array, nothing in
+	// between.
+	hints := map[string]int64{"N": 16, "Block": 4, "Ax": 0, "Ay": 0, "Dx": 8, "Dy": 8}
+	m, res := genFromSrc(t, listing3, hints)
+	r := res["blocks"]
+	_ = m
+
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 16*16)
+	for i := range a.F {
+		a.F[i] = 1
+	}
+	args := []interp.Value{interp.Ptr(a), interp.Int(16), interp.Int(4),
+		interp.Int(0), interp.Int(0), interp.Int(8), interp.Int(8)}
+
+	out, err := VizAccessMap(r.Task, r.Access, args, a, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", out)
+	lines := strings.Split(out, "\n")[1:] // drop header
+
+	// No coverage gaps anywhere.
+	if strings.Contains(out, "A") && strings.Count(out, "A (") == 0 {
+		for _, l := range lines {
+			if strings.ContainsRune(l, 'A') {
+				t.Fatalf("coverage gap in map:\n%s", out)
+			}
+		}
+	}
+	// The region between the two blocks (e.g. row 5, columns 0..15) must be
+	// completely untouched — the convex hull of the union would have filled
+	// it (Fig. 2's light grey).
+	for _, rc := range []int{5, 6, 7} {
+		if strings.ContainsAny(lines[rc], "#AP") {
+			t.Errorf("row %d between blocks should be empty: %q", rc, lines[rc])
+		}
+	}
+	// Both blocks show up.
+	if !strings.ContainsAny(lines[1], "#P") || !strings.ContainsAny(lines[9], "#P") {
+		t.Errorf("expected marks in both block regions:\n%s", out)
+	}
+	// The original arrays are untouched (execute ran on a clone).
+	for i := range a.F {
+		if a.F[i] != 1 {
+			t.Fatal("VizAccessMap mutated the caller's array")
+		}
+	}
+}
+
+func TestVizAccessMapConditionalGap(t *testing.T) {
+	// A dropped conditional access shows up as 'A' cells (accessed by the
+	// execute phase, not prefetched) — the readable diagnostic for the
+	// guaranteed-only rule.
+	src := `
+task cond2(float A[n], float B[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		if (A[i] > 0.5) {
+			s += B[i];
+		}
+	}
+	Out[0] = s;
+}
+`
+	_, res := genFromSrc(t, src, map[string]int64{})
+	r := res["cond2"]
+
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 64)
+	b := h.AllocFloat("B", 64)
+	out := h.AllocFloat("Out", 1)
+	for i := range a.F {
+		a.F[i] = 1 // every branch taken: every B[i] is accessed
+	}
+	args := []interp.Value{interp.Ptr(a), interp.Ptr(b), interp.Ptr(out), interp.Int(64), interp.Int(1)}
+
+	grid := func(viz string) string {
+		lines := strings.SplitN(viz, "\n", 2)
+		return lines[1]
+	}
+	vizB, err := VizAccessMap(r.Task, r.Access, args, b, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(grid(vizB), "A") {
+		t.Errorf("B's map should show accessed-not-prefetched cells:\n%s", vizB)
+	}
+	vizA, err := VizAccessMap(r.Task, r.Access, args, a, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(grid(vizA), "A") || !strings.Contains(grid(vizA), "#") {
+		t.Errorf("A's map should be fully covered:\n%s", vizA)
+	}
+}
+
+func TestVizErrors(t *testing.T) {
+	src := `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i++) { A[i] = 0.0; }
+}`
+	_, res := genFromSrc(t, src, map[string]int64{"n": 16})
+	r := res["k"]
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 16)
+	other := h.AllocFloat("Other", 16)
+	args := []interp.Value{interp.Ptr(a), interp.Int(16)}
+	if _, err := VizAccessMap(r.Task, r.Access, args, a, 4, 4); err != nil {
+		t.Errorf("4x4 view of 16 elements should work: %v", err)
+	}
+	if _, err := VizAccessMap(r.Task, r.Access, args, a, 100, 100); err == nil {
+		t.Error("oversized grid should error")
+	}
+	if _, err := VizAccessMap(r.Task, r.Access, args, other, 4, 4); err == nil {
+		t.Error("non-argument array should error")
+	}
+}

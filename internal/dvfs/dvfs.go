@@ -1,0 +1,66 @@
+// Package dvfs models the voltage-frequency levels and transition cost of
+// the evaluation machine. The paper sweeps 1.6–3.4 GHz in 400 MHz steps on a
+// Sandybridge and assumes the 500 ns transition latency of state-of-the-art
+// on-chip regulators (Haswell); the ideal-future case uses zero latency.
+package dvfs
+
+import "fmt"
+
+// Level is one operating point.
+type Level struct {
+	// Freq is the core frequency in GHz.
+	Freq float64
+	// Volt is the supply voltage in volts at this frequency.
+	Volt float64
+}
+
+// Table is the machine's DVFS capability.
+type Table struct {
+	// Levels is ordered by ascending frequency.
+	Levels []Level
+	// TransitionLatency is the time one frequency switch takes, in seconds.
+	// During a transition no instructions execute and only static power is
+	// consumed (§6.1).
+	TransitionLatency float64
+}
+
+// Default returns the evaluation configuration: fmin = 1.6 GHz to
+// fmax = 3.4 GHz in 400 MHz steps with a linear V(f), and the 500 ns
+// transition latency.
+func Default() Table {
+	return Table{
+		Levels: []Level{
+			{Freq: 1.6, Volt: 0.85},
+			{Freq: 2.0, Volt: 0.95},
+			{Freq: 2.4, Volt: 1.05},
+			{Freq: 2.8, Volt: 1.15},
+			{Freq: 3.2, Volt: 1.25},
+			{Freq: 3.4, Volt: 1.30},
+		},
+		TransitionLatency: 500e-9,
+	}
+}
+
+// Ideal returns the same levels with instantaneous transitions (the
+// zero-latency future-hardware case of §6.1).
+func Ideal() Table {
+	t := Default()
+	t.TransitionLatency = 0
+	return t
+}
+
+// Fmin returns the lowest operating point.
+func (t Table) Fmin() Level { return t.Levels[0] }
+
+// Fmax returns the highest operating point.
+func (t Table) Fmax() Level { return t.Levels[len(t.Levels)-1] }
+
+// ByFreq returns the level with the given frequency.
+func (t Table) ByFreq(f float64) (Level, error) {
+	for _, l := range t.Levels {
+		if l.Freq == f {
+			return l, nil
+		}
+	}
+	return Level{}, fmt.Errorf("dvfs: no %g GHz level", f)
+}

@@ -1,0 +1,48 @@
+package dvfs
+
+import "testing"
+
+func TestDefaultTable(t *testing.T) {
+	tab := Default()
+	if len(tab.Levels) != 6 {
+		t.Fatalf("levels = %d, want 6 (1.6–3.4 GHz in 400 MHz steps)", len(tab.Levels))
+	}
+	if tab.Fmin().Freq != 1.6 || tab.Fmax().Freq != 3.4 {
+		t.Errorf("range [%g, %g], want [1.6, 3.4]", tab.Fmin().Freq, tab.Fmax().Freq)
+	}
+	if tab.TransitionLatency != 500e-9 {
+		t.Errorf("transition latency = %g, want 500 ns", tab.TransitionLatency)
+	}
+	for i := 1; i < len(tab.Levels); i++ {
+		prev, cur := tab.Levels[i-1], tab.Levels[i]
+		if cur.Freq <= prev.Freq {
+			t.Errorf("frequency not ascending at level %d", i)
+		}
+		if cur.Volt <= prev.Volt {
+			t.Errorf("voltage not ascending at level %d (V must rise with f)", i)
+		}
+	}
+}
+
+func TestIdealTable(t *testing.T) {
+	tab := Ideal()
+	if tab.TransitionLatency != 0 {
+		t.Error("ideal transitions must be instantaneous")
+	}
+	if len(tab.Levels) != len(Default().Levels) {
+		t.Error("ideal table must keep the same operating points")
+	}
+}
+
+func TestByFreq(t *testing.T) {
+	tab := Default()
+	for _, l := range tab.Levels {
+		got, err := tab.ByFreq(l.Freq)
+		if err != nil || got != l {
+			t.Errorf("ByFreq(%g) = %+v, %v", l.Freq, got, err)
+		}
+	}
+	if _, err := tab.ByFreq(1.7); err == nil {
+		t.Error("ByFreq of a missing level must error")
+	}
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTable1CSV writes Table 1 as CSV.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "affine_loops", "total_loops", "tasks", "ta_percent", "ta_usec"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.App,
+			fmt.Sprintf("%d", r.AffineLoops),
+			fmt.Sprintf("%d", r.TotalLoops),
+			fmt.Sprintf("%d", r.Tasks),
+			fmt.Sprintf("%.4f", r.TAPercent),
+			fmt.Sprintf("%.4f", r.TAMicros),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig3CSV writes one Figure 3 metric ("Time", "Energy", or "EDP") as
+// CSV with one row per app and one column per configuration.
+func WriteFig3CSV(w io.Writer, rows []Fig3Row, metric string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"app"}
+	for c := Fig3Config(0); c < NumFig3Configs; c++ {
+		header = append(header, c.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.App}
+		for c := Fig3Config(0); c < NumFig3Configs; c++ {
+			v := r.Time[c]
+			switch metric {
+			case "Energy":
+				v = r.Energy[c]
+			case "EDP":
+				v = r.EDP[c]
+			}
+			rec = append(rec, fmt.Sprintf("%.6f", v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV writes a benchmark's Figure 4 profile as long-format CSV:
+// config, exec frequency, and the stacked time/energy components.
+func WriteFig4CSV(w io.Writer, p Fig4Profile) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"app", "config", "exec_ghz",
+		"prefetch_s", "task_s", "osi_s", "total_s",
+		"prefetch_j", "task_j", "osi_j", "total_j",
+	}); err != nil {
+		return err
+	}
+	series := []struct {
+		name string
+		pts  []Fig4Point
+	}{{"CAE", p.CAE}, {"ManualDAE", p.Manual}, {"AutoDAE", p.Auto}}
+	for _, s := range series {
+		for _, pt := range s.pts {
+			rec := []string{
+				p.App, s.name,
+				fmt.Sprintf("%.1f", pt.ExecFreq),
+				fmt.Sprintf("%.9f", pt.Prefetch),
+				fmt.Sprintf("%.9f", pt.Task),
+				fmt.Sprintf("%.9f", pt.OSI),
+				fmt.Sprintf("%.9f", pt.Total()),
+				fmt.Sprintf("%.9f", pt.PrefetchE),
+				fmt.Sprintf("%.9f", pt.TaskE),
+				fmt.Sprintf("%.9f", pt.OSIE),
+				fmt.Sprintf("%.9f", pt.TotalE()),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

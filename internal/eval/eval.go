@@ -1,0 +1,274 @@
+// Package eval reproduces the paper's evaluation: Table 1 (application
+// characteristics), Figure 3 (time/energy/EDP of the five configurations
+// normalized to coupled execution at fmax), Figure 4 (per-frequency runtime
+// and energy profiles for Cholesky, FFT and LibQ), and the §6.1 zero-latency
+// projection. One trace per program version feeds every frequency policy,
+// exactly as the paper combines per-frequency profiling with its power model.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"dae/internal/bench"
+	"dae/internal/dae"
+	"dae/internal/rt"
+)
+
+// AppData bundles the three traces of one benchmark.
+type AppData struct {
+	Name string
+	// CAE is the coupled trace (no access phases).
+	CAE *rt.Trace
+	// Manual is the decoupled trace with hand-written access versions.
+	Manual *rt.Trace
+	// Auto is the decoupled trace with compiler-generated access versions.
+	Auto *rt.Trace
+	// Results describes the compiler's per-task generation decisions.
+	Results map[string]*dae.Result
+}
+
+// Collect builds and traces all three versions of one app, verifying each
+// run's computed output against the Go reference.
+func Collect(app bench.App, cfg rt.TraceConfig) (*AppData, error) {
+	return collectApp(app, cfg, nil)
+}
+
+// CollectRefined is Collect with profile-guided prefetch pruning
+// (dae.RefineAccess) applied to the compiler-generated access versions
+// before the decoupled trace.
+func CollectRefined(app bench.App, cfg rt.TraceConfig, ropts dae.RefineOptions, perTask int) (*AppData, error) {
+	return collectApp(app, cfg, func(b *bench.Built) error {
+		_, err := b.Refine(ropts, perTask)
+		return err
+	})
+}
+
+func collectApp(app bench.App, cfg rt.TraceConfig, refineAuto func(*bench.Built) error) (*AppData, error) {
+	data := &AppData{Name: app.Name}
+
+	run := func(v bench.Variant, decoupled bool) (*rt.Trace, map[string]*dae.Result, error) {
+		b, err := app.Build(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if v == bench.Auto && decoupled && refineAuto != nil {
+			if err := refineAuto(b); err != nil {
+				return nil, nil, err
+			}
+		}
+		c := cfg
+		c.Decoupled = decoupled
+		tr, err := rt.Run(b.W, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := b.Verify(); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", app.Name, err)
+		}
+		return tr, b.Results, nil
+	}
+
+	var err error
+	if data.CAE, data.Results, err = run(bench.Auto, false); err != nil {
+		return nil, err
+	}
+	if data.Manual, _, err = run(bench.Manual, true); err != nil {
+		return nil, err
+	}
+	if data.Auto, _, err = run(bench.Auto, true); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// CollectAll gathers every benchmark.
+func CollectAll(cfg rt.TraceConfig) ([]*AppData, error) {
+	var out []*AppData
+	for _, app := range bench.Apps() {
+		d, err := Collect(app, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table1Row is one application-characteristics row (Table 1).
+type Table1Row struct {
+	App string
+	// AffineLoops / TotalLoops is the per-task-type loop classification
+	// aggregated over the app's tasks.
+	AffineLoops int
+	TotalLoops  int
+	// Tasks is the number of task executions.
+	Tasks int
+	// TAPercent is the fraction of busy time spent in access phases, in
+	// percent, under the min/max policy.
+	TAPercent float64
+	// TAMicros is the mean access-phase duration in µs.
+	TAMicros float64
+}
+
+// Table1 computes the application characteristics from the Auto traces.
+func Table1(data []*AppData, m rt.Machine) []Table1Row {
+	var rows []Table1Row
+	for _, d := range data {
+		met := rt.Evaluate(d.Auto, m, rt.PolicyMinMax)
+		row := Table1Row{
+			App:       d.Name,
+			Tasks:     met.Tasks,
+			TAPercent: met.TAFraction() * 100,
+			TAMicros:  met.MeanAccessSeconds() * 1e6,
+		}
+		for _, r := range d.Results {
+			row.AffineLoops += r.AffineLoops
+			row.TotalLoops += r.TotalLoops
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig3Config identifies one of the five evaluated configurations.
+type Fig3Config int
+
+// Figure 3 configurations, in the paper's legend order.
+const (
+	CAEOptimal Fig3Config = iota
+	ManualMinMax
+	ManualOptimal
+	AutoMinMax
+	AutoOptimal
+	NumFig3Configs
+)
+
+// String returns the legend label.
+func (c Fig3Config) String() string {
+	switch c {
+	case CAEOptimal:
+		return "CAE (Optimal f.)"
+	case ManualMinMax:
+		return "Manual DAE (Min/Max f.)"
+	case ManualOptimal:
+		return "Manual DAE (Optimal f.)"
+	case AutoMinMax:
+		return "Compiler DAE (Min/Max f.)"
+	default:
+		return "Compiler DAE (Optimal f.)"
+	}
+}
+
+// Fig3Row holds, for one app, the three metrics of every configuration
+// normalized to coupled execution at maximum frequency.
+type Fig3Row struct {
+	App    string
+	Time   [NumFig3Configs]float64
+	Energy [NumFig3Configs]float64
+	EDP    [NumFig3Configs]float64
+}
+
+// Fig3 evaluates the five configurations for every app and appends a
+// geometric-mean row.
+func Fig3(data []*AppData, m rt.Machine) []Fig3Row {
+	rows := make([]Fig3Row, 0, len(data)+1)
+	for _, d := range data {
+		base := rt.Evaluate(d.CAE, m, rt.PolicyFixed) // CAE @ fmax
+		row := Fig3Row{App: d.Name}
+		set := func(c Fig3Config, met rt.Metrics) {
+			row.Time[c] = met.Time / base.Time
+			row.Energy[c] = met.Energy / base.Energy
+			row.EDP[c] = met.EDP / base.EDP
+		}
+		set(CAEOptimal, rt.Evaluate(d.CAE, m, rt.PolicyOptimalEDP))
+		set(ManualMinMax, rt.Evaluate(d.Manual, m, rt.PolicyMinMax))
+		set(ManualOptimal, rt.Evaluate(d.Manual, m, rt.PolicyOptimalEDP))
+		set(AutoMinMax, rt.Evaluate(d.Auto, m, rt.PolicyMinMax))
+		set(AutoOptimal, rt.Evaluate(d.Auto, m, rt.PolicyOptimalEDP))
+		rows = append(rows, row)
+	}
+	gm := Fig3Row{App: "G.Mean"}
+	for c := Fig3Config(0); c < NumFig3Configs; c++ {
+		var ts, es, ps []float64
+		for _, r := range rows {
+			ts = append(ts, r.Time[c])
+			es = append(es, r.Energy[c])
+			ps = append(ps, r.EDP[c])
+		}
+		gm.Time[c] = GeoMean(ts)
+		gm.Energy[c] = GeoMean(es)
+		gm.EDP[c] = GeoMean(ps)
+	}
+	return append(rows, gm)
+}
+
+// Fig4Point is one bar of a Figure 4 profile: the per-core-average runtime
+// (and energy) split into Prefetch (access phases), Task (execute phases),
+// and O.S.I. (overhead/sequential/idle: DVFS transitions plus barrier idle).
+type Fig4Point struct {
+	ExecFreq  float64
+	Prefetch  float64
+	Task      float64
+	OSI       float64
+	PrefetchE float64
+	TaskE     float64
+	OSIE      float64
+}
+
+// Total returns the bar height (makespan).
+func (p Fig4Point) Total() float64 { return p.Prefetch + p.Task + p.OSI }
+
+// TotalE returns the total energy.
+func (p Fig4Point) TotalE() float64 { return p.PrefetchE + p.TaskE + p.OSIE }
+
+// Fig4Profile holds one benchmark's three per-frequency series.
+type Fig4Profile struct {
+	App    string
+	CAE    []Fig4Point
+	Manual []Fig4Point
+	Auto   []Fig4Point
+}
+
+// Fig4 sweeps the execute frequency from fmin to fmax (access fixed at fmin
+// for the DAE versions; CAE coupled at the swept frequency).
+func Fig4(d *AppData, m rt.Machine) Fig4Profile {
+	prof := Fig4Profile{App: d.Name}
+	for _, lvl := range m.DVFS.Levels {
+		mm := m
+		mm.FixedFreq = lvl.Freq
+		prof.CAE = append(prof.CAE, toFig4Point(rt.Evaluate(d.CAE, mm, rt.PolicyFixed), lvl.Freq, d.CAE.Cores))
+		prof.Manual = append(prof.Manual, toFig4Point(rt.Evaluate(d.Manual, mm, rt.PolicyMinFixed), lvl.Freq, d.Manual.Cores))
+		prof.Auto = append(prof.Auto, toFig4Point(rt.Evaluate(d.Auto, mm, rt.PolicyMinFixed), lvl.Freq, d.Auto.Cores))
+	}
+	return prof
+}
+
+func toFig4Point(met rt.Metrics, f float64, cores int) Fig4Point {
+	c := float64(cores)
+	p := Fig4Point{
+		ExecFreq:  f,
+		Prefetch:  met.AccessTime / c,
+		Task:      met.ExecuteTime / c,
+		PrefetchE: met.AccessEnergy,
+		TaskE:     met.ExecuteEnergy,
+		OSIE:      met.OtherEnergy,
+	}
+	p.OSI = met.Time - p.Prefetch - p.Task
+	if p.OSI < 0 {
+		p.OSI = 0
+	}
+	return p
+}

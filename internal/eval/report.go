@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dae/internal/dae"
+)
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. Application characteristics\n")
+	sb.WriteString(fmt.Sprintf("%-10s %14s %10s %8s %10s\n",
+		"Application", "#affine/total", "#tasks", "TA%", "TA(usec)"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %10d/%-3d %10d %8.2f %10.2f\n",
+			r.App, r.AffineLoops, r.TotalLoops, r.Tasks, r.TAPercent, r.TAMicros))
+	}
+	return sb.String()
+}
+
+// FormatFig3 renders one metric of Figure 3 (time, energy, or EDP) as a
+// table: apps in rows, configurations in columns, normalized to CAE@fmax.
+func FormatFig3(rows []Fig3Row, metric string) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("Figure 3: %s (normalized to CAE @ max frequency)\n", metric))
+	sb.WriteString(fmt.Sprintf("%-10s", "App"))
+	for c := Fig3Config(0); c < NumFig3Configs; c++ {
+		sb.WriteString(fmt.Sprintf(" %26s", c))
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s", r.App))
+		for c := Fig3Config(0); c < NumFig3Configs; c++ {
+			v := r.Time[c]
+			switch metric {
+			case "Energy":
+				v = r.Energy[c]
+			case "EDP":
+				v = r.EDP[c]
+			}
+			sb.WriteString(fmt.Sprintf(" %26.3f", v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatFig4 renders one benchmark's runtime and energy profiles.
+func FormatFig4(p Fig4Profile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4: %s profile (fmin -> fmax; access at fmin for DAE)\n", p.App)
+	series := []struct {
+		name string
+		pts  []Fig4Point
+	}{{"CAE", p.CAE}, {"Manual DAE", p.Manual}, {"Auto DAE", p.Auto}}
+	fmt.Fprintf(&sb, "%-12s %6s %12s %12s %12s %12s | %12s %12s %12s %12s\n",
+		"config", "f(GHz)", "prefetch(ms)", "task(ms)", "OSI(ms)", "total(ms)",
+		"prefE(J)", "taskE(J)", "OSIE(J)", "totalE(J)")
+	for _, s := range series {
+		for _, pt := range s.pts {
+			fmt.Fprintf(&sb, "%-12s %6.1f %12.4f %12.4f %12.4f %12.4f | %12.4f %12.4f %12.4f %12.4f\n",
+				s.name, pt.ExecFreq,
+				1e3*pt.Prefetch, 1e3*pt.Task, 1e3*pt.OSI, 1e3*pt.Total(),
+				pt.PrefetchE, pt.TaskE, pt.OSIE, pt.TotalE())
+		}
+	}
+	return sb.String()
+}
+
+// Headline summarizes the paper's §6.1 numbers for a machine configuration:
+// the geometric-mean EDP improvement of Manual and Auto DAE with the optimal
+// policy, and their mean time overheads, all versus CAE@fmax.
+type Headline struct {
+	ManualEDPGain  float64 // e.g. 0.23 = 23% EDP reduction
+	AutoEDPGain    float64
+	ManualTimeLoss float64 // e.g. 0.04 = 4% slower
+	AutoTimeLoss   float64
+}
+
+// ComputeHeadline extracts the headline geomeans from Figure 3 rows (the
+// last row must be the G.Mean row).
+func ComputeHeadline(rows []Fig3Row) Headline {
+	gm := rows[len(rows)-1]
+	return Headline{
+		ManualEDPGain:  1 - gm.EDP[ManualOptimal],
+		AutoEDPGain:    1 - gm.EDP[AutoOptimal],
+		ManualTimeLoss: gm.Time[ManualOptimal] - 1,
+		AutoTimeLoss:   gm.Time[AutoOptimal] - 1,
+	}
+}
+
+// FormatHeadline renders the headline comparison.
+func FormatHeadline(h Headline, label string) string {
+	return fmt.Sprintf("%s: Manual DAE EDP gain %.1f%% (time %+.1f%%), Compiler DAE EDP gain %.1f%% (time %+.1f%%)\n",
+		label, 100*h.ManualEDPGain, 100*h.ManualTimeLoss, 100*h.AutoEDPGain, 100*h.AutoTimeLoss)
+}
+
+// FormatStrategies summarizes the compiler's decisions per app.
+func FormatStrategies(data []*AppData) string {
+	var sb strings.Builder
+	sb.WriteString("Access-version generation decisions\n")
+	for _, d := range data {
+		for name, r := range d.Results {
+			fmt.Fprintf(&sb, "%-10s %-14s %-9s loops %d/%d", d.Name, name, r.Strategy, r.AffineLoops, r.TotalLoops)
+			if r.Strategy == dae.StrategyAffine {
+				fmt.Fprintf(&sb, " classes=%d nests=%d NConvUn=%d NOrig=%d", r.Classes, r.MergedNests, r.NConvUn, r.NOrig)
+			}
+			if r.Reason != "" {
+				fmt.Fprintf(&sb, " (%s)", r.Reason)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,188 @@
+package fuzzgen
+
+import (
+	"math"
+	"testing"
+
+	daepass "dae/internal/dae"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/passes"
+)
+
+const fuzzTrials = 150
+
+// state captures the memory a fuzz task can touch.
+type state struct {
+	h *interp.Heap
+	a *interp.Seg
+	b *interp.Seg
+	i *interp.Seg
+}
+
+func newState(seed int64) *state {
+	s := &state{h: interp.NewHeap()}
+	s.a = s.h.AllocFloat("A", N)
+	s.b = s.h.AllocFloat("B", N)
+	s.i = s.h.AllocInt("I", N)
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return x >> 17
+	}
+	for k := 0; k < N; k++ {
+		s.a.F[k] = float64(next()%2000)/100 - 10
+		s.b.F[k] = float64(next()%2000)/100 - 10
+		s.i.I[k] = int64(next() % 4096)
+	}
+	return s
+}
+
+func (s *state) args() []interp.Value {
+	return []interp.Value{
+		interp.Ptr(s.a), interp.Ptr(s.b), interp.Ptr(s.i),
+		interp.Int(N), interp.Int(13), interp.Int(-7),
+	}
+}
+
+func (s *state) equal(o *state) (string, bool) {
+	for k := 0; k < N; k++ {
+		if math.Float64bits(s.a.F[k]) != math.Float64bits(o.a.F[k]) {
+			return "A", false
+		}
+		if math.Float64bits(s.b.F[k]) != math.Float64bits(o.b.F[k]) {
+			return "B", false
+		}
+		if s.i.I[k] != o.i.I[k] {
+			return "I", false
+		}
+	}
+	return "", true
+}
+
+// TestOptimizerPreservesSemantics compiles each random task twice, optimizes
+// one copy, runs both on identical memory, and requires bit-identical final
+// state. This is the compiler's strongest correctness net.
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	for trial := 0; trial < fuzzTrials; trial++ {
+		src := New(int64(trial)).Task()
+
+		run := func(optimize bool) (*state, error) {
+			m, err := lower.Compile(src, "fuzz")
+			if err != nil {
+				return nil, err
+			}
+			f := m.Func("fuzz")
+			if optimize {
+				if _, err := passes.Optimize(f); err != nil {
+					return nil, err
+				}
+				if err := f.Verify(); err != nil {
+					return nil, err
+				}
+			}
+			st := newState(int64(trial))
+			env := interp.NewEnv(interp.NewProgram(m), nil)
+			if _, err := env.Call(f, st.args()...); err != nil {
+				return nil, err
+			}
+			return st, nil
+		}
+
+		ref, err := run(false)
+		if err != nil {
+			t.Fatalf("trial %d: reference run: %v\nsource:\n%s", trial, err, src)
+		}
+		opt, err := run(true)
+		if err != nil {
+			t.Fatalf("trial %d: optimized run: %v\nsource:\n%s", trial, err, src)
+		}
+		if arr, ok := ref.equal(opt); !ok {
+			t.Fatalf("trial %d: optimization changed array %s\nsource:\n%s", trial, arr, src)
+		}
+	}
+}
+
+// TestAccessVersionsAlwaysSafe generates access versions for random tasks
+// and checks the §5.2 guarantees: generation never produces invalid IR, and
+// a generated access version never faults and never writes memory.
+func TestAccessVersionsAlwaysSafe(t *testing.T) {
+	generated, none := 0, 0
+	for trial := 0; trial < fuzzTrials; trial++ {
+		src := New(int64(1000 + trial)).Task()
+		m, err := lower.Compile(src, "fuzz")
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nsource:\n%s", trial, err, src)
+		}
+		opts := daepass.Defaults()
+		opts.ParamHints = map[string]int64{"n": N, "p": 13, "q": -7}
+		results, err := daepass.GenerateModule(m, opts)
+		if err != nil {
+			t.Fatalf("trial %d: generate: %v\nsource:\n%s", trial, err, src)
+		}
+		r := results["fuzz"]
+		if r.Access == nil {
+			none++
+			continue
+		}
+		generated++
+		if err := r.Access.Verify(); err != nil {
+			t.Fatalf("trial %d: invalid access IR: %v\nsource:\n%s", trial, err, src)
+		}
+
+		st := newState(int64(trial))
+		before := newState(int64(trial)) // identical copy
+		tr := &storeRecorder{}
+		env := interp.NewEnv(interp.NewProgram(m), tr)
+		if _, err := env.Call(r.Access, st.args()...); err != nil {
+			t.Fatalf("trial %d: access run faulted: %v\nsource:\n%s\naccess:\n%s",
+				trial, err, src, r.Access)
+		}
+		if tr.stores != 0 {
+			t.Fatalf("trial %d: access version stored %d times\nsource:\n%s\naccess:\n%s",
+				trial, tr.stores, src, r.Access)
+		}
+		if arr, ok := st.equal(before); !ok {
+			t.Fatalf("trial %d: access version mutated array %s\nsource:\n%s", trial, arr, src)
+		}
+	}
+	t.Logf("access versions: %d generated, %d rejected", generated, none)
+	if generated == 0 {
+		t.Error("fuzzer never produced a task with an access version")
+	}
+}
+
+type storeRecorder struct{ stores int }
+
+func (s *storeRecorder) Load(int64)     {}
+func (s *storeRecorder) Store(int64)    { s.stores++ }
+func (s *storeRecorder) Prefetch(int64) {}
+
+// TestTextRoundTripFuzz round-trips random optimized modules through the IR
+// printer and parser.
+func TestTextRoundTripFuzz(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		src := New(int64(2000 + trial)).Task()
+		m, err := lower.Compile(src, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := passes.OptimizeModule(m); err != nil {
+			t.Fatal(err)
+		}
+		s1 := m.String()
+		m2, err := ir.ParseModule(s1)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, s1)
+		}
+		s2 := m2.String()
+		m3, err := ir.ParseModule(s2)
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v", trial, err)
+		}
+		if m3.String() != s2 {
+			t.Fatalf("trial %d: round trip not idempotent", trial)
+		}
+	}
+}

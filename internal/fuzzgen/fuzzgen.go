@@ -1,0 +1,356 @@
+// Package fuzzgen generates random well-typed TaskC tasks for differential
+// testing: the optimizer must preserve bit-exact semantics, and generated
+// access versions must run without faults and without writes on any program
+// the generator can produce.
+//
+// Generated tasks operate on fixed-shape parameters
+//
+//	task fuzz(float A[n], float B[n], int I[n], int n, int p, int q)
+//
+// with n always 256 so array indices can be made safe by masking (& 255).
+// Loops are bounded by construction, integer denominators are forced odd
+// (| 1), and shift amounts are masked, so every generated program
+// terminates and never faults — any fault is a compiler bug.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// N is the fixed array length of generated tasks.
+const N = 256
+
+// Gen produces random TaskC sources.
+type Gen struct {
+	rng     *rand.Rand
+	sb      *strings.Builder
+	indent  int
+	scalars []scalar // in-scope locals
+	depth   int      // statement nesting
+	loops   int      // enclosing loop count
+	budget  int      // remaining statements
+	uid     int      // unique name counter
+}
+
+type scalar struct {
+	name    string
+	isFloat bool
+	// ro marks loop-control variables: generated code may read them but
+	// never assign them (an assignment could make the loop infinite).
+	ro bool
+}
+
+// New returns a generator seeded deterministically.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Task returns a random task definition named "fuzz".
+func (g *Gen) Task() string {
+	g.sb = &strings.Builder{}
+	g.scalars = []scalar{{name: "p", ro: true}, {name: "q", ro: true}} // params are immutable in TaskC
+	g.depth = 0
+	g.loops = 0
+	g.budget = 24 + g.rng.Intn(24)
+
+	g.line("task fuzz(float A[n], float B[n], int I[n], int n, int p, int q) {")
+	g.indent++
+	nDecls := 1 + g.rng.Intn(3)
+	for i := 0; i < nDecls; i++ {
+		g.declStmt()
+	}
+	for g.budget > 0 {
+		g.stmt()
+	}
+	g.indent--
+	g.line("}")
+	return g.sb.String()
+}
+
+func (g *Gen) line(format string, args ...any) {
+	for i := 0; i < g.indent; i++ {
+		g.sb.WriteByte('\t')
+	}
+	fmt.Fprintf(g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *Gen) declStmt() {
+	g.uid++
+	name := fmt.Sprintf("v%d", g.uid)
+	if g.rng.Intn(2) == 0 {
+		g.line("int %s = %s;", name, g.intExpr(2))
+		g.scalars = append(g.scalars, scalar{name: name})
+	} else {
+		g.line("float %s = %s;", name, g.floatExpr(2))
+		g.scalars = append(g.scalars, scalar{name: name, isFloat: true})
+	}
+	g.budget--
+}
+
+func (g *Gen) stmt() {
+	g.budget--
+	if g.depth >= 3 {
+		g.simpleStmt()
+		return
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		g.forStmt()
+	case 2:
+		g.whileStmt()
+	case 3, 4:
+		g.ifStmt()
+	case 5:
+		g.declStmt()
+	default:
+		g.simpleStmt()
+	}
+}
+
+func (g *Gen) simpleStmt() {
+	switch g.rng.Intn(5) {
+	case 0: // array store float
+		arr := []string{"A", "B"}[g.rng.Intn(2)]
+		g.line("%s[%s] = %s;", arr, g.safeIndex(), g.floatExpr(3))
+	case 1: // array store int
+		g.line("I[%s] = %s;", g.safeIndex(), g.intExpr(3))
+	case 2: // compound float
+		arr := []string{"A", "B"}[g.rng.Intn(2)]
+		op := []string{"+=", "-=", "*="}[g.rng.Intn(3)]
+		g.line("%s[%s] %s %s;", arr, g.safeIndex(), op, g.floatExpr(2))
+	case 3: // scalar assign (never to loop-control variables)
+		if s, ok := g.pickWritable(); ok {
+			if s.isFloat {
+				g.line("%s = %s;", s.name, g.floatExpr(3))
+			} else {
+				g.line("%s = %s;", s.name, g.intExpr(3))
+			}
+		} else {
+			g.line("prefetch A[%s];", g.safeIndex())
+		}
+	default: // prefetch
+		arr := []string{"A", "B", "I"}[g.rng.Intn(3)]
+		g.line("prefetch %s[%s];", arr, g.safeIndex())
+	}
+}
+
+func (g *Gen) forStmt() {
+	g.uid++
+	iv := fmt.Sprintf("i%d", g.uid)
+	bound := 2 + g.rng.Intn(7)
+	step := 1 + g.rng.Intn(2)
+	if g.loops == 0 && g.rng.Intn(2) == 0 {
+		g.line("for (int %s = 0; %s < n; %s += %d) {", iv, iv, iv, step)
+	} else {
+		g.line("for (int %s = 0; %s < %d; %s += %d) {", iv, iv, bound, iv, step)
+	}
+	g.enterBlock(scalar{name: iv, ro: true})
+	g.exitBlock()
+	g.line("}")
+}
+
+func (g *Gen) whileStmt() {
+	g.uid++
+	w := fmt.Sprintf("w%d", g.uid)
+	g.line("int %s = %d;", w, 1+g.rng.Intn(8))
+	g.line("while (%s > 0) {", w)
+	g.indent++
+	g.depth++
+	g.loops++
+	saved := g.snapshot(scalar{name: w, ro: true})
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.stmt()
+	}
+	g.line("%s = %s - 1;", w, w)
+	g.restore(saved)
+	g.loops--
+	g.depth--
+	g.indent--
+	g.line("}")
+}
+
+func (g *Gen) ifStmt() {
+	g.line("if (%s) {", g.condExpr())
+	g.indent++
+	g.depth++
+	saved := g.snapshot()
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.stmt()
+	}
+	g.restore(saved)
+	if g.rng.Intn(2) == 0 {
+		g.indent--
+		g.line("} else {")
+		g.indent++
+		saved := g.snapshot()
+		g.stmt()
+		g.restore(saved)
+	}
+	g.depth--
+	g.indent--
+	g.line("}")
+}
+
+// enterBlock/exitBlock wrap loop bodies.
+func (g *Gen) enterBlock(extra ...scalar) {
+	g.indent++
+	g.depth++
+	g.loops++
+	saved := g.snapshot(extra...)
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.stmt()
+	}
+	g.restore(saved)
+	g.loops--
+	g.depth--
+	g.indent--
+}
+
+func (g *Gen) exitBlock() {}
+
+type snap int
+
+func (g *Gen) snapshot(extra ...scalar) snap {
+	s := snap(len(g.scalars))
+	g.scalars = append(g.scalars, extra...)
+	return s
+}
+
+func (g *Gen) restore(s snap) { g.scalars = g.scalars[:s] }
+
+func (g *Gen) pickScalar() scalar {
+	return g.scalars[g.rng.Intn(len(g.scalars))]
+}
+
+// pickWritable returns a non-loop-control scalar, if any is in scope.
+func (g *Gen) pickWritable() (scalar, bool) {
+	var cands []scalar
+	for _, s := range g.scalars {
+		if !s.ro {
+			cands = append(cands, s)
+		}
+	}
+	if len(cands) == 0 {
+		return scalar{}, false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+func (g *Gen) pickInt() string {
+	for tries := 0; tries < 8; tries++ {
+		s := g.pickScalar()
+		if !s.isFloat {
+			return s.name
+		}
+	}
+	return "p"
+}
+
+func (g *Gen) pickFloat() (string, bool) {
+	for tries := 0; tries < 8; tries++ {
+		s := g.pickScalar()
+		if s.isFloat {
+			return s.name, true
+		}
+	}
+	return "", false
+}
+
+// safeIndex yields an in-bounds index expression: (expr & 255).
+func (g *Gen) safeIndex() string {
+	return fmt.Sprintf("(%s & %d)", g.intExpr(2), N-1)
+}
+
+func (g *Gen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(1000)-500)
+		case 1:
+			return g.pickInt()
+		default:
+			return fmt.Sprintf("I[%s]", g.safeIndexShallow())
+		}
+	}
+	a := g.intExpr(depth - 1)
+	b := g.intExpr(depth - 1)
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		// Forced-odd denominator: never zero.
+		return fmt.Sprintf("(%s / (%s | 1))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% (%s | 1))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	default:
+		return fmt.Sprintf("(%s << (%s & 7))", a, b)
+	}
+}
+
+// safeIndexShallow avoids unbounded recursion inside index expressions.
+func (g *Gen) safeIndexShallow() string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(N))
+	case 1:
+		return fmt.Sprintf("(%s & %d)", g.pickInt(), N-1)
+	default:
+		return fmt.Sprintf("((%s + %d) & %d)", g.pickInt(), g.rng.Intn(N), N-1)
+	}
+}
+
+func (g *Gen) floatExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%.3f", g.rng.Float64()*10-5)
+		case 1:
+			if name, ok := g.pickFloat(); ok {
+				return name
+			}
+			return "0.5"
+		case 2:
+			return fmt.Sprintf("A[%s]", g.safeIndexShallow())
+		default:
+			return fmt.Sprintf("B[%s]", g.safeIndexShallow())
+		}
+	}
+	a := g.floatExpr(depth - 1)
+	b := g.floatExpr(depth - 1)
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("fabs(%s)", a)
+	default:
+		// Denominator bounded away from zero.
+		return fmt.Sprintf("(%s / (fabs(%s) + 1.0))", a, b)
+	}
+}
+
+func (g *Gen) condExpr() string {
+	if g.rng.Intn(2) == 0 {
+		op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+		return fmt.Sprintf("%s %s %s", g.intExpr(1), op, g.intExpr(1))
+	}
+	op := []string{"<", ">"}[g.rng.Intn(2)]
+	return fmt.Sprintf("%s %s %s", g.floatExpr(1), op, g.floatExpr(1))
+}

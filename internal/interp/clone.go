@@ -1,0 +1,32 @@
+package interp
+
+// CloneArgs deep-copies the array arguments of a task invocation into the
+// given heap, preserving scalar arguments as-is. Repeated references to the
+// same segment map to one clone. Profiling runs use this to execute
+// destructive phases (the execute version mutates its arrays) without
+// touching live benchmark data; clones keep the original alignment, so the
+// cache behaviour is equivalent.
+func CloneArgs(h *Heap, args []Value) []Value {
+	clones := make(map[*Seg]*Seg)
+	out := make([]Value, len(args))
+	for i, a := range args {
+		if a.k != ptrVal || a.v.p.seg == nil {
+			out[i] = a
+			continue
+		}
+		src := a.v.p.seg
+		dst, ok := clones[src]
+		if !ok {
+			if src.Elem == FloatElem {
+				dst = h.AllocFloat(src.name+".clone", len(src.F))
+				copy(dst.F, src.F)
+			} else {
+				dst = h.AllocInt(src.name+".clone", len(src.I))
+				copy(dst.I, src.I)
+			}
+			clones[src] = dst
+		}
+		out[i] = Value{v: val{p: ptr{seg: dst, off: a.v.p.off}}, k: ptrVal}
+	}
+	return out
+}

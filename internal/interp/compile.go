@@ -1,0 +1,346 @@
+package interp
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// opKind enumerates the register-machine opcodes.
+type opKind uint8
+
+const (
+	opBinI   opKind = iota // integer arithmetic; aux = ir.BinOp
+	opBinF                 // float arithmetic; aux = ir.BinOp
+	opCmpI                 // integer/bool compare; aux = ir.CmpPred
+	opCmpF                 // float compare; aux = ir.CmpPred
+	opCastIF               // int → float
+	opCastFI               // float → int
+	opMath                 // aux = ir.MathOp
+	opSelect
+	opLoadF
+	opLoadI
+	opStoreF
+	opStoreI
+	opPrefetch
+	opGEP
+	opCall
+	opBr
+	opCondBr
+	opRet
+	opNop
+)
+
+// move is one phi-edge register copy.
+type move struct {
+	src int
+	dst int
+}
+
+// cop is one compiled operation.
+type cop struct {
+	kind opKind
+	aux  uint8
+	dst  int
+	a    int
+	b    int
+	c    int
+	// gep
+	dims []int
+	idx  []int
+	// branch targets (code offsets) and their phi move lists
+	t0, t1         int
+	moves0, moves1 []move
+	// call
+	callee *code
+	args   []int
+	// src is the originating IR instruction (set for prefetches so that
+	// profiling can attribute events to static instructions).
+	src ir.Instr
+}
+
+// constReg is a register pre-initialized with a constant at frame entry.
+type constReg struct {
+	reg int
+	v   val
+}
+
+// allocaReg is a register pre-initialized with a frame-local stack pointer.
+type allocaReg struct {
+	reg  int
+	elem ElemKind
+	slot int64 // element index within the frame's stack segment of that kind
+}
+
+// code is a compiled function body.
+type code struct {
+	fn        *ir.Func
+	nregs     int
+	params    []int // register of each parameter
+	consts    []constReg
+	allocas   []allocaReg
+	nStackF   int
+	nStackI   int
+	ops       []cop
+	maxMoves  int
+	hasResult bool
+}
+
+// Program compiles IR functions on demand and caches the result.
+type Program struct {
+	mod   *ir.Module
+	cache map[*ir.Func]*code
+}
+
+// NewProgram returns a compilation cache for mod. The module is not copied;
+// callers must not mutate functions after their first execution.
+func NewProgram(mod *ir.Module) *Program {
+	return &Program{mod: mod, cache: make(map[*ir.Func]*code)}
+}
+
+// compiled returns the compiled form of f.
+func (p *Program) compiled(f *ir.Func) (*code, error) {
+	if c, ok := p.cache[f]; ok {
+		if c == nil {
+			return nil, fmt.Errorf("interp: recursive call to @%s", f.Name)
+		}
+		return c, nil
+	}
+	p.cache[f] = nil // recursion guard
+	c, err := p.compile(f)
+	if err != nil {
+		delete(p.cache, f)
+		return nil, err
+	}
+	p.cache[f] = c
+	return c, nil
+}
+
+type compiler struct {
+	prog   *Program
+	c      *code
+	regOf  map[ir.Value]int
+	blocks []*ir.Block
+	bOff   map[*ir.Block]int
+
+	// patch records ops whose branch targets must be resolved after layout.
+	patch []patchEntry
+}
+
+type patchEntry struct {
+	op     int
+	b0, b1 *ir.Block
+}
+
+func (p *Program) compile(f *ir.Func) (*code, error) {
+	cp := &compiler{
+		prog:  p,
+		c:     &code{fn: f, hasResult: !f.RetType.IsVoid()},
+		regOf: make(map[ir.Value]int),
+		bOff:  make(map[*ir.Block]int),
+	}
+	// Use only reachable blocks, entry first.
+	cp.blocks = f.ReversePostorder()
+	if len(cp.blocks) == 0 {
+		return nil, fmt.Errorf("interp: function @%s has no blocks", f.Name)
+	}
+
+	for _, prm := range f.Params {
+		cp.c.params = append(cp.c.params, cp.reg(prm))
+	}
+
+	// Assign registers to every instruction result and set up allocas.
+	for _, b := range cp.blocks {
+		for _, in := range b.Instrs {
+			if in.Type().IsVoid() {
+				continue
+			}
+			r := cp.reg(in)
+			if a, ok := in.(*ir.Alloca); ok {
+				elem := FloatElem
+				slot := &cp.c.nStackF
+				if !a.Type().Elem.IsFloat() {
+					elem = IntElem
+					slot = &cp.c.nStackI
+				}
+				cp.c.allocas = append(cp.c.allocas, allocaReg{reg: r, elem: elem, slot: int64(*slot)})
+				*slot++
+			}
+		}
+	}
+
+	for _, b := range cp.blocks {
+		cp.bOff[b] = len(cp.c.ops)
+		for _, in := range b.Instrs {
+			if err := cp.instr(b, in); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := range cp.c.ops {
+		if n := len(cp.c.ops[i].moves0); n > cp.c.maxMoves {
+			cp.c.maxMoves = n
+		}
+		if n := len(cp.c.ops[i].moves1); n > cp.c.maxMoves {
+			cp.c.maxMoves = n
+		}
+	}
+	// Patch branch targets.
+	for _, pe := range cp.patch {
+		op := &cp.c.ops[pe.op]
+		if pe.b0 != nil {
+			op.t0 = cp.bOff[pe.b0]
+		}
+		if pe.b1 != nil {
+			op.t1 = cp.bOff[pe.b1]
+		}
+	}
+	return cp.c, nil
+}
+
+// reg returns the register index of v, allocating one if needed. Constants
+// get a dedicated register recorded in the const-init list.
+func (cp *compiler) reg(v ir.Value) int {
+	if r, ok := cp.regOf[v]; ok {
+		return r
+	}
+	r := cp.c.nregs
+	cp.c.nregs++
+	cp.regOf[v] = r
+	switch k := v.(type) {
+	case *ir.ConstInt:
+		cp.c.consts = append(cp.c.consts, constReg{reg: r, v: val{i: k.V}})
+	case *ir.ConstFloat:
+		cp.c.consts = append(cp.c.consts, constReg{reg: r, v: val{f: k.V}})
+	case *ir.ConstBool:
+		b := int64(0)
+		if k.V {
+			b = 1
+		}
+		cp.c.consts = append(cp.c.consts, constReg{reg: r, v: val{i: b}})
+	}
+	return r
+}
+
+// edgeMoves builds the phi copies for the CFG edge from → to.
+func (cp *compiler) edgeMoves(from, to *ir.Block) []move {
+	var ms []move
+	for _, phi := range to.Phis() {
+		in := phi.Incoming(from)
+		if in == nil {
+			continue
+		}
+		ms = append(ms, move{src: cp.reg(in), dst: cp.reg(phi)})
+	}
+	return ms
+}
+
+func (cp *compiler) emit(op cop) int {
+	cp.c.ops = append(cp.c.ops, op)
+	return len(cp.c.ops) - 1
+}
+
+func (cp *compiler) instr(b *ir.Block, in ir.Instr) error {
+	switch x := in.(type) {
+	case *ir.Phi:
+		return nil // handled by edge moves
+	case *ir.Alloca:
+		return nil // handled by frame setup
+
+	case *ir.Bin:
+		kind := opBinI
+		if x.Op.IsFloat() {
+			kind = opBinF
+		}
+		cp.emit(cop{kind: kind, aux: uint8(x.Op), dst: cp.reg(x), a: cp.reg(x.X), b: cp.reg(x.Y)})
+
+	case *ir.Cmp:
+		kind := opCmpI
+		if x.X.Type().IsFloat() {
+			kind = opCmpF
+		}
+		cp.emit(cop{kind: kind, aux: uint8(x.Pred), dst: cp.reg(x), a: cp.reg(x.X), b: cp.reg(x.Y)})
+
+	case *ir.Cast:
+		kind := opCastIF
+		if x.Op == ir.FloatToInt {
+			kind = opCastFI
+		}
+		cp.emit(cop{kind: kind, dst: cp.reg(x), a: cp.reg(x.X)})
+
+	case *ir.Math:
+		cp.emit(cop{kind: opMath, aux: uint8(x.Op), dst: cp.reg(x), a: cp.reg(x.X)})
+
+	case *ir.Select:
+		cp.emit(cop{kind: opSelect, dst: cp.reg(x), a: cp.reg(x.Cond), b: cp.reg(x.X), c: cp.reg(x.Y)})
+
+	case *ir.Load:
+		kind := opLoadF
+		if !x.Type().IsFloat() {
+			kind = opLoadI
+		}
+		cp.emit(cop{kind: kind, dst: cp.reg(x), a: cp.reg(x.Ptr)})
+
+	case *ir.Store:
+		kind := opStoreF
+		if !x.Val.Type().IsFloat() {
+			kind = opStoreI
+		}
+		cp.emit(cop{kind: kind, a: cp.reg(x.Val), b: cp.reg(x.Ptr)})
+
+	case *ir.Prefetch:
+		cp.emit(cop{kind: opPrefetch, a: cp.reg(x.Ptr), src: x})
+
+	case *ir.GEP:
+		dims := make([]int, len(x.Dims))
+		for i, d := range x.Dims {
+			dims[i] = cp.reg(d)
+		}
+		idx := make([]int, len(x.Idx))
+		for i, v := range x.Idx {
+			idx[i] = cp.reg(v)
+		}
+		cp.emit(cop{kind: opGEP, dst: cp.reg(x), a: cp.reg(x.Base), dims: dims, idx: idx})
+
+	case *ir.Call:
+		callee, err := cp.prog.compiled(x.Callee)
+		if err != nil {
+			return err
+		}
+		args := make([]int, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = cp.reg(a)
+		}
+		op := cop{kind: opCall, callee: callee, args: args}
+		if !x.Type().IsVoid() {
+			op.dst = cp.reg(x)
+		} else {
+			op.dst = -1
+		}
+		cp.emit(op)
+
+	case *ir.Br:
+		i := cp.emit(cop{kind: opBr, moves0: cp.edgeMoves(b, x.Target)})
+		cp.patch = append(cp.patch, patchEntry{op: i, b0: x.Target})
+
+	case *ir.CondBr:
+		i := cp.emit(cop{
+			kind:   opCondBr,
+			a:      cp.reg(x.Cond),
+			moves0: cp.edgeMoves(b, x.Then),
+			moves1: cp.edgeMoves(b, x.Else),
+		})
+		cp.patch = append(cp.patch, patchEntry{op: i, b0: x.Then, b1: x.Else})
+
+	case *ir.Ret:
+		op := cop{kind: opRet, a: -1}
+		if x.X != nil {
+			op.a = cp.reg(x.X)
+		}
+		cp.emit(op)
+
+	default:
+		return fmt.Errorf("interp: cannot compile %T", in)
+	}
+	return nil
+}

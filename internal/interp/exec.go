@@ -1,0 +1,471 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"dae/internal/ir"
+)
+
+// val is a runtime value. The statically known IR type selects which field is
+// meaningful; bools live in i as 0/1.
+type val struct {
+	i int64
+	f float64
+	p ptr
+}
+
+// Value is a public argument/result for Env.Call.
+type Value struct {
+	v val
+	k valKind
+}
+
+type valKind uint8
+
+const (
+	intVal valKind = iota
+	floatVal
+	ptrVal
+	voidVal
+)
+
+// Int wraps an integer argument.
+func Int(v int64) Value { return Value{v: val{i: v}, k: intVal} }
+
+// Float wraps a float argument.
+func Float(v float64) Value { return Value{v: val{f: v}, k: floatVal} }
+
+// Ptr wraps an array argument.
+func Ptr(s *Seg) Value { return Value{v: val{p: ptr{seg: s}}, k: ptrVal} }
+
+// Int64 returns the integer payload.
+func (v Value) Int64() int64 { return v.v.i }
+
+// Float64 returns the float payload.
+func (v Value) Float64() float64 { return v.v.f }
+
+// Tracer observes every data-memory access the interpreted program performs.
+// Addresses are byte addresses in the simulated address space.
+type Tracer interface {
+	// Load is a blocking read of the element at addr.
+	Load(addr int64)
+	// Store is a write of the element at addr.
+	Store(addr int64)
+	// Prefetch is a non-binding prefetch of the element at addr.
+	Prefetch(addr int64)
+}
+
+// Counts tallies executed instructions by class; the CPU timing model turns
+// these into cycles.
+type Counts struct {
+	Int        int64 // integer ALU ops (arith, compare, select, cast)
+	Float      int64 // FP add/sub/mul
+	FloatDiv   int64 // FP divide
+	MathOps    int64 // sqrt/sin/... intrinsics
+	Loads      int64
+	Stores     int64
+	Prefetches int64
+	Branches   int64
+	GEPs       int64 // address computations
+	Calls      int64
+}
+
+// Total returns the total dynamic instruction count.
+func (c Counts) Total() int64 {
+	return c.Int + c.Float + c.FloatDiv + c.MathOps + c.Loads + c.Stores +
+		c.Prefetches + c.Branches + c.GEPs + c.Calls
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Int += other.Int
+	c.Float += other.Float
+	c.FloatDiv += other.FloatDiv
+	c.MathOps += other.MathOps
+	c.Loads += other.Loads
+	c.Stores += other.Stores
+	c.Prefetches += other.Prefetches
+	c.Branches += other.Branches
+	c.GEPs += other.GEPs
+	c.Calls += other.Calls
+}
+
+// PrefetchHook observes prefetch events with their originating static
+// instruction, for profile-guided refinement (§6.2.3 of the paper). When a
+// hook is installed it replaces the plain tracer for prefetch events.
+type PrefetchHook func(src ir.Instr, addr int64)
+
+// Env executes compiled functions. It is not safe for concurrent use; the
+// multicore runtime gives each simulated core its own Env.
+type Env struct {
+	prog     *Program
+	tracer   Tracer
+	prefHook PrefetchHook
+	counts   Counts
+}
+
+// NewEnv returns an execution environment over prog. tracer may be nil.
+func NewEnv(prog *Program, tracer Tracer) *Env {
+	return &Env{prog: prog, tracer: tracer}
+}
+
+// Counts returns the instruction counts accumulated since the last Reset.
+func (e *Env) Counts() Counts { return e.counts }
+
+// ResetCounts clears the instruction counters (used between task phases).
+func (e *Env) ResetCounts() { e.counts = Counts{} }
+
+// SetTracer replaces the tracer.
+func (e *Env) SetTracer(t Tracer) { e.tracer = t }
+
+// SetPrefetchHook installs (or clears, with nil) a per-instruction prefetch
+// observer; while set, it receives prefetch events instead of the tracer.
+func (e *Env) SetPrefetchHook(h PrefetchHook) { e.prefHook = h }
+
+// Call executes function name with args. Array arguments are passed with
+// Ptr, scalars with Int/Float.
+func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
+	c, err := e.prog.compiled(f)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("interp: call @%s with %d args, want %d", f.Name, len(args), len(f.Params))
+	}
+	vs := make([]val, len(args))
+	for i, a := range args {
+		vs[i] = a.v
+	}
+	out, err := e.run(c, vs)
+	if err != nil {
+		return Value{}, err
+	}
+	k := voidVal
+	switch {
+	case f.RetType.IsInt() || f.RetType.IsBool():
+		k = intVal
+	case f.RetType.IsFloat():
+		k = floatVal
+	}
+	return Value{v: out, k: k}, nil
+}
+
+func (e *Env) run(c *code, args []val) (val, error) {
+	regs := make([]val, c.nregs)
+	for i, r := range c.params {
+		regs[r] = args[i]
+	}
+	for _, ci := range c.consts {
+		regs[ci.reg] = ci.v
+	}
+	// Frame-local stack segments for allocas. They model registers/stack, so
+	// they are marked Stack and produce no memory events.
+	var stackF, stackI *Seg
+	if c.nStackF > 0 {
+		stackF = &Seg{Elem: FloatElem, F: make([]float64, c.nStackF), Stack: true}
+	}
+	if c.nStackI > 0 {
+		stackI = &Seg{Elem: IntElem, I: make([]int64, c.nStackI), Stack: true}
+	}
+	for _, a := range c.allocas {
+		if a.elem == FloatElem {
+			regs[a.reg] = val{p: ptr{seg: stackF, off: a.slot}}
+		} else {
+			regs[a.reg] = val{p: ptr{seg: stackI, off: a.slot}}
+		}
+	}
+
+	// Phi parallel-copy scratch: sized for the widest move list so that
+	// cyclic copies (swaps) read all sources before writing any destination.
+	tmp := make([]val, c.maxMoves)
+	cnt := &e.counts
+	ops := c.ops
+	pc := 0
+	for pc < len(ops) {
+		op := &ops[pc]
+		switch op.kind {
+		case opBinI:
+			x, y := regs[op.a].i, regs[op.b].i
+			var r int64
+			switch ir.BinOp(op.aux) {
+			case ir.IAdd:
+				r = x + y
+			case ir.ISub:
+				r = x - y
+			case ir.IMul:
+				r = x * y
+			case ir.IDiv:
+				if y == 0 {
+					return val{}, rtErrf("integer division by zero in @%s", c.fn.Name)
+				}
+				r = x / y
+			case ir.IRem:
+				if y == 0 {
+					return val{}, rtErrf("integer remainder by zero in @%s", c.fn.Name)
+				}
+				r = x % y
+			case ir.IAnd:
+				r = x & y
+			case ir.IOr:
+				r = x | y
+			case ir.IXor:
+				r = x ^ y
+			case ir.IShl:
+				r = x << uint64(y&63)
+			case ir.IShr:
+				r = x >> uint64(y&63)
+			case ir.IMin:
+				r = x
+				if y < x {
+					r = y
+				}
+			default: // IMax
+				r = x
+				if y > x {
+					r = y
+				}
+			}
+			regs[op.dst].i = r
+			cnt.Int++
+
+		case opBinF:
+			x, y := regs[op.a].f, regs[op.b].f
+			var r float64
+			switch ir.BinOp(op.aux) {
+			case ir.FAdd:
+				r = x + y
+			case ir.FSub:
+				r = x - y
+			case ir.FMul:
+				r = x * y
+			default: // FDiv
+				r = x / y
+				cnt.FloatDiv++
+				regs[op.dst].f = r
+				pc++
+				continue
+			}
+			regs[op.dst].f = r
+			cnt.Float++
+
+		case opCmpI:
+			x, y := regs[op.a].i, regs[op.b].i
+			regs[op.dst].i = b2i(cmpI(ir.CmpPred(op.aux), x, y))
+			cnt.Int++
+
+		case opCmpF:
+			x, y := regs[op.a].f, regs[op.b].f
+			regs[op.dst].i = b2i(cmpF(ir.CmpPred(op.aux), x, y))
+			cnt.Int++
+
+		case opCastIF:
+			regs[op.dst].f = float64(regs[op.a].i)
+			cnt.Int++
+
+		case opCastFI:
+			regs[op.dst].i = int64(regs[op.a].f)
+			cnt.Int++
+
+		case opMath:
+			x := regs[op.a].f
+			var r float64
+			switch ir.MathOp(op.aux) {
+			case ir.Sqrt:
+				r = math.Sqrt(x)
+			case ir.Sin:
+				r = math.Sin(x)
+			case ir.Cos:
+				r = math.Cos(x)
+			case ir.Fabs:
+				r = math.Abs(x)
+			case ir.Exp:
+				r = math.Exp(x)
+			case ir.Log:
+				r = math.Log(x)
+			default: // Floor
+				r = math.Floor(x)
+			}
+			regs[op.dst].f = r
+			cnt.MathOps++
+
+		case opSelect:
+			if regs[op.a].i != 0 {
+				regs[op.dst] = regs[op.b]
+			} else {
+				regs[op.dst] = regs[op.c]
+			}
+			cnt.Int++
+
+		case opLoadF:
+			p := regs[op.a].p
+			if !p.inBounds() {
+				return val{}, rtErrf("load out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+			}
+			regs[op.dst].f = p.seg.F[p.off]
+			cnt.Loads++
+			if e.tracer != nil && !p.seg.Stack {
+				e.tracer.Load(p.addr())
+			}
+
+		case opLoadI:
+			p := regs[op.a].p
+			if !p.inBounds() {
+				return val{}, rtErrf("load out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+			}
+			regs[op.dst].i = p.seg.I[p.off]
+			cnt.Loads++
+			if e.tracer != nil && !p.seg.Stack {
+				e.tracer.Load(p.addr())
+			}
+
+		case opStoreF:
+			p := regs[op.b].p
+			if !p.inBounds() {
+				return val{}, rtErrf("store out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+			}
+			p.seg.F[p.off] = regs[op.a].f
+			cnt.Stores++
+			if e.tracer != nil && !p.seg.Stack {
+				e.tracer.Store(p.addr())
+			}
+
+		case opStoreI:
+			p := regs[op.b].p
+			if !p.inBounds() {
+				return val{}, rtErrf("store out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+			}
+			p.seg.I[p.off] = regs[op.a].i
+			cnt.Stores++
+			if e.tracer != nil && !p.seg.Stack {
+				e.tracer.Store(p.addr())
+			}
+
+		case opPrefetch:
+			// Prefetches never fault: out-of-bounds prefetches are dropped,
+			// matching the non-binding semantics of builtin_prefetch.
+			p := regs[op.a].p
+			cnt.Prefetches++
+			if p.inBounds() && !p.seg.Stack {
+				if e.prefHook != nil {
+					e.prefHook(op.src, p.addr())
+				} else if e.tracer != nil {
+					e.tracer.Prefetch(p.addr())
+				}
+			}
+
+		case opGEP:
+			base := regs[op.a].p
+			off := regs[op.idx[0]].i
+			for k := 1; k < len(op.idx); k++ {
+				off = off*regs[op.dims[k]].i + regs[op.idx[k]].i
+			}
+			regs[op.dst].p = ptr{seg: base.seg, off: base.off + off}
+			cnt.GEPs++
+
+		case opCall:
+			sub := make([]val, len(op.args))
+			for i, r := range op.args {
+				sub[i] = regs[r]
+			}
+			out, err := e.run(op.callee, sub)
+			if err != nil {
+				return val{}, err
+			}
+			if op.dst >= 0 {
+				regs[op.dst] = out
+			}
+			cnt.Calls++
+
+		case opBr:
+			for i, m := range op.moves0 {
+				tmp[i] = regs[m.src]
+			}
+			for i, m := range op.moves0 {
+				regs[m.dst] = tmp[i]
+			}
+			cnt.Branches++
+			pc = op.t0
+			continue
+
+		case opCondBr:
+			var moves []move
+			var target int
+			if regs[op.a].i != 0 {
+				moves, target = op.moves0, op.t0
+			} else {
+				moves, target = op.moves1, op.t1
+			}
+			for i, m := range moves {
+				tmp[i] = regs[m.src]
+			}
+			for i, m := range moves {
+				regs[m.dst] = tmp[i]
+			}
+			cnt.Branches++
+			pc = target
+			continue
+
+		case opRet:
+			if op.a >= 0 {
+				return regs[op.a], nil
+			}
+			return val{}, nil
+
+		case opNop:
+		}
+		pc++
+	}
+	return val{}, rtErrf("fell off end of @%s", c.fn.Name)
+}
+
+func segName(s *Seg) string {
+	if s == nil {
+		return "<nil>"
+	}
+	if s.Stack {
+		return "<stack>"
+	}
+	return s.name
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpI(p ir.CmpPred, x, y int64) bool {
+	switch p {
+	case ir.EQ:
+		return x == y
+	case ir.NE:
+		return x != y
+	case ir.LT:
+		return x < y
+	case ir.LE:
+		return x <= y
+	case ir.GT:
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+func cmpF(p ir.CmpPred, x, y float64) bool {
+	switch p {
+	case ir.EQ:
+		return x == y
+	case ir.NE:
+		return x != y
+	case ir.LT:
+		return x < y
+	case ir.LE:
+		return x <= y
+	case ir.GT:
+		return x > y
+	default:
+		return x >= y
+	}
+}

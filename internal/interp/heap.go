@@ -1,0 +1,126 @@
+// Package interp executes IR functions against a simulated heap, reporting
+// every memory access to a pluggable tracer (the cache model) and counting
+// executed instructions by class (the timing model's input). Functions are
+// compiled once into a compact register machine and then run; this keeps
+// benchmark-scale executions (tens of millions of instructions) fast.
+package interp
+
+import "fmt"
+
+// ElemKind is the element type of a heap segment.
+type ElemKind uint8
+
+// Element kinds.
+const (
+	FloatElem ElemKind = iota
+	IntElem
+)
+
+// WordSize is the size in bytes of every TaskC array element (both i64 and
+// f64), used to map element indices to byte addresses.
+const WordSize = 8
+
+// Seg is one contiguous allocation in the simulated address space.
+type Seg struct {
+	// Base is the byte address of element 0.
+	Base int64
+	// Elem is the element type of the segment.
+	Elem ElemKind
+	// F holds the data for FloatElem segments.
+	F []float64
+	// I holds the data for IntElem segments.
+	I []int64
+	// Stack marks interpreter-internal allocations (allocas); accesses to
+	// stack segments model registers/stack and produce no memory events.
+	Stack bool
+	name  string
+}
+
+// Len returns the number of elements in the segment.
+func (s *Seg) Len() int {
+	if s.Elem == FloatElem {
+		return len(s.F)
+	}
+	return len(s.I)
+}
+
+// Name returns the allocation name given to Alloc*.
+func (s *Seg) Name() string { return s.name }
+
+// Addr returns the byte address of element i.
+func (s *Seg) Addr(i int64) int64 { return s.Base + i*WordSize }
+
+// Heap is a simulated address space. Allocations are laid out contiguously
+// with a guard gap between them so distinct arrays never share a cache line.
+type Heap struct {
+	next int64
+	segs []*Seg
+}
+
+// segGap separates allocations (in bytes) so that prefetching past the end of
+// one array cannot pull in another array's lines.
+const segGap = 4096
+
+// NewHeap returns an empty heap. Addresses start away from zero so that a
+// zero address is never valid.
+func NewHeap() *Heap { return &Heap{next: 1 << 20} }
+
+// AllocFloat allocates a zeroed float array of n elements.
+func (h *Heap) AllocFloat(name string, n int) *Seg {
+	s := &Seg{Base: h.next, Elem: FloatElem, F: make([]float64, n), name: name}
+	h.grow(s, n)
+	return s
+}
+
+// AllocInt allocates a zeroed int array of n elements.
+func (h *Heap) AllocInt(name string, n int) *Seg {
+	s := &Seg{Base: h.next, Elem: IntElem, I: make([]int64, n), name: name}
+	h.grow(s, n)
+	return s
+}
+
+func (h *Heap) grow(s *Seg, n int) {
+	h.segs = append(h.segs, s)
+	h.next += int64(n)*WordSize + segGap
+	// Keep every base cache-line aligned.
+	const line = 64
+	if rem := h.next % line; rem != 0 {
+		h.next += line - rem
+	}
+}
+
+// Segs returns all allocations in allocation order.
+func (h *Heap) Segs() []*Seg { return h.segs }
+
+// Footprint returns the total allocated bytes (excluding guard gaps).
+func (h *Heap) Footprint() int64 {
+	var total int64
+	for _, s := range h.segs {
+		total += int64(s.Len()) * WordSize
+	}
+	return total
+}
+
+// ptr is a runtime pointer: a segment plus an element offset. Offsets may be
+// transiently out of bounds (address arithmetic); dereferencing checks.
+type ptr struct {
+	seg *Seg
+	off int64
+}
+
+func (p ptr) addr() int64 { return p.seg.Addr(p.off) }
+
+func (p ptr) inBounds() bool { return p.seg != nil && p.off >= 0 && p.off < int64(p.seg.Len()) }
+
+// RuntimeError is an execution fault (out-of-bounds access, division by
+// zero, nil segment).
+type RuntimeError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string { return "interp: " + e.Msg }
+
+func rtErrf(format string, args ...any) *RuntimeError {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,517 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dae/internal/ir"
+	"dae/internal/lower"
+)
+
+// compileSrc lowers TaskC source and returns the module.
+func compileSrc(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := lower.Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func run(t *testing.T, m *ir.Module, fn string, args ...Value) Value {
+	t.Helper()
+	env := NewEnv(NewProgram(m), nil)
+	out, err := env.Call(m.Func(fn), args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	return out
+}
+
+func TestArithmetic(t *testing.T) {
+	m := compileSrc(t, `
+int f(int a, int b) {
+	int s = a + b * 2;
+	s = s - a / 2;
+	s = s % 100;
+	return s;
+}`)
+	got := run(t, m, "f", Int(10), Int(7)).Int64()
+	want := int64((10 + 7*2 - 10/2) % 100)
+	if got != want {
+		t.Errorf("f(10,7) = %d, want %d", got, want)
+	}
+}
+
+func TestFloatArithmeticAndConversion(t *testing.T) {
+	m := compileSrc(t, `
+float f(float x, int n) {
+	float y = x * n + 0.5;
+	y /= 2;
+	return y - 1;
+}`)
+	got := run(t, m, "f", Float(2.0), Int(3)).Float64()
+	want := (2.0*3+0.5)/2 - 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("f = %g, want %g", got, want)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	m := compileSrc(t, `
+int f(int a, int b) {
+	return ((a << 3) | (b & 5)) ^ (a >> 1);
+}`)
+	got := run(t, m, "f", Int(6), Int(7)).Int64()
+	want := ((6 << 3) | (7 & 5)) ^ (6 >> 1)
+	if got != int64(want) {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	m := compileSrc(t, `
+int sum(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += i;
+	}
+	return s;
+}`)
+	got := run(t, m, "sum", Int(100)).Int64()
+	if got != 4950 {
+		t.Errorf("sum(100) = %d, want 4950", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	m := compileSrc(t, `
+int collatz(int n0) {
+	int n = n0;
+	int steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		steps++;
+	}
+	return steps;
+}
+`)
+	got := run(t, m, "collatz", Int(6)).Int64()
+	if got != 8 { // 6→3→10→5→16→8→4→2→1
+		t.Errorf("collatz(6) = %d, want 8", got)
+	}
+}
+
+func TestArrayReadWrite(t *testing.T) {
+	m := compileSrc(t, `
+task scale(float A[n], int n, float k) {
+	for (int i = 0; i < n; i++) {
+		A[i] = A[i] * k;
+	}
+}`)
+	h := NewHeap()
+	a := h.AllocFloat("A", 8)
+	for i := range a.F {
+		a.F[i] = float64(i)
+	}
+	run(t, m, "scale", Ptr(a), Int(8), Float(2.0))
+	for i, v := range a.F {
+		if v != float64(2*i) {
+			t.Errorf("A[%d] = %g, want %g", i, v, float64(2*i))
+		}
+	}
+}
+
+func TestMatrix2D(t *testing.T) {
+	m := compileSrc(t, `
+task transposeAdd(float A[N][N], float B[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = 0; j < N; j++) {
+			B[i][j] = B[i][j] + A[j][i];
+		}
+	}
+}`)
+	const n = 4
+	h := NewHeap()
+	a := h.AllocFloat("A", n*n)
+	b := h.AllocFloat("B", n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.F[i*n+j] = float64(10*i + j)
+		}
+	}
+	run(t, m, "transposeAdd", Ptr(a), Ptr(b), Int(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := float64(10*j + i)
+			if b.F[i*n+j] != want {
+				t.Errorf("B[%d][%d] = %g, want %g", i, j, b.F[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestIndirection(t *testing.T) {
+	m := compileSrc(t, `
+task gather(float Dst[n], float Src[m], int Ind[n], int n, int m) {
+	for (int i = 0; i < n; i++) {
+		Dst[i] = Src[Ind[i]];
+	}
+}`)
+	h := NewHeap()
+	dst := h.AllocFloat("Dst", 4)
+	src := h.AllocFloat("Src", 8)
+	ind := h.AllocInt("Ind", 4)
+	for i := range src.F {
+		src.F[i] = float64(i * i)
+	}
+	copy(ind.I, []int64{7, 0, 3, 5})
+	run(t, m, "gather", Ptr(dst), Ptr(src), Ptr(ind), Int(4), Int(8))
+	want := []float64{49, 0, 9, 25}
+	for i, v := range dst.F {
+		if v != want[i] {
+			t.Errorf("Dst[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// A[i] must not be read when i >= n (out of bounds otherwise).
+	m := compileSrc(t, `
+int find(int A[n], int n, int key) {
+	int i = 0;
+	while (i < n && A[i] != key) {
+		i++;
+	}
+	return i;
+}`)
+	h := NewHeap()
+	a := h.AllocInt("A", 4)
+	copy(a.I, []int64{5, 6, 7, 8})
+	if got := run(t, m, "find", Ptr(a), Int(4), Int(7)).Int64(); got != 2 {
+		t.Errorf("find key=7 → %d, want 2", got)
+	}
+	// Missing key: loop must terminate at i==n without reading A[n].
+	if got := run(t, m, "find", Ptr(a), Int(4), Int(99)).Int64(); got != 4 {
+		t.Errorf("find key=99 → %d, want 4", got)
+	}
+}
+
+func TestLogicalOrAndNot(t *testing.T) {
+	m := compileSrc(t, `
+int f(int a, int b) {
+	int r = 0;
+	if (a == 0 || b == 0) { r = r + 1; }
+	if (a != 0 && b != 0) { r = r + 10; }
+	if (!(a < b)) { r = r + 100; }
+	return r;
+}`)
+	if got := run(t, m, "f", Int(0), Int(5)).Int64(); got != 1 {
+		t.Errorf("f(0,5) = %d, want 1", got)
+	}
+	if got := run(t, m, "f", Int(3), Int(2)).Int64(); got != 110 {
+		t.Errorf("f(3,2) = %d, want 110", got)
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	m := compileSrc(t, `
+float f(float x) {
+	return sqrt(x) + fabs(0.0 - x) + floor(x) + exp(0.0) + log(1.0) + sin(0.0) + cos(0.0);
+}`)
+	got := run(t, m, "f", Float(4.0)).Float64()
+	want := 2.0 + 4.0 + 4.0 + 1.0 + 0.0 + 0.0 + 1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("f(4) = %g, want %g", got, want)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	m := compileSrc(t, `
+float dot(float X[n], float Y[n], int n) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		s += X[i] * Y[i];
+	}
+	return s;
+}
+task norm(float X[n], int n, float Out[one], int one) {
+	Out[0] = sqrt(dot(X, X, n));
+}`)
+	h := NewHeap()
+	x := h.AllocFloat("X", 3)
+	out := h.AllocFloat("Out", 1)
+	copy(x.F, []float64{3, 4, 12})
+	run(t, m, "norm", Ptr(x), Int(3), Ptr(out), Int(1))
+	if out.F[0] != 13 {
+		t.Errorf("norm = %g, want 13", out.F[0])
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	m := compileSrc(t, `
+int f(int n) {
+	if (n <= 1) { return 1; }
+	return n * f(n - 1);
+}`)
+	env := NewEnv(NewProgram(m), nil)
+	_, err := env.Call(m.Func("f"), Int(5))
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("expected recursion error, got %v", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	m := compileSrc(t, `int f(int a) { return 10 / a; }`)
+	env := NewEnv(NewProgram(m), nil)
+	if _, err := env.Call(m.Func("f"), Int(0)); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+	m2 := compileSrc(t, `int f(int a) { return 10 % a; }`)
+	env2 := NewEnv(NewProgram(m2), nil)
+	if _, err := env2.Call(m2.Func("f"), Int(0)); err == nil {
+		t.Fatal("expected remainder-by-zero error")
+	}
+}
+
+func TestOutOfBoundsLoad(t *testing.T) {
+	m := compileSrc(t, `float f(float A[n], int n) { return A[n]; }`)
+	h := NewHeap()
+	a := h.AllocFloat("A", 4)
+	env := NewEnv(NewProgram(m), nil)
+	_, err := env.Call(m.Func("f"), Ptr(a), Int(4))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("expected out-of-bounds error, got %v", err)
+	}
+}
+
+func TestPrefetchNeverFaults(t *testing.T) {
+	m := compileSrc(t, `
+task acc(float A[n], int n) {
+	for (int i = 0; i < n + 100; i++) {
+		prefetch A[i];
+	}
+}`)
+	h := NewHeap()
+	a := h.AllocFloat("A", 4)
+	env := NewEnv(NewProgram(m), nil)
+	if _, err := env.Call(m.Func("acc"), Ptr(a), Int(4)); err != nil {
+		t.Fatalf("prefetch should not fault: %v", err)
+	}
+	if env.Counts().Prefetches != 104 {
+		t.Errorf("prefetches = %d, want 104", env.Counts().Prefetches)
+	}
+}
+
+// recordingTracer records event addresses by kind.
+type recordingTracer struct {
+	loads, stores, prefetches []int64
+}
+
+func (r *recordingTracer) Load(a int64)     { r.loads = append(r.loads, a) }
+func (r *recordingTracer) Store(a int64)    { r.stores = append(r.stores, a) }
+func (r *recordingTracer) Prefetch(a int64) { r.prefetches = append(r.prefetches, a) }
+
+func TestTracerSeesAccesses(t *testing.T) {
+	m := compileSrc(t, `
+task copy(float D[n], float S[n], int n) {
+	for (int i = 0; i < n; i++) {
+		prefetch S[i];
+		D[i] = S[i];
+	}
+}`)
+	h := NewHeap()
+	d := h.AllocFloat("D", 3)
+	s := h.AllocFloat("S", 3)
+	tr := &recordingTracer{}
+	env := NewEnv(NewProgram(m), tr)
+	if _, err := env.Call(m.Func("copy"), Ptr(d), Ptr(s), Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.loads) != 3 || len(tr.stores) != 3 || len(tr.prefetches) != 3 {
+		t.Fatalf("events: %d loads, %d stores, %d prefetches; want 3 each",
+			len(tr.loads), len(tr.stores), len(tr.prefetches))
+	}
+	for i := 0; i < 3; i++ {
+		if tr.loads[i] != s.Addr(int64(i)) {
+			t.Errorf("load %d addr = %d, want %d", i, tr.loads[i], s.Addr(int64(i)))
+		}
+		if tr.stores[i] != d.Addr(int64(i)) {
+			t.Errorf("store %d addr = %d, want %d", i, tr.stores[i], d.Addr(int64(i)))
+		}
+		if tr.prefetches[i] != tr.loads[i] {
+			t.Errorf("prefetch %d addr should match load addr", i)
+		}
+	}
+	// Local variable i must not generate memory traffic.
+	c := env.Counts()
+	if c.Loads <= 3 {
+		// i is an alloca pre-mem2reg: loads of i are counted but not traced.
+		t.Logf("loads counted: %d (includes alloca traffic)", c.Loads)
+	}
+}
+
+func TestCountsClasses(t *testing.T) {
+	m := compileSrc(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = A[i] * 2.0 + 1.0;
+	}
+}`)
+	h := NewHeap()
+	a := h.AllocFloat("A", 10)
+	env := NewEnv(NewProgram(m), nil)
+	if _, err := env.Call(m.Func("k"), Ptr(a), Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	c := env.Counts()
+	if c.Float != 20 { // fmul + fadd per element
+		t.Errorf("float ops = %d, want 20", c.Float)
+	}
+	if c.Total() == 0 || c.Branches == 0 || c.GEPs == 0 {
+		t.Errorf("expected nonzero totals: %+v", c)
+	}
+	env.ResetCounts()
+	if env.Counts().Total() != 0 {
+		t.Error("ResetCounts should zero counters")
+	}
+}
+
+func TestHeapLayout(t *testing.T) {
+	h := NewHeap()
+	a := h.AllocFloat("A", 100)
+	b := h.AllocInt("B", 50)
+	if a.Base%64 != 0 || b.Base%64 != 0 {
+		t.Error("allocations should be cache-line aligned")
+	}
+	if b.Base < a.Base+100*WordSize+segGap {
+		t.Error("allocations should be separated by the guard gap")
+	}
+	if h.Footprint() != 150*WordSize {
+		t.Errorf("footprint = %d, want %d", h.Footprint(), 150*WordSize)
+	}
+	if len(h.Segs()) != 2 {
+		t.Error("Segs should list both allocations")
+	}
+	if a.Name() != "A" || a.Len() != 100 || b.Len() != 50 {
+		t.Error("segment metadata wrong")
+	}
+}
+
+func TestNestedLoopsDeep(t *testing.T) {
+	m := compileSrc(t, `
+int count(int n) {
+	int c = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = i; j < n; j++) {
+			for (int k = j; k < n; k++) {
+				c++;
+			}
+		}
+	}
+	return c;
+}`)
+	// Number of triples i<=j<=k < n = C(n+2,3)
+	got := run(t, m, "count", Int(10)).Int64()
+	if got != 220 {
+		t.Errorf("count(10) = %d, want 220", got)
+	}
+}
+
+func TestEarlyReturn(t *testing.T) {
+	m := compileSrc(t, `
+int f(int n) {
+	for (int i = 0; i < n; i++) {
+		if (i * i > n) {
+			return i;
+		}
+	}
+	return 0 - 1;
+}`)
+	if got := run(t, m, "f", Int(20)).Int64(); got != 5 {
+		t.Errorf("f(20) = %d, want 5", got)
+	}
+	if got := run(t, m, "f", Int(1)).Int64(); got != -1 {
+		t.Errorf("f(1) = %d, want -1", got)
+	}
+}
+
+func TestFloatComparisonsAndCounts(t *testing.T) {
+	m := compileSrc(t, `
+int f(float a, float b) {
+	int r = 0;
+	if (a < b) { r = r + 1; }
+	if (a <= b) { r = r + 10; }
+	if (a > b) { r = r + 100; }
+	if (a >= b) { r = r + 1000; }
+	if (a == b) { r = r + 10000; }
+	if (a != b) { r = r + 100000; }
+	return r;
+}`)
+	env := NewEnv(NewProgram(m), nil)
+	cases := []struct {
+		a, b float64
+		want int64
+	}{
+		{1, 2, 1 + 10 + 100000},
+		{2, 1, 100 + 1000 + 100000},
+		{3, 3, 10 + 1000 + 10000},
+	}
+	for _, c := range cases {
+		out, err := env.Call(m.Func("f"), Float(c.a), Float(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Int64() != c.want {
+			t.Errorf("f(%g,%g) = %d, want %d", c.a, c.b, out.Int64(), c.want)
+		}
+	}
+}
+
+func TestCloneArgs(t *testing.T) {
+	h := NewHeap()
+	a := h.AllocFloat("A", 4)
+	b := h.AllocInt("B", 4)
+	for i := range a.F {
+		a.F[i] = float64(i)
+		b.I[i] = int64(i * 10)
+	}
+	args := []Value{Ptr(a), Ptr(b), Ptr(a), Int(7), Float(2.5)}
+	scratch := NewHeap()
+	cloned := CloneArgs(scratch, args)
+	if len(cloned) != len(args) {
+		t.Fatal("length changed")
+	}
+	// Scalars pass through unchanged.
+	if cloned[3].Int64() != 7 || cloned[4].Float64() != 2.5 {
+		t.Error("scalars should pass through")
+	}
+	// Repeated segment maps to one clone; mutation through the clone must
+	// not touch the original.
+	segs := scratch.Segs()
+	if len(segs) != 2 {
+		t.Fatalf("clones = %d, want 2 (A once, B once)", len(segs))
+	}
+	for _, s := range segs {
+		if s.Elem == FloatElem {
+			if s.F[2] != 2 {
+				t.Error("clone should copy contents")
+			}
+			s.F[2] = 99
+		}
+	}
+	if a.F[2] != 2 {
+		t.Error("mutating the clone must not touch the original")
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Int: 1, Float: 2, FloatDiv: 3, MathOps: 4, Loads: 5,
+		Stores: 6, Prefetches: 7, Branches: 8, GEPs: 9, Calls: 10}
+	b := a
+	b.Add(a)
+	if b.Total() != 2*a.Total() {
+		t.Errorf("Add then Total = %d, want %d", b.Total(), 2*a.Total())
+	}
+}

@@ -1,0 +1,99 @@
+package ir
+
+// Builder appends instructions to a current block, mirroring LLVM's
+// IRBuilder. All factory methods insert at the end of the current block and
+// return the created instruction as a Value.
+type Builder struct {
+	fn  *Func
+	cur *Block
+}
+
+// NewBuilder returns a builder positioned at no block.
+func NewBuilder(f *Func) *Builder { return &Builder{fn: f} }
+
+// Func returns the function being built.
+func (bd *Builder) Func() *Func { return bd.fn }
+
+// SetBlock positions the builder at the end of b.
+func (bd *Builder) SetBlock(b *Block) { bd.cur = b }
+
+// Block returns the current insertion block.
+func (bd *Builder) Block() *Block { return bd.cur }
+
+// NewBlock creates a fresh block (without moving the insertion point).
+func (bd *Builder) NewBlock(name string) *Block { return bd.fn.NewBlock(name) }
+
+func (bd *Builder) insert(in Instr) Instr {
+	if bd.cur == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if bd.cur.Term() != nil {
+		panic("ir: inserting into terminated block " + bd.cur.Name)
+	}
+	bd.cur.Append(in)
+	return in
+}
+
+// Alloca inserts a stack slot for a scalar of type elem.
+func (bd *Builder) Alloca(varName string, elem *Type) *Alloca {
+	return bd.insert(NewAlloca(varName, elem)).(*Alloca)
+}
+
+// Load inserts a load of ptr.
+func (bd *Builder) Load(ptr Value) Value { return bd.insert(NewLoad(ptr)).(Value) }
+
+// Store inserts a store of val to ptr.
+func (bd *Builder) Store(val, ptr Value) { bd.insert(NewStore(val, ptr)) }
+
+// Prefetch inserts a prefetch of ptr.
+func (bd *Builder) Prefetch(ptr Value) { bd.insert(NewPrefetch(ptr)) }
+
+// GEP inserts an address computation.
+func (bd *Builder) GEP(base Value, dims, idx []Value) Value {
+	return bd.insert(NewGEP(base, dims, idx)).(Value)
+}
+
+// Bin inserts op(x, y).
+func (bd *Builder) Bin(op BinOp, x, y Value) Value { return bd.insert(NewBin(op, x, y)).(Value) }
+
+// Cmp inserts pred(x, y).
+func (bd *Builder) Cmp(pred CmpPred, x, y Value) Value {
+	return bd.insert(NewCmp(pred, x, y)).(Value)
+}
+
+// Cast inserts op(x).
+func (bd *Builder) Cast(op CastOp, x Value) Value { return bd.insert(NewCast(op, x)).(Value) }
+
+// Select inserts cond ? x : y.
+func (bd *Builder) Select(cond, x, y Value) Value {
+	return bd.insert(NewSelect(cond, x, y)).(Value)
+}
+
+// Phi inserts an empty phi at the head of the current block.
+func (bd *Builder) Phi(typ *Type, varName string) *Phi {
+	p := NewPhi(typ, varName)
+	if bd.cur == nil {
+		panic("ir: builder has no insertion block")
+	}
+	p.setParent(bd.cur)
+	p.setID(bd.fn.nextID())
+	i := bd.cur.FirstNonPhi()
+	bd.cur.Instrs = append(bd.cur.Instrs, nil)
+	copy(bd.cur.Instrs[i+1:], bd.cur.Instrs[i:])
+	bd.cur.Instrs[i] = p
+	return p
+}
+
+// Call inserts a call to callee.
+func (bd *Builder) Call(callee *Func, args []Value) Value {
+	return bd.insert(NewCall(callee, args)).(Value)
+}
+
+// Br inserts an unconditional branch and leaves the block terminated.
+func (bd *Builder) Br(target *Block) { bd.insert(NewBr(target)) }
+
+// CondBr inserts a conditional branch and leaves the block terminated.
+func (bd *Builder) CondBr(cond Value, then, els *Block) { bd.insert(NewCondBr(cond, then, els)) }
+
+// Ret inserts a return; x may be nil for void functions.
+func (bd *Builder) Ret(x Value) { bd.insert(NewRet(x)) }

@@ -1,0 +1,91 @@
+package ir
+
+// CloneFunc returns a deep copy of f named newName. The copy shares no
+// blocks or instructions with the original; parameters are fresh Params with
+// identical names and types.
+func CloneFunc(f *Func, newName string) *Func {
+	params := make([]*Param, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = &Param{Nam: p.Nam, Typ: p.Typ, Index: i}
+	}
+	nf := NewFunc(newName, f.RetType, params)
+	nf.IsTask = f.IsTask
+
+	vmap := make(map[Value]Value)
+	for i, p := range f.Params {
+		vmap[p] = params[i]
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		bmap[b] = nf.NewBlock(b.Name)
+	}
+	// First pass: clone instructions with operands possibly still pointing at
+	// originals; fix up in a second pass (needed for phis of loop headers).
+	var clones []Instr
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			c := cloneInstr(in, bmap)
+			nb.Append(c)
+			vmap[in] = c
+			clones = append(clones, c)
+		}
+	}
+	for _, c := range clones {
+		ops := c.Operands()
+		for i, op := range ops {
+			if nv, ok := vmap[op]; ok {
+				c.SetOperand(i, nv)
+			}
+		}
+	}
+	return nf
+}
+
+// cloneInstr copies a single instruction. Operand Values are shared (the
+// caller remaps them); block targets are remapped via bmap immediately.
+func cloneInstr(in Instr, bmap map[*Block]*Block) Instr {
+	switch x := in.(type) {
+	case *Alloca:
+		return NewAlloca(x.Var, x.Type().Elem)
+	case *Load:
+		return NewLoad(x.Ptr)
+	case *Store:
+		return NewStore(x.Val, x.Ptr)
+	case *Prefetch:
+		return NewPrefetch(x.Ptr)
+	case *GEP:
+		dims := make([]Value, len(x.Dims))
+		copy(dims, x.Dims)
+		idx := make([]Value, len(x.Idx))
+		copy(idx, x.Idx)
+		return NewGEP(x.Base, dims, idx)
+	case *Bin:
+		return NewBin(x.Op, x.X, x.Y)
+	case *Cmp:
+		return NewCmp(x.Pred, x.X, x.Y)
+	case *Cast:
+		return NewCast(x.Op, x.X)
+	case *Math:
+		return NewMath(x.Op, x.X)
+	case *Select:
+		return NewSelect(x.Cond, x.X, x.Y)
+	case *Phi:
+		p := NewPhi(x.Type(), x.Var)
+		for _, in := range x.In {
+			p.AddIncoming(in.Val, bmap[in.Pred])
+		}
+		return p
+	case *Call:
+		args := make([]Value, len(x.Args))
+		copy(args, x.Args)
+		return NewCall(x.Callee, args)
+	case *Br:
+		return NewBr(bmap[x.Target])
+	case *CondBr:
+		return NewCondBr(x.Cond, bmap[x.Then], bmap[x.Else])
+	case *Ret:
+		return NewRet(x.X)
+	}
+	panic("ir: cloneInstr: unknown instruction")
+}

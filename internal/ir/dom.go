@@ -1,0 +1,167 @@
+package ir
+
+// DomTree is the dominator tree of a function's CFG, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type DomTree struct {
+	fn    *Func
+	rpo   []*Block
+	rpoIx map[*Block]int
+	idom  map[*Block]*Block
+	kids  map[*Block][]*Block
+}
+
+// NewDomTree computes the dominator tree of f. Unreachable blocks are not
+// part of the tree.
+func NewDomTree(f *Func) *DomTree {
+	t := &DomTree{
+		fn:    f,
+		rpo:   f.ReversePostorder(),
+		rpoIx: make(map[*Block]int),
+		idom:  make(map[*Block]*Block),
+		kids:  make(map[*Block][]*Block),
+	}
+	for i, b := range t.rpo {
+		t.rpoIx[b] = i
+	}
+	preds := f.Preds()
+	entry := f.Entry()
+	t.idom[entry] = entry
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if _, ok := t.idom[p]; !ok {
+					continue // not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for _, b := range t.rpo {
+		if b == entry {
+			continue
+		}
+		id := t.idom[b]
+		t.kids[id] = append(t.kids[id], b)
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.rpoIx[a] > t.rpoIx[b] {
+			a = t.idom[a]
+		}
+		for t.rpoIx[b] > t.rpoIx[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (the entry's IDom is itself).
+func (t *DomTree) IDom(b *Block) *Block { return t.idom[b] }
+
+// Children returns the blocks immediately dominated by b.
+func (t *DomTree) Children(b *Block) []*Block { return t.kids[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		id, ok := t.idom[b]
+		if !ok || id == b {
+			return false
+		}
+		b = id
+	}
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (t *DomTree) Reachable(b *Block) bool {
+	_, ok := t.rpoIx[b]
+	return ok
+}
+
+// Frontiers computes the dominance frontier of every reachable block.
+func (t *DomTree) Frontiers() map[*Block][]*Block {
+	df := make(map[*Block][]*Block, len(t.rpo))
+	preds := t.fn.Preds()
+	for _, b := range t.rpo {
+		if len(preds[b]) < 2 {
+			continue
+		}
+		for _, p := range preds[b] {
+			if !t.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != t.idom[b] {
+				if !containsBlock(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				next, ok := t.idom[runner]
+				if !ok || next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}
+
+func containsBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// DominatesInstr reports whether definition def dominates use at instruction
+// use (i.e. whether the value computed by def is available at use). Phi uses
+// are considered to occur at the end of the corresponding predecessor.
+func (t *DomTree) DominatesInstr(def Instr, use Instr, phiPred *Block) bool {
+	db, ub := def.Parent(), use.Parent()
+	if db == nil || ub == nil {
+		return false
+	}
+	if _, isPhi := use.(*Phi); isPhi && phiPred != nil {
+		// A phi's incoming value must dominate the predecessor edge.
+		return t.Dominates(db, phiPred)
+	}
+	if db != ub {
+		return t.Dominates(db, ub)
+	}
+	// Same block: def must come first.
+	for _, in := range db.Instrs {
+		if in == def {
+			return true
+		}
+		if in == use {
+			return false
+		}
+	}
+	return false
+}

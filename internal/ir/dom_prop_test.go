@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCFG builds a function with n blocks and random branches; block 0 is
+// the entry and every block ends in a Ret, Br, or CondBr to random targets.
+func randomCFG(rng *rand.Rand, n int) *Func {
+	c := &Param{Nam: "c", Typ: BoolT}
+	f := NewFunc("g", VoidT, []*Param{c})
+	blocks := make([]*Block, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = f.NewBlock("")
+	}
+	for i, b := range blocks {
+		switch rng.Intn(4) {
+		case 0:
+			b.Append(NewRet(nil))
+		case 1:
+			b.Append(NewBr(blocks[rng.Intn(n)]))
+		default:
+			b.Append(NewCondBr(c, blocks[rng.Intn(n)], blocks[rng.Intn(n)]))
+		}
+		_ = i
+	}
+	return f
+}
+
+// bruteDominates checks the textbook definition: a dominates b iff removing
+// a makes b unreachable from the entry.
+func bruteDominates(f *Func, a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*Block]bool{a: true} // treat a as a wall
+	var stack []*Block
+	if f.Entry() != a {
+		stack = append(stack, f.Entry())
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if x == b {
+			return false // b reachable while avoiding a
+		}
+		for _, s := range x.Succs() {
+			stack = append(stack, s)
+		}
+	}
+	return true
+}
+
+func reachableSet(f *Func) map[*Block]bool {
+	set := map[*Block]bool{}
+	for _, b := range f.ReversePostorder() {
+		set[b] = true
+	}
+	return set
+}
+
+// TestDominatorsMatchBruteForce compares the CHK dominator tree against the
+// brute-force definition on random CFGs.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		f := randomCFG(rng, 2+rng.Intn(9))
+		dt := NewDomTree(f)
+		reach := reachableSet(f)
+		for _, a := range f.Blocks {
+			if !reach[a] {
+				continue
+			}
+			for _, b := range f.Blocks {
+				if !reach[b] {
+					continue
+				}
+				want := bruteDominates(f, a, b)
+				got := dt.Dominates(a, b)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%s, %s) = %v, brute force %v\n%s",
+						trial, a.Name, b.Name, got, want, f)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopsAreCyclesProperty checks that every reported natural loop really
+// contains a cycle through its header and that headers dominate their loop
+// bodies.
+func TestLoopsAreCyclesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 200; trial++ {
+		f := randomCFG(rng, 3+rng.Intn(8))
+		dt := NewDomTree(f)
+		li := FindLoops(f, dt)
+		for _, l := range li.AllLoops() {
+			for _, b := range l.Blocks {
+				if !dt.Dominates(l.Header, b) {
+					t.Fatalf("trial %d: loop header %s does not dominate member %s\n%s",
+						trial, l.Header.Name, b.Name, f)
+				}
+			}
+			// The header must be reachable from some latch within the loop.
+			if len(l.Latches) == 0 {
+				t.Fatalf("trial %d: loop with no latches", trial)
+			}
+			for _, latch := range l.Latches {
+				if !l.Contains(latch) {
+					t.Fatalf("trial %d: latch outside loop", trial)
+				}
+				found := false
+				for _, s := range latch.Succs() {
+					if s == l.Header {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: latch does not branch to header", trial)
+				}
+			}
+		}
+	}
+}

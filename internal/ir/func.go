@@ -1,0 +1,335 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line sequence of instructions ending in
+// exactly one terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+	fn     *Func
+}
+
+// Func returns the function containing the block.
+func (b *Block) Func() *Func { return b.fn }
+
+// Term returns the block's terminator, or nil if the block is unterminated.
+func (b *Block) Term() Terminator {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t, _ := b.Instrs[len(b.Instrs)-1].(Terminator)
+	return t
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Targets()
+}
+
+// Append adds in at the end of the block (before nothing; callers must keep
+// the terminator last themselves — use the Builder for convenience).
+func (b *Block) Append(in Instr) {
+	in.setParent(b)
+	in.setID(b.fn.nextID())
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertBefore inserts in immediately before pos. It panics if pos is not in
+// the block.
+func (b *Block) InsertBefore(in Instr, pos Instr) {
+	for i, x := range b.Instrs {
+		if x == pos {
+			in.setParent(b)
+			in.setID(b.fn.nextID())
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[i+1:], b.Instrs[i:])
+			b.Instrs[i] = in
+			return
+		}
+	}
+	panic("ir: InsertBefore position not found")
+}
+
+// Remove deletes in from the block.
+func (b *Block) Remove(in Instr) {
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.setParent(nil)
+			return
+		}
+	}
+	panic("ir: Remove: instruction not in block")
+}
+
+// Phis returns the phi instructions at the head of the block.
+func (b *Block) Phis() []*Phi {
+	var phis []*Phi
+	for _, in := range b.Instrs {
+		p, ok := in.(*Phi)
+		if !ok {
+			break
+		}
+		phis = append(phis, p)
+	}
+	return phis
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.Instrs {
+		if _, ok := in.(*Phi); !ok {
+			return i
+		}
+	}
+	return len(b.Instrs)
+}
+
+// Func is an IR function. Blocks[0] is the entry block.
+type Func struct {
+	Name    string
+	Params  []*Param
+	RetType *Type
+	Blocks  []*Block
+
+	// IsTask marks functions that the runtime schedules as tasks; the DAE
+	// pass only generates access versions for tasks.
+	IsTask bool
+
+	nid int
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string, ret *Type, params []*Param) *Func {
+	for i, p := range params {
+		p.Index = i
+	}
+	return &Func{Name: name, Params: params, RetType: ret}
+}
+
+// NewBlock appends a fresh empty block named name to the function.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: f.uniqueBlockName(name), fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (f *Func) uniqueBlockName(name string) string {
+	if name == "" {
+		name = "bb"
+	}
+	used := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		used[b.Name] = true
+	}
+	if !used[name] {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s.%d", name, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// nextID hands out SSA numbers for printing.
+func (f *Func) nextID() int {
+	f.nid++
+	return f.nid
+}
+
+// RemoveBlock deletes b from the function and drops phi edges from it in all
+// successors.
+func (f *Func) RemoveBlock(b *Block) {
+	for _, s := range b.Succs() {
+		for _, p := range s.Phis() {
+			p.RemoveIncoming(b)
+		}
+	}
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+	panic("ir: RemoveBlock: block not in function")
+}
+
+// Preds returns the predecessor map of the function's CFG.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		preds[b] = nil
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// Instrs calls fn for every instruction, in block order.
+func (f *Func) Instrs(fn func(Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			fn(in)
+		}
+	}
+}
+
+// NumInstrs returns the total number of instructions in the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Param returns the parameter named name, or nil.
+func (f *Func) Param(name string) *Param {
+	for _, p := range f.Params {
+		if p.Nam == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// UseCounts returns, for every instruction result used anywhere in f, the
+// number of operand slots that reference it.
+func (f *Func) UseCounts() map[Value]int {
+	uses := make(map[Value]int)
+	f.Instrs(func(in Instr) {
+		for _, op := range in.Operands() {
+			if op == nil {
+				continue
+			}
+			if _, ok := op.(Instr); ok {
+				uses[op]++
+			}
+		}
+	})
+	return uses
+}
+
+// ReplaceAllUses rewrites every operand that references old to new, across
+// the whole function.
+func (f *Func) ReplaceAllUses(old, new Value) {
+	f.Instrs(func(in Instr) {
+		ops := in.Operands()
+		for i, op := range ops {
+			if op == old {
+				in.SetOperand(i, new)
+			}
+		}
+	})
+}
+
+// ReversePostorder returns the blocks of f in reverse postorder of a DFS from
+// the entry. Unreachable blocks are omitted.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if e := f.Entry(); e != nil {
+		dfs(e)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and cleans up
+// phi edges that referenced them. It returns the number of removed blocks.
+func (f *Func) RemoveUnreachable() int {
+	reach := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.ReversePostorder() {
+		reach[b] = true
+	}
+	var dead []*Block
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			dead = append(dead, b)
+		}
+	}
+	for _, b := range dead {
+		f.RemoveBlock(b)
+	}
+	return len(dead)
+}
+
+// Module is a collection of functions.
+type Module struct {
+	Name  string
+	Funcs []*Func
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// AddFunc appends f to the module. It panics on duplicate names.
+func (m *Module) AddFunc(f *Func) {
+	if m.Func(f.Name) != nil {
+		panic("ir: duplicate function " + f.Name)
+	}
+	m.Funcs = append(m.Funcs, f)
+}
+
+// RemoveFunc deletes the function named name, reporting whether it existed.
+// The caller is responsible for ensuring no remaining call references it.
+func (m *Module) RemoveFunc(name string) bool {
+	for i, f := range m.Funcs {
+		if f.Name == name {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Func returns the function named name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Tasks returns the functions marked as tasks, in module order.
+func (m *Module) Tasks() []*Func {
+	var ts []*Func
+	for _, f := range m.Funcs {
+		if f.IsTask {
+			ts = append(ts, f)
+		}
+	}
+	return ts
+}

@@ -1,0 +1,578 @@
+package ir
+
+import "fmt"
+
+// Instr is an IR instruction. Instructions are Values (their result can be
+// used as an operand); void-typed instructions (stores, branches, prefetch)
+// must not be used as operands.
+type Instr interface {
+	Value
+	// Operands returns the operand list in a fixed order.
+	Operands() []Value
+	// SetOperand replaces operand i.
+	SetOperand(i int, v Value)
+	// Parent returns the block containing the instruction (nil if detached).
+	Parent() *Block
+	setParent(b *Block)
+	setID(id int)
+	id() int
+}
+
+// Terminator is implemented by instructions that end a basic block.
+type Terminator interface {
+	Instr
+	// Targets returns the successor blocks.
+	Targets() []*Block
+	// SetTarget replaces successor i.
+	SetTarget(i int, b *Block)
+}
+
+// instrBase carries the bookkeeping shared by all instructions.
+type instrBase struct {
+	blk *Block
+	num int // SSA number for printing; assigned on insertion
+	typ *Type
+}
+
+func (b *instrBase) Type() *Type        { return b.typ }
+func (b *instrBase) Parent() *Block     { return b.blk }
+func (b *instrBase) setParent(p *Block) { b.blk = p }
+func (b *instrBase) setID(id int)       { b.num = id }
+func (b *instrBase) id() int            { return b.num }
+func (b *instrBase) Ref() string        { return fmt.Sprintf("%%t%d", b.num) }
+
+// ---------------------------------------------------------------------------
+// Memory
+
+// Alloca reserves a scalar stack slot. The front end uses allocas for all
+// local variables; mem2reg promotes them to SSA registers. Var records the
+// source-level variable name for diagnostics.
+type Alloca struct {
+	instrBase
+	Var string
+}
+
+// NewAlloca returns a stack slot of element type elem (Int or Float or Bool).
+func NewAlloca(varName string, elem *Type) *Alloca {
+	a := &Alloca{Var: varName}
+	a.typ = PtrTo(elem)
+	return a
+}
+
+// Operands implements Instr.
+func (a *Alloca) Operands() []Value { return nil }
+
+// SetOperand implements Instr.
+func (a *Alloca) SetOperand(i int, v Value) { panic("ir: alloca has no operands") }
+
+// Load reads the element behind Ptr.
+type Load struct {
+	instrBase
+	Ptr Value
+}
+
+// NewLoad returns a load of ptr, whose type must be a pointer.
+func NewLoad(ptr Value) *Load {
+	l := &Load{Ptr: ptr}
+	l.typ = ptr.Type().Elem
+	return l
+}
+
+// Operands implements Instr.
+func (l *Load) Operands() []Value { return []Value{l.Ptr} }
+
+// SetOperand implements Instr.
+func (l *Load) SetOperand(i int, v Value) {
+	if i != 0 {
+		panic("ir: load operand index")
+	}
+	l.Ptr = v
+}
+
+// Store writes Val to the element behind Ptr. Stores are void-typed.
+type Store struct {
+	instrBase
+	Val Value
+	Ptr Value
+}
+
+// NewStore returns a store of val to ptr.
+func NewStore(val, ptr Value) *Store {
+	s := &Store{Val: val, Ptr: ptr}
+	s.typ = VoidT
+	return s
+}
+
+// Operands implements Instr.
+func (s *Store) Operands() []Value { return []Value{s.Val, s.Ptr} }
+
+// SetOperand implements Instr.
+func (s *Store) SetOperand(i int, v Value) {
+	switch i {
+	case 0:
+		s.Val = v
+	case 1:
+		s.Ptr = v
+	default:
+		panic("ir: store operand index")
+	}
+}
+
+// Prefetch issues a non-binding prefetch of the element behind Ptr. It never
+// faults and has no architectural effect; the machine model gives it
+// memory-level parallelism beyond what blocking loads achieve.
+type Prefetch struct {
+	instrBase
+	Ptr Value
+}
+
+// NewPrefetch returns a prefetch of ptr.
+func NewPrefetch(ptr Value) *Prefetch {
+	p := &Prefetch{Ptr: ptr}
+	p.typ = VoidT
+	return p
+}
+
+// Operands implements Instr.
+func (p *Prefetch) Operands() []Value { return []Value{p.Ptr} }
+
+// SetOperand implements Instr.
+func (p *Prefetch) SetOperand(i int, v Value) {
+	if i != 0 {
+		panic("ir: prefetch operand index")
+	}
+	p.Ptr = v
+}
+
+// GEP computes the address of an element of a (possibly multi-dimensional)
+// array. Base is a pointer; Idx holds one index per dimension and Dims holds
+// the size of each dimension (Dims[0] is not used for address arithmetic but
+// is kept so analyses can recover the full array shape). The address in
+// elements is ((idx0*dims1+idx1)*dims2+idx2)... — row-major order.
+type GEP struct {
+	instrBase
+	Base Value
+	Dims []Value
+	Idx  []Value
+}
+
+// NewGEP returns an address computation over base with the given shape.
+func NewGEP(base Value, dims, idx []Value) *GEP {
+	if len(dims) != len(idx) {
+		panic("ir: gep dims/idx length mismatch")
+	}
+	g := &GEP{Base: base, Dims: dims, Idx: idx}
+	g.typ = base.Type()
+	return g
+}
+
+// Operands implements Instr. The order is Base, Dims..., Idx... .
+func (g *GEP) Operands() []Value {
+	ops := make([]Value, 0, 1+len(g.Dims)+len(g.Idx))
+	ops = append(ops, g.Base)
+	ops = append(ops, g.Dims...)
+	ops = append(ops, g.Idx...)
+	return ops
+}
+
+// SetOperand implements Instr.
+func (g *GEP) SetOperand(i int, v Value) {
+	switch {
+	case i == 0:
+		g.Base = v
+	case i <= len(g.Dims):
+		g.Dims[i-1] = v
+	case i <= len(g.Dims)+len(g.Idx):
+		g.Idx[i-1-len(g.Dims)] = v
+	default:
+		panic("ir: gep operand index")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+
+// BinOp identifies a binary arithmetic operation.
+type BinOp uint8
+
+// Binary operations. The I-prefixed forms are integer, F-prefixed are float.
+const (
+	IAdd BinOp = iota
+	ISub
+	IMul
+	IDiv // truncated toward zero, like C
+	IRem
+	IAnd
+	IOr
+	IXor
+	IShl
+	IShr // arithmetic shift right
+	IMin
+	IMax
+	FAdd
+	FSub
+	FMul
+	FDiv
+)
+
+var binOpNames = [...]string{
+	IAdd: "add", ISub: "sub", IMul: "mul", IDiv: "sdiv", IRem: "srem",
+	IAnd: "and", IOr: "or", IXor: "xor", IShl: "shl", IShr: "ashr",
+	IMin: "smin", IMax: "smax",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+}
+
+// String returns the mnemonic of the operation.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsFloat reports whether the operation is a floating-point operation.
+func (op BinOp) IsFloat() bool { return op >= FAdd }
+
+// Bin is a two-operand arithmetic instruction.
+type Bin struct {
+	instrBase
+	Op BinOp
+	X  Value
+	Y  Value
+}
+
+// NewBin returns the binary operation op(x, y).
+func NewBin(op BinOp, x, y Value) *Bin {
+	b := &Bin{Op: op, X: x, Y: y}
+	if op.IsFloat() {
+		b.typ = FloatT
+	} else {
+		b.typ = IntT
+	}
+	return b
+}
+
+// Operands implements Instr.
+func (b *Bin) Operands() []Value { return []Value{b.X, b.Y} }
+
+// SetOperand implements Instr.
+func (b *Bin) SetOperand(i int, v Value) {
+	switch i {
+	case 0:
+		b.X = v
+	case 1:
+		b.Y = v
+	default:
+		panic("ir: bin operand index")
+	}
+}
+
+// CmpPred identifies a comparison predicate.
+type CmpPred uint8
+
+// Comparison predicates; the same set applies to integer and float operands.
+const (
+	EQ CmpPred = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var cmpPredNames = [...]string{EQ: "eq", NE: "ne", LT: "lt", LE: "le", GT: "gt", GE: "ge"}
+
+// String returns the mnemonic of the predicate.
+func (p CmpPred) String() string { return cmpPredNames[p] }
+
+// Cmp compares two values of identical type and yields a bool.
+type Cmp struct {
+	instrBase
+	Pred CmpPred
+	X    Value
+	Y    Value
+}
+
+// NewCmp returns the comparison pred(x, y).
+func NewCmp(pred CmpPred, x, y Value) *Cmp {
+	c := &Cmp{Pred: pred, X: x, Y: y}
+	c.typ = BoolT
+	return c
+}
+
+// Operands implements Instr.
+func (c *Cmp) Operands() []Value { return []Value{c.X, c.Y} }
+
+// SetOperand implements Instr.
+func (c *Cmp) SetOperand(i int, v Value) {
+	switch i {
+	case 0:
+		c.X = v
+	case 1:
+		c.Y = v
+	default:
+		panic("ir: cmp operand index")
+	}
+}
+
+// CastOp identifies a conversion.
+type CastOp uint8
+
+// Conversions.
+const (
+	IntToFloat CastOp = iota
+	FloatToInt
+)
+
+// Cast converts between the integer and float types.
+type Cast struct {
+	instrBase
+	Op CastOp
+	X  Value
+}
+
+// NewCast returns the conversion op(x).
+func NewCast(op CastOp, x Value) *Cast {
+	c := &Cast{Op: op, X: x}
+	if op == IntToFloat {
+		c.typ = FloatT
+	} else {
+		c.typ = IntT
+	}
+	return c
+}
+
+// Operands implements Instr.
+func (c *Cast) Operands() []Value { return []Value{c.X} }
+
+// SetOperand implements Instr.
+func (c *Cast) SetOperand(i int, v Value) {
+	if i != 0 {
+		panic("ir: cast operand index")
+	}
+	c.X = v
+}
+
+// Select yields X when Cond is true and Y otherwise.
+type Select struct {
+	instrBase
+	Cond Value
+	X    Value
+	Y    Value
+}
+
+// NewSelect returns the conditional select cond ? x : y.
+func NewSelect(cond, x, y Value) *Select {
+	s := &Select{Cond: cond, X: x, Y: y}
+	s.typ = x.Type()
+	return s
+}
+
+// Operands implements Instr.
+func (s *Select) Operands() []Value { return []Value{s.Cond, s.X, s.Y} }
+
+// SetOperand implements Instr.
+func (s *Select) SetOperand(i int, v Value) {
+	switch i {
+	case 0:
+		s.Cond = v
+	case 1:
+		s.X = v
+	case 2:
+		s.Y = v
+	default:
+		panic("ir: select operand index")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SSA and calls
+
+// PhiIn is one incoming (value, predecessor) pair of a Phi.
+type PhiIn struct {
+	Val  Value
+	Pred *Block
+}
+
+// Phi merges values flowing in from predecessor blocks.
+type Phi struct {
+	instrBase
+	In  []PhiIn
+	Var string // source variable name, for diagnostics
+}
+
+// NewPhi returns an empty phi of the given type.
+func NewPhi(typ *Type, varName string) *Phi {
+	p := &Phi{Var: varName}
+	p.typ = typ
+	return p
+}
+
+// AddIncoming appends an incoming edge.
+func (p *Phi) AddIncoming(v Value, pred *Block) {
+	p.In = append(p.In, PhiIn{Val: v, Pred: pred})
+}
+
+// Incoming returns the value flowing in from pred, or nil.
+func (p *Phi) Incoming(pred *Block) Value {
+	for _, in := range p.In {
+		if in.Pred == pred {
+			return in.Val
+		}
+	}
+	return nil
+}
+
+// RemoveIncoming deletes the edge from pred, if present.
+func (p *Phi) RemoveIncoming(pred *Block) {
+	for i, in := range p.In {
+		if in.Pred == pred {
+			p.In = append(p.In[:i], p.In[i+1:]...)
+			return
+		}
+	}
+}
+
+// Operands implements Instr.
+func (p *Phi) Operands() []Value {
+	ops := make([]Value, len(p.In))
+	for i, in := range p.In {
+		ops[i] = in.Val
+	}
+	return ops
+}
+
+// SetOperand implements Instr.
+func (p *Phi) SetOperand(i int, v Value) { p.In[i].Val = v }
+
+// Call invokes Callee with Args. The DAE pass requires calls to be inlined
+// before an access version can be generated.
+type Call struct {
+	instrBase
+	Callee *Func
+	Args   []Value
+}
+
+// NewCall returns a call instruction.
+func NewCall(callee *Func, args []Value) *Call {
+	c := &Call{Callee: callee, Args: args}
+	c.typ = callee.RetType
+	return c
+}
+
+// Operands implements Instr.
+func (c *Call) Operands() []Value { return c.Args }
+
+// SetOperand implements Instr.
+func (c *Call) SetOperand(i int, v Value) { c.Args[i] = v }
+
+// ---------------------------------------------------------------------------
+// Terminators
+
+// Br branches unconditionally to Target.
+type Br struct {
+	instrBase
+	Target *Block
+}
+
+// NewBr returns an unconditional branch.
+func NewBr(target *Block) *Br {
+	b := &Br{Target: target}
+	b.typ = VoidT
+	return b
+}
+
+// Operands implements Instr.
+func (b *Br) Operands() []Value { return nil }
+
+// SetOperand implements Instr.
+func (b *Br) SetOperand(i int, v Value) { panic("ir: br has no value operands") }
+
+// Targets implements Terminator.
+func (b *Br) Targets() []*Block { return []*Block{b.Target} }
+
+// SetTarget implements Terminator.
+func (b *Br) SetTarget(i int, blk *Block) {
+	if i != 0 {
+		panic("ir: br target index")
+	}
+	b.Target = blk
+}
+
+// CondBr branches to Then when Cond is true and to Else otherwise.
+type CondBr struct {
+	instrBase
+	Cond Value
+	Then *Block
+	Else *Block
+}
+
+// NewCondBr returns a conditional branch.
+func NewCondBr(cond Value, then, els *Block) *CondBr {
+	b := &CondBr{Cond: cond, Then: then, Else: els}
+	b.typ = VoidT
+	return b
+}
+
+// Operands implements Instr.
+func (b *CondBr) Operands() []Value { return []Value{b.Cond} }
+
+// SetOperand implements Instr.
+func (b *CondBr) SetOperand(i int, v Value) {
+	if i != 0 {
+		panic("ir: condbr operand index")
+	}
+	b.Cond = v
+}
+
+// Targets implements Terminator.
+func (b *CondBr) Targets() []*Block { return []*Block{b.Then, b.Else} }
+
+// SetTarget implements Terminator.
+func (b *CondBr) SetTarget(i int, blk *Block) {
+	switch i {
+	case 0:
+		b.Then = blk
+	case 1:
+		b.Else = blk
+	default:
+		panic("ir: condbr target index")
+	}
+}
+
+// Ret returns from the function, with X as the result unless the function is
+// void (then X is nil).
+type Ret struct {
+	instrBase
+	X Value
+}
+
+// NewRet returns a return instruction; x may be nil for void functions.
+func NewRet(x Value) *Ret {
+	r := &Ret{X: x}
+	r.typ = VoidT
+	return r
+}
+
+// Operands implements Instr.
+func (r *Ret) Operands() []Value {
+	if r.X == nil {
+		return nil
+	}
+	return []Value{r.X}
+}
+
+// SetOperand implements Instr.
+func (r *Ret) SetOperand(i int, v Value) {
+	if i != 0 || r.X == nil {
+		panic("ir: ret operand index")
+	}
+	r.X = v
+}
+
+// Targets implements Terminator.
+func (r *Ret) Targets() []*Block { return nil }
+
+// SetTarget implements Terminator.
+func (r *Ret) SetTarget(i int, blk *Block) { panic("ir: ret has no targets") }
+
+// IsTerminator reports whether in ends a basic block.
+func IsTerminator(in Instr) bool {
+	_, ok := in.(Terminator)
+	return ok
+}

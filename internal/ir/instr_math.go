@@ -1,0 +1,62 @@
+package ir
+
+// MathOp identifies a unary floating-point math intrinsic.
+type MathOp uint8
+
+// Math intrinsics. All take and return f64.
+const (
+	Sqrt MathOp = iota
+	Sin
+	Cos
+	Fabs
+	Exp
+	Log
+	Floor
+)
+
+var mathOpNames = [...]string{
+	Sqrt: "sqrt", Sin: "sin", Cos: "cos", Fabs: "fabs",
+	Exp: "exp", Log: "log", Floor: "floor",
+}
+
+// String returns the mnemonic of the intrinsic.
+func (op MathOp) String() string { return mathOpNames[op] }
+
+// MathOpByName returns the intrinsic named name.
+func MathOpByName(name string) (MathOp, bool) {
+	for op, n := range mathOpNames {
+		if n == name {
+			return MathOp(op), true
+		}
+	}
+	return 0, false
+}
+
+// Math is a unary floating-point intrinsic (sqrt, sin, ...). The machine
+// model charges it as a heavyweight floating-point operation.
+type Math struct {
+	instrBase
+	Op MathOp
+	X  Value
+}
+
+// NewMath returns the intrinsic op(x).
+func NewMath(op MathOp, x Value) *Math {
+	m := &Math{Op: op, X: x}
+	m.typ = FloatT
+	return m
+}
+
+// Operands implements Instr.
+func (m *Math) Operands() []Value { return []Value{m.X} }
+
+// SetOperand implements Instr.
+func (m *Math) SetOperand(i int, v Value) {
+	if i != 0 {
+		panic("ir: math operand index")
+	}
+	m.X = v
+}
+
+// Math inserts the intrinsic op(x).
+func (bd *Builder) Math(op MathOp, x Value) Value { return bd.insert(NewMath(op, x)).(Value) }

@@ -1,0 +1,430 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountLoop builds:
+//
+//	func i64 @sum(i64 %n):
+//	  entry: br loop
+//	  loop:  i = phi [0,entry],[i1,loop]; s = phi [0,entry],[s1,loop]
+//	         s1 = add s, i; i1 = add i, 1; c = lt i1, n; br c, loop, exit
+//	  exit:  ret s1
+func buildCountLoop(t *testing.T) (*Func, *Block, *Block, *Block) {
+	t.Helper()
+	n := &Param{Nam: "n", Typ: IntT}
+	f := NewFunc("sum", IntT, []*Param{n})
+	bd := NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	loop := bd.NewBlock("loop")
+	exit := bd.NewBlock("exit")
+
+	bd.SetBlock(entry)
+	bd.Br(loop)
+
+	bd.SetBlock(loop)
+	i := bd.Phi(IntT, "i")
+	s := bd.Phi(IntT, "s")
+	s1 := bd.Bin(IAdd, s, i)
+	i1 := bd.Bin(IAdd, i, CI(1))
+	c := bd.Cmp(LT, i1, n)
+	bd.CondBr(c, loop, exit)
+	i.AddIncoming(CI(0), entry)
+	i.AddIncoming(i1, loop)
+	s.AddIncoming(CI(0), entry)
+	s.AddIncoming(s1, loop)
+
+	bd.SetBlock(exit)
+	bd.Ret(s1)
+	return f, entry, loop, exit
+}
+
+func TestVerifyCountLoop(t *testing.T) {
+	f, _, _, _ := buildCountLoop(t)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	f := NewFunc("f", VoidT, nil)
+	b := f.NewBlock("entry")
+	b.Append(NewBin(IAdd, CI(1), CI(2)))
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for missing terminator")
+	}
+}
+
+func TestVerifyCatchesTypeMismatch(t *testing.T) {
+	f := NewFunc("f", VoidT, nil)
+	bd := NewBuilder(f)
+	bd.SetBlock(bd.NewBlock("entry"))
+	bd.Bin(FAdd, CI(1), CI(2)) // int operands to float op
+	bd.Ret(nil)
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for fadd of integers")
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	f := NewFunc("f", VoidT, nil)
+	bd := NewBuilder(f)
+	b1 := bd.NewBlock("entry")
+	b2 := bd.NewBlock("next")
+
+	// Define v in b2 but use it in b1.
+	v := NewBin(IAdd, CI(1), CI(2))
+	use := NewBin(IMul, v, CI(3))
+
+	b1.Append(use)
+	b1.Append(NewBr(b2))
+	b2.Append(v)
+	b2.Append(NewRet(nil))
+
+	if err := f.Verify(); err == nil {
+		t.Fatalf("expected dominance error\n%s", f)
+	}
+}
+
+func TestVerifyCatchesPhiPredMismatch(t *testing.T) {
+	f, entry, loop, _ := buildCountLoop(t)
+	// Drop one incoming edge from the first phi.
+	loop.Phis()[0].RemoveIncoming(entry)
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for phi/pred mismatch")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f, entry, loop, exit := buildCountLoop(t)
+	dt := NewDomTree(f)
+	if dt.IDom(loop) != entry {
+		t.Errorf("idom(loop) = %v, want entry", dt.IDom(loop).Name)
+	}
+	if dt.IDom(exit) != loop {
+		t.Errorf("idom(exit) = %v, want loop", dt.IDom(exit).Name)
+	}
+	if !dt.Dominates(entry, exit) {
+		t.Error("entry should dominate exit")
+	}
+	if dt.Dominates(exit, loop) {
+		t.Error("exit should not dominate loop")
+	}
+}
+
+func TestDominanceFrontier(t *testing.T) {
+	// Diamond: entry -> a, b -> join
+	f := NewFunc("f", VoidT, []*Param{{Nam: "c", Typ: BoolT}})
+	bd := NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	a := bd.NewBlock("a")
+	b := bd.NewBlock("b")
+	join := bd.NewBlock("join")
+	bd.SetBlock(entry)
+	bd.CondBr(f.Params[0], a, b)
+	bd.SetBlock(a)
+	bd.Br(join)
+	bd.SetBlock(b)
+	bd.Br(join)
+	bd.SetBlock(join)
+	bd.Ret(nil)
+
+	dt := NewDomTree(f)
+	df := dt.Frontiers()
+	if len(df[a]) != 1 || df[a][0] != join {
+		t.Errorf("DF(a) = %v, want [join]", names(df[a]))
+	}
+	if len(df[b]) != 1 || df[b][0] != join {
+		t.Errorf("DF(b) = %v, want [join]", names(df[b]))
+	}
+	if len(df[entry]) != 0 {
+		t.Errorf("DF(entry) = %v, want empty", names(df[entry]))
+	}
+}
+
+func names(bs []*Block) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+func TestFindLoops(t *testing.T) {
+	f, _, loop, _ := buildCountLoop(t)
+	dt := NewDomTree(f)
+	li := FindLoops(f, dt)
+	if len(li.Top) != 1 {
+		t.Fatalf("found %d top loops, want 1", len(li.Top))
+	}
+	l := li.Top[0]
+	if l.Header != loop {
+		t.Errorf("loop header = %s, want loop", l.Header.Name)
+	}
+	if l.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", l.Depth())
+	}
+	if ph := l.Preheader(); ph == nil || ph.Name != "entry" {
+		t.Errorf("preheader = %v, want entry", ph)
+	}
+	if len(l.Exits()) != 1 || l.Exits()[0].Name != "exit" {
+		t.Errorf("exits = %v", names(l.Exits()))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// for i { for j { } }
+	f := NewFunc("nest", VoidT, []*Param{{Nam: "n", Typ: IntT}})
+	n := f.Params[0]
+	bd := NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	oh := bd.NewBlock("outer")
+	ih := bd.NewBlock("inner")
+	ol := bd.NewBlock("outer.latch")
+	exit := bd.NewBlock("exit")
+
+	bd.SetBlock(entry)
+	bd.Br(oh)
+
+	bd.SetBlock(oh)
+	i := bd.Phi(IntT, "i")
+	bd.Br(ih)
+
+	bd.SetBlock(ih)
+	j := bd.Phi(IntT, "j")
+	j1 := bd.Bin(IAdd, j, CI(1))
+	cj := bd.Cmp(LT, j1, n)
+	bd.CondBr(cj, ih, ol)
+	j.AddIncoming(CI(0), oh)
+	j.AddIncoming(j1, ih)
+
+	bd.SetBlock(ol)
+	i1 := bd.Bin(IAdd, i, CI(1))
+	ci := bd.Cmp(LT, i1, n)
+	bd.CondBr(ci, oh, exit)
+	i.AddIncoming(CI(0), entry)
+	i.AddIncoming(i1, ol)
+
+	bd.SetBlock(exit)
+	bd.Ret(nil)
+
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	dt := NewDomTree(f)
+	li := FindLoops(f, dt)
+	if len(li.Top) != 1 {
+		t.Fatalf("top loops = %d, want 1", len(li.Top))
+	}
+	outer := li.Top[0]
+	if len(outer.Children) != 1 {
+		t.Fatalf("outer children = %d, want 1", len(outer.Children))
+	}
+	inner := outer.Children[0]
+	if inner.Header != ih {
+		t.Errorf("inner header = %s", inner.Header.Name)
+	}
+	if inner.Depth() != 2 {
+		t.Errorf("inner depth = %d, want 2", inner.Depth())
+	}
+	if li.Of[ih] != inner {
+		t.Error("Of[inner header] should be inner loop")
+	}
+	if li.Of[oh] != outer {
+		t.Error("Of[outer header] should be outer loop")
+	}
+}
+
+func TestCloneFunc(t *testing.T) {
+	f, _, _, _ := buildCountLoop(t)
+	g := CloneFunc(f, "sum_clone")
+	if err := g.Verify(); err != nil {
+		t.Fatalf("clone verify: %v\n%s", err, g)
+	}
+	if g.Name != "sum_clone" {
+		t.Errorf("clone name = %s", g.Name)
+	}
+	if g.NumInstrs() != f.NumInstrs() {
+		t.Errorf("clone instrs = %d, want %d", g.NumInstrs(), f.NumInstrs())
+	}
+	// No instruction sharing.
+	orig := make(map[Instr]bool)
+	f.Instrs(func(in Instr) { orig[in] = true })
+	g.Instrs(func(in Instr) {
+		if orig[in] {
+			t.Fatalf("clone shares instruction %s", FormatInstr(in))
+		}
+	})
+	// Clone operands must not reference original instructions or params.
+	origParams := map[Value]bool{}
+	for _, p := range f.Params {
+		origParams[p] = true
+	}
+	g.Instrs(func(in Instr) {
+		for _, op := range in.Operands() {
+			if orig[toInstr(op)] || origParams[op] {
+				t.Fatalf("clone references original value in %s", FormatInstr(in))
+			}
+		}
+	})
+}
+
+func toInstr(v Value) Instr {
+	in, _ := v.(Instr)
+	return in
+}
+
+func TestReplaceAllUses(t *testing.T) {
+	f, _, loop, _ := buildCountLoop(t)
+	phis := loop.Phis()
+	iPhi := phis[0]
+	f.ReplaceAllUses(iPhi, CI(7))
+	found := false
+	f.Instrs(func(in Instr) {
+		for _, op := range in.Operands() {
+			if op == iPhi {
+				found = true
+			}
+		}
+	})
+	if found {
+		t.Error("uses of phi remain after ReplaceAllUses")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f, _, _, _ := buildCountLoop(t)
+	dead := f.NewBlock("dead")
+	bd := NewBuilder(f)
+	bd.SetBlock(dead)
+	bd.Ret(CI(0))
+	if n := f.RemoveUnreachable(); n != 1 {
+		t.Errorf("removed %d blocks, want 1", n)
+	}
+	if len(f.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3", len(f.Blocks))
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	f, _, _, _ := buildCountLoop(t)
+	s := f.String()
+	for _, want := range []string{"task", "func i64 @sum(i64 %n)", "phi", "add", "icmp lt", "ret"} {
+		if want == "task" {
+			continue
+		}
+		if !strings.Contains(s, want) {
+			t.Errorf("printed function missing %q:\n%s", want, s)
+		}
+	}
+	m := NewModule("m")
+	m.AddFunc(f)
+	if !strings.Contains(m.String(), "; module m") {
+		t.Error("module header missing")
+	}
+}
+
+func TestModuleFuncLookup(t *testing.T) {
+	m := NewModule("m")
+	f, _, _, _ := buildCountLoop(t)
+	f.IsTask = true
+	m.AddFunc(f)
+	if m.Func("sum") != f {
+		t.Error("Func lookup failed")
+	}
+	if m.Func("nope") != nil {
+		t.Error("Func lookup of missing name should be nil")
+	}
+	if len(m.Tasks()) != 1 {
+		t.Error("Tasks should return the task")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddFunc should panic")
+		}
+	}()
+	m.AddFunc(CloneFunc(f, "sum"))
+}
+
+func TestGEPOperands(t *testing.T) {
+	a := &Param{Nam: "A", Typ: PtrTo(FloatT)}
+	n := &Param{Nam: "n", Typ: IntT}
+	g := NewGEP(a, []Value{n, n}, []Value{CI(1), CI(2)})
+	ops := g.Operands()
+	if len(ops) != 5 {
+		t.Fatalf("gep operands = %d, want 5", len(ops))
+	}
+	g.SetOperand(0, a)
+	g.SetOperand(1, CI(9))
+	g.SetOperand(3, CI(8))
+	if v, _ := ConstIntValue(g.Dims[0]); v != 9 {
+		t.Error("SetOperand(1) should set Dims[0]")
+	}
+	if v, _ := ConstIntValue(g.Idx[0]); v != 8 {
+		t.Error("SetOperand(3) should set Idx[0]")
+	}
+}
+
+func TestUseCounts(t *testing.T) {
+	f, _, loop, _ := buildCountLoop(t)
+	uses := f.UseCounts()
+	s1 := loop.Instrs[2] // s1 = add s, i
+	// s1 used by: s phi incoming, ret.
+	if uses[s1] != 2 {
+		t.Errorf("uses(s1) = %d, want 2", uses[s1])
+	}
+}
+
+func TestConstHelpers(t *testing.T) {
+	if v, ok := ConstIntValue(CI(5)); !ok || v != 5 {
+		t.Error("ConstIntValue")
+	}
+	if v, ok := ConstFloatValue(CF(2.5)); !ok || v != 2.5 {
+		t.Error("ConstFloatValue")
+	}
+	if v, ok := ConstBoolValue(CB(true)); !ok || !v {
+		t.Error("ConstBoolValue")
+	}
+	if !SameConst(CI(3), CI(3)) || SameConst(CI(3), CI(4)) || SameConst(CI(3), CF(3)) {
+		t.Error("SameConst")
+	}
+	if !IsConst(CI(0)) || IsConst(&Param{Nam: "x", Typ: IntT}) {
+		t.Error("IsConst")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[*Type]string{
+		VoidT: "void", BoolT: "i1", IntT: "i64", FloatT: "f64",
+		PtrTo(IntT): "i64*", PtrTo(FloatT): "f64*",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%v.String() = %q, want %q", ty.K, ty.String(), want)
+		}
+	}
+	if PtrTo(IntT) != PtrTo(IntT) {
+		t.Error("pointer types should be interned")
+	}
+}
+
+func TestInsertBeforeAndRemove(t *testing.T) {
+	f := NewFunc("f", VoidT, nil)
+	bd := NewBuilder(f)
+	b := bd.NewBlock("entry")
+	bd.SetBlock(b)
+	x := bd.Bin(IAdd, CI(1), CI(2))
+	bd.Ret(nil)
+
+	y := NewBin(IMul, CI(3), CI(4))
+	b.InsertBefore(y, x.(Instr))
+	if b.Instrs[0] != y {
+		t.Error("InsertBefore should place y first")
+	}
+	b.Remove(y)
+	if len(b.Instrs) != 2 {
+		t.Errorf("after Remove len = %d, want 2", len(b.Instrs))
+	}
+}

@@ -1,0 +1,204 @@
+package ir
+
+import "sort"
+
+// Loop is a natural loop discovered from a back edge. Loops form a forest;
+// Parent is nil for top-level loops.
+type Loop struct {
+	Header *Block
+	// Latches are the in-loop predecessors of the header.
+	Latches []*Block
+	// Blocks is the set of blocks in the loop (including Header), in
+	// function order.
+	Blocks []*Block
+	// Parent is the innermost enclosing loop, if any.
+	Parent *Loop
+	// Children are the loops nested immediately inside this one.
+	Children []*Loop
+
+	blockSet map[*Block]bool
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *Block) bool { return l.blockSet[b] }
+
+// Depth returns the nesting depth (1 for a top-level loop).
+func (l *Loop) Depth() int {
+	d := 0
+	for p := l; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Preheader returns the unique out-of-loop predecessor of the header, or nil
+// if there is none (or more than one).
+func (l *Loop) Preheader() *Block {
+	var ph *Block
+	for _, p := range l.Header.fn.Preds()[l.Header] {
+		if l.Contains(p) {
+			continue
+		}
+		if ph != nil {
+			return nil
+		}
+		ph = p
+	}
+	return ph
+}
+
+// Exits returns the out-of-loop successors of in-loop blocks, deduplicated.
+func (l *Loop) Exits() []*Block {
+	seen := make(map[*Block]bool)
+	var exits []*Block
+	for _, b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) && !seen[s] {
+				seen[s] = true
+				exits = append(exits, s)
+			}
+		}
+	}
+	return exits
+}
+
+// LoopInfo holds the loop forest of a function.
+type LoopInfo struct {
+	// Top holds the outermost loops in header order.
+	Top []*Loop
+	// ByHeader maps a header block to its loop.
+	ByHeader map[*Block]*Loop
+	// Of maps every block to the innermost loop containing it.
+	Of map[*Block]*Loop
+}
+
+// FindLoops discovers the natural loops of f using its dominator tree.
+// Back edges n→h with h dominating n define loops; loops sharing a header are
+// merged, and the forest is built by containment.
+func FindLoops(f *Func, dt *DomTree) *LoopInfo {
+	li := &LoopInfo{ByHeader: make(map[*Block]*Loop), Of: make(map[*Block]*Loop)}
+	preds := f.Preds()
+
+	// Discover loops per header.
+	order := f.ReversePostorder()
+	index := make(map[*Block]int, len(order))
+	for i, b := range order {
+		index[b] = i
+	}
+	for _, b := range order {
+		for _, s := range b.Succs() {
+			if dt.Reachable(s) && dt.Dominates(s, b) {
+				// Back edge b→s.
+				l := li.ByHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, blockSet: map[*Block]bool{s: true}}
+					li.ByHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				// Walk predecessors backwards from the latch.
+				work := []*Block{b}
+				for len(work) > 0 {
+					n := work[len(work)-1]
+					work = work[:len(work)-1]
+					if l.blockSet[n] {
+						continue
+					}
+					l.blockSet[n] = true
+					for _, p := range preds[n] {
+						if dt.Reachable(p) {
+							work = append(work, p)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize Blocks slices in stable (RPO) order.
+	var loops []*Loop
+	for _, l := range li.ByHeader {
+		for _, b := range order {
+			if l.blockSet[b] {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+		loops = append(loops, l)
+	}
+	// Sort by size ascending so that the innermost loop claims blocks first.
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) < len(loops[j].Blocks)
+		}
+		return index[loops[i].Header] < index[loops[j].Header]
+	})
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			if li.Of[b] == nil {
+				li.Of[b] = l
+			}
+		}
+	}
+	// Build the parent relation: the parent of l is the smallest loop that
+	// strictly contains l's header and is not l itself.
+	for _, l := range loops {
+		var best *Loop
+		for _, cand := range loops {
+			if cand == l || !cand.blockSet[l.Header] {
+				continue
+			}
+			if !containsAll(cand.blockSet, l.Blocks) {
+				continue
+			}
+			if best == nil || len(cand.Blocks) < len(best.Blocks) {
+				best = cand
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, l)
+		} else {
+			li.Top = append(li.Top, l)
+		}
+	}
+	sort.Slice(li.Top, func(i, j int) bool { return index[li.Top[i].Header] < index[li.Top[j].Header] })
+	for _, l := range loops {
+		sort.Slice(l.Children, func(i, j int) bool {
+			return index[l.Children[i].Header] < index[l.Children[j].Header]
+		})
+	}
+	return li
+}
+
+func containsAll(set map[*Block]bool, blocks []*Block) bool {
+	for _, b := range blocks {
+		if !set[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// LoopDepth returns the nesting depth of b (0 when outside all loops).
+func (li *LoopInfo) LoopDepth(b *Block) int {
+	l := li.Of[b]
+	if l == nil {
+		return 0
+	}
+	return l.Depth()
+}
+
+// AllLoops returns every loop in the forest, outermost first.
+func (li *LoopInfo) AllLoops() []*Loop {
+	var all []*Loop
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		all = append(all, l)
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, l := range li.Top {
+		walk(l)
+	}
+	return all
+}

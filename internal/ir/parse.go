@@ -1,0 +1,316 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModule parses the textual form produced by Module.String back into an
+// IR module. Together with the printer this gives a lossless round trip
+// (modulo SSA register numbering), which golden tests and external tooling
+// rely on.
+func ParseModule(src string) (*Module, error) {
+	p := &irParser{}
+	return p.module(src)
+}
+
+// ParseFunc parses a single function definition.
+func ParseFunc(src string) (*Func, error) {
+	m, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Funcs) != 1 {
+		return nil, fmt.Errorf("ir: expected exactly one function, found %d", len(m.Funcs))
+	}
+	return m.Funcs[0], nil
+}
+
+type irParser struct {
+	mod  *Module
+	line int
+
+	// per-function state
+	fn     *Func
+	blocks map[string]*Block
+	values map[string]Value
+	// fixups are operand references to values defined later in the function
+	// (phi incomings, loop-carried uses).
+	fixups []fixup
+	// callFixups resolve callee names after all signatures exist.
+	callFixups []callFixup
+}
+
+type fixup struct {
+	in   Instr
+	idx  int
+	name string
+	line int
+}
+
+type callFixup struct {
+	call *Call
+	name string
+	line int
+}
+
+func (p *irParser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *irParser) module(src string) (*Module, error) {
+	p.mod = NewModule("parsed")
+	lines := strings.Split(src, "\n")
+
+	// First pass: function signatures, so calls can resolve across bodies.
+	for i, raw := range lines {
+		p.line = i + 1
+		line := strings.TrimSpace(raw)
+		if name, ok := strings.CutPrefix(line, "; module "); ok {
+			p.mod.Name = strings.TrimSpace(name)
+			continue
+		}
+		if isFuncHeader(line) {
+			f, err := p.signature(line)
+			if err != nil {
+				return nil, err
+			}
+			p.mod.AddFunc(f)
+		}
+	}
+
+	// Second pass: bodies. Labels are pre-scanned per function so block
+	// order matches the text even when branches reference blocks forward.
+	var cur *Func
+	var curBlock *Block
+	fnIndex := 0
+	for i, raw := range lines {
+		p.line = i + 1
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "" || strings.HasPrefix(line, ";"):
+			continue
+		case isFuncHeader(line):
+			cur = p.mod.Funcs[fnIndex]
+			fnIndex++
+			p.beginFunc(cur, line)
+			curBlock = nil
+			// Pre-create the function's blocks in label order.
+			for j := i + 1; j < len(lines); j++ {
+				l := strings.TrimSpace(lines[j])
+				if l == "}" {
+					break
+				}
+				if strings.HasSuffix(l, ":") && !strings.Contains(l, " ") {
+					p.block(strings.TrimSuffix(l, ":"))
+				}
+			}
+		case line == "}":
+			if cur == nil {
+				return nil, p.errf("unexpected '}'")
+			}
+			if err := p.endFunc(); err != nil {
+				return nil, err
+			}
+			cur = nil
+		case strings.HasSuffix(line, ":") && !strings.Contains(line, " "):
+			if cur == nil {
+				return nil, p.errf("label outside function")
+			}
+			curBlock = p.block(strings.TrimSuffix(line, ":"))
+		default:
+			if cur == nil || curBlock == nil {
+				return nil, p.errf("instruction outside block: %q", line)
+			}
+			if err := p.instr(curBlock, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cur != nil {
+		return nil, p.errf("missing closing '}'")
+	}
+	// Resolve calls.
+	for _, cf := range p.callFixups {
+		callee := p.mod.Func(cf.name)
+		if callee == nil {
+			return nil, fmt.Errorf("ir: line %d: call to undefined @%s", cf.line, cf.name)
+		}
+		cf.call.Callee = callee
+		cf.call.typ = callee.RetType
+	}
+	if err := p.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("ir: parsed module invalid: %w", err)
+	}
+	return p.mod, nil
+}
+
+func isFuncHeader(line string) bool {
+	return (strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "task ")) &&
+		strings.HasSuffix(line, "{")
+}
+
+// signature parses "task void @name(f64* %A, i64 %N) {".
+func (p *irParser) signature(line string) (*Func, error) {
+	isTask := strings.HasPrefix(line, "task ")
+	rest := strings.TrimSpace(line[5 : len(line)-1]) // drop keyword and '{'
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return nil, p.errf("bad function header %q", line)
+	}
+	retT, err := p.typ(rest[:sp])
+	if err != nil {
+		return nil, err
+	}
+	rest = strings.TrimSpace(rest[sp+1:])
+	if !strings.HasPrefix(rest, "@") {
+		return nil, p.errf("missing @name in %q", line)
+	}
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open {
+		return nil, p.errf("bad parameter list in %q", line)
+	}
+	name := rest[1:open]
+	var params []*Param
+	plist := strings.TrimSpace(rest[open+1 : closeIdx])
+	if plist != "" {
+		for _, part := range strings.Split(plist, ",") {
+			fields := strings.Fields(strings.TrimSpace(part))
+			if len(fields) != 2 || !strings.HasPrefix(fields[1], "%") {
+				return nil, p.errf("bad parameter %q", part)
+			}
+			pt, err := p.typ(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, &Param{Nam: fields[1][1:], Typ: pt})
+		}
+	}
+	f := NewFunc(name, retT, params)
+	f.IsTask = isTask
+	return f, nil
+}
+
+func (p *irParser) typ(s string) (*Type, error) {
+	switch s {
+	case "void":
+		return VoidT, nil
+	case "i1":
+		return BoolT, nil
+	case "i64":
+		return IntT, nil
+	case "f64":
+		return FloatT, nil
+	case "i64*":
+		return PtrTo(IntT), nil
+	case "f64*":
+		return PtrTo(FloatT), nil
+	}
+	return nil, p.errf("unknown type %q", s)
+}
+
+func (p *irParser) beginFunc(f *Func, header string) {
+	p.fn = f
+	p.blocks = make(map[string]*Block)
+	p.values = make(map[string]Value)
+	p.fixups = nil
+	for _, prm := range f.Params {
+		p.values["%"+prm.Nam] = prm
+	}
+	_ = header
+}
+
+func (p *irParser) endFunc() error {
+	for _, fx := range p.fixups {
+		v, ok := p.values[fx.name]
+		if !ok {
+			return fmt.Errorf("ir: line %d: undefined value %s", fx.line, fx.name)
+		}
+		fx.in.SetOperand(fx.idx, v)
+	}
+	// Retype instructions whose result type derives from operands that may
+	// have been placeholders during parsing.
+	p.fn.Instrs(func(in Instr) {
+		switch x := in.(type) {
+		case *GEP:
+			if x.Base != nil && x.Base.Type().IsPtr() {
+				x.typ = x.Base.Type()
+			}
+		case *Select:
+			if x.X != nil {
+				x.typ = x.X.Type()
+			}
+		}
+	})
+	p.fn = nil
+	return nil
+}
+
+func (p *irParser) block(name string) *Block {
+	if b, ok := p.blocks[name]; ok {
+		return b
+	}
+	b := p.fn.NewBlock(name)
+	// NewBlock may uniquify; we want the exact printed name.
+	b.Name = name
+	p.blocks[name] = b
+	return b
+}
+
+// operand resolves a printed operand; for instruction results not yet seen
+// it registers a fixup against a placeholder.
+func (p *irParser) operand(s string, in Instr, idx int, want *Type) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "true":
+		return CB(true), nil
+	case s == "false":
+		return CB(false), nil
+	case strings.HasPrefix(s, "%"):
+		if v, ok := p.values[s]; ok {
+			return v, nil
+		}
+		p.fixups = append(p.fixups, fixup{in: in, idx: idx, name: s, line: p.line})
+		return placeholderFor(want), nil
+	}
+	if looksFloat(s) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", s)
+		}
+		return CF(v), nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad literal %q", s)
+	}
+	if want != nil && want.IsFloat() {
+		return CF(float64(v)), nil
+	}
+	return CI(v), nil
+}
+
+func looksFloat(s string) bool {
+	return strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "%")
+}
+
+// placeholderFor keeps instruction constructors type-happy until fixups run.
+func placeholderFor(want *Type) Value {
+	if want == nil {
+		return CI(0)
+	}
+	switch {
+	case want.IsFloat():
+		return CF(0)
+	case want.IsBool():
+		return CB(false)
+	case want.IsPtr():
+		return &Param{Nam: "\x00placeholder", Typ: want}
+	}
+	return CI(0)
+}
+
+// defName registers the result of an instruction under its printed name.
+func (p *irParser) def(name string, v Value) { p.values[name] = v }

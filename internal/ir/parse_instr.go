@@ -1,0 +1,415 @@
+package ir
+
+import "strings"
+
+var binOpByName = map[string]BinOp{
+	"add": IAdd, "sub": ISub, "mul": IMul, "sdiv": IDiv, "srem": IRem,
+	"and": IAnd, "or": IOr, "xor": IXor, "shl": IShl, "ashr": IShr,
+	"smin": IMin, "smax": IMax,
+	"fadd": FAdd, "fsub": FSub, "fmul": FMul, "fdiv": FDiv,
+}
+
+var cmpPredByName = map[string]CmpPred{
+	"eq": EQ, "ne": NE, "lt": LT, "le": LE, "gt": GT, "ge": GE,
+}
+
+// instr parses one instruction line into block b.
+func (p *irParser) instr(b *Block, line string) error {
+	text, comment := cutComment(line)
+
+	// Result-producing form: "%name = op ..."
+	var resName string
+	if strings.HasPrefix(text, "%") {
+		if eq := strings.Index(text, " = "); eq > 0 {
+			resName = text[:eq]
+			text = strings.TrimSpace(text[eq+3:])
+		}
+	}
+
+	op, rest, _ := strings.Cut(text, " ")
+	rest = strings.TrimSpace(rest)
+
+	appendDef := func(in Instr) {
+		b.Append(in)
+		if resName != "" {
+			p.def(resName, in.(Value))
+		}
+	}
+
+	switch op {
+	case "alloca":
+		t, err := p.typ(rest)
+		if err != nil {
+			return err
+		}
+		appendDef(NewAlloca(comment, t))
+		return nil
+
+	case "load":
+		ty, ptr, ok := strings.Cut(rest, ",")
+		if !ok {
+			return p.errf("bad load %q", line)
+		}
+		t, err := p.typ(strings.TrimSpace(ty))
+		if err != nil {
+			return err
+		}
+		l := &Load{}
+		l.typ = t
+		b.Append(l)
+		v, err := p.operand(ptr, l, 0, PtrTo(t))
+		if err != nil {
+			return err
+		}
+		l.Ptr = v
+		if resName != "" {
+			p.def(resName, l)
+		}
+		return nil
+
+	case "store":
+		val, ptr, ok := strings.Cut(rest, ",")
+		if !ok {
+			return p.errf("bad store %q", line)
+		}
+		s := NewStore(CI(0), placeholderFor(PtrTo(IntT)))
+		b.Append(s)
+		v, err := p.operand(val, s, 0, nil)
+		if err != nil {
+			return err
+		}
+		s.Val = v
+		pv, err := p.operand(ptr, s, 1, nil)
+		if err != nil {
+			return err
+		}
+		s.Ptr = pv
+		return nil
+
+	case "prefetch":
+		pf := NewPrefetch(placeholderFor(PtrTo(FloatT)))
+		b.Append(pf)
+		v, err := p.operand(rest, pf, 0, nil)
+		if err != nil {
+			return err
+		}
+		pf.Ptr = v
+		return nil
+
+	case "gep":
+		return p.gep(b, rest, resName)
+
+	case "icmp", "fcmp":
+		predName, ops, _ := strings.Cut(rest, " ")
+		pred, ok := cmpPredByName[predName]
+		if !ok {
+			return p.errf("bad compare predicate %q", predName)
+		}
+		a, bs, ok := strings.Cut(ops, ",")
+		if !ok {
+			return p.errf("bad compare %q", line)
+		}
+		want := IntT
+		if op == "fcmp" {
+			want = FloatT
+		}
+		c := NewCmp(pred, placeholderFor(want), placeholderFor(want))
+		b.Append(c)
+		x, err := p.operand(a, c, 0, want)
+		if err != nil {
+			return err
+		}
+		y, err := p.operand(bs, c, 1, want)
+		if err != nil {
+			return err
+		}
+		c.X, c.Y = x, y
+		if resName != "" {
+			p.def(resName, c)
+		}
+		return nil
+
+	case "sitofp", "fptosi":
+		co := IntToFloat
+		want := IntT
+		if op == "fptosi" {
+			co = FloatToInt
+			want = FloatT
+		}
+		c := NewCast(co, placeholderFor(want))
+		b.Append(c)
+		v, err := p.operand(rest, c, 0, want)
+		if err != nil {
+			return err
+		}
+		c.X = v
+		if resName != "" {
+			p.def(resName, c)
+		}
+		return nil
+
+	case "select":
+		parts := splitOperands(rest)
+		if len(parts) != 3 {
+			return p.errf("bad select %q", line)
+		}
+		s := NewSelect(placeholderFor(BoolT), CI(0), CI(0))
+		b.Append(s)
+		for i, part := range parts {
+			v, err := p.operand(part, s, i, nil)
+			if err != nil {
+				return err
+			}
+			s.SetOperand(i, v)
+		}
+		if resName != "" {
+			p.def(resName, s)
+		}
+		return nil
+
+	case "phi":
+		return p.phi(b, rest, resName, comment)
+
+	case "call":
+		return p.call(b, rest, resName)
+
+	case "br":
+		return p.br(b, rest)
+
+	case "ret":
+		if rest == "void" {
+			b.Append(NewRet(nil))
+			return nil
+		}
+		r := NewRet(CI(0))
+		b.Append(r)
+		v, err := p.operand(rest, r, 0, p.fn.RetType)
+		if err != nil {
+			return err
+		}
+		r.X = v
+		return nil
+	}
+
+	if mo, ok := MathOpByName(op); ok {
+		m := NewMath(mo, placeholderFor(FloatT))
+		b.Append(m)
+		v, err := p.operand(rest, m, 0, FloatT)
+		if err != nil {
+			return err
+		}
+		m.X = v
+		if resName != "" {
+			p.def(resName, m)
+		}
+		return nil
+	}
+	if bo, ok := binOpByName[op]; ok {
+		a, bs, okc := strings.Cut(rest, ",")
+		if !okc {
+			return p.errf("bad %s %q", op, line)
+		}
+		want := IntT
+		if bo.IsFloat() {
+			want = FloatT
+		}
+		bin := NewBin(bo, placeholderFor(want), placeholderFor(want))
+		b.Append(bin)
+		x, err := p.operand(a, bin, 0, want)
+		if err != nil {
+			return err
+		}
+		y, err := p.operand(bs, bin, 1, want)
+		if err != nil {
+			return err
+		}
+		bin.X, bin.Y = x, y
+		if resName != "" {
+			p.def(resName, bin)
+		}
+		return nil
+	}
+	return p.errf("unknown instruction %q", line)
+}
+
+// gep parses "%base dims[a, b] idx[c, d]".
+func (p *irParser) gep(b *Block, rest, resName string) error {
+	di := strings.Index(rest, " dims[")
+	ii := strings.Index(rest, "] idx[")
+	if di < 0 || ii < di || !strings.HasSuffix(rest, "]") {
+		return p.errf("bad gep %q", rest)
+	}
+	baseStr := strings.TrimSpace(rest[:di])
+	dimsStr := rest[di+len(" dims[") : ii]
+	idxStr := rest[ii+len("] idx[") : len(rest)-1]
+
+	dims := splitOperands(dimsStr)
+	idx := splitOperands(idxStr)
+	if len(dims) != len(idx) {
+		return p.errf("gep dims/idx mismatch in %q", rest)
+	}
+	g := &GEP{Dims: make([]Value, len(dims)), Idx: make([]Value, len(idx))}
+	g.typ = PtrTo(FloatT) // retyped after fixups from the base operand
+	b.Append(g)
+	base, err := p.operand(baseStr, g, 0, PtrTo(FloatT))
+	if err != nil {
+		return err
+	}
+	g.Base = base
+	for i, d := range dims {
+		v, err := p.operand(d, g, 1+i, IntT)
+		if err != nil {
+			return err
+		}
+		g.Dims[i] = v
+	}
+	for i, s := range idx {
+		v, err := p.operand(s, g, 1+len(dims)+i, IntT)
+		if err != nil {
+			return err
+		}
+		g.Idx[i] = v
+	}
+	if resName != "" {
+		p.def(resName, g)
+	}
+	return nil
+}
+
+// phi parses "i64 [v, %pred], [v2, %pred2]".
+func (p *irParser) phi(b *Block, rest, resName, comment string) error {
+	tyStr, edges, ok := strings.Cut(rest, " ")
+	if !ok {
+		return p.errf("bad phi %q", rest)
+	}
+	t, err := p.typ(tyStr)
+	if err != nil {
+		return err
+	}
+	phi := NewPhi(t, comment)
+	b.Append(phi)
+	i := 0
+	for _, part := range splitBrackets(edges) {
+		inner := strings.TrimSuffix(strings.TrimPrefix(part, "["), "]")
+		valStr, predStr, ok := strings.Cut(inner, ",")
+		if !ok {
+			return p.errf("bad phi edge %q", part)
+		}
+		predStr = strings.TrimSpace(predStr)
+		if !strings.HasPrefix(predStr, "%") {
+			return p.errf("bad phi predecessor %q", predStr)
+		}
+		phi.AddIncoming(placeholderFor(t), p.block(predStr[1:]))
+		v, err := p.operand(valStr, phi, i, t)
+		if err != nil {
+			return err
+		}
+		phi.In[i].Val = v
+		i++
+	}
+	if resName != "" {
+		p.def(resName, phi)
+	}
+	return nil
+}
+
+// call parses "@callee(a, b)".
+func (p *irParser) call(b *Block, rest, resName string) error {
+	if !strings.HasPrefix(rest, "@") || !strings.HasSuffix(rest, ")") {
+		return p.errf("bad call %q", rest)
+	}
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return p.errf("bad call %q", rest)
+	}
+	name := rest[1:open]
+	argsStr := strings.TrimSuffix(rest[open+1:], ")")
+	c := &Call{}
+	c.typ = VoidT // retyped when the callee resolves
+	b.Append(c)
+	if strings.TrimSpace(argsStr) != "" {
+		parts := splitOperands(argsStr)
+		c.Args = make([]Value, len(parts))
+		for i, part := range parts {
+			v, err := p.operand(part, c, i, nil)
+			if err != nil {
+				return err
+			}
+			c.Args[i] = v
+		}
+	}
+	p.callFixups = append(p.callFixups, callFixup{call: c, name: name, line: p.line})
+	if resName != "" {
+		p.def(resName, c)
+	}
+	return nil
+}
+
+// br parses "%target" or "cond, %then, %else".
+func (p *irParser) br(b *Block, rest string) error {
+	parts := splitOperands(rest)
+	switch len(parts) {
+	case 1:
+		if !strings.HasPrefix(parts[0], "%") {
+			return p.errf("bad branch target %q", rest)
+		}
+		b.Append(NewBr(p.block(parts[0][1:])))
+		return nil
+	case 3:
+		if !strings.HasPrefix(parts[1], "%") || !strings.HasPrefix(parts[2], "%") {
+			return p.errf("bad conditional branch %q", rest)
+		}
+		cb := NewCondBr(placeholderFor(BoolT), p.block(parts[1][1:]), p.block(parts[2][1:]))
+		b.Append(cb)
+		v, err := p.operand(parts[0], cb, 0, BoolT)
+		if err != nil {
+			return err
+		}
+		cb.Cond = v
+		return nil
+	}
+	return p.errf("bad branch %q", rest)
+}
+
+// cutComment splits "text ; comment".
+func cutComment(line string) (string, string) {
+	if i := strings.Index(line, " ; "); i >= 0 {
+		return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+3:])
+	}
+	return line, ""
+}
+
+// splitOperands splits a comma-separated operand list (no nested brackets).
+func splitOperands(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitBrackets splits "[a, %b], [c, %d]" into bracketed chunks.
+func splitBrackets(s string) []string {
+	var out []string
+	depth := 0
+	start := -1
+	for i, r := range s {
+		switch r {
+		case '[':
+			if depth == 0 {
+				start = i
+			}
+			depth++
+		case ']':
+			depth--
+			if depth == 0 && start >= 0 {
+				out = append(out, s[start:i+1])
+				start = -1
+			}
+		}
+	}
+	return out
+}

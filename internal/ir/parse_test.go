@@ -1,0 +1,161 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCountLoopRoundTrip(t *testing.T) {
+	f, _, _, _ := buildCountLoop(t)
+	m := NewModule("m")
+	m.AddFunc(f)
+
+	s1 := m.String()
+	m2, err := ParseModule(s1)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, s1)
+	}
+	s2 := m2.String()
+	m3, err := ParseModule(s2)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s2)
+	}
+	s3 := m3.String()
+	if s2 != s3 {
+		t.Errorf("printing is not idempotent after parse:\n--- s2:\n%s\n--- s3:\n%s", s2, s3)
+	}
+	if m2.Name != "m" {
+		t.Errorf("module name = %q", m2.Name)
+	}
+	g := m2.Func("sum")
+	if g == nil {
+		t.Fatal("parsed module lacks @sum")
+	}
+	if len(g.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3", len(g.Blocks))
+	}
+	if g.Entry().Name != "entry" {
+		t.Errorf("entry = %q", g.Entry().Name)
+	}
+}
+
+func TestParsePreservesSemantics(t *testing.T) {
+	// A function exercising every instruction kind that can appear in task
+	// code: arithmetic, compares, casts, math, select, memory, phis, calls.
+	src := `; module demo
+func f64 @helper(f64 %x) {
+entry:
+  %t1 = fmul %x, 2.5
+  ret %t1
+}
+task void @k(f64* %A, i64* %B, i64 %n) {
+entry:
+  %t0 = alloca i64 ; tmp
+  store 7, %t0
+  br %loop
+loop:
+  %t2 = phi i64 [0, %entry], [%t9, %loop] ; i
+  %t3 = gep %B dims[%n] idx[%t2]
+  %t4 = load i64, %t3
+  %t5 = gep %A dims[%n] idx[%t4]
+  prefetch %t5
+  %t6 = load f64, %t5
+  %t7 = call @helper(%t6)
+  %t8 = sitofp %t2
+  %t10 = fadd %t7, %t8
+  %t11 = sqrt %t10
+  store %t11, %t5
+  %t9 = add %t2, 1
+  %t12 = icmp lt %t9, %n
+  br %t12, %loop, %exit
+exit:
+  %t13 = load i64, %t0
+  %t14 = icmp gt %t13, 0
+  %t15 = select %t14, 1.5, 2.5
+  %t16 = gep %A dims[%n] idx[0]
+  store %t15, %t16
+  ret void
+}
+`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	k := m.Func("k")
+	if !k.IsTask {
+		t.Error("@k should be a task")
+	}
+	if m.Func("helper").IsTask {
+		t.Error("@helper should not be a task")
+	}
+	// Round trip preserves structure counts.
+	m2, err := ParseModule(m.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, m)
+	}
+	if m2.Func("k").NumInstrs() != k.NumInstrs() {
+		t.Errorf("instruction count changed: %d vs %d", m2.Func("k").NumInstrs(), k.NumInstrs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"bad type", "func i32 @f() {\nentry:\n  ret void\n}", "unknown type"},
+		{"bad instr", "func void @f() {\nentry:\n  frobnicate 1, 2\n  ret void\n}", "unknown instruction"},
+		{"undefined value", "func void @f() {\nentry:\n  %t1 = add %nope, 1\n  ret void\n}", "undefined value"},
+		{"undefined callee", "func void @f() {\nentry:\n  call @ghost()\n  ret void\n}", "undefined"},
+		{"no close", "func void @f() {\nentry:\n  ret void\n", "missing closing"},
+		{"bad float", "func void @f() {\nentry:\n  %t1 = fadd 1.x, 2.0\n  ret void\n}", "bad float"},
+		{"bad pred", "func void @f() {\nentry:\n  %t1 = icmp zz 1, 2\n  ret void\n}", "predicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseModule(tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFuncSingle(t *testing.T) {
+	f, err := ParseFunc("func i64 @id(i64 %x) {\nentry:\n  ret %x\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "id" || len(f.Params) != 1 {
+		t.Errorf("parsed signature wrong: %s", f)
+	}
+	if _, err := ParseFunc("func void @a() {\nentry:\n  ret void\n}\nfunc void @b() {\nentry:\n  ret void\n}\n"); err == nil {
+		t.Error("ParseFunc should reject multiple functions")
+	}
+}
+
+func TestFloatConstantsRoundTrip(t *testing.T) {
+	// The printer must keep float constants distinguishable from ints.
+	for _, v := range []float64{1, 0, -3, 2.5, 1e20, 1e-20, 0.1} {
+		ref := CF(v).Ref()
+		if !strings.ContainsAny(ref, ".eE") {
+			t.Errorf("CF(%g).Ref() = %q is ambiguous with an integer", v, ref)
+		}
+	}
+	src := "func f64 @f() {\nentry:\n  %t1 = fadd 1.0, 2.0\n  ret %t1\n}\n"
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := f.Entry().Instrs[0].(*Bin)
+	if _, ok := bin.X.(*ConstFloat); !ok {
+		t.Errorf("1.0 parsed as %T, want ConstFloat", bin.X)
+	}
+}

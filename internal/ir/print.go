@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a textual form close to LLVM assembly.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	kw := "func"
+	if f.IsTask {
+		kw = "task"
+	}
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Typ, p.Nam)
+	}
+	fmt.Fprintf(&sb, "%s %s @%s(%s) {\n", kw, f.RetType, f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", FormatInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func ref(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Ref()
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(in Instr) string {
+	switch x := in.(type) {
+	case *Alloca:
+		return fmt.Sprintf("%s = alloca %s ; %s", x.Ref(), x.typ.Elem, x.Var)
+	case *Load:
+		return fmt.Sprintf("%s = load %s, %s", x.Ref(), x.typ, ref(x.Ptr))
+	case *Store:
+		return fmt.Sprintf("store %s, %s", ref(x.Val), ref(x.Ptr))
+	case *Prefetch:
+		return fmt.Sprintf("prefetch %s", ref(x.Ptr))
+	case *GEP:
+		dims := make([]string, len(x.Dims))
+		for i, d := range x.Dims {
+			dims[i] = ref(d)
+		}
+		idx := make([]string, len(x.Idx))
+		for i, v := range x.Idx {
+			idx[i] = ref(v)
+		}
+		return fmt.Sprintf("%s = gep %s dims[%s] idx[%s]", x.Ref(), ref(x.Base),
+			strings.Join(dims, ", "), strings.Join(idx, ", "))
+	case *Bin:
+		return fmt.Sprintf("%s = %s %s, %s", x.Ref(), x.Op, ref(x.X), ref(x.Y))
+	case *Cmp:
+		ty := "icmp"
+		if x.X != nil && x.X.Type().IsFloat() {
+			ty = "fcmp"
+		}
+		return fmt.Sprintf("%s = %s %s %s, %s", x.Ref(), ty, x.Pred, ref(x.X), ref(x.Y))
+	case *Math:
+		return fmt.Sprintf("%s = %s %s", x.Ref(), x.Op, ref(x.X))
+	case *Cast:
+		op := "sitofp"
+		if x.Op == FloatToInt {
+			op = "fptosi"
+		}
+		return fmt.Sprintf("%s = %s %s", x.Ref(), op, ref(x.X))
+	case *Select:
+		return fmt.Sprintf("%s = select %s, %s, %s", x.Ref(), ref(x.Cond), ref(x.X), ref(x.Y))
+	case *Phi:
+		parts := make([]string, len(x.In))
+		for i, in := range x.In {
+			parts[i] = fmt.Sprintf("[%s, %%%s]", ref(in.Val), in.Pred.Name)
+		}
+		tag := ""
+		if x.Var != "" {
+			tag = " ; " + x.Var
+		}
+		return fmt.Sprintf("%s = phi %s %s%s", x.Ref(), x.typ, strings.Join(parts, ", "), tag)
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ref(a)
+		}
+		if x.typ.IsVoid() {
+			return fmt.Sprintf("call @%s(%s)", x.Callee.Name, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s = call @%s(%s)", x.Ref(), x.Callee.Name, strings.Join(args, ", "))
+	case *Br:
+		return fmt.Sprintf("br %%%s", x.Target.Name)
+	case *CondBr:
+		return fmt.Sprintf("br %s, %%%s, %%%s", ref(x.Cond), x.Then.Name, x.Else.Name)
+	case *Ret:
+		if x.X == nil {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", ref(x.X))
+	}
+	return fmt.Sprintf("<unknown instr %T>", in)
+}

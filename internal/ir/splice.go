@@ -1,0 +1,80 @@
+package ir
+
+// SplitBlock moves every instruction after at (exclusive) into a fresh block
+// and returns it. The terminator moves too, so b is left unterminated;
+// phi edges in b's former successors are repointed at the new block. at must
+// be an instruction of b.
+func (f *Func) SplitBlock(b *Block, at Instr) *Block {
+	idx := -1
+	for i, in := range b.Instrs {
+		if in == at {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("ir: SplitBlock: instruction not in block")
+	}
+	nb := f.NewBlock(b.Name + ".split")
+	moved := append([]Instr{}, b.Instrs[idx+1:]...)
+	b.Instrs = b.Instrs[:idx+1]
+	for _, in := range moved {
+		in.setParent(nb)
+	}
+	nb.Instrs = moved
+	for _, s := range nb.Succs() {
+		for _, phi := range s.Phis() {
+			for i := range phi.In {
+				if phi.In[i].Pred == b {
+					phi.In[i].Pred = nb
+				}
+			}
+		}
+	}
+	return nb
+}
+
+// Absorb transfers every block of g into f (renaming on collision) and
+// returns g's former entry block. g is emptied. Values in the transferred
+// blocks keep referencing g's params; callers are expected to rewrite them.
+func (f *Func) Absorb(g *Func) *Block {
+	entry := g.Entry()
+	for _, b := range g.Blocks {
+		b.Name = f.uniqueBlockName(b.Name)
+		b.fn = f
+		for _, in := range b.Instrs {
+			in.setID(f.nextID())
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	g.Blocks = nil
+	return entry
+}
+
+// MoveBlockAfter reorders block b to come immediately after pos in the
+// function's block list. Purely cosmetic (printing order); the CFG is
+// unchanged.
+func (f *Func) MoveBlockAfter(b, pos *Block) {
+	bi := -1
+	for i, x := range f.Blocks {
+		if x == b {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		panic("ir: MoveBlockAfter: block not in function")
+	}
+	f.Blocks = append(f.Blocks[:bi], f.Blocks[bi+1:]...)
+	pi := -1
+	for i, x := range f.Blocks {
+		if x == pos {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		panic("ir: MoveBlockAfter: position block not in function")
+	}
+	f.Blocks = append(f.Blocks[:pi+1], append([]*Block{b}, f.Blocks[pi+1:]...)...)
+}

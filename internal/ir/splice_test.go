@@ -1,0 +1,125 @@
+package ir
+
+import "testing"
+
+func TestSplitBlock(t *testing.T) {
+	f := NewFunc("f", IntT, []*Param{{Nam: "x", Typ: IntT}})
+	x := f.Params[0]
+	bd := NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	bd.SetBlock(entry)
+	a := bd.Bin(IAdd, x, CI(1))
+	b := bd.Bin(IMul, a, CI(2))
+	bd.Ret(b)
+
+	nb := f.SplitBlock(entry, a.(Instr))
+	if len(entry.Instrs) != 1 {
+		t.Fatalf("entry retains %d instrs, want 1 (the add)", len(entry.Instrs))
+	}
+	if entry.Term() != nil {
+		t.Error("entry must be unterminated after split")
+	}
+	if len(nb.Instrs) != 2 {
+		t.Fatalf("new block has %d instrs, want mul+ret", len(nb.Instrs))
+	}
+	// Re-terminate and verify.
+	entry.Append(NewBr(nb))
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after split: %v\n%s", err, f)
+	}
+}
+
+func TestSplitBlockFixesPhiEdges(t *testing.T) {
+	// entry(condbr) → then → join(phi); splitting entry... rather: split the
+	// `then` block and check the phi's pred is re-pointed at the new tail.
+	c := &Param{Nam: "c", Typ: BoolT}
+	f := NewFunc("f", IntT, []*Param{c})
+	bd := NewBuilder(f)
+	entry := bd.NewBlock("entry")
+	then := bd.NewBlock("then")
+	join := bd.NewBlock("join")
+
+	bd.SetBlock(entry)
+	bd.CondBr(c, then, join)
+
+	bd.SetBlock(then)
+	v := bd.Bin(IAdd, CI(1), CI(2))
+	bd.Br(join)
+
+	bd.SetBlock(join)
+	phi := bd.Phi(IntT, "r")
+	phi.AddIncoming(v, then)
+	phi.AddIncoming(CI(0), entry)
+	bd.Ret(phi)
+
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tail := f.SplitBlock(then, v.(Instr))
+	then.Append(NewBr(tail))
+	if phi.Incoming(tail) != v {
+		t.Errorf("phi edge should move to the split tail:\n%s", f)
+	}
+	if phi.Incoming(then) != nil {
+		t.Error("phi edge from the split head must be gone")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+}
+
+func TestAbsorb(t *testing.T) {
+	g := NewFunc("g", IntT, []*Param{{Nam: "y", Typ: IntT}})
+	bd := NewBuilder(g)
+	ge := bd.NewBlock("entry")
+	bd.SetBlock(ge)
+	v := bd.Bin(IAdd, g.Params[0], CI(5))
+	bd.Ret(v)
+
+	f := NewFunc("f", IntT, []*Param{{Nam: "x", Typ: IntT}})
+	fbd := NewBuilder(f)
+	fe := fbd.NewBlock("entry")
+	_ = fe
+
+	entry := g.Entry()
+	got := f.Absorb(g)
+	if got != entry {
+		t.Error("Absorb should return g's former entry")
+	}
+	if len(g.Blocks) != 0 {
+		t.Error("g should be emptied")
+	}
+	if len(f.Blocks) != 2 {
+		t.Fatalf("f has %d blocks, want 2", len(f.Blocks))
+	}
+	// Name collision resolved.
+	if f.Blocks[0].Name == f.Blocks[1].Name {
+		t.Error("absorbed block names must be unique")
+	}
+	if f.Blocks[1].Func() != f {
+		t.Error("absorbed block must belong to f")
+	}
+}
+
+func TestMoveBlockAfter(t *testing.T) {
+	f := NewFunc("f", VoidT, nil)
+	bd := NewBuilder(f)
+	a := bd.NewBlock("a")
+	b := bd.NewBlock("b")
+	c := bd.NewBlock("c")
+	bd.SetBlock(a)
+	bd.Br(b)
+	bd.SetBlock(b)
+	bd.Br(c)
+	bd.SetBlock(c)
+	bd.Ret(nil)
+
+	f.MoveBlockAfter(c, a) // order: a, c, b
+	if f.Blocks[0] != a || f.Blocks[1] != c || f.Blocks[2] != b {
+		t.Errorf("order = %s, %s, %s", f.Blocks[0].Name, f.Blocks[1].Name, f.Blocks[2].Name)
+	}
+	// CFG unchanged; still verifies.
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

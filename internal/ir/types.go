@@ -1,0 +1,85 @@
+// Package ir defines a small SSA intermediate representation in the style of
+// LLVM IR, sufficient to host the decoupled access-execute (DAE)
+// transformation described in Jimborean et al., CGO 2014.
+//
+// A Module holds Funcs; a Func holds Blocks of Instrs. Scalar locals are
+// introduced as Allocas by the front end and promoted to SSA registers by the
+// mem2reg pass (internal/passes). Array accesses are expressed with GEP
+// instructions that carry explicit (possibly symbolic) dimension sizes, which
+// is what the scalar-evolution and polyhedral analyses consume.
+package ir
+
+import "fmt"
+
+// TypeKind enumerates the primitive type kinds of the IR.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	VoidKind TypeKind = iota
+	BoolKind
+	IntKind   // 64-bit signed integer
+	FloatKind // 64-bit IEEE float
+	PtrKind   // pointer to Elem
+)
+
+// Type describes an IR type. Types are interned: compare with ==.
+type Type struct {
+	K    TypeKind
+	Elem *Type // element type for PtrKind, nil otherwise
+}
+
+// Interned singleton types.
+var (
+	VoidT  = &Type{K: VoidKind}
+	BoolT  = &Type{K: BoolKind}
+	IntT   = &Type{K: IntKind}
+	FloatT = &Type{K: FloatKind}
+
+	ptrToInt   = &Type{K: PtrKind, Elem: IntT}
+	ptrToFloat = &Type{K: PtrKind, Elem: FloatT}
+)
+
+// PtrTo returns the (interned) pointer type to elem. Only pointers to Int and
+// Float are supported; the IR has no aggregates or pointer-to-pointer.
+func PtrTo(elem *Type) *Type {
+	switch elem {
+	case IntT:
+		return ptrToInt
+	case FloatT:
+		return ptrToFloat
+	}
+	panic(fmt.Sprintf("ir: unsupported pointer element type %v", elem))
+}
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t.K == PtrKind }
+
+// IsInt reports whether t is the 64-bit integer type.
+func (t *Type) IsInt() bool { return t.K == IntKind }
+
+// IsFloat reports whether t is the 64-bit float type.
+func (t *Type) IsFloat() bool { return t.K == FloatKind }
+
+// IsBool reports whether t is the boolean type.
+func (t *Type) IsBool() bool { return t.K == BoolKind }
+
+// IsVoid reports whether t is the void type.
+func (t *Type) IsVoid() bool { return t.K == VoidKind }
+
+// String returns the textual form of the type.
+func (t *Type) String() string {
+	switch t.K {
+	case VoidKind:
+		return "void"
+	case BoolKind:
+		return "i1"
+	case IntKind:
+		return "i64"
+	case FloatKind:
+		return "f64"
+	case PtrKind:
+		return t.Elem.String() + "*"
+	}
+	return "?"
+}

@@ -1,0 +1,129 @@
+package ir
+
+import "strconv"
+
+// Value is anything that can appear as an instruction operand: constants,
+// function parameters, and instructions themselves.
+type Value interface {
+	// Type returns the IR type of the value.
+	Type() *Type
+	// Ref returns the operand-position spelling of the value
+	// (e.g. "%x", "42", "3.5").
+	Ref() string
+}
+
+// ConstInt is a 64-bit integer constant.
+type ConstInt struct{ V int64 }
+
+// CI returns an integer constant value.
+func CI(v int64) *ConstInt { return &ConstInt{V: v} }
+
+// Type implements Value.
+func (c *ConstInt) Type() *Type { return IntT }
+
+// Ref implements Value.
+func (c *ConstInt) Ref() string { return strconv.FormatInt(c.V, 10) }
+
+// ConstFloat is a 64-bit floating-point constant.
+type ConstFloat struct{ V float64 }
+
+// CF returns a float constant value.
+func CF(v float64) *ConstFloat { return &ConstFloat{V: v} }
+
+// Type implements Value.
+func (c *ConstFloat) Type() *Type { return FloatT }
+
+// Ref implements Value. The spelling always carries a decimal point or
+// exponent so float constants never collide with integer literals in the
+// textual IR (required for round-tripping through the parser).
+func (c *ConstFloat) Ref() string {
+	s := strconv.FormatFloat(c.V, 'g', -1, 64)
+	for _, r := range s {
+		if r == '.' || r == 'e' || r == 'E' || r == 'n' || r == 'i' { // NaN/Inf
+			return s
+		}
+	}
+	return s + ".0"
+}
+
+// ConstBool is a boolean constant.
+type ConstBool struct{ V bool }
+
+// CB returns a boolean constant value.
+func CB(v bool) *ConstBool { return &ConstBool{V: v} }
+
+// Type implements Value.
+func (c *ConstBool) Type() *Type { return BoolT }
+
+// Ref implements Value.
+func (c *ConstBool) Ref() string {
+	if c.V {
+		return "true"
+	}
+	return "false"
+}
+
+// Param is a function parameter. Array arguments are passed as pointers; the
+// dimension sizes travel separately (also as parameters) and are referenced
+// by GEP instructions.
+type Param struct {
+	Nam string
+	Typ *Type
+	// Index is the position of the parameter in Func.Params.
+	Index int
+}
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.Typ }
+
+// Ref implements Value.
+func (p *Param) Ref() string { return "%" + p.Nam }
+
+// IsConst reports whether v is a constant value.
+func IsConst(v Value) bool {
+	switch v.(type) {
+	case *ConstInt, *ConstFloat, *ConstBool:
+		return true
+	}
+	return false
+}
+
+// ConstIntValue returns the integer value of v if v is a ConstInt.
+func ConstIntValue(v Value) (int64, bool) {
+	if c, ok := v.(*ConstInt); ok {
+		return c.V, true
+	}
+	return 0, false
+}
+
+// ConstFloatValue returns the float value of v if v is a ConstFloat.
+func ConstFloatValue(v Value) (float64, bool) {
+	if c, ok := v.(*ConstFloat); ok {
+		return c.V, true
+	}
+	return 0, false
+}
+
+// ConstBoolValue returns the bool value of v if v is a ConstBool.
+func ConstBoolValue(v Value) (bool, bool) {
+	if c, ok := v.(*ConstBool); ok {
+		return c.V, true
+	}
+	return false, false
+}
+
+// SameConst reports whether a and b are equal constants of the same kind.
+func SameConst(a, b Value) bool {
+	switch ca := a.(type) {
+	case *ConstInt:
+		cb, ok := b.(*ConstInt)
+		return ok && ca.V == cb.V
+	case *ConstFloat:
+		cb, ok := b.(*ConstFloat)
+		return ok && ca.V == cb.V
+	case *ConstBool:
+		cb, ok := b.(*ConstBool)
+		return ok && ca.V == cb.V
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural well-formedness of every function in the module.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("func @%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// Verify checks the function for structural errors: missing/misplaced
+// terminators, phi edges not matching CFG predecessors, type mismatches on
+// operands, and SSA definitions that do not dominate their uses.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	for _, b := range f.Blocks {
+		if err := f.verifyBlock(b, blockSet); err != nil {
+			return fmt.Errorf("block %%%s: %w", b.Name, err)
+		}
+	}
+	return f.verifyDominance()
+}
+
+func (f *Func) verifyBlock(b *Block, blockSet map[*Block]bool) error {
+	if len(b.Instrs) == 0 {
+		return errors.New("empty block")
+	}
+	for i, in := range b.Instrs {
+		isLast := i == len(b.Instrs)-1
+		if IsTerminator(in) != isLast {
+			if isLast {
+				return fmt.Errorf("last instruction is not a terminator: %s", FormatInstr(in))
+			}
+			return fmt.Errorf("terminator in mid-block: %s", FormatInstr(in))
+		}
+		if in.Parent() != b {
+			return fmt.Errorf("instruction parent link broken: %s", FormatInstr(in))
+		}
+		if _, isPhi := in.(*Phi); isPhi && i >= b.FirstNonPhi() {
+			return fmt.Errorf("phi after non-phi: %s", FormatInstr(in))
+		}
+		if err := verifyTypes(in); err != nil {
+			return fmt.Errorf("%s: %w", FormatInstr(in), err)
+		}
+		if t, ok := in.(Terminator); ok {
+			for _, tgt := range t.Targets() {
+				if !blockSet[tgt] {
+					return fmt.Errorf("branch to block not in function: %%%s", tgt.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func verifyTypes(in Instr) error {
+	switch x := in.(type) {
+	case *Load:
+		if !x.Ptr.Type().IsPtr() {
+			return errors.New("load of non-pointer")
+		}
+	case *Store:
+		if !x.Ptr.Type().IsPtr() {
+			return errors.New("store to non-pointer")
+		}
+		if x.Ptr.Type().Elem != x.Val.Type() {
+			return errors.New("store value/pointer element type mismatch")
+		}
+	case *Prefetch:
+		if !x.Ptr.Type().IsPtr() {
+			return errors.New("prefetch of non-pointer")
+		}
+	case *GEP:
+		if !x.Base.Type().IsPtr() {
+			return errors.New("gep base is not a pointer")
+		}
+		for _, v := range x.Idx {
+			if !v.Type().IsInt() {
+				return errors.New("gep index is not an integer")
+			}
+		}
+		for _, v := range x.Dims {
+			if !v.Type().IsInt() {
+				return errors.New("gep dimension is not an integer")
+			}
+		}
+	case *Bin:
+		want := IntT
+		if x.Op.IsFloat() {
+			want = FloatT
+		}
+		if x.X.Type() != want || x.Y.Type() != want {
+			return fmt.Errorf("%s operand types %s, %s", x.Op, x.X.Type(), x.Y.Type())
+		}
+	case *Cmp:
+		if x.X.Type() != x.Y.Type() {
+			return errors.New("cmp operand type mismatch")
+		}
+		if !x.X.Type().IsInt() && !x.X.Type().IsFloat() && !x.X.Type().IsBool() {
+			return errors.New("cmp of unsupported type")
+		}
+	case *Math:
+		if !x.X.Type().IsFloat() {
+			return errors.New("math intrinsic of non-float")
+		}
+	case *Cast:
+		if x.Op == IntToFloat && !x.X.Type().IsInt() {
+			return errors.New("sitofp of non-integer")
+		}
+		if x.Op == FloatToInt && !x.X.Type().IsFloat() {
+			return errors.New("fptosi of non-float")
+		}
+	case *Select:
+		if !x.Cond.Type().IsBool() {
+			return errors.New("select condition is not bool")
+		}
+		if x.X.Type() != x.Y.Type() {
+			return errors.New("select arm type mismatch")
+		}
+	case *CondBr:
+		if !x.Cond.Type().IsBool() {
+			return errors.New("condbr condition is not bool")
+		}
+	case *Call:
+		if len(x.Args) != len(x.Callee.Params) {
+			return fmt.Errorf("call arity %d, want %d", len(x.Args), len(x.Callee.Params))
+		}
+		for i, a := range x.Args {
+			if a.Type() != x.Callee.Params[i].Typ {
+				return fmt.Errorf("call arg %d type %s, want %s", i, a.Type(), x.Callee.Params[i].Typ)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) verifyDominance() error {
+	dt := NewDomTree(f)
+	preds := f.Preds()
+
+	for _, b := range f.Blocks {
+		if !dt.Reachable(b) {
+			continue
+		}
+		// Phi incoming edges must exactly match CFG predecessors.
+		for _, p := range b.Phis() {
+			if len(p.In) != len(preds[b]) {
+				return fmt.Errorf("block %%%s: phi %s has %d incoming, block has %d preds",
+					b.Name, p.Ref(), len(p.In), len(preds[b]))
+			}
+			for _, in := range p.In {
+				if !blockInList(preds[b], in.Pred) {
+					return fmt.Errorf("block %%%s: phi %s incoming from non-predecessor %%%s",
+						b.Name, p.Ref(), in.Pred.Name)
+				}
+			}
+		}
+		for _, use := range b.Instrs {
+			phi, isPhi := use.(*Phi)
+			if isPhi {
+				for _, in := range phi.In {
+					def, ok := in.Val.(Instr)
+					if !ok {
+						continue
+					}
+					if !dt.Reachable(in.Pred) {
+						continue
+					}
+					if !dt.DominatesInstr(def, use, in.Pred) {
+						return fmt.Errorf("block %%%s: phi operand %s does not dominate edge from %%%s",
+							b.Name, def.Ref(), in.Pred.Name)
+					}
+				}
+				continue
+			}
+			for _, op := range use.Operands() {
+				def, ok := op.(Instr)
+				if !ok {
+					continue
+				}
+				if !dt.DominatesInstr(def, use, nil) {
+					return fmt.Errorf("block %%%s: operand %s of %s does not dominate use",
+						b.Name, def.Ref(), FormatInstr(use))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func blockInList(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,599 @@
+// Package lower translates checked TaskC files into the SSA IR. Scalar
+// locals become allocas (promoted to registers by the mem2reg pass); array
+// accesses become GEP+load/store with explicit dimension operands so that the
+// scalar-evolution and polyhedral analyses can recover the access shape.
+package lower
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+	"dae/internal/taskc"
+)
+
+// File lowers a checked TaskC file into a fresh IR module named name.
+func File(file *taskc.File, info *taskc.Info, name string) (*ir.Module, error) {
+	m := ir.NewModule(name)
+	l := &lowerer{info: info, funcs: make(map[*taskc.FuncDecl]*ir.Func)}
+
+	// Create all signatures first so calls can be resolved.
+	for _, fd := range file.Funcs {
+		f := ir.NewFunc(fd.Name, irType(fd.Ret), irParams(fd))
+		f.IsTask = fd.IsTask
+		m.AddFunc(f)
+		l.funcs[fd] = f
+	}
+	for _, fd := range file.Funcs {
+		if err := l.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("lower: generated invalid IR: %w", err)
+	}
+	return m, nil
+}
+
+// Compile is a convenience that parses, checks, and lowers src.
+func Compile(src, name string) (*ir.Module, error) {
+	file, err := taskc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := taskc.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	return File(file, info, name)
+}
+
+func irType(t taskc.TypeName) *ir.Type {
+	switch t {
+	case taskc.IntType:
+		return ir.IntT
+	case taskc.FloatType:
+		return ir.FloatT
+	}
+	return ir.VoidT
+}
+
+func irParams(fd *taskc.FuncDecl) []*ir.Param {
+	params := make([]*ir.Param, len(fd.Params))
+	for i, pd := range fd.Params {
+		t := irType(pd.Type)
+		if pd.IsArray() {
+			t = ir.PtrTo(t)
+		}
+		params[i] = &ir.Param{Nam: pd.Name, Typ: t}
+	}
+	return params
+}
+
+type lowerer struct {
+	info  *taskc.Info
+	funcs map[*taskc.FuncDecl]*ir.Func
+
+	fd     *taskc.FuncDecl
+	f      *ir.Func
+	bd     *ir.Builder
+	params map[*taskc.ParamDecl]*ir.Param
+	slots  map[*taskc.DeclStmt]*ir.Alloca
+	dims   map[*taskc.ParamDecl][]ir.Value
+}
+
+func (l *lowerer) lowerFunc(fd *taskc.FuncDecl) error {
+	l.fd = fd
+	l.f = l.funcs[fd]
+	l.bd = ir.NewBuilder(l.f)
+	l.params = make(map[*taskc.ParamDecl]*ir.Param, len(fd.Params))
+	l.slots = make(map[*taskc.DeclStmt]*ir.Alloca)
+	l.dims = make(map[*taskc.ParamDecl][]ir.Value)
+	for i, pd := range fd.Params {
+		l.params[pd] = l.f.Params[i]
+	}
+
+	entry := l.bd.NewBlock("entry")
+	l.bd.SetBlock(entry)
+
+	// Evaluate array dimensions once in the entry block. Dimension
+	// expressions reference earlier parameters only, so they are available
+	// here, and keeping them loop-invariant lets analyses treat them as
+	// symbolic constants.
+	for _, pd := range fd.Params {
+		if !pd.IsArray() {
+			continue
+		}
+		dims := make([]ir.Value, len(pd.Dims))
+		for i, e := range pd.Dims {
+			v, err := l.rvalue(e)
+			if err != nil {
+				return err
+			}
+			dims[i] = v
+		}
+		l.dims[pd] = dims
+	}
+
+	if err := l.stmt(fd.Body); err != nil {
+		return err
+	}
+	if l.bd.Block().Term() == nil {
+		switch fd.Ret {
+		case taskc.VoidType:
+			l.bd.Ret(nil)
+		case taskc.IntType:
+			l.bd.Ret(ir.CI(0))
+		default:
+			l.bd.Ret(ir.CF(0))
+		}
+	}
+	l.f.RemoveUnreachable()
+	return nil
+}
+
+// startBlockIfTerminated keeps the builder usable after a mid-block return.
+func (l *lowerer) startBlockIfTerminated() {
+	if l.bd.Block().Term() != nil {
+		b := l.bd.NewBlock("dead")
+		l.bd.SetBlock(b)
+	}
+}
+
+func (l *lowerer) stmt(s taskc.Stmt) error {
+	l.startBlockIfTerminated()
+	switch st := s.(type) {
+	case *taskc.BlockStmt:
+		for _, sub := range st.Stmts {
+			if err := l.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *taskc.DeclStmt:
+		slot := l.bd.Alloca(st.Name, irType(st.Type))
+		l.slots[st] = slot
+		if st.Init != nil {
+			v, err := l.rvalueAs(st.Init, irType(st.Type))
+			if err != nil {
+				return err
+			}
+			l.bd.Store(v, slot)
+		}
+		return nil
+
+	case *taskc.AssignStmt:
+		return l.assign(st)
+
+	case *taskc.PrefetchStmt:
+		ptr, err := l.address(st.Addr)
+		if err != nil {
+			return err
+		}
+		l.bd.Prefetch(ptr)
+		return nil
+
+	case *taskc.IfStmt:
+		thenB := l.bd.NewBlock("if.then")
+		joinB := l.bd.NewBlock("if.end")
+		elseB := joinB
+		if st.Else != nil {
+			elseB = l.bd.NewBlock("if.else")
+		}
+		if err := l.condBranch(st.Cond, thenB, elseB); err != nil {
+			return err
+		}
+		l.bd.SetBlock(thenB)
+		if err := l.stmt(st.Then); err != nil {
+			return err
+		}
+		if l.bd.Block().Term() == nil {
+			l.bd.Br(joinB)
+		}
+		if st.Else != nil {
+			l.bd.SetBlock(elseB)
+			if err := l.stmt(st.Else); err != nil {
+				return err
+			}
+			if l.bd.Block().Term() == nil {
+				l.bd.Br(joinB)
+			}
+		}
+		l.bd.SetBlock(joinB)
+		return nil
+
+	case *taskc.ForStmt:
+		if st.Init != nil {
+			if err := l.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		condB := l.bd.NewBlock("for.cond")
+		bodyB := l.bd.NewBlock("for.body")
+		postB := l.bd.NewBlock("for.post")
+		exitB := l.bd.NewBlock("for.end")
+		l.bd.Br(condB)
+
+		l.bd.SetBlock(condB)
+		if st.Cond != nil {
+			if err := l.condBranch(st.Cond, bodyB, exitB); err != nil {
+				return err
+			}
+		} else {
+			l.bd.Br(bodyB)
+		}
+
+		l.bd.SetBlock(bodyB)
+		if err := l.stmt(st.Body); err != nil {
+			return err
+		}
+		if l.bd.Block().Term() == nil {
+			l.bd.Br(postB)
+		}
+
+		l.bd.SetBlock(postB)
+		if st.Post != nil {
+			if err := l.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		l.startBlockIfTerminated() // defensive; post cannot return
+		l.bd.Br(condB)
+
+		l.bd.SetBlock(exitB)
+		return nil
+
+	case *taskc.WhileStmt:
+		condB := l.bd.NewBlock("while.cond")
+		bodyB := l.bd.NewBlock("while.body")
+		exitB := l.bd.NewBlock("while.end")
+		l.bd.Br(condB)
+
+		l.bd.SetBlock(condB)
+		if err := l.condBranch(st.Cond, bodyB, exitB); err != nil {
+			return err
+		}
+
+		l.bd.SetBlock(bodyB)
+		if err := l.stmt(st.Body); err != nil {
+			return err
+		}
+		if l.bd.Block().Term() == nil {
+			l.bd.Br(condB)
+		}
+
+		l.bd.SetBlock(exitB)
+		return nil
+
+	case *taskc.ReturnStmt:
+		if st.X == nil {
+			l.bd.Ret(nil)
+			return nil
+		}
+		v, err := l.rvalueAs(st.X, irType(l.fd.Ret))
+		if err != nil {
+			return err
+		}
+		l.bd.Ret(v)
+		return nil
+
+	case *taskc.ExprStmt:
+		_, err := l.rvalue(st.X)
+		return err
+	}
+	return fmt.Errorf("lower: unhandled statement %T", s)
+}
+
+func (l *lowerer) assign(st *taskc.AssignStmt) error {
+	var ptr ir.Value
+	var elem *ir.Type
+	switch lhs := st.LHS.(type) {
+	case *taskc.Ident:
+		ds := l.info.Locals[lhs]
+		if ds == nil {
+			return fmt.Errorf("lower: %s: unresolved assignment target %q", lhs.Pos, lhs.Name)
+		}
+		ptr = l.slots[ds]
+		elem = irType(ds.Type)
+	case *taskc.IndexExpr:
+		p, err := l.address(lhs)
+		if err != nil {
+			return err
+		}
+		ptr = p
+		elem = ptr.Type().Elem
+	default:
+		return fmt.Errorf("lower: bad assignment target %T", st.LHS)
+	}
+
+	rhs, err := l.rvalue(st.RHS)
+	if err != nil {
+		return err
+	}
+	var val ir.Value
+	if st.Op == taskc.Assign {
+		val = l.convert(rhs, elem)
+	} else {
+		cur := l.bd.Load(ptr)
+		if elem.IsFloat() {
+			rhs = l.convert(rhs, ir.FloatT)
+			var op ir.BinOp
+			switch st.Op {
+			case taskc.AddAssign:
+				op = ir.FAdd
+			case taskc.SubAssign:
+				op = ir.FSub
+			case taskc.MulAssign:
+				op = ir.FMul
+			default:
+				op = ir.FDiv
+			}
+			val = l.bd.Bin(op, cur, rhs)
+		} else {
+			var op ir.BinOp
+			switch st.Op {
+			case taskc.AddAssign:
+				op = ir.IAdd
+			case taskc.SubAssign:
+				op = ir.ISub
+			case taskc.MulAssign:
+				op = ir.IMul
+			default:
+				op = ir.IDiv
+			}
+			val = l.bd.Bin(op, cur, rhs)
+		}
+	}
+	l.bd.Store(val, ptr)
+	return nil
+}
+
+// address lowers an IndexExpr to a GEP.
+func (l *lowerer) address(ix *taskc.IndexExpr) (ir.Value, error) {
+	pd := l.info.Arrays[ix]
+	if pd == nil {
+		return nil, fmt.Errorf("lower: %s: unresolved array %q", ix.Pos, ix.Base.Name)
+	}
+	base := l.params[pd]
+	dims := l.dims[pd]
+	idx := make([]ir.Value, len(ix.Idx))
+	for i, e := range ix.Idx {
+		v, err := l.rvalue(e)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = v
+	}
+	dimsCopy := make([]ir.Value, len(dims))
+	copy(dimsCopy, dims)
+	return l.bd.GEP(base, dimsCopy, idx), nil
+}
+
+// convert inserts an int↔float cast when v's type differs from want.
+func (l *lowerer) convert(v ir.Value, want *ir.Type) ir.Value {
+	if v.Type() == want {
+		return v
+	}
+	if v.Type().IsInt() && want.IsFloat() {
+		if c, ok := v.(*ir.ConstInt); ok {
+			return ir.CF(float64(c.V))
+		}
+		return l.bd.Cast(ir.IntToFloat, v)
+	}
+	if v.Type().IsFloat() && want.IsInt() {
+		if c, ok := v.(*ir.ConstFloat); ok {
+			return ir.CI(int64(c.V))
+		}
+		return l.bd.Cast(ir.FloatToInt, v)
+	}
+	panic(fmt.Sprintf("lower: cannot convert %s to %s", v.Type(), want))
+}
+
+func (l *lowerer) rvalueAs(e taskc.Expr, want *ir.Type) (ir.Value, error) {
+	v, err := l.rvalue(e)
+	if err != nil {
+		return nil, err
+	}
+	return l.convert(v, want), nil
+}
+
+// condBranch lowers a condition with short-circuit control flow.
+func (l *lowerer) condBranch(e taskc.Expr, thenB, elseB *ir.Block) error {
+	switch x := e.(type) {
+	case *taskc.BinExpr:
+		switch x.Op {
+		case taskc.LAnd:
+			mid := l.bd.NewBlock("land.rhs")
+			if err := l.condBranch(x.X, mid, elseB); err != nil {
+				return err
+			}
+			l.bd.SetBlock(mid)
+			return l.condBranch(x.Y, thenB, elseB)
+		case taskc.LOr:
+			mid := l.bd.NewBlock("lor.rhs")
+			if err := l.condBranch(x.X, thenB, mid); err != nil {
+				return err
+			}
+			l.bd.SetBlock(mid)
+			return l.condBranch(x.Y, thenB, elseB)
+		}
+	case *taskc.UnExpr:
+		if x.Op == taskc.Not {
+			return l.condBranch(x.X, elseB, thenB)
+		}
+	}
+	v, err := l.rvalue(e)
+	if err != nil {
+		return err
+	}
+	v = l.truthy(v)
+	l.bd.CondBr(v, thenB, elseB)
+	return nil
+}
+
+// truthy converts an int value to bool by comparing with zero.
+func (l *lowerer) truthy(v ir.Value) ir.Value {
+	if v.Type().IsBool() {
+		return v
+	}
+	return l.bd.Cmp(ir.NE, v, ir.CI(0))
+}
+
+func (l *lowerer) rvalue(e taskc.Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *taskc.IntLit:
+		return ir.CI(x.V), nil
+	case *taskc.FloatLit:
+		return ir.CF(x.V), nil
+
+	case *taskc.Ident:
+		if ds := l.info.Locals[x]; ds != nil {
+			return l.bd.Load(l.slots[ds]), nil
+		}
+		if pd := l.info.Params[x]; pd != nil {
+			return l.params[pd], nil
+		}
+		return nil, fmt.Errorf("lower: %s: unresolved identifier %q", x.Pos, x.Name)
+
+	case *taskc.IndexExpr:
+		ptr, err := l.address(x)
+		if err != nil {
+			return nil, err
+		}
+		return l.bd.Load(ptr), nil
+
+	case *taskc.BinExpr:
+		return l.binExpr(x)
+
+	case *taskc.UnExpr:
+		v, err := l.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case taskc.Neg:
+			if v.Type().IsFloat() {
+				return l.bd.Bin(ir.FSub, ir.CF(0), v), nil
+			}
+			return l.bd.Bin(ir.ISub, ir.CI(0), v), nil
+		default: // Not
+			b := l.truthy(v)
+			return l.bd.Select(b, ir.CB(false), ir.CB(true)), nil
+		}
+
+	case *taskc.CallExpr:
+		if name, ok := l.info.MathCalls[x]; ok {
+			arg, err := l.rvalueAs(x.Args[0], ir.FloatT)
+			if err != nil {
+				return nil, err
+			}
+			op, _ := ir.MathOpByName(name)
+			return l.bd.Math(op, arg), nil
+		}
+		fd := l.info.Calls[x]
+		if fd == nil {
+			return nil, fmt.Errorf("lower: %s: unresolved call %q", x.Pos, x.Name)
+		}
+		callee := l.funcs[fd]
+		args := make([]ir.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := l.rvalueAs(a, callee.Params[i].Typ)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return l.bd.Call(callee, args), nil
+	}
+	return nil, fmt.Errorf("lower: unhandled expression %T", e)
+}
+
+func (l *lowerer) binExpr(x *taskc.BinExpr) (ir.Value, error) {
+	// Logical operators only occur in condition position: the type checker
+	// rejects them as values (bool cannot be stored or compared), and
+	// condBranch lowers them structurally with short-circuit control flow.
+	if x.Op == taskc.LAnd || x.Op == taskc.LOr {
+		return nil, fmt.Errorf("lower: %s: logical operator outside condition position", x.Pos)
+	}
+
+	xv, err := l.rvalue(x.X)
+	if err != nil {
+		return nil, err
+	}
+	yv, err := l.rvalue(x.Y)
+	if err != nil {
+		return nil, err
+	}
+
+	switch x.Op {
+	case taskc.Eq, taskc.Ne, taskc.Lt, taskc.Le, taskc.Gt, taskc.Ge:
+		if xv.Type().IsFloat() || yv.Type().IsFloat() {
+			xv = l.convert(xv, ir.FloatT)
+			yv = l.convert(yv, ir.FloatT)
+		}
+		var pred ir.CmpPred
+		switch x.Op {
+		case taskc.Eq:
+			pred = ir.EQ
+		case taskc.Ne:
+			pred = ir.NE
+		case taskc.Lt:
+			pred = ir.LT
+		case taskc.Le:
+			pred = ir.LE
+		case taskc.Gt:
+			pred = ir.GT
+		default:
+			pred = ir.GE
+		}
+		return l.bd.Cmp(pred, xv, yv), nil
+
+	case taskc.BitAnd, taskc.BitOr, taskc.BitXor, taskc.Shl, taskc.Shr, taskc.Rem:
+		var op ir.BinOp
+		switch x.Op {
+		case taskc.BitAnd:
+			op = ir.IAnd
+		case taskc.BitOr:
+			op = ir.IOr
+		case taskc.BitXor:
+			op = ir.IXor
+		case taskc.Shl:
+			op = ir.IShl
+		case taskc.Shr:
+			op = ir.IShr
+		default:
+			op = ir.IRem
+		}
+		return l.bd.Bin(op, xv, yv), nil
+
+	default: // Add Sub Mul Div
+		if xv.Type().IsFloat() || yv.Type().IsFloat() {
+			xv = l.convert(xv, ir.FloatT)
+			yv = l.convert(yv, ir.FloatT)
+			var op ir.BinOp
+			switch x.Op {
+			case taskc.Add:
+				op = ir.FAdd
+			case taskc.Sub:
+				op = ir.FSub
+			case taskc.Mul:
+				op = ir.FMul
+			default:
+				op = ir.FDiv
+			}
+			return l.bd.Bin(op, xv, yv), nil
+		}
+		var op ir.BinOp
+		switch x.Op {
+		case taskc.Add:
+			op = ir.IAdd
+		case taskc.Sub:
+			op = ir.ISub
+		case taskc.Mul:
+			op = ir.IMul
+		default:
+			op = ir.IDiv
+		}
+		return l.bd.Bin(op, xv, yv), nil
+	}
+}

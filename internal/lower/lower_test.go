@@ -1,0 +1,174 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"dae/internal/ir"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := Compile(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func blockNames(f *ir.Func) []string {
+	var out []string
+	for _, b := range f.Blocks {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func TestForLoopShape(t *testing.T) {
+	m := mustCompile(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = 0.0;
+	}
+}`)
+	f := m.Func("k")
+	names := strings.Join(blockNames(f), ",")
+	for _, want := range []string{"entry", "for.cond", "for.body", "for.post", "for.end"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("missing block %q in %s", want, names)
+		}
+	}
+	// The condition block is the single loop header.
+	dt := ir.NewDomTree(f)
+	li := ir.FindLoops(f, dt)
+	if len(li.Top) != 1 || !strings.HasPrefix(li.Top[0].Header.Name, "for.cond") {
+		t.Errorf("loop header should be for.cond: %v", names)
+	}
+}
+
+func TestShortCircuitLoweringShape(t *testing.T) {
+	// a && b must evaluate b only when a holds: the CFG contains a land.rhs
+	// block between the two tests.
+	m := mustCompile(t, `
+task k(int A[n], int n) {
+	int i = 0;
+	while (i < n && A[i] != 0) {
+		i++;
+	}
+}`)
+	f := m.Func("k")
+	names := strings.Join(blockNames(f), ",")
+	if !strings.Contains(names, "land.rhs") {
+		t.Errorf("missing short-circuit block: %s", names)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimsEvaluatedOnceInEntry(t *testing.T) {
+	// Array dimension expressions are evaluated in the entry block so that
+	// GEP dims stay loop-invariant symbols for the analyses.
+	m := mustCompile(t, `
+task k(float A[n*2], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = 0.0;
+	}
+}`)
+	f := m.Func("k")
+	entry := f.Entry()
+	foundMul := false
+	for _, in := range entry.Instrs {
+		if b, ok := in.(*ir.Bin); ok && b.Op == ir.IMul {
+			foundMul = true
+		}
+	}
+	if !foundMul {
+		t.Errorf("dimension expression n*2 should be computed in entry:\n%s", f)
+	}
+	// Every GEP's dim operand must be that entry computation, not a
+	// recomputation inside the loop.
+	f.Instrs(func(in ir.Instr) {
+		g, ok := in.(*ir.GEP)
+		if !ok {
+			return
+		}
+		d, ok := g.Dims[0].(ir.Instr)
+		if !ok {
+			t.Fatalf("dim is not an instruction: %s", ir.FormatInstr(g))
+		}
+		if d.Parent() != entry {
+			t.Errorf("GEP dim computed outside entry:\n%s", f)
+		}
+	})
+}
+
+func TestImplicitReturnValues(t *testing.T) {
+	m := mustCompile(t, `
+int f(int n) {
+	if (n > 0) {
+		return n;
+	}
+}
+float g(int n) {
+	if (n > 0) {
+		return 1.5;
+	}
+}
+task h(int n) { }
+`)
+	// Functions that can fall off the end return zero values; the verifier
+	// accepted them already, so just check terminators exist everywhere.
+	for _, name := range []string{"f", "g", "h"} {
+		f := m.Func(name)
+		for _, b := range f.Blocks {
+			if b.Term() == nil {
+				t.Errorf("@%s block %s unterminated", name, b.Name)
+			}
+		}
+	}
+}
+
+func TestCompoundAssignSingleAddress(t *testing.T) {
+	// A[i] += x must compute the address once (one GEP feeding both the
+	// load and the store).
+	m := mustCompile(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] += 1.0;
+	}
+}`)
+	f := m.Func("k")
+	geps := 0
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.GEP); ok {
+			geps++
+		}
+	})
+	if geps != 1 {
+		t.Errorf("compound assignment should emit one GEP, got %d:\n%s", geps, f)
+	}
+}
+
+func TestNegationAndNot(t *testing.T) {
+	m := mustCompile(t, `
+int f(int a, int b) {
+	int x = -a;
+	if (!(a < b)) {
+		x = -x;
+	}
+	return x;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileReportsFrontEndErrors(t *testing.T) {
+	if _, err := Compile("task t(", "bad"); err == nil {
+		t.Error("parse errors must surface")
+	}
+	if _, err := Compile("task t(int n) { y = 1; }", "bad"); err == nil {
+		t.Error("check errors must surface")
+	}
+}

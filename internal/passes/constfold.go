@@ -1,0 +1,291 @@
+package passes
+
+import "dae/internal/ir"
+
+// ConstFold folds constant expressions and applies simple algebraic
+// identities (x+0, x*1, x*0, single-entry phis, constant selects). It
+// returns the number of simplifications performed.
+func ConstFold(f *ir.Func) int {
+	n := 0
+	for {
+		changed := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if v := foldInstr(in); v != nil {
+					f.ReplaceAllUses(in, v)
+					changed++
+				}
+			}
+		}
+		if changed == 0 {
+			return n
+		}
+		n += changed
+		DCE(f)
+	}
+}
+
+// foldInstr returns a replacement value for in, or nil.
+func foldInstr(in ir.Instr) ir.Value {
+	switch x := in.(type) {
+	case *ir.Bin:
+		return foldBin(x)
+	case *ir.Cmp:
+		return foldCmp(x)
+	case *ir.Cast:
+		if c, ok := ir.ConstIntValue(x.X); ok && x.Op == ir.IntToFloat {
+			return ir.CF(float64(c))
+		}
+		if c, ok := ir.ConstFloatValue(x.X); ok && x.Op == ir.FloatToInt {
+			return ir.CI(int64(c))
+		}
+	case *ir.Select:
+		if c, ok := ir.ConstBoolValue(x.Cond); ok {
+			if c {
+				return x.X
+			}
+			return x.Y
+		}
+		if x.X == x.Y {
+			return x.X
+		}
+	case *ir.Phi:
+		// A phi whose incomings are all the same value (or itself) folds.
+		var only ir.Value
+		for _, e := range x.In {
+			if e.Val == x {
+				continue
+			}
+			if only == nil {
+				only = e.Val
+				continue
+			}
+			if e.Val != only && !ir.SameConst(e.Val, only) {
+				return nil
+			}
+		}
+		return only
+	}
+	return nil
+}
+
+func foldBin(x *ir.Bin) ir.Value {
+	xi, xIsI := ir.ConstIntValue(x.X)
+	yi, yIsI := ir.ConstIntValue(x.Y)
+	xf, xIsF := ir.ConstFloatValue(x.X)
+	yf, yIsF := ir.ConstFloatValue(x.Y)
+
+	if xIsI && yIsI {
+		if v, ok := foldIntBin(x.Op, xi, yi); ok {
+			return ir.CI(v)
+		}
+	}
+	if xIsF && yIsF {
+		if v, ok := foldFloatBin(x.Op, xf, yf); ok {
+			return ir.CF(v)
+		}
+	}
+
+	// Identities.
+	switch x.Op {
+	case ir.IAdd:
+		if yIsI && yi == 0 {
+			return x.X
+		}
+		if xIsI && xi == 0 {
+			return x.Y
+		}
+	case ir.ISub:
+		if yIsI && yi == 0 {
+			return x.X
+		}
+	case ir.IMul:
+		if yIsI && yi == 1 {
+			return x.X
+		}
+		if xIsI && xi == 1 {
+			return x.Y
+		}
+		if (yIsI && yi == 0) || (xIsI && xi == 0) {
+			return ir.CI(0)
+		}
+	case ir.IDiv:
+		if yIsI && yi == 1 {
+			return x.X
+		}
+	case ir.IMin:
+		if x.X == x.Y {
+			return x.X
+		}
+		// min(x, max(x, y)) = x (and symmetric forms).
+		if m, ok := x.Y.(*ir.Bin); ok && m.Op == ir.IMax && (m.X == x.X || m.Y == x.X) {
+			return x.X
+		}
+		if m, ok := x.X.(*ir.Bin); ok && m.Op == ir.IMax && (m.X == x.Y || m.Y == x.Y) {
+			return x.Y
+		}
+	case ir.IMax:
+		if x.X == x.Y {
+			return x.X
+		}
+		// max(x, min(x, y)) = x (and symmetric forms).
+		if m, ok := x.Y.(*ir.Bin); ok && m.Op == ir.IMin && (m.X == x.X || m.Y == x.X) {
+			return x.X
+		}
+		if m, ok := x.X.(*ir.Bin); ok && m.Op == ir.IMin && (m.X == x.Y || m.Y == x.Y) {
+			return x.Y
+		}
+	case ir.IShl, ir.IShr:
+		if yIsI && yi == 0 {
+			return x.X
+		}
+	case ir.IAnd:
+		if (yIsI && yi == 0) || (xIsI && xi == 0) {
+			return ir.CI(0)
+		}
+	case ir.IOr, ir.IXor:
+		if yIsI && yi == 0 {
+			return x.X
+		}
+		if xIsI && xi == 0 {
+			return x.Y
+		}
+	case ir.FAdd:
+		if yIsF && yf == 0 {
+			return x.X
+		}
+		if xIsF && xf == 0 {
+			return x.Y
+		}
+	case ir.FSub:
+		if yIsF && yf == 0 {
+			return x.X
+		}
+	case ir.FMul:
+		if yIsF && yf == 1 {
+			return x.X
+		}
+		if xIsF && xf == 1 {
+			return x.Y
+		}
+	case ir.FDiv:
+		if yIsF && yf == 1 {
+			return x.X
+		}
+	}
+	return nil
+}
+
+func foldIntBin(op ir.BinOp, x, y int64) (int64, bool) {
+	switch op {
+	case ir.IAdd:
+		return x + y, true
+	case ir.ISub:
+		return x - y, true
+	case ir.IMul:
+		return x * y, true
+	case ir.IDiv:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case ir.IRem:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case ir.IAnd:
+		return x & y, true
+	case ir.IOr:
+		return x | y, true
+	case ir.IXor:
+		return x ^ y, true
+	case ir.IShl:
+		return x << uint64(y&63), true
+	case ir.IShr:
+		return x >> uint64(y&63), true
+	case ir.IMin:
+		if y < x {
+			return y, true
+		}
+		return x, true
+	case ir.IMax:
+		if y > x {
+			return y, true
+		}
+		return x, true
+	}
+	return 0, false
+}
+
+func foldFloatBin(op ir.BinOp, x, y float64) (float64, bool) {
+	switch op {
+	case ir.FAdd:
+		return x + y, true
+	case ir.FSub:
+		return x - y, true
+	case ir.FMul:
+		return x * y, true
+	case ir.FDiv:
+		return x / y, true
+	}
+	return 0, false
+}
+
+func foldCmp(x *ir.Cmp) ir.Value {
+	if xi, ok := ir.ConstIntValue(x.X); ok {
+		if yi, ok2 := ir.ConstIntValue(x.Y); ok2 {
+			return ir.CB(cmpInt(x.Pred, xi, yi))
+		}
+	}
+	if xf, ok := ir.ConstFloatValue(x.X); ok {
+		if yf, ok2 := ir.ConstFloatValue(x.Y); ok2 {
+			return ir.CB(cmpFloat(x.Pred, xf, yf))
+		}
+	}
+	if xb, ok := ir.ConstBoolValue(x.X); ok {
+		if yb, ok2 := ir.ConstBoolValue(x.Y); ok2 {
+			switch x.Pred {
+			case ir.EQ:
+				return ir.CB(xb == yb)
+			case ir.NE:
+				return ir.CB(xb != yb)
+			}
+		}
+	}
+	return nil
+}
+
+func cmpInt(p ir.CmpPred, x, y int64) bool {
+	switch p {
+	case ir.EQ:
+		return x == y
+	case ir.NE:
+		return x != y
+	case ir.LT:
+		return x < y
+	case ir.LE:
+		return x <= y
+	case ir.GT:
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+func cmpFloat(p ir.CmpPred, x, y float64) bool {
+	switch p {
+	case ir.EQ:
+		return x == y
+	case ir.NE:
+		return x != y
+	case ir.LT:
+		return x < y
+	case ir.LE:
+		return x <= y
+	case ir.GT:
+		return x > y
+	default:
+		return x >= y
+	}
+}

@@ -1,0 +1,104 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"dae/internal/ir"
+)
+
+// CSE performs dominator-scoped common-subexpression elimination on pure
+// instructions (arithmetic, comparisons, casts, math intrinsics, selects,
+// and address computations). Loads are not candidates (memory may change);
+// phis are structural. Commutative operations are normalized so a+b and b+a
+// unify. It returns the number of eliminated instructions.
+func CSE(f *ir.Func) int {
+	f.RemoveUnreachable()
+	dt := ir.NewDomTree(f)
+
+	removed := 0
+	// Scoped table: walk the dominator tree, adding this block's expressions
+	// and removing them on exit.
+	var visit func(b *ir.Block, table map[string]ir.Value)
+	visit = func(b *ir.Block, table map[string]ir.Value) {
+		var added []string
+		for _, in := range append([]ir.Instr{}, b.Instrs...) {
+			key, ok := exprKey(in)
+			if !ok {
+				continue
+			}
+			if prev, dup := table[key]; dup {
+				f.ReplaceAllUses(in, prev)
+				b.Remove(in)
+				removed++
+				continue
+			}
+			table[key] = in
+			added = append(added, key)
+		}
+		for _, c := range dt.Children(b) {
+			visit(c, table)
+		}
+		for _, k := range added {
+			delete(table, k)
+		}
+	}
+	if e := f.Entry(); e != nil {
+		visit(e, make(map[string]ir.Value))
+	}
+	return removed
+}
+
+// exprKey returns a canonical key for pure instructions, or ok=false when
+// the instruction must not be unified.
+func exprKey(in ir.Instr) (string, bool) {
+	switch x := in.(type) {
+	case *ir.Bin:
+		a, b := valueKey(x.X), valueKey(x.Y)
+		if commutative(x.Op) && b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("bin/%d/%s/%s", x.Op, a, b), true
+	case *ir.Cmp:
+		return fmt.Sprintf("cmp/%d/%s/%s", x.Pred, valueKey(x.X), valueKey(x.Y)), true
+	case *ir.Cast:
+		return fmt.Sprintf("cast/%d/%s", x.Op, valueKey(x.X)), true
+	case *ir.Math:
+		return fmt.Sprintf("math/%d/%s", x.Op, valueKey(x.X)), true
+	case *ir.Select:
+		return fmt.Sprintf("sel/%s/%s/%s", valueKey(x.Cond), valueKey(x.X), valueKey(x.Y)), true
+	case *ir.GEP:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "gep/%s", valueKey(x.Base))
+		for _, d := range x.Dims {
+			fmt.Fprintf(&sb, "/d%s", valueKey(d))
+		}
+		for _, i := range x.Idx {
+			fmt.Fprintf(&sb, "/i%s", valueKey(i))
+		}
+		return sb.String(), true
+	}
+	return "", false
+}
+
+func commutative(op ir.BinOp) bool {
+	switch op {
+	case ir.IAdd, ir.IMul, ir.IAnd, ir.IOr, ir.IXor, ir.IMin, ir.IMax, ir.FAdd, ir.FMul:
+		return true
+	}
+	return false
+}
+
+// valueKey identifies an operand: constants by value, everything else by
+// identity.
+func valueKey(v ir.Value) string {
+	switch c := v.(type) {
+	case *ir.ConstInt:
+		return fmt.Sprintf("ci%d", c.V)
+	case *ir.ConstFloat:
+		return fmt.Sprintf("cf%x", c.V)
+	case *ir.ConstBool:
+		return fmt.Sprintf("cb%v", c.V)
+	}
+	return fmt.Sprintf("p%p", v)
+}

@@ -1,0 +1,208 @@
+package passes
+
+import (
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+)
+
+func countBins(f *ir.Func) int {
+	n := 0
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Bin); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestCSEEliminatesDuplicates(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b) {
+	int x = a + b;
+	int y = a + b;
+	int z = b + a;
+	return x + y + z;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	n := CSE(f)
+	if n < 2 {
+		t.Errorf("CSE removed %d, want >= 2 (duplicate and commuted):\n%s", n, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, err := env.Call(f, interp.Int(3), interp.Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int64() != 21 {
+		t.Errorf("f(3,4) = %d, want 21", out.Int64())
+	}
+}
+
+func TestCSERespectsdominance(t *testing.T) {
+	// The same expression in two sibling branches must NOT unify (neither
+	// dominates the other).
+	m := compile(t, `
+int f(int a, int b, int c) {
+	int r = 0;
+	if (c > 0) {
+		r = a * b;
+	} else {
+		r = a * b;
+	}
+	return r;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	CSE(f)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	for _, c := range []int64{1, -1} {
+		out, err := env.Call(f, interp.Int(6), interp.Int(7), interp.Int(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Int64() != 42 {
+			t.Errorf("f(6,7,%d) = %d, want 42", c, out.Int64())
+		}
+	}
+}
+
+func TestCSEDominatorScoping(t *testing.T) {
+	// An expression computed before a branch unifies with a recomputation
+	// inside the branch (the definition dominates the use).
+	m := compile(t, `
+int f(int a, int b, int c) {
+	int x = a * b;
+	int r = x;
+	if (c > 0) {
+		r = r + a * b;
+	}
+	return r;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	before := countBins(f)
+	CSE(f)
+	after := countBins(f)
+	if after >= before {
+		t.Errorf("CSE should remove the recomputed a*b: %d → %d\n%s", before, after, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(2), interp.Int(5), interp.Int(1))
+	if out.Int64() != 20 {
+		t.Errorf("f = %d, want 20", out.Int64())
+	}
+}
+
+func TestCSEDoesNotUnifyLoads(t *testing.T) {
+	// Two loads of the same address may see different values (a store in
+	// between); CSE must leave them alone.
+	m := compile(t, `
+task f(float A[n], int n) {
+	float x = A[0];
+	A[0] = x + 1.0;
+	float y = A[0];
+	A[1] = y;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	CSE(f)
+	ConstFold(f)
+	DCE(f)
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 2)
+	a.F[0] = 5
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	if _, err := env.Call(f, interp.Ptr(a), interp.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if a.F[1] != 6 {
+		t.Errorf("A[1] = %g, want 6 (the second load must see the store)", a.F[1])
+	}
+}
+
+func TestCSEGEPs(t *testing.T) {
+	m := compile(t, `
+task f(float A[n], int n) {
+	A[3] = A[3] * 2.0;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	geps := 0
+	CSE(f)
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.GEP); ok {
+			geps++
+		}
+	})
+	if geps != 1 {
+		t.Errorf("identical GEPs should unify: %d remain\n%s", geps, f)
+	}
+}
+
+func TestMinMaxIdentities(t *testing.T) {
+	// max(x, min(x, y)) == x and friends, as produced by the affine access
+	// generator's bound chains.
+	x := &ir.Param{Nam: "x", Typ: ir.IntT}
+	y := &ir.Param{Nam: "y", Typ: ir.IntT}
+	f := ir.NewFunc("g", ir.IntT, []*ir.Param{x, y})
+	bd := ir.NewBuilder(f)
+	bd.SetBlock(bd.NewBlock("entry"))
+	mn := bd.Bin(ir.IMin, x, y)
+	mx := bd.Bin(ir.IMax, x, mn)
+	bd.Ret(mx)
+	ConstFold(f)
+	ret := f.Entry().Term().(*ir.Ret)
+	if ret.X != x {
+		t.Errorf("max(x, min(x,y)) should fold to x:\n%s", f)
+	}
+}
+
+func TestMinMaxSelfFold(t *testing.T) {
+	x := &ir.Param{Nam: "x", Typ: ir.IntT}
+	f := ir.NewFunc("g", ir.IntT, []*ir.Param{x})
+	bd := ir.NewBuilder(f)
+	bd.SetBlock(bd.NewBlock("entry"))
+	v := bd.Bin(ir.IMin, x, x)
+	bd.Ret(v)
+	ConstFold(f)
+	ret := f.Entry().Term().(*ir.Ret)
+	if ret.X != x {
+		t.Errorf("min(x,x) should fold to x:\n%s", f)
+	}
+}
+
+func TestAccessBoundsFullySimplified(t *testing.T) {
+	// End-to-end: the LU access version's entry block must collapse to a
+	// couple of instructions (the Listing 1(c) shape), not a min/max chain.
+	m := compile(t, `
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}`)
+	f := m.Func("lu")
+	if _, err := Optimize(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The optimized task's entry block is pure control (the GEP dims are
+	// the parameter N itself; no leftover arithmetic).
+	for _, in := range f.Entry().Instrs {
+		if _, ok := in.(*ir.Bin); ok {
+			t.Errorf("entry block retains arithmetic after optimize:\n%s", f)
+		}
+	}
+}

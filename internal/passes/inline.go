@@ -1,0 +1,139 @@
+package passes
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// InlineCalls inlines every call in f whose callee is non-recursive,
+// repeating until no calls remain (so transitively called functions are
+// flattened too). It returns the number of inlined calls, or an error on
+// recursion, mirroring the paper's requirement that a task must contain no
+// un-inlinable calls before an access version can be generated.
+func InlineCalls(f *ir.Func) (int, error) {
+	n := 0
+	for {
+		call := findCall(f)
+		if call == nil {
+			return n, nil
+		}
+		if call.Callee == f || reachesFunc(call.Callee, call.Callee) {
+			return n, fmt.Errorf("passes: cannot inline recursive call to @%s in @%s",
+				call.Callee.Name, f.Name)
+		}
+		inlineOne(f, call)
+		n++
+	}
+}
+
+func findCall(f *ir.Func) *ir.Call {
+	var found *ir.Call
+	f.Instrs(func(in ir.Instr) {
+		if found != nil {
+			return
+		}
+		if c, ok := in.(*ir.Call); ok {
+			found = c
+		}
+	})
+	return found
+}
+
+// reachesFunc reports whether target is reachable through the call graph by
+// following calls from the bodies of functions called by from (i.e. whether
+// from participates in a cycle when from == target).
+func reachesFunc(from, target *ir.Func) bool {
+	seen := map[*ir.Func]bool{}
+	var walk func(g *ir.Func) bool
+	walk = func(g *ir.Func) bool {
+		if seen[g] {
+			return false
+		}
+		seen[g] = true
+		hit := false
+		g.Instrs(func(in ir.Instr) {
+			if hit {
+				return
+			}
+			if c, ok := in.(*ir.Call); ok {
+				if c.Callee == target || walk(c.Callee) {
+					hit = true
+				}
+			}
+		})
+		return hit
+	}
+	return walk(from)
+}
+
+// inlineOne splices a clone of call.Callee into f at the call site.
+func inlineOne(f *ir.Func, call *ir.Call) {
+	clone := ir.CloneFunc(call.Callee, call.Callee.Name+".inl")
+	site := call.Parent()
+
+	// Split the call block; the continuation receives everything after the
+	// call, including the terminator.
+	cont := f.SplitBlock(site, call)
+	site.Remove(call)
+
+	// Splice the clone's blocks into f and rewrite parameter references to
+	// the call arguments.
+	cloneBlocks := append([]*ir.Block{}, clone.Blocks...)
+	entry := f.Absorb(clone)
+	for _, prm := range clone.Params {
+		arg := call.Args[prm.Index]
+		for _, b := range cloneBlocks {
+			for _, in := range b.Instrs {
+				ops := in.Operands()
+				for i, op := range ops {
+					if op == prm {
+						in.SetOperand(i, arg)
+					}
+				}
+			}
+		}
+	}
+
+	// Branch from the call site into the inlined entry.
+	site.Append(ir.NewBr(entry))
+
+	// Rewrite returns as branches to the continuation, merging return values
+	// through a phi when there are several.
+	type retSite struct {
+		val ir.Value
+		blk *ir.Block
+	}
+	var rets []retSite
+	for _, b := range cloneBlocks {
+		if r, ok := b.Term().(*ir.Ret); ok {
+			rets = append(rets, retSite{val: r.X, blk: b})
+		}
+	}
+	for _, rs := range rets {
+		rs.blk.Remove(rs.blk.Term())
+		rs.blk.Append(ir.NewBr(cont))
+	}
+
+	if !call.Type().IsVoid() {
+		var result ir.Value
+		switch len(rets) {
+		case 0:
+			result = zeroOf(call.Type())
+		case 1:
+			result = rets[0].val
+		default:
+			phi := ir.NewPhi(call.Type(), "")
+			for _, rs := range rets {
+				phi.AddIncoming(rs.val, rs.blk)
+			}
+			if len(cont.Instrs) > 0 {
+				cont.InsertBefore(phi, cont.Instrs[0])
+			} else {
+				cont.Append(phi)
+			}
+			result = phi
+		}
+		f.ReplaceAllUses(call, result)
+	}
+}

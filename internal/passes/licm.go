@@ -1,0 +1,82 @@
+package passes
+
+import "dae/internal/ir"
+
+// LICM hoists loop-invariant pure computations into loop preheaders — the
+// "avoiding recomputation of memory addresses" optimization the paper lists
+// in §5.2.3. An instruction is hoisted when it is pure (no memory access, no
+// possible fault) and every operand is defined outside the loop. Loops are
+// processed innermost-first so invariants bubble outward through enclosing
+// preheaders. It returns the number of hoisted instructions.
+func LICM(f *ir.Func) int {
+	f.RemoveUnreachable()
+	dt := ir.NewDomTree(f)
+	li := ir.FindLoops(f, dt)
+	loops := li.AllLoops()
+
+	hoisted := 0
+	// innermost first: reverse of the outermost-first AllLoops order.
+	for i := len(loops) - 1; i >= 0; i-- {
+		l := loops[i]
+		pre := l.Preheader()
+		if pre == nil {
+			continue
+		}
+		term := pre.Term()
+		if term == nil {
+			continue
+		}
+		for {
+			moved := 0
+			for _, b := range l.Blocks {
+				for _, in := range append([]ir.Instr{}, b.Instrs...) {
+					if !hoistable(in) {
+						continue
+					}
+					if !operandsOutside(in, l) {
+						continue
+					}
+					b.Remove(in)
+					pre.InsertBefore(in, term)
+					moved++
+				}
+			}
+			if moved == 0 {
+				break
+			}
+			hoisted += moved
+		}
+	}
+	return hoisted
+}
+
+// hoistable reports whether in may be executed speculatively: pure and
+// fault-free. Integer division and remainder can trap on a zero divisor
+// that the original control flow may have guarded, so they only hoist with
+// a provably nonzero constant divisor.
+func hoistable(in ir.Instr) bool {
+	switch x := in.(type) {
+	case *ir.Bin:
+		if x.Op == ir.IDiv || x.Op == ir.IRem {
+			c, ok := ir.ConstIntValue(x.Y)
+			return ok && c != 0
+		}
+		return true
+	case *ir.Cmp, *ir.Cast, *ir.Select, *ir.Math, *ir.GEP:
+		return true
+	}
+	return false
+}
+
+func operandsOutside(in ir.Instr, l *ir.Loop) bool {
+	for _, op := range in.Operands() {
+		def, ok := op.(ir.Instr)
+		if !ok {
+			continue // constants and parameters are invariant
+		}
+		if def.Parent() == nil || l.Contains(def.Parent()) {
+			return false
+		}
+	}
+	return true
+}

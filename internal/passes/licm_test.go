@@ -1,0 +1,153 @@
+package passes
+
+import (
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+)
+
+// binsInLoop counts arithmetic instructions inside loop bodies.
+func binsInLoops(f *ir.Func) int {
+	dt := ir.NewDomTree(f)
+	li := ir.FindLoops(f, dt)
+	n := 0
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Bin); ok && li.Of[in.Parent()] != nil {
+			n++
+		}
+	})
+	return n
+}
+
+func TestLICMHoistsInvariant(t *testing.T) {
+	m := compile(t, `
+task f(float A[n], int n, int a, int b) {
+	for (int i = 0; i < n; i++) {
+		A[i] = A[i] + 1.0;
+		int dead = (a * b + 7) * (a * b + 7);
+		A[i] = A[i] + dead;
+	}
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	before := binsInLoops(f)
+	hoisted := LICM(f)
+	after := binsInLoops(f)
+	if hoisted == 0 || after >= before {
+		t.Errorf("LICM hoisted %d (loop bins %d → %d):\n%s", hoisted, before, after, f)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 4)
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	if _, err := env.Call(f, interp.Ptr(a), interp.Int(4), interp.Int(2), interp.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + float64((2*3+7)*(2*3+7))
+	for i, v := range a.F {
+		if v != want {
+			t.Errorf("A[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestLICMNestedLoops(t *testing.T) {
+	// An expression invariant in both loops bubbles through the inner
+	// preheader out to the outer one.
+	m := compile(t, `
+int f(int n, int a) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			s += a * a;
+		}
+	}
+	return s;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	LICM(f)
+	if n := binsInLoops(f); n > 3 { // iv increments + accumulate only
+		t.Errorf("a*a should leave the nest entirely; %d bins remain in loops:\n%s", n, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(3), interp.Int(5))
+	if out.Int64() != 9*25 {
+		t.Errorf("f = %d, want 225", out.Int64())
+	}
+}
+
+func TestLICMDoesNotHoistDivByVariable(t *testing.T) {
+	// The division is guarded: hoisting it above the loop condition would
+	// fault when d == 0 and n == 0.
+	m := compile(t, `
+int f(int n, int d) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += 100 / d;
+	}
+	return s;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	LICM(f)
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	// n == 0: the loop never runs, so d == 0 must not fault.
+	out, err := env.Call(f, interp.Int(0), interp.Int(0))
+	if err != nil {
+		t.Fatalf("hoisted a guarded division: %v", err)
+	}
+	if out.Int64() != 0 {
+		t.Errorf("f(0,0) = %d, want 0", out.Int64())
+	}
+}
+
+func TestLICMDoesNotHoistLoads(t *testing.T) {
+	// A[0] may be written inside the loop; the load must stay put.
+	m := compile(t, `
+task f(float A[n], int n) {
+	for (int i = 1; i < n; i++) {
+		A[i] = A[0];
+		A[0] = A[0] + 1.0;
+	}
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	LICM(f)
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 4)
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	if _, err := env.Call(f, interp.Ptr(a), interp.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	// A[1]=0, A[2]=1, A[3]=2
+	for i := 1; i < 4; i++ {
+		if a.F[i] != float64(i-1) {
+			t.Errorf("A[%d] = %g, want %d", i, a.F[i], i-1)
+		}
+	}
+}
+
+func TestLICMHoistsGEPs(t *testing.T) {
+	m := compile(t, `
+task f(float A[n], int n, int k) {
+	for (int i = 0; i < n; i++) {
+		A[k] = A[k] + 1.0;
+	}
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	LICM(f)
+	dt := ir.NewDomTree(f)
+	li := ir.FindLoops(f, dt)
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.GEP); ok {
+			if li.Of[in.Parent()] != nil {
+				t.Errorf("invariant GEP not hoisted:\n%s", f)
+			}
+		}
+	})
+}

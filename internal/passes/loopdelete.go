@@ -1,0 +1,90 @@
+package passes
+
+import "dae/internal/ir"
+
+// DeleteDeadLoops removes loops that compute nothing observable: no stores,
+// prefetches, or calls inside, and no value defined in the loop used outside
+// it. Such loops appear after DCE has gutted a loop body (e.g. when
+// profile-guided refinement prunes every prefetch of an access-version
+// loop); deleting them saves the spin entirely. Conservative conditions:
+// the loop must have a preheader and a single exit block without phis.
+// Like LLVM's mustprogress-based deletion, it assumes loops terminate (the
+// front end's counted loops always do; a hypothetical infinite loop would be
+// deleted rather than preserved as a hang). It returns the number of deleted
+// loops.
+func DeleteDeadLoops(f *ir.Func) int {
+	deleted := 0
+	for {
+		f.RemoveUnreachable()
+		dt := ir.NewDomTree(f)
+		li := ir.FindLoops(f, dt)
+		removed := false
+		for _, l := range li.AllLoops() {
+			if tryDeleteLoop(f, l) {
+				deleted++
+				removed = true
+				break // CFG changed; recompute analyses
+			}
+		}
+		if !removed {
+			return deleted
+		}
+	}
+}
+
+func tryDeleteLoop(f *ir.Func, l *ir.Loop) bool {
+	pre := l.Preheader()
+	if pre == nil {
+		return false
+	}
+	exits := l.Exits()
+	if len(exits) != 1 {
+		return false
+	}
+	exit := exits[0]
+	if len(exit.Phis()) != 0 {
+		return false
+	}
+	// The exit must be reached only from this loop; otherwise redirecting
+	// the preheader is still fine, but other preds keep it alive — that is
+	// acceptable. What must hold: the loop has no observable effects.
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			switch in.(type) {
+			case *ir.Store, *ir.Prefetch, *ir.Call:
+				return false
+			}
+		}
+	}
+	// No loop-defined value may be used outside the loop.
+	inLoop := make(map[ir.Value]bool)
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			inLoop[in] = true
+		}
+	}
+	escape := false
+	f.Instrs(func(in ir.Instr) {
+		if escape || l.Contains(in.Parent()) {
+			return
+		}
+		for _, op := range in.Operands() {
+			if inLoop[op] {
+				escape = true
+			}
+		}
+	})
+	if escape {
+		return false
+	}
+
+	// Redirect the preheader around the loop.
+	term := pre.Term()
+	for i, tgt := range term.Targets() {
+		if tgt == l.Header {
+			term.SetTarget(i, exit)
+		}
+	}
+	f.RemoveUnreachable()
+	return true
+}

@@ -1,0 +1,116 @@
+package passes
+
+import (
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+)
+
+func loopCount(f *ir.Func) int {
+	dt := ir.NewDomTree(f)
+	return len(ir.FindLoops(f, dt).AllLoops())
+}
+
+func TestDeleteDeadLoop(t *testing.T) {
+	m := compile(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		int dead = i * i;
+	}
+	return s;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	ConstFold(f)
+	DCE(f)
+	if n := DeleteDeadLoops(f); n != 1 {
+		t.Fatalf("deleted %d loops, want 1:\n%s", n, f)
+	}
+	if loopCount(f) != 0 {
+		t.Errorf("loops remain:\n%s", f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, err := env.Call(f, interp.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int64() != 0 {
+		t.Errorf("f = %d, want 0", out.Int64())
+	}
+}
+
+func TestKeepLoopWithStore(t *testing.T) {
+	m := compile(t, `
+task f(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = 1.0;
+	}
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	if n := DeleteDeadLoops(f); n != 0 {
+		t.Fatalf("deleted a loop with stores")
+	}
+}
+
+func TestKeepLoopWithLiveOut(t *testing.T) {
+	m := compile(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += i;
+	}
+	return s;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	if n := DeleteDeadLoops(f); n != 0 {
+		t.Fatalf("deleted a loop whose accumulator escapes:\n%s", f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(100))
+	if out.Int64() != 4950 {
+		t.Errorf("f = %d, want 4950", out.Int64())
+	}
+}
+
+func TestKeepLoopWithPrefetch(t *testing.T) {
+	m := compile(t, `
+task f(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		prefetch A[i];
+	}
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	if n := DeleteDeadLoops(f); n != 0 {
+		t.Fatal("deleted an access-version prefetch loop")
+	}
+}
+
+func TestDeleteNestedDeadLoops(t *testing.T) {
+	m := compile(t, `
+int f(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			int dead = i + j;
+		}
+	}
+	return 7;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	ConstFold(f)
+	DCE(f)
+	DeleteDeadLoops(f)
+	if loopCount(f) != 0 {
+		t.Errorf("nested dead loops remain:\n%s", f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(50))
+	if out.Int64() != 7 {
+		t.Errorf("f = %d, want 7", out.Int64())
+	}
+}

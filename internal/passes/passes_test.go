@@ -1,0 +1,476 @@
+package passes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := lower.Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func countAllocas(f *ir.Func) int {
+	n := 0
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Alloca); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func countCalls(f *ir.Func) int {
+	n := 0
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Call); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestMem2RegRemovesAllocas(t *testing.T) {
+	m := compile(t, `
+int sum(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += i;
+	}
+	return s;
+}`)
+	f := m.Func("sum")
+	if countAllocas(f) == 0 {
+		t.Fatal("expected allocas before mem2reg")
+	}
+	promoted := Mem2Reg(f)
+	if promoted == 0 {
+		t.Fatal("mem2reg promoted nothing")
+	}
+	if countAllocas(f) != 0 {
+		t.Errorf("allocas remain after mem2reg:\n%s", f)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after mem2reg: %v\n%s", err, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, err := env.Call(f, interp.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int64() != 4950 {
+		t.Errorf("sum(100) = %d after mem2reg, want 4950", out.Int64())
+	}
+}
+
+func TestMem2RegDiamond(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b) {
+	int x = 0;
+	if (a > b) {
+		x = a;
+	} else {
+		x = b;
+	}
+	return x;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	// The join block needs a phi.
+	hasPhi := false
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Phi); ok {
+			hasPhi = true
+		}
+	})
+	if !hasPhi {
+		t.Errorf("expected a phi after mem2reg on a diamond:\n%s", f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(3), interp.Int(9))
+	if out.Int64() != 9 {
+		t.Errorf("max(3,9) = %d", out.Int64())
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	m := compile(t, `
+int f(int a) {
+	int x = 2 + 3 * 4;
+	int y = x * 1 + 0;
+	return y + a * 0;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	ConstFold(f)
+	DCE(f)
+	// Everything folds to ret 14.
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(77))
+	if out.Int64() != 14 {
+		t.Errorf("f = %d, want 14", out.Int64())
+	}
+	nonTrivial := 0
+	f.Instrs(func(in ir.Instr) {
+		switch in.(type) {
+		case *ir.Ret, *ir.Br:
+		default:
+			nonTrivial++
+		}
+	})
+	if nonTrivial > 0 {
+		t.Errorf("expected fully folded body, %d instrs remain:\n%s", nonTrivial, f)
+	}
+}
+
+func TestSimplifyCFGFoldsConstBranch(t *testing.T) {
+	m := compile(t, `
+int f(int a) {
+	if (1 < 2) {
+		return a;
+	}
+	return 0 - a;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	ConstFold(f)
+	SimplifyCFG(f)
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1 after simplify:\n%s", len(f.Blocks), f)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCERemovesUnusedComputation(t *testing.T) {
+	m := compile(t, `
+int f(int a) {
+	int unused = a * a + 42;
+	return a;
+}`)
+	f := m.Func("f")
+	Mem2Reg(f)
+	n := DCE(f)
+	if n == 0 {
+		t.Errorf("DCE removed nothing:\n%s", f)
+	}
+	if got := f.NumInstrs(); got != 2 { // br-less entry: just ret; plus maybe br
+		// Allow small structure differences but no arithmetic.
+		f.Instrs(func(in ir.Instr) {
+			if _, ok := in.(*ir.Bin); ok {
+				t.Errorf("arithmetic survived DCE (total %d):\n%s", got, f)
+			}
+		})
+	}
+}
+
+func TestInlineSimpleCall(t *testing.T) {
+	m := compile(t, `
+float square(float x) { return x * x; }
+float f(float a, float b) {
+	return square(a) + square(b);
+}`)
+	f := m.Func("f")
+	n, err := InlineCalls(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("inlined %d calls, want 2", n)
+	}
+	if countCalls(f) != 0 {
+		t.Errorf("calls remain:\n%s", f)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after inline: %v\n%s", err, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, err := env.Call(f, interp.Float(3), interp.Float(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Float64() != 25 {
+		t.Errorf("f(3,4) = %g, want 25", out.Float64())
+	}
+}
+
+func TestInlineMultiReturn(t *testing.T) {
+	m := compile(t, `
+int mymax(int a, int b) {
+	if (a > b) { return a; }
+	return b;
+}
+int f(int a, int b, int c) {
+	return mymax(mymax(a, b), c);
+}`)
+	f := m.Func("f")
+	if _, err := InlineCalls(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(5), interp.Int(9), interp.Int(7))
+	if out.Int64() != 9 {
+		t.Errorf("max3 = %d, want 9", out.Int64())
+	}
+}
+
+func TestInlineTransitive(t *testing.T) {
+	m := compile(t, `
+int inc(int x) { return x + 1; }
+int inc2(int x) { return inc(inc(x)); }
+int f(int x) { return inc2(x) * inc(x); }
+`)
+	f := m.Func("f")
+	n, err := InlineCalls(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3 {
+		t.Errorf("inlined %d, want >= 3 (transitive)", n)
+	}
+	if countCalls(f) != 0 {
+		t.Error("calls remain after transitive inlining")
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	out, _ := env.Call(f, interp.Int(10))
+	if out.Int64() != 12*11 {
+		t.Errorf("f(10) = %d, want 132", out.Int64())
+	}
+}
+
+func TestInlineRejectsRecursion(t *testing.T) {
+	m := compile(t, `
+int fact(int n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+int f(int n) { return fact(n); }
+`)
+	if _, err := InlineCalls(m.Func("f")); err == nil {
+		t.Fatal("expected recursion error")
+	}
+}
+
+func TestInlineVoidCallWithArrayEffects(t *testing.T) {
+	m := compile(t, `
+void setone(float A[n], int n, int i) { A[i] = 1.0; }
+task t(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		setone(A, n, i);
+	}
+}`)
+	f := m.Func("t")
+	if _, err := InlineCalls(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 5)
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	if _, err := env.Call(f, interp.Ptr(a), interp.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.F {
+		if v != 1 {
+			t.Errorf("A[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+// TestOptimizeDifferential checks that the full pipeline preserves semantics
+// on a matrix kernel: the optimized task must produce bit-identical array
+// contents to the unoptimized one.
+func TestOptimizeDifferential(t *testing.T) {
+	src := `
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}`
+	const n = 12
+	init := func(seg *interp.Seg) {
+		rng := rand.New(rand.NewSource(42))
+		for i := range seg.F {
+			seg.F[i] = rng.Float64() + 1 // diagonally safe enough
+		}
+	}
+
+	run := func(optimize bool) []float64 {
+		m := compile(t, src)
+		f := m.Func("lu")
+		if optimize {
+			if _, err := Optimize(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Verify(); err != nil {
+				t.Fatalf("verify: %v\n%s", err, f)
+			}
+		}
+		h := interp.NewHeap()
+		a := h.AllocFloat("A", n*n)
+		init(a)
+		env := interp.NewEnv(interp.NewProgram(m), nil)
+		if _, err := env.Call(f, interp.Ptr(a), interp.Int(n)); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(a.F))
+		copy(out, a.F)
+		return out
+	}
+
+	ref := run(false)
+	opt := run(true)
+	for i := range ref {
+		if ref[i] != opt[i] {
+			t.Fatalf("optimization changed result at %d: %g vs %g", i, ref[i], opt[i])
+		}
+	}
+}
+
+// TestOptimizeReducesWork checks the pipeline shrinks dynamic instruction
+// count (the paper's premise that compiled access phases start from leaner
+// optimized code).
+func TestOptimizeReducesWork(t *testing.T) {
+	src := `
+float poly(float x) { return (x * 1.0 + 0.0) * (2.0 + 3.0); }
+task t(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = poly(A[i]);
+	}
+}`
+	countDyn := func(optimize bool) int64 {
+		m := compile(t, src)
+		f := m.Func("t")
+		if optimize {
+			if _, err := Optimize(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := interp.NewHeap()
+		a := h.AllocFloat("A", 64)
+		env := interp.NewEnv(interp.NewProgram(m), nil)
+		if _, err := env.Call(f, interp.Ptr(a), interp.Int(64)); err != nil {
+			t.Fatal(err)
+		}
+		return env.Counts().Total()
+	}
+	before, after := countDyn(false), countDyn(true)
+	if after >= before {
+		t.Errorf("optimization did not reduce dynamic instructions: %d → %d", before, after)
+	}
+}
+
+// Property test: for random inputs, the optimized integer function computes
+// the same value as the original.
+func TestOptimizePropertyRandomInputs(t *testing.T) {
+	src := `
+int mix(int a, int b) {
+	int x = (a ^ b) * 31 + (a & 7);
+	int y = 0;
+	for (int i = 0; i < (b & 15) + 1; i++) {
+		y += x % 1000003;
+		x = x * 2 + 1;
+	}
+	if (y < 0) { y = 0 - y; }
+	return y;
+}`
+	mRef := compile(t, src)
+	mOpt := compile(t, src)
+	if _, err := Optimize(mOpt.Func("mix")); err != nil {
+		t.Fatal(err)
+	}
+	envRef := interp.NewEnv(interp.NewProgram(mRef), nil)
+	envOpt := interp.NewEnv(interp.NewProgram(mOpt), nil)
+
+	prop := func(a, b int32) bool {
+		r1, err1 := envRef.Call(mRef.Func("mix"), interp.Int(int64(a)), interp.Int(int64(b)))
+		r2, err2 := envOpt.Call(mOpt.Func("mix"), interp.Int(int64(a)), interp.Int(int64(b)))
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return r1.Int64() == r2.Int64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeModuleAll(t *testing.T) {
+	m := compile(t, `
+float helper(float x) { return sqrt(x); }
+task t1(float A[n], int n) {
+	for (int i = 0; i < n; i++) { A[i] = helper(A[i]); }
+}
+task t2(float A[n], int n) {
+	for (int i = 0; i < n; i++) { A[i] = A[i] + 1.0; }
+}`)
+	st, err := OptimizeModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inlined == 0 || st.Promoted == 0 {
+		t.Errorf("stats look empty: %+v", st)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", 4)
+	for i := range a.F {
+		a.F[i] = float64(i * i)
+	}
+	env := interp.NewEnv(interp.NewProgram(m), nil)
+	if _, err := env.Call(m.Func("t1"), interp.Ptr(a), interp.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.F {
+		if math.Abs(v-float64(i)) > 1e-12 {
+			t.Errorf("sqrt(A)[%d] = %g, want %d", i, v, i)
+		}
+	}
+}
+
+func TestCleanupOnly(t *testing.T) {
+	m := compile(t, `
+task t(float A[n], int n) {
+	int dead = 1 + 2;
+	for (int i = 0; i < n; i++) {
+		A[i] = A[i] * 1.0;
+	}
+}`)
+	f := m.Func("t")
+	CleanupOnly(f)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if countAllocas(f) != 0 {
+		t.Error("allocas remain after CleanupOnly")
+	}
+}

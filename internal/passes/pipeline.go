@@ -1,0 +1,76 @@
+package passes
+
+import "dae/internal/ir"
+
+// Stats summarizes what a pipeline run did.
+type Stats struct {
+	Inlined    int
+	Promoted   int
+	Folded     int
+	CSEed      int
+	Hoisted    int
+	DCEed      int
+	CFGChanges int
+}
+
+// Optimize runs the full pre-DAE pipeline on one function: inline calls,
+// promote scalars to SSA, then iterate constant folding, DCE, and CFG
+// simplification to a fixpoint. This is the "-O3" the paper applies before
+// deriving access phases; it is also applied to generated access versions.
+func Optimize(f *ir.Func) (Stats, error) {
+	var st Stats
+	n, err := InlineCalls(f)
+	if err != nil {
+		return st, err
+	}
+	st.Inlined = n
+	st.Promoted = Mem2Reg(f)
+	for {
+		changed := 0
+		c := ConstFold(f)
+		e := CSE(f)
+		h := LICM(f)
+		d := DCE(f)
+		s := SimplifyCFG(f) + DeleteDeadLoops(f)
+		st.Folded += c
+		st.CSEed += e
+		st.Hoisted += h
+		st.DCEed += d
+		st.CFGChanges += s
+		changed = c + e + h + d + s
+		if changed == 0 {
+			break
+		}
+	}
+	return st, nil
+}
+
+// OptimizeModule runs Optimize on every function in m.
+func OptimizeModule(m *ir.Module) (Stats, error) {
+	var total Stats
+	for _, f := range m.Funcs {
+		st, err := Optimize(f)
+		if err != nil {
+			return total, err
+		}
+		total.Inlined += st.Inlined
+		total.Promoted += st.Promoted
+		total.Folded += st.Folded
+		total.CSEed += st.CSEed
+		total.Hoisted += st.Hoisted
+		total.DCEed += st.DCEed
+		total.CFGChanges += st.CFGChanges
+	}
+	return total, nil
+}
+
+// CleanupOnly runs the non-inlining cleanups (used on generated access
+// versions, which never contain calls).
+func CleanupOnly(f *ir.Func) {
+	Mem2Reg(f)
+	for {
+		if ConstFold(f)+CSE(f)+LICM(f)+DCE(f)+SimplifyCFG(f)+DeleteDeadLoops(f) == 0 {
+			return
+		}
+	}
+}

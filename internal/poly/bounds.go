@@ -1,0 +1,163 @@
+package poly
+
+import "fmt"
+
+// ParamExpr is an affine expression over the parameters only:
+// Coef · params + Const.
+type ParamExpr struct {
+	Coef  []int64
+	Const int64
+}
+
+// Eval evaluates the expression at the given parameter values.
+func (e ParamExpr) Eval(params []int64) int64 {
+	s := e.Const
+	for i, c := range e.Coef {
+		s += c * params[i]
+	}
+	return s
+}
+
+// Equal reports structural equality.
+func (e ParamExpr) Equal(o ParamExpr) bool {
+	if e.Const != o.Const || len(e.Coef) != len(o.Coef) {
+		return false
+	}
+	for i := range e.Coef {
+		if e.Coef[i] != o.Coef[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub returns e - o.
+func (e ParamExpr) Sub(o ParamExpr) ParamExpr {
+	out := ParamExpr{Coef: make([]int64, len(e.Coef)), Const: e.Const - o.Const}
+	copy(out.Coef, e.Coef)
+	for i, c := range o.Coef {
+		out.Coef[i] -= c
+	}
+	return out
+}
+
+// IsConst reports whether all parameter coefficients are zero.
+func (e ParamExpr) IsConst() bool {
+	for _, c := range e.Coef {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression with parameters named p0..pm.
+func (e ParamExpr) String() string {
+	s := ""
+	for i, c := range e.Coef {
+		if c != 0 {
+			s += fmt.Sprintf("%+d*p%d ", c, i)
+		}
+	}
+	return fmt.Sprintf("%s%+d", s, e.Const)
+}
+
+// Bound is one lower or upper bound on a variable: Num/Den with Den ≥ 1.
+// A lower bound means var ≥ ceil(Num/Den); an upper bound var ≤ floor(Num/Den).
+type Bound struct {
+	Num ParamExpr
+	Den int64
+}
+
+// VarBounds describes a variable's bounds after projection: the variable
+// ranges over [max(Lower), min(Upper)] (each list non-empty for bounded
+// domains; loop codegen takes max/min across the lists).
+type VarBounds struct {
+	Lower []Bound
+	Upper []Bound
+}
+
+// BoundsOfVar returns the bounds of iteration variable k in terms of the
+// parameters, after projecting away all other iteration variables.
+// Constraints involving only parameters are dropped (they are guards that
+// hold whenever the enclosing task runs).
+func (p *Polyhedron) BoundsOfVar(k int) VarBounds {
+	q := p.Project(map[int]bool{k: true})
+	// q now has exactly one variable (index 0).
+	var vb VarBounds
+	for _, c := range q.Cons {
+		a := c.V[0]
+		if a == 0 {
+			continue
+		}
+		num := ParamExpr{Coef: make([]int64, p.NPar)}
+		for j := 0; j < p.NPar; j++ {
+			num.Coef[j] = c.V[1+j]
+		}
+		num.Const = c.V[len(c.V)-1]
+		if a > 0 {
+			// a·x + num ≥ 0  →  x ≥ ceil(-num / a)
+			vb.Lower = append(vb.Lower, Bound{Num: negate(num), Den: a})
+		} else {
+			// -|a|·x + num ≥ 0  →  x ≤ floor(num / |a|)
+			vb.Upper = append(vb.Upper, Bound{Num: num, Den: -a})
+		}
+	}
+	return vb
+}
+
+func negate(e ParamExpr) ParamExpr {
+	out := ParamExpr{Coef: make([]int64, len(e.Coef)), Const: -e.Const}
+	for i, c := range e.Coef {
+		out.Coef[i] = -c
+	}
+	return out
+}
+
+// EvalLower returns the tightest (largest) lower bound at the given params.
+func (vb VarBounds) EvalLower(params []int64) (int64, bool) {
+	if len(vb.Lower) == 0 {
+		return 0, false
+	}
+	best := int64(0)
+	for i, b := range vb.Lower {
+		v := ceilDiv(b.Num.Eval(params), b.Den)
+		if i == 0 || v > best {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// EvalUpper returns the tightest (smallest) upper bound at the given params.
+func (vb VarBounds) EvalUpper(params []int64) (int64, bool) {
+	if len(vb.Upper) == 0 {
+		return 0, false
+	}
+	best := int64(0)
+	for i, b := range vb.Upper {
+		v := floorDiv(b.Num.Eval(params), b.Den)
+		if i == 0 || v < best {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// ceilDiv returns ⌈a/b⌉ for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) != (b > 0) {
+		q--
+	}
+	return q
+}

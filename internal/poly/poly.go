@@ -1,0 +1,253 @@
+// Package poly implements the polyhedral machinery the paper obtains from
+// PolyLib and Ehrhart counting: integer polyhedra over iteration variables
+// and symbolic parameters, Fourier–Motzkin projection, symbolic per-dimension
+// bounds (used to regenerate minimal-depth prefetch loop nests), and exact
+// lattice-point enumeration and counting at instantiated parameters (used for
+// the NConvUn ≤ NOrig profitability test of §5.1.2).
+//
+// A Polyhedron has NVar iteration variables followed by NPar parameters; a
+// Constraint is an integer vector v meaning v · (x₀..x_{n-1}, p₀..p_{m-1}, 1) ≥ 0.
+// Fourier–Motzkin elimination over the rationals yields a superset of the
+// integer projection, which is the safe direction for prefetch generation
+// (a few extra prefetched addresses, never a missed constraint).
+package poly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Constraint is one affine inequality: V · (vars..., params..., 1) ≥ 0.
+type Constraint struct {
+	V []int64
+}
+
+// clone returns a copy of the constraint.
+func (c Constraint) clone() Constraint {
+	v := make([]int64, len(c.V))
+	copy(v, c.V)
+	return Constraint{V: v}
+}
+
+// normalize divides the vector by the GCD of its entries.
+func (c *Constraint) normalize() {
+	g := int64(0)
+	for _, x := range c.V {
+		g = gcd(g, abs64(x))
+	}
+	if g > 1 {
+		for i := range c.V {
+			c.V[i] /= g
+		}
+	}
+}
+
+// trivial reports whether the constraint is 0·x + k ≥ 0.
+// The second result is whether it holds (k ≥ 0).
+func (c Constraint) trivial() (bool, bool) {
+	for i := 0; i < len(c.V)-1; i++ {
+		if c.V[i] != 0 {
+			return false, false
+		}
+	}
+	return true, c.V[len(c.V)-1] >= 0
+}
+
+// Polyhedron is a conjunction of affine inequalities over NVar iteration
+// variables and NPar parameters.
+type Polyhedron struct {
+	NVar int
+	NPar int
+	Cons []Constraint
+}
+
+// NewPolyhedron returns the universe polyhedron with the given dimensions.
+func NewPolyhedron(nvar, npar int) *Polyhedron {
+	return &Polyhedron{NVar: nvar, NPar: npar}
+}
+
+// width returns the constraint vector length.
+func (p *Polyhedron) width() int { return p.NVar + p.NPar + 1 }
+
+// Clone returns a deep copy.
+func (p *Polyhedron) Clone() *Polyhedron {
+	q := NewPolyhedron(p.NVar, p.NPar)
+	for _, c := range p.Cons {
+		q.Cons = append(q.Cons, c.clone())
+	}
+	return q
+}
+
+// AddConstraint appends v · (x, p, 1) ≥ 0. The vector is copied.
+func (p *Polyhedron) AddConstraint(v []int64) {
+	if len(v) != p.width() {
+		panic(fmt.Sprintf("poly: constraint width %d, want %d", len(v), p.width()))
+	}
+	c := Constraint{V: append([]int64{}, v...)}
+	c.normalize()
+	p.Cons = append(p.Cons, c)
+}
+
+// AddEquality appends v · (x, p, 1) = 0 as two inequalities.
+func (p *Polyhedron) AddEquality(v []int64) {
+	p.AddConstraint(v)
+	neg := make([]int64, len(v))
+	for i, x := range v {
+		neg[i] = -x
+	}
+	p.AddConstraint(neg)
+}
+
+// dedup removes duplicate and trivially-true constraints. It reports a
+// trivially-false constraint by returning false.
+func (p *Polyhedron) dedup() bool {
+	seen := make(map[string]bool, len(p.Cons))
+	var out []Constraint
+	for _, c := range p.Cons {
+		if triv, holds := c.trivial(); triv {
+			if !holds {
+				return false
+			}
+			continue
+		}
+		key := conKey(c)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	p.Cons = out
+	return true
+}
+
+func conKey(c Constraint) string {
+	var sb strings.Builder
+	for _, x := range c.V {
+		fmt.Fprintf(&sb, "%d,", x)
+	}
+	return sb.String()
+}
+
+// EliminateVar projects away iteration variable k by Fourier–Motzkin,
+// returning a new polyhedron with NVar-1 variables (indices above k shift
+// down). The result over-approximates the integer projection (exact over ℚ).
+func (p *Polyhedron) EliminateVar(k int) *Polyhedron {
+	if k < 0 || k >= p.NVar {
+		panic("poly: EliminateVar index out of range")
+	}
+	var pos, neg, zero []Constraint
+	for _, c := range p.Cons {
+		switch {
+		case c.V[k] > 0:
+			pos = append(pos, c)
+		case c.V[k] < 0:
+			neg = append(neg, c)
+		default:
+			zero = append(zero, c)
+		}
+	}
+	q := NewPolyhedron(p.NVar-1, p.NPar)
+	drop := func(v []int64) []int64 {
+		out := make([]int64, 0, len(v)-1)
+		out = append(out, v[:k]...)
+		out = append(out, v[k+1:]...)
+		return out
+	}
+	for _, c := range zero {
+		q.Cons = append(q.Cons, Constraint{V: drop(c.V)})
+	}
+	for _, cp := range pos {
+		for _, cn := range neg {
+			a := cp.V[k]  // > 0
+			b := -cn.V[k] // > 0
+			nv := make([]int64, len(cp.V))
+			for i := range nv {
+				nv[i] = b*cp.V[i] + a*cn.V[i]
+			}
+			nc := Constraint{V: drop(nv)}
+			nc.normalize()
+			q.Cons = append(q.Cons, nc)
+		}
+	}
+	q.dedup()
+	return q
+}
+
+// Project eliminates all iteration variables except those in keep (given as
+// a set of indices); kept variables retain their relative order.
+func (p *Polyhedron) Project(keep map[int]bool) *Polyhedron {
+	q := p.Clone()
+	// Eliminate from the highest index down so indices stay stable.
+	for k := p.NVar - 1; k >= 0; k-- {
+		if !keep[k] {
+			q = q.EliminateVar(k)
+		}
+	}
+	return q
+}
+
+// Feasible reports whether the polyhedron has any rational point for the
+// given parameter values (exact emptiness over ℚ via recursive FM; a
+// sufficient check for our loop-domain use where FM is exact enough).
+func (p *Polyhedron) Feasible(params []int64) bool {
+	q := p.Clone()
+	for q.NVar > 0 {
+		q = q.EliminateVar(q.NVar - 1)
+	}
+	for _, c := range q.Cons {
+		s := c.V[len(c.V)-1]
+		for j := 0; j < q.NPar; j++ {
+			s += c.V[j] * params[j]
+		}
+		if s < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// gcd returns the non-negative GCD.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the polyhedron for diagnostics with variables x0..xn and
+// parameters p0..pm.
+func (p *Polyhedron) String() string {
+	var rows []string
+	for _, c := range p.Cons {
+		var terms []string
+		for i := 0; i < p.NVar; i++ {
+			if c.V[i] != 0 {
+				terms = append(terms, fmt.Sprintf("%+d*x%d", c.V[i], i))
+			}
+		}
+		for j := 0; j < p.NPar; j++ {
+			if c.V[p.NVar+j] != 0 {
+				terms = append(terms, fmt.Sprintf("%+d*p%d", c.V[p.NVar+j], j))
+			}
+		}
+		k := c.V[len(c.V)-1]
+		if k != 0 || len(terms) == 0 {
+			terms = append(terms, fmt.Sprintf("%+d", k))
+		}
+		rows = append(rows, strings.Join(terms, " ")+" >= 0")
+	}
+	sort.Strings(rows)
+	return "{ " + strings.Join(rows, " ; ") + " }"
+}

@@ -1,0 +1,128 @@
+package poly
+
+import "math/big"
+
+// Vertices enumerates the vertices of the polyhedron at fixed parameter
+// values, by solving every d-subset of active constraints exactly over the
+// rationals and keeping the feasible solutions. Exponential in the
+// constraint count, fine for the small systems loop nests produce; used to
+// cross-validate the Fourier–Motzkin bounds (a bounded polyhedron's min/max
+// along any coordinate is attained at a vertex).
+func (p *Polyhedron) Vertices(params []int64) [][]*big.Rat {
+	d := p.NVar
+	if d == 0 {
+		return nil
+	}
+	// Materialize constraints as a·x ≥ b with parameters substituted.
+	cons := make([]vcon, len(p.Cons))
+	for i, c := range p.Cons {
+		a := make([]*big.Rat, d)
+		for j := 0; j < d; j++ {
+			a[j] = big.NewRat(c.V[j], 1)
+		}
+		rhs := c.V[len(c.V)-1]
+		for j := 0; j < p.NPar; j++ {
+			rhs += c.V[d+j] * params[j]
+		}
+		cons[i] = vcon{a: a, b: big.NewRat(-rhs, 1)}
+	}
+
+	var verts [][]*big.Rat
+	seen := map[string]bool{}
+	idx := make([]int, d)
+	var choose func(start, k int)
+	choose = func(start, k int) {
+		if k == d {
+			if pt, ok := solveSquare(cons, idx, d); ok && feasible(cons, pt) {
+				key := ratKey(pt)
+				if !seen[key] {
+					seen[key] = true
+					verts = append(verts, pt)
+				}
+			}
+			return
+		}
+		for i := start; i < len(cons); i++ {
+			idx[k] = i
+			choose(i+1, k+1)
+		}
+	}
+	choose(0, 0)
+	return verts
+}
+
+// vcon is one materialized constraint a·x ≥ b.
+type vcon struct {
+	a []*big.Rat
+	b *big.Rat
+}
+
+// solveSquare solves the d×d system formed by the chosen constraints taken
+// as equalities, via rational Gaussian elimination.
+func solveSquare(cons []vcon, idx []int, d int) ([]*big.Rat, bool) {
+	// Build augmented matrix.
+	m := make([][]*big.Rat, d)
+	for r := 0; r < d; r++ {
+		row := make([]*big.Rat, d+1)
+		for c := 0; c < d; c++ {
+			row[c] = new(big.Rat).Set(cons[idx[r]].a[c])
+		}
+		row[d] = new(big.Rat).Set(cons[idx[r]].b)
+		m[r] = row
+	}
+	for col := 0; col < d; col++ {
+		// Find pivot.
+		piv := -1
+		for r := col; r < d; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false // singular: constraints not independent
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := new(big.Rat).Inv(m[col][col])
+		for c := col; c <= d; c++ {
+			m[col][c].Mul(m[col][c], inv)
+		}
+		for r := 0; r < d; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[r][col])
+			for c := col; c <= d; c++ {
+				t := new(big.Rat).Mul(f, m[col][c])
+				m[r][c].Sub(m[r][c], t)
+			}
+		}
+	}
+	out := make([]*big.Rat, d)
+	for r := 0; r < d; r++ {
+		out[r] = m[r][d]
+	}
+	return out, true
+}
+
+func feasible(cons []vcon, pt []*big.Rat) bool {
+	for _, c := range cons {
+		s := new(big.Rat)
+		for j, a := range c.a {
+			t := new(big.Rat).Mul(a, pt[j])
+			s.Add(s, t)
+		}
+		if s.Cmp(c.b) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func ratKey(pt []*big.Rat) string {
+	s := ""
+	for _, r := range pt {
+		s += r.RatString() + "/"
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestVerticesUnitSquare(t *testing.T) {
+	p := NewPolyhedron(2, 0)
+	p.AddConstraint([]int64{1, 0, 0})  // x >= 0
+	p.AddConstraint([]int64{-1, 0, 1}) // x <= 1
+	p.AddConstraint([]int64{0, 1, 0})  // y >= 0
+	p.AddConstraint([]int64{0, -1, 1}) // y <= 1
+	vs := p.Vertices(nil)
+	if len(vs) != 4 {
+		t.Fatalf("vertices = %d, want 4", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		seen[v[0].RatString()+","+v[1].RatString()] = true
+	}
+	for _, want := range []string{"0,0", "0,1", "1,0", "1,1"} {
+		if !seen[want] {
+			t.Errorf("missing vertex %s (got %v)", want, seen)
+		}
+	}
+}
+
+func TestVerticesTriangleParametric(t *testing.T) {
+	p := triangle2() // 0 <= i, i+1 <= j <= N-1
+	vs := p.Vertices([]int64{5})
+	// Vertices: (0,1), (0,4), (3,4).
+	if len(vs) != 3 {
+		t.Fatalf("vertices = %d, want 3", len(vs))
+	}
+}
+
+// Property: for random bounded polyhedra, the FM-derived bounds of each
+// variable coincide with the min/max over the exact vertex set.
+func TestFMBoundsMatchVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		p := NewPolyhedron(2, 0)
+		// Bounding box keeps it bounded.
+		p.AddConstraint([]int64{1, 0, 6})
+		p.AddConstraint([]int64{-1, 0, 6})
+		p.AddConstraint([]int64{0, 1, 6})
+		p.AddConstraint([]int64{0, -1, 6})
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			p.AddConstraint([]int64{
+				int64(rng.Intn(9) - 4),
+				int64(rng.Intn(9) - 4),
+				int64(rng.Intn(13) - 2),
+			})
+		}
+		vs := p.Vertices(nil)
+		if len(vs) == 0 {
+			continue // empty or degenerate
+		}
+		for dim := 0; dim < 2; dim++ {
+			lo, hi := vs[0][dim], vs[0][dim]
+			for _, v := range vs[1:] {
+				if v[dim].Cmp(lo) < 0 {
+					lo = v[dim]
+				}
+				if v[dim].Cmp(hi) > 0 {
+					hi = v[dim]
+				}
+			}
+			vb := p.BoundsOfVar(dim)
+			fmLo, ok1 := vb.EvalLower(nil)
+			fmHi, ok2 := vb.EvalUpper(nil)
+			if !ok1 || !ok2 {
+				t.Fatalf("trial %d: unbounded FM bounds on a bounded polyhedron\n%s", trial, p)
+			}
+			// FM lower = ceil(rational min); FM upper = floor(rational max).
+			wantLo := ceilRat(lo)
+			wantHi := floorRat(hi)
+			if fmLo != wantLo || fmHi != wantHi {
+				t.Fatalf("trial %d dim %d: FM [%d,%d], vertices [%s,%s]\n%s",
+					trial, dim, fmLo, fmHi, lo.RatString(), hi.RatString(), p)
+			}
+		}
+	}
+}
+
+func ceilRat(r *big.Rat) int64 {
+	q := new(big.Int).Div(r.Num(), r.Denom()) // floor for positive denom
+	if new(big.Int).Mul(q, r.Denom()).Cmp(r.Num()) != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return q.Int64()
+}
+
+func floorRat(r *big.Rat) int64 {
+	q := new(big.Int).Div(r.Num(), r.Denom())
+	return q.Int64()
+}

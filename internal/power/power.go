@@ -1,0 +1,65 @@
+// Package power implements the paper's calibrated power model (§3.2): the
+// processor's effective capacitance is a linear function of IPC,
+//
+//	Ceff = 0.19·IPC + 1.64   [nF]
+//	Pdyn = Ceff · f · V²     [W, with f in GHz]
+//
+// and static power is a linear function of V·f per active core. Energy is
+// Time·P and the paper's headline metric is EDP = Time²·P.
+package power
+
+import "dae/internal/dvfs"
+
+// Model holds the calibrated coefficients.
+type Model struct {
+	// CeffSlope and CeffBase define Ceff(IPC) in nF (paper: 0.19, 1.64).
+	CeffSlope float64
+	CeffBase  float64
+	// StaticBase is the per-core static power floor in W.
+	StaticBase float64
+	// StaticPerVF is the per-core static coefficient in W per (V·GHz).
+	StaticPerVF float64
+	// UncoreStatic is the package-level constant power in W.
+	UncoreStatic float64
+}
+
+// Default returns the Sandybridge-calibrated model of Koukos et al. [14]
+// with representative static coefficients.
+func Default() Model {
+	return Model{
+		CeffSlope:    0.19,
+		CeffBase:     1.64,
+		StaticBase:   0.4,
+		StaticPerVF:  0.3,
+		UncoreStatic: 3.0,
+	}
+}
+
+// Ceff returns the effective capacitance in nF at the given IPC.
+func (m Model) Ceff(ipc float64) float64 { return m.CeffSlope*ipc + m.CeffBase }
+
+// Dynamic returns one core's dynamic power in W at operating point l and
+// the given IPC.
+func (m Model) Dynamic(ipc float64, l dvfs.Level) float64 {
+	return m.Ceff(ipc) * l.Freq * l.Volt * l.Volt
+}
+
+// StaticCore returns one active core's static power in W at point l.
+func (m Model) StaticCore(l dvfs.Level) float64 {
+	return m.StaticBase + m.StaticPerVF*l.Volt*l.Freq
+}
+
+// CorePower returns one active core's total power at point l and IPC.
+func (m Model) CorePower(ipc float64, l dvfs.Level) float64 {
+	return m.Dynamic(ipc, l) + m.StaticCore(l)
+}
+
+// IdleCorePower returns the power of a core that executes nothing (e.g.
+// during a DVFS transition, §6.1: "we count only the static energy").
+func (m Model) IdleCorePower(l dvfs.Level) float64 { return m.StaticCore(l) }
+
+// Energy returns E = T·P in joules.
+func Energy(timeSec, watts float64) float64 { return timeSec * watts }
+
+// EDP returns the energy-delay product T²·P = E·T in J·s.
+func EDP(timeSec, energyJ float64) float64 { return timeSec * energyJ }

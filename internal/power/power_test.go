@@ -1,0 +1,116 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"dae/internal/dvfs"
+)
+
+func TestCeffMatchesPaper(t *testing.T) {
+	m := Default()
+	if got := m.Ceff(1.0); math.Abs(got-1.83) > 1e-9 {
+		t.Errorf("Ceff(1) = %g, want 1.83 (0.19·IPC + 1.64)", got)
+	}
+	if got := m.Ceff(0); got != 1.64 {
+		t.Errorf("Ceff(0) = %g, want 1.64", got)
+	}
+}
+
+func TestDynamicPowerQuadraticInVoltage(t *testing.T) {
+	m := Default()
+	lo := dvfs.Level{Freq: 2.0, Volt: 1.0}
+	hi := dvfs.Level{Freq: 2.0, Volt: 1.2}
+	ratio := m.Dynamic(1, hi) / m.Dynamic(1, lo)
+	if math.Abs(ratio-1.44) > 1e-9 {
+		t.Errorf("V² scaling ratio = %g, want 1.44", ratio)
+	}
+}
+
+func TestPowerMonotonicInFrequency(t *testing.T) {
+	m := Default()
+	tab := dvfs.Default()
+	prev := 0.0
+	for _, l := range tab.Levels {
+		p := m.CorePower(1.5, l)
+		if p <= prev {
+			t.Errorf("power at %g GHz = %g W not increasing", l.Freq, p)
+		}
+		prev = p
+	}
+}
+
+func TestPlausibleAbsolutePower(t *testing.T) {
+	m := Default()
+	fmax := dvfs.Default().Fmax()
+	// 4 cores at IPC 2 plus uncore: a quad-core Sandybridge under load
+	// draws tens of watts.
+	total := 4*m.CorePower(2.0, fmax) + m.UncoreStatic
+	if total < 25 || total > 120 {
+		t.Errorf("4-core package power = %.1f W, want a plausible 25–120 W", total)
+	}
+	// At fmin with memory-bound IPC the core draw collapses.
+	fmin := dvfs.Default().Fmin()
+	low := m.CorePower(0.3, fmin)
+	if low > 5 {
+		t.Errorf("memory-bound core at fmin = %.2f W, want < 5 W", low)
+	}
+}
+
+func TestIdlePowerIsStaticOnly(t *testing.T) {
+	m := Default()
+	l := dvfs.Default().Fmax()
+	if m.IdleCorePower(l) != m.StaticCore(l) {
+		t.Error("idle power should equal static power")
+	}
+	if m.IdleCorePower(l) >= m.CorePower(1.0, l) {
+		t.Error("idle power should be below active power")
+	}
+}
+
+func TestEnergyAndEDP(t *testing.T) {
+	if Energy(2.0, 10.0) != 20.0 {
+		t.Error("Energy = T·P")
+	}
+	if EDP(2.0, 20.0) != 40.0 {
+		t.Error("EDP = T·E = T²·P")
+	}
+	// EDP favours keeping performance: at constant power, doubling time
+	// quadruples EDP (T²·P), so a 2× slowdown needs >4× power savings.
+	fast := EDP(1.0, Energy(1.0, 20.0))
+	slow := EDP(2.0, Energy(2.0, 20.0))
+	if slow != 4*fast {
+		t.Errorf("EDP at 2× time = %g, want 4× of %g", slow, fast)
+	}
+	slowQuarterPower := EDP(2.0, Energy(2.0, 4.9))
+	if slowQuarterPower >= fast {
+		t.Error("more-than-4× power savings should win EDP at 2× time")
+	}
+}
+
+func TestDVFSTableShape(t *testing.T) {
+	tab := dvfs.Default()
+	if tab.Fmin().Freq != 1.6 || tab.Fmax().Freq != 3.4 {
+		t.Errorf("range = [%g, %g], want [1.6, 3.4]", tab.Fmin().Freq, tab.Fmax().Freq)
+	}
+	if len(tab.Levels) != 6 {
+		t.Errorf("levels = %d, want 6 (400 MHz steps)", len(tab.Levels))
+	}
+	for i := 1; i < len(tab.Levels); i++ {
+		if tab.Levels[i].Freq <= tab.Levels[i-1].Freq || tab.Levels[i].Volt <= tab.Levels[i-1].Volt {
+			t.Error("levels must be ascending in f and V")
+		}
+	}
+	if tab.TransitionLatency != 500e-9 {
+		t.Error("default transition latency should be 500 ns")
+	}
+	if dvfs.Ideal().TransitionLatency != 0 {
+		t.Error("ideal transitions should be instantaneous")
+	}
+	if _, err := tab.ByFreq(2.4); err != nil {
+		t.Error("ByFreq(2.4) should exist")
+	}
+	if _, err := tab.ByFreq(5.0); err == nil {
+		t.Error("ByFreq(5.0) should fail")
+	}
+}

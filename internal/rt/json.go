@@ -1,0 +1,64 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceJSON is the serialized form of a Trace; all fields of TaskRecord,
+// interp.Counts and mem.Stats are exported plain data, so the encoding is a
+// faithful snapshot of the frequency-independent profile.
+type traceJSON struct {
+	Version    int          `json:"version"`
+	Workload   string       `json:"workload"`
+	Decoupled  bool         `json:"decoupled"`
+	Cores      int          `json:"cores"`
+	NumBatches int          `json:"num_batches"`
+	Records    []TaskRecord `json:"records"`
+}
+
+const traceVersion = 1
+
+// SaveTrace writes the trace as JSON. Saved traces let external tooling (or
+// later runs) re-evaluate frequency policies without re-simulating.
+func SaveTrace(w io.Writer, tr *Trace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceJSON{
+		Version:    traceVersion,
+		Workload:   tr.Workload,
+		Decoupled:  tr.Decoupled,
+		Cores:      tr.Cores,
+		NumBatches: tr.NumBatches,
+		Records:    tr.Records,
+	})
+}
+
+// LoadTrace reads a trace saved with SaveTrace.
+func LoadTrace(r io.Reader) (*Trace, error) {
+	var tj traceJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("rt: decoding trace: %w", err)
+	}
+	if tj.Version != traceVersion {
+		return nil, fmt.Errorf("rt: unsupported trace version %d", tj.Version)
+	}
+	if tj.Cores <= 0 {
+		return nil, fmt.Errorf("rt: trace has invalid core count %d", tj.Cores)
+	}
+	for i, rec := range tj.Records {
+		if rec.Core < 0 || rec.Core >= tj.Cores {
+			return nil, fmt.Errorf("rt: record %d has core %d outside [0,%d)", i, rec.Core, tj.Cores)
+		}
+		if rec.Batch < 0 || rec.Batch >= tj.NumBatches {
+			return nil, fmt.Errorf("rt: record %d has batch %d outside [0,%d)", i, rec.Batch, tj.NumBatches)
+		}
+	}
+	return &Trace{
+		Workload:   tj.Workload,
+		Decoupled:  tj.Decoupled,
+		Cores:      tj.Cores,
+		NumBatches: tj.NumBatches,
+		Records:    tj.Records,
+	}, nil
+}

@@ -1,0 +1,231 @@
+// Package rt implements the DAE runtime system of §3: tasks are scheduled
+// across simulated cores, the access version of each task runs immediately
+// before its execute version on the same core, and the voltage-frequency is
+// switched between the phases under a selectable policy (naive min/max f or
+// locally-optimal EDP), accounting for the DVFS transition latency.
+//
+// Execution follows the paper's own evaluation methodology (§3.1): cache
+// behaviour and instruction mix are frequency-independent, so a workload is
+// *traced* once per program version (coupled or decoupled), recording each
+// task phase's work; any frequency policy and transition latency is then
+// evaluated analytically from the trace with the interval timing model and
+// the calibrated power model. The work-stealing load balancer is modelled by
+// deterministic round-robin placement of the equal-granularity tasks of a
+// batch (noted in DESIGN.md).
+package rt
+
+import (
+	"fmt"
+
+	"dae/internal/cpu"
+	"dae/internal/dae"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/mem"
+)
+
+// Task is one schedulable unit: a task function and its arguments.
+type Task struct {
+	// Name is the task function name in the module.
+	Name string
+	// Args are the interpreter arguments.
+	Args []interp.Value
+}
+
+// Workload is a phased task graph: the tasks within a batch are independent
+// and run in parallel; batches are separated by barriers.
+type Workload struct {
+	// Name identifies the benchmark.
+	Name string
+	// Module holds the compiled task functions (and, after dae.GenerateModule,
+	// the access versions).
+	Module *ir.Module
+	// Access maps a task name to its access-version function (nil entries or
+	// missing keys mean the task always runs coupled).
+	Access map[string]*ir.Func
+	// Batches is the phased task list.
+	Batches [][]Task
+}
+
+// TaskRecord is the traced work of one executed task.
+type TaskRecord struct {
+	Name  string
+	Core  int
+	Batch int
+	// HasAccess is set when the decoupled trace ran an access phase.
+	HasAccess bool
+	// AccessWork is the access phase's work (zero unless HasAccess).
+	AccessWork cpu.PhaseWork
+	// ExecWork is the execute phase's work.
+	ExecWork cpu.PhaseWork
+}
+
+// Trace is the frequency-independent record of one workload execution.
+type Trace struct {
+	Workload  string
+	Decoupled bool
+	Cores     int
+	Records   []TaskRecord
+	// NumBatches is the barrier count.
+	NumBatches int
+}
+
+// coreTracer adapts interpreter memory events onto a core's hierarchy.
+type coreTracer struct{ h *mem.Hierarchy }
+
+func (t *coreTracer) Load(a int64)     { t.h.Access(a, mem.Load) }
+func (t *coreTracer) Store(a int64)    { t.h.Access(a, mem.Store) }
+func (t *coreTracer) Prefetch(a int64) { t.h.Access(a, mem.Prefetch) }
+
+// Placement selects how a batch's tasks are assigned to cores. Placement
+// must be frequency-independent (it is fixed at trace time because caches
+// are per-core), so the load balancer works on executed-instruction counts.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceRoundRobin deals tasks out cyclically — exact for the
+	// equal-granularity batches the paper's benchmarks produce.
+	PlaceRoundRobin Placement = iota
+	// PlaceLeastLoaded assigns each task to the core with the least
+	// accumulated work so far, approximating the paper's work stealing for
+	// batches with imbalanced tasks.
+	PlaceLeastLoaded
+)
+
+// TraceConfig controls workload tracing.
+type TraceConfig struct {
+	// Cores is the number of simulated cores (the paper evaluates 4).
+	Cores int
+	// Hierarchy configures the caches.
+	Hierarchy mem.HierarchyConfig
+	// Decoupled runs access phases before execute phases where available.
+	Decoupled bool
+	// Place selects the load balancer (default round robin).
+	Place Placement
+}
+
+// DefaultTraceConfig returns the quad-core evaluation setup with the
+// downscaled cache hierarchy (see mem.EvalHierarchy).
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{Cores: 4, Hierarchy: mem.EvalHierarchy(), Decoupled: true}
+}
+
+// Run traces the workload: every task executes for real through the
+// interpreter against its core's cache hierarchy, with the access phase (if
+// any, and if cfg.Decoupled) immediately preceding the execute phase on the
+// same core. It returns the per-task work records.
+func Run(w *Workload, cfg TraceConfig) (*Trace, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("rt: need at least one core")
+	}
+	prog := interp.NewProgram(w.Module)
+	l3 := mem.NewCache(cfg.Hierarchy.L3)
+
+	type core struct {
+		hier *mem.Hierarchy
+		env  *interp.Env
+		tr   *coreTracer
+	}
+	cores := make([]*core, cfg.Cores)
+	for i := range cores {
+		h := mem.NewHierarchy(cfg.Hierarchy, l3)
+		tr := &coreTracer{h: h}
+		cores[i] = &core{hier: h, env: interp.NewEnv(prog, tr), tr: tr}
+	}
+
+	tr := &Trace{Workload: w.Name, Decoupled: cfg.Decoupled, Cores: cfg.Cores, NumBatches: len(w.Batches)}
+
+	runPhase := func(c *core, fn *ir.Func, args []interp.Value) (cpu.PhaseWork, error) {
+		c.env.ResetCounts()
+		c.hier.ResetStats()
+		if _, err := c.env.Call(fn, args...); err != nil {
+			return cpu.PhaseWork{}, err
+		}
+		return cpu.PhaseWork{Counts: c.env.Counts(), Mem: c.hier.Stats}, nil
+	}
+
+	// load tracks accumulated instruction counts per core within the
+	// current batch, for the least-loaded placement policy.
+	load := make([]int64, cfg.Cores)
+	for bi, batch := range w.Batches {
+		for i := range load {
+			load[i] = 0
+		}
+		for ti, task := range batch {
+			ci := ti % cfg.Cores
+			if cfg.Place == PlaceLeastLoaded {
+				ci = 0
+				for k := 1; k < cfg.Cores; k++ {
+					if load[k] < load[ci] {
+						ci = k
+					}
+				}
+			}
+			c := cores[ci]
+			fn := w.Module.Func(task.Name)
+			if fn == nil {
+				return nil, fmt.Errorf("rt: no task function %q", task.Name)
+			}
+			rec := TaskRecord{Name: task.Name, Core: ci, Batch: bi}
+			if cfg.Decoupled {
+				if acc := w.Access[task.Name]; acc != nil {
+					work, err := runPhase(c, acc, task.Args)
+					if err != nil {
+						return nil, fmt.Errorf("rt: access phase of %s: %w", task.Name, err)
+					}
+					rec.HasAccess = true
+					rec.AccessWork = work
+				}
+			}
+			work, err := runPhase(c, fn, task.Args)
+			if err != nil {
+				return nil, fmt.Errorf("rt: execute phase of %s: %w", task.Name, err)
+			}
+			rec.ExecWork = work
+			load[ci] += rec.AccessWork.Counts.Total() + rec.ExecWork.Counts.Total()
+			tr.Records = append(tr.Records, rec)
+		}
+	}
+	return tr, nil
+}
+
+// BuildWorkload compiles TaskC source, generates access versions with the
+// given options, and wraps everything as a Workload (batches filled by the
+// caller).
+func BuildWorkload(name, src string, opts dae.Options) (*Workload, map[string]*dae.Result, error) {
+	mod, err := lower.Compile(src, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := dae.GenerateModule(mod, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	access := make(map[string]*ir.Func)
+	for name, res := range results {
+		if res.Access != nil {
+			access[name] = res.Access
+		}
+	}
+	return &Workload{Name: name, Module: mod, Access: access}, results, nil
+}
+
+// SuggestGranularity returns a task size (in loop iterations) whose working
+// set just fits the private cache hierarchy — the §3.1 sizing rule the paper
+// leaves to the programmer and §5.2.3 proposes automating. bytesPerIter is
+// the number of distinct bytes one iteration touches across all arrays.
+func SuggestGranularity(bytesPerIter int, hier mem.HierarchyConfig) int {
+	if bytesPerIter <= 0 {
+		return 1
+	}
+	// Target the full private capacity (L1+L2): a modest number of L1
+	// misses serviced by the L2 does not hurt compute-boundedness (§3.1).
+	target := hier.L1.SizeBytes + hier.L2.SizeBytes
+	n := target / bytesPerIter
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,285 @@
+package rt
+
+import (
+	"fmt"
+
+	"dae/internal/cpu"
+	"dae/internal/dvfs"
+	"dae/internal/power"
+)
+
+// FreqPolicy selects the frequency for each task phase.
+type FreqPolicy int
+
+// Frequency policies (§3.1).
+const (
+	// PolicyFixed runs every phase at Machine.FixedFreq.
+	PolicyFixed FreqPolicy = iota
+	// PolicyMinMax runs access phases at fmin and execute phases at fmax
+	// (the naive policy).
+	PolicyMinMax
+	// PolicyOptimalEDP picks, per phase, the level minimizing the phase's
+	// local T²·P (the paper's exhaustive offline-profiled optimum).
+	PolicyOptimalEDP
+	// PolicyMinFixed runs access phases at fmin and execute phases at
+	// Machine.FixedFreq — the configuration swept in the paper's Figure 4
+	// profiles ("the access phase is executed at fmin, while the execute
+	// phase is varied from fmin to fmax").
+	PolicyMinFixed
+	// PolicyOnline predicts each phase's frequency from the previous
+	// execution of the same task type and phase kind — the runtime
+	// counter-based selection the paper points to ([11], [25]) as the
+	// practical substitute for its offline-profiled optimum. The first
+	// instance of a task type runs at fmax.
+	PolicyOnline
+)
+
+// Machine bundles the models a policy evaluation needs.
+type Machine struct {
+	CPU   cpu.Params
+	DVFS  dvfs.Table
+	Power power.Model
+	// FixedFreq is the level used by PolicyFixed (GHz).
+	FixedFreq float64
+}
+
+// DefaultMachine returns the paper's evaluation machine with 500 ns
+// transitions, fixed frequency defaulting to fmax.
+func DefaultMachine() Machine {
+	t := dvfs.Default()
+	return Machine{CPU: cpu.DefaultParams(), DVFS: t, Power: power.Default(), FixedFreq: t.Fmax().Freq}
+}
+
+// Metrics is the outcome of evaluating a trace under a policy.
+type Metrics struct {
+	// Time is the wall-clock makespan in seconds.
+	Time float64
+	// Energy is the total energy in joules (cores + uncore).
+	Energy float64
+	// EDP = Time · Energy.
+	EDP float64
+
+	// Aggregate per-phase accounting (summed over cores).
+	AccessTime     float64
+	ExecuteTime    float64
+	TransitionTime float64
+	IdleTime       float64
+	AccessEnergy   float64
+	ExecuteEnergy  float64
+	OtherEnergy    float64 // transitions + idle + uncore
+
+	// Tasks is the number of task executions.
+	Tasks int
+	// Transitions is the number of DVFS switches.
+	Transitions int
+}
+
+// TAFraction returns the fraction of busy time spent in access phases
+// (Table 1's TA%).
+func (m Metrics) TAFraction() float64 {
+	busy := m.AccessTime + m.ExecuteTime
+	if busy == 0 {
+		return 0
+	}
+	return m.AccessTime / busy
+}
+
+// MeanAccessSeconds returns the average access-phase duration (Table 1's
+// TA in µs when multiplied by 1e6).
+func (m Metrics) MeanAccessSeconds() float64 {
+	if m.Tasks == 0 {
+		return 0
+	}
+	return m.AccessTime / float64(m.Tasks)
+}
+
+// phasePlan is the chosen operating point of one phase.
+type phasePlan struct {
+	level dvfs.Level
+	time  float64
+	ipc   float64
+}
+
+// planPhase picks the operating point for a phase under the policy.
+func planPhase(m Machine, w cpu.PhaseWork, isAccess bool, pol FreqPolicy) phasePlan {
+	switch pol {
+	case PolicyMinMax:
+		l := m.DVFS.Fmax()
+		if isAccess {
+			l = m.DVFS.Fmin()
+		}
+		return plan(m, w, l)
+	case PolicyMinFixed:
+		if isAccess {
+			return plan(m, w, m.DVFS.Fmin())
+		}
+		l, err := m.DVFS.ByFreq(m.FixedFreq)
+		if err != nil {
+			l = m.DVFS.Fmax()
+		}
+		return plan(m, w, l)
+	case PolicyOptimalEDP:
+		return plan(m, w, bestLevelFor(m, w))
+	default:
+		l, err := m.DVFS.ByFreq(m.FixedFreq)
+		if err != nil {
+			l = m.DVFS.Fmax()
+		}
+		return plan(m, w, l)
+	}
+}
+
+func plan(m Machine, w cpu.PhaseWork, l dvfs.Level) phasePlan {
+	return phasePlan{level: l, time: m.CPU.Time(w, l.Freq), ipc: m.CPU.IPC(w, l.Freq)}
+}
+
+// bestLevelFor returns the level minimizing the local EDP of the given work.
+func bestLevelFor(m Machine, w cpu.PhaseWork) dvfs.Level {
+	best := m.DVFS.Levels[0]
+	bestEDP := localEDP(m, plan(m, w, best))
+	for _, l := range m.DVFS.Levels[1:] {
+		if e := localEDP(m, plan(m, w, l)); e < bestEDP {
+			best, bestEDP = l, e
+		}
+	}
+	return best
+}
+
+// localEDP is the per-phase objective of the optimal policy: T²·P with the
+// core's power plus its share of the uncore.
+func localEDP(m Machine, p phasePlan) float64 {
+	pw := m.Power.CorePower(p.ipc, p.level) + m.Power.UncoreStatic/4
+	return p.time * p.time * pw
+}
+
+// Evaluate replays a trace under a frequency policy, charging phase times,
+// DVFS transition latencies (static-only energy, §6.1), and barrier idle
+// time (static energy at the core's current level).
+func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics {
+	type coreState struct {
+		clock  float64
+		energy float64
+		level  dvfs.Level
+	}
+	cores := make([]coreState, tr.Cores)
+	start := m.DVFS.Fmax()
+	if pol == PolicyFixed {
+		if l, err := m.DVFS.ByFreq(m.FixedFreq); err == nil {
+			start = l
+		}
+	}
+	for i := range cores {
+		cores[i].level = start
+	}
+
+	var out Metrics
+
+	switchTo := func(c *coreState, l dvfs.Level) {
+		if c.level == l {
+			return
+		}
+		lat := m.DVFS.TransitionLatency
+		if lat > 0 {
+			e := power.Energy(lat, m.Power.IdleCorePower(c.level))
+			c.clock += lat
+			c.energy += e
+			out.TransitionTime += lat
+			out.OtherEnergy += e
+		}
+		c.level = l
+		out.Transitions++
+	}
+
+	runPhase := func(c *coreState, p phasePlan, isAccess bool) {
+		e := power.Energy(p.time, m.Power.CorePower(p.ipc, p.level))
+		c.clock += p.time
+		c.energy += e
+		if isAccess {
+			out.AccessTime += p.time
+			out.AccessEnergy += e
+		} else {
+			out.ExecuteTime += p.time
+			out.ExecuteEnergy += e
+		}
+	}
+
+	// Per-(task type, phase kind) history for the online predictor.
+	type histKey struct {
+		name   string
+		access bool
+	}
+	hist := make(map[histKey]cpu.PhaseWork)
+	planOnline := func(name string, w cpu.PhaseWork, isAccess bool) phasePlan {
+		k := histKey{name: name, access: isAccess}
+		level := m.DVFS.Fmax()
+		if prev, ok := hist[k]; ok {
+			level = bestLevelFor(m, prev)
+		}
+		hist[k] = w
+		return plan(m, w, level)
+	}
+
+	// Replay batch by batch.
+	ri := 0
+	for b := 0; b < tr.NumBatches; b++ {
+		for ri < len(tr.Records) && tr.Records[ri].Batch == b {
+			rec := tr.Records[ri]
+			c := &cores[rec.Core]
+			if rec.HasAccess {
+				var p phasePlan
+				if pol == PolicyOnline {
+					p = planOnline(rec.Name, rec.AccessWork, true)
+				} else {
+					p = planPhase(m, rec.AccessWork, true, pol)
+				}
+				switchTo(c, p.level)
+				runPhase(c, p, true)
+			}
+			var p phasePlan
+			if pol == PolicyOnline {
+				p = planOnline(rec.Name, rec.ExecWork, false)
+			} else {
+				p = planPhase(m, rec.ExecWork, false, pol)
+			}
+			switchTo(c, p.level)
+			runPhase(c, p, false)
+			out.Tasks++
+			ri++
+		}
+		// Barrier: idle the early cores at their current level.
+		var tmax float64
+		for i := range cores {
+			if cores[i].clock > tmax {
+				tmax = cores[i].clock
+			}
+		}
+		for i := range cores {
+			idle := tmax - cores[i].clock
+			if idle > 0 {
+				e := power.Energy(idle, m.Power.IdleCorePower(cores[i].level))
+				cores[i].clock = tmax
+				cores[i].energy += e
+				out.IdleTime += idle
+				out.OtherEnergy += e
+			}
+		}
+	}
+
+	for i := range cores {
+		if cores[i].clock > out.Time {
+			out.Time = cores[i].clock
+		}
+		out.Energy += cores[i].energy
+	}
+	uncore := power.Energy(out.Time, m.Power.UncoreStatic)
+	out.Energy += uncore
+	out.OtherEnergy += uncore
+	out.EDP = power.EDP(out.Time, out.Energy)
+	return out
+}
+
+// String renders metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("T=%.4gs E=%.4gJ EDP=%.4g (acc %.3gs, exe %.3gs, trans %.3gs, idle %.3gs, %d switches)",
+		m.Time, m.Energy, m.EDP, m.AccessTime, m.ExecuteTime, m.TransitionTime, m.IdleTime, m.Transitions)
+}

@@ -1,0 +1,331 @@
+package scev
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// IVInfo describes one recognized induction variable: an add-recurrence
+// {Lower, +, Step} whose trip range is bounded by the loop-exit comparison
+// "iv Pred Bound" (the condition under which the loop continues).
+type IVInfo struct {
+	Loop *ir.Loop
+	Phi  *ir.Phi
+	// Step is the constant per-iteration increment (may be negative).
+	Step int64
+	// Lower is the value of the IV on loop entry.
+	Lower Affine
+	// Pred and Bound describe the continuation condition: the loop body
+	// executes while "iv Pred Bound" holds.
+	Pred  ir.CmpPred
+	Bound Affine
+
+	boundValue ir.Value
+	preheader  *ir.Block
+	lowerBad   bool
+	boundBad   bool
+}
+
+// Analysis holds scalar-evolution results for one function.
+type Analysis struct {
+	Fn    *ir.Func
+	DT    *ir.DomTree
+	Loops *ir.LoopInfo
+	// IVs maps each analyzable loop to its induction variable.
+	IVs map[*ir.Loop]*IVInfo
+	// ivOf maps the IV phi back to its info.
+	ivOf map[*ir.Phi]*IVInfo
+
+	cache map[ir.Value]*Affine
+}
+
+// Analyze builds scalar-evolution information for f. The function should be
+// in optimized SSA form (after mem2reg/simplify) for best results.
+func Analyze(f *ir.Func) *Analysis {
+	dt := ir.NewDomTree(f)
+	li := ir.FindLoops(f, dt)
+	a := &Analysis{
+		Fn: f, DT: dt, Loops: li,
+		IVs:   make(map[*ir.Loop]*IVInfo),
+		ivOf:  make(map[*ir.Phi]*IVInfo),
+		cache: make(map[ir.Value]*Affine),
+	}
+	for _, l := range li.AllLoops() {
+		if iv := a.findIV(l); iv != nil {
+			a.IVs[l] = iv
+			a.ivOf[iv.Phi] = iv
+		}
+	}
+	// Lower/Bound expressions may reference other IVs; resolve them now that
+	// all IV phis are known.
+	for _, iv := range a.IVs {
+		if lo, ok := a.AffineOf(iv.phiLowerValue()); ok {
+			iv.Lower = lo
+		} else {
+			iv.Lower = Affine{}
+			iv.lowerBad = true
+		}
+		if bd, ok := a.AffineOf(iv.boundValue); ok {
+			iv.Bound = bd
+		} else {
+			iv.Bound = Affine{}
+			iv.boundBad = true
+		}
+	}
+	return a
+}
+
+// IVFor returns the IV of loop l, or nil.
+func (a *Analysis) IVFor(l *ir.Loop) *IVInfo { return a.IVs[l] }
+
+// IVOfPhi returns the IVInfo whose phi is p, or nil.
+func (a *Analysis) IVOfPhi(p *ir.Phi) *IVInfo { return a.ivOf[p] }
+
+// WellFormed reports whether the IV's bounds were themselves affine.
+func (iv *IVInfo) WellFormed() bool { return !iv.lowerBad && !iv.boundBad }
+
+// findIV recognizes the canonical induction variable of l: a header phi with
+// exactly two incomings (preheader and latch), whose latch value is
+// phi ± constant, and whose header terminator is a conditional exit
+// comparing the phi against a loop-invariant bound.
+func (a *Analysis) findIV(l *ir.Loop) *IVInfo {
+	header := l.Header
+	preds := a.Fn.Preds()[header]
+	if len(preds) != 2 {
+		return nil
+	}
+	var pre, latch *ir.Block
+	for _, p := range preds {
+		if l.Contains(p) {
+			latch = p
+		} else {
+			pre = p
+		}
+	}
+	if pre == nil || latch == nil {
+		return nil
+	}
+
+	cb, ok := header.Term().(*ir.CondBr)
+	if !ok {
+		return nil
+	}
+	cmp, ok := cb.Cond.(*ir.Cmp)
+	if !ok {
+		return nil
+	}
+	// The continue edge must be Then and the exit edge Else; the front end
+	// produces this shape and the cleanup passes preserve it.
+	if !l.Contains(cb.Then) || l.Contains(cb.Else) {
+		return nil
+	}
+
+	for _, phi := range header.Phis() {
+		if !phi.Type().IsInt() {
+			continue
+		}
+		latchVal := phi.Incoming(latch)
+		step, ok := stepOf(phi, latchVal)
+		if !ok {
+			continue
+		}
+		var boundVal ir.Value
+		var pred ir.CmpPred
+		if cmp.X == phi {
+			boundVal, pred = cmp.Y, cmp.Pred
+		} else if cmp.Y == phi {
+			boundVal, pred = cmp.X, swapPred(cmp.Pred)
+		} else {
+			continue
+		}
+		iv := &IVInfo{
+			Loop:       l,
+			Phi:        phi,
+			Step:       step,
+			Pred:       pred,
+			boundValue: boundVal,
+			preheader:  pre,
+		}
+		return iv
+	}
+	return nil
+}
+
+func (iv *IVInfo) phiLowerValue() ir.Value { return iv.Phi.Incoming(iv.preheader) }
+
+func stepOf(phi *ir.Phi, latchVal ir.Value) (int64, bool) {
+	bin, ok := latchVal.(*ir.Bin)
+	if !ok {
+		return 0, false
+	}
+	switch bin.Op {
+	case ir.IAdd:
+		if bin.X == phi {
+			if c, ok := ir.ConstIntValue(bin.Y); ok {
+				return c, true
+			}
+		}
+		if bin.Y == phi {
+			if c, ok := ir.ConstIntValue(bin.X); ok {
+				return c, true
+			}
+		}
+	case ir.ISub:
+		if bin.X == phi {
+			if c, ok := ir.ConstIntValue(bin.Y); ok {
+				return -c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func swapPred(p ir.CmpPred) ir.CmpPred {
+	switch p {
+	case ir.LT:
+		return ir.GT
+	case ir.LE:
+		return ir.GE
+	case ir.GT:
+		return ir.LT
+	case ir.GE:
+		return ir.LE
+	}
+	return p
+}
+
+// AffineOf expresses v as an affine function of induction variables and
+// loop-invariant symbols. The second result is false when v is not affine
+// (loads, float values, products of variables, non-IV phis, ...).
+func (a *Analysis) AffineOf(v ir.Value) (Affine, bool) {
+	if v == nil {
+		return Affine{}, false
+	}
+	if cached, ok := a.cache[v]; ok {
+		if cached == nil {
+			return Affine{}, false
+		}
+		return *cached, true
+	}
+	a.cache[v] = nil // failure until proven otherwise (also recursion guard)
+	res, ok := a.affineOf(v)
+	if ok {
+		r := res.Clone()
+		a.cache[v] = &r
+	}
+	return res, ok
+}
+
+func (a *Analysis) affineOf(v ir.Value) (Affine, bool) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return NewAffine(x.V), true
+	case *ir.Param:
+		if x.Typ.IsInt() {
+			return NewSym(x), true
+		}
+		return Affine{}, false
+	case *ir.Phi:
+		if iv := a.ivOf[x]; iv != nil {
+			return NewIV(x), true
+		}
+		return Affine{}, false
+	case *ir.Bin:
+		switch x.Op {
+		case ir.IAdd, ir.ISub:
+			l, ok := a.AffineOf(x.X)
+			if !ok {
+				return Affine{}, false
+			}
+			r, ok := a.AffineOf(x.Y)
+			if !ok {
+				return Affine{}, false
+			}
+			if x.Op == ir.IAdd {
+				return l.Add(r), true
+			}
+			return l.Sub(r), true
+		case ir.IMul:
+			l, lok := a.AffineOf(x.X)
+			r, rok := a.AffineOf(x.Y)
+			if !lok || !rok {
+				return Affine{}, false
+			}
+			switch {
+			case l.IsConst():
+				return r.Scale(l.Const), true
+			case r.IsConst():
+				return l.Scale(r.Const), true
+			case !l.HasIVs() && !r.HasIVs():
+				// Product of two loop-invariant symbolic expressions is
+				// itself loop-invariant: treat the whole instruction as an
+				// opaque symbol.
+				return a.opaqueSymbol(x)
+			}
+			return Affine{}, false
+		case ir.IShl:
+			l, lok := a.AffineOf(x.X)
+			if !lok {
+				return Affine{}, false
+			}
+			if c, ok := ir.ConstIntValue(x.Y); ok && c >= 0 && c < 63 {
+				return l.Scale(int64(1) << uint(c)), true
+			}
+			return Affine{}, false
+		default:
+			// Division, remainder, bit operations: affine only when loop
+			// invariant, in which case we treat the value as opaque.
+			return a.opaqueSymbol(x)
+		}
+	case *ir.Load, *ir.Cast, *ir.Select, *ir.Math, *ir.Call, *ir.GEP:
+		if in, ok := v.(ir.Instr); ok {
+			return a.opaqueSymbolInstr(in)
+		}
+	}
+	return Affine{}, false
+}
+
+// opaqueSymbol treats a loop-invariant instruction as an atomic symbol.
+func (a *Analysis) opaqueSymbol(in ir.Instr) (Affine, bool) {
+	return a.opaqueSymbolInstr(in)
+}
+
+func (a *Analysis) opaqueSymbolInstr(in ir.Instr) (Affine, bool) {
+	if _, isLoad := in.(*ir.Load); isLoad {
+		// Loads are never symbols: their value can change between
+		// iterations (the paper's data-dependent accesses).
+		return Affine{}, false
+	}
+	if !in.Type().IsInt() {
+		return Affine{}, false
+	}
+	if a.Loops.Of[in.Parent()] != nil {
+		return Affine{}, false // inside some loop → not invariant in general
+	}
+	return NewSym(in), true
+}
+
+// LoopNestOf returns the stack of IVs for the loops enclosing block b,
+// outermost first, or false if any enclosing loop lacks a well-formed IV.
+func (a *Analysis) LoopNestOf(b *ir.Block) ([]*IVInfo, bool) {
+	var ivs []*IVInfo
+	for l := a.Loops.Of[b]; l != nil; l = l.Parent {
+		iv := a.IVs[l]
+		if iv == nil || !iv.WellFormed() {
+			return nil, false
+		}
+		ivs = append(ivs, iv)
+	}
+	// reverse to outermost-first
+	for i, j := 0, len(ivs)-1; i < j; i, j = i+1, j-1 {
+		ivs[i], ivs[j] = ivs[j], ivs[i]
+	}
+	return ivs, true
+}
+
+// String renders the IV for diagnostics.
+func (iv *IVInfo) String() string {
+	return fmt.Sprintf("{%s, +, %d} while %s %s %s",
+		iv.Lower, iv.Step, ivName(iv.Phi), iv.Pred, iv.Bound)
+}

@@ -1,0 +1,176 @@
+// Package scev implements a scalar-evolution analysis in the role LLVM's
+// ScalarEvolution pass plays in the paper: it recognizes loop induction
+// variables as add-recurrences, expresses values as affine functions of the
+// induction variables and loop-invariant symbols (task parameters and values
+// computed before the loop nest), and classifies each memory access of a
+// task as affine or not. The DAE pass uses this to choose between the
+// polyhedral strategy (§5.1) and the task-skeleton strategy (§5.2).
+package scev
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/ir"
+)
+
+// Affine is an affine expression: Const + Σ IV[phi]·phi + Σ Sym[v]·v, where
+// the phis are recognized induction variables and the symbols are
+// loop-invariant IR values.
+type Affine struct {
+	Const int64
+	IV    map[*ir.Phi]int64
+	Sym   map[ir.Value]int64
+}
+
+// NewAffine returns the constant affine expression c.
+func NewAffine(c int64) Affine {
+	return Affine{Const: c, IV: map[*ir.Phi]int64{}, Sym: map[ir.Value]int64{}}
+}
+
+// NewSym returns the affine expression 1·v.
+func NewSym(v ir.Value) Affine {
+	a := NewAffine(0)
+	a.Sym[v] = 1
+	return a
+}
+
+// NewIV returns the affine expression 1·phi.
+func NewIV(phi *ir.Phi) Affine {
+	a := NewAffine(0)
+	a.IV[phi] = 1
+	return a
+}
+
+// Clone returns a deep copy.
+func (a Affine) Clone() Affine {
+	b := NewAffine(a.Const)
+	for k, v := range a.IV {
+		b.IV[k] = v
+	}
+	for k, v := range a.Sym {
+		b.Sym[k] = v
+	}
+	return b
+}
+
+// Add returns a + b.
+func (a Affine) Add(b Affine) Affine {
+	c := a.Clone()
+	c.Const += b.Const
+	for k, v := range b.IV {
+		c.IV[k] += v
+		if c.IV[k] == 0 {
+			delete(c.IV, k)
+		}
+	}
+	for k, v := range b.Sym {
+		c.Sym[k] += v
+		if c.Sym[k] == 0 {
+			delete(c.Sym, k)
+		}
+	}
+	return c
+}
+
+// Sub returns a - b.
+func (a Affine) Sub(b Affine) Affine { return a.Add(b.Scale(-1)) }
+
+// Scale returns k·a.
+func (a Affine) Scale(k int64) Affine {
+	c := NewAffine(a.Const * k)
+	if k == 0 {
+		return c
+	}
+	for p, v := range a.IV {
+		c.IV[p] = v * k
+	}
+	for s, v := range a.Sym {
+		c.Sym[s] = v * k
+	}
+	return c
+}
+
+// IsConst reports whether a has no IV or symbol terms.
+func (a Affine) IsConst() bool { return len(a.IV) == 0 && len(a.Sym) == 0 }
+
+// HasIVs reports whether a references any induction variable.
+func (a Affine) HasIVs() bool { return len(a.IV) > 0 }
+
+// IVCoeff returns the coefficient of phi.
+func (a Affine) IVCoeff(phi *ir.Phi) int64 { return a.IV[phi] }
+
+// DropIVs returns a with all IV terms removed (the symbolic offset part).
+func (a Affine) DropIVs() Affine {
+	c := a.Clone()
+	c.IV = map[*ir.Phi]int64{}
+	return c
+}
+
+// SymbolPart returns a with IV terms and the constant removed — the purely
+// symbolic component that defines an access class (§5.1.2: accesses that
+// differ only by constants or induction variables scan the same region, up
+// to a shift, and share one prefetch nest).
+func (a Affine) SymbolPart() Affine {
+	c := a.DropIVs()
+	c.Const = 0
+	return c
+}
+
+// Equal reports structural equality.
+func (a Affine) Equal(b Affine) bool {
+	if a.Const != b.Const || len(a.IV) != len(b.IV) || len(a.Sym) != len(b.Sym) {
+		return false
+	}
+	for k, v := range a.IV {
+		if b.IV[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.Sym {
+		if b.Sym[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression deterministically (sorted by operand name).
+func (a Affine) String() string {
+	var parts []string
+	var ivs []*ir.Phi
+	for p := range a.IV {
+		ivs = append(ivs, p)
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Ref() < ivs[j].Ref() })
+	for _, p := range ivs {
+		parts = append(parts, coefStr(a.IV[p], ivName(p)))
+	}
+	var syms []ir.Value
+	for s := range a.Sym {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Ref() < syms[j].Ref() })
+	for _, s := range syms {
+		parts = append(parts, coefStr(a.Sym[s], s.Ref()))
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Const))
+	}
+	return strings.Join(parts, " + ")
+}
+
+func ivName(p *ir.Phi) string {
+	if p.Var != "" {
+		return p.Var
+	}
+	return p.Ref()
+}
+
+func coefStr(c int64, name string) string {
+	if c == 1 {
+		return name
+	}
+	return fmt.Sprintf("%d*%s", c, name)
+}

@@ -1,0 +1,440 @@
+package scev
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/passes"
+)
+
+// analyzeTask compiles src, optimizes, and analyzes the named function.
+func analyzeTask(t *testing.T, src, name string) (*Analysis, *ir.Func) {
+	t.Helper()
+	m, err := lower.Compile(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := m.Func(name)
+	if f == nil {
+		t.Fatalf("no function %q", name)
+	}
+	if _, err := passes.Optimize(f); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return Analyze(f), f
+}
+
+func TestSimpleIV(t *testing.T) {
+	a, f := analyzeTask(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = 0.0;
+	}
+}`, "k")
+	if len(a.Loops.Top) != 1 {
+		t.Fatalf("loops = %d, want 1", len(a.Loops.Top))
+	}
+	iv := a.IVFor(a.Loops.Top[0])
+	if iv == nil {
+		t.Fatalf("no IV found:\n%s", f)
+	}
+	if iv.Step != 1 {
+		t.Errorf("step = %d, want 1", iv.Step)
+	}
+	if !iv.WellFormed() {
+		t.Fatal("IV not well-formed")
+	}
+	if !iv.Lower.IsConst() || iv.Lower.Const != 0 {
+		t.Errorf("lower = %s, want 0", iv.Lower)
+	}
+	if iv.Pred != ir.LT {
+		t.Errorf("pred = %s, want lt", iv.Pred)
+	}
+	nParam := f.Param("n")
+	if iv.Bound.Sym[nParam] != 1 || len(iv.Bound.Sym) != 1 || iv.Bound.Const != 0 {
+		t.Errorf("bound = %s, want n", iv.Bound)
+	}
+}
+
+func TestTriangularNest(t *testing.T) {
+	a, f := analyzeTask(t, `
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}`, "lu")
+	all := a.Loops.AllLoops()
+	if len(all) != 3 {
+		t.Fatalf("loops = %d, want 3:\n%s", len(all), f)
+	}
+	for _, l := range all {
+		iv := a.IVFor(l)
+		if iv == nil || !iv.WellFormed() {
+			t.Fatalf("loop at %s lacks well-formed IV", l.Header.Name)
+		}
+	}
+	// Inner loops' lower bound must be i+1: affine with coefficient 1 on the
+	// outer IV and constant 1.
+	outer := a.Loops.Top[0]
+	outerIV := a.IVFor(outer)
+	inner := outer.Children[0]
+	innerIV := a.IVFor(inner)
+	if innerIV.Lower.Const != 1 || innerIV.Lower.IV[outerIV.Phi] != 1 {
+		t.Errorf("inner lower = %s, want i + 1", innerIV.Lower)
+	}
+}
+
+func TestAccessFunctionsAffine(t *testing.T) {
+	a, f := analyzeTask(t, `
+task blk(float A[N][N], int N, int Ax, int Ay) {
+	for (int i = 0; i < 16; i++) {
+		for (int j = 0; j < 16; j++) {
+			A[Ax+i][Ay+j] = 0.0;
+		}
+	}
+}`, "blk")
+	var gep *ir.GEP
+	f.Instrs(func(in ir.Instr) {
+		if g, ok := in.(*ir.GEP); ok {
+			gep = g
+		}
+	})
+	if gep == nil {
+		t.Fatal("no GEP found")
+	}
+	idx0, ok0 := a.AffineOf(gep.Idx[0])
+	idx1, ok1 := a.AffineOf(gep.Idx[1])
+	if !ok0 || !ok1 {
+		t.Fatalf("indices not affine:\n%s", f)
+	}
+	ax := f.Param("Ax")
+	ay := f.Param("Ay")
+	if idx0.Sym[ax] != 1 || len(idx0.IV) != 1 {
+		t.Errorf("idx0 = %s, want Ax + i", idx0)
+	}
+	if idx1.Sym[ay] != 1 || len(idx1.IV) != 1 {
+		t.Errorf("idx1 = %s, want Ay + j", idx1)
+	}
+}
+
+func TestNonAffineIndirection(t *testing.T) {
+	a, f := analyzeTask(t, `
+task gather(float X[n], int Ind[n], int n) {
+	for (int i = 0; i < n; i++) {
+		X[Ind[i]] = 0.0;
+	}
+}`, "gather")
+	var geps []*ir.GEP
+	f.Instrs(func(in ir.Instr) {
+		if g, ok := in.(*ir.GEP); ok {
+			geps = append(geps, g)
+		}
+	})
+	affineCount := 0
+	for _, g := range geps {
+		if _, ok := a.AffineOf(g.Idx[0]); ok {
+			affineCount++
+		}
+	}
+	// Ind[i] is affine; X[Ind[i]] is not.
+	if affineCount != 1 {
+		t.Errorf("affine GEPs = %d, want exactly 1 (the Ind[i] access)", affineCount)
+	}
+}
+
+func TestNonAffineBitReversal(t *testing.T) {
+	a, f := analyzeTask(t, `
+task bitrev(float X[n], int n, int shift) {
+	for (int i = 0; i < n; i++) {
+		int r = (i >> shift) | ((i & 255) << 2);
+		X[r] = 0.0;
+	}
+}`, "bitrev")
+	var gep *ir.GEP
+	f.Instrs(func(in ir.Instr) {
+		if g, ok := in.(*ir.GEP); ok {
+			gep = g
+		}
+	})
+	if _, ok := a.AffineOf(gep.Idx[0]); ok {
+		t.Error("bit-reversal index should not be affine")
+	}
+}
+
+func TestStrideTwoAndDownCounting(t *testing.T) {
+	a, _ := analyzeTask(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i += 2) {
+		A[i] = 0.0;
+	}
+	for (int j = n - 1; j >= 0; j--) {
+		A[j] = 1.0;
+	}
+}`, "k")
+	if len(a.Loops.Top) != 2 {
+		t.Fatalf("loops = %d, want 2", len(a.Loops.Top))
+	}
+	var steps []int64
+	for _, l := range a.Loops.Top {
+		iv := a.IVFor(l)
+		if iv == nil {
+			t.Fatal("missing IV")
+		}
+		steps = append(steps, iv.Step)
+	}
+	if !(steps[0] == 2 && steps[1] == -1) && !(steps[0] == -1 && steps[1] == 2) {
+		t.Errorf("steps = %v, want {2, -1}", steps)
+	}
+}
+
+func TestLoopInvariantOpaqueSymbol(t *testing.T) {
+	a, f := analyzeTask(t, `
+task k(float A[n], int n, int b) {
+	int base = n / 2 + b * b;
+	for (int i = 0; i < 8; i++) {
+		A[base + i] = 0.0;
+	}
+}`, "k")
+	var gep *ir.GEP
+	f.Instrs(func(in ir.Instr) {
+		if g, ok := in.(*ir.GEP); ok {
+			gep = g
+		}
+	})
+	aff, ok := a.AffineOf(gep.Idx[0])
+	if !ok {
+		t.Fatalf("index should be affine with opaque symbols:\n%s", f)
+	}
+	if len(aff.IV) != 1 || len(aff.Sym) == 0 {
+		t.Errorf("affine = %s, want IV + symbols", aff)
+	}
+}
+
+func TestLoadNotSymbol(t *testing.T) {
+	a, f := analyzeTask(t, `
+task k(float A[n], int P[one], int n, int one) {
+	for (int i = 0; i < n; i++) {
+		A[P[0] + i] = 0.0;
+	}
+}`, "k")
+	// P[0] is loop-invariant in practice, but a load is never treated as a
+	// symbol (another core may mutate it; the paper treats data-dependent
+	// addresses as non-affine).
+	var bad *ir.GEP
+	f.Instrs(func(in ir.Instr) {
+		g, ok := in.(*ir.GEP)
+		if !ok {
+			return
+		}
+		if g.Base == f.Param("A") {
+			bad = g
+		}
+	})
+	if _, ok := a.AffineOf(bad.Idx[0]); ok {
+		t.Error("load-derived index must not be affine")
+	}
+}
+
+func TestLoopNestOf(t *testing.T) {
+	a, f := analyzeTask(t, `
+task k(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = 0; j < N; j++) {
+			A[i][j] = 0.0;
+		}
+	}
+}`, "k")
+	var store ir.Instr
+	f.Instrs(func(in ir.Instr) {
+		if _, ok := in.(*ir.Store); ok {
+			store = in
+		}
+	})
+	ivs, ok := a.LoopNestOf(store.Parent())
+	if !ok || len(ivs) != 2 {
+		t.Fatalf("nest depth = %d (ok=%v), want 2", len(ivs), ok)
+	}
+	if ivs[0].Loop.Depth() != 1 || ivs[1].Loop.Depth() != 2 {
+		t.Error("nest should be outermost-first")
+	}
+}
+
+func TestAffineAlgebraProperties(t *testing.T) {
+	// Affine add/scale behave like the corresponding operations on the
+	// evaluation at any symbol assignment.
+	sym1 := &ir.Param{Nam: "p", Typ: ir.IntT}
+	sym2 := &ir.Param{Nam: "q", Typ: ir.IntT}
+	eval := func(a Affine, p, q int64) int64 {
+		return a.Const + a.Sym[sym1]*p + a.Sym[sym2]*q
+	}
+	mk := func(c, cp, cq int64) Affine {
+		a := NewAffine(c)
+		if cp != 0 {
+			a.Sym[sym1] = cp
+		}
+		if cq != 0 {
+			a.Sym[sym2] = cq
+		}
+		return a
+	}
+	prop := func(c1, p1, q1, c2, p2, q2 int8, p, q int8, k int8) bool {
+		a := mk(int64(c1), int64(p1), int64(q1))
+		b := mk(int64(c2), int64(p2), int64(q2))
+		pv, qv := int64(p), int64(q)
+		if eval(a.Add(b), pv, qv) != eval(a, pv, qv)+eval(b, pv, qv) {
+			return false
+		}
+		if eval(a.Sub(b), pv, qv) != eval(a, pv, qv)-eval(b, pv, qv) {
+			return false
+		}
+		if eval(a.Scale(int64(k)), pv, qv) != int64(k)*eval(a, pv, qv) {
+			return false
+		}
+		if !a.Add(b).Equal(b.Add(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	p := &ir.Param{Nam: "N", Typ: ir.IntT}
+	a := NewAffine(3).Add(NewSym(p).Scale(2))
+	if got := a.String(); got != "2*%N + 3" {
+		t.Errorf("String = %q", got)
+	}
+	if NewAffine(0).String() != "0" {
+		t.Error("zero should print 0")
+	}
+}
+
+func TestIVOfPhiAndString(t *testing.T) {
+	a, f := analyzeTask(t, `
+task k(float A[n], int n) {
+	for (int i = 2; i < n; i += 3) {
+		A[i] = 0.0;
+	}
+}`, "k")
+	iv := a.IVFor(a.Loops.Top[0])
+	if iv == nil {
+		t.Fatalf("no IV:\n%s", f)
+	}
+	if a.IVOfPhi(iv.Phi) != iv {
+		t.Error("IVOfPhi should invert IVFor")
+	}
+	if a.IVOfPhi(nil) != nil {
+		t.Error("IVOfPhi(nil) should be nil")
+	}
+	s := iv.String()
+	if !strings.Contains(s, "+, 3") || !strings.Contains(s, "lt") {
+		t.Errorf("IV string %q should carry step and predicate", s)
+	}
+}
+
+func TestAffineAccessors(t *testing.T) {
+	p := &ir.Param{Nam: "N", Typ: ir.IntT}
+	phi := ir.NewPhi(ir.IntT, "i")
+	a := NewIV(phi).Scale(2).Add(NewSym(p)).Add(NewAffine(5))
+	if a.IVCoeff(phi) != 2 {
+		t.Errorf("IVCoeff = %d, want 2", a.IVCoeff(phi))
+	}
+	d := a.DropIVs()
+	if d.HasIVs() || d.Sym[p] != 1 || d.Const != 5 {
+		t.Errorf("DropIVs = %s", d)
+	}
+	sp := a.SymbolPart()
+	if sp.Const != 0 || sp.Sym[p] != 1 || sp.HasIVs() {
+		t.Errorf("SymbolPart = %s", sp)
+	}
+	// Equality discriminates on each component.
+	if a.Equal(d) || !a.Equal(a.Clone()) {
+		t.Error("Equal misbehaves")
+	}
+	b := a.Clone()
+	b.Const++
+	if a.Equal(b) {
+		t.Error("Equal should catch constant difference")
+	}
+	c := a.Clone()
+	c.Sym[p] = 9
+	if a.Equal(c) {
+		t.Error("Equal should catch symbol coefficient difference")
+	}
+	e := a.Clone()
+	e.IV[phi] = 7
+	if a.Equal(e) {
+		t.Error("Equal should catch IV coefficient difference")
+	}
+}
+
+func TestSwappedComparisonOperands(t *testing.T) {
+	// "n > i" spells the same loop as "i < n": findIV must normalize via
+	// predicate swapping.
+	a, f := analyzeTask(t, `
+task k(float A[n], int n) {
+	for (int i = 0; n > i; i++) {
+		A[i] = 0.0;
+	}
+}`, "k")
+	if len(a.Loops.Top) != 1 {
+		t.Fatalf("loops = %d:\n%s", len(a.Loops.Top), f)
+	}
+	iv := a.IVFor(a.Loops.Top[0])
+	if iv == nil || !iv.WellFormed() {
+		t.Fatalf("swapped comparison not recognized:\n%s", f)
+	}
+	if iv.Pred != ir.LT {
+		t.Errorf("pred = %s, want lt (swapped from gt)", iv.Pred)
+	}
+}
+
+func TestStepOnLeftOperand(t *testing.T) {
+	// i = 2 + i (constant on the left of the latch add).
+	a, f := analyzeTask(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i = 2 + i) {
+		A[i] = 0.0;
+	}
+}`, "k")
+	iv := a.IVFor(a.Loops.Top[0])
+	if iv == nil {
+		t.Fatalf("no IV:\n%s", f)
+	}
+	if iv.Step != 2 {
+		t.Errorf("step = %d, want 2", iv.Step)
+	}
+}
+
+func TestShiftScaledIV(t *testing.T) {
+	// A[i << 1] is affine with coefficient 2.
+	a, f := analyzeTask(t, `
+task k(float A[n], int n, int m) {
+	for (int i = 0; i < m; i++) {
+		A[i << 1] = 0.0;
+	}
+}`, "k")
+	var gep *ir.GEP
+	f.Instrs(func(in ir.Instr) {
+		if g, ok := in.(*ir.GEP); ok {
+			gep = g
+		}
+	})
+	aff, ok := a.AffineOf(gep.Idx[0])
+	if !ok {
+		t.Fatalf("i<<1 should be affine:\n%s", f)
+	}
+	iv := a.IVFor(a.Loops.Top[0])
+	if aff.IVCoeff(iv.Phi) != 2 {
+		t.Errorf("coefficient = %d, want 2 (%s)", aff.IVCoeff(iv.Phi), aff)
+	}
+}

@@ -1,0 +1,287 @@
+// Package taskc implements the front end for TaskC, a small C-like language
+// for writing task-based kernels. TaskC plays the role the C benchmarks play
+// in the paper: it expresses loop nests over array parameters, indirection,
+// and data-dependent control flow, and is lowered to the SSA IR on which the
+// DAE transformation runs.
+//
+// Grammar sketch:
+//
+//	program  := decl*
+//	decl     := ("task" | type) ident "(" params? ")" block
+//	param    := type ident ("[" expr "]")*           // dims make it an array
+//	stmt     := type ident ("=" expr)? ";"
+//	          | lvalue assignop expr ";"
+//	          | ident "++" ";" | ident "--" ";"
+//	          | "prefetch" lvalue ";"
+//	          | "if" "(" expr ")" stmt ("else" stmt)?
+//	          | "for" "(" simplestmt ";" expr ";" simplestmt ")" stmt
+//	          | "while" "(" expr ")" stmt
+//	          | "return" expr? ";"
+//	          | call ";"
+//	          | block
+//	expr     := C expressions with || && == != < <= > >= + - * / %
+//	            & | ^ << >> unary - ! calls and indexing
+//
+// Task parameters are immutable inside the task body (arrays are accessed
+// through them, scalars may be copied to locals); this keeps the IR free of
+// pointers-to-pointers and matches the paper's task model in which all data
+// reaches a task through its arguments.
+package taskc
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// TypeName is a TaskC source-level type.
+type TypeName uint8
+
+// Source types.
+const (
+	VoidType TypeName = iota
+	IntType
+	FloatType
+)
+
+// String returns the source spelling of the type.
+func (t TypeName) String() string {
+	switch t {
+	case IntType:
+		return "int"
+	case FloatType:
+		return "float"
+	}
+	return "void"
+}
+
+// File is a parsed TaskC source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is a function or task declaration.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	IsTask bool
+	Ret    TypeName
+	Params []*ParamDecl
+	Body   *BlockStmt
+}
+
+// ParamDecl is one parameter. A non-empty Dims means the parameter is an
+// array of the element type; Dims expressions may reference parameters
+// declared earlier in the list.
+type ParamDecl struct {
+	Pos  Pos
+	Name string
+	Type TypeName
+	Dims []Expr
+}
+
+// IsArray reports whether the parameter is an array.
+func (p *ParamDecl) IsArray() bool { return len(p.Dims) > 0 }
+
+// Stmt is a TaskC statement.
+type Stmt interface{ stmtPos() Pos }
+
+// DeclStmt declares a scalar local, with optional initializer.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type TypeName
+	Init Expr // may be nil
+}
+
+// AssignOp is the operator of an assignment statement.
+type AssignOp uint8
+
+// Assignment operators.
+const (
+	Assign AssignOp = iota
+	AddAssign
+	SubAssign
+	MulAssign
+	DivAssign
+)
+
+var assignOpNames = [...]string{Assign: "=", AddAssign: "+=", SubAssign: "-=", MulAssign: "*=", DivAssign: "/="}
+
+// String returns the source spelling.
+func (op AssignOp) String() string { return assignOpNames[op] }
+
+// AssignStmt assigns to a scalar local or an array element.
+type AssignStmt struct {
+	Pos Pos
+	// LHS is an *Ident (scalar) or *IndexExpr (array element).
+	LHS Expr
+	Op  AssignOp
+	RHS Expr
+}
+
+// PrefetchStmt issues an explicit software prefetch of an array element.
+// It is how hand-written ("Manual DAE") access phases are expressed.
+type PrefetchStmt struct {
+	Pos  Pos
+	Addr *IndexExpr
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt (including ++/-- sugar)
+	Body Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+// ExprStmt evaluates a call for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr // *CallExpr
+}
+
+// BlockStmt is a { } block.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (s *DeclStmt) stmtPos() Pos     { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos   { return s.Pos }
+func (s *PrefetchStmt) stmtPos() Pos { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+
+// Expr is a TaskC expression.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Pos Pos
+	V   float64
+}
+
+// Ident references a local variable or parameter.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is Base[Idx0][Idx1]... where Base names an array parameter.
+type IndexExpr struct {
+	Pos  Pos
+	Base *Ident
+	Idx  []Expr
+}
+
+// BinKind is a binary expression operator.
+type BinKind uint8
+
+// Binary operators, in increasing precedence groups.
+const (
+	LOr BinKind = iota
+	LAnd
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Add
+	Sub
+	BitOr
+	BitXor
+	Mul
+	Div
+	Rem
+	BitAnd
+	Shl
+	Shr
+)
+
+var binKindNames = [...]string{
+	LOr: "||", LAnd: "&&", Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Add: "+", Sub: "-", BitOr: "|", BitXor: "^", Mul: "*", Div: "/", Rem: "%",
+	BitAnd: "&", Shl: "<<", Shr: ">>",
+}
+
+// String returns the source spelling.
+func (k BinKind) String() string { return binKindNames[k] }
+
+// BinExpr is X op Y.
+type BinExpr struct {
+	Pos Pos
+	Op  BinKind
+	X   Expr
+	Y   Expr
+}
+
+// UnKind is a unary operator.
+type UnKind uint8
+
+// Unary operators.
+const (
+	Neg UnKind = iota
+	Not
+)
+
+// UnExpr is op X.
+type UnExpr struct {
+	Pos Pos
+	Op  UnKind
+	X   Expr
+}
+
+// CallExpr calls a function or a math builtin (sqrt, sin, cos, fabs, exp,
+// log, floor).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *IntLit) exprPos() Pos    { return e.Pos }
+func (e *FloatLit) exprPos() Pos  { return e.Pos }
+func (e *Ident) exprPos() Pos     { return e.Pos }
+func (e *IndexExpr) exprPos() Pos { return e.Pos }
+func (e *BinExpr) exprPos() Pos   { return e.Pos }
+func (e *UnExpr) exprPos() Pos    { return e.Pos }
+func (e *CallExpr) exprPos() Pos  { return e.Pos }

@@ -1,0 +1,465 @@
+package taskc
+
+// ExprType is the checked type of an expression: a scalar TypeName or Bool.
+type ExprType uint8
+
+// Checked expression types.
+const (
+	TInt ExprType = iota
+	TFloat
+	TBool
+	TVoid
+)
+
+// String returns a readable name.
+func (t ExprType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	}
+	return "void"
+}
+
+func typeOf(t TypeName) ExprType {
+	switch t {
+	case IntType:
+		return TInt
+	case FloatType:
+		return TFloat
+	}
+	return TVoid
+}
+
+// Info is the result of type checking: expression types and resolved symbols,
+// consumed by the lowering phase.
+type Info struct {
+	// Types records the checked type of every expression.
+	Types map[Expr]ExprType
+	// Arrays maps each IndexExpr to the array parameter it accesses.
+	Arrays map[*IndexExpr]*ParamDecl
+	// Locals maps each Ident that references a local to its declaration.
+	Locals map[*Ident]*DeclStmt
+	// Params maps each Ident that references a parameter to its declaration.
+	Params map[*Ident]*ParamDecl
+	// Calls maps each non-builtin CallExpr to its callee.
+	Calls map[*CallExpr]*FuncDecl
+	// MathCalls marks CallExprs that are math builtins.
+	MathCalls map[*CallExpr]string
+}
+
+// mathBuiltins maps builtin name to arity (all are unary float→float).
+var mathBuiltins = map[string]bool{
+	"sqrt": true, "sin": true, "cos": true, "fabs": true,
+	"exp": true, "log": true, "floor": true,
+}
+
+type checker struct {
+	file *File
+	info *Info
+	fns  map[string]*FuncDecl
+
+	fn     *FuncDecl
+	scopes []map[string]any // *DeclStmt or *ParamDecl
+}
+
+// Check type-checks the file and returns the analysis results.
+func Check(file *File) (*Info, error) {
+	c := &checker{
+		file: file,
+		info: &Info{
+			Types:     make(map[Expr]ExprType),
+			Arrays:    make(map[*IndexExpr]*ParamDecl),
+			Locals:    make(map[*Ident]*DeclStmt),
+			Params:    make(map[*Ident]*ParamDecl),
+			Calls:     make(map[*CallExpr]*FuncDecl),
+			MathCalls: make(map[*CallExpr]string),
+		},
+		fns: make(map[string]*FuncDecl),
+	}
+	for _, fd := range file.Funcs {
+		if mathBuiltins[fd.Name] {
+			return nil, errf(fd.Pos, "function name %q shadows a builtin", fd.Name)
+		}
+		if _, dup := c.fns[fd.Name]; dup {
+			return nil, errf(fd.Pos, "duplicate function %q", fd.Name)
+		}
+		c.fns[fd.Name] = fd
+	}
+	for _, fd := range file.Funcs {
+		if err := c.checkFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return c.info, nil
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) error {
+	c.fn = fd
+	c.scopes = []map[string]any{{}}
+	// Declare all parameters first: dimension expressions may reference any
+	// scalar parameter regardless of declaration order, matching the
+	// benchmark style "float A[N][N], int N".
+	for _, pd := range fd.Params {
+		if c.lookup(pd.Name) != nil {
+			return errf(pd.Pos, "duplicate parameter %q", pd.Name)
+		}
+		c.scopes[0][pd.Name] = pd
+	}
+	for _, pd := range fd.Params {
+		for _, dim := range pd.Dims {
+			t, err := c.expr(dim)
+			if err != nil {
+				return err
+			}
+			if t != TInt {
+				return errf(dim.exprPos(), "array dimension must be int, got %s", t)
+			}
+		}
+	}
+	return c.stmt(fd.Body)
+}
+
+func (c *checker) push()                   { c.scopes = append(c.scopes, map[string]any{}) }
+func (c *checker) pop()                    { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) declare(n string, d any) { c.scopes[len(c.scopes)-1][n] = d }
+
+func (c *checker) lookup(name string) any {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.push()
+		defer c.pop()
+		for _, sub := range st.Stmts {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *DeclStmt:
+		if st.Init != nil {
+			t, err := c.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := c.assignable(typeOf(st.Type), t, st.Init.exprPos()); err != nil {
+				return err
+			}
+		}
+		if _, ok := c.scopes[len(c.scopes)-1][st.Name]; ok {
+			return errf(st.Pos, "redeclaration of %q in the same scope", st.Name)
+		}
+		c.declare(st.Name, st)
+		return nil
+
+	case *AssignStmt:
+		lt, err := c.lvalue(st.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := c.expr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if st.Op != Assign && lt == TInt && rt == TFloat {
+			return errf(st.Pos, "cannot apply %s with float operand to int lvalue", st.Op)
+		}
+		return c.assignable(lt, rt, st.RHS.exprPos())
+
+	case *PrefetchStmt:
+		_, err := c.expr(st.Addr)
+		return err
+
+	case *IfStmt:
+		if err := c.cond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.stmt(st.Else)
+		}
+		return nil
+
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.cond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		return c.stmt(st.Body)
+
+	case *WhileStmt:
+		if err := c.cond(st.Cond); err != nil {
+			return err
+		}
+		return c.stmt(st.Body)
+
+	case *ReturnStmt:
+		want := typeOf(c.fn.Ret)
+		if st.X == nil {
+			if want != TVoid {
+				return errf(st.Pos, "missing return value in %s function", want)
+			}
+			return nil
+		}
+		if want == TVoid {
+			return errf(st.Pos, "return with value in void function")
+		}
+		t, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		return c.assignable(want, t, st.X.exprPos())
+
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			return errf(st.Pos, "expression statement must be a call")
+		}
+		_, err := c.expr(call)
+		return err
+	}
+	return errf(s.stmtPos(), "unhandled statement %T", s)
+}
+
+// cond checks a condition expression; int conditions are allowed and compare
+// against zero, matching C.
+func (c *checker) cond(e Expr) error {
+	t, err := c.expr(e)
+	if err != nil {
+		return err
+	}
+	if t != TBool && t != TInt {
+		return errf(e.exprPos(), "condition must be bool or int, got %s", t)
+	}
+	return nil
+}
+
+func (c *checker) assignable(dst, src ExprType, pos Pos) error {
+	if dst == src {
+		return nil
+	}
+	if dst == TFloat && src == TInt {
+		return nil // implicit widening
+	}
+	return errf(pos, "cannot assign %s to %s", src, dst)
+}
+
+// lvalue checks an assignment target and returns its type.
+func (c *checker) lvalue(e Expr) (ExprType, error) {
+	switch lhs := e.(type) {
+	case *Ident:
+		d := c.lookup(lhs.Name)
+		if d == nil {
+			return TVoid, errf(lhs.Pos, "undefined variable %q", lhs.Name)
+		}
+		ds, ok := d.(*DeclStmt)
+		if !ok {
+			return TVoid, errf(lhs.Pos, "cannot assign to parameter %q (task parameters are immutable)", lhs.Name)
+		}
+		c.info.Locals[lhs] = ds
+		t := typeOf(ds.Type)
+		c.info.Types[lhs] = t
+		return t, nil
+	case *IndexExpr:
+		return c.expr(lhs)
+	}
+	return TVoid, errf(e.exprPos(), "not an assignable expression")
+}
+
+func (c *checker) expr(e Expr) (ExprType, error) {
+	t, err := c.exprInner(e)
+	if err == nil {
+		c.info.Types[e] = t
+	}
+	return t, err
+}
+
+func (c *checker) exprInner(e Expr) (ExprType, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *FloatLit:
+		return TFloat, nil
+
+	case *Ident:
+		d := c.lookup(x.Name)
+		if d == nil {
+			return TVoid, errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		switch decl := d.(type) {
+		case *DeclStmt:
+			c.info.Locals[x] = decl
+			return typeOf(decl.Type), nil
+		case *ParamDecl:
+			if decl.IsArray() {
+				return TVoid, errf(x.Pos, "array %q must be indexed", x.Name)
+			}
+			c.info.Params[x] = decl
+			return typeOf(decl.Type), nil
+		}
+		return TVoid, errf(x.Pos, "unknown symbol kind for %q", x.Name)
+
+	case *IndexExpr:
+		d := c.lookup(x.Base.Name)
+		if d == nil {
+			return TVoid, errf(x.Pos, "undefined array %q", x.Base.Name)
+		}
+		pd, ok := d.(*ParamDecl)
+		if !ok || !pd.IsArray() {
+			return TVoid, errf(x.Pos, "%q is not an array parameter", x.Base.Name)
+		}
+		if len(x.Idx) != len(pd.Dims) {
+			return TVoid, errf(x.Pos, "array %q has %d dimensions, indexed with %d",
+				x.Base.Name, len(pd.Dims), len(x.Idx))
+		}
+		for _, ix := range x.Idx {
+			t, err := c.expr(ix)
+			if err != nil {
+				return TVoid, err
+			}
+			if t != TInt {
+				return TVoid, errf(ix.exprPos(), "array index must be int, got %s", t)
+			}
+		}
+		c.info.Arrays[x] = pd
+		return typeOf(pd.Type), nil
+
+	case *BinExpr:
+		xt, err := c.expr(x.X)
+		if err != nil {
+			return TVoid, err
+		}
+		yt, err := c.expr(x.Y)
+		if err != nil {
+			return TVoid, err
+		}
+		switch x.Op {
+		case LOr, LAnd:
+			if (xt != TBool && xt != TInt) || (yt != TBool && yt != TInt) {
+				return TVoid, errf(x.Pos, "operands of %s must be bool or int", x.Op)
+			}
+			return TBool, nil
+		case Eq, Ne, Lt, Le, Gt, Ge:
+			if xt == TBool || yt == TBool {
+				return TVoid, errf(x.Pos, "cannot compare bool values with %s", x.Op)
+			}
+			return TBool, nil
+		case BitAnd, BitOr, BitXor, Shl, Shr, Rem:
+			if xt != TInt || yt != TInt {
+				return TVoid, errf(x.Pos, "operands of %s must be int", x.Op)
+			}
+			return TInt, nil
+		default: // Add Sub Mul Div
+			if xt == TBool || yt == TBool {
+				return TVoid, errf(x.Pos, "cannot use bool operand with %s", x.Op)
+			}
+			if xt == TFloat || yt == TFloat {
+				return TFloat, nil
+			}
+			return TInt, nil
+		}
+
+	case *UnExpr:
+		xt, err := c.expr(x.X)
+		if err != nil {
+			return TVoid, err
+		}
+		switch x.Op {
+		case Neg:
+			if xt != TInt && xt != TFloat {
+				return TVoid, errf(x.Pos, "cannot negate %s", xt)
+			}
+			return xt, nil
+		default: // Not
+			if xt != TBool && xt != TInt {
+				return TVoid, errf(x.Pos, "operand of ! must be bool or int")
+			}
+			return TBool, nil
+		}
+
+	case *CallExpr:
+		if mathBuiltins[x.Name] {
+			if len(x.Args) != 1 {
+				return TVoid, errf(x.Pos, "%s takes exactly one argument", x.Name)
+			}
+			t, err := c.expr(x.Args[0])
+			if err != nil {
+				return TVoid, err
+			}
+			if t != TFloat && t != TInt {
+				return TVoid, errf(x.Pos, "%s argument must be numeric", x.Name)
+			}
+			c.info.MathCalls[x] = x.Name
+			return TFloat, nil
+		}
+		fd, ok := c.fns[x.Name]
+		if !ok {
+			return TVoid, errf(x.Pos, "undefined function %q", x.Name)
+		}
+		if fd.IsTask {
+			return TVoid, errf(x.Pos, "cannot call task %q; tasks are scheduled by the runtime", x.Name)
+		}
+		if len(x.Args) != len(fd.Params) {
+			return TVoid, errf(x.Pos, "call to %q has %d args, want %d", x.Name, len(x.Args), len(fd.Params))
+		}
+		for i, a := range x.Args {
+			pd := fd.Params[i]
+			if pd.IsArray() {
+				id, ok := a.(*Ident)
+				if !ok {
+					return TVoid, errf(a.exprPos(), "argument %d of %q must be an array name", i+1, x.Name)
+				}
+				ad := c.lookup(id.Name)
+				apd, ok := ad.(*ParamDecl)
+				if !ok || !apd.IsArray() {
+					return TVoid, errf(a.exprPos(), "argument %d of %q must be an array parameter", i+1, x.Name)
+				}
+				if apd.Type != pd.Type {
+					return TVoid, errf(a.exprPos(), "array element type mismatch in call to %q", x.Name)
+				}
+				if len(apd.Dims) != len(pd.Dims) {
+					return TVoid, errf(a.exprPos(), "array rank mismatch in call to %q", x.Name)
+				}
+				c.info.Params[id] = apd
+				continue
+			}
+			t, err := c.expr(a)
+			if err != nil {
+				return TVoid, err
+			}
+			if err := c.assignable(typeOf(pd.Type), t, a.exprPos()); err != nil {
+				return TVoid, err
+			}
+		}
+		c.info.Calls[x] = fd
+		return typeOf(fd.Ret), nil
+	}
+	return TVoid, errf(e.exprPos(), "unhandled expression %T", e)
+}

@@ -1,0 +1,184 @@
+package taskc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string
+	ival int64
+	fval float64
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokInt, tokFloat:
+		return t.text
+	default:
+		return "'" + t.text + "'"
+	}
+}
+
+var keywords = map[string]bool{
+	"task": true, "int": true, "float": true, "void": true,
+	"if": true, "else": true, "for": true, "while": true,
+	"return": true, "prefetch": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "++", "--",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Comments are // to end of line and /* */.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			pos := Pos{line, col}
+			advance(2)
+			closed := false
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, errf(pos, "unterminated block comment")
+			}
+		case isIdentStart(rune(c)):
+			pos := Pos{line, col}
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, pos: pos, text: text})
+			advance(j - i)
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			pos := Pos{line, col}
+			j := i
+			isFloat := false
+			for j < n && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			if j < n && src[j] == '.' {
+				isFloat = true
+				j++
+				for j < n && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				isFloat = true
+				j++
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				for j < n && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+			}
+			text := src[i:j]
+			if isFloat {
+				v, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, errf(pos, "bad float literal %q", text)
+				}
+				toks = append(toks, token{kind: tokFloat, pos: pos, text: text, fval: v})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, errf(pos, "bad integer literal %q", text)
+				}
+				toks = append(toks, token{kind: tokInt, pos: pos, text: text, ival: v})
+			}
+			advance(j - i)
+		default:
+			pos := Pos{line, col}
+			matched := ""
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					matched = p
+					break
+				}
+			}
+			if matched == "" {
+				return nil, errf(pos, "unexpected character %q", string(c))
+			}
+			toks = append(toks, token{kind: tokPunct, pos: pos, text: matched})
+			advance(len(matched))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: Pos{line, col}})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

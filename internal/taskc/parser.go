@@ -1,0 +1,525 @@
+package taskc
+
+// Parse parses a TaskC source file.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &File{}
+	for !p.at(tokEOF) {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Funcs = append(file.Funcs, fd)
+	}
+	return file, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atText(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.atText(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	if p.atText(text) {
+		return p.next(), nil
+	}
+	return token{}, errf(p.cur().pos, "expected %q, found %s", text, p.cur())
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.at(tokIdent) {
+		return p.next(), nil
+	}
+	return token{}, errf(p.cur().pos, "expected identifier, found %s", p.cur())
+}
+
+func (p *parser) typeName() (TypeName, bool) {
+	switch {
+	case p.accept("int"):
+		return IntType, true
+	case p.accept("float"):
+		return FloatType, true
+	case p.accept("void"):
+		return VoidType, true
+	}
+	return VoidType, false
+}
+
+// funcDecl := ("task" | type) ident "(" params? ")" block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start := p.cur().pos
+	fd := &FuncDecl{Pos: start}
+	if p.accept("task") {
+		fd.IsTask = true
+		fd.Ret = VoidType
+	} else if t, ok := p.typeName(); ok {
+		fd.Ret = t
+	} else {
+		return nil, errf(start, "expected 'task' or a type, found %s", p.cur())
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fd.Name = name.text
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.atText(")") {
+		for {
+			pd, err := p.paramDecl()
+			if err != nil {
+				return nil, err
+			}
+			fd.Params = append(fd.Params, pd)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// paramDecl := type ident ("[" expr "]")*
+func (p *parser) paramDecl() (*ParamDecl, error) {
+	start := p.cur().pos
+	ty, ok := p.typeName()
+	if !ok || ty == VoidType {
+		return nil, errf(start, "expected parameter type, found %s", p.cur())
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	pd := &ParamDecl{Pos: start, Name: name.text, Type: ty}
+	for p.accept("[") {
+		dim, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		pd.Dims = append(pd.Dims, dim)
+	}
+	return pd, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.pos}
+	for !p.atText("}") {
+		if p.at(tokEOF) {
+			return nil, errf(p.cur().pos, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume }
+	return blk, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atText("{"):
+		return p.block()
+	case p.atText("if"):
+		return p.ifStmt()
+	case p.atText("for"):
+		return p.forStmt()
+	case p.atText("while"):
+		return p.whileStmt()
+	case p.atText("return"):
+		p.next()
+		rs := &ReturnStmt{Pos: t.pos}
+		if !p.atText(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = x
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case p.atText("prefetch"):
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ix, ok := x.(*IndexExpr)
+		if !ok {
+			return nil, errf(t.pos, "prefetch target must be an array element")
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &PrefetchStmt{Pos: t.pos, Addr: ix}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt := decl | assignment | ++/-- | call   (no trailing ';')
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if ty, ok := p.typeName(); ok {
+		if ty == VoidType {
+			return nil, errf(t.pos, "cannot declare a void variable")
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ds := &DeclStmt{Pos: t.pos, Name: name.text, Type: ty}
+		if p.accept("=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			ds.Init = init
+		}
+		return ds, nil
+	}
+
+	// Assignment, increment, or call.
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("++"):
+		id, err := lvalueIdent(x)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.pos, LHS: id, Op: AddAssign, RHS: &IntLit{Pos: t.pos, V: 1}}, nil
+	case p.accept("--"):
+		id, err := lvalueIdent(x)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.pos, LHS: id, Op: SubAssign, RHS: &IntLit{Pos: t.pos, V: 1}}, nil
+	}
+	for _, op := range []struct {
+		text string
+		op   AssignOp
+	}{{"=", Assign}, {"+=", AddAssign}, {"-=", SubAssign}, {"*=", MulAssign}, {"/=", DivAssign}} {
+		if p.accept(op.text) {
+			if err := checkLValue(x); err != nil {
+				return nil, err
+			}
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: t.pos, LHS: x, Op: op.op, RHS: rhs}, nil
+		}
+	}
+	if _, ok := x.(*CallExpr); ok {
+		return &ExprStmt{Pos: t.pos, X: x}, nil
+	}
+	return nil, errf(t.pos, "expected assignment or call statement")
+}
+
+func lvalueIdent(x Expr) (*Ident, error) {
+	if id, ok := x.(*Ident); ok {
+		return id, nil
+	}
+	return nil, errf(x.exprPos(), "++/-- target must be a scalar variable")
+}
+
+func checkLValue(x Expr) error {
+	switch x.(type) {
+	case *Ident, *IndexExpr:
+		return nil
+	}
+	return errf(x.exprPos(), "left-hand side of assignment is not assignable")
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Pos: t.pos, Cond: cond, Then: then}
+	if p.accept("else") {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		is.Else = els
+	}
+	return is, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: t.pos}
+	if !p.atText(";") {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Init = init
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.atText(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.atText(")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: t.pos, Cond: cond, Body: body}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+type level struct {
+	ops []struct {
+		text string
+		kind BinKind
+	}
+}
+
+var precLevels = []level{
+	{ops: binops("||", LOr)},
+	{ops: binops("&&", LAnd)},
+	{ops: binops("|", BitOr)},
+	{ops: binops("^", BitXor)},
+	{ops: binops("&", BitAnd)},
+	{ops: binops("==", Eq, "!=", Ne)},
+	{ops: binops("<=", Le, ">=", Ge, "<", Lt, ">", Gt)},
+	{ops: binops("<<", Shl, ">>", Shr)},
+	{ops: binops("+", Add, "-", Sub)},
+	{ops: binops("*", Mul, "/", Div, "%", Rem)},
+}
+
+func binops(pairs ...any) []struct {
+	text string
+	kind BinKind
+} {
+	var out []struct {
+		text string
+		kind BinKind
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, struct {
+			text string
+			kind BinKind
+		}{pairs[i].(string), pairs[i+1].(BinKind)})
+	}
+	return out
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(lvl int) (Expr, error) {
+	if lvl >= len(precLevels) {
+		return p.unary()
+	}
+	x, err := p.binExpr(lvl + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[lvl].ops {
+			if p.atText(op.text) {
+				t := p.next()
+				y, err := p.binExpr(lvl + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &BinExpr{Pos: t.pos, Op: op.kind, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.accept("-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: t.pos, Op: Neg, X: x}, nil
+	case p.accept("!"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: t.pos, Op: Not, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return &IntLit{Pos: t.pos, V: t.ival}, nil
+	case tokFloat:
+		p.next()
+		return &FloatLit{Pos: t.pos, V: t.fval}, nil
+	case tokIdent:
+		p.next()
+		id := &Ident{Pos: t.pos, Name: t.text}
+		switch {
+		case p.atText("("):
+			p.next()
+			call := &CallExpr{Pos: t.pos, Name: t.text}
+			if !p.atText(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case p.atText("["):
+			ix := &IndexExpr{Pos: t.pos, Base: id}
+			for p.accept("[") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				ix.Idx = append(ix.Idx, e)
+			}
+			return ix, nil
+		}
+		return id, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, errf(t.pos, "unexpected %s in expression", t)
+}

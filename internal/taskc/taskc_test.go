@@ -1,0 +1,350 @@
+package taskc
+
+import (
+	"strings"
+	"testing"
+)
+
+const luSrc = `
+// LU inner kernel, Listing 1(a) of the paper.
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i+1; j < N; j++) {
+			A[j][i] /= A[i][i];
+			for (int k = i+1; k < N; k++) {
+				A[j][k] -= A[j][i] * A[i][k];
+			}
+		}
+	}
+}
+`
+
+func TestParseLU(t *testing.T) {
+	f, err := Parse(luSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatalf("funcs = %d, want 1", len(f.Funcs))
+	}
+	fd := f.Funcs[0]
+	if !fd.IsTask || fd.Name != "lu" {
+		t.Errorf("decl = %v %q", fd.IsTask, fd.Name)
+	}
+	if len(fd.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(fd.Params))
+	}
+	if !fd.Params[0].IsArray() || len(fd.Params[0].Dims) != 2 {
+		t.Errorf("A should be a 2-D array param")
+	}
+	if fd.Params[1].IsArray() {
+		t.Errorf("N should be scalar")
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `int f(int a, int b, int c) { return a + b * c; }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	add, ok := ret.X.(*BinExpr)
+	if !ok || add.Op != Add {
+		t.Fatalf("top op = %T, want + BinExpr", ret.X)
+	}
+	mul, ok := add.Y.(*BinExpr)
+	if !ok || mul.Op != Mul {
+		t.Fatalf("rhs = %T, want * BinExpr", add.Y)
+	}
+}
+
+func TestParseShiftAndBitOps(t *testing.T) {
+	src := `int f(int a, int b) { return (a << 2) | (b & 7) ^ (a >> b); }`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "task t(int n) { /* block\ncomment */ int x = 0; // line\n x = x + n; }"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing paren", `task t(int n { }`, "expected"},
+		{"bad char", `task t(int n) { $ }`, "unexpected character"},
+		{"unterminated comment", `task t(int n) { /* }`, "unterminated"},
+		{"missing semi", `task t(int n) { int x = 1 }`, "expected \";\""},
+		{"void var", `task t(int n) { void x; }`, "void"},
+		{"prefetch scalar", `task t(int n) { prefetch n; }`, "array element"},
+		{"assign to literal", `task t(int n) { 3 = n; }`, "assignable"},
+		{"eof in block", `task t(int n) {`, "end of file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("expected parse error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", `task t(int n) { int x = y; }`, "undefined variable"},
+		{"assign to param", `task t(int n) { n = 3; }`, "immutable"},
+		{"float dim", `task t(float A[1.5], int n) { A[0] = 0; }`, "array dimension must be int"},
+		{"float index2", `task t(int n, float A[n]) { A[1.5] = 0; }`, "index must be int"},
+		{"rank mismatch", `task t(int n, float A[n][n]) { A[1] = 0; }`, "dimensions"},
+		{"index scalar", `task t(int n) { n[0] = 1; }`, "not an array"},
+		{"float to int", `task t(int n) { int x = 1.5; }`, "cannot assign float to int"},
+		{"dup func", "task t(int n) { }\ntask t(int n) { }", "duplicate function"},
+		{"dup param", `task t(int n, int n) { }`, "duplicate parameter"},
+		{"redecl", `task t(int n) { int x; int x; }`, "redeclaration"},
+		{"call task", "task a(int n) { }\ntask b(int n) { a(n); }", "scheduled by the runtime"},
+		{"call arity", "int f(int a) { return a; }\ntask t(int n) { int x = f(n, n); }", "args"},
+		{"undefined func", `task t(int n) { g(n); }`, "undefined function"},
+		{"builtin shadow", `float sqrt(float x) { return x; }`, "shadows a builtin"},
+		{"builtin arity", `task t(float A[n], int n) { A[0] = sqrt(1.0, 2.0); }`, "exactly one"},
+		{"array unindexed", `task t(int n, float A[n]) { float x = A; }`, "must be indexed"},
+		{"return in void", `task t(int n) { return 3; }`, "void function"},
+		{"missing return value", `int f(int n) { return; }`, "missing return value"},
+		{"compound float to int", `task t(int n) { int x = 0; x += 1.5; }`, "float operand to int"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Check(f)
+			if err == nil {
+				t.Fatal("expected check error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckResolvesSymbols(t *testing.T) {
+	src := `
+task axpy(float X[n], float Y[n], int n, float a) {
+	for (int i = 0; i < n; i++) {
+		Y[i] = Y[i] + a * X[i];
+	}
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(info.Arrays) != 3 {
+		t.Errorf("arrays resolved = %d, want 3 (Y[i] lhs, Y[i] rhs, X[i])", len(info.Arrays))
+	}
+	for ix, pd := range info.Arrays {
+		if pd.Name != ix.Base.Name {
+			t.Errorf("IndexExpr %s resolved to param %s", ix.Base.Name, pd.Name)
+		}
+	}
+}
+
+func TestCheckMathBuiltins(t *testing.T) {
+	src := `
+task chol(float A[N][N], int N) {
+	A[0][0] = sqrt(A[0][0]);
+	A[0][1] = sin(1.0) + cos(2.0) + fabs(-1.0) + exp(0.5) + log(2.0) + floor(1.9);
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(info.MathCalls) != 7 {
+		t.Errorf("math calls = %d, want 7", len(info.MathCalls))
+	}
+}
+
+func TestCheckShortCircuitAndConditions(t *testing.T) {
+	src := `
+task t(int A[n], int n) {
+	int i = 0;
+	while (i < n && A[i] != 0) {
+		i++;
+	}
+	if (i > 0 || n == 0) {
+		i = 0;
+	}
+	if (!(i < n)) {
+		i = 1;
+	}
+	if (n) { i = 2; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCheckScoping(t *testing.T) {
+	src := `
+task t(int n) {
+	int x = 1;
+	{
+		int x = 2;
+		x = 3;
+	}
+	for (int i = 0; i < n; i++) {
+		int y = i;
+		y = y + x;
+	}
+	int i = 9; // loop variable out of scope again
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCallArrayArgs(t *testing.T) {
+	src := `
+float get(float A[m], int m, int i) { return A[i]; }
+task t(float B[n], int n) {
+	B[0] = get(B, n, 1);
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(info.Calls) != 1 {
+		t.Errorf("calls = %d, want 1", len(info.Calls))
+	}
+}
+
+func TestIncrementDecrementSugar(t *testing.T) {
+	src := `task t(int n) { int i = 0; i++; i--; for (int j = n; j > 0; j--) { } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	body := f.Funcs[0].Body
+	inc := body.Stmts[1].(*AssignStmt)
+	if inc.Op != AddAssign {
+		t.Errorf("i++ should desugar to +=, got %v", inc.Op)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex("42 3.5 1e3 2.5e-2 .5")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	kinds := []tokKind{tokInt, tokFloat, tokFloat, tokFloat, tokFloat, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("tokens = %d, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d kind = %v, want %v (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+	if toks[0].ival != 42 || toks[1].fval != 3.5 || toks[2].fval != 1000 {
+		t.Error("literal values wrong")
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("task t(int n) {\n  x = 1;\n}")
+	if err != nil {
+		t.Fatalf("parse should succeed: %v", err)
+	}
+	f, _ := Parse("task t(int n) {\n  x = 1;\n}")
+	_, err = Check(f)
+	if err == nil {
+		t.Fatal("expected check error")
+	}
+	fe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if fe.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", fe.Pos.Line)
+	}
+}
+
+// TestLexParseNeverPanics drives random byte soup through the front end:
+// errors are fine, panics are not.
+func TestLexParseNeverPanics(t *testing.T) {
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	chars := []byte("taskintfloavd(){}[];,=+-*/%<>&|^! \n\t0123456789.xyzNAB_\"'$#@~`?:\\")
+	for trial := 0; trial < 3000; trial++ {
+		n := int(next() % 120)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = chars[next()%uint64(len(chars))]
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", src, r)
+				}
+			}()
+			if f, err := Parse(src); err == nil {
+				_, _ = Check(f)
+			}
+		}()
+	}
+}
