@@ -2,18 +2,28 @@
 // simulated machine: Table 1, Figure 3 (a/b/c), Figure 4 (Cholesky, FFT,
 // LibQ), and the §6.1 zero-transition-latency projection.
 //
+// Traces are collected once through a parallel, cached pipeline (-j bounds
+// the worker count, -cache-dir persists traces across invocations) and every
+// experiment evaluates the shared traces; independent experiments run
+// concurrently and print in a fixed order.
+//
 // Usage:
 //
-//	daebench [-exp table1|fig3|fig4|zerolat|refined|strategies|all] [-cores 4] [-csv dir]
+//	daebench [-exp table1|fig3|fig4|zerolat|refined|strategies|all] [-cores 4]
+//	         [-csv dir] [-j N] [-cache-dir dir] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
-	"dae/internal/bench"
 	daepass "dae/internal/dae"
 	"dae/internal/dvfs"
 	"dae/internal/eval"
@@ -24,12 +34,33 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig3, fig4, zerolat, refined, strategies, all")
 	cores := flag.Int("cores", 4, "number of simulated cores")
 	csvDir := flag.String("csv", "", "also write the selected experiments as CSV files into this directory")
+	jobs := flag.Int("j", 0, "max concurrent trace collections and experiments (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persist collected traces in this directory and reuse them across runs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := rt.DefaultTraceConfig()
 	cfg.Cores = *cores
-	fmt.Fprintf(os.Stderr, "daebench: tracing 7 benchmarks x 3 versions on %d cores...\n", cfg.Cores)
-	data, err := eval.CollectAll(cfg)
+	// The in-process cache is always on: it lets the refined experiment
+	// reuse the coupled and manual traces of the main collection. -cache-dir
+	// additionally persists entries across daebench invocations.
+	opts := eval.CollectOptions{Workers: *jobs, Cache: eval.NewTraceCache(*cacheDir)}
+	fmt.Fprintf(os.Stderr, "daebench: tracing 7 benchmarks x 3 versions on %d simulated cores (%d workers)...\n",
+		cfg.Cores, effectiveWorkers(*jobs))
+	data, err := eval.CollectAllWith(cfg, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -37,77 +68,147 @@ func main() {
 
 	want := func(name string) bool { return *exp == name || *exp == "all" }
 
-	writeCSV := func(name string, write func(f *os.File) error) {
+	writeCSV := func(name string, write func(f *os.File) error) error {
 		if *csvDir == "" {
-			return
+			return nil
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		f, err := os.Create(filepath.Join(*csvDir, name))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := write(f); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "daebench: wrote %s\n", filepath.Join(*csvDir, name))
+		return nil
 	}
 
+	// Experiments are independent passes over the shared traces; each
+	// renders into its own buffer so they can run concurrently and still
+	// print in the fixed order below.
+	type experiment struct {
+		name string
+		run  func(w io.Writer) error
+	}
+	var exps []experiment
 	if want("table1") {
-		rows := eval.Table1(data, m)
-		fmt.Print(eval.FormatTable1(rows), "\n")
-		writeCSV("table1.csv", func(f *os.File) error { return eval.WriteTable1CSV(f, rows) })
+		exps = append(exps, experiment{"table1", func(w io.Writer) error {
+			rows := eval.Table1(data, m)
+			fmt.Fprint(w, eval.FormatTable1(rows), "\n")
+			return writeCSV("table1.csv", func(f *os.File) error { return eval.WriteTable1CSV(f, rows) })
+		}})
 	}
 	if want("fig3") {
-		rows := eval.Fig3(data, m)
-		fmt.Print(eval.FormatFig3(rows, "Time"), "\n")
-		fmt.Print(eval.FormatFig3(rows, "Energy"), "\n")
-		fmt.Print(eval.FormatFig3(rows, "EDP"), "\n")
-		fmt.Print(eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (500ns transitions)"), "\n")
-		for _, metric := range []string{"Time", "Energy", "EDP"} {
-			metric := metric
-			writeCSV("fig3_"+metric+".csv", func(f *os.File) error { return eval.WriteFig3CSV(f, rows, metric) })
-		}
-	}
-	if want("fig4") {
-		for _, name := range []string{"Cholesky", "FFT", "LibQ"} {
-			for _, d := range data {
-				if d.Name == name {
-					p := eval.Fig4(d, m)
-					fmt.Print(eval.FormatFig4(p), "\n")
-					writeCSV("fig4_"+name+".csv", func(f *os.File) error { return eval.WriteFig4CSV(f, p) })
+		exps = append(exps, experiment{"fig3", func(w io.Writer) error {
+			rows := eval.Fig3(data, m)
+			fmt.Fprint(w, eval.FormatFig3(rows, "Time"), "\n")
+			fmt.Fprint(w, eval.FormatFig3(rows, "Energy"), "\n")
+			fmt.Fprint(w, eval.FormatFig3(rows, "EDP"), "\n")
+			fmt.Fprint(w, eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (500ns transitions)"), "\n")
+			for _, metric := range []string{"Time", "Energy", "EDP"} {
+				if err := writeCSV("fig3_"+metric+".csv", func(f *os.File) error { return eval.WriteFig3CSV(f, rows, metric) }); err != nil {
+					return err
 				}
 			}
-		}
+			return nil
+		}})
+	}
+	if want("fig4") {
+		exps = append(exps, experiment{"fig4", func(w io.Writer) error {
+			for _, name := range []string{"Cholesky", "FFT", "LibQ"} {
+				for _, d := range data {
+					if d.Name == name {
+						p := eval.Fig4(d, m)
+						fmt.Fprint(w, eval.FormatFig4(p), "\n")
+						if err := writeCSV("fig4_"+name+".csv", func(f *os.File) error { return eval.WriteFig4CSV(f, p) }); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}})
 	}
 	if want("zerolat") {
-		ideal := m
-		ideal.DVFS = dvfs.Ideal()
-		rows := eval.Fig3(data, ideal)
-		fmt.Print(eval.FormatFig3(rows, "EDP"), "\n")
-		fmt.Print(eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (zero-latency transitions)"), "\n")
+		exps = append(exps, experiment{"zerolat", func(w io.Writer) error {
+			ideal := m
+			ideal.DVFS = dvfs.Ideal()
+			rows := eval.Fig3(data, ideal)
+			fmt.Fprint(w, eval.FormatFig3(rows, "EDP"), "\n")
+			fmt.Fprint(w, eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (zero-latency transitions)"), "\n")
+			return nil
+		}})
 	}
 	if want("refined") {
-		// The §7 future-work pipeline: compiler DAE with profile-guided
-		// prefetch pruning applied before tracing.
-		fmt.Fprintln(os.Stderr, "daebench: re-tracing with profile-refined access versions...")
-		var refined []*eval.AppData
-		for _, app := range bench.Apps() {
-			d, err := eval.CollectRefined(app, cfg, daepass.DefaultRefine(), 4)
+		exps = append(exps, experiment{"refined", func(w io.Writer) error {
+			// The §7 future-work pipeline: compiler DAE with profile-guided
+			// prefetch pruning applied before tracing. Only the compiler-DAE
+			// decoupled runs differ, so the shared cache serves the coupled
+			// and manual traces without re-simulation.
+			fmt.Fprintln(os.Stderr, "daebench: re-tracing with profile-refined access versions...")
+			ropts := opts
+			ropts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
+			refined, err := eval.CollectAllWith(cfg, ropts)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			refined = append(refined, d)
-		}
-		rows := eval.Fig3(refined, m)
-		fmt.Print(eval.FormatFig3(rows, "EDP"), "\n")
-		fmt.Print(eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (refined, 500ns)"), "\n")
+			rows := eval.Fig3(refined, m)
+			fmt.Fprint(w, eval.FormatFig3(rows, "EDP"), "\n")
+			fmt.Fprint(w, eval.FormatHeadline(eval.ComputeHeadline(rows), "headline (refined, 500ns)"), "\n")
+			return nil
+		}})
 	}
 	if want("strategies") {
-		fmt.Print(eval.FormatStrategies(data))
+		exps = append(exps, experiment{"strategies", func(w io.Writer) error {
+			fmt.Fprint(w, eval.FormatStrategies(data))
+			return nil
+		}})
 	}
+
+	bufs := make([]bytes.Buffer, len(exps))
+	errs := make([]error, len(exps))
+	sem := make(chan struct{}, effectiveWorkers(*jobs))
+	var wg sync.WaitGroup
+	for i := range exps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = exps[i].run(&bufs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range exps {
+		if errs[i] != nil {
+			fatal(fmt.Errorf("%s: %w", exps[i].name, errs[i]))
+		}
+		os.Stdout.Write(bufs[i].Bytes())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// effectiveWorkers resolves the -j flag's default.
+func effectiveWorkers(j int) int {
+	if j > 0 {
+		return j
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func fatal(err error) {

@@ -24,6 +24,8 @@ func main() {
 	zeroLat := flag.Bool("zero-latency", false, "assume instantaneous DVFS transitions (future hardware, paper sec. 6.1)")
 	refine := flag.Bool("refine", false, "apply profile-guided prefetch pruning to the compiler-generated access versions")
 	traceOut := flag.String("trace-out", "", "save the compiler-DAE trace as JSON to this file")
+	jobs := flag.Int("j", 0, "max concurrent trace collections (0 = GOMAXPROCS); the three versions trace in parallel")
+	cacheDir := flag.String("cache-dir", "", "persist collected traces in this directory and reuse them across runs")
 	flag.Parse()
 
 	name := "LU"
@@ -38,12 +40,14 @@ func main() {
 	cfg := rt.DefaultTraceConfig()
 	cfg.Cores = *cores
 	fmt.Printf("tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", app.Name, cfg.Cores)
-	var data *eval.AppData
-	if *refine {
-		data, err = eval.CollectRefined(app, cfg, daepass.DefaultRefine(), 4)
-	} else {
-		data, err = eval.Collect(app, cfg)
+	opts := eval.CollectOptions{Workers: *jobs}
+	if *cacheDir != "" {
+		opts.Cache = eval.NewTraceCache(*cacheDir)
 	}
+	if *refine {
+		opts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
+	}
+	data, err := eval.CollectWith(app, cfg, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,8 +7,11 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"dae/internal/bench"
 	"dae/internal/dae"
@@ -24,75 +27,211 @@ type AppData struct {
 	Manual *rt.Trace
 	// Auto is the decoupled trace with compiler-generated access versions.
 	Auto *rt.Trace
-	// Results describes the compiler's per-task generation decisions.
+	// Results describes the compiler's per-task generation decisions. When
+	// the data came from an on-disk trace-cache entry, only the summary
+	// fields are populated (the IR functions are not persisted).
 	Results map[string]*dae.Result
+}
+
+// RefineSpec requests profile-guided prefetch pruning (dae.RefineAccess) on
+// the compiler-generated access versions before the decoupled Auto trace.
+type RefineSpec struct {
+	Options dae.RefineOptions
+	// PerTask is the number of representative task instances profiled per
+	// task type.
+	PerTask int
+}
+
+// CollectOptions configure the trace-collection pipeline.
+type CollectOptions struct {
+	// Workers bounds the number of concurrent (app, run) trace collections;
+	// values <= 0 mean runtime.GOMAXPROCS(0). Every run is self-contained
+	// (own build, heap, interpreter environments and caches), so results are
+	// byte-identical to a sequential collection regardless of Workers.
+	Workers int
+	// Cache, when non-nil, memoizes each (app, run, config) trace so that
+	// repeated collections — e.g. the refined re-trace, which changes only
+	// the Auto run — reuse prior work instead of re-simulating.
+	Cache *TraceCache
+	// Refine, when non-nil, applies profile-guided pruning to the Auto run.
+	Refine *RefineSpec
+}
+
+// runKind identifies one of the three independent traced runs of an app.
+type runKind int
+
+const (
+	runCAE    runKind = iota // compiler build, coupled (no access phases)
+	runManual                // manual build, decoupled
+	runAuto                  // compiler build, decoupled
+	numRunKinds
+)
+
+func (k runKind) String() string {
+	switch k {
+	case runCAE:
+		return "coupled"
+	case runManual:
+		return "manual-dae"
+	default:
+		return "compiler-dae"
+	}
+}
+
+// runOutput is the cacheable product of one traced run. Results is set only
+// for runCAE (one copy per app is enough; it is identical for every compiler
+// build of the same benchmark).
+type runOutput struct {
+	Trace   *rt.Trace
+	Results map[string]*dae.Result
+}
+
+// collectRun builds and traces one (app, kind) pair, verifying the computed
+// output against the Go reference.
+func collectRun(app bench.App, kind runKind, cfg rt.TraceConfig, refine *RefineSpec) (*runOutput, error) {
+	v := bench.Auto
+	if kind == runManual {
+		v = bench.Manual
+	}
+	b, err := app.Build(v)
+	if err != nil {
+		return nil, err
+	}
+	if kind == runAuto && refine != nil {
+		if _, err := b.Refine(refine.Options, refine.PerTask); err != nil {
+			return nil, err
+		}
+	}
+	c := cfg
+	c.Decoupled = kind != runCAE
+	tr, err := rt.Run(b.W, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Verify(); err != nil {
+		return nil, fmt.Errorf("%s: %w", app.Name, err)
+	}
+	out := &runOutput{Trace: tr}
+	if kind == runCAE {
+		out.Results = b.Results
+	}
+	return out, nil
+}
+
+// cachedRun resolves one run through the cache (when present).
+func cachedRun(app bench.App, kind runKind, cfg rt.TraceConfig, opts CollectOptions) (*runOutput, error) {
+	if opts.Cache == nil {
+		return collectRun(app, kind, cfg, opts.Refine)
+	}
+	key := runKey(app.Name, kind, cfg, opts.Refine)
+	if out, ok := opts.Cache.get(key); ok {
+		return out, nil
+	}
+	out, err := collectRun(app, kind, cfg, opts.Refine)
+	if err != nil {
+		return nil, err
+	}
+	opts.Cache.put(key, out)
+	return out, nil
+}
+
+// forEachJob runs do(0..n-1) on a bounded worker pool. workers <= 0 selects
+// runtime.GOMAXPROCS(0); a single worker degenerates to a plain loop.
+func forEachJob(n, workers int, do func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// collectApps fans the (app, run) pairs of apps out over the worker pool and
+// reassembles them in deterministic app order. All failures are reported,
+// joined in job order, so one broken benchmark does not mask the others.
+func collectApps(apps []bench.App, cfg rt.TraceConfig, opts CollectOptions) ([]*AppData, error) {
+	n := len(apps) * int(numRunKinds)
+	outs := make([]*runOutput, n)
+	errs := make([]error, n)
+	forEachJob(n, opts.Workers, func(i int) {
+		app, kind := apps[i/int(numRunKinds)], runKind(i%int(numRunKinds))
+		out, err := cachedRun(app, kind, cfg, opts)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s (%s): %w", app.Name, kind, err)
+			return
+		}
+		outs[i] = out
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	data := make([]*AppData, len(apps))
+	for ai, app := range apps {
+		base := ai * int(numRunKinds)
+		data[ai] = &AppData{
+			Name:    app.Name,
+			CAE:     outs[base+int(runCAE)].Trace,
+			Manual:  outs[base+int(runManual)].Trace,
+			Auto:    outs[base+int(runAuto)].Trace,
+			Results: outs[base+int(runCAE)].Results,
+		}
+	}
+	return data, nil
 }
 
 // Collect builds and traces all three versions of one app, verifying each
 // run's computed output against the Go reference.
 func Collect(app bench.App, cfg rt.TraceConfig) (*AppData, error) {
-	return collectApp(app, cfg, nil)
+	return CollectWith(app, cfg, CollectOptions{})
+}
+
+// CollectWith is Collect with explicit pipeline options.
+func CollectWith(app bench.App, cfg rt.TraceConfig, opts CollectOptions) (*AppData, error) {
+	data, err := collectApps([]bench.App{app}, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return data[0], nil
 }
 
 // CollectRefined is Collect with profile-guided prefetch pruning
 // (dae.RefineAccess) applied to the compiler-generated access versions
 // before the decoupled trace.
 func CollectRefined(app bench.App, cfg rt.TraceConfig, ropts dae.RefineOptions, perTask int) (*AppData, error) {
-	return collectApp(app, cfg, func(b *bench.Built) error {
-		_, err := b.Refine(ropts, perTask)
-		return err
-	})
+	return CollectWith(app, cfg, CollectOptions{Refine: &RefineSpec{Options: ropts, PerTask: perTask}})
 }
 
-func collectApp(app bench.App, cfg rt.TraceConfig, refineAuto func(*bench.Built) error) (*AppData, error) {
-	data := &AppData{Name: app.Name}
-
-	run := func(v bench.Variant, decoupled bool) (*rt.Trace, map[string]*dae.Result, error) {
-		b, err := app.Build(v)
-		if err != nil {
-			return nil, nil, err
-		}
-		if v == bench.Auto && decoupled && refineAuto != nil {
-			if err := refineAuto(b); err != nil {
-				return nil, nil, err
-			}
-		}
-		c := cfg
-		c.Decoupled = decoupled
-		tr, err := rt.Run(b.W, c)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := b.Verify(); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", app.Name, err)
-		}
-		return tr, b.Results, nil
-	}
-
-	var err error
-	if data.CAE, data.Results, err = run(bench.Auto, false); err != nil {
-		return nil, err
-	}
-	if data.Manual, _, err = run(bench.Manual, true); err != nil {
-		return nil, err
-	}
-	if data.Auto, _, err = run(bench.Auto, true); err != nil {
-		return nil, err
-	}
-	return data, nil
-}
-
-// CollectAll gathers every benchmark.
+// CollectAll gathers every benchmark, collecting traces in parallel across
+// runtime.GOMAXPROCS(0) workers.
 func CollectAll(cfg rt.TraceConfig) ([]*AppData, error) {
-	var out []*AppData
-	for _, app := range bench.Apps() {
-		d, err := Collect(app, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, d)
-	}
-	return out, nil
+	return CollectAllWith(cfg, CollectOptions{})
+}
+
+// CollectAllWith is CollectAll with explicit pipeline options.
+func CollectAllWith(cfg rt.TraceConfig, opts CollectOptions) ([]*AppData, error) {
+	return collectApps(bench.Apps(), cfg, opts)
 }
 
 // GeoMean returns the geometric mean of xs.

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dae/internal/bench"
+	daepass "dae/internal/dae"
+	"dae/internal/rt"
+)
+
+// sameTraces reports whether two collections produced byte-identical traces
+// and equal generation summaries, in the same app order.
+func sameTraces(t *testing.T, a, b []*AppData) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("collections differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("app %d: name %q vs %q (order must be deterministic)", i, a[i].Name, b[i].Name)
+		}
+		for _, tr := range []struct {
+			kind string
+			x, y *rt.Trace
+		}{{"CAE", a[i].CAE, b[i].CAE}, {"Manual", a[i].Manual, b[i].Manual}, {"Auto", a[i].Auto, b[i].Auto}} {
+			if !reflect.DeepEqual(tr.x, tr.y) {
+				t.Errorf("%s: %s traces differ between collections", a[i].Name, tr.kind)
+			}
+		}
+		if len(a[i].Results) != len(b[i].Results) {
+			t.Errorf("%s: result counts differ", a[i].Name)
+			continue
+		}
+		for name, ra := range a[i].Results {
+			rb := b[i].Results[name]
+			if rb == nil {
+				t.Errorf("%s: missing result for %s", a[i].Name, name)
+				continue
+			}
+			if ra.Strategy != rb.Strategy || ra.AffineLoops != rb.AffineLoops ||
+				ra.TotalLoops != rb.TotalLoops || ra.NConvUn != rb.NConvUn {
+				t.Errorf("%s/%s: generation summaries differ", a[i].Name, name)
+			}
+		}
+	}
+}
+
+// TestParallelCollectionDeterminism is the hidden-shared-state regression
+// test: a sequential collection and a 4-worker collection of every benchmark
+// must produce deeply equal traces. Run under -race it additionally proves
+// the per-run state (interp envs, heaps, caches) is not shared.
+func TestParallelCollectionDeterminism(t *testing.T) {
+	cfg := rt.DefaultTraceConfig()
+	seq, err := CollectAllWith(cfg, CollectOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CollectAllWith(cfg, CollectOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTraces(t, seq, par)
+}
+
+// TestCollectAggregatesErrors: a failing benchmark must not mask the other
+// failures — every app's error surfaces in the joined result.
+func TestCollectAggregatesErrors(t *testing.T) {
+	errA := errors.New("boom-A")
+	errB := errors.New("boom-B")
+	apps := []bench.App{
+		{Name: "BrokenA", Build: func(bench.Variant) (*bench.Built, error) { return nil, errA }},
+		{Name: "BrokenB", Build: func(bench.Variant) (*bench.Built, error) { return nil, errB }},
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := collectApps(apps, rt.DefaultTraceConfig(), CollectOptions{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if !errors.Is(err, errA) || !errors.Is(err, errB) {
+			t.Errorf("workers=%d: joined error should wrap both failures, got: %v", workers, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "BrokenA") || !strings.Contains(msg, "BrokenB") {
+			t.Errorf("workers=%d: error should name both apps, got: %q", workers, msg)
+		}
+	}
+}
+
+// TestTraceCacheSharing: a refined collection only re-traces the compiler-DAE
+// decoupled runs; the coupled and manual traces come from the shared cache
+// (same pointers), and a repeated plain collection is served entirely from
+// the cache.
+func TestTraceCacheSharing(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	cache := NewTraceCache("")
+
+	plain, err := CollectWith(app, cfg, CollectOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := CollectWith(app, cfg, CollectOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CAE != plain.CAE || again.Manual != plain.Manual || again.Auto != plain.Auto {
+		t.Error("repeated collection should be served from the cache (same trace pointers)")
+	}
+
+	refined, err := CollectWith(app, cfg, CollectOptions{
+		Cache:  cache,
+		Refine: &RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.CAE != plain.CAE {
+		t.Error("refined collection should reuse the cached coupled trace")
+	}
+	if refined.Manual != plain.Manual {
+		t.Error("refined collection should reuse the cached manual trace")
+	}
+	if refined.Auto == plain.Auto {
+		t.Error("refined collection must re-trace the compiler-DAE run")
+	}
+}

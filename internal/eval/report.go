@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"dae/internal/dae"
@@ -97,12 +98,19 @@ func FormatHeadline(h Headline, label string) string {
 		label, 100*h.ManualEDPGain, 100*h.ManualTimeLoss, 100*h.AutoEDPGain, 100*h.AutoTimeLoss)
 }
 
-// FormatStrategies summarizes the compiler's decisions per app.
+// FormatStrategies summarizes the compiler's decisions per app. Tasks are
+// listed in sorted order so the report is deterministic.
 func FormatStrategies(data []*AppData) string {
 	var sb strings.Builder
 	sb.WriteString("Access-version generation decisions\n")
 	for _, d := range data {
-		for name, r := range d.Results {
+		names := make([]string, 0, len(d.Results))
+		for name := range d.Results {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r := d.Results[name]
 			fmt.Fprintf(&sb, "%-10s %-14s %-9s loops %d/%d", d.Name, name, r.Strategy, r.AffineLoops, r.TotalLoops)
 			if r.Strategy == dae.StrategyAffine {
 				fmt.Fprintf(&sb, " classes=%d nests=%d NConvUn=%d NOrig=%d", r.Classes, r.MergedNests, r.NConvUn, r.NOrig)

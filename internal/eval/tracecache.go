@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dae/internal/dae"
+	"dae/internal/rt"
+)
+
+// TraceCache memoizes collected traces, content-keyed by (app, run kind,
+// trace configuration, refinement options). Every daebench experiment that
+// needs the same trace — table1, fig3, fig4, zerolat all evaluate the same
+// frequency-independent profile — then shares one collection, and the
+// refined re-trace reuses the coupled and manual runs it does not change.
+//
+// The cache is safe for concurrent use. With a non-empty directory, entries
+// additionally persist to disk as versioned JSON envelopes, so separate
+// daebench invocations skip re-simulation entirely.
+type TraceCache struct {
+	dir string
+	mu  sync.Mutex
+	mem map[string]*runOutput
+}
+
+// NewTraceCache returns a cache. dir may be empty for a purely in-memory
+// cache; otherwise entries are persisted under dir (created on first put).
+func NewTraceCache(dir string) *TraceCache {
+	return &TraceCache{dir: dir, mem: make(map[string]*runOutput)}
+}
+
+// runKey builds the content key of one traced run. The refinement options
+// only affect the compiler-generated decoupled run, so the other kinds share
+// entries between plain and refined collections.
+func runKey(app string, kind runKind, cfg rt.TraceConfig, refine *RefineSpec) string {
+	key := fmt.Sprintf("v%d;app=%s;kind=%d;%s", cacheVersion, app, kind, cfg.Fingerprint())
+	if kind == runAuto && refine != nil {
+		h := refine.Options.Hierarchy
+		key += fmt.Sprintf(";refine=%g/%d-%d-%d/%d-%d-%d/%d-%d-%d/%d",
+			refine.Options.MinMissRatio,
+			h.L1.SizeBytes, h.L1.LineBytes, h.L1.Assoc,
+			h.L2.SizeBytes, h.L2.LineBytes, h.L2.Assoc,
+			h.L3.SizeBytes, h.L3.LineBytes, h.L3.Assoc,
+			refine.PerTask)
+	}
+	return key
+}
+
+// cacheVersion is bumped whenever the trace semantics or the envelope layout
+// change, invalidating stale on-disk entries.
+const cacheVersion = 1
+
+// resultJSON is the persistable summary of a dae.Result. The generated IR
+// functions are process-local and are not stored; loaded Results carry the
+// Table 1 / strategy-report fields only.
+type resultJSON struct {
+	Strategy    int    `json:"strategy"`
+	Reason      string `json:"reason,omitempty"`
+	TotalLoops  int    `json:"total_loops"`
+	AffineLoops int    `json:"affine_loops"`
+	Classes     int    `json:"classes"`
+	MergedNests int    `json:"merged_nests"`
+	NConvUn     int64  `json:"n_conv_un"`
+	NOrig       int64  `json:"n_orig"`
+	HasAccess   bool   `json:"has_access"`
+}
+
+// envelope is the on-disk form of one cache entry.
+type envelope struct {
+	Version int                   `json:"version"`
+	Key     string                `json:"key"`
+	Trace   json.RawMessage       `json:"trace"`
+	Results map[string]resultJSON `json:"results,omitempty"`
+}
+
+// get returns the entry for key, consulting memory first and then disk.
+func (tc *TraceCache) get(key string) (*runOutput, bool) {
+	tc.mu.Lock()
+	out, ok := tc.mem[key]
+	tc.mu.Unlock()
+	if ok {
+		return out, true
+	}
+	if tc.dir == "" {
+		return nil, false
+	}
+	out, err := tc.load(key)
+	if err != nil || out == nil {
+		// Unreadable or stale entries are treated as misses; the fresh
+		// collection overwrites them.
+		return nil, false
+	}
+	tc.mu.Lock()
+	tc.mem[key] = out
+	tc.mu.Unlock()
+	return out, true
+}
+
+// put stores the entry in memory and, when persistence is enabled, on disk.
+// Disk write failures are non-fatal: the cache degrades to memory-only.
+func (tc *TraceCache) put(key string, out *runOutput) {
+	tc.mu.Lock()
+	tc.mem[key] = out
+	tc.mu.Unlock()
+	if tc.dir == "" {
+		return
+	}
+	_ = tc.save(key, out)
+}
+
+// path maps a key to its cache file.
+func (tc *TraceCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(tc.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+func (tc *TraceCache) load(key string) (*runOutput, error) {
+	b, err := os.ReadFile(tc.path(key))
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, err
+	}
+	if env.Version != cacheVersion || env.Key != key {
+		return nil, nil
+	}
+	tr, err := rt.DecodeTrace(env.Trace)
+	if err != nil {
+		return nil, err
+	}
+	out := &runOutput{Trace: tr}
+	if env.Results != nil {
+		out.Results = make(map[string]*dae.Result, len(env.Results))
+		for name, rj := range env.Results {
+			out.Results[name] = &dae.Result{
+				Strategy:    dae.Strategy(rj.Strategy),
+				Reason:      rj.Reason,
+				TotalLoops:  rj.TotalLoops,
+				AffineLoops: rj.AffineLoops,
+				Classes:     rj.Classes,
+				MergedNests: rj.MergedNests,
+				NConvUn:     rj.NConvUn,
+				NOrig:       rj.NOrig,
+			}
+		}
+	}
+	return out, nil
+}
+
+func (tc *TraceCache) save(key string, out *runOutput) error {
+	raw, err := rt.EncodeTrace(out.Trace)
+	if err != nil {
+		return err
+	}
+	env := envelope{Version: cacheVersion, Key: key, Trace: raw}
+	if out.Results != nil {
+		env.Results = make(map[string]resultJSON, len(out.Results))
+		for name, r := range out.Results {
+			env.Results[name] = resultJSON{
+				Strategy:    int(r.Strategy),
+				Reason:      r.Reason,
+				TotalLoops:  r.TotalLoops,
+				AffineLoops: r.AffineLoops,
+				Classes:     r.Classes,
+				MergedNests: r.MergedNests,
+				NConvUn:     r.NConvUn,
+				NOrig:       r.NOrig,
+				HasAccess:   r.Access != nil,
+			}
+		}
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tc.dir, 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename keeps concurrent readers from seeing partial files.
+	tmp, err := os.CreateTemp(tc.dir, "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), tc.path(key))
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"dae/internal/bench"
+	"dae/internal/rt"
+)
+
+// TestTraceCacheDiskRoundtrip: a cache directory written by one cache
+// instance serves a fresh instance (a later process) without re-simulation,
+// reproducing identical traces and the Table 1 / strategy summaries.
+func TestTraceCacheDiskRoundtrip(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	dir := t.TempDir()
+
+	first, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("cache dir holds %d entries, want 3 (one per run)", len(entries))
+	}
+
+	// A fresh cache over the same directory simulates a new process.
+	second, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.CAE, second.CAE) ||
+		!reflect.DeepEqual(first.Manual, second.Manual) ||
+		!reflect.DeepEqual(first.Auto, second.Auto) {
+		t.Error("disk-loaded traces differ from the originals")
+	}
+	if len(second.Results) != len(first.Results) {
+		t.Fatalf("disk-loaded results have %d tasks, want %d", len(second.Results), len(first.Results))
+	}
+	for name, r := range first.Results {
+		lr := second.Results[name]
+		if lr == nil {
+			t.Fatalf("missing loaded result for %s", name)
+		}
+		if lr.Strategy != r.Strategy || lr.AffineLoops != r.AffineLoops ||
+			lr.TotalLoops != r.TotalLoops || lr.Classes != r.Classes ||
+			lr.MergedNests != r.MergedNests || lr.NConvUn != r.NConvUn ||
+			lr.NOrig != r.NOrig || lr.Reason != r.Reason {
+			t.Errorf("%s: loaded summary differs from original", name)
+		}
+	}
+
+	// The loaded data must feed the downstream evaluation identically.
+	m := rt.DefaultMachine()
+	a := Fig3([]*AppData{first}, m)
+	b := Fig3([]*AppData{second}, m)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Fig3 rows differ between fresh and disk-loaded data")
+	}
+	if FormatStrategies([]*AppData{first}) != FormatStrategies([]*AppData{second}) {
+		t.Error("strategy report differs between fresh and disk-loaded data")
+	}
+}
+
+// TestTraceCacheCorruptEntry: unreadable cache files degrade to a miss and
+// are overwritten, never an error.
+func TestTraceCacheCorruptEntry(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	dir := t.TempDir()
+	if _, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(dir+"/"+e.Name(), []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
+		t.Fatalf("corrupt cache entries must be treated as misses, got: %v", err)
+	}
+}
+
+// TestRunKeyDistinguishesConfigs: the content key must change whenever a
+// field that influences the trace changes.
+func TestRunKeyDistinguishesConfigs(t *testing.T) {
+	base := rt.DefaultTraceConfig()
+	keys := map[string]string{}
+	add := func(label, key string) {
+		for prev, pk := range keys {
+			if pk == key {
+				t.Errorf("key collision between %q and %q: %s", prev, label, key)
+			}
+		}
+		keys[label] = key
+	}
+	add("base", runKey("LU", runAuto, base, nil))
+	add("other-app", runKey("FFT", runAuto, base, nil))
+	add("other-kind", runKey("LU", runCAE, base, nil))
+	c := base
+	c.Cores = 8
+	add("cores", runKey("LU", runAuto, c, nil))
+	c = base
+	c.Hierarchy.L1.SizeBytes *= 2
+	add("l1", runKey("LU", runAuto, c, nil))
+	c = base
+	c.Place = rt.PlaceLeastLoaded
+	add("place", runKey("LU", runAuto, c, nil))
+	r := &RefineSpec{PerTask: 4}
+	add("refined", runKey("LU", runAuto, base, r))
+	r2 := &RefineSpec{PerTask: 8}
+	add("refined-8", runKey("LU", runAuto, base, r2))
+
+	// Refinement must NOT influence the coupled/manual keys: those runs are
+	// identical with and without it, which is what the refined experiment's
+	// cache reuse relies on.
+	if runKey("LU", runCAE, base, r) != runKey("LU", runCAE, base, nil) {
+		t.Error("refine options must not key the coupled run")
+	}
+	if runKey("LU", runManual, base, r) != runKey("LU", runManual, base, nil) {
+		t.Error("refine options must not key the manual run")
+	}
+}

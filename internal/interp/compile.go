@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"sync"
 
 	"dae/internal/ir"
 )
@@ -86,9 +87,13 @@ type code struct {
 	hasResult bool
 }
 
-// Program compiles IR functions on demand and caches the result.
+// Program compiles IR functions on demand and caches the result. The cache
+// is mutex-guarded so Envs on different goroutines may share one Program
+// (each Env additionally memoizes lookups to stay off the lock in steady
+// state); the compiled code itself is immutable after construction.
 type Program struct {
 	mod   *ir.Module
+	mu    sync.Mutex
 	cache map[*ir.Func]*code
 }
 
@@ -100,6 +105,14 @@ func NewProgram(mod *ir.Module) *Program {
 
 // compiled returns the compiled form of f.
 func (p *Program) compiled(f *ir.Func) (*code, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compiledLocked(f)
+}
+
+// compiledLocked is compiled without the lock; the compiler's recursive
+// callee resolution runs entirely under the outer call's lock.
+func (p *Program) compiledLocked(f *ir.Func) (*code, error) {
 	if c, ok := p.cache[f]; ok {
 		if c == nil {
 			return nil, fmt.Errorf("interp: recursive call to @%s", f.Name)
@@ -303,7 +316,7 @@ func (cp *compiler) instr(b *ir.Block, in ir.Instr) error {
 		cp.emit(cop{kind: opGEP, dst: cp.reg(x), a: cp.reg(x.Base), dims: dims, idx: idx})
 
 	case *ir.Call:
-		callee, err := cp.prog.compiled(x.Callee)
+		callee, err := cp.prog.compiledLocked(x.Callee)
 		if err != nil {
 			return err
 		}

@@ -97,17 +97,95 @@ func (c *Counts) Add(other Counts) {
 type PrefetchHook func(src ir.Instr, addr int64)
 
 // Env executes compiled functions. It is not safe for concurrent use; the
-// multicore runtime gives each simulated core its own Env.
+// multicore runtime gives each simulated core its own Env. Distinct Envs may
+// share one Program, including from different goroutines.
 type Env struct {
 	prog     *Program
 	tracer   Tracer
 	prefHook PrefetchHook
 	counts   Counts
+	// free is the frame freelist: frames are pushed back on function return,
+	// so steady-state calls (including the opCall hot path) allocate nothing.
+	free []*frame
+	// memo caches Program.compiled results per Env, keeping the top-level
+	// Call path off the Program's shared, mutex-guarded cache.
+	memo map[*ir.Func]*code
+	// callArgs is the reusable top-level Call argument buffer (the callee
+	// copies arguments into its registers at frame entry).
+	callArgs []val
 }
 
 // NewEnv returns an execution environment over prog. tracer may be nil.
 func NewEnv(prog *Program, tracer Tracer) *Env {
 	return &Env{prog: prog, tracer: tracer}
+}
+
+// frame is the reusable per-call state of run: the register file, the phi
+// parallel-copy scratch, the frame-local alloca segments, and the argument
+// buffer for outgoing opCall invocations. Seg structs are embedded so alloca
+// pointers (&f.segF) stay valid for the frame's lifetime.
+type frame struct {
+	regs []val
+	tmp  []val
+	segF Seg
+	segI Seg
+	args []val
+}
+
+// getFrame pops (or creates) a frame and sizes it for c. Registers and stack
+// slots are zeroed so reuse is observationally identical to fresh make()
+// allocation — traces stay byte-identical to the unpooled interpreter.
+func (e *Env) getFrame(c *code) *frame {
+	var f *frame
+	if n := len(e.free); n > 0 {
+		f = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		f = &frame{segF: Seg{Elem: FloatElem, Stack: true}, segI: Seg{Elem: IntElem, Stack: true}}
+	}
+	if cap(f.regs) < c.nregs {
+		f.regs = make([]val, c.nregs)
+	} else {
+		f.regs = f.regs[:c.nregs]
+		clear(f.regs)
+	}
+	if cap(f.tmp) < c.maxMoves {
+		f.tmp = make([]val, c.maxMoves)
+	} else {
+		f.tmp = f.tmp[:c.maxMoves]
+	}
+	if cap(f.segF.F) < c.nStackF {
+		f.segF.F = make([]float64, c.nStackF)
+	} else {
+		f.segF.F = f.segF.F[:c.nStackF]
+		clear(f.segF.F)
+	}
+	if cap(f.segI.I) < c.nStackI {
+		f.segI.I = make([]int64, c.nStackI)
+	} else {
+		f.segI.I = f.segI.I[:c.nStackI]
+		clear(f.segI.I)
+	}
+	return f
+}
+
+func (e *Env) putFrame(f *frame) { e.free = append(e.free, f) }
+
+// compiledMemo resolves f through the per-Env memo, falling back to the
+// Program's shared cache (one lock acquisition per new function).
+func (e *Env) compiledMemo(f *ir.Func) (*code, error) {
+	if c, ok := e.memo[f]; ok {
+		return c, nil
+	}
+	c, err := e.prog.compiled(f)
+	if err != nil {
+		return nil, err
+	}
+	if e.memo == nil {
+		e.memo = make(map[*ir.Func]*code)
+	}
+	e.memo[f] = c
+	return c, nil
 }
 
 // Counts returns the instruction counts accumulated since the last Reset.
@@ -126,14 +204,17 @@ func (e *Env) SetPrefetchHook(h PrefetchHook) { e.prefHook = h }
 // Call executes function name with args. Array arguments are passed with
 // Ptr, scalars with Int/Float.
 func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
-	c, err := e.prog.compiled(f)
+	c, err := e.compiledMemo(f)
 	if err != nil {
 		return Value{}, err
 	}
 	if len(args) != len(f.Params) {
 		return Value{}, fmt.Errorf("interp: call @%s with %d args, want %d", f.Name, len(args), len(f.Params))
 	}
-	vs := make([]val, len(args))
+	if cap(e.callArgs) < len(args) {
+		e.callArgs = make([]val, len(args))
+	}
+	vs := e.callArgs[:len(args)]
 	for i, a := range args {
 		vs[i] = a.v
 	}
@@ -151,8 +232,18 @@ func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
 	return Value{v: out, k: k}, nil
 }
 
+// run executes c in a pooled frame. The frame is returned to the freelist on
+// every exit path: nothing escapes it — TaskC functions return scalars, so
+// the result value never aliases the recycled stack segments.
 func (e *Env) run(c *code, args []val) (val, error) {
-	regs := make([]val, c.nregs)
+	fr := e.getFrame(c)
+	v, err := e.exec(c, fr, args)
+	e.putFrame(fr)
+	return v, err
+}
+
+func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
+	regs := fr.regs
 	for i, r := range c.params {
 		regs[r] = args[i]
 	}
@@ -161,24 +252,17 @@ func (e *Env) run(c *code, args []val) (val, error) {
 	}
 	// Frame-local stack segments for allocas. They model registers/stack, so
 	// they are marked Stack and produce no memory events.
-	var stackF, stackI *Seg
-	if c.nStackF > 0 {
-		stackF = &Seg{Elem: FloatElem, F: make([]float64, c.nStackF), Stack: true}
-	}
-	if c.nStackI > 0 {
-		stackI = &Seg{Elem: IntElem, I: make([]int64, c.nStackI), Stack: true}
-	}
 	for _, a := range c.allocas {
 		if a.elem == FloatElem {
-			regs[a.reg] = val{p: ptr{seg: stackF, off: a.slot}}
+			regs[a.reg] = val{p: ptr{seg: &fr.segF, off: a.slot}}
 		} else {
-			regs[a.reg] = val{p: ptr{seg: stackI, off: a.slot}}
+			regs[a.reg] = val{p: ptr{seg: &fr.segI, off: a.slot}}
 		}
 	}
 
 	// Phi parallel-copy scratch: sized for the widest move list so that
 	// cyclic copies (swaps) read all sources before writing any destination.
-	tmp := make([]val, c.maxMoves)
+	tmp := fr.tmp
 	cnt := &e.counts
 	ops := c.ops
 	pc := 0
@@ -364,7 +448,12 @@ func (e *Env) run(c *code, args []val) (val, error) {
 			cnt.GEPs++
 
 		case opCall:
-			sub := make([]val, len(op.args))
+			// The callee copies args into its own registers at frame entry,
+			// so the caller's frame-local buffer can be reused across calls.
+			if cap(fr.args) < len(op.args) {
+				fr.args = make([]val, len(op.args))
+			}
+			sub := fr.args[:len(op.args)]
 			for i, r := range op.args {
 				sub[i] = regs[r]
 			}

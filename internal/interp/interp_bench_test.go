@@ -91,3 +91,70 @@ func BenchmarkInterpDaxpyTraced(b *testing.B) {
 		call()
 	}
 }
+
+// BenchmarkEnvCallAllocs measures steady-state allocations of Env.Call with
+// frame reuse: after warmup, repeated calls must not grow the heap (the
+// register file, phi scratch and argument buffers all come from the Env's
+// frame pool). Run with -benchmem; allocs/op is the regression signal.
+func BenchmarkEnvCallAllocs(b *testing.B) {
+	_, call := setupBench(b, true)
+	call() // warm the compilation cache and the frame pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call()
+	}
+}
+
+// BenchmarkEnvCallAllocsAlloca covers the unoptimized (pre-mem2reg) path
+// whose frames carry alloca stack segments, exercising their reuse.
+func BenchmarkEnvCallAllocsAlloca(b *testing.B) {
+	_, call := setupBench(b, false)
+	call()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call()
+	}
+}
+
+// callKernel keeps a function call inside the inner loop; compiled without
+// the optimizer (no inlining), every iteration takes the opCall path, so the
+// benchmark isolates per-call frame acquisition.
+const callKernel = `
+float fma1(float a, float x, float y) {
+	return y + a * x;
+}
+task daxpy_call(float Y[n], float X[n], int n, float a, int reps) {
+	for (int r = 0; r < reps; r++) {
+		for (int i = 0; i < n; i++) {
+			Y[i] = fma1(a, X[i], Y[i]);
+		}
+	}
+}
+`
+
+// BenchmarkEnvCallAllocsNestedCalls measures allocations when the hot loop
+// performs an IR-level call per iteration (4096*4 opCall frames per Env.Call).
+func BenchmarkEnvCallAllocsNestedCalls(b *testing.B) {
+	m, err := lower.Compile(callKernel, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := NewHeap()
+	y := h.AllocFloat("Y", 4096)
+	x := h.AllocFloat("X", 4096)
+	env := NewEnv(NewProgram(m), nil)
+	f := m.Func("daxpy_call")
+	call := func() {
+		if _, err := env.Call(f, Ptr(y), Ptr(x), Int(4096), Float(1.5), Int(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	call()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call()
+	}
+}

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,6 +33,21 @@ func SaveTrace(w io.Writer, tr *Trace) error {
 		NumBatches: tr.NumBatches,
 		Records:    tr.Records,
 	})
+}
+
+// EncodeTrace returns the trace in SaveTrace's JSON encoding as a byte
+// slice, for embedding in larger documents (e.g. trace-cache entries).
+func EncodeTrace(tr *Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, tr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTrace parses a trace produced by EncodeTrace (or SaveTrace).
+func DecodeTrace(b []byte) (*Trace, error) {
+	return LoadTrace(bytes.NewReader(b))
 }
 
 // LoadTrace reads a trace saved with SaveTrace.

@@ -112,6 +112,17 @@ func DefaultTraceConfig() TraceConfig {
 	return TraceConfig{Cores: 4, Hierarchy: mem.EvalHierarchy(), Decoupled: true}
 }
 
+// Fingerprint returns a canonical content key covering every field that
+// influences a trace. Two configs with equal fingerprints produce identical
+// traces for the same workload, so the string is usable as a cache key.
+func (c TraceConfig) Fingerprint() string {
+	h := func(cc mem.Config) string {
+		return fmt.Sprintf("%d/%d/%d", cc.SizeBytes, cc.LineBytes, cc.Assoc)
+	}
+	return fmt.Sprintf("cores=%d;l1=%s;l2=%s;l3=%s;dec=%t;place=%d",
+		c.Cores, h(c.Hierarchy.L1), h(c.Hierarchy.L2), h(c.Hierarchy.L3), c.Decoupled, c.Place)
+}
+
 // Run traces the workload: every task executes for real through the
 // interpreter against its core's cache hierarchy, with the access phase (if
 // any, and if cfg.Decoupled) immediately preceding the execute phase on the
