@@ -7,14 +7,23 @@
 // experiment evaluates the shared traces; independent experiments run
 // concurrently and print in a fixed order.
 //
+// The pipeline is hardened: -timeout bounds the whole invocation, -run-timeout
+// bounds each of the 21 (benchmark, version) collections, and -max-steps
+// bounds each simulated task's interpreter steps. A run that fails — trap,
+// budget, timeout, panic — does not take the process down mid-collection;
+// daebench finishes the surviving runs, prints a per-run failure summary
+// (app, run kind, fault class), and exits nonzero.
+//
 // Usage:
 //
 //	daebench [-exp table1|fig3|fig4|zerolat|refined|strategies|all] [-cores 4]
-//	         [-csv dir] [-j N] [-cache-dir dir] [-cpuprofile f] [-memprofile f]
+//	         [-csv dir] [-j N] [-cache-dir dir] [-timeout d] [-run-timeout d]
+//	         [-max-steps n] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,38 +40,67 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig3, fig4, zerolat, refined, strategies, all")
-	cores := flag.Int("cores", 4, "number of simulated cores")
-	csvDir := flag.String("csv", "", "also write the selected experiments as CSV files into this directory")
-	jobs := flag.Int("j", 0, "max concurrent trace collections and experiments (0 = GOMAXPROCS)")
-	cacheDir := flag.String("cache-dir", "", "persist collected traces in this directory and reuse them across runs")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the exit paths are testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("daebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: table1, fig3, fig4, zerolat, refined, strategies, all")
+	cores := fs.Int("cores", 4, "number of simulated cores")
+	csvDir := fs.String("csv", "", "also write the selected experiments as CSV files into this directory")
+	jobs := fs.Int("j", 0, "max concurrent trace collections and experiments (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "persist collected traces in this directory and reuse them across runs")
+	timeout := fs.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
+	runTimeout := fs.Duration("run-timeout", 0, "abort any single (benchmark, version) collection after this duration (0 = no limit)")
+	maxSteps := fs.Int64("max-steps", 0, "abort any simulated task after this many interpreter steps (0 = no limit)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "daebench:", err)
+		return 1
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := rt.DefaultTraceConfig()
 	cfg.Cores = *cores
+	cfg.MaxSteps = *maxSteps
 	// The in-process cache is always on: it lets the refined experiment
 	// reuse the coupled and manual traces of the main collection. -cache-dir
 	// additionally persists entries across daebench invocations.
-	opts := eval.CollectOptions{Workers: *jobs, Cache: eval.NewTraceCache(*cacheDir)}
-	fmt.Fprintf(os.Stderr, "daebench: tracing 7 benchmarks x 3 versions on %d simulated cores (%d workers)...\n",
+	opts := eval.CollectOptions{
+		Workers:    *jobs,
+		Cache:      eval.NewTraceCache(*cacheDir),
+		RunTimeout: *runTimeout,
+	}
+	fmt.Fprintf(stderr, "daebench: tracing 7 benchmarks x 3 versions on %d simulated cores (%d workers)...\n",
 		cfg.Cores, effectiveWorkers(*jobs))
-	data, err := eval.CollectAllWith(cfg, opts)
+	data, err := eval.CollectAllWith(ctx, cfg, opts)
 	if err != nil {
-		fatal(err)
+		return failRuns(stderr, "daebench", err)
 	}
 	m := rt.DefaultMachine()
 
@@ -83,7 +121,7 @@ func main() {
 		if err := write(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "daebench: wrote %s\n", filepath.Join(*csvDir, name))
+		fmt.Fprintf(stderr, "daebench: wrote %s\n", filepath.Join(*csvDir, name))
 		return nil
 	}
 
@@ -149,10 +187,10 @@ func main() {
 			// prefetch pruning applied before tracing. Only the compiler-DAE
 			// decoupled runs differ, so the shared cache serves the coupled
 			// and manual traces without re-simulation.
-			fmt.Fprintln(os.Stderr, "daebench: re-tracing with profile-refined access versions...")
+			fmt.Fprintln(stderr, "daebench: re-tracing with profile-refined access versions...")
 			ropts := opts
 			ropts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
-			refined, err := eval.CollectAllWith(cfg, ropts)
+			refined, err := eval.CollectAllWith(ctx, cfg, ropts)
 			if err != nil {
 				return err
 			}
@@ -185,22 +223,36 @@ func main() {
 	wg.Wait()
 	for i := range exps {
 		if errs[i] != nil {
-			fatal(fmt.Errorf("%s: %w", exps[i].name, errs[i]))
+			return failRuns(stderr, "daebench", fmt.Errorf("%s: %w", exps[i].name, errs[i]))
 		}
-		os.Stdout.Write(bufs[i].Bytes())
+		stdout.Write(bufs[i].Bytes())
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		f.Close()
 	}
+	return 0
+}
+
+// failRuns prints a collection failure — the per-run summary when the error
+// carries typed RunErrors, the plain error otherwise — and returns exit
+// status 1.
+func failRuns(stderr io.Writer, prog string, err error) int {
+	if s := eval.FormatFailures(err); s != "" {
+		fmt.Fprintf(stderr, "%s: %s", prog, s)
+		return 1
+	}
+	fmt.Fprintln(stderr, prog+":", err)
+	return 1
 }
 
 // effectiveWorkers resolves the -j flag's default.
@@ -209,9 +261,4 @@ func effectiveWorkers(j int) int {
 		return j
 	}
 	return runtime.GOMAXPROCS(0)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "daebench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestRunStepBudgetFailureSummary: a step budget every benchmark exceeds
+// fails all 21 runs; daebench reports each with its fault class and exits
+// nonzero instead of crashing mid-collection.
+func TestRunStepBudgetFailureSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-max-steps", "1", "-exp", "strategies"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	msg := errb.String()
+	for _, want := range []string{"21 run(s) failed", "step-budget", "LU", "compiler-dae"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure summary missing %q:\n%s", want, msg)
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty on failure: %q", out.String())
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects all benchmarks")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "strategies"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "LU") {
+		t.Errorf("strategy report missing benchmarks:\n%s", out.String())
+	}
+}

@@ -2,14 +2,23 @@
 // runtime and prints time/energy/EDP for the coupled, manual-DAE, and
 // compiler-DAE versions across the frequency policies.
 //
+// The pipeline is hardened: -timeout bounds the whole invocation,
+// -run-timeout bounds each of the three version collections, and -max-steps
+// bounds each simulated task's interpreter steps. A failed run — trap,
+// budget, timeout, panic — produces a per-run failure summary (app, run
+// kind, fault class) on stderr and a nonzero exit.
+//
 // Usage:
 //
-//	daerun [-cores 4] [-zero-latency] [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
+//	daerun [-cores 4] [-zero-latency] [-timeout d] [-run-timeout d]
+//	       [-max-steps n] [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dae/internal/bench"
@@ -20,36 +29,64 @@ import (
 )
 
 func main() {
-	cores := flag.Int("cores", 4, "number of simulated cores")
-	zeroLat := flag.Bool("zero-latency", false, "assume instantaneous DVFS transitions (future hardware, paper sec. 6.1)")
-	refine := flag.Bool("refine", false, "apply profile-guided prefetch pruning to the compiler-generated access versions")
-	traceOut := flag.String("trace-out", "", "save the compiler-DAE trace as JSON to this file")
-	jobs := flag.Int("j", 0, "max concurrent trace collections (0 = GOMAXPROCS); the three versions trace in parallel")
-	cacheDir := flag.String("cache-dir", "", "persist collected traces in this directory and reuse them across runs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the exit paths are testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("daerun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cores := fs.Int("cores", 4, "number of simulated cores")
+	zeroLat := fs.Bool("zero-latency", false, "assume instantaneous DVFS transitions (future hardware, paper sec. 6.1)")
+	refine := fs.Bool("refine", false, "apply profile-guided prefetch pruning to the compiler-generated access versions")
+	traceOut := fs.String("trace-out", "", "save the compiler-DAE trace as JSON to this file")
+	jobs := fs.Int("j", 0, "max concurrent trace collections (0 = GOMAXPROCS); the three versions trace in parallel")
+	cacheDir := fs.String("cache-dir", "", "persist collected traces in this directory and reuse them across runs")
+	timeout := fs.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
+	runTimeout := fs.Duration("run-timeout", 0, "abort any single version's collection after this duration (0 = no limit)")
+	maxSteps := fs.Int64("max-steps", 0, "abort any simulated task after this many interpreter steps (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "daerun:", err)
+		return 1
+	}
 
 	name := "LU"
-	if flag.NArg() > 0 {
-		name = flag.Arg(0)
+	if fs.NArg() > 0 {
+		name = fs.Arg(0)
 	}
 	app, err := bench.AppByName(name)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := rt.DefaultTraceConfig()
 	cfg.Cores = *cores
-	fmt.Printf("tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", app.Name, cfg.Cores)
-	opts := eval.CollectOptions{Workers: *jobs}
+	cfg.MaxSteps = *maxSteps
+	fmt.Fprintf(stdout, "tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", app.Name, cfg.Cores)
+	opts := eval.CollectOptions{Workers: *jobs, RunTimeout: *runTimeout}
 	if *cacheDir != "" {
 		opts.Cache = eval.NewTraceCache(*cacheDir)
 	}
 	if *refine {
 		opts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
 	}
-	data, err := eval.CollectWith(app, cfg, opts)
+	data, err := eval.CollectWith(ctx, app, cfg, opts)
 	if err != nil {
-		fatal(err)
+		if s := eval.FormatFailures(err); s != "" {
+			fmt.Fprintf(stderr, "daerun: %s", s)
+			return 1
+		}
+		return fail(err)
 	}
 
 	m := rt.DefaultMachine()
@@ -58,9 +95,9 @@ func main() {
 	}
 
 	base := rt.Evaluate(data.CAE, m, rt.PolicyFixed)
-	fmt.Printf("\n%-28s %10s %10s %12s %8s %8s\n", "configuration", "time(ms)", "energy(J)", "EDP(mJ*s)", "T/Tbase", "EDP/base")
+	fmt.Fprintf(stdout, "\n%-28s %10s %10s %12s %8s %8s\n", "configuration", "time(ms)", "energy(J)", "EDP(mJ*s)", "T/Tbase", "EDP/base")
 	show := func(label string, met rt.Metrics) {
-		fmt.Printf("%-28s %10.4f %10.4f %12.6f %8.3f %8.3f\n",
+		fmt.Fprintf(stdout, "%-28s %10.4f %10.4f %12.6f %8.3f %8.3f\n",
 			label, met.Time*1e3, met.Energy, met.EDP*1e3, met.Time/base.Time, met.EDP/base.EDP)
 	}
 	show("CAE (max f.)", base)
@@ -71,26 +108,23 @@ func main() {
 	show("Compiler DAE (optimal f.)", rt.Evaluate(data.Auto, m, rt.PolicyOptimalEDP))
 
 	met := rt.Evaluate(data.Auto, m, rt.PolicyMinMax)
-	fmt.Printf("\ncompiler DAE: %d tasks, TA=%.2f%%, mean access phase %.2f us, %d DVFS switches\n",
+	fmt.Fprintf(stdout, "\ncompiler DAE: %d tasks, TA=%.2f%%, mean access phase %.2f us, %d DVFS switches\n",
 		met.Tasks, met.TAFraction()*100, met.MeanAccessSeconds()*1e6, met.Transitions)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := rt.SaveTrace(f, data.Auto); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("trace written to %s\n", *traceOut)
+		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
 	}
-	fmt.Print("\n", eval.FormatStrategies([]*eval.AppData{data}))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "daerun:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, "\n", eval.FormatStrategies([]*eval.AppData{data}))
+	return 0
 }

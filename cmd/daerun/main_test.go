@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"NoSuchApp"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "NoSuchApp") {
+		t.Errorf("stderr does not name the unknown benchmark: %q", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestRunStepBudgetFailureSummary: an absurdly small step budget fails the
+// collection with the per-run summary on stderr and exit status 1. This is
+// the CLI surface of the fault taxonomy: app, run kind, and fault class are
+// all named.
+func TestRunStepBudgetFailureSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-max-steps", "1", "LibQ"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	msg := errb.String()
+	for _, want := range []string{"run(s) failed", "LibQ", "step-budget"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure summary missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestRunSucceeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects a full benchmark")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"LibQ"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"configuration", "Compiler DAE", "LibQ"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -17,7 +17,11 @@
 //   - the DAE runtime that schedules access+execute task pairs across
 //     simulated cores under per-phase DVFS policies (internal/rt);
 //   - the seven evaluation benchmarks and the harness regenerating every
-//     table and figure of the paper (internal/bench, internal/eval).
+//     table and figure of the paper (internal/bench, internal/eval);
+//   - a typed fault taxonomy (internal/fault) with resource budgets and
+//     context cancellation, so every pipeline failure — parse error,
+//     interpreter trap, exhausted step budget, timeout, recovered panic —
+//     is classifiable with errors.Is.
 //
 // The typical flow:
 //
@@ -27,8 +31,11 @@
 package dae
 
 import (
+	"context"
+
 	daepass "dae/internal/dae"
 	"dae/internal/dvfs"
+	"dae/internal/fault"
 	"dae/internal/interp"
 	"dae/internal/ir"
 	"dae/internal/lower"
@@ -181,6 +188,70 @@ func IdealDVFS() DVFSTable { return dvfs.Ideal() }
 // against its core's simulated caches, access phase first where available.
 func Run(w *Workload, cfg TraceConfig) (*Trace, error) { return rt.Run(w, cfg) }
 
+// RunContext is Run under a context: cancellation or deadline expiry
+// interrupts in-flight interpretation (checked every few thousand simulated
+// operations) and returns a FaultError matching ErrTimeout. Combined with
+// TraceConfig.MaxSteps it makes tracing of untrusted or buggy tasks safe:
+// the call always returns.
+func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (*Trace, error) {
+	return rt.RunContext(ctx, w, cfg)
+}
+
 // Evaluate replays a trace under a frequency policy, returning time, energy
 // and EDP.
 func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics { return rt.Evaluate(tr, m, pol) }
+
+// Fault taxonomy. Every failure produced by the pipeline — front end,
+// access generation, verification, interpretation, budgets, caching — is a
+// *FaultError, and errors.Is against the sentinels below classifies it
+// without string matching.
+type (
+	// FaultError is the typed error carried by all pipeline failures. It
+	// names the fault kind and, for interpreter faults, the IR function and
+	// instruction that raised it.
+	FaultError = fault.Error
+	// TrapKind discriminates interpreter traps (div-by-zero, out-of-bounds,
+	// nil-deref).
+	TrapKind = fault.TrapKind
+)
+
+// Fault sentinels, matched with errors.Is.
+var (
+	// ErrParse matches TaskC front-end failures (lexer, parser, checker).
+	ErrParse = fault.ErrParse
+	// ErrLower matches lowering failures (AST to IR).
+	ErrLower = fault.ErrLower
+	// ErrVerify matches IR verification failures.
+	ErrVerify = fault.ErrVerify
+	// ErrTrap matches interpreter traps; TrapOf recovers the TrapKind.
+	ErrTrap = fault.ErrTrap
+	// ErrStepBudget matches interpreter step-budget exhaustion
+	// (TraceConfig.MaxSteps, interp.Env.SetMaxSteps).
+	ErrStepBudget = fault.ErrStepBudget
+	// ErrHeapBudget matches simulated-heap budget exhaustion.
+	ErrHeapBudget = fault.ErrHeapBudget
+	// ErrTimeout matches context cancellation and deadline expiry.
+	ErrTimeout = fault.ErrTimeout
+	// ErrCacheCorrupt matches damaged trace-cache entries (the collection
+	// pipeline degrades them to cache misses; the sentinel surfaces only
+	// from direct cache use).
+	ErrCacheCorrupt = fault.ErrCacheCorrupt
+	// ErrPanic matches panics recovered at a pipeline boundary.
+	ErrPanic = fault.ErrPanic
+)
+
+// Interpreter trap kinds.
+const (
+	TrapDivByZero   = fault.TrapDivByZero
+	TrapOutOfBounds = fault.TrapOutOfBounds
+	TrapNilDeref    = fault.TrapNilDeref
+)
+
+// FaultClass returns the short class name of an error ("trap",
+// "step-budget", "timeout", ...), "error" for non-fault errors, and "" for
+// nil — the label the CLIs print in per-run failure summaries.
+func FaultClass(err error) string { return fault.ClassOf(err) }
+
+// TrapOf returns the trap kind of an error matching ErrTrap, or
+// fault.TrapNone otherwise.
+func TrapOf(err error) TrapKind { return fault.TrapOf(err) }

@@ -7,14 +7,17 @@
 package eval
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"dae/internal/bench"
 	"dae/internal/dae"
+	"dae/internal/fault"
+	"dae/internal/fault/inject"
 	"dae/internal/rt"
 )
 
@@ -55,6 +58,13 @@ type CollectOptions struct {
 	Cache *TraceCache
 	// Refine, when non-nil, applies profile-guided pruning to the Auto run.
 	Refine *RefineSpec
+	// RunTimeout, when positive, bounds each individual (app, run)
+	// collection; a run that exceeds it fails with fault.ErrTimeout while
+	// the other runs complete normally.
+	RunTimeout time.Duration
+	// Inject, when non-nil, is the fault-injection hook consulted at every
+	// pipeline boundary (tests only; nil in production).
+	Inject inject.Hook
 }
 
 // runKind identifies one of the three independent traced runs of an app.
@@ -86,30 +96,61 @@ type runOutput struct {
 	Results map[string]*dae.Result
 }
 
+// guard runs one pipeline stage under panic-to-error recovery and, when an
+// injection hook is installed, lets the hook fail (or crash) the stage
+// first. A panic anywhere below fn — front end, optimizer, generator,
+// interpreter — degrades to a typed fault.ErrPanic error on this one run
+// instead of taking down the whole collection.
+func guard(site inject.Site, app string, kind runKind, hook inject.Hook, fn func() error) (err error) {
+	defer fault.Recover(&err, string(site))
+	if hook != nil {
+		if ierr := hook(site, app, kind.String()); ierr != nil {
+			return ierr
+		}
+	}
+	return fn()
+}
+
 // collectRun builds and traces one (app, kind) pair, verifying the computed
-// output against the Go reference.
-func collectRun(app bench.App, kind runKind, cfg rt.TraceConfig, refine *RefineSpec) (*runOutput, error) {
+// output against the Go reference. Each of the three pipeline boundaries —
+// compile, access generation, trace run — is individually guarded.
+func collectRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceConfig, opts CollectOptions) (*runOutput, error) {
+	if opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
+		defer cancel()
+	}
 	v := bench.Auto
 	if kind == runManual {
 		v = bench.Manual
 	}
-	b, err := app.Build(v)
-	if err != nil {
+	var b *bench.Built
+	if err := guard(inject.SiteCompile, app.Name, kind, opts.Inject, func() (err error) {
+		b, err = app.Build(v)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	if kind == runAuto && refine != nil {
-		if _, err := b.Refine(refine.Options, refine.PerTask); err != nil {
+	if kind == runAuto && opts.Refine != nil {
+		if err := guard(inject.SiteAccessGen, app.Name, kind, opts.Inject, func() error {
+			_, err := b.Refine(opts.Refine.Options, opts.Refine.PerTask)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 	}
 	c := cfg
 	c.Decoupled = kind != runCAE
-	tr, err := rt.Run(b.W, c)
-	if err != nil {
+	var tr *rt.Trace
+	if err := guard(inject.SiteTraceRun, app.Name, kind, opts.Inject, func() error {
+		var err error
+		tr, err = rt.RunContext(ctx, b.W, c)
+		if err != nil {
+			return err
+		}
+		return b.Verify()
+	}); err != nil {
 		return nil, err
-	}
-	if err := b.Verify(); err != nil {
-		return nil, fmt.Errorf("%s: %w", app.Name, err)
 	}
 	out := &runOutput{Trace: tr}
 	if kind == runCAE {
@@ -119,15 +160,20 @@ func collectRun(app bench.App, kind runKind, cfg rt.TraceConfig, refine *RefineS
 }
 
 // cachedRun resolves one run through the cache (when present).
-func cachedRun(app bench.App, kind runKind, cfg rt.TraceConfig, opts CollectOptions) (*runOutput, error) {
+func cachedRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceConfig, opts CollectOptions) (*runOutput, error) {
+	if err := ctx.Err(); err != nil {
+		// The collection was canceled before this run started; fail fast so
+		// the pool drains without touching the simulator.
+		return nil, fault.Wrap(fault.KindTimeout, err)
+	}
 	if opts.Cache == nil {
-		return collectRun(app, kind, cfg, opts.Refine)
+		return collectRun(ctx, app, kind, cfg, opts)
 	}
 	key := runKey(app.Name, kind, cfg, opts.Refine)
 	if out, ok := opts.Cache.get(key); ok {
 		return out, nil
 	}
-	out, err := collectRun(app, kind, cfg, opts.Refine)
+	out, err := collectRun(ctx, app, kind, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -169,17 +215,20 @@ func forEachJob(n, workers int, do func(int)) {
 }
 
 // collectApps fans the (app, run) pairs of apps out over the worker pool and
-// reassembles them in deterministic app order. All failures are reported,
-// joined in job order, so one broken benchmark does not mask the others.
-func collectApps(apps []bench.App, cfg rt.TraceConfig, opts CollectOptions) ([]*AppData, error) {
+// reassembles them in deterministic app order. All failures are reported as
+// *RunError values, joined in job order, so one broken benchmark does not
+// mask the others and summaries stay deterministic under any worker count.
+// Cancellation fails the not-yet-started runs fast (cachedRun's entry check)
+// and interrupts in-flight interpretation, so the pool always drains.
+func collectApps(ctx context.Context, apps []bench.App, cfg rt.TraceConfig, opts CollectOptions) ([]*AppData, error) {
 	n := len(apps) * int(numRunKinds)
 	outs := make([]*runOutput, n)
 	errs := make([]error, n)
 	forEachJob(n, opts.Workers, func(i int) {
 		app, kind := apps[i/int(numRunKinds)], runKind(i%int(numRunKinds))
-		out, err := cachedRun(app, kind, cfg, opts)
+		out, err := cachedRun(ctx, app, kind, cfg, opts)
 		if err != nil {
-			errs[i] = fmt.Errorf("%s (%s): %w", app.Name, kind, err)
+			errs[i] = &RunError{App: app.Name, Kind: kind.String(), Err: err}
 			return
 		}
 		outs[i] = out
@@ -204,12 +253,14 @@ func collectApps(apps []bench.App, cfg rt.TraceConfig, opts CollectOptions) ([]*
 // Collect builds and traces all three versions of one app, verifying each
 // run's computed output against the Go reference.
 func Collect(app bench.App, cfg rt.TraceConfig) (*AppData, error) {
-	return CollectWith(app, cfg, CollectOptions{})
+	return CollectWith(context.Background(), app, cfg, CollectOptions{})
 }
 
-// CollectWith is Collect with explicit pipeline options.
-func CollectWith(app bench.App, cfg rt.TraceConfig, opts CollectOptions) (*AppData, error) {
-	data, err := collectApps([]bench.App{app}, cfg, opts)
+// CollectWith is Collect with explicit pipeline options, under ctx:
+// cancellation interrupts in-flight interpretation and fails the remaining
+// runs fast with fault.KindTimeout errors.
+func CollectWith(ctx context.Context, app bench.App, cfg rt.TraceConfig, opts CollectOptions) (*AppData, error) {
+	data, err := collectApps(ctx, []bench.App{app}, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -220,18 +271,20 @@ func CollectWith(app bench.App, cfg rt.TraceConfig, opts CollectOptions) (*AppDa
 // (dae.RefineAccess) applied to the compiler-generated access versions
 // before the decoupled trace.
 func CollectRefined(app bench.App, cfg rt.TraceConfig, ropts dae.RefineOptions, perTask int) (*AppData, error) {
-	return CollectWith(app, cfg, CollectOptions{Refine: &RefineSpec{Options: ropts, PerTask: perTask}})
+	return CollectWith(context.Background(), app, cfg,
+		CollectOptions{Refine: &RefineSpec{Options: ropts, PerTask: perTask}})
 }
 
 // CollectAll gathers every benchmark, collecting traces in parallel across
 // runtime.GOMAXPROCS(0) workers.
 func CollectAll(cfg rt.TraceConfig) ([]*AppData, error) {
-	return CollectAllWith(cfg, CollectOptions{})
+	return CollectAllWith(context.Background(), cfg, CollectOptions{})
 }
 
-// CollectAllWith is CollectAll with explicit pipeline options.
-func CollectAllWith(cfg rt.TraceConfig, opts CollectOptions) ([]*AppData, error) {
-	return collectApps(bench.Apps(), cfg, opts)
+// CollectAllWith is CollectAll with explicit pipeline options, under ctx
+// (see CollectWith).
+func CollectAllWith(ctx context.Context, cfg rt.TraceConfig, opts CollectOptions) ([]*AppData, error) {
+	return collectApps(ctx, bench.Apps(), cfg, opts)
 }
 
 // GeoMean returns the geometric mean of xs.

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dae/internal/fault"
+)
+
+// RunError is the failure of one (app, run) collection. The collection API
+// returns an errors.Join of RunErrors in deterministic job order, so callers
+// can render a per-run summary instead of parsing the joined string.
+type RunError struct {
+	// App is the benchmark name.
+	App string
+	// Kind is the run kind: "coupled", "manual-dae", or "compiler-dae".
+	Kind string
+	// Err is the underlying failure (usually a *fault.Error).
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string { return fmt.Sprintf("%s (%s): %v", e.App, e.Kind, e.Err) }
+
+// Unwrap exposes the cause, so errors.Is sees through to the fault class.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Class returns the short fault class of the failure ("trap",
+// "step-budget", "panic", ... or "error" when unclassified).
+func (e *RunError) Class() string { return fault.ClassOf(e.Err) }
+
+// Failures flattens an error returned by the collection API into its
+// per-run failures, in the deterministic job order they were joined in. A
+// nil error yields nil; an error with no RunErrors in its tree yields nil
+// (callers fall back to the plain error string).
+func Failures(err error) []*RunError {
+	var out []*RunError
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		if re, ok := err.(*RunError); ok {
+			out = append(out, re)
+			return
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				walk(sub)
+			}
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		}
+	}
+	walk(err)
+	return out
+}
+
+// FormatFailures renders the per-run failure summary the CLIs print before
+// exiting nonzero: one line per failed run with app, run kind, and error
+// class, followed by the first line of each underlying error.
+func FormatFailures(err error) string {
+	fails := Failures(err)
+	if len(fails) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d run(s) failed:\n", len(fails))
+	fmt.Fprintf(&sb, "  %-10s %-14s %-14s %s\n", "app", "run", "class", "error")
+	for _, f := range fails {
+		msg := ""
+		if f.Err != nil {
+			msg = f.Err.Error()
+		}
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+		fmt.Fprintf(&sb, "  %-10s %-14s %-14s %s\n", f.App, f.Kind, f.Class(), msg)
+	}
+	return sb.String()
+}

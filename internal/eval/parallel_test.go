@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -54,11 +55,11 @@ func sameTraces(t *testing.T, a, b []*AppData) {
 // the per-run state (interp envs, heaps, caches) is not shared.
 func TestParallelCollectionDeterminism(t *testing.T) {
 	cfg := rt.DefaultTraceConfig()
-	seq, err := CollectAllWith(cfg, CollectOptions{Workers: 1})
+	seq, err := CollectAllWith(context.Background(), cfg, CollectOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := CollectAllWith(cfg, CollectOptions{Workers: 4})
+	par, err := CollectAllWith(context.Background(), cfg, CollectOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCollectAggregatesErrors(t *testing.T) {
 		{Name: "BrokenB", Build: func(bench.Variant) (*bench.Built, error) { return nil, errB }},
 	}
 	for _, workers := range []int{1, 4} {
-		_, err := collectApps(apps, rt.DefaultTraceConfig(), CollectOptions{Workers: workers})
+		_, err := collectApps(context.Background(), apps, rt.DefaultTraceConfig(), CollectOptions{Workers: workers})
 		if err == nil {
 			t.Fatalf("workers=%d: expected an error", workers)
 		}
@@ -101,11 +102,11 @@ func TestTraceCacheSharing(t *testing.T) {
 	cfg := rt.DefaultTraceConfig()
 	cache := NewTraceCache("")
 
-	plain, err := CollectWith(app, cfg, CollectOptions{Cache: cache})
+	plain, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := CollectWith(app, cfg, CollectOptions{Cache: cache})
+	again, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestTraceCacheSharing(t *testing.T) {
 		t.Error("repeated collection should be served from the cache (same trace pointers)")
 	}
 
-	refined, err := CollectWith(app, cfg, CollectOptions{
+	refined, err := CollectWith(context.Background(), app, cfg, CollectOptions{
 		Cache:  cache,
 		Refine: &RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4},
 	})

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"dae/internal/dae"
+	"dae/internal/fault"
 	"dae/internal/rt"
 )
 
@@ -52,8 +53,15 @@ func runKey(app string, kind runKind, cfg rt.TraceConfig, refine *RefineSpec) st
 }
 
 // cacheVersion is bumped whenever the trace semantics or the envelope layout
-// change, invalidating stale on-disk entries.
-const cacheVersion = 1
+// change, invalidating stale on-disk entries. v2 added the content checksum
+// and the MaxSteps field to the TraceConfig fingerprint.
+const cacheVersion = 2
+
+// saveAttempts is how many times a failed envelope write is retried; disk
+// writes are best-effort (the cache degrades to memory-only) but transient
+// errors — a full temp dir being cleaned, a racing rename — deserve one
+// more try before giving up.
+const saveAttempts = 2
 
 // resultJSON is the persistable summary of a dae.Result. The generated IR
 // functions are process-local and are not stored; loaded Results carry the
@@ -70,12 +78,32 @@ type resultJSON struct {
 	HasAccess   bool   `json:"has_access"`
 }
 
-// envelope is the on-disk form of one cache entry.
+// envelope is the on-disk form of one cache entry. Sum is the hex SHA-256
+// of the trace payload plus the serialized results, so bit rot or a torn
+// write anywhere in the content is detected on load and degraded to a cache
+// miss rather than silently feeding a damaged trace into the evaluation.
 type envelope struct {
 	Version int                   `json:"version"`
 	Key     string                `json:"key"`
+	Sum     string                `json:"sum"`
 	Trace   json.RawMessage       `json:"trace"`
 	Results map[string]resultJSON `json:"results,omitempty"`
+}
+
+// contentSum computes the envelope's content checksum over the trace bytes
+// and the (deterministically marshaled) results map.
+func contentSum(trace json.RawMessage, results map[string]resultJSON) (string, error) {
+	h := sha256.New()
+	h.Write(trace)
+	if results != nil {
+		// encoding/json sorts map keys, so this is deterministic.
+		rb, err := json.Marshal(results)
+		if err != nil {
+			return "", err
+		}
+		h.Write(rb)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // get returns the entry for key, consulting memory first and then disk.
@@ -91,8 +119,8 @@ func (tc *TraceCache) get(key string) (*runOutput, bool) {
 	}
 	out, err := tc.load(key)
 	if err != nil || out == nil {
-		// Unreadable or stale entries are treated as misses; the fresh
-		// collection overwrites them.
+		// Unreadable, stale, or corrupt (fault.ErrCacheCorrupt) entries are
+		// treated as misses; the fresh collection overwrites them.
 		return nil, false
 	}
 	tc.mu.Lock()
@@ -102,7 +130,8 @@ func (tc *TraceCache) get(key string) (*runOutput, bool) {
 }
 
 // put stores the entry in memory and, when persistence is enabled, on disk.
-// Disk write failures are non-fatal: the cache degrades to memory-only.
+// Disk write failures are retried once and then non-fatal: the cache
+// degrades to memory-only.
 func (tc *TraceCache) put(key string, out *runOutput) {
 	tc.mu.Lock()
 	tc.mem[key] = out
@@ -110,7 +139,11 @@ func (tc *TraceCache) put(key string, out *runOutput) {
 	if tc.dir == "" {
 		return
 	}
-	_ = tc.save(key, out)
+	for attempt := 0; attempt < saveAttempts; attempt++ {
+		if err := tc.save(key, out); err == nil {
+			return
+		}
+	}
 }
 
 // path maps a key to its cache file.
@@ -126,10 +159,19 @@ func (tc *TraceCache) load(key string) (*runOutput, error) {
 	}
 	var env envelope
 	if err := json.Unmarshal(b, &env); err != nil {
-		return nil, err
+		// A torn write leaves unparseable JSON: classify as corruption.
+		return nil, fault.Wrap(fault.KindCacheCorrupt, err)
 	}
 	if env.Version != cacheVersion || env.Key != key {
 		return nil, nil
+	}
+	sum, err := contentSum(env.Trace, env.Results)
+	if err != nil {
+		return nil, err
+	}
+	if sum != env.Sum {
+		return nil, fault.New(fault.KindCacheCorrupt,
+			"cache entry %s: checksum mismatch (have %.12s, want %.12s)", tc.path(key), env.Sum, sum)
 	}
 	tr, err := rt.DecodeTrace(env.Trace)
 	if err != nil {
@@ -175,6 +217,22 @@ func (tc *TraceCache) save(key string, out *runOutput) error {
 				HasAccess:   r.Access != nil,
 			}
 		}
+	}
+	// Marshaling the envelope re-compacts the embedded raw trace (an
+	// encoder's trailing newline, whitespace, HTML escaping), so the bytes a
+	// later load sees are not raw. Round-trip once and checksum the stored
+	// form — the form load validates against.
+	pre, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	var stored envelope
+	if err := json.Unmarshal(pre, &stored); err != nil {
+		return err
+	}
+	env.Sum, err = contentSum(stored.Trace, stored.Results)
+	if err != nil {
+		return err
 	}
 	b, err := json.Marshal(env)
 	if err != nil {

@@ -1,9 +1,17 @@
 package eval
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"dae/internal/fault"
+	"dae/internal/fault/inject"
 
 	"dae/internal/bench"
 	"dae/internal/rt"
@@ -20,7 +28,7 @@ func TestTraceCacheDiskRoundtrip(t *testing.T) {
 	cfg := rt.DefaultTraceConfig()
 	dir := t.TempDir()
 
-	first, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	first, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +41,7 @@ func TestTraceCacheDiskRoundtrip(t *testing.T) {
 	}
 
 	// A fresh cache over the same directory simulates a new process.
-	second, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	second, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +78,33 @@ func TestTraceCacheDiskRoundtrip(t *testing.T) {
 	}
 }
 
+// TestTraceCacheFreshEntryLoads: every entry a collection just wrote must
+// load back with a valid checksum. Guards against checksumming a different
+// byte form than the one stored (the envelope marshal re-compacts the
+// embedded raw trace) — that bug silently degraded every warm run to a full
+// re-simulation, which no output-equality test can catch.
+func TestTraceCacheFreshEntryLoads(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	dir := t.TempDir()
+	if _, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTraceCache(dir) // fresh instance: memory empty, disk only
+	for _, kind := range []runKind{runCAE, runManual, runAuto} {
+		key := runKey("LibQ", kind, cfg, nil)
+		out, err := tc.load(key)
+		if err != nil {
+			t.Errorf("load(%s) failed on a just-written entry: %v", kind, err)
+		} else if out == nil {
+			t.Errorf("load(%s) missed a just-written entry", kind)
+		}
+	}
+}
+
 // TestTraceCacheCorruptEntry: unreadable cache files degrade to a miss and
 // are overwritten, never an error.
 func TestTraceCacheCorruptEntry(t *testing.T) {
@@ -79,7 +114,7 @@ func TestTraceCacheCorruptEntry(t *testing.T) {
 	}
 	cfg := rt.DefaultTraceConfig()
 	dir := t.TempDir()
-	if _, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
+	if _, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -91,7 +126,7 @@ func TestTraceCacheCorruptEntry(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := CollectWith(app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
+	if _, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)}); err != nil {
 		t.Fatalf("corrupt cache entries must be treated as misses, got: %v", err)
 	}
 }
@@ -134,5 +169,97 @@ func TestRunKeyDistinguishesConfigs(t *testing.T) {
 	}
 	if runKey("LU", runManual, base, r) != runKey("LU", runManual, base, nil) {
 		t.Error("refine options must not key the manual run")
+	}
+}
+
+// TestTraceCacheChecksumMismatch: an envelope whose content no longer
+// matches its recorded checksum — valid JSON, silently rotted payload — is
+// classified fault.ErrCacheCorrupt by load and degraded to a cache miss;
+// the recollection reproduces the original traces exactly.
+func TestTraceCacheChecksumMismatch(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	dir := t.TempDir()
+	first, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace each entry's checksum with a wrong-but-well-formed value, so
+	// the JSON still parses and only the content validation can catch it.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env map[string]any
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatal(err)
+		}
+		env["sum"] = strings.Repeat("ab", 32)
+		keys = append(keys, env["key"].(string))
+		nb, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, nb, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// load must classify the damage as cache corruption...
+	tc := NewTraceCache(dir)
+	for _, key := range keys {
+		if _, err := tc.load(key); !errors.Is(err, fault.ErrCacheCorrupt) {
+			t.Errorf("load(%q) = %v, want ErrCacheCorrupt", key, err)
+		}
+	}
+
+	// ...and the collection path must treat it as a miss and re-simulate to
+	// identical traces.
+	second, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	if err != nil {
+		t.Fatalf("checksum mismatch must degrade to a miss, got: %v", err)
+	}
+	if !reflect.DeepEqual(first.Auto, second.Auto) || !reflect.DeepEqual(first.CAE, second.CAE) {
+		t.Error("recollected traces differ from the originals")
+	}
+}
+
+// TestTraceCacheTruncatedEntry: a torn write (file cut mid-envelope) is
+// also a clean miss, via the injection harness's corruption helper.
+func TestTraceCacheTruncatedEntry(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	dir := t.TempDir()
+	first, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := inject.CorruptCacheDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("corrupted %d entries, want 3", n)
+	}
+	second, err := CollectWith(context.Background(), app, cfg, CollectOptions{Cache: NewTraceCache(dir)})
+	if err != nil {
+		t.Fatalf("truncated cache entries must be treated as misses, got: %v", err)
+	}
+	if !reflect.DeepEqual(first.Auto, second.Auto) {
+		t.Error("recollected traces differ from the originals")
 	}
 }

@@ -1,0 +1,256 @@
+// Package fault defines the typed error taxonomy of the compile/simulate
+// pipeline. Every failure mode a pipeline run can hit — front-end rejection,
+// invalid IR, an interpreter trap, an exhausted resource budget, a timeout,
+// or a corrupted cache entry — is classified by a Kind, and faults raised
+// inside the interpreter carry the IR function and instruction position they
+// occurred at. Faults match the package's sentinel errors under errors.Is,
+// so callers can branch on the class without string inspection:
+//
+//	if errors.Is(err, fault.ErrStepBudget) { ... }
+//
+// The package also provides the panic-to-error recovery used at the three
+// pipeline boundaries (compile, access generation, trace run): a crash in
+// one run of a collection degrades to an *Error of kind KindPanic instead of
+// taking down the process.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Kind classifies a fault by the pipeline stage or resource that failed.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindUnknown is an unclassified failure.
+	KindUnknown Kind = iota
+	// KindParse is a front-end (lexer, parser, type checker) rejection.
+	KindParse
+	// KindLower is a failure translating a checked file into IR.
+	KindLower
+	// KindVerify is an IR verifier rejection.
+	KindVerify
+	// KindTrap is an interpreter execution fault (see TrapKind).
+	KindTrap
+	// KindStepBudget is an exhausted interpreter step (fuel) budget.
+	KindStepBudget
+	// KindHeapBudget is an exhausted simulated-heap byte budget.
+	KindHeapBudget
+	// KindTimeout is a context cancellation or deadline expiry.
+	KindTimeout
+	// KindCacheCorrupt is a trace-cache entry that failed validation.
+	KindCacheCorrupt
+	// KindPanic is a recovered panic from a pipeline stage.
+	KindPanic
+)
+
+// String returns the short class name used in failure summaries.
+func (k Kind) String() string {
+	switch k {
+	case KindParse:
+		return "parse"
+	case KindLower:
+		return "lower"
+	case KindVerify:
+		return "verify"
+	case KindTrap:
+		return "trap"
+	case KindStepBudget:
+		return "step-budget"
+	case KindHeapBudget:
+		return "heap-budget"
+	case KindTimeout:
+		return "timeout"
+	case KindCacheCorrupt:
+		return "cache-corrupt"
+	case KindPanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+// TrapKind identifies the execution fault of a KindTrap error.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	// TrapNone marks a non-trap fault.
+	TrapNone TrapKind = iota
+	// TrapDivByZero is an integer division or remainder by zero.
+	TrapDivByZero
+	// TrapOutOfBounds is a load or store outside its segment.
+	TrapOutOfBounds
+	// TrapNilDeref is a load or store through a nil segment pointer.
+	TrapNilDeref
+)
+
+// String returns a readable trap name.
+func (t TrapKind) String() string {
+	switch t {
+	case TrapDivByZero:
+		return "div-by-zero"
+	case TrapOutOfBounds:
+		return "out-of-bounds"
+	case TrapNilDeref:
+		return "nil-deref"
+	}
+	return "none"
+}
+
+// Sentinels: one per Kind, matched by (*Error).Is. They carry no context
+// themselves; construct an *Error (or wrap a sentinel) to report a fault.
+var (
+	ErrParse        = errors.New("fault: parse error")
+	ErrLower        = errors.New("fault: lowering error")
+	ErrVerify       = errors.New("fault: IR verification error")
+	ErrTrap         = errors.New("fault: execution trap")
+	ErrStepBudget   = errors.New("fault: step budget exhausted")
+	ErrHeapBudget   = errors.New("fault: heap budget exhausted")
+	ErrTimeout      = errors.New("fault: timed out")
+	ErrCacheCorrupt = errors.New("fault: corrupt cache entry")
+	ErrPanic        = errors.New("fault: recovered panic")
+)
+
+func sentinel(k Kind) error {
+	switch k {
+	case KindParse:
+		return ErrParse
+	case KindLower:
+		return ErrLower
+	case KindVerify:
+		return ErrVerify
+	case KindTrap:
+		return ErrTrap
+	case KindStepBudget:
+		return ErrStepBudget
+	case KindHeapBudget:
+		return ErrHeapBudget
+	case KindTimeout:
+		return ErrTimeout
+	case KindCacheCorrupt:
+		return ErrCacheCorrupt
+	case KindPanic:
+		return ErrPanic
+	}
+	return nil
+}
+
+// Error is one classified pipeline fault.
+type Error struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Trap refines KindTrap faults.
+	Trap TrapKind
+	// Func is the IR function (without @) the fault occurred in, when known.
+	Func string
+	// Pos locates the faulting IR instruction (block and instruction text),
+	// when known.
+	Pos string
+	// Msg is the human-readable description.
+	Msg string
+	// Err is the wrapped cause, if any.
+	Err error
+	// Stack is the panic stack for KindPanic faults.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := "fault[" + e.Kind.String()
+	if e.Kind == KindTrap && e.Trap != TrapNone {
+		s += "/" + e.Trap.String()
+	}
+	s += "]"
+	if e.Func != "" {
+		s += " @" + e.Func
+	}
+	if e.Pos != "" {
+		s += " at " + e.Pos
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the cause for errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the sentinel of e.Kind, so errors.Is(err, fault.ErrTrap) holds
+// for every trap regardless of its message or position.
+func (e *Error) Is(target error) bool { return target == sentinel(e.Kind) }
+
+// New returns a fault of kind k with a formatted message.
+func New(k Kind, format string, args ...any) *Error {
+	return &Error{Kind: k, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies an existing error without losing it: the result matches
+// both sentinel(k) and everything err already matched. A nil err yields nil.
+func Wrap(k Kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Kind: k, Err: err}
+}
+
+// NewTrap returns an execution-trap fault.
+func NewTrap(t TrapKind, fn, pos, format string, args ...any) *Error {
+	return &Error{Kind: KindTrap, Trap: t, Func: fn, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ClassOf returns the short class name of err: the Kind of the outermost
+// *Error in its chain, or "error" for unclassified errors and "" for nil.
+func ClassOf(err error) string {
+	if err == nil {
+		return ""
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Kind.String()
+	}
+	return "error"
+}
+
+// TrapOf returns the TrapKind of err (TrapNone when err carries no trap).
+func TrapOf(err error) TrapKind {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Trap
+	}
+	return TrapNone
+}
+
+// Recover converts an in-flight panic into a KindPanic fault stored in *errp,
+// preserving an already-typed *Error panic value (the interpreter's heap
+// budget check raises one through APIs that cannot return an error). Use at a
+// pipeline boundary:
+//
+//	func stage() (err error) {
+//		defer fault.Recover(&err, "compile")
+//		...
+//	}
+//
+// The boundary name appears in the fault message; an existing error in *errp
+// is only replaced when a panic actually occurred.
+func Recover(errp *error, boundary string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if fe, ok := r.(*Error); ok {
+		*errp = fe
+		return
+	}
+	*errp = &Error{
+		Kind:  KindPanic,
+		Msg:   fmt.Sprintf("%s: panic: %v", boundary, r),
+		Stack: debug.Stack(),
+	}
+}

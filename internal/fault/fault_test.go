@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want error
+	}{
+		{KindParse, ErrParse},
+		{KindLower, ErrLower},
+		{KindVerify, ErrVerify},
+		{KindTrap, ErrTrap},
+		{KindStepBudget, ErrStepBudget},
+		{KindHeapBudget, ErrHeapBudget},
+		{KindTimeout, ErrTimeout},
+		{KindCacheCorrupt, ErrCacheCorrupt},
+		{KindPanic, ErrPanic},
+	}
+	for _, c := range cases {
+		err := New(c.kind, "boom")
+		if !errors.Is(err, c.want) {
+			t.Errorf("New(%v) does not match its sentinel", c.kind)
+		}
+		for _, other := range cases {
+			if other.want != c.want && errors.Is(err, other.want) {
+				t.Errorf("New(%v) wrongly matches %v", c.kind, other.kind)
+			}
+		}
+	}
+}
+
+func TestWrapPreservesCause(t *testing.T) {
+	cause := errors.New("disk on fire")
+	err := Wrap(KindCacheCorrupt, fmt.Errorf("entry k: %w", cause))
+	if !errors.Is(err, ErrCacheCorrupt) {
+		t.Error("wrapped error does not match ErrCacheCorrupt")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("wrapped error lost its cause")
+	}
+	if Wrap(KindTrap, nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+}
+
+func TestTrapCarriesPosition(t *testing.T) {
+	err := NewTrap(TrapOutOfBounds, "kernel", "body: %t3 = load f64 %t2", "seg=A off=999")
+	if !errors.Is(err, ErrTrap) {
+		t.Error("trap does not match ErrTrap")
+	}
+	if TrapOf(err) != TrapOutOfBounds {
+		t.Errorf("TrapOf = %v, want out-of-bounds", TrapOf(err))
+	}
+	msg := err.Error()
+	for _, want := range []string{"out-of-bounds", "@kernel", "%t3", "seg=A"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("trap message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if got := ClassOf(nil); got != "" {
+		t.Errorf("ClassOf(nil) = %q", got)
+	}
+	if got := ClassOf(errors.New("plain")); got != "error" {
+		t.Errorf("ClassOf(plain) = %q", got)
+	}
+	if got := ClassOf(fmt.Errorf("ctx: %w", New(KindStepBudget, "x"))); got != "step-budget" {
+		t.Errorf("ClassOf(step budget) = %q", got)
+	}
+}
+
+func TestRecoverConvertsPanics(t *testing.T) {
+	run := func(f func()) (err error) {
+		defer Recover(&err, "trace-run")
+		f()
+		return nil
+	}
+	if err := run(func() {}); err != nil {
+		t.Fatalf("no panic, got %v", err)
+	}
+	err := run(func() { panic("index out of range") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || len(fe.Stack) == 0 {
+		t.Error("recovered panic lost its stack")
+	}
+	if !strings.Contains(err.Error(), "trace-run") {
+		t.Errorf("boundary name missing from %q", err)
+	}
+
+	// A typed fault panic (heap budget) passes through unchanged.
+	typed := New(KindHeapBudget, "over cap")
+	err = run(func() { panic(typed) })
+	if !errors.Is(err, ErrHeapBudget) {
+		t.Fatalf("typed panic reclassified: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package inject is the deterministic fault-injection harness for the
+// compile/simulate pipeline. Tests install an Injector's Hook into
+// eval.CollectOptions; the pipeline consults the hook at each boundary
+// (compile, access generation, trace run) of every (app, run) pair, and
+// matching rules fire a typed fault — an error, a panic, a trap, an
+// exhausted budget — exactly where a real one would surface. The harness
+// also corrupts on-disk trace-cache entries to exercise the checksum path.
+//
+// Rules are matched in order and fire deterministically: the same rule set
+// over the same collection produces the same faults regardless of worker
+// count, because matching keys only on (site, app, kind), never on timing.
+package inject
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dae/internal/fault"
+)
+
+// Site identifies a pipeline boundary where faults can be injected.
+type Site string
+
+// Injection sites, in pipeline order.
+const (
+	// SiteCompile guards benchmark construction: TaskC parse, lowering,
+	// optimization, access-version generation, and heap allocation.
+	SiteCompile Site = "compile"
+	// SiteAccessGen guards profile-guided access refinement.
+	SiteAccessGen Site = "access-gen"
+	// SiteTraceRun guards workload tracing and output verification.
+	SiteTraceRun Site = "trace-run"
+)
+
+// Hook is consulted by the pipeline at each site before the real stage
+// runs. Returning a non-nil error fails the stage with that error; a hook
+// may instead panic to simulate a stage crash — the pipeline boundary
+// recovery converts it to a fault.ErrPanic error. A nil Hook disables
+// injection entirely.
+type Hook func(site Site, app, kind string) error
+
+// Mode selects the shape of an injected fault.
+type Mode uint8
+
+// Injection modes.
+const (
+	// ModeError fails the stage with a plain (unclassified) error.
+	ModeError Mode = iota
+	// ModePanic crashes the stage; the boundary recovers it as ErrPanic.
+	ModePanic
+	// ModeTrap fails the stage with a fault.ErrTrap of the rule's TrapKind.
+	ModeTrap
+	// ModeStepBudget fails the stage with fault.ErrStepBudget.
+	ModeStepBudget
+	// ModeHeapBudget fails the stage with fault.ErrHeapBudget.
+	ModeHeapBudget
+	// ModeTimeout fails the stage with fault.ErrTimeout.
+	ModeTimeout
+)
+
+// String returns a readable mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeTrap:
+		return "trap"
+	case ModeStepBudget:
+		return "step-budget"
+	case ModeHeapBudget:
+		return "heap-budget"
+	case ModeTimeout:
+		return "timeout"
+	}
+	return "error"
+}
+
+// Rule fires a fault at every pipeline stage it matches. Empty selector
+// fields match anything.
+type Rule struct {
+	// Site selects the boundary ("" = any).
+	Site Site
+	// App selects the benchmark by name ("" = any).
+	App string
+	// Kind selects the run kind: "coupled", "manual-dae", or
+	// "compiler-dae" ("" = any).
+	Kind string
+	// Mode is the fault shape.
+	Mode Mode
+	// Trap refines ModeTrap.
+	Trap fault.TrapKind
+}
+
+func (r Rule) matches(site Site, app, kind string) bool {
+	return (r.Site == "" || r.Site == site) &&
+		(r.App == "" || r.App == app) &&
+		(r.Kind == "" || r.Kind == kind)
+}
+
+// Injector is a race-safe rule set that records every fault it fires.
+type Injector struct {
+	rules []Rule
+	mu    sync.Mutex
+	fired []string
+}
+
+// New returns an injector over rules.
+func New(rules ...Rule) *Injector { return &Injector{rules: rules} }
+
+// Hook returns the pipeline hook of the injector.
+func (in *Injector) Hook() Hook {
+	return func(site Site, app, kind string) error {
+		for _, r := range in.rules {
+			if !r.matches(site, app, kind) {
+				continue
+			}
+			in.record(site, app, kind, r.Mode)
+			switch r.Mode {
+			case ModePanic:
+				panic(fmt.Sprintf("inject: %s/%s/%s", site, app, kind))
+			case ModeTrap:
+				return fault.NewTrap(r.Trap, app, "",
+					"inject: trap at %s", site)
+			case ModeStepBudget:
+				return fault.New(fault.KindStepBudget, "inject: budget at %s/%s", site, app)
+			case ModeHeapBudget:
+				return fault.New(fault.KindHeapBudget, "inject: budget at %s/%s", site, app)
+			case ModeTimeout:
+				return fault.New(fault.KindTimeout, "inject: timeout at %s/%s", site, app)
+			default:
+				return fmt.Errorf("inject: error at %s/%s/%s", site, app, kind)
+			}
+		}
+		return nil
+	}
+}
+
+func (in *Injector) record(site Site, app, kind string, mode Mode) {
+	in.mu.Lock()
+	in.fired = append(in.fired, fmt.Sprintf("%s/%s/%s:%s", site, app, kind, mode))
+	in.mu.Unlock()
+}
+
+// Fired returns the injected faults in sorted (deterministic) order; the
+// raw firing order depends on worker scheduling and is deliberately not
+// exposed.
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	out := append([]string(nil), in.fired...)
+	in.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// CorruptCacheDir damages every trace-cache entry under dir: with truncate
+// set, files are cut to half length (a torn write); otherwise one content
+// byte is flipped (bit rot). It returns the number of damaged files. The
+// cache's content checksum must turn either form into a clean miss.
+func CorruptCacheDir(dir string, truncate bool) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return n, err
+		}
+		if len(b) == 0 {
+			continue
+		}
+		if truncate {
+			b = b[:len(b)/2]
+		} else {
+			// Flip a byte in the middle of the payload, away from the JSON
+			// envelope's framing so the file stays superficially plausible.
+			b[len(b)/2] ^= 0x5a
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

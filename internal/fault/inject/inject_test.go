@@ -1,0 +1,142 @@
+package inject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dae/internal/fault"
+)
+
+func TestRuleMatching(t *testing.T) {
+	in := New(
+		Rule{Site: SiteCompile, App: "LU", Mode: ModeError},
+		Rule{Site: SiteTraceRun, Kind: "coupled", Mode: ModeError},
+	)
+	hook := in.Hook()
+	cases := []struct {
+		site      Site
+		app, kind string
+		want      bool
+	}{
+		{SiteCompile, "LU", "coupled", true},       // rule 0: any kind
+		{SiteCompile, "LU", "compiler-dae", true},  // rule 0
+		{SiteCompile, "FFT", "coupled", false},     // wrong app, wrong site for rule 1
+		{SiteTraceRun, "FFT", "coupled", true},     // rule 1: any app
+		{SiteTraceRun, "FFT", "manual-dae", false}, // wrong kind
+		{SiteAccessGen, "LU", "coupled", false},    // no rule for this site
+	}
+	for _, c := range cases {
+		err := hook(c.site, c.app, c.kind)
+		if got := err != nil; got != c.want {
+			t.Errorf("hook(%s, %s, %s) fired=%v, want %v", c.site, c.app, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestModesProduceTypedFaults(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want error
+	}{
+		{ModeStepBudget, fault.ErrStepBudget},
+		{ModeHeapBudget, fault.ErrHeapBudget},
+		{ModeTimeout, fault.ErrTimeout},
+		{ModeTrap, fault.ErrTrap},
+	}
+	for _, c := range cases {
+		hook := New(Rule{Mode: c.mode}).Hook()
+		err := hook(SiteTraceRun, "LU", "coupled")
+		if !errors.Is(err, c.want) {
+			t.Errorf("mode %v: %v does not match its fault sentinel", c.mode, err)
+		}
+	}
+
+	hook := New(Rule{Mode: ModeTrap, Trap: fault.TrapOutOfBounds}).Hook()
+	if tr := fault.TrapOf(hook(SiteTraceRun, "LU", "coupled")); tr != fault.TrapOutOfBounds {
+		t.Errorf("trap kind = %v, want out-of-bounds", tr)
+	}
+}
+
+func TestModePanicPanics(t *testing.T) {
+	hook := New(Rule{Mode: ModePanic}).Hook()
+	defer func() {
+		if recover() == nil {
+			t.Error("ModePanic hook did not panic")
+		}
+	}()
+	hook(SiteCompile, "LU", "coupled")
+}
+
+func TestFiredIsSortedAndDeduplicatedLog(t *testing.T) {
+	in := New(Rule{Mode: ModeError})
+	hook := in.Hook()
+	// Fire out of order, as a racy worker pool would.
+	hook(SiteTraceRun, "LU", "coupled")
+	hook(SiteCompile, "FFT", "manual-dae")
+	hook(SiteCompile, "CG", "coupled")
+	got := in.Fired()
+	want := append([]string(nil), got...)
+	if !sortedStrings(want) {
+		t.Errorf("Fired() not sorted: %v", got)
+	}
+	if len(got) != 3 {
+		t.Errorf("Fired() has %d entries, want 3: %v", len(got), got)
+	}
+	// A second call returns the same snapshot.
+	if again := in.Fired(); !reflect.DeepEqual(again, got) {
+		t.Errorf("Fired() not stable: %v vs %v", again, got)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCorruptCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.json", "b.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(`{"version":2,"key":"k","sum":"s"}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := CorruptCacheDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("corrupted %d files, want 2", n)
+	}
+	for _, name := range []string{"a.json", "b.json"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) >= len(`{"version":2,"key":"k","sum":"s"}`) {
+			t.Errorf("%s not truncated (%d bytes)", name, len(b))
+		}
+	}
+	// Bit-flip mode keeps the length but changes content.
+	orig := []byte(`{"version":2,"key":"k","sum":"s"}`)
+	p := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(p, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CorruptCacheDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(orig) || reflect.DeepEqual(b, orig) {
+		t.Errorf("bit-flip mode: len %d→%d, equal=%v", len(orig), len(b), reflect.DeepEqual(b, orig))
+	}
+}

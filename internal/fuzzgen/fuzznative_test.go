@@ -1,0 +1,78 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	daepass "dae/internal/dae"
+	"dae/internal/fault"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/passes"
+)
+
+// FuzzPipeline drives generator-valid TaskC programs through the full
+// compile/simulate pipeline — lower, optimize, verify, DAE access
+// generation, interpretation under a step budget — with panic recovery at
+// the compile boundary. The pipeline must never panic, never hang (the
+// budget backstops the generator's termination argument), and the optimizer
+// must preserve bit-exact semantics on every seed the fuzzer finds.
+func FuzzPipeline(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := New(seed).Task()
+
+		compile := func(optimize bool) (prog *interp.Program, irf *ir.Func, err error) {
+			defer fault.Recover(&err, "compile")
+			mod, err := lower.Compile(src, "fuzz")
+			if err != nil {
+				return nil, nil, err
+			}
+			irf = mod.Func("fuzz")
+			if optimize {
+				if _, err := passes.Optimize(irf); err != nil {
+					return nil, nil, err
+				}
+				if err := irf.Verify(); err != nil {
+					return nil, nil, err
+				}
+				opts := daepass.Defaults()
+				opts.ParamHints = map[string]int64{"n": N, "p": 13, "q": -7}
+				if _, err := daepass.GenerateModule(mod, opts); err != nil {
+					return nil, nil, err
+				}
+			}
+			return interp.NewProgram(mod), irf, nil
+		}
+
+		run := func(optimize bool) (*state, error) {
+			prog, irf, err := compile(optimize)
+			if err != nil {
+				return nil, err
+			}
+			st := newState(seed)
+			env := interp.NewEnv(prog, nil)
+			// Generated programs terminate by construction; the budget turns
+			// a generator bug into a typed error instead of a fuzzer hang.
+			env.SetMaxSteps(4 << 20)
+			if _, err := env.Call(irf, st.args()...); err != nil {
+				return nil, err
+			}
+			return st, nil
+		}
+
+		ref, err := run(false)
+		if err != nil {
+			t.Fatalf("reference run: %v\nsource:\n%s", err, src)
+		}
+		opt, err := run(true)
+		if err != nil {
+			t.Fatalf("optimized+DAE run: %v\nsource:\n%s", err, src)
+		}
+		if arr, ok := ref.equal(opt); !ok {
+			t.Fatalf("optimization changed array %s\nsource:\n%s", arr, src)
+		}
+	})
+}

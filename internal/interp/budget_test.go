@@ -1,0 +1,220 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dae/internal/fault"
+)
+
+// TestStepBudgetStopsInfiniteLoop is the acceptance scenario: a TaskC task
+// that never terminates must return fault.ErrStepBudget — naming the
+// function and the instruction it stopped at — instead of hanging.
+func TestStepBudgetStopsInfiniteLoop(t *testing.T) {
+	m := compileSrc(t, `
+task spin(int n) {
+	int i = 0;
+	while (i < n || 1 == 1) {
+		i = i + 1;
+	}
+}`)
+	env := NewEnv(NewProgram(m), nil)
+	env.SetMaxSteps(10_000)
+	done := make(chan error, 1)
+	go func() {
+		_, err := env.Call(m.Func("spin"), Int(4))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, fault.ErrStepBudget) {
+			t.Fatalf("want ErrStepBudget, got %v", err)
+		}
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("not a *fault.Error: %v", err)
+		}
+		if fe.Func != "spin" {
+			t.Errorf("fault names function %q, want spin", fe.Func)
+		}
+		if fe.Pos == "" {
+			t.Error("fault carries no instruction position")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("interpreter hung despite step budget")
+	}
+}
+
+// TestStepBudgetCoversNestedCalls: fuel is shared across the whole call
+// tree, so a helper cannot reset the caller's budget.
+func TestStepBudgetCoversNestedCalls(t *testing.T) {
+	m := compileSrc(t, `
+int work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s = s + i;
+	}
+	return s;
+}
+int outer(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s = s + work(n);
+	}
+	return s;
+}`)
+	env := NewEnv(NewProgram(m), nil)
+	env.SetMaxSteps(500)
+	if _, err := env.Call(m.Func("outer"), Int(100)); !errors.Is(err, fault.ErrStepBudget) {
+		t.Fatalf("want ErrStepBudget, got %v", err)
+	}
+	// A generous budget lets the same call finish, and the env is reusable.
+	env.SetMaxSteps(10_000_000)
+	out, err := env.Call(m.Func("outer"), Int(10))
+	if err != nil {
+		t.Fatalf("unexpected error with large budget: %v", err)
+	}
+	if got := out.Int64(); got != 450 {
+		t.Errorf("outer(10) = %d, want 450", got)
+	}
+}
+
+// TestStepBudgetDoesNotChangeResults: the budget machinery must be inert for
+// runs that fit it.
+func TestStepBudgetDoesNotChangeResults(t *testing.T) {
+	m := compileSrc(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 1; i <= n; i++) {
+		s = s + i * i;
+	}
+	return s;
+}`)
+	plain := NewEnv(NewProgram(m), nil)
+	want, err := plain.Call(m.Func("f"), Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := NewEnv(NewProgram(m), nil)
+	budgeted.SetMaxSteps(1 << 30)
+	budgeted.SetContext(context.Background())
+	got, err := budgeted.Call(m.Func("f"), Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Int64() != got.Int64() {
+		t.Errorf("budgeted run computed %d, want %d", got.Int64(), want.Int64())
+	}
+	if plain.Counts() != budgeted.Counts() {
+		t.Errorf("instruction counts differ: %+v vs %+v", plain.Counts(), budgeted.Counts())
+	}
+}
+
+// TestContextCancelsRun: a context deadline interrupts an in-flight call
+// with a fault.ErrTimeout that wraps the context error.
+func TestContextCancelsRun(t *testing.T) {
+	m := compileSrc(t, `
+task spin(int n) {
+	int i = 0;
+	while (i < n || 1 == 1) {
+		i = i + 1;
+	}
+}`)
+	env := NewEnv(NewProgram(m), nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	env.SetContext(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := env.Call(m.Func("spin"), Int(4))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, fault.ErrTimeout) {
+			t.Fatalf("want ErrTimeout, got %v", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("timeout fault does not wrap the context error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("interpreter ignored the context deadline")
+	}
+
+	// A context that is already done rejects the call up front.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	env2 := NewEnv(NewProgram(m), nil)
+	env2.SetContext(cctx)
+	if _, err := env2.Call(m.Func("spin"), Int(4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context not honored: %v", err)
+	}
+}
+
+// TestTrapErrors: traps are typed, classified, and carry segment, offset,
+// and instruction position.
+func TestTrapErrors(t *testing.T) {
+	m := compileSrc(t, `
+float oob(float A[n], int n) { return A[n]; }
+int div(int a, int b) { return a / b; }`)
+	prog := NewProgram(m)
+
+	h := NewHeap()
+	a := h.AllocFloat("A", 8)
+	env := NewEnv(prog, nil)
+	_, err := env.Call(m.Func("oob"), Ptr(a), Int(8))
+	if !errors.Is(err, fault.ErrTrap) {
+		t.Fatalf("want ErrTrap, got %v", err)
+	}
+	if fault.TrapOf(err) != fault.TrapOutOfBounds {
+		t.Errorf("trap kind = %v, want out-of-bounds", fault.TrapOf(err))
+	}
+	for _, want := range []string{"seg=A", "off=8", "len=8", "@oob", "load"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("trap %q missing %q", err, want)
+		}
+	}
+
+	_, err = NewEnv(prog, nil).Call(m.Func("div"), Int(1), Int(0))
+	if fault.TrapOf(err) != fault.TrapDivByZero {
+		t.Fatalf("want div-by-zero trap, got %v", err)
+	}
+
+	// A nil segment pointer is a nil-deref trap, not an out-of-bounds one.
+	_, err = NewEnv(prog, nil).Call(m.Func("oob"), Ptr(nil), Int(0))
+	if fault.TrapOf(err) != fault.TrapNilDeref {
+		t.Fatalf("want nil-deref trap, got %v", err)
+	}
+}
+
+// TestHeapBudget: the byte cap fails allocations with typed errors, and the
+// legacy panicking API raises the same *fault.Error for boundary recovery.
+func TestHeapBudget(t *testing.T) {
+	h := NewHeap()
+	h.SetBudget(1024)
+	if _, err := h.TryAllocFloat("ok", 64); err != nil { // 512 bytes
+		t.Fatalf("within budget: %v", err)
+	}
+	_, err := h.TryAllocInt("big", 128) // another 1024 bytes: over
+	if !errors.Is(err, fault.ErrHeapBudget) {
+		t.Fatalf("want ErrHeapBudget, got %v", err)
+	}
+	if !strings.Contains(err.Error(), `"big"`) {
+		t.Errorf("budget error does not name the allocation: %v", err)
+	}
+	if got := len(h.Segs()); got != 1 {
+		t.Errorf("failed alloc left %d segments, want 1", got)
+	}
+
+	var rec error
+	func() {
+		defer fault.Recover(&rec, "compile")
+		h.AllocFloat("huge", 1<<20)
+	}()
+	if !errors.Is(rec, fault.ErrHeapBudget) {
+		t.Fatalf("panicking alloc not recovered as heap-budget fault: %v", rec)
+	}
+}

@@ -55,8 +55,8 @@ type cop struct {
 	// call
 	callee *code
 	args   []int
-	// src is the originating IR instruction (set for prefetches so that
-	// profiling can attribute events to static instructions).
+	// src is the originating IR instruction: profiling attributes prefetch
+	// events to it, and trap/budget faults report it as their position.
 	src ir.Instr
 }
 
@@ -135,6 +135,10 @@ type compiler struct {
 	regOf  map[ir.Value]int
 	blocks []*ir.Block
 	bOff   map[*ir.Block]int
+
+	// cur is the IR instruction being compiled; emit stamps it onto every op
+	// so runtime faults can report their source position.
+	cur ir.Instr
 
 	// patch records ops whose branch targets must be resolved after layout.
 	patch []patchEntry
@@ -249,11 +253,15 @@ func (cp *compiler) edgeMoves(from, to *ir.Block) []move {
 }
 
 func (cp *compiler) emit(op cop) int {
+	if op.src == nil {
+		op.src = cp.cur
+	}
 	cp.c.ops = append(cp.c.ops, op)
 	return len(cp.c.ops) - 1
 }
 
 func (cp *compiler) instr(b *ir.Block, in ir.Instr) error {
+	cp.cur = in
 	switch x := in.(type) {
 	case *ir.Phi:
 		return nil // handled by edge moves

@@ -1,9 +1,11 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"dae/internal/fault"
 	"dae/internal/ir"
 )
 
@@ -113,6 +115,17 @@ type Env struct {
 	// callArgs is the reusable top-level Call argument buffer (the callee
 	// copies arguments into its registers at frame entry).
 	callArgs []val
+	// ctx, when non-nil, is polled every ctxCheckInterval steps; a canceled
+	// context aborts the current Call with a fault.KindTimeout error.
+	ctx context.Context
+	// maxSteps, when positive, is the per-Call step (fuel) budget; exceeding
+	// it aborts with fault.ErrStepBudget naming the current instruction.
+	maxSteps int64
+	// steps counts executed operations since the last top-level Call across
+	// all nested frames; checkAt is the next step count at which the budget
+	// and context are inspected.
+	steps   int64
+	checkAt int64
 }
 
 // NewEnv returns an execution environment over prog. tracer may be nil.
@@ -201,13 +214,106 @@ func (e *Env) SetTracer(t Tracer) { e.tracer = t }
 // observer; while set, it receives prefetch events instead of the tracer.
 func (e *Env) SetPrefetchHook(h PrefetchHook) { e.prefHook = h }
 
+// SetContext installs a cancellation context, polled every ctxCheckInterval
+// executed operations. When ctx expires, the in-flight Call returns a
+// fault.KindTimeout error carrying the function and instruction it stopped
+// at. A nil ctx (the default) disables the polling entirely.
+func (e *Env) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // context.Background(): nothing to poll
+	}
+	e.ctx = ctx
+}
+
+// SetMaxSteps installs a per-Call step (fuel) budget: a Call that executes
+// more than n operations — across all nested frames — aborts with a
+// fault.ErrStepBudget error naming the function and instruction it stopped
+// at. n <= 0 removes the budget.
+func (e *Env) SetMaxSteps(n int64) { e.maxSteps = n }
+
+// Steps returns the operations executed by the current (or last) Call.
+func (e *Env) Steps() int64 { return e.steps }
+
+// ctxCheckInterval is how many executed operations separate context polls;
+// at simulator speeds this bounds cancellation latency well below 1 ms while
+// keeping the poll off the per-op hot path.
+const ctxCheckInterval = 1 << 15
+
+// armCheck computes the next step count at which exec must leave the hot
+// loop: the budget boundary or the next context poll, whichever is sooner.
+func (e *Env) armCheck() {
+	e.checkAt = int64(math.MaxInt64)
+	if e.maxSteps > 0 {
+		e.checkAt = e.maxSteps
+	}
+	if e.ctx != nil {
+		if next := e.steps + ctxCheckInterval; next < e.checkAt {
+			e.checkAt = next
+		}
+	}
+}
+
+// stepCheck runs at budget/poll boundaries: it raises the typed fault when
+// the budget is exhausted or the context is done, and re-arms otherwise.
+func (e *Env) stepCheck(c *code, op *cop) error {
+	if e.maxSteps > 0 && e.steps >= e.maxSteps {
+		return &fault.Error{
+			Kind: fault.KindStepBudget,
+			Func: c.fn.Name,
+			Pos:  instrPos(op),
+			Msg:  fmt.Sprintf("interp: exceeded step budget of %d operations", e.maxSteps),
+		}
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return &fault.Error{Kind: fault.KindTimeout, Func: c.fn.Name, Pos: instrPos(op), Err: err}
+		}
+	}
+	e.armCheck()
+	return nil
+}
+
+// instrPos renders the position of a compiled op: its basic block and the
+// originating IR instruction.
+func instrPos(op *cop) string {
+	if op == nil || op.src == nil {
+		return ""
+	}
+	if b := op.src.Parent(); b != nil {
+		return "%" + b.Name + ": " + ir.FormatInstr(op.src)
+	}
+	return ir.FormatInstr(op.src)
+}
+
+// trap builds a typed execution-fault error at op.
+func trap(kind fault.TrapKind, c *code, op *cop, format string, args ...any) error {
+	return fault.NewTrap(kind, c.fn.Name, instrPos(op), format, args...)
+}
+
+// memTrap classifies a failed dereference: nil segments are nil-deref traps,
+// everything else is out-of-bounds, named with segment, offset, and length.
+func memTrap(c *code, op *cop, what string, p ptr) error {
+	if p.seg == nil {
+		return trap(fault.TrapNilDeref, c, op, "interp: %s through nil segment", what)
+	}
+	return trap(fault.TrapOutOfBounds, c, op, "interp: %s out of bounds (seg=%s off=%d len=%d)",
+		what, segName(p.seg), p.off, p.seg.Len())
+}
+
 // Call executes function name with args. Array arguments are passed with
 // Ptr, scalars with Int/Float.
 func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return Value{}, &fault.Error{Kind: fault.KindTimeout, Func: f.Name, Err: err}
+		}
+	}
 	c, err := e.compiledMemo(f)
 	if err != nil {
 		return Value{}, err
 	}
+	e.steps = 0
+	e.armCheck()
 	if len(args) != len(f.Params) {
 		return Value{}, fmt.Errorf("interp: call @%s with %d args, want %d", f.Name, len(args), len(f.Params))
 	}
@@ -268,6 +374,12 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 	pc := 0
 	for pc < len(ops) {
 		op := &ops[pc]
+		e.steps++
+		if e.steps >= e.checkAt {
+			if err := e.stepCheck(c, op); err != nil {
+				return val{}, err
+			}
+		}
 		switch op.kind {
 		case opBinI:
 			x, y := regs[op.a].i, regs[op.b].i
@@ -281,12 +393,12 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 				r = x * y
 			case ir.IDiv:
 				if y == 0 {
-					return val{}, rtErrf("integer division by zero in @%s", c.fn.Name)
+					return val{}, trap(fault.TrapDivByZero, c, op, "interp: integer division by zero")
 				}
 				r = x / y
 			case ir.IRem:
 				if y == 0 {
-					return val{}, rtErrf("integer remainder by zero in @%s", c.fn.Name)
+					return val{}, trap(fault.TrapDivByZero, c, op, "interp: integer remainder by zero")
 				}
 				r = x % y
 			case ir.IAnd:
@@ -384,7 +496,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opLoadF:
 			p := regs[op.a].p
 			if !p.inBounds() {
-				return val{}, rtErrf("load out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+				return val{}, memTrap(c, op, "load", p)
 			}
 			regs[op.dst].f = p.seg.F[p.off]
 			cnt.Loads++
@@ -395,7 +507,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opLoadI:
 			p := regs[op.a].p
 			if !p.inBounds() {
-				return val{}, rtErrf("load out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+				return val{}, memTrap(c, op, "load", p)
 			}
 			regs[op.dst].i = p.seg.I[p.off]
 			cnt.Loads++
@@ -406,7 +518,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opStoreF:
 			p := regs[op.b].p
 			if !p.inBounds() {
-				return val{}, rtErrf("store out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+				return val{}, memTrap(c, op, "store", p)
 			}
 			p.seg.F[p.off] = regs[op.a].f
 			cnt.Stores++
@@ -417,7 +529,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opStoreI:
 			p := regs[op.b].p
 			if !p.inBounds() {
-				return val{}, rtErrf("store out of bounds in @%s (seg=%s off=%d)", c.fn.Name, segName(p.seg), p.off)
+				return val{}, memTrap(c, op, "store", p)
 			}
 			p.seg.I[p.off] = regs[op.a].i
 			cnt.Stores++
@@ -505,7 +617,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		}
 		pc++
 	}
-	return val{}, rtErrf("fell off end of @%s", c.fn.Name)
+	return val{}, fault.New(fault.KindVerify, "interp: fell off end of @%s", c.fn.Name)
 }
 
 func segName(s *Seg) string {

@@ -5,7 +5,7 @@
 // benchmark-scale executions (tens of millions of instructions) fast.
 package interp
 
-import "fmt"
+import "dae/internal/fault"
 
 // ElemKind is the element type of a heap segment.
 type ElemKind uint8
@@ -55,6 +55,9 @@ func (s *Seg) Addr(i int64) int64 { return s.Base + i*WordSize }
 type Heap struct {
 	next int64
 	segs []*Seg
+	// budget, when positive, caps the total allocated bytes (excluding guard
+	// gaps); allocations beyond it fail with fault.ErrHeapBudget.
+	budget int64
 }
 
 // segGap separates allocations (in bytes) so that prefetching past the end of
@@ -65,18 +68,73 @@ const segGap = 4096
 // zero address is never valid.
 func NewHeap() *Heap { return &Heap{next: 1 << 20} }
 
-// AllocFloat allocates a zeroed float array of n elements.
+// SetBudget caps the heap's total allocated bytes (excluding guard gaps).
+// Allocations that would exceed the cap fail with a typed
+// fault.ErrHeapBudget error from TryAllocFloat/TryAllocInt, or panic with
+// the same *fault.Error value from the legacy AllocFloat/AllocInt — the
+// pipeline boundaries recover that panic into the run's error. n <= 0
+// removes the cap.
+func (h *Heap) SetBudget(n int64) { h.budget = n }
+
+// Budget returns the heap's byte cap (0 when unlimited).
+func (h *Heap) Budget() int64 { return h.budget }
+
+// AllocFloat allocates a zeroed float array of n elements. With a budget set
+// it panics with a *fault.Error when the cap is exceeded; use TryAllocFloat
+// to handle the fault as a value.
 func (h *Heap) AllocFloat(name string, n int) *Seg {
-	s := &Seg{Base: h.next, Elem: FloatElem, F: make([]float64, n), name: name}
-	h.grow(s, n)
+	s, err := h.TryAllocFloat(name, n)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
-// AllocInt allocates a zeroed int array of n elements.
+// AllocInt allocates a zeroed int array of n elements. With a budget set it
+// panics with a *fault.Error when the cap is exceeded; use TryAllocInt to
+// handle the fault as a value.
 func (h *Heap) AllocInt(name string, n int) *Seg {
+	s, err := h.TryAllocInt(name, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TryAllocFloat allocates a zeroed float array of n elements, failing with
+// fault.ErrHeapBudget when the allocation would exceed the byte budget.
+func (h *Heap) TryAllocFloat(name string, n int) (*Seg, error) {
+	if err := h.charge(name, n); err != nil {
+		return nil, err
+	}
+	s := &Seg{Base: h.next, Elem: FloatElem, F: make([]float64, n), name: name}
+	h.grow(s, n)
+	return s, nil
+}
+
+// TryAllocInt allocates a zeroed int array of n elements, failing with
+// fault.ErrHeapBudget when the allocation would exceed the byte budget.
+func (h *Heap) TryAllocInt(name string, n int) (*Seg, error) {
+	if err := h.charge(name, n); err != nil {
+		return nil, err
+	}
 	s := &Seg{Base: h.next, Elem: IntElem, I: make([]int64, n), name: name}
 	h.grow(s, n)
-	return s
+	return s, nil
+}
+
+// charge enforces the byte budget for an n-element allocation.
+func (h *Heap) charge(name string, n int) error {
+	if h.budget <= 0 {
+		return nil
+	}
+	want := int64(n) * WordSize
+	if used := h.Footprint(); used+want > h.budget {
+		return fault.New(fault.KindHeapBudget,
+			"interp: alloc %q of %d bytes exceeds heap budget (%d of %d bytes in use)",
+			name, want, used, h.budget)
+	}
+	return nil
 }
 
 func (h *Heap) grow(s *Seg, n int) {
@@ -112,15 +170,3 @@ func (p ptr) addr() int64 { return p.seg.Addr(p.off) }
 
 func (p ptr) inBounds() bool { return p.seg != nil && p.off >= 0 && p.off < int64(p.seg.Len()) }
 
-// RuntimeError is an execution fault (out-of-bounds access, division by
-// zero, nil segment).
-type RuntimeError struct {
-	Msg string
-}
-
-// Error implements error.
-func (e *RuntimeError) Error() string { return "interp: " + e.Msg }
-
-func rtErrf(format string, args ...any) *RuntimeError {
-	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
-}

@@ -1,0 +1,114 @@
+package rt
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dae/internal/dae"
+	"dae/internal/fault"
+	"dae/internal/interp"
+)
+
+// buildLooper compiles a workload whose single task never terminates.
+func buildLooper(t *testing.T) *Workload {
+	t.Helper()
+	w, _, err := BuildWorkload("looper", `
+task spin(int n) {
+	int i = 0;
+	while (i < n || 1 == 1) {
+		i = i + 1;
+	}
+}`, dae.Defaults())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	w.Batches = [][]Task{{{Name: "spin", Args: []interp.Value{interp.Int(1)}}}}
+	return w
+}
+
+// TestRunStepBudget: an infinite-loop task under a step budget fails the
+// trace with fault.ErrStepBudget — naming function and instruction —
+// instead of hanging forever.
+func TestRunStepBudget(t *testing.T) {
+	w := buildLooper(t)
+	cfg := DefaultTraceConfig()
+	cfg.MaxSteps = 50_000
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(w, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, fault.ErrStepBudget) {
+			t.Fatalf("want ErrStepBudget, got %v", err)
+		}
+		// The generated access version loops like the task, so whichever
+		// phase runs first exhausts the budget.
+		var fe *fault.Error
+		if !errors.As(err, &fe) || !strings.HasPrefix(fe.Func, "spin") || fe.Pos == "" {
+			t.Errorf("fault missing function/position: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Run hung despite MaxSteps")
+	}
+}
+
+// TestRunContextTimeout: a context deadline aborts the trace mid-execution.
+func TestRunContextTimeout(t *testing.T) {
+	w := buildLooper(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, w, DefaultTraceConfig())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, fault.ErrTimeout) {
+			t.Fatalf("want ErrTimeout, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunContext ignored its deadline")
+	}
+}
+
+// TestRunBudgetedTraceIdentical: a budget large enough for the workload
+// leaves the trace byte-identical to an unbudgeted run (the fingerprint
+// differs, so caches key them separately, but the records must not).
+func TestRunBudgetedTraceIdentical(t *testing.T) {
+	w, _ := buildStream(t, 1<<12, 1<<10)
+	plain, err := Run(w, DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := buildStream(t, 1<<12, 1<<10)
+	cfg := DefaultTraceConfig()
+	cfg.MaxSteps = 1 << 40
+	budgeted, err := RunContext(context.Background(), w2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Records) != len(budgeted.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(plain.Records), len(budgeted.Records))
+	}
+	for i := range plain.Records {
+		if plain.Records[i] != budgeted.Records[i] {
+			t.Fatalf("record %d differs under budget:\n%+v\n%+v", i, plain.Records[i], budgeted.Records[i])
+		}
+	}
+}
+
+// TestFingerprintCoversMaxSteps: budgets participate in the cache key.
+func TestFingerprintCoversMaxSteps(t *testing.T) {
+	a := DefaultTraceConfig()
+	b := DefaultTraceConfig()
+	b.MaxSteps = 1000
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("fingerprints identical despite different MaxSteps")
+	}
+}

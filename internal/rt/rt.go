@@ -15,10 +15,12 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 
 	"dae/internal/cpu"
 	"dae/internal/dae"
+	"dae/internal/fault"
 	"dae/internal/interp"
 	"dae/internal/ir"
 	"dae/internal/lower"
@@ -104,6 +106,10 @@ type TraceConfig struct {
 	Decoupled bool
 	// Place selects the load balancer (default round robin).
 	Place Placement
+	// MaxSteps, when positive, is the per-task-phase interpreter step (fuel)
+	// budget: a phase that executes more operations fails the run with a
+	// fault.ErrStepBudget error instead of hanging the trace.
+	MaxSteps int64
 }
 
 // DefaultTraceConfig returns the quad-core evaluation setup with the
@@ -119,8 +125,8 @@ func (c TraceConfig) Fingerprint() string {
 	h := func(cc mem.Config) string {
 		return fmt.Sprintf("%d/%d/%d", cc.SizeBytes, cc.LineBytes, cc.Assoc)
 	}
-	return fmt.Sprintf("cores=%d;l1=%s;l2=%s;l3=%s;dec=%t;place=%d",
-		c.Cores, h(c.Hierarchy.L1), h(c.Hierarchy.L2), h(c.Hierarchy.L3), c.Decoupled, c.Place)
+	return fmt.Sprintf("cores=%d;l1=%s;l2=%s;l3=%s;dec=%t;place=%d;steps=%d",
+		c.Cores, h(c.Hierarchy.L1), h(c.Hierarchy.L2), h(c.Hierarchy.L3), c.Decoupled, c.Place, c.MaxSteps)
 }
 
 // Run traces the workload: every task executes for real through the
@@ -128,6 +134,17 @@ func (c TraceConfig) Fingerprint() string {
 // any, and if cfg.Decoupled) immediately preceding the execute phase on the
 // same core. It returns the per-task work records.
 func Run(w *Workload, cfg TraceConfig) (*Trace, error) {
+	return RunContext(context.Background(), w, cfg)
+}
+
+// RunContext is Run under a cancellation context: the context is polled
+// between tasks and, inside the interpreter, every few thousand executed
+// operations, so a runaway task aborts the trace with a fault.KindTimeout
+// error shortly after ctx expires. A panic while tracing (a compiler or
+// runtime bug surfaced by an untrusted input) is recovered into a
+// fault.ErrPanic error rather than crashing the process.
+func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, err error) {
+	defer fault.Recover(&err, "trace-run")
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("rt: need at least one core")
 	}
@@ -143,10 +160,13 @@ func Run(w *Workload, cfg TraceConfig) (*Trace, error) {
 	for i := range cores {
 		h := mem.NewHierarchy(cfg.Hierarchy, l3)
 		tr := &coreTracer{h: h}
-		cores[i] = &core{hier: h, env: interp.NewEnv(prog, tr), tr: tr}
+		env := interp.NewEnv(prog, tr)
+		env.SetContext(ctx)
+		env.SetMaxSteps(cfg.MaxSteps)
+		cores[i] = &core{hier: h, env: env, tr: tr}
 	}
 
-	tr := &Trace{Workload: w.Name, Decoupled: cfg.Decoupled, Cores: cfg.Cores, NumBatches: len(w.Batches)}
+	tr = &Trace{Workload: w.Name, Decoupled: cfg.Decoupled, Cores: cfg.Cores, NumBatches: len(w.Batches)}
 
 	runPhase := func(c *core, fn *ir.Func, args []interp.Value) (cpu.PhaseWork, error) {
 		c.env.ResetCounts()
@@ -165,6 +185,9 @@ func Run(w *Workload, cfg TraceConfig) (*Trace, error) {
 			load[i] = 0
 		}
 		for ti, task := range batch {
+			if err := ctx.Err(); err != nil {
+				return nil, fault.Wrap(fault.KindTimeout, err)
+			}
 			ci := ti % cfg.Cores
 			if cfg.Place == PlaceLeastLoaded {
 				ci = 0

@@ -1,0 +1,41 @@
+package taskc
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTaskCParse drives arbitrary bytes through the whole TaskC front end —
+// lexer, parser, checker. The front end must reject malformed input with an
+// error, never a panic, an out-of-range token access, or a hang; accepted
+// programs must also survive the checker without crashing.
+func FuzzTaskCParse(f *testing.F) {
+	f.Add("task t(float A[n], int n) { }")
+	f.Add("task t(int n) { int i; i = 0; while (i < n) { i = i + 1; } }")
+	f.Add("task t(float A[n], int n) { for (int i = 0; i < n; i = i + 1) { A[i] = A[i] * 2.0; } }")
+	f.Add("task t(int n) { if (n > 0) { } else { } }")
+	f.Add("task t(") // truncated
+	f.Add("task t(int n) { n = ; }")
+	f.Add("task 0x()")
+	f.Add(strings.Repeat("{", 64))
+	f.Add("task t(int n) { int x; x = n / 0; }")
+	f.Add("/* unterminated")
+	f.Add("task t(int n) { x = \x00\xff; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			if file != nil {
+				t.Errorf("Parse returned both a file and an error: %v", err)
+			}
+			return
+		}
+		if file == nil {
+			t.Fatal("Parse returned nil file and nil error")
+		}
+		// Error messages must be printable positions, not raw indices.
+		if _, err := Check(file); err != nil && !utf8.ValidString(err.Error()) {
+			t.Errorf("checker error is not valid UTF-8: %q", err.Error())
+		}
+	})
+}
