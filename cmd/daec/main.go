@@ -5,9 +5,18 @@
 // Usage:
 //
 //	daec [-hints N=64,B=8] [-dump] [-no-simplify-cfg] [-prefetch-stores]
-//	     [-force-skeleton] [-line-stride n] file.tc
+//	     [-force-skeleton] [-line-stride n] [-analyze [-bench]] file.tc
 //
 // With no file, a built-in demo (the paper's Listing 1 LU kernel) is used.
+//
+// -analyze runs the static DAE-contract checker instead of printing the
+// transformation report: every generated access version gets a purity
+// verdict (a proof that it stores to no external memory) and a static
+// prefetch-coverage figure at the -hints parameter values. With -bench the
+// checker runs over the paper's seven benchmarks instead of a source file,
+// adding the static-vs-dynamic coverage cross-validation and the polyhedral
+// task-overlap race check over every scheduled batch; daec exits nonzero if
+// any error-severity diagnostic is produced.
 package main
 
 import (
@@ -43,7 +52,20 @@ func main() {
 	forceSkel := flag.Bool("force-skeleton", false, "disable the polyhedral path")
 	lineStride := flag.Int("line-stride", 0, "stride the innermost affine prefetch loop by this many elements (8 = one per cache line)")
 	fromIR := flag.Bool("ir", false, "treat the input as textual IR (as printed by -dump) instead of TaskC source")
+	analyze := flag.Bool("analyze", false, "run the static DAE-contract checker (purity, coverage; with -bench also races)")
+	benchMode := flag.Bool("bench", false, "with -analyze: check the seven paper benchmarks instead of a source file")
 	flag.Parse()
+
+	if *analyze && *benchMode {
+		errs, err := analyzeBenchmarks(os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if errs > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := demoSrc
 	name := "demo"
@@ -92,6 +114,13 @@ func main() {
 	results, err := dae.GenerateAccess(mod, opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *analyze {
+		if errs := analyzeModule(os.Stdout, results, opts.ParamHints); errs > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *dump {

@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"dae/internal/ir"
+	"dae/internal/poly"
+	"dae/internal/scev"
+)
+
+// The affine extraction instantiates every analyzable memory access of a
+// function at concrete integer parameter values: the access's enclosing loop
+// nest becomes a trip-count space over fresh variables t₀..t_{n-1} (t_k ≥ 0,
+// iv_k = lower_k + step_k·t_k), and the flattened element index becomes a
+// linear function of the t's with integer coefficients. Working in t-space
+// rather than iv-space keeps non-unit strides (blocked loops) exact under
+// both lattice-point enumeration (coverage) and Fourier–Motzkin emptiness
+// tests (races).
+
+// lin is a linear expression c·t + k over the trip counters of one nest.
+type lin struct {
+	c []int64
+	k int64
+}
+
+func newLin(n int, k int64) lin { return lin{c: make([]int64, n), k: k} }
+
+func (l lin) clone() lin {
+	c := make([]int64, len(l.c))
+	copy(c, l.c)
+	return lin{c: c, k: l.k}
+}
+
+func (l lin) add(o lin) lin {
+	r := l.clone()
+	for i := range o.c {
+		r.c[i] += o.c[i]
+	}
+	r.k += o.k
+	return r
+}
+
+func (l lin) sub(o lin) lin { return l.add(o.scale(-1)) }
+
+func (l lin) scale(s int64) lin {
+	r := l.clone()
+	for i := range r.c {
+		r.c[i] *= s
+	}
+	r.k *= s
+	return r
+}
+
+// eval evaluates the expression at a concrete t vector. Coefficients of
+// variables beyond position limit are zero by construction for nest level
+// expressions, so partially filled vectors are safe.
+func (l lin) eval(t []int64) int64 {
+	v := l.k
+	for i, c := range l.c {
+		if c != 0 {
+			v += c * t[i]
+		}
+	}
+	return v
+}
+
+// row renders the expression as a poly constraint row (vars..., 1).
+func (l lin) row() []int64 {
+	r := make([]int64, len(l.c)+1)
+	copy(r, l.c)
+	r[len(l.c)] = l.k
+	return r
+}
+
+// evalInt evaluates a loop-invariant integer value at concrete parameter
+// values (by parameter name). It covers the shapes the front end produces
+// for dimensions and bounds: constants, int parameters, and integer
+// arithmetic over them.
+func evalInt(v ir.Value, env map[string]int64) (int64, bool) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return x.V, true
+	case *ir.Param:
+		if !x.Typ.IsInt() {
+			return 0, false
+		}
+		val, ok := env[x.Nam]
+		return val, ok
+	case *ir.Bin:
+		a, ok := evalInt(x.X, env)
+		if !ok {
+			return 0, false
+		}
+		b, ok := evalInt(x.Y, env)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case ir.IAdd:
+			return a + b, true
+		case ir.ISub:
+			return a - b, true
+		case ir.IMul:
+			return a * b, true
+		case ir.IDiv:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case ir.IRem:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case ir.IAnd:
+			return a & b, true
+		case ir.IOr:
+			return a | b, true
+		case ir.IXor:
+			return a ^ b, true
+		case ir.IShl:
+			if b < 0 || b > 62 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case ir.IShr:
+			if b < 0 || b > 62 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case ir.IMin:
+			if a < b {
+				return a, true
+			}
+			return b, true
+		case ir.IMax:
+			if a > b {
+				return a, true
+			}
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// nestSpace is the trip-count space of one loop nest at concrete parameters.
+type nestSpace struct {
+	ivs []*scev.IVInfo
+	// ivLin maps each nest IV phi to its value as a linear function of t.
+	ivLin map[*ir.Phi]lin
+	// pred/bound describe the continuation condition of level k:
+	// the body runs while ivLin[k] pred bound[k].
+	pred  []ir.CmpPred
+	bound []lin
+	// dom is the trip polytope: t_k >= 0 plus the continuation conditions.
+	dom *poly.Polyhedron
+	ok  bool
+}
+
+func (sp *nestSpace) depth() int { return len(sp.ivs) }
+
+// memAccess is one affine-analyzable external memory access instantiated at
+// concrete parameters.
+type memAccess struct {
+	in    ir.Instr
+	param *ir.Param // base array parameter
+	sp    *nestSpace
+	flat  lin // flattened element index over sp's trip counters
+
+	// elemSet memoizes the concrete element-index set for integer overlap
+	// confirmation (see memAccess.elems).
+	elemSet  map[int64]bool
+	elemDone bool
+}
+
+// elems returns the access's concrete element-index set by enumerating the
+// trip space's lattice points (memoized). ok is false when the domain holds
+// more than maxPoints points, in which case the set is unavailable.
+func (m *memAccess) elems(maxPoints int) (map[int64]bool, bool) {
+	if m.elemDone {
+		return m.elemSet, m.elemSet != nil
+	}
+	m.elemDone = true
+	set := make(map[int64]bool)
+	if !m.sp.enumerate(maxPoints, func(t []int64) {
+		set[m.flat.eval(t)] = true
+	}) {
+		return nil, false
+	}
+	m.elemSet = set
+	return set, true
+}
+
+// funcAccesses partitions a function's external memory accesses.
+type funcAccesses struct {
+	reads, writes, prefs []*memAccess
+	// The vague lists hold external accesses the affine machinery could not
+	// model (non-affine subscripts, unrecognized loops, symbolic values with
+	// no concrete binding). Their presence makes set-based results
+	// approximate.
+	vagueReads, vagueWrites, vaguePrefs []ir.Instr
+}
+
+func (fa *funcAccesses) exact() bool {
+	return len(fa.vagueReads) == 0 && len(fa.vagueWrites) == 0 && len(fa.vaguePrefs) == 0
+}
+
+type extractor struct {
+	f      *ir.Func
+	env    map[string]int64
+	an     *scev.Analysis
+	spaces map[*ir.Block]*nestSpace
+}
+
+// extractAccesses classifies every load, store, and prefetch of f that
+// targets parameter (external) memory, at the given concrete integer
+// parameter values. Accesses to alloca-rooted memory are task-local and
+// skipped entirely.
+func extractAccesses(f *ir.Func, env map[string]int64) *funcAccesses {
+	x := &extractor{f: f, env: env, an: scev.Analyze(f), spaces: make(map[*ir.Block]*nestSpace)}
+	fa := &funcAccesses{}
+	cl := &classifier{memo: make(map[ir.Value]ptrClass)}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			var ptr ir.Value
+			var kind int // 0 read, 1 write, 2 prefetch
+			switch i := in.(type) {
+			case *ir.Load:
+				ptr, kind = i.Ptr, 0
+			case *ir.Store:
+				ptr, kind = i.Ptr, 1
+			case *ir.Prefetch:
+				ptr, kind = i.Ptr, 2
+			default:
+				continue
+			}
+			if cl.classify(ptr) == ptrLocal {
+				continue
+			}
+			ma := x.accessOf(in, ptr)
+			switch {
+			case ma != nil && kind == 0:
+				fa.reads = append(fa.reads, ma)
+			case ma != nil && kind == 1:
+				fa.writes = append(fa.writes, ma)
+			case ma != nil:
+				fa.prefs = append(fa.prefs, ma)
+			case kind == 0:
+				fa.vagueReads = append(fa.vagueReads, in)
+			case kind == 1:
+				fa.vagueWrites = append(fa.vagueWrites, in)
+			default:
+				fa.vaguePrefs = append(fa.vaguePrefs, in)
+			}
+		}
+	}
+	return fa
+}
+
+// space returns (building and memoizing) the trip space of b's loop nest.
+// The zero-depth space (straight-line code) is always ok.
+func (x *extractor) space(b *ir.Block) *nestSpace {
+	if sp, ok := x.spaces[b]; ok {
+		return sp
+	}
+	sp := x.buildSpace(b)
+	x.spaces[b] = sp
+	return sp
+}
+
+func (x *extractor) buildSpace(b *ir.Block) *nestSpace {
+	bad := &nestSpace{}
+	ivs, ok := x.an.LoopNestOf(b)
+	if !ok {
+		return bad
+	}
+	n := len(ivs)
+	sp := &nestSpace{
+		ivs:   ivs,
+		ivLin: make(map[*ir.Phi]lin, n),
+		pred:  make([]ir.CmpPred, n),
+		bound: make([]lin, n),
+		dom:   poly.NewPolyhedron(n, 0),
+	}
+	for k, iv := range ivs {
+		if iv.Step == 0 {
+			return bad
+		}
+		lo, ok := x.linOf(iv.Lower, sp, n)
+		if !ok {
+			return bad
+		}
+		ivl := lo.clone()
+		ivl.c[k] += iv.Step
+		sp.ivLin[iv.Phi] = ivl
+
+		bd, ok := x.linOf(iv.Bound, sp, n)
+		if !ok {
+			return bad
+		}
+		// The trip space is finite only when the IV moves toward the bound:
+		// ascending with < / <=, or descending with > / >=.
+		up := iv.Pred == ir.LT || iv.Pred == ir.LE
+		down := iv.Pred == ir.GT || iv.Pred == ir.GE
+		if (iv.Step > 0 && !up) || (iv.Step < 0 && !down) {
+			return bad
+		}
+		var con lin
+		switch iv.Pred {
+		case ir.LT:
+			con = bd.sub(ivl)
+			con.k--
+		case ir.LE:
+			con = bd.sub(ivl)
+		case ir.GT:
+			con = ivl.sub(bd)
+			con.k--
+		case ir.GE:
+			con = ivl.sub(bd)
+		default:
+			return bad
+		}
+		sp.pred[k] = iv.Pred
+		sp.bound[k] = bd
+		tpos := newLin(n, 0)
+		tpos.c[k] = 1
+		sp.dom.AddConstraint(tpos.row())
+		sp.dom.AddConstraint(con.row())
+	}
+	sp.ok = true
+	return sp
+}
+
+// linOf instantiates a scalar-evolution affine expression in a nest's trip
+// space: IV terms expand to their t-space forms, symbol terms must evaluate
+// to concrete integers.
+func (x *extractor) linOf(a scev.Affine, sp *nestSpace, n int) (lin, bool) {
+	res := newLin(n, a.Const)
+	for phi, co := range a.IV {
+		pl, ok := sp.ivLin[phi]
+		if !ok {
+			return lin{}, false // IV of an unrelated nest
+		}
+		res = res.add(pl.scale(co))
+	}
+	for sym, co := range a.Sym {
+		v, ok := evalInt(sym, x.env)
+		if !ok {
+			return lin{}, false
+		}
+		res.k += co * v
+	}
+	return res, true
+}
+
+// accessOf models one memory access, or nil when it is not affine at the
+// given parameters.
+func (x *extractor) accessOf(in ir.Instr, ptr ir.Value) *memAccess {
+	sp := x.space(in.Parent())
+	if !sp.ok {
+		return nil
+	}
+	flat, param, ok := x.flatIndex(ptr, sp)
+	if !ok {
+		return nil
+	}
+	return &memAccess{in: in, param: param, sp: sp, flat: flat}
+}
+
+// flatIndex flattens a GEP chain over a parameter base into a single linear
+// element index (row-major, matching the interpreter's address arithmetic).
+func (x *extractor) flatIndex(ptr ir.Value, sp *nestSpace) (lin, *ir.Param, bool) {
+	n := sp.depth()
+	switch g := ptr.(type) {
+	case *ir.Param:
+		return newLin(n, 0), g, true
+	case *ir.GEP:
+		base, param, ok := x.flatIndex(g.Base, sp)
+		if !ok {
+			return lin{}, nil, false
+		}
+		// stride_k = Π_{j>k} dims_j, evaluated at the concrete parameters.
+		stride := int64(1)
+		idx := newLin(n, 0)
+		for k := len(g.Idx) - 1; k >= 0; k-- {
+			a, ok := x.an.AffineOf(g.Idx[k])
+			if !ok {
+				return lin{}, nil, false
+			}
+			il, ok := x.linOf(a, sp, n)
+			if !ok {
+				return lin{}, nil, false
+			}
+			idx = idx.add(il.scale(stride))
+			d, ok := evalInt(g.Dims[k], x.env)
+			if !ok || d <= 0 {
+				return lin{}, nil, false
+			}
+			stride *= d
+		}
+		return base.add(idx), param, true
+	default:
+		return lin{}, nil, false
+	}
+}
+
+// enumerate visits every lattice point of the nest's trip space, calling fn
+// with the t vector (valid only for the duration of the call). It returns
+// false when more than maxPoints points exist (the enumeration stops early).
+func (sp *nestSpace) enumerate(maxPoints int, fn func(t []int64)) bool {
+	if !sp.ok {
+		return false
+	}
+	n := sp.depth()
+	t := make([]int64, n)
+	count := 0
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			count++
+			if count > maxPoints {
+				return false
+			}
+			fn(t)
+			return true
+		}
+		iv := sp.ivLin[sp.ivs[k].Phi]
+		for tv := int64(0); ; tv++ {
+			t[k] = tv
+			if !predHolds(sp.pred[k], iv.eval(t), sp.bound[k].eval(t)) {
+				break
+			}
+			if !rec(k + 1) {
+				return false
+			}
+		}
+		t[k] = 0
+		return true
+	}
+	return rec(0)
+}
+
+func predHolds(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.LT:
+		return a < b
+	case ir.LE:
+		return a <= b
+	case ir.GT:
+		return a > b
+	case ir.GE:
+		return a >= b
+	case ir.EQ:
+		return a == b
+	case ir.NE:
+		return a != b
+	}
+	return false
+}

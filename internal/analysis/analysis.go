@@ -1,0 +1,126 @@
+// Package analysis implements the static DAE-contract checkers: a purity
+// verifier that proves a generated access phase has no externally visible
+// effects beyond prefetching, a prefetch-coverage analysis that bounds how
+// much of the execute phase's external read set the access phase warms (the
+// compile-time companion to the paper's Table 1 TA%), and a polyhedral race
+// detector that intersects the affine access sets of tasks the runtime would
+// schedule in the same parallel batch.
+//
+// The passes work on the optimized SSA IR of internal/ir, reuse the
+// scalar-evolution (internal/scev) and polyhedral (internal/poly) machinery
+// the access generator itself is built on, and report their findings as
+// positioned Diagnostics: every finding carries the TaskC source position the
+// front end threaded through lowering into the IR instruction metadata.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/ir"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Severities. Only SevError findings are contract violations; SevWarning
+// marks suspicious-but-sound results and SevInfo marks analysis limits
+// (e.g. a non-affine task the race detector cannot check).
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "info"
+}
+
+// Diagnostic is one positioned finding of a static-analysis pass.
+type Diagnostic struct {
+	// Pass names the producing pass: "purity", "coverage", or "race".
+	Pass string
+	// Sev is the severity.
+	Sev Severity
+	// Task is the task (or function) the finding is about.
+	Task string
+	// Pos is the primary TaskC source position (zero when unknown, e.g. for
+	// compiler-synthesized instructions).
+	Pos ir.Pos
+	// RelPos is a secondary position (the other side of a race), if any.
+	RelPos ir.Pos
+	// Msg is the human-readable description.
+	Msg string
+}
+
+// String renders "task:line:col: severity: [pass] msg", the format the golden
+// tests pin down.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%s: %s: [%s] %s", d.Task, d.Pos, d.Sev, d.Pass, d.Msg)
+	if d.RelPos.IsValid() {
+		s += fmt.Sprintf(" (conflicting access at %s)", d.RelPos)
+	}
+	return s
+}
+
+// SortDiagnostics orders diagnostics deterministically: by task, position,
+// pass, and message.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Format renders diagnostics sorted, one per line (empty string when none).
+func Format(ds []Diagnostic) string {
+	sorted := append([]Diagnostic(nil), ds...)
+	SortDiagnostics(sorted)
+	var sb strings.Builder
+	for _, d := range sorted {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// HasErrors reports whether any diagnostic is SevError.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// CountSev returns the number of diagnostics at exactly severity sev.
+func CountSev(ds []Diagnostic, sev Severity) int {
+	n := 0
+	for _, d := range ds {
+		if d.Sev == sev {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/passes"
+)
+
+// compileOpt lowers TaskC source and optimizes every function into the
+// canonical form the affine machinery expects.
+func compileOpt(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := lower.Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := passes.OptimizeModule(mod); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return mod
+}
+
+func TestPurityFlagsExternalStore(t *testing.T) {
+	mod := compileOpt(t, `
+task f(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = 1.0;
+	}
+}
+`)
+	diags := VerifyAccessPurity(mod.Func("f"))
+	if CountSev(diags, SevError) != 1 {
+		t.Fatalf("want 1 error, got %v", diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Msg, "stores to external memory") {
+		t.Errorf("unexpected message: %s", d.Msg)
+	}
+	if !d.Pos.IsValid() {
+		t.Errorf("diagnostic has no source position: %s", d)
+	}
+}
+
+func TestPurityAllowsLocalStoresAndPrefetches(t *testing.T) {
+	mod := compileOpt(t, `
+void f(float A[n], int n) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		prefetch A[i];
+		s += A[i];
+	}
+}
+`)
+	if diags := VerifyAccessPurity(mod.Func("f")); len(diags) != 0 {
+		t.Fatalf("pure function flagged: %v", diags)
+	}
+}
+
+func TestPurityFlagsCalls(t *testing.T) {
+	// Unoptimized on purpose: dead-code elimination would delete the call to
+	// the empty helper, and the verifier must work on any well-formed IR.
+	mod, err := lower.Compile(`
+void g(int n) {
+}
+void f(int n) {
+	g(n);
+}
+`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := VerifyAccessPurity(mod.Func("f"))
+	if CountSev(diags, SevError) != 1 || !strings.Contains(diags[0].Msg, "calls @g") {
+		t.Fatalf("want one call diagnostic, got %v", diags)
+	}
+}
+
+func TestExtractAccessesAffineLoop(t *testing.T) {
+	mod := compileOpt(t, `
+task f(float A[n], float B[n], int n, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		A[i] = B[i] + 1.0;
+	}
+}
+`)
+	env := map[string]int64{"n": 64, "lo": 8, "hi": 24}
+	fa := extractAccesses(mod.Func("f"), env)
+	if !fa.exact() {
+		t.Fatalf("affine loop classified vague: %+v", fa)
+	}
+	if len(fa.reads) != 1 || len(fa.writes) != 1 {
+		t.Fatalf("want 1 read + 1 write, got %d/%d", len(fa.reads), len(fa.writes))
+	}
+	// The write covers A[8..24): 16 lattice points, flat indices 8..23.
+	set, ok := fa.writes[0].elems(1 << 16)
+	if !ok {
+		t.Fatal("enumeration hit the cap")
+	}
+	if len(set) != 16 || !set[8] || !set[23] || set[7] || set[24] {
+		t.Fatalf("wrong element set (len %d): %v", len(set), set)
+	}
+}
+
+func TestExtractAccessesNonUnitStride(t *testing.T) {
+	// A blocked loop (stride B) must stay exact in t-space.
+	mod := compileOpt(t, `
+task f(float A[n], int n) {
+	for (int i = 0; i < n; i += 8) {
+		A[i] = 0.0;
+	}
+}
+`)
+	fa := extractAccesses(mod.Func("f"), map[string]int64{"n": 32})
+	if !fa.exact() || len(fa.writes) != 1 {
+		t.Fatalf("blocked loop not modeled: %+v", fa)
+	}
+	set, _ := fa.writes[0].elems(1 << 16)
+	want := map[int64]bool{0: true, 8: true, 16: true, 24: true}
+	if len(set) != len(want) {
+		t.Fatalf("want %v, got %v", want, set)
+	}
+	for k := range want {
+		if !set[k] {
+			t.Fatalf("missing element %d in %v", k, set)
+		}
+	}
+}
+
+func TestStaticCoverageHalfPrefetched(t *testing.T) {
+	mod := compileOpt(t, `
+task f(float A[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		s += A[i];
+	}
+	Out[0] = s;
+}
+void f_access(float A[n], float Out[one], int n, int one) {
+	for (int i = 0; i < n; i += 2) {
+		prefetch A[i];
+	}
+}
+`)
+	// Full-line strides: with lineBytes == wordSize every element is its own
+	// line, so prefetching every other element covers exactly half.
+	cov := StaticCoverage(mod.Func("f"), mod.Func("f_access"), map[string]int64{"n": 16, "one": 1}, 8, 0)
+	if !cov.Exact {
+		t.Fatalf("expected exact coverage, notes: %v", cov.Notes)
+	}
+	// 16 lines of A read; Out[0] is written, not read, so it stays out of
+	// the read set. Half of A's lines are prefetched.
+	if cov.ReadLines != 16 || cov.CoveredLines != 8 {
+		t.Fatalf("want 8/16 lines, got %d/%d", cov.CoveredLines, cov.ReadLines)
+	}
+	if f := cov.Fraction(); f != 0.5 {
+		t.Fatalf("fraction %v, want 0.5", f)
+	}
+}
+
+func TestDynamicCoverageMatchesStatic(t *testing.T) {
+	mod := compileOpt(t, `
+task f(float A[n], float Out[one], int n, int one) {
+	float s = 0;
+	for (int i = 0; i < n; i++) {
+		s += A[i];
+	}
+	Out[0] = s;
+}
+void f_access(float A[n], float Out[one], int n, int one) {
+	for (int i = 0; i < n; i += 2) {
+		prefetch A[i];
+	}
+}
+`)
+	h := interp.NewHeap()
+	seg := h.AllocFloat("A", 16)
+	out := h.AllocFloat("Out", 1)
+	args := []interp.Value{interp.Ptr(seg), interp.Ptr(out), interp.Int(16), interp.Int(1)}
+	read, covered, err := DynamicCoverage(mod, mod.Func("f"), mod.Func("f_access"), h, args, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != 16 || covered != 8 {
+		t.Fatalf("dynamic %d/%d, want 8/16", covered, read)
+	}
+}
+
+// TestRaceIntegerConfirmation is the regression test for the rational-
+// relaxation false positive: two B×B tiles in the same block row of a
+// row-major N×N array satisfy N·Δr = Δcol over ℚ but not over ℤ, so the
+// detector must NOT flag them; a genuinely overlapping pair must be flagged
+// with positioned diagnostics.
+func TestRaceIntegerConfirmation(t *testing.T) {
+	mod := compileOpt(t, `
+task tile(float A[N][N], int N, int B, int row, int col) {
+	for (int r = 0; r < B; r++) {
+		for (int c = 0; c < B; c++) {
+			A[row+r][col+c] = 0.0;
+		}
+	}
+}
+`)
+	fn := mod.Func("tile")
+	inst := func(label string, row, col int64) TaskInstance {
+		return TaskInstance{
+			Label: label, Fn: fn,
+			Ints:   map[string]int64{"N": 64, "B": 8, "row": row, "col": col},
+			Arrays: map[string]ArrayID{"A": "shared-A"},
+		}
+	}
+
+	// Same block row, adjacent columns: rationally feasible, integrally empty.
+	if ds := CheckBatch([]TaskInstance{inst("t0", 0, 0), inst("t1", 0, 8)}); len(ds) != 0 {
+		t.Fatalf("disjoint same-row tiles flagged: %v", ds)
+	}
+	// Disjoint block rows.
+	if ds := CheckBatch([]TaskInstance{inst("t0", 0, 0), inst("t1", 8, 0)}); len(ds) != 0 {
+		t.Fatalf("disjoint rows flagged: %v", ds)
+	}
+	// Half-overlapping tiles race.
+	ds := CheckBatch([]TaskInstance{inst("t0", 0, 0), inst("t1", 0, 4)})
+	if CountSev(ds, SevError) != 1 {
+		t.Fatalf("overlapping tiles not flagged exactly once: %v", ds)
+	}
+	if !ds[0].Pos.IsValid() || !strings.Contains(ds[0].Msg, "write-write") {
+		t.Fatalf("bad diagnostic: %s", ds[0])
+	}
+}
+
+func TestRaceSkipsNonAffineWithNote(t *testing.T) {
+	mod := compileOpt(t, `
+task gather(float A[n], int Idx[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[Idx[i]] = 0.0;
+	}
+}
+`)
+	fn := mod.Func("gather")
+	shared := "A"
+	batch := []TaskInstance{
+		{Label: "g0", Fn: fn, Ints: map[string]int64{"n": 8}, Arrays: map[string]ArrayID{"A": shared}},
+		{Label: "g1", Fn: fn, Ints: map[string]int64{"n": 8}, Arrays: map[string]ArrayID{"A": shared}},
+	}
+	ds := CheckBatch(batch)
+	if CountSev(ds, SevError) != 0 {
+		t.Fatalf("non-affine task produced race errors: %v", ds)
+	}
+	if CountSev(ds, SevInfo) != 1 {
+		t.Fatalf("want one skip note, got %v", ds)
+	}
+}
+
+func TestEvalIntArithmetic(t *testing.T) {
+	env := map[string]int64{}
+	two := &ir.ConstInt{V: 2}
+	seven := &ir.ConstInt{V: 7}
+	cases := []struct {
+		op   ir.BinOp
+		want int64
+	}{
+		{ir.IAdd, 9}, {ir.ISub, -5}, {ir.IMul, 14}, {ir.IDiv, 0},
+		{ir.IRem, 2}, {ir.IMin, 2}, {ir.IMax, 7}, {ir.IShl, 256},
+	}
+	for _, tc := range cases {
+		got, ok := evalInt(ir.NewBin(tc.op, two, seven), env)
+		if !ok || got != tc.want {
+			t.Errorf("%s(2,7) = %d,%v want %d", tc.op, got, ok, tc.want)
+		}
+	}
+	if _, ok := evalInt(ir.NewBin(ir.IDiv, two, &ir.ConstInt{V: 0}), env); ok {
+		t.Error("division by zero evaluated")
+	}
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	d := Diagnostic{
+		Pass: "race", Sev: SevError, Task: "t",
+		Pos: ir.Pos{Line: 3, Col: 7}, RelPos: ir.Pos{Line: 5, Col: 2},
+		Msg: "overlap",
+	}
+	want := "t:3:7: error: [race] overlap (conflicting access at 5:2)"
+	if got := d.String(); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	ds := []Diagnostic{
+		{Task: "b", Pos: ir.Pos{Line: 2}, Sev: SevInfo, Pass: "p", Msg: "later"},
+		{Task: "a", Pos: ir.Pos{Line: 9}, Sev: SevError, Pass: "p", Msg: "earlier task"},
+	}
+	out := Format(ds)
+	if !strings.Contains(out, "a:9") || strings.Index(out, "a:9") > strings.Index(out, "b:2") {
+		t.Errorf("not sorted by task: %q", out)
+	}
+	if !HasErrors(ds) || CountSev(ds, SevInfo) != 1 {
+		t.Error("severity helpers broken")
+	}
+}

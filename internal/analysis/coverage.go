@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// DefaultMaxPoints caps the lattice points enumerated per phase before the
+// coverage analysis degrades to the may-read approximation.
+const DefaultMaxPoints = 1 << 22
+
+// Coverage is the static prefetch-coverage result for one task invocation:
+// how much of the execute phase's external read set (at cache-line
+// granularity) the access phase's prefetch set warms.
+type Coverage struct {
+	// Task is the execute-phase function name.
+	Task string
+	// Exact is true when both phases were fully affine and enumerable, so
+	// ReadLines/CoveredLines are exact lattice-point counts. When false the
+	// figures come from the conservative may-read approximation (see
+	// MatchedReads/StaticReads) and only bound the truth.
+	Exact bool
+	// ReadLines is the number of distinct (array, cache line) pairs the
+	// execute phase reads; CoveredLines of them are touched by the access
+	// phase (prefetched or loaded). Meaningful when Exact.
+	ReadLines, CoveredLines int
+	// StaticReads counts the execute phase's static external loads;
+	// MatchedReads of them have a same-source-position counterpart
+	// (prefetch or load of the same array) in the access phase. This is the
+	// skeleton-path approximation: the access phase is a slice of the task,
+	// so source positions survive cloning and identify the matching access.
+	StaticReads, MatchedReads int
+	// Notes carries per-task informational diagnostics (analysis limits).
+	Notes []Diagnostic
+}
+
+// Fraction returns the coverage in [0,1]: exact line coverage when Exact,
+// the static may-read match ratio otherwise. A task that reads nothing
+// external is fully covered by definition.
+func (c Coverage) Fraction() float64 {
+	if c.Exact {
+		if c.ReadLines == 0 {
+			return 1
+		}
+		return float64(c.CoveredLines) / float64(c.ReadLines)
+	}
+	if c.StaticReads == 0 {
+		return 1
+	}
+	return float64(c.MatchedReads) / float64(c.StaticReads)
+}
+
+// String renders a one-line summary.
+func (c Coverage) String() string {
+	if c.Exact {
+		return fmt.Sprintf("%s: coverage %.1f%% (exact: %d/%d lines)",
+			c.Task, 100*c.Fraction(), c.CoveredLines, c.ReadLines)
+	}
+	return fmt.Sprintf("%s: coverage %.1f%% (may-read: %d/%d static loads matched)",
+		c.Task, 100*c.Fraction(), c.MatchedReads, c.StaticReads)
+}
+
+// lineKey identifies one cache line of one array parameter. Arrays are keyed
+// by parameter index: the access version shares the task's signature, so
+// position i names the same runtime array in both phases.
+type lineKey struct {
+	param int
+	line  int64
+}
+
+// StaticCoverage computes the prefetch coverage of access over task at the
+// given concrete integer parameter values (by parameter name) and cache-line
+// size. A nil access function means the task runs coupled: coverage is 0
+// unless the task performs no external reads.
+func StaticCoverage(task, access *ir.Func, env map[string]int64, lineBytes int64, maxPoints int) Coverage {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	cov := Coverage{Task: task.Name}
+	taskAcc := extractAccesses(task, env)
+
+	if access == nil {
+		cov.Exact = taskAcc.exact() && len(taskAcc.reads) == 0
+		cov.StaticReads = len(taskAcc.reads) + len(taskAcc.vagueReads)
+		if cov.StaticReads > 0 {
+			cov.Notes = append(cov.Notes, Diagnostic{
+				Pass: "coverage", Sev: SevInfo, Task: task.Name,
+				Msg: "no access phase: external reads are never prefetched",
+			})
+		}
+		return cov
+	}
+	accAcc := extractAccesses(access, env)
+
+	if taskAcc.exact() && accAcc.exact() {
+		read := make(map[lineKey]struct{})
+		if collectLines(taskAcc.reads, lineBytes, maxPoints, read) {
+			warmed := make(map[lineKey]struct{})
+			okP := collectLines(accAcc.prefs, lineBytes, maxPoints, warmed)
+			okL := collectLines(accAcc.reads, lineBytes, maxPoints, warmed)
+			if okP && okL {
+				cov.Exact = true
+				cov.ReadLines = len(read)
+				for k := range read {
+					if _, ok := warmed[k]; ok {
+						cov.CoveredLines++
+					}
+				}
+				return cov
+			}
+		}
+		cov.Notes = append(cov.Notes, Diagnostic{
+			Pass: "coverage", Sev: SevInfo, Task: task.Name,
+			Msg: fmt.Sprintf("iteration space exceeds %d points; falling back to may-read approximation", maxPoints),
+		})
+	} else {
+		cov.Notes = append(cov.Notes, Diagnostic{
+			Pass: "coverage", Sev: SevInfo, Task: task.Name,
+			Msg: "non-affine accesses; using conservative may-read approximation",
+		})
+	}
+
+	// May-read approximation: the skeleton access phase is a clone-and-slice
+	// of the task, so every retained prefetch/load keeps the source position
+	// of the task access it covers. Count the task's external loads that
+	// have a position- and array-matched counterpart in the access phase.
+	warm := make(map[warmKey]bool)
+	for _, ma := range accAcc.prefs {
+		warm[warmKeyOf(ma.in, ma.param)] = true
+	}
+	for _, ma := range accAcc.reads {
+		warm[warmKeyOf(ma.in, ma.param)] = true
+	}
+	for _, in := range accAcc.vaguePrefs {
+		warm[warmKeyOf(in, paramOf(prefetchPtr(in)))] = true
+	}
+	for _, in := range accAcc.vagueReads {
+		warm[warmKeyOf(in, paramOf(loadPtr(in)))] = true
+	}
+	count := func(in ir.Instr, p *ir.Param) {
+		cov.StaticReads++
+		if warm[warmKeyOf(in, p)] {
+			cov.MatchedReads++
+		}
+	}
+	for _, ma := range taskAcc.reads {
+		count(ma.in, ma.param)
+	}
+	for _, in := range taskAcc.vagueReads {
+		count(in, paramOf(loadPtr(in)))
+	}
+	return cov
+}
+
+// warmKey matches a task access with its access-phase counterpart by source
+// position and array name.
+type warmKey struct {
+	pos   ir.Pos
+	array string
+}
+
+func warmKeyOf(in ir.Instr, p *ir.Param) warmKey {
+	k := warmKey{pos: in.Pos()}
+	if p != nil {
+		k.array = p.Nam
+	}
+	return k
+}
+
+func prefetchPtr(in ir.Instr) ir.Value { return in.(*ir.Prefetch).Ptr }
+func loadPtr(in ir.Instr) ir.Value     { return in.(*ir.Load).Ptr }
+
+// paramOf resolves the base parameter of a pointer, or nil.
+func paramOf(v ir.Value) *ir.Param {
+	for {
+		switch x := v.(type) {
+		case *ir.GEP:
+			v = x.Base
+		case *ir.Param:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// collectLines enumerates the accesses' index points into dst as cache-line
+// keys. It reports false when an enumeration exceeded maxPoints.
+func collectLines(accs []*memAccess, lineBytes int64, maxPoints int, dst map[lineKey]struct{}) bool {
+	const wordSize = 8 // interp.WordSize, kept literal to avoid the dependency
+	for _, ma := range accs {
+		ok := ma.sp.enumerate(maxPoints, func(t []int64) {
+			idx := ma.flat.eval(t)
+			dst[lineKey{param: ma.param.Index, line: idx * wordSize / lineBytes}] = struct{}{}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dae"
+	"dae/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden byte-compares got against testdata/<name>.golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func compileFixture(t *testing.T, name string) *dae.Module {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name+".tc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := dae.Compile(string(data), name)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return mod
+}
+
+func fixtureOpts(hints map[string]int64) dae.Options {
+	opts := dae.DefaultOptions()
+	opts.ParamHints = hints
+	if hints == nil {
+		opts.HullTest = false
+	}
+	return opts
+}
+
+// analysisReport renders the contract checker's verdicts for every task of a
+// compiled module: generation strategy, purity verdict over the access
+// version, the coverage summary, and every diagnostic in rendered form.
+func analysisReport(results map[string]*dae.Result, env map[string]int64) string {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		r := results[n]
+		fmt.Fprintf(&sb, "task %s: strategy=%s\n", n, r.Strategy)
+		if r.Access == nil {
+			fmt.Fprintf(&sb, "  no access version: %s\n", r.Reason)
+			continue
+		}
+		diags := analysis.VerifyAccessPurity(r.Access)
+		if analysis.HasErrors(diags) {
+			fmt.Fprintf(&sb, "  purity: FAIL\n%s", indent(analysis.Format(diags)))
+		} else {
+			fmt.Fprintf(&sb, "  purity: PASS\n")
+		}
+		cov := analysis.StaticCoverage(r.Task, r.Access, env, 64, 0)
+		fmt.Fprintf(&sb, "  %s\n", cov)
+		if len(cov.Notes) > 0 {
+			fmt.Fprint(&sb, indent(analysis.Format(cov.Notes)))
+		}
+	}
+	return sb.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestGoldenAffineStencil(t *testing.T) {
+	mod := compileFixture(t, "affine-stencil")
+	hints := map[string]int64{"N": 64, "Block": 8, "Ax": 0, "Ay": 0, "Dx": 32, "Dy": 32}
+	results, err := dae.GenerateAccess(mod, fixtureOpts(hints))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "affine-stencil", analysisReport(results, hints))
+}
+
+func TestGoldenPointerChase(t *testing.T) {
+	mod := compileFixture(t, "pointer-chase")
+	results, err := dae.GenerateAccess(mod, fixtureOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints := map[string]int64{"n": 64, "one": 1, "start": 0, "steps": 16}
+	checkGolden(t, "pointer-chase", analysisReport(results, hints))
+}
+
+// TestGoldenRaced schedules two instances of the raced fixture with
+// overlapping index ranges in one batch: the detector must produce exactly
+// one positioned write-write diagnostic for the pair.
+func TestGoldenRaced(t *testing.T) {
+	mod := compileFixture(t, "raced")
+	// The affine machinery works on optimized (canonical) IR; GenerateAccess
+	// optimizes the module as a side effect.
+	if _, err := dae.GenerateAccess(mod, fixtureOpts(nil)); err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Func("scale")
+	if fn == nil {
+		t.Fatal("no task scale")
+	}
+	shared := "array-A"
+	batch := []analysis.TaskInstance{
+		{
+			Label: "scale#0", Fn: fn,
+			Ints:   map[string]int64{"n": 64, "lo": 0, "hi": 32},
+			Arrays: map[string]analysis.ArrayID{"A": shared},
+		},
+		{
+			Label: "scale#1", Fn: fn,
+			Ints:   map[string]int64{"n": 64, "lo": 16, "hi": 48},
+			Arrays: map[string]analysis.ArrayID{"A": shared},
+		},
+	}
+	diags := analysis.CheckBatch(batch)
+	if got := analysis.CountSev(diags, analysis.SevError); got != 1 {
+		t.Errorf("want exactly 1 race diagnostic, got %d", got)
+	}
+	for _, d := range diags {
+		if d.Sev == analysis.SevError && !d.Pos.IsValid() {
+			t.Errorf("race diagnostic missing source position: %s", d)
+		}
+	}
+	checkGolden(t, "raced", analysis.Format(diags))
+
+	// Disjoint ranges on the same array, and identical ranges on different
+	// arrays, must both verify as independent.
+	batch[1].Ints = map[string]int64{"n": 64, "lo": 32, "hi": 64}
+	if ds := analysis.CheckBatch(batch); len(ds) != 0 {
+		t.Errorf("disjoint ranges flagged: %v", ds)
+	}
+	batch[1].Ints = map[string]int64{"n": 64, "lo": 0, "hi": 32}
+	batch[1].Arrays = map[string]analysis.ArrayID{"A": "array-B"}
+	if ds := analysis.CheckBatch(batch); len(ds) != 0 {
+		t.Errorf("distinct arrays flagged: %v", ds)
+	}
+}
+
+// TestGoldenImpureAccess runs the purity verifier over a function that
+// retains an external store — the shape of a buggy access phase (access
+// versions are slices of the task, so a retained store looks exactly like
+// this). The verifier must produce one positioned diagnostic.
+func TestGoldenImpureAccess(t *testing.T) {
+	mod := compileFixture(t, "raced")
+	if _, err := dae.GenerateAccess(mod, fixtureOpts(nil)); err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Func("scale")
+	if fn == nil {
+		t.Fatal("no task scale")
+	}
+	diags := analysis.VerifyAccessPurity(fn)
+	if got := analysis.CountSev(diags, analysis.SevError); got != 1 {
+		t.Errorf("want exactly 1 purity diagnostic, got %d: %v", got, diags)
+	}
+	for _, d := range diags {
+		if !d.Pos.IsValid() {
+			t.Errorf("purity diagnostic missing source position: %s", d)
+		}
+	}
+	checkGolden(t, "impure", analysis.Format(diags))
+}

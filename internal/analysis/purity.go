@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// ptrClass is the escape lattice the purity verifier runs on: where a
+// pointer-typed value may point.
+//
+//	    mixed (⊤: may point anywhere)
+//	    /   \
+//	local   external
+//	    \   /
+//	  unknown (⊥: no evidence yet / cyclic)
+type ptrClass uint8
+
+const (
+	ptrUnknown  ptrClass = iota
+	ptrLocal             // derived from an alloca: task-local, invisible to the caller
+	ptrExternal          // derived from a parameter: caller-visible memory
+	ptrMixed             // join of incompatible classes, or underivable
+)
+
+func (c ptrClass) String() string {
+	switch c {
+	case ptrLocal:
+		return "local"
+	case ptrExternal:
+		return "external"
+	case ptrMixed:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// joinClass is the lattice join; unknown is the identity.
+func joinClass(a, b ptrClass) ptrClass {
+	switch {
+	case a == ptrUnknown:
+		return b
+	case b == ptrUnknown:
+		return a
+	case a == b:
+		return a
+	default:
+		return ptrMixed
+	}
+}
+
+// classifier memoizes pointer classification over use-def chains.
+type classifier struct {
+	memo map[ir.Value]ptrClass
+}
+
+// classify walks the use-def chain of a pointer value down to its roots.
+// Cyclic chains (loop-carried pointer phis) contribute ⊥ on the back edge,
+// which the join absorbs; a phi whose only inputs are the cycle itself stays
+// unknown and is reported as unprovable by the caller.
+func (c *classifier) classify(v ir.Value) ptrClass {
+	if got, ok := c.memo[v]; ok {
+		return got
+	}
+	c.memo[v] = ptrUnknown // recursion guard
+	var r ptrClass
+	switch x := v.(type) {
+	case *ir.Alloca:
+		r = ptrLocal
+	case *ir.Param:
+		r = ptrExternal
+	case *ir.GEP:
+		r = c.classify(x.Base)
+	case *ir.Phi:
+		r = ptrUnknown
+		for _, in := range x.In {
+			r = joinClass(r, c.classify(in.Val))
+		}
+	case *ir.Select:
+		r = joinClass(c.classify(x.X), c.classify(x.Y))
+	default:
+		r = ptrMixed
+	}
+	c.memo[v] = r
+	return r
+}
+
+// baseName names the memory a pointer is derived from, for diagnostics.
+func baseName(v ir.Value) string {
+	for {
+		switch x := v.(type) {
+		case *ir.GEP:
+			v = x.Base
+		case *ir.Param:
+			return "parameter " + x.Nam
+		case *ir.Alloca:
+			return "local " + x.Var
+		default:
+			return x.Ref()
+		}
+	}
+}
+
+// VerifyAccessPurity proves that f — a generated access phase — performs no
+// stores to external (non-alloca) memory and makes no calls, i.e. that its
+// only observable effects are prefetches and loop control. Each violation is
+// one SevError diagnostic carrying the TaskC position of the offending
+// instruction. An empty result is the proof of purity.
+//
+// Stores to provably task-local memory (alloca-rooted) are allowed: they
+// model registers and spill slots, and the interpreter gives them no memory
+// events. A store whose target cannot be classified is conservatively
+// rejected — the verifier never errs on the side of admitting an effect.
+func VerifyAccessPurity(f *ir.Func) []Diagnostic {
+	cl := &classifier{memo: make(map[ir.Value]ptrClass)}
+	var diags []Diagnostic
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch x := in.(type) {
+			case *ir.Store:
+				switch cl.classify(x.Ptr) {
+				case ptrLocal:
+					// task-local: no observable effect
+				case ptrExternal:
+					diags = append(diags, Diagnostic{
+						Pass: "purity", Sev: SevError, Task: f.Name, Pos: in.Pos(),
+						Msg: fmt.Sprintf("access phase stores to external memory (%s)", baseName(x.Ptr)),
+					})
+				default:
+					diags = append(diags, Diagnostic{
+						Pass: "purity", Sev: SevError, Task: f.Name, Pos: in.Pos(),
+						Msg: fmt.Sprintf("access phase stores to statically unresolved memory (%s)", baseName(x.Ptr)),
+					})
+				}
+			case *ir.Call:
+				diags = append(diags, Diagnostic{
+					Pass: "purity", Sev: SevError, Task: f.Name, Pos: in.Pos(),
+					Msg: fmt.Sprintf("access phase calls @%s, which may have side effects", x.Callee.Name),
+				})
+			}
+		}
+	}
+	return diags
+}

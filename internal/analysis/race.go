@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dae/internal/ir"
+	"dae/internal/poly"
+)
+
+// ArrayID identifies a concrete array argument; any comparable value works.
+// The runtime adapter uses the *interp.Seg of the argument, so two
+// invocations conflict only when they were handed the same allocation.
+type ArrayID any
+
+// TaskInstance is one task invocation of a parallel batch, with its concrete
+// arguments split into the integer environment the affine machinery
+// instantiates subscripts with, and the array identities overlap is decided
+// on.
+type TaskInstance struct {
+	// Label names the invocation in diagnostics (e.g. "lublock#3").
+	Label string
+	// Fn is the execute-phase function.
+	Fn *ir.Func
+	// Ints maps integer parameter names to the invocation's values.
+	Ints map[string]int64
+	// Arrays maps array parameter names to the identity of the argument.
+	Arrays map[string]ArrayID
+}
+
+// MaxRacePairs caps the number of instance pairs CheckBatch examines per
+// batch; beyond it the batch is reported as partially checked.
+const MaxRacePairs = 20000
+
+// CheckBatch intersects the affine read/write sets of every pair of task
+// instances the rt scheduler would run concurrently in one batch, flagging
+// write-write and read-write overlaps on shared arrays. Emptiness of each
+// pairwise intersection is decided by Fourier–Motzkin elimination over the
+// combined trip spaces (poly.Feasible), which is exact over the rationals —
+// a reported overlap on an integer-affine region is real up to the integer
+// relaxation, and an empty intersection is a proof of independence.
+//
+// Instances whose access sets are not fully affine (data-dependent
+// subscripts, unrecognized loops) are skipped with one SevInfo diagnostic
+// per task name: the polyhedral machinery cannot bound their footprint, and
+// guessing would produce unfounded race reports.
+func CheckBatch(tasks []TaskInstance) []Diagnostic {
+	var diags []Diagnostic
+	type inst struct {
+		fa *funcAccesses
+		ok bool
+	}
+	infos := make([]inst, len(tasks))
+	skipped := make(map[string]bool)
+	byFunc := make(map[*ir.Func]map[string]*funcAccesses)
+	for i, ti := range tasks {
+		if ti.Fn == nil {
+			continue
+		}
+		// Memoize extraction per (function, int-env): batches repeat the same
+		// task with varying array offsets far more often than varying sizes.
+		key := envKey(ti.Ints)
+		perEnv := byFunc[ti.Fn]
+		if perEnv == nil {
+			perEnv = make(map[string]*funcAccesses)
+			byFunc[ti.Fn] = perEnv
+		}
+		fa := perEnv[key]
+		if fa == nil {
+			fa = extractAccesses(ti.Fn, ti.Ints)
+			perEnv[key] = fa
+		}
+		infos[i] = inst{fa: fa, ok: fa.exact()}
+		if !infos[i].ok && !skipped[ti.Fn.Name] {
+			skipped[ti.Fn.Name] = true
+			diags = append(diags, Diagnostic{
+				Pass: "race", Sev: SevInfo, Task: ti.Fn.Name,
+				Msg: "non-affine access set; overlap analysis skipped for this task",
+			})
+		}
+	}
+	pairs := 0
+	for i := range tasks {
+		if tasks[i].Fn == nil || !infos[i].ok {
+			continue
+		}
+		for j := i + 1; j < len(tasks); j++ {
+			if tasks[j].Fn == nil || !infos[j].ok {
+				continue
+			}
+			pairs++
+			if pairs > MaxRacePairs {
+				diags = append(diags, Diagnostic{
+					Pass: "race", Sev: SevInfo, Task: tasks[i].Fn.Name,
+					Msg: fmt.Sprintf("batch exceeds %d instance pairs; remaining pairs unchecked", MaxRacePairs),
+				})
+				return diags
+			}
+			if d, found := conflict(&tasks[i], infos[i].fa, &tasks[j], infos[j].fa); found {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags
+}
+
+// conflict finds the first overlapping access pair between two instances:
+// write-write first (the more severe report), then each direction of
+// read-write. At most one diagnostic is produced per instance pair, so one
+// racy loop nest yields one report instead of one per subscript pair.
+func conflict(a *TaskInstance, fa *funcAccesses, b *TaskInstance, fb *funcAccesses) (Diagnostic, bool) {
+	if d, ok := overlapAny(a, fa.writes, b, fb.writes, "write-write"); ok {
+		return d, true
+	}
+	if d, ok := overlapAny(a, fa.writes, b, fb.reads, "write-read"); ok {
+		return d, true
+	}
+	if d, ok := overlapAny(a, fa.reads, b, fb.writes, "read-write"); ok {
+		return d, true
+	}
+	return Diagnostic{}, false
+}
+
+func overlapAny(a *TaskInstance, as []*memAccess, b *TaskInstance, bs []*memAccess, kind string) (Diagnostic, bool) {
+	for _, ma := range as {
+		ida, ok := a.Arrays[ma.param.Nam]
+		if !ok || ida == nil {
+			continue
+		}
+		for _, mb := range bs {
+			idb, ok := b.Arrays[mb.param.Nam]
+			if !ok || idb == nil || ida != idb {
+				continue
+			}
+			if overlaps(ma, mb) {
+				return Diagnostic{
+					Pass: "race", Sev: SevError, Task: a.Fn.Name,
+					Pos: ma.in.Pos(), RelPos: mb.in.Pos(),
+					Msg: fmt.Sprintf("%s overlap on array %s between %s and %s",
+						kind, ma.param.Nam, a.Label, b.Label),
+				}, true
+			}
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// RaceEnumPoints caps the lattice-point enumeration used to confirm a
+// rational overlap over the integers.
+const RaceEnumPoints = 1 << 20
+
+// overlaps decides whether two accesses can touch the same element. The
+// Fourier–Motzkin emptiness test over { (t^a, t^b) : t^a ∈ dom_a, t^b ∈
+// dom_b, flat_a(t^a) = flat_b(t^b) } runs first: it is exact over ℚ, so an
+// empty intersection is a proof of independence. A ℚ-feasible intersection
+// can still be integer-empty (e.g. row-major tiles in the same block row:
+// N·Δr = jj_b − jj_a has rational but no integral solutions within the trip
+// bounds), so it is confirmed by intersecting the concrete element sets —
+// the environment is fully instantiated, making enumeration exact. Only when
+// a domain exceeds RaceEnumPoints does the rational verdict stand
+// unconfirmed, erring toward reporting.
+func overlaps(a, b *memAccess) bool {
+	if !rationalOverlap(a, b) {
+		return false
+	}
+	sa, oka := a.elems(RaceEnumPoints)
+	sb, okb := b.elems(RaceEnumPoints)
+	if !oka || !okb {
+		return true
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	for e := range sa {
+		if sb[e] {
+			return true
+		}
+	}
+	return false
+}
+
+func rationalOverlap(a, b *memAccess) bool {
+	na, nb := a.sp.depth(), b.sp.depth()
+	p := poly.NewPolyhedron(na+nb, 0)
+	for _, c := range a.sp.dom.Cons {
+		row := make([]int64, na+nb+1)
+		copy(row[:na], c.V[:na])
+		row[na+nb] = c.V[na]
+		p.AddConstraint(row)
+	}
+	for _, c := range b.sp.dom.Cons {
+		row := make([]int64, na+nb+1)
+		copy(row[na:na+nb], c.V[:nb])
+		row[na+nb] = c.V[nb]
+		p.AddConstraint(row)
+	}
+	eq := make([]int64, na+nb+1)
+	copy(eq[:na], a.flat.c)
+	for i, v := range b.flat.c {
+		eq[na+i] = -v
+	}
+	eq[na+nb] = a.flat.k - b.flat.k
+	p.AddEquality(eq)
+	return p.Feasible(nil)
+}
+
+// envKey canonicalizes an integer environment for memoization.
+func envKey(m map[string]int64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return s
+}

@@ -193,6 +193,12 @@ func generateAffineAccess(f *ir.Func, info *affineInfo, groups []*nestGroup, opt
 				continue
 			}
 			emitted[key] = true
+			// Stamp the prefetch with a representative member access so
+			// position-based analyses (may-read coverage matching) can pair
+			// it with the task-side load it covers.
+			if len(ca.cl.accesses) > 0 {
+				bd.SetPos(ca.cl.accesses[0].instr.Pos())
+			}
 			addr := bd.GEP(ca.base, ca.dims, idx)
 			bd.Prefetch(addr)
 		}

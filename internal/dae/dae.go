@@ -3,6 +3,8 @@ package dae
 import (
 	"fmt"
 
+	"dae/internal/analysis"
+	"dae/internal/fault"
 	"dae/internal/ir"
 	"dae/internal/passes"
 )
@@ -169,6 +171,9 @@ func Generate(f *ir.Func, opts Options) (*Result, error) {
 				return nil, err
 			}
 			passes.CleanupOnly(af)
+			if err := verifyAccessPure(af); err != nil {
+				return nil, err
+			}
 			res.Access = af
 			res.Strategy = StrategyAffine
 			res.Classes = len(info.classes)
@@ -185,12 +190,18 @@ func Generate(f *ir.Func, opts Options) (*Result, error) {
 		res.Reason = err.Error()
 		return res, nil
 	}
+	if err := verifyAccessPure(af); err != nil {
+		return nil, err
+	}
 	res.Access = af
 	res.Strategy = StrategySkeleton
 	if opts.MultiVersion && opts.SimplifyCFG {
 		fullOpts := opts
 		fullOpts.SimplifyCFG = false
 		if full, err := generateSkeletonAccess(f, fullOpts); err == nil && full.NumInstrs() != af.NumInstrs() {
+			if err := verifyAccessPure(full); err != nil {
+				return nil, err
+			}
 			full.Name = f.Name + "_access_full"
 			res.AccessFull = full
 		}
@@ -206,6 +217,26 @@ func Generate(f *ir.Func, opts Options) (*Result, error) {
 		res.TotalLoops = len(ir.FindLoops(f, dt).AllLoops())
 	}
 	return res, nil
+}
+
+// verifyAccessPure runs the static purity verifier over a freshly generated
+// access version — the post-condition of both generation strategies. A
+// violation means a compiler bug (a retained external store or call would
+// make the decoupled run observably different from the coupled one), so it
+// surfaces as a typed fault.ErrVerify error rather than a diagnostic the
+// caller might ignore.
+func verifyAccessPure(af *ir.Func) error {
+	diags := analysis.VerifyAccessPurity(af)
+	if !analysis.HasErrors(diags) {
+		return nil
+	}
+	first := diags[0]
+	fe := fault.New(fault.KindVerify, "generated access version is impure: %s", first.Msg)
+	fe.Func = af.Name
+	if first.Pos.IsValid() {
+		fe.Pos = first.Pos.String()
+	}
+	return fe
 }
 
 // GenerateModule optimizes every function, generates access versions for all

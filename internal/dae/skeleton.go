@@ -143,7 +143,9 @@ func generateSkeletonAccess(f *ir.Func, opts Options) (*ir.Func, error) {
 			}
 			seen[key] = true
 		}
-		r.load.Parent().InsertBefore(ir.NewPrefetch(r.gep), r.load)
+		pf := ir.NewPrefetch(r.gep)
+		pf.SetPos(r.load.Pos())
+		r.load.Parent().InsertBefore(pf, r.load)
 	}
 
 	// Optionally prefetch store targets (off by default: §5.2.1 found write
@@ -153,7 +155,9 @@ func generateSkeletonAccess(f *ir.Func, opts Options) (*ir.Func, error) {
 			if st, ok := in.(*ir.Store); ok {
 				if g, ok := st.Ptr.(*ir.GEP); ok {
 					if _, isParam := baseParamOf(g); isParam {
-						st.Parent().InsertBefore(ir.NewPrefetch(g), st)
+						pf := ir.NewPrefetch(g)
+						pf.SetPos(st.Pos())
+						st.Parent().InsertBefore(pf, st)
 					}
 				}
 			}

@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/analysis"
+	"dae/internal/bench"
+	"dae/internal/mem"
+	"dae/internal/rt"
+)
+
+// CoverageRow cross-validates the compile-time prefetch-coverage figure of
+// one task against the dynamically measured line coverage — the static
+// companion to Table 1's TA% column.
+type CoverageRow struct {
+	// App and Task identify the benchmark task.
+	App, Task string
+	// Strategy is the access-generation path ("affine", "skeleton", "none").
+	Strategy string
+	// Exact is true when every sampled invocation's static figure came from
+	// polyhedral enumeration rather than the may-read approximation.
+	Exact bool
+	// Static and Dynamic are line-coverage fractions in [0,1], aggregated
+	// over the sampled invocations.
+	Static, Dynamic float64
+	// Invocations is the number of task instances sampled.
+	Invocations int
+}
+
+// CoverageReport computes per-task static and dynamic prefetch coverage for
+// the named apps (all seven when names is empty), sampling up to perTask
+// invocations of each task type from the workload's batches. The static
+// analysis instantiates each invocation's integer arguments; the dynamic
+// measurement replays the same invocation on cloned data.
+func CoverageReport(names []string, perTask int) ([]CoverageRow, error) {
+	if perTask <= 0 {
+		perTask = 3
+	}
+	lineBytes := int64(mem.EvalHierarchy().L1.LineBytes)
+	var rows []CoverageRow
+	for _, app := range bench.Apps() {
+		if len(names) > 0 && !containsFold(names, app.Name) {
+			continue
+		}
+		b, err := app.Build(bench.Auto)
+		if err != nil {
+			return nil, fmt.Errorf("eval: build %s: %w", app.Name, err)
+		}
+		appRows, err := coverageRows(app.Name, b, lineBytes, perTask)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, appRows...)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].App != rows[j].App {
+			return rows[i].App < rows[j].App
+		}
+		return rows[i].Task < rows[j].Task
+	})
+	return rows, nil
+}
+
+// coverageRows samples invocations of each task type of one built benchmark.
+// Exact static figures aggregate line-weighted (sum of covered lines over sum
+// of read lines across invocations, mirroring the dynamic aggregation); once
+// any invocation falls back to the may-read approximation the row reports the
+// mean per-invocation fraction instead, since approximate "line counts" are
+// reference counts, not lines, and must not be mixed into line sums.
+func coverageRows(appName string, b *bench.Built, lineBytes int64, perTask int) ([]CoverageRow, error) {
+	type agg struct {
+		row         CoverageRow
+		readS, covS int     // static line sums (exact invocations)
+		readD, covD int     // dynamic line sums
+		fracS       float64 // per-invocation static fraction sum
+		exact       bool
+	}
+	aggs := make(map[string]*agg)
+	for _, batch := range b.W.Batches {
+		for _, t := range batch {
+			a := aggs[t.Name]
+			if a != nil && a.row.Invocations >= perTask {
+				continue
+			}
+			fn := b.W.Module.Func(t.Name)
+			if fn == nil {
+				continue
+			}
+			if a == nil {
+				strategy := "none"
+				if res := b.Results[t.Name]; res != nil {
+					strategy = res.Strategy.String()
+				}
+				a = &agg{
+					row:   CoverageRow{App: appName, Task: t.Name, Strategy: strategy},
+					exact: true,
+				}
+				aggs[t.Name] = a
+			}
+			access := b.W.Access[t.Name]
+			env := make(map[string]int64)
+			for i, p := range fn.Params {
+				if i < len(t.Args) && p.Typ.IsInt() && t.Args[i].IsInt() {
+					env[p.Nam] = t.Args[i].Int64()
+				}
+			}
+			cov := analysis.StaticCoverage(fn, access, env, lineBytes, 0)
+			read, covered, err := analysis.DynamicCoverage(b.W.Module, fn, access, b.Heap, t.Args, lineBytes)
+			if err != nil {
+				return nil, fmt.Errorf("eval: dynamic coverage of %s/%s: %w", appName, t.Name, err)
+			}
+			a.row.Invocations++
+			a.readD += read
+			a.covD += covered
+			a.fracS += cov.Fraction()
+			if cov.Exact {
+				a.readS += cov.ReadLines
+				a.covS += cov.CoveredLines
+			} else {
+				a.exact = false
+			}
+		}
+	}
+	var rows []CoverageRow
+	for _, a := range aggs {
+		r := a.row
+		r.Exact = a.exact
+		if a.exact {
+			r.Static = fraction(a.covS, a.readS)
+		} else {
+			r.Static = a.fracS / float64(r.Invocations)
+		}
+		r.Dynamic = fraction(a.covD, a.readD)
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Task < rows[j].Task })
+	return rows, nil
+}
+
+func fraction(cov, read int) float64 {
+	if read == 0 {
+		return 1
+	}
+	return float64(cov) / float64(read)
+}
+
+func containsFold(names []string, name string) bool {
+	for _, n := range names {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatCoverage renders the cross-validation table.
+func FormatCoverage(rows []CoverageRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-14s %-9s %6s %8s %8s %5s\n",
+		"app", "task", "strategy", "kind", "static", "dynamic", "inst")
+	for _, r := range rows {
+		kind := "exact"
+		if !r.Exact {
+			kind = "may"
+		}
+		fmt.Fprintf(&sb, "%-10s %-14s %-9s %6s %7.1f%% %7.1f%% %5d\n",
+			r.App, r.Task, r.Strategy, kind, 100*r.Static, 100*r.Dynamic, r.Invocations)
+	}
+	return sb.String()
+}
+
+// RaceReport runs the polyhedral task-overlap detector over the named apps'
+// workloads (all seven when names is empty), returning per-app diagnostics.
+// The paper's benchmarks are data-race free by construction, so any SevError
+// diagnostic here points at a bug in either the benchmark or the detector.
+func RaceReport(names []string) (map[string][]analysis.Diagnostic, error) {
+	out := make(map[string][]analysis.Diagnostic)
+	for _, app := range bench.Apps() {
+		if len(names) > 0 && !containsFold(names, app.Name) {
+			continue
+		}
+		b, err := app.Build(bench.Auto)
+		if err != nil {
+			return nil, fmt.Errorf("eval: build %s: %w", app.Name, err)
+		}
+		out[app.Name] = rt.CheckRaces(b.W)
+	}
+	return out, nil
+}

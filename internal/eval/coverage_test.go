@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"dae/internal/analysis"
+)
+
+// TestStaticDynamicCoverage cross-validates the compile-time coverage figure
+// against the dynamically measured one. For the affine apps (LU, Cholesky,
+// CG) the static analysis enumerates the exact polyhedral access sets, so the
+// figures must agree to within 10 percentage points (slack for line-boundary
+// effects between the byte-granular enumeration and the traced hierarchy).
+func TestStaticDynamicCoverage(t *testing.T) {
+	affine := []string{"LU", "Cholesky", "CG"}
+	rows, err := CoverageReport(affine, 2)
+	if err != nil {
+		t.Fatalf("CoverageReport: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no coverage rows")
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		seen[r.App] = true
+		t.Logf("%s/%s strategy=%s exact=%v static=%.1f%% dynamic=%.1f%% n=%d",
+			r.App, r.Task, r.Strategy, r.Exact, 100*r.Static, 100*r.Dynamic, r.Invocations)
+		if r.Strategy != "affine" {
+			continue
+		}
+		if !r.Exact {
+			t.Errorf("%s/%s: affine task fell back to may-read approximation", r.App, r.Task)
+		}
+		if diff := math.Abs(r.Static - r.Dynamic); diff > 0.10 {
+			t.Errorf("%s/%s: static %.1f%% vs dynamic %.1f%% differ by %.1f points (limit 10)",
+				r.App, r.Task, 100*r.Static, 100*r.Dynamic, 100*diff)
+		}
+	}
+	for _, app := range affine {
+		if !seen[app] {
+			t.Errorf("no rows for %s", app)
+		}
+	}
+}
+
+// TestRaceReportCleanOnBenchmarks asserts the overlap detector finds no races
+// in the paper benchmarks: tasks within a batch are independent by
+// construction, so every SevError diagnostic would be a false positive (or a
+// real benchmark bug).
+func TestRaceReportCleanOnBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark race sweep")
+	}
+	diags, err := RaceReport(nil)
+	if err != nil {
+		t.Fatalf("RaceReport: %v", err)
+	}
+	for app, ds := range diags {
+		for _, d := range ds {
+			if d.Sev == analysis.SevError {
+				t.Errorf("%s: unexpected race diagnostic: %s", app, d)
+			} else {
+				t.Logf("%s: %s", app, d)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fuzzgen
 import (
 	"testing"
 
+	"dae/internal/analysis"
 	daepass "dae/internal/dae"
 	"dae/internal/fault"
 	"dae/internal/interp"
@@ -24,31 +25,40 @@ func FuzzPipeline(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		src := New(seed).Task()
 
-		compile := func(optimize bool) (prog *interp.Program, irf *ir.Func, err error) {
+		compile := func(optimize bool) (prog *interp.Program, irf *ir.Func, accesses []*ir.Func, err error) {
 			defer fault.Recover(&err, "compile")
 			mod, err := lower.Compile(src, "fuzz")
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			irf = mod.Func("fuzz")
 			if optimize {
 				if _, err := passes.Optimize(irf); err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 				if err := irf.Verify(); err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 				opts := daepass.Defaults()
 				opts.ParamHints = map[string]int64{"n": N, "p": 13, "q": -7}
-				if _, err := daepass.GenerateModule(mod, opts); err != nil {
-					return nil, nil, err
+				results, err := daepass.GenerateModule(mod, opts)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				for _, res := range results {
+					if res.Access != nil {
+						accesses = append(accesses, res.Access)
+					}
+					if res.AccessFull != nil {
+						accesses = append(accesses, res.AccessFull)
+					}
 				}
 			}
-			return interp.NewProgram(mod), irf, nil
+			return interp.NewProgram(mod), irf, accesses, nil
 		}
 
 		run := func(optimize bool) (*state, error) {
-			prog, irf, err := compile(optimize)
+			prog, irf, _, err := compile(optimize)
 			if err != nil {
 				return nil, err
 			}
@@ -73,6 +83,32 @@ func FuzzPipeline(f *testing.F) {
 		}
 		if arr, ok := ref.equal(opt); !ok {
 			t.Fatalf("optimization changed array %s\nsource:\n%s", arr, src)
+		}
+
+		// Differential purity invariant: the static analyzer certifies every
+		// generated access version as store-free to external memory; an
+		// interpreter trace of the same version must agree. A disagreement in
+		// either direction is a bug — an unsound proof or an impure slice.
+		prog, _, accesses, err := compile(true)
+		if err != nil {
+			t.Fatalf("recompile for purity check: %v\nsource:\n%s", err, src)
+		}
+		for _, af := range accesses {
+			if diags := analysis.VerifyAccessPurity(af); analysis.HasErrors(diags) {
+				t.Fatalf("generated access version @%s failed the purity proof:\n%s\nsource:\n%s",
+					af.Name, analysis.Format(diags), src)
+			}
+			rec := &storeRecorder{}
+			env := interp.NewEnv(prog, rec)
+			env.SetMaxSteps(4 << 20)
+			st := newState(seed)
+			if _, err := env.Call(af, st.args()...); err != nil {
+				t.Fatalf("access version @%s run: %v\nsource:\n%s", af.Name, err, src)
+			}
+			if rec.stores > 0 {
+				t.Fatalf("analyzer-pure access version @%s performed %d external store(s)\nsource:\n%s",
+					af.Name, rec.stores, src)
+			}
 		}
 	})
 }

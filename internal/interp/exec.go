@@ -47,6 +47,19 @@ func (v Value) Int64() int64 { return v.v.i }
 // Float64 returns the float payload.
 func (v Value) Float64() float64 { return v.v.f }
 
+// IsInt reports whether v wraps an integer.
+func (v Value) IsInt() bool { return v.k == intVal }
+
+// Segment returns the segment behind a pointer value, or nil for scalars.
+// Static analyses use segment identity to decide whether two task
+// invocations share an array.
+func (v Value) Segment() *Seg {
+	if v.k != ptrVal {
+		return nil
+	}
+	return v.v.p.seg
+}
+
 // Tracer observes every data-memory access the interpreted program performs.
 // Addresses are byte addresses in the simulated address space.
 type Tracer interface {

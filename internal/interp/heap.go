@@ -169,4 +169,3 @@ type ptr struct {
 func (p ptr) addr() int64 { return p.seg.Addr(p.off) }
 
 func (p ptr) inBounds() bool { return p.seg != nil && p.off >= 0 && p.off < int64(p.seg.Len()) }
-

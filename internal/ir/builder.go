@@ -6,6 +6,7 @@ package ir
 type Builder struct {
 	fn  *Func
 	cur *Block
+	pos Pos
 }
 
 // NewBuilder returns a builder positioned at no block.
@@ -20,6 +21,13 @@ func (bd *Builder) SetBlock(b *Block) { bd.cur = b }
 // Block returns the current insertion block.
 func (bd *Builder) Block() *Block { return bd.cur }
 
+// SetPos sets the TaskC source position stamped on subsequently inserted
+// instructions (the zero Pos stops stamping).
+func (bd *Builder) SetPos(p Pos) { bd.pos = p }
+
+// Pos returns the position currently being stamped.
+func (bd *Builder) Pos() Pos { return bd.pos }
+
 // NewBlock creates a fresh block (without moving the insertion point).
 func (bd *Builder) NewBlock(name string) *Block { return bd.fn.NewBlock(name) }
 
@@ -30,6 +38,7 @@ func (bd *Builder) insert(in Instr) Instr {
 	if bd.cur.Term() != nil {
 		panic("ir: inserting into terminated block " + bd.cur.Name)
 	}
+	in.SetPos(bd.pos)
 	bd.cur.Append(in)
 	return in
 }
@@ -75,6 +84,7 @@ func (bd *Builder) Phi(typ *Type, varName string) *Phi {
 	if bd.cur == nil {
 		panic("ir: builder has no insertion block")
 	}
+	p.SetPos(bd.pos)
 	p.setParent(bd.cur)
 	p.setID(bd.fn.nextID())
 	i := bd.cur.FirstNonPhi()

@@ -26,6 +26,7 @@ func CloneFunc(f *Func, newName string) *Func {
 		nb := bmap[b]
 		for _, in := range b.Instrs {
 			c := cloneInstr(in, bmap)
+			c.SetPos(in.Pos())
 			nb.Append(c)
 			vmap[in] = c
 			clones = append(clones, c)

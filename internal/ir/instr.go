@@ -2,6 +2,24 @@ package ir
 
 import "fmt"
 
+// Pos is a TaskC source position attached to instructions for diagnostics.
+// The zero Pos means "unknown" (synthesized instructions, parsed textual IR).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position refers to a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for the unknown position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Instr is an IR instruction. Instructions are Values (their result can be
 // used as an operand); void-typed instructions (stores, branches, prefetch)
 // must not be used as operands.
@@ -13,6 +31,10 @@ type Instr interface {
 	SetOperand(i int, v Value)
 	// Parent returns the block containing the instruction (nil if detached).
 	Parent() *Block
+	// Pos returns the TaskC source position (zero when unknown).
+	Pos() Pos
+	// SetPos attaches a TaskC source position.
+	SetPos(p Pos)
 	setParent(b *Block)
 	setID(id int)
 	id() int
@@ -32,10 +54,13 @@ type instrBase struct {
 	blk *Block
 	num int // SSA number for printing; assigned on insertion
 	typ *Type
+	pos Pos
 }
 
 func (b *instrBase) Type() *Type        { return b.typ }
 func (b *instrBase) Parent() *Block     { return b.blk }
+func (b *instrBase) Pos() Pos           { return b.pos }
+func (b *instrBase) SetPos(p Pos)       { b.pos = p }
 func (b *instrBase) setParent(p *Block) { b.blk = p }
 func (b *instrBase) setID(id int)       { b.num = id }
 func (b *instrBase) id() int            { return b.num }

@@ -26,17 +26,27 @@ func (f *Func) Verify() error {
 	for _, b := range f.Blocks {
 		blockSet[b] = true
 	}
+	preds := f.Preds()
 	for _, b := range f.Blocks {
-		if err := f.verifyBlock(b, blockSet); err != nil {
+		if err := f.verifyBlock(b, blockSet, preds); err != nil {
 			return fmt.Errorf("block %%%s: %w", b.Name, err)
 		}
 	}
 	return f.verifyDominance()
 }
 
-func (f *Func) verifyBlock(b *Block, blockSet map[*Block]bool) error {
+func (f *Func) verifyBlock(b *Block, blockSet map[*Block]bool, preds map[*Block][]*Block) error {
 	if len(b.Instrs) == 0 {
 		return errors.New("empty block")
+	}
+	nterm := 0
+	for _, in := range b.Instrs {
+		if IsTerminator(in) {
+			nterm++
+		}
+	}
+	if nterm != 1 {
+		return fmt.Errorf("block has %d terminators, want exactly 1", nterm)
 	}
 	for i, in := range b.Instrs {
 		isLast := i == len(b.Instrs)-1
@@ -49,8 +59,16 @@ func (f *Func) verifyBlock(b *Block, blockSet map[*Block]bool) error {
 		if in.Parent() != b {
 			return fmt.Errorf("instruction parent link broken: %s", FormatInstr(in))
 		}
-		if _, isPhi := in.(*Phi); isPhi && i >= b.FirstNonPhi() {
-			return fmt.Errorf("phi after non-phi: %s", FormatInstr(in))
+		if phi, isPhi := in.(*Phi); isPhi {
+			if i >= b.FirstNonPhi() {
+				return fmt.Errorf("phi after non-phi: %s", FormatInstr(in))
+			}
+			// Structural edge-count check for every block, reachable or not
+			// (verifyDominance re-checks reachable blocks with edge matching).
+			if len(phi.In) != len(preds[b]) {
+				return fmt.Errorf("phi %s has %d incoming, block has %d preds",
+					phi.Ref(), len(phi.In), len(preds[b]))
+			}
 		}
 		if err := verifyTypes(in); err != nil {
 			return fmt.Errorf("%s: %w", FormatInstr(in), err)
@@ -72,6 +90,9 @@ func verifyTypes(in Instr) error {
 		if !x.Ptr.Type().IsPtr() {
 			return errors.New("load of non-pointer")
 		}
+		if x.Type() != x.Ptr.Type().Elem {
+			return errors.New("load result/pointer element type mismatch")
+		}
 	case *Store:
 		if !x.Ptr.Type().IsPtr() {
 			return errors.New("store to non-pointer")
@@ -82,6 +103,9 @@ func verifyTypes(in Instr) error {
 	case *Prefetch:
 		if !x.Ptr.Type().IsPtr() {
 			return errors.New("prefetch of non-pointer")
+		}
+		if e := x.Ptr.Type().Elem; e == nil || e.IsVoid() {
+			return errors.New("prefetch pointer has no element type")
 		}
 	case *GEP:
 		if !x.Base.Type().IsPtr() {

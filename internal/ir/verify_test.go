@@ -1,0 +1,107 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// wantVerifyError asserts that f.Verify fails with a message containing want.
+func wantVerifyError(t *testing.T, f *Func, want string) {
+	t.Helper()
+	err := f.Verify()
+	if err == nil {
+		t.Fatalf("expected verify error containing %q\n%s", want, f)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("verify error %q does not contain %q", err, want)
+	}
+}
+
+func TestVerifyCatchesDoubleTerminator(t *testing.T) {
+	f := NewFunc("f", VoidT, nil)
+	b1 := f.NewBlock("entry")
+	b2 := f.NewBlock("exit")
+	b1.Append(NewBr(b2))
+	b1.Append(NewBr(b2))
+	b2.Append(NewRet(nil))
+	wantVerifyError(t, f, "2 terminators")
+}
+
+func TestVerifyCatchesTerminatorMidBlock(t *testing.T) {
+	// Exactly one terminator, but not at the end of the block.
+	f := NewFunc("f", VoidT, nil)
+	b1 := f.NewBlock("entry")
+	b2 := f.NewBlock("exit")
+	b1.Append(NewBr(b2))
+	b1.Append(NewBin(IAdd, CI(1), CI(2)))
+	b2.Append(NewRet(nil))
+	wantVerifyError(t, f, "terminator in mid-block")
+}
+
+func TestVerifyCatchesPhiOperandCountStructurally(t *testing.T) {
+	// The phi/predecessor-count check must fire even in blocks the dominance
+	// pass skips as unreachable.
+	f := NewFunc("f", VoidT, nil)
+	entry := f.NewBlock("entry")
+	entry.Append(NewRet(nil))
+	dead := f.NewBlock("dead") // no predecessors, unreachable
+	phi := NewPhi(IntT, "x")
+	phi.AddIncoming(CI(1), entry)
+	dead.Append(phi)
+	dead.Append(NewRet(nil))
+	wantVerifyError(t, f, "has 1 incoming, block has 0 preds")
+}
+
+func TestVerifyCatchesPhiOperandCountEntry(t *testing.T) {
+	f, entry, loop, _ := buildCountLoop(t)
+	// Add a bogus extra incoming edge (same predecessor twice).
+	p := loop.Phis()[0]
+	p.AddIncoming(CI(0), entry)
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for phi with extra incoming edge")
+	}
+}
+
+func TestVerifyCatchesLoadResultTypeMismatch(t *testing.T) {
+	intp := &Param{Nam: "p", Typ: PtrTo(IntT)}
+	fltp := &Param{Nam: "q", Typ: PtrTo(FloatT)}
+	f := NewFunc("f", VoidT, []*Param{intp, fltp})
+	b := f.NewBlock("entry")
+	ld := NewLoad(intp) // result type int
+	ld.Ptr = fltp       // a broken pass rewires the pointer operand
+	b.Append(ld)
+	b.Append(NewRet(nil))
+	wantVerifyError(t, f, "load result/pointer element type mismatch")
+}
+
+func TestVerifyCatchesStoreValueTypeMismatch(t *testing.T) {
+	fltp := &Param{Nam: "q", Typ: PtrTo(FloatT)}
+	f := NewFunc("f", VoidT, []*Param{fltp})
+	b := f.NewBlock("entry")
+	b.Append(NewStore(CI(1), fltp)) // int value into float cell
+	b.Append(NewRet(nil))
+	wantVerifyError(t, f, "store value/pointer element type mismatch")
+}
+
+func TestVerifyCatchesPrefetchWithoutElem(t *testing.T) {
+	p := &Param{Nam: "p", Typ: &Type{K: PtrKind}} // pointer with no element type
+	f := NewFunc("f", VoidT, []*Param{p})
+	b := f.NewBlock("entry")
+	b.Append(NewPrefetch(p))
+	b.Append(NewRet(nil))
+	wantVerifyError(t, f, "prefetch pointer has no element type")
+}
+
+func TestVerifyAcceptsWellFormedMemoryOps(t *testing.T) {
+	intp := &Param{Nam: "p", Typ: PtrTo(IntT)}
+	f := NewFunc("f", VoidT, []*Param{intp})
+	bd := NewBuilder(f)
+	bd.SetBlock(bd.NewBlock("entry"))
+	v := bd.Load(intp)
+	bd.Store(v, intp)
+	bd.Prefetch(intp)
+	bd.Ret(nil)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("well-formed function rejected: %v\n%s", err, f)
+	}
+}

@@ -57,6 +57,8 @@ func irType(t taskc.TypeName) *ir.Type {
 	return ir.VoidT
 }
 
+func irPos(p taskc.Pos) ir.Pos { return ir.Pos{Line: p.Line, Col: p.Col} }
+
 func irParams(fd *taskc.FuncDecl) []*ir.Param {
 	params := make([]*ir.Param, len(fd.Params))
 	for i, pd := range fd.Params {
@@ -141,6 +143,9 @@ func (l *lowerer) startBlockIfTerminated() {
 
 func (l *lowerer) stmt(s taskc.Stmt) error {
 	l.startBlockIfTerminated()
+	// Stamp statement position on subsequently built instructions; address
+	// and rvalue refine it to expression granularity for memory operations.
+	l.bd.SetPos(irPos(taskc.StmtPos(s)))
 	switch st := s.(type) {
 	case *taskc.BlockStmt:
 		for _, sub := range st.Stmts {
@@ -344,6 +349,9 @@ func (l *lowerer) assign(st *taskc.AssignStmt) error {
 			val = l.bd.Bin(op, cur, rhs)
 		}
 	}
+	// The rhs lowering may have restamped the builder position (its own array
+	// reads); the store itself belongs to the assignment target.
+	l.bd.SetPos(irPos(taskc.ExprPos(st.LHS)))
 	l.bd.Store(val, ptr)
 	return nil
 }
@@ -366,6 +374,7 @@ func (l *lowerer) address(ix *taskc.IndexExpr) (ir.Value, error) {
 	}
 	dimsCopy := make([]ir.Value, len(dims))
 	copy(dimsCopy, dims)
+	l.bd.SetPos(irPos(ix.Pos))
 	return l.bd.GEP(base, dimsCopy, idx), nil
 }
 

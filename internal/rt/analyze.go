@@ -1,0 +1,71 @@
+package rt
+
+import (
+	"fmt"
+
+	"dae/internal/analysis"
+)
+
+// BatchInstances adapts one batch of a workload into the race detector's
+// task-instance form: integer arguments become the affine instantiation
+// environment, array arguments are identified by their heap segment so that
+// two invocations conflict only when they share an allocation.
+func BatchInstances(w *Workload, batchIdx int) []analysis.TaskInstance {
+	batch := w.Batches[batchIdx]
+	insts := make([]analysis.TaskInstance, 0, len(batch))
+	for ti, task := range batch {
+		fn := w.Module.Func(task.Name)
+		inst := analysis.TaskInstance{
+			Label:  fmt.Sprintf("%s#%d.%d", task.Name, batchIdx, ti),
+			Fn:     fn,
+			Ints:   make(map[string]int64),
+			Arrays: make(map[string]analysis.ArrayID),
+		}
+		if fn != nil {
+			for i, p := range fn.Params {
+				if i >= len(task.Args) {
+					break
+				}
+				switch {
+				case p.Typ.IsInt() && task.Args[i].IsInt():
+					inst.Ints[p.Nam] = task.Args[i].Int64()
+				case p.Typ.IsPtr():
+					if seg := task.Args[i].Segment(); seg != nil {
+						inst.Arrays[p.Nam] = seg
+					}
+				}
+			}
+		}
+		insts = append(insts, inst)
+	}
+	return insts
+}
+
+// CheckRaces runs the polyhedral task-overlap detector over every parallel
+// batch of the workload, returning the combined diagnostics. Tasks within a
+// batch run concurrently under the scheduler, so any write-write or
+// read-write overlap between two instances of the same batch is a race;
+// batches are separated by barriers and never compared across.
+func CheckRaces(w *Workload) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for bi := range w.Batches {
+		diags = append(diags, analysis.CheckBatch(BatchInstances(w, bi))...)
+	}
+	// A task skipped as non-affine repeats across batches; keep one note.
+	return dedupInfo(diags)
+}
+
+func dedupInfo(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	seen := make(map[analysis.Diagnostic]bool)
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Sev == analysis.SevInfo {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -184,8 +184,14 @@ func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
 func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
 func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
 
+// StmtPos returns the source position of a statement.
+func StmtPos(s Stmt) Pos { return s.stmtPos() }
+
 // Expr is a TaskC expression.
 type Expr interface{ exprPos() Pos }
+
+// ExprPos returns the source position of an expression.
+func ExprPos(e Expr) Pos { return e.exprPos() }
 
 // IntLit is an integer literal.
 type IntLit struct {

@@ -1,0 +1,129 @@
+package taskc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// posOf returns the 1-based line:col of the n-th occurrence of marker in src.
+func posOf(t *testing.T, src, marker string, n int) Pos {
+	t.Helper()
+	off := -1
+	from := 0
+	for i := 0; i < n; i++ {
+		k := strings.Index(src[from:], marker)
+		if k < 0 {
+			t.Fatalf("marker %q (occurrence %d) not found", marker, n)
+		}
+		off = from + k
+		from = off + 1
+	}
+	line, col := 1, 1
+	for _, r := range src[:off] {
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Line: line, Col: col}
+}
+
+// TestCheckErrorPositions asserts that every type-check error points at the
+// offending token: the reported line:col must equal the marker's position in
+// the source, not the statement's or the file's.
+func TestCheckErrorPositions(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantMsg string
+		marker  string // error must point at this substring...
+		occ     int    // ...at its occ-th occurrence (1-based)
+	}{
+		{
+			name:    "duplicate-parameter",
+			src:     "task f(int a,\n\tint a) {\n}\n",
+			wantMsg: "duplicate parameter",
+			marker:  "int a", occ: 2,
+		},
+		{
+			name:    "float-array-dimension",
+			src:     "task f(float b,\n\tfloat A[b], int n) {\n}\n",
+			wantMsg: "array dimension must be int",
+			marker:  "b]", occ: 1,
+		},
+		{
+			name:    "redeclaration",
+			src:     "task f(int n) {\n\tint x = 0;\n\tint x = 1;\n}\n",
+			wantMsg: "redeclaration",
+			marker:  "int x = 1", occ: 1,
+		},
+		{
+			name:    "undefined-variable",
+			src:     "task f(int n) {\n\tint x = y;\n}\n",
+			wantMsg: "undefined variable",
+			marker:  "y;", occ: 1,
+		},
+		{
+			name:    "assign-to-parameter",
+			src:     "task f(int n) {\n\tn = 1;\n}\n",
+			wantMsg: "task parameters are immutable",
+			marker:  "n = 1", occ: 1,
+		},
+		{
+			name:    "unindexed-array",
+			src:     "task f(float A[n], int n) {\n\tfloat x = A;\n}\n",
+			wantMsg: "must be indexed",
+			marker:  "A;", occ: 1,
+		},
+		{
+			name:    "float-condition",
+			src:     "task f(float A[n], int n) {\n\tif (A[0]) {\n\t}\n}\n",
+			wantMsg: "condition must be bool or int",
+			marker:  "A[0]", occ: 1,
+		},
+		{
+			name:    "float-modulo",
+			src:     "task f(int n) {\n\tfloat z = 1.5 % 2.5;\n}\n",
+			wantMsg: "must be int",
+			marker:  "% 2.5", occ: 1, // binary-op errors point at the operator
+		},
+		{
+			name:    "call-arity",
+			src:     "void g(int a) {\n}\ntask f(int n) {\n\tg();\n}\n",
+			wantMsg: "has 0 args, want 1",
+			marker:  "g()", occ: 1,
+		},
+		{
+			name:    "undefined-function",
+			src:     "task f(int n) {\n\th(n);\n}\n",
+			wantMsg: "undefined function",
+			marker:  "h(n)", occ: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Check(file)
+			if err == nil {
+				t.Fatalf("expected type-check error containing %q", tc.wantMsg)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantMsg)
+			}
+			var te *Error
+			if !errors.As(err, &te) {
+				t.Fatalf("error %T is not a *taskc.Error", err)
+			}
+			want := posOf(t, tc.src, tc.marker, tc.occ)
+			if te.Pos != want {
+				t.Errorf("error at %s, want %s (marker %q)\n%q", te.Pos, want, tc.marker, err)
+			}
+		})
+	}
+}
