@@ -12,13 +12,26 @@
 // bounds each simulated task's interpreter steps. A run that fails — trap,
 // budget, timeout, panic — does not take the process down mid-collection;
 // daebench finishes the surviving runs, prints a per-run failure summary
-// (app, run kind, fault class), and exits nonzero.
+// (app, run kind, fault class; -v adds captured panic stacks), and exits
+// nonzero. With -exp all, a failing experiment does not stop the others:
+// every surviving experiment prints and the failures are reported together.
+//
+// -degrade selects the runtime supervision mode: "access" (default) contains
+// access-phase faults by quarantining the task type's access variant and
+// re-running it coupled; "full" additionally contains execute-phase faults
+// to the failing task; "off" aborts the run on any fault (the legacy
+// behavior). A collection that completes degraded prints a summary table
+// naming the quarantined task types and exits with status 3.
+//
+// Exit status: 0 clean, 1 failed runs or experiments, 2 usage, 3 completed
+// degraded.
 //
 // Usage:
 //
 //	daebench [-exp table1|fig3|fig4|zerolat|refined|strategies|all] [-cores 4]
 //	         [-csv dir] [-j N] [-cache-dir dir] [-timeout d] [-run-timeout d]
-//	         [-max-steps n] [-cpuprofile f] [-memprofile f]
+//	         [-max-steps n] [-degrade off|access|full] [-inject rules] [-v]
+//	         [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -31,11 +44,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 
 	daepass "dae/internal/dae"
 	"dae/internal/dvfs"
 	"dae/internal/eval"
+	"dae/internal/fault/inject"
 	"dae/internal/rt"
 )
 
@@ -55,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	runTimeout := fs.Duration("run-timeout", 0, "abort any single (benchmark, version) collection after this duration (0 = no limit)")
 	maxSteps := fs.Int64("max-steps", 0, "abort any simulated task after this many interpreter steps (0 = no limit)")
+	degrade := fs.String("degrade", "access", "runtime supervision mode: off (abort on fault), access (quarantine faulting access variants), full (also contain execute faults)")
+	injectSpec := fs.String("inject", "", "fault-injection rules, \"site,app,kind,task,mode[,trap]\" separated by ';' (testing)")
+	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +81,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "daebench:", err)
 		return 1
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "daebench:", err)
+		return 2
+	}
+	degradeMode, err := rt.ParseDegradeMode(*degrade)
+	if err != nil {
+		return usage(err)
+	}
+	injectRules, err := inject.ParseRules(*injectSpec)
+	if err != nil {
+		return usage(err)
 	}
 
 	if *cpuprofile != "" {
@@ -88,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := rt.DefaultTraceConfig()
 	cfg.Cores = *cores
 	cfg.MaxSteps = *maxSteps
+	cfg.Degrade = degradeMode
 	// The in-process cache is always on: it lets the refined experiment
 	// reuse the coupled and manual traces of the main collection. -cache-dir
 	// additionally persists entries across daebench invocations.
@@ -96,11 +127,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Cache:      eval.NewTraceCache(*cacheDir),
 		RunTimeout: *runTimeout,
 	}
+	if len(injectRules) > 0 {
+		in := inject.New(injectRules...)
+		opts.Inject = in.Hook()
+		opts.InjectPhase = in.PhaseFunc()
+	}
 	fmt.Fprintf(stderr, "daebench: tracing 7 benchmarks x 3 versions on %d simulated cores (%d workers)...\n",
 		cfg.Cores, effectiveWorkers(*jobs))
 	data, err := eval.CollectAllWith(ctx, cfg, opts)
 	if err != nil {
-		return failRuns(stderr, "daebench", err)
+		return failRuns(stderr, "daebench", err, *verbose)
 	}
 	m := rt.DefaultMachine()
 
@@ -221,11 +257,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}(i)
 	}
 	wg.Wait()
+	// A failed experiment does not mask the others: every surviving
+	// experiment still prints, and all failures are reported together.
+	failed := 0
 	for i := range exps {
 		if errs[i] != nil {
-			return failRuns(stderr, "daebench", fmt.Errorf("%s: %w", exps[i].name, errs[i]))
+			failed++
+			printFailure(stderr, "daebench", fmt.Errorf("%s: %w", exps[i].name, errs[i]), *verbose)
+			continue
 		}
 		stdout.Write(bufs[i].Bytes())
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "daebench: %d of %d experiment(s) failed\n", failed, len(exps))
+		return 1
 	}
 
 	if *memprofile != "" {
@@ -240,18 +285,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		f.Close()
 	}
+	if rows := eval.DegradationRows(data); len(rows) > 0 {
+		fmt.Fprintf(stderr, "daebench: %s", eval.FormatDegradation(rows))
+		return 3
+	}
 	return 0
 }
 
-// failRuns prints a collection failure — the per-run summary when the error
-// carries typed RunErrors, the plain error otherwise — and returns exit
-// status 1.
-func failRuns(stderr io.Writer, prog string, err error) int {
-	if s := eval.FormatFailures(err); s != "" {
+// printFailure renders one failure to stderr: the per-run summary when the
+// error carries typed RunErrors (with panic stacks under -v), the plain
+// error otherwise.
+func printFailure(stderr io.Writer, prog string, err error, verbose bool) {
+	s := eval.FormatFailures(err)
+	if verbose {
+		s = eval.FormatFailuresVerbose(err)
+	}
+	if s != "" {
 		fmt.Fprintf(stderr, "%s: %s", prog, s)
-		return 1
+		if !strings.HasSuffix(s, "\n") {
+			fmt.Fprintln(stderr)
+		}
+		return
 	}
 	fmt.Fprintln(stderr, prog+":", err)
+}
+
+// failRuns prints a collection failure and returns exit status 1.
+func failRuns(stderr io.Writer, prog string, err error, verbose bool) int {
+	printFailure(stderr, prog, err, verbose)
 	return 1
 }
 

@@ -44,3 +44,76 @@ func TestRunStrategies(t *testing.T) {
 		t.Errorf("strategy report missing benchmarks:\n%s", out.String())
 	}
 }
+
+// TestExitCodes is the table-driven contract for daebench's exit statuses:
+// 0 clean, 1 failed runs/experiments, 2 usage, 3 completed degraded.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr []string
+		stdout []string
+		heavy  bool // collects all 21 runs; skipped under -short
+	}{
+		{name: "usage-bad-flag", args: []string{"-no-such-flag"}, want: 2},
+		{name: "usage-bad-degrade", args: []string{"-degrade", "never"}, want: 2,
+			stderr: []string{"degrade"}},
+		{name: "usage-bad-inject", args: []string{"-inject", "no-such-site,,,,error"}, want: 2,
+			stderr: []string{"inject"}},
+		{name: "fault-budget", args: []string{"-max-steps", "1", "-exp", "strategies"}, want: 1,
+			stderr: []string{"run(s) failed", "step-budget"}},
+		{name: "clean", args: []string{"-exp", "strategies"}, want: 0, heavy: true,
+			stdout: []string{"Access-version generation decisions"}},
+		{name: "degraded-access-fault", heavy: true,
+			args: []string{"-exp", "table1", "-inject", "access-phase,LibQ,compiler-dae,,panic!"}, want: 3,
+			stderr: []string{"completed degraded", "LibQ", "compiler-dae", "panic"},
+			stdout: []string{"Table 1", "forfeit the DVFS benefit"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("collects all benchmarks")
+			}
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.want {
+				t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, tc.want, errb.String())
+			}
+			for _, want := range tc.stderr {
+				if !strings.Contains(errb.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errb.String())
+				}
+			}
+			for _, want := range tc.stdout {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestExperimentFailureDoesNotMaskOthers: with -exp all, a failure inside
+// one experiment (here the refined re-collection, failed via an access-gen
+// injection that only that experiment reaches) must not suppress the output
+// of the experiments that succeeded.
+func TestExperimentFailureDoesNotMaskOthers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects all benchmarks")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "all", "-inject", "access-gen,,,,error"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"Table 1", "Figure 3", "Access-version generation decisions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("surviving experiment output missing %q", want)
+		}
+	}
+	for _, want := range []string{"refined", "experiment(s) failed"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+}

@@ -6,12 +6,23 @@
 // -run-timeout bounds each of the three version collections, and -max-steps
 // bounds each simulated task's interpreter steps. A failed run — trap,
 // budget, timeout, panic — produces a per-run failure summary (app, run
-// kind, fault class) on stderr and a nonzero exit.
+// kind, fault class; -v adds captured panic stacks) on stderr and a nonzero
+// exit.
+//
+// -degrade selects the runtime supervision mode: "access" (default)
+// contains access-phase faults by quarantining the task type's access
+// variant and re-running it coupled at the fixed frequency; "full"
+// additionally contains execute-phase faults to the failing task; "off"
+// aborts the run on any fault. A run that completes degraded prints a
+// summary naming the quarantined task types and exits with status 3.
+//
+// Exit status: 0 clean, 1 failed runs, 2 usage, 3 completed degraded.
 //
 // Usage:
 //
 //	daerun [-cores 4] [-zero-latency] [-timeout d] [-run-timeout d]
-//	       [-max-steps n] [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
+//	       [-max-steps n] [-degrade off|access|full] [-inject rules] [-v]
+//	       [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
 package main
 
 import (
@@ -20,11 +31,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dae/internal/bench"
 	daepass "dae/internal/dae"
 	"dae/internal/dvfs"
 	"dae/internal/eval"
+	"dae/internal/fault/inject"
 	"dae/internal/rt"
 )
 
@@ -45,12 +58,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	runTimeout := fs.Duration("run-timeout", 0, "abort any single version's collection after this duration (0 = no limit)")
 	maxSteps := fs.Int64("max-steps", 0, "abort any simulated task after this many interpreter steps (0 = no limit)")
+	degrade := fs.String("degrade", "access", "runtime supervision mode: off (abort on fault), access (quarantine faulting access variants), full (also contain execute faults)")
+	injectSpec := fs.String("inject", "", "fault-injection rules, \"site,app,kind,task,mode[,trap]\" separated by ';' (testing)")
+	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "daerun:", err)
 		return 1
+	}
+	degradeMode, err := rt.ParseDegradeMode(*degrade)
+	if err != nil {
+		fmt.Fprintln(stderr, "daerun:", err)
+		return 2
+	}
+	injectRules, err := inject.ParseRules(*injectSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "daerun:", err)
+		return 2
 	}
 
 	name := "LU"
@@ -72,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := rt.DefaultTraceConfig()
 	cfg.Cores = *cores
 	cfg.MaxSteps = *maxSteps
+	cfg.Degrade = degradeMode
 	fmt.Fprintf(stdout, "tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", app.Name, cfg.Cores)
 	opts := eval.CollectOptions{Workers: *jobs, RunTimeout: *runTimeout}
 	if *cacheDir != "" {
@@ -80,10 +107,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *refine {
 		opts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
 	}
+	if len(injectRules) > 0 {
+		in := inject.New(injectRules...)
+		opts.Inject = in.Hook()
+		opts.InjectPhase = in.PhaseFunc()
+	}
 	data, err := eval.CollectWith(ctx, app, cfg, opts)
 	if err != nil {
-		if s := eval.FormatFailures(err); s != "" {
+		s := eval.FormatFailures(err)
+		if *verbose {
+			s = eval.FormatFailuresVerbose(err)
+		}
+		if s != "" {
 			fmt.Fprintf(stderr, "daerun: %s", s)
+			if !strings.HasSuffix(s, "\n") {
+				fmt.Fprintln(stderr)
+			}
 			return 1
 		}
 		return fail(err)
@@ -126,5 +165,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
 	}
 	fmt.Fprint(stdout, "\n", eval.FormatStrategies([]*eval.AppData{data}))
+	if rows := eval.DegradationRows([]*eval.AppData{data}); len(rows) > 0 {
+		fmt.Fprintf(stderr, "daerun: %s", eval.FormatDegradation(rows))
+		return 3
+	}
 	return 0
 }

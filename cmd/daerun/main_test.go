@@ -54,3 +54,68 @@ func TestRunSucceeds(t *testing.T) {
 		}
 	}
 }
+
+// TestExitCodes is the table-driven contract for daerun's exit statuses:
+// 0 clean, 1 failed runs, 2 usage, 3 completed degraded.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr []string // substrings that must appear on stderr
+		stdout []string // substrings that must appear on stdout
+		heavy  bool     // collects a full benchmark; skipped under -short
+	}{
+		{name: "usage-bad-flag", args: []string{"-no-such-flag"}, want: 2},
+		{name: "usage-bad-degrade", args: []string{"-degrade", "sometimes", "LibQ"}, want: 2,
+			stderr: []string{"degrade"}},
+		{name: "usage-bad-inject", args: []string{"-inject", "nonsense", "LibQ"}, want: 2,
+			stderr: []string{"inject"}},
+		{name: "fault-budget", args: []string{"-max-steps", "1", "LibQ"}, want: 1,
+			stderr: []string{"run(s) failed", "step-budget"}},
+		{name: "clean", args: []string{"LibQ"}, want: 0, heavy: true,
+			stdout: []string{"Compiler DAE"}},
+		{name: "degraded-access-fault", heavy: true,
+			args: []string{"-inject", "access-phase,LibQ,compiler-dae,,trap!", "LibQ"}, want: 3,
+			stderr: []string{"completed degraded", "compiler-dae", "trap"}},
+		{name: "exec-fault-not-masked", heavy: true,
+			args: []string{"-degrade", "full", "-inject", "execute-phase,LibQ,coupled,,trap!", "LibQ"}, want: 1,
+			stderr: []string{"run(s) failed", "coupled", "trap"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("collects a full benchmark")
+			}
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.want {
+				t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, tc.want, errb.String())
+			}
+			for _, want := range tc.stderr {
+				if !strings.Contains(errb.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errb.String())
+				}
+			}
+			for _, want := range tc.stdout {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestVerbosePanicStack: under -v, an injected compile-stage panic prints
+// the captured stack after the failure summary.
+func TestVerbosePanicStack(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-v", "-inject", "compile,LibQ,,,panic", "LibQ"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	msg := errb.String()
+	for _, want := range []string{"run(s) failed", "panic", "--- stack of"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("verbose failure report missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -21,7 +21,14 @@
 //   - a typed fault taxonomy (internal/fault) with resource budgets and
 //     context cancellation, so every pipeline failure — parse error,
 //     interpreter trap, exhausted step budget, timeout, recovered panic —
-//     is classifiable with errors.Is.
+//     is classifiable with errors.Is;
+//   - a supervised degradation ladder: access-version generation records a
+//     typed rejection for every rung it falls down (affine → skeleton →
+//     coupled, see DegradationReport), and the runtime supervisor
+//     (TraceConfig.Degrade) contains access-phase faults by quarantining the
+//     task type and replaying it coupled at the fixed frequency, so one
+//     fault degrades a run instead of killing a workload (internal/rt,
+//     internal/chaos for the randomized soak harness).
 //
 // The typical flow:
 //
@@ -55,7 +62,19 @@ type (
 	Result = daepass.Result
 	// Strategy identifies the generation path (affine / skeleton / none).
 	Strategy = daepass.Strategy
+	// Rejection records why one rung of the degradation ladder was not
+	// taken for a task (Result.Rejections).
+	Rejection = daepass.Rejection
+	// DegradationReport summarizes the ladder outcome of a whole module:
+	// which tasks landed on which strategy, and which rungs faulted.
+	DegradationReport = daepass.DegradationReport
 )
+
+// NewDegradationReport builds the compile-time ladder report from the
+// result map of GenerateAccess.
+func NewDegradationReport(results map[string]*Result) *DegradationReport {
+	return daepass.NewDegradationReport(results)
+}
 
 // Generation strategies.
 const (
@@ -86,6 +105,9 @@ type (
 	Metrics = rt.Metrics
 	// FreqPolicy selects per-phase frequencies.
 	FreqPolicy = rt.FreqPolicy
+	// DegradeMode selects how the runtime supervisor contains task faults
+	// (TraceConfig.Degrade).
+	DegradeMode = rt.DegradeMode
 	// HierarchyConfig describes the cache hierarchy.
 	HierarchyConfig = mem.HierarchyConfig
 	// DVFSTable is the machine's voltage-frequency capability.
@@ -106,6 +128,23 @@ const (
 	// of the same task type (the runtime scheme the paper cites).
 	PolicyOnline = rt.PolicyOnline
 )
+
+// Degradation modes.
+const (
+	// DegradeOff aborts the run on the first task fault (legacy behavior).
+	DegradeOff = rt.DegradeOff
+	// DegradeAccess quarantines a task type whose access phase faults and
+	// replays it coupled at Machine.FixedFreq; execute faults still abort.
+	DegradeAccess = rt.DegradeAccess
+	// DegradeFull additionally contains execute-phase faults to the failing
+	// task: the batch completes, the task is marked failed, and the error is
+	// still returned — supervision never masks an execute fault.
+	DegradeFull = rt.DegradeFull
+)
+
+// ParseDegradeMode parses "off", "access", or "full" (the CLIs' -degrade
+// values).
+func ParseDegradeMode(s string) (DegradeMode, error) { return rt.ParseDegradeMode(s) }
 
 // Compile parses, type-checks, and lowers TaskC source into an IR module.
 func Compile(src, name string) (*Module, error) { return lower.Compile(src, name) }
@@ -238,6 +277,12 @@ var (
 	ErrCacheCorrupt = fault.ErrCacheCorrupt
 	// ErrPanic matches panics recovered at a pipeline boundary.
 	ErrPanic = fault.ErrPanic
+	// ErrDegraded matches expected degradation decisions (a ladder rung not
+	// taken by analysis rather than by a fault).
+	ErrDegraded = fault.ErrDegraded
+	// ErrQuarantined matches faults recorded when the runtime supervisor
+	// disables a task type's access variant for the rest of a run.
+	ErrQuarantined = fault.ErrQuarantined
 )
 
 // Interpreter trap kinds.

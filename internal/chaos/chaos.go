@@ -1,0 +1,518 @@
+// Package chaos is the randomized soak harness for the supervised DAE
+// runtime. A Soak builds a small two-task workload once, then drives many
+// randomized iterations of the runtime under fault injection — access-phase
+// and execute-phase traps, panics, exhausted budgets, plain errors, and
+// (optionally) on-disk trace-cache corruption — checking the supervision
+// invariants after every run:
+//
+//   - no iteration hangs (each run is bounded by a watchdog context);
+//   - fault-free runs are byte-identical to the fault-free baseline trace,
+//     whatever the degradation mode;
+//   - an access-phase fault degrades the run instead of failing it, the
+//     faulted task type is quarantined with the fault's class, and the
+//     quarantine is monotone (a quarantined task type never runs its access
+//     variant again within the run);
+//   - an execute-phase fault always surfaces as an error — supervision never
+//     masks it — while DegradeFull still completes the rest of the batch;
+//   - the computed output stays correct whenever the runtime reports success;
+//   - the evaluation layer accepts every degraded trace it is handed.
+//
+// Everything is driven by a single seed: the same Config reproduces the same
+// iteration sequence, so a soak failure is replayable from its log line.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"dae/internal/bench"
+	"dae/internal/dae"
+	"dae/internal/eval"
+	"dae/internal/fault"
+	"dae/internal/fault/inject"
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// soakSrc is the soak workload: two independent affine streaming tasks, both
+// idempotent (outputs are pure functions of untouched inputs), so the heap
+// can be reused across iterations without rebuilding.
+const soakSrc = `
+task triad(float A[n], float B[n], float C[n], int n, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		A[i] = B[i] + 2.5 * C[i];
+	}
+}
+
+task scale(float D[n], float B[n], int n, int lo, int hi) {
+	for (int i = lo; i < hi; i++) {
+		D[i] = 0.5 * B[i];
+	}
+}
+`
+
+// Config parameterizes a soak. The zero value is usable: a short,
+// deterministic soak with seed 0.
+type Config struct {
+	// Seed drives every random choice; equal Configs reproduce equal soaks.
+	Seed int64
+	// Iterations is the number of randomized runtime iterations. When 0,
+	// Duration bounds the soak instead; when both are 0, 32 iterations run.
+	Iterations int
+	// Duration bounds the soak by wall clock when Iterations is 0. The soak
+	// always completes at least one iteration.
+	Duration time.Duration
+	// IterTimeout is the per-iteration hang watchdog (default 30s). An
+	// iteration exceeding it is reported as a hang, the worst invariant
+	// violation.
+	IterTimeout time.Duration
+	// CacheSoak additionally exercises trace-cache corruption through the
+	// evaluation layer (one benchmark collection, corrupt the entries,
+	// re-collect). It is optional because it costs a few seconds.
+	CacheSoak bool
+	// Log, when non-nil, receives one progress line per scenario class.
+	Log func(format string, args ...any)
+}
+
+// Report summarizes a completed soak.
+type Report struct {
+	Iterations   int
+	Healthy      int // fault-free iterations (byte-identity checked)
+	AccessFaults int // iterations with an access-phase fault (degraded)
+	ExecFaults   int // iterations with an execute-phase fault (surfaced)
+	Mixed        int // iterations with both
+	Quarantines  int // total task types quarantined across iterations
+	CacheRuns    int // cache-corruption scenarios exercised
+}
+
+// String renders the report as one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs",
+		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns)
+}
+
+// scenario is the fault shape of one iteration.
+type scenario int
+
+const (
+	scenHealthy scenario = iota
+	scenAccess
+	scenExec
+	scenMixed
+)
+
+// modeClass maps an injection mode to the fault class the quarantine should
+// record.
+func modeClass(m inject.Mode) string { return m.String() }
+
+// soakState is the prebuilt workload shared by all iterations.
+type soakState struct {
+	w        *rt.Workload
+	heap     *interp.Heap
+	total    int
+	tasks    []string // task type names, for random targeting
+	baseline []byte   // fault-free trace bytes
+}
+
+// buildSoak constructs the soak workload: total elements chunked into tasks
+// of chunk elements, the two task types interleaved across two batches.
+func buildSoak(total, chunk int) (*soakState, error) {
+	opts := dae.Defaults()
+	opts.ParamHints = map[string]int64{"n": int64(total), "lo": 0, "hi": int64(chunk)}
+	w, results, err := rt.BuildWorkload("chaos-soak", soakSrc, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"triad", "scale"} {
+		if results[name].Access == nil {
+			return nil, fmt.Errorf("chaos: no access version for %s: %s", name, results[name].Reason)
+		}
+	}
+	h := interp.NewHeap()
+	a := h.AllocFloat("A", total)
+	b := h.AllocFloat("B", total)
+	c := h.AllocFloat("C", total)
+	d := h.AllocFloat("D", total)
+	for i := 0; i < total; i++ {
+		b.F[i] = float64(i)
+		c.F[i] = float64(2 * i)
+	}
+	var b1, b2 []rt.Task
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		n, l, h2 := interp.Int(int64(total)), interp.Int(int64(lo)), interp.Int(int64(hi))
+		triad := rt.Task{Name: "triad", Args: []interp.Value{interp.Ptr(a), interp.Ptr(b), interp.Ptr(c), n, l, h2}}
+		scale := rt.Task{Name: "scale", Args: []interp.Value{interp.Ptr(d), interp.Ptr(b), n, l, h2}}
+		if (lo/chunk)%2 == 0 {
+			b1 = append(b1, triad, scale)
+		} else {
+			b2 = append(b2, triad, scale)
+		}
+	}
+	w.Batches = [][]rt.Task{b1, b2}
+	return &soakState{w: w, heap: h, total: total, tasks: []string{"triad", "scale"}}, nil
+}
+
+// verifyOutput checks the soak arrays against the reference computation.
+func (s *soakState) verifyOutput() error {
+	segs := s.heap.Segs()
+	a, b, c, d := segs[0], segs[1], segs[2], segs[3]
+	for i := 0; i < s.total; i += 251 {
+		if want := b.F[i] + 2.5*c.F[i]; math.Abs(a.F[i]-want) > 1e-9 {
+			return fmt.Errorf("chaos: A[%d] = %g, want %g", i, a.F[i], want)
+		}
+		if want := 0.5 * b.F[i]; math.Abs(d.F[i]-want) > 1e-9 {
+			return fmt.Errorf("chaos: D[%d] = %g, want %g", i, d.F[i], want)
+		}
+	}
+	return nil
+}
+
+// checkQuarantineMonotone verifies that once a task type is degraded, every
+// later record of that type is degraded too — the supervisor never re-enables
+// a quarantined access variant within a run.
+func checkQuarantineMonotone(tr *rt.Trace) error {
+	quarantined := make(map[string]bool)
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Degraded {
+			quarantined[rec.Name] = true
+			continue
+		}
+		if quarantined[rec.Name] {
+			return fmt.Errorf("chaos: task %s record %d ran healthy after quarantine", rec.Name, i)
+		}
+	}
+	for name, class := range tr.Quarantined {
+		if class == "" {
+			return fmt.Errorf("chaos: quarantined task %s has empty fault class", name)
+		}
+	}
+	return nil
+}
+
+// modeSentinel maps an injection mode to the fault sentinel an execute-phase
+// failure must match (nil for ModeError, which stays unclassified).
+func modeSentinel(m inject.Mode) error {
+	switch m {
+	case inject.ModePanic:
+		return fault.ErrPanic
+	case inject.ModeTrap:
+		return fault.ErrTrap
+	case inject.ModeStepBudget:
+		return fault.ErrStepBudget
+	case inject.ModeHeapBudget:
+		return fault.ErrHeapBudget
+	case inject.ModeTimeout:
+		return fault.ErrTimeout
+	}
+	return nil
+}
+
+// randomMode draws a fault shape (and trap kind) for one rule.
+func randomMode(rng *rand.Rand) (inject.Mode, fault.TrapKind) {
+	switch rng.Intn(5) {
+	case 0:
+		return inject.ModePanic, fault.TrapNone
+	case 1:
+		traps := []fault.TrapKind{fault.TrapDivByZero, fault.TrapOutOfBounds, fault.TrapNilDeref}
+		return inject.ModeTrap, traps[rng.Intn(len(traps))]
+	case 2:
+		return inject.ModeStepBudget, fault.TrapNone
+	case 3:
+		return inject.ModeHeapBudget, fault.TrapNone
+	default:
+		return inject.ModeError, fault.TrapNone
+	}
+}
+
+// Soak runs the randomized fault soak and returns its report. A non-nil
+// error is an invariant violation (or a setup failure), formatted with the
+// seed and iteration needed to reproduce it.
+func Soak(cfg Config) (*Report, error) {
+	iterTimeout := cfg.IterTimeout
+	if iterTimeout <= 0 {
+		iterTimeout = 30 * time.Second
+	}
+	iters := cfg.Iterations
+	if iters <= 0 && cfg.Duration <= 0 {
+		iters = 32
+	}
+
+	st, err := buildSoak(4096, 256)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault-free baseline: the byte-identity reference for healthy runs.
+	base := rt.DefaultTraceConfig()
+	base.Decoupled = true
+	base.Degrade = rt.DegradeAccess
+	ctx, cancel := context.WithTimeout(context.Background(), iterTimeout)
+	btr, err := rt.RunContext(ctx, st.w, base)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fault-free baseline failed: %w", err)
+	}
+	if st.baseline, err = rt.EncodeTrace(btr); err != nil {
+		return nil, err
+	}
+	if err := st.verifyOutput(); err != nil {
+		return nil, fmt.Errorf("chaos: baseline output wrong: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{}
+	start := time.Now()
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// cacheAt schedules the (expensive) cache-corruption scenario at one
+	// random point of the soak. Drawn unconditionally so the iteration
+	// stream is identical with and without CacheSoak.
+	cacheAt := rng.Intn(1000)
+
+	for it := 0; ; it++ {
+		if iters > 0 {
+			if it >= iters {
+				break
+			}
+		} else if it > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		if err := soakIteration(st, rng, iterTimeout, rep, logf); err != nil {
+			return rep, fmt.Errorf("seed %d iteration %d: %w", cfg.Seed, it, err)
+		}
+		rep.Iterations++
+		if cfg.CacheSoak && rep.CacheRuns == 0 && (iters > 0 && it == cacheAt%iters || iters <= 0 && it == 0) {
+			if err := cacheScenario(rng, iterTimeout); err != nil {
+				return rep, fmt.Errorf("seed %d cache scenario: %w", cfg.Seed, err)
+			}
+			rep.CacheRuns++
+			logf("chaos: cache-corruption scenario ok")
+		}
+	}
+	return rep, nil
+}
+
+// soakIteration runs one randomized scenario and checks its invariants.
+func soakIteration(st *soakState, rng *rand.Rand, iterTimeout time.Duration, rep *Report, logf func(string, ...any)) error {
+	var scen scenario
+	switch r := rng.Intn(10); {
+	case r < 3:
+		scen = scenHealthy
+	case r < 7:
+		scen = scenAccess
+	case r < 9:
+		scen = scenExec
+	default:
+		scen = scenMixed
+	}
+
+	cfg := rt.DefaultTraceConfig()
+	cfg.Decoupled = true
+
+	var rules []inject.Rule
+	accessTask, execTask := "", ""
+	var accessMode, execMode inject.Mode
+	switch scen {
+	case scenHealthy:
+		// Any degradation mode: a healthy run must be identical in all.
+		cfg.Degrade = rt.DegradeMode(rng.Intn(3))
+	case scenAccess:
+		cfg.Degrade = rt.DegradeAccess
+		if rng.Intn(2) == 1 {
+			cfg.Degrade = rt.DegradeFull
+		}
+		accessTask = st.tasks[rng.Intn(len(st.tasks))]
+		var trap fault.TrapKind
+		accessMode, trap = randomMode(rng)
+		rules = append(rules, inject.Rule{Site: inject.SiteAccessPhase, Task: accessTask,
+			Mode: accessMode, Trap: trap, Once: true})
+	case scenExec:
+		// Every mode must surface an execute fault, including DegradeOff.
+		cfg.Degrade = rt.DegradeMode(rng.Intn(3))
+		execTask = st.tasks[rng.Intn(len(st.tasks))]
+		var trap fault.TrapKind
+		execMode, trap = randomMode(rng)
+		rules = append(rules, inject.Rule{Site: inject.SiteExecPhase, Task: execTask,
+			Mode: execMode, Trap: trap, Once: true})
+	case scenMixed:
+		cfg.Degrade = rt.DegradeFull
+		accessTask, execTask = st.tasks[0], st.tasks[1]
+		if rng.Intn(2) == 1 {
+			accessTask, execTask = execTask, accessTask
+		}
+		var atrap, etrap fault.TrapKind
+		accessMode, atrap = randomMode(rng)
+		execMode, etrap = randomMode(rng)
+		rules = append(rules,
+			inject.Rule{Site: inject.SiteAccessPhase, Task: accessTask, Mode: accessMode, Trap: atrap, Once: true},
+			inject.Rule{Site: inject.SiteExecPhase, Task: execTask, Mode: execMode, Trap: etrap, Once: true})
+	}
+
+	in := inject.New(rules...)
+	if len(rules) > 0 {
+		hook := in.PhaseFunc()
+		cfg.PhaseHook = func(task string, access bool) error {
+			return hook("chaos-soak", "compiler-dae", task, access)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), iterTimeout)
+	tr, err := rt.RunContext(ctx, st.w, cfg)
+	hung := ctx.Err() != nil &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, fault.ErrTimeout))
+	cancel()
+	if hung {
+		return fmt.Errorf("chaos: %v scenario hung (watchdog %s)", scen, iterTimeout)
+	}
+
+	switch scen {
+	case scenHealthy:
+		if err != nil {
+			return fmt.Errorf("chaos: healthy run failed: %w", err)
+		}
+		b, eerr := rt.EncodeTrace(tr)
+		if eerr != nil {
+			return eerr
+		}
+		if !bytes.Equal(b, st.baseline) {
+			return fmt.Errorf("chaos: healthy run (degrade=%s) diverged from fault-free baseline", cfg.Degrade)
+		}
+		rep.Healthy++
+
+	case scenAccess:
+		if err != nil {
+			return fmt.Errorf("chaos: access-phase %s fault was not degraded: %w", accessMode, err)
+		}
+		if len(in.Fired()) == 0 {
+			return fmt.Errorf("chaos: access rule for %s never fired", accessTask)
+		}
+		class, ok := tr.Quarantined[accessTask]
+		if !ok {
+			return fmt.Errorf("chaos: task %s not quarantined after access %s fault (quarantine %v)",
+				accessTask, accessMode, tr.Quarantined)
+		}
+		if want := modeClass(accessMode); class != want {
+			return fmt.Errorf("chaos: task %s quarantined as %q, want %q", accessTask, class, want)
+		}
+		if err := checkQuarantineMonotone(tr); err != nil {
+			return err
+		}
+		if err := st.verifyOutput(); err != nil {
+			return fmt.Errorf("chaos: degraded run corrupted output: %w", err)
+		}
+		// The evaluation layer must account the degraded trace.
+		met := rt.Evaluate(tr, rt.DefaultMachine(), rt.PolicyOptimalEDP)
+		if met.DegradedTasks == 0 {
+			return fmt.Errorf("chaos: Evaluate lost the degraded tasks of %s", accessTask)
+		}
+		rep.AccessFaults++
+		rep.Quarantines += len(tr.Quarantined)
+
+	case scenExec, scenMixed:
+		execFired := false
+		for _, at := range in.Fired() {
+			if strings.HasPrefix(at, string(inject.SiteExecPhase)+"/") {
+				execFired = true
+			}
+		}
+		if !execFired {
+			return fmt.Errorf("chaos: exec rule for %s never fired", execTask)
+		}
+		if err == nil {
+			return fmt.Errorf("chaos: execute-phase %s fault on %s was masked (degrade=%s)",
+				execMode, execTask, cfg.Degrade)
+		}
+		if s := modeSentinel(execMode); s != nil && !errors.Is(err, s) {
+			return fmt.Errorf("chaos: execute fault lost its class (%s): %w", execMode, err)
+		}
+		if cfg.Degrade == rt.DegradeFull {
+			// Containment: the batch still completed around the failed task.
+			if tr == nil {
+				return fmt.Errorf("chaos: DegradeFull dropped the trace on an execute fault")
+			}
+			failed := 0
+			for i := range tr.Records {
+				if tr.Records[i].Failed {
+					failed++
+				}
+			}
+			if failed == 0 {
+				return fmt.Errorf("chaos: DegradeFull surfaced an error but marked no task failed")
+			}
+			if err := checkQuarantineMonotone(tr); err != nil {
+				return err
+			}
+			met := rt.Evaluate(tr, rt.DefaultMachine(), rt.PolicyOptimalEDP)
+			if met.FailedTasks != failed {
+				return fmt.Errorf("chaos: Evaluate counted %d failed tasks, trace has %d", met.FailedTasks, failed)
+			}
+		}
+		if scen == scenExec {
+			rep.ExecFaults++
+		} else {
+			rep.Mixed++
+			if tr != nil {
+				rep.Quarantines += len(tr.Quarantined)
+			}
+		}
+	}
+	if (rep.Iterations+1)%16 == 0 {
+		logf("chaos: %d iterations so far", rep.Iterations+1)
+	}
+	return nil
+}
+
+// cacheScenario exercises trace-cache corruption end to end: collect a
+// benchmark into a disk cache, damage every entry (torn write or bit flip),
+// and re-collect — the checksummed cache must turn the damage into clean
+// misses and reproduce the identical traces.
+func cacheScenario(rng *rand.Rand, iterTimeout time.Duration) error {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "chaos-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := rt.DefaultTraceConfig()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*iterTimeout)
+	defer cancel()
+	first, err := eval.CollectWith(ctx, app, cfg, eval.CollectOptions{Workers: 3, Cache: eval.NewTraceCache(dir)})
+	if err != nil {
+		return fmt.Errorf("chaos: cache warm-up collection: %w", err)
+	}
+	truncate := rng.Intn(2) == 1
+	n, err := inject.CorruptCacheDir(dir, truncate)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("chaos: cache scenario corrupted no entries")
+	}
+	second, err := eval.CollectWith(ctx, app, cfg, eval.CollectOptions{Workers: 3, Cache: eval.NewTraceCache(dir)})
+	if err != nil {
+		return fmt.Errorf("chaos: corrupted cache (truncate=%t) broke re-collection: %w", truncate, err)
+	}
+	if !reflect.DeepEqual(first.Auto, second.Auto) || !reflect.DeepEqual(first.CAE, second.CAE) {
+		return fmt.Errorf("chaos: re-collection after cache corruption diverged")
+	}
+	return nil
+}

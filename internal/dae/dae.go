@@ -1,6 +1,7 @@
 package dae
 
 import (
+	"errors"
 	"fmt"
 
 	"dae/internal/analysis"
@@ -88,6 +89,37 @@ func Defaults() Options {
 	}
 }
 
+// Rejection records why one rung of the per-task degradation ladder
+// (affine → skeleton → coupled) was not used.
+type Rejection struct {
+	// Strategy is the rejected rung.
+	Strategy Strategy
+	// Err explains the rejection. Expected analysis decisions (non-affine
+	// loops, a failed profitability test, unsupported constructs) are
+	// fault.KindDegraded; real faults — a codegen error, an impure generated
+	// function, a recovered panic — keep their own kinds.
+	Err error
+}
+
+// Faulted reports whether the rung fell to a real fault rather than an
+// expected analysis decision.
+func (r Rejection) Faulted() bool { return !errors.Is(r.Err, fault.ErrDegraded) }
+
+// classifyRejection wraps plain errors as expected-decision rejections and
+// leaves already-typed faults (verify, panic, ...) alone.
+func classifyRejection(err error) error {
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		return err
+	}
+	return fault.Wrap(fault.KindDegraded, err)
+}
+
+// testRungHook, when non-nil, runs inside each generation rung with the
+// strategy under attempt; a non-nil return (or a panic) faults that rung so
+// tests can exercise the ladder. Production code leaves it nil.
+var testRungHook func(Strategy, *ir.Func) error
+
 // Result describes the generated access version of one task.
 type Result struct {
 	// Task is the original task (the execute version).
@@ -103,6 +135,9 @@ type Result struct {
 	// Reason explains why the affine path was not used (or why no access
 	// version exists at all).
 	Reason string
+	// Rejections records, rung by rung, why higher ladder strategies were
+	// not used; empty when the affine path succeeded.
+	Rejections []Rejection
 
 	// TotalLoops and AffineLoops report the Table 1 loop classification.
 	TotalLoops  int
@@ -166,32 +201,66 @@ func Generate(f *ir.Func, opts Options) (*Result, error) {
 		}
 		if ok {
 			groups := mergeClasses(info, hints, haveHints, opts.MergeTol)
-			af, err := generateAffineAccess(f, info, groups, opts)
-			if err != nil {
-				return nil, err
+			// The affine rung is guarded: a codegen fault (error, impure
+			// result, or panic) rejects the rung and the ladder descends to
+			// the skeleton path instead of failing the whole compilation.
+			af, aerr := func() (af *ir.Func, err error) {
+				defer fault.Recover(&err, "affine-access-gen")
+				if testRungHook != nil {
+					if herr := testRungHook(StrategyAffine, f); herr != nil {
+						return nil, herr
+					}
+				}
+				af, err = generateAffineAccess(f, info, groups, opts)
+				if err != nil {
+					return nil, err
+				}
+				passes.CleanupOnly(af)
+				if err := verifyAccessPure(af); err != nil {
+					return nil, err
+				}
+				return af, nil
+			}()
+			if aerr == nil {
+				res.Access = af
+				res.Strategy = StrategyAffine
+				res.Classes = len(info.classes)
+				res.MergedNests = len(groups)
+				res.AffineLoops = res.TotalLoops // the whole task is affine
+				return res, nil
 			}
-			passes.CleanupOnly(af)
-			if err := verifyAccessPure(af); err != nil {
-				return nil, err
-			}
-			res.Access = af
-			res.Strategy = StrategyAffine
-			res.Classes = len(info.classes)
-			res.MergedNests = len(groups)
-			res.AffineLoops = res.TotalLoops // the whole task is affine
-			return res, nil
+			res.Rejections = append(res.Rejections, Rejection{StrategyAffine, classifyRejection(aerr)})
+			reason = fmt.Sprintf("affine generation faulted (%s)", fault.ClassOf(aerr))
 		}
+	}
+	if len(res.Rejections) == 0 {
+		res.Rejections = append(res.Rejections,
+			Rejection{StrategyAffine, fault.New(fault.KindDegraded, "%s", reason)})
 	}
 	res.Reason = reason
 
-	af, err := generateSkeletonAccess(f, opts)
-	if err != nil {
-		// No access version: the task will execute coupled.
-		res.Reason = err.Error()
+	// The skeleton rung is guarded the same way; when it too is rejected the
+	// task simply runs coupled (the paper's own fallback, §5.2.2 step 5).
+	af, serr := func() (af *ir.Func, err error) {
+		defer fault.Recover(&err, "skeleton-access-gen")
+		if testRungHook != nil {
+			if herr := testRungHook(StrategySkeleton, f); herr != nil {
+				return nil, herr
+			}
+		}
+		af, err = generateSkeletonAccess(f, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyAccessPure(af); err != nil {
+			return nil, err
+		}
+		return af, nil
+	}()
+	if serr != nil {
+		res.Rejections = append(res.Rejections, Rejection{StrategySkeleton, classifyRejection(serr)})
+		res.Reason = serr.Error()
 		return res, nil
-	}
-	if err := verifyAccessPure(af); err != nil {
-		return nil, err
 	}
 	res.Access = af
 	res.Strategy = StrategySkeleton
@@ -199,11 +268,12 @@ func Generate(f *ir.Func, opts Options) (*Result, error) {
 		fullOpts := opts
 		fullOpts.SimplifyCFG = false
 		if full, err := generateSkeletonAccess(f, fullOpts); err == nil && full.NumInstrs() != af.NumInstrs() {
-			if err := verifyAccessPure(full); err != nil {
-				return nil, err
+			// An impure full variant is dropped rather than fatal: the
+			// simplified (verified) variant already serves the task.
+			if err := verifyAccessPure(full); err == nil {
+				full.Name = f.Name + "_access_full"
+				res.AccessFull = full
 			}
-			full.Name = f.Name + "_access_full"
-			res.AccessFull = full
 		}
 	}
 	// Table 1's "# affine loops" counts loops handled by the polyhedral

@@ -1,0 +1,89 @@
+package dae
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/fault"
+)
+
+// TaskLadder is one task's outcome on the degradation ladder.
+type TaskLadder struct {
+	// Task is the task name.
+	Task string
+	// Strategy is the rung the task landed on.
+	Strategy Strategy
+	// Rejections lists the higher rungs that were rejected, in ladder order.
+	Rejections []Rejection
+}
+
+// Faulted reports whether the task lost a rung to a real fault (rather than
+// an expected analysis decision).
+func (l TaskLadder) Faulted() bool {
+	for _, r := range l.Rejections {
+		if r.Faulted() {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradationReport summarizes, per task, which ladder rung was used and why
+// higher rungs were rejected. Build one with NewDegradationReport.
+type DegradationReport struct {
+	// Tasks is sorted by task name.
+	Tasks []TaskLadder
+}
+
+// NewDegradationReport collects GenerateModule results into a report.
+func NewDegradationReport(results map[string]*Result) *DegradationReport {
+	rep := &DegradationReport{}
+	for name, res := range results {
+		rep.Tasks = append(rep.Tasks, TaskLadder{
+			Task:       name,
+			Strategy:   res.Strategy,
+			Rejections: res.Rejections,
+		})
+	}
+	sort.Slice(rep.Tasks, func(i, j int) bool { return rep.Tasks[i].Task < rep.Tasks[j].Task })
+	return rep
+}
+
+// Faulted reports whether any task lost a rung to a real fault. A report
+// where every rejection is an expected analysis decision is a healthy
+// compilation, not a degraded one.
+func (r *DegradationReport) Faulted() bool {
+	for _, t := range r.Tasks {
+		if t.Faulted() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the report as an aligned table, one task per line, with
+// each rejected rung's fault class and message:
+//
+//	task      strategy  rejected rungs
+//	triad     skeleton  affine: degraded (non-affine loop bounds)
+func (r *DegradationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-9s %s\n", "task", "strategy", "rejected rungs")
+	for _, t := range r.Tasks {
+		var rej []string
+		for _, rj := range t.Rejections {
+			msg := ""
+			if rj.Err != nil {
+				msg = rj.Err.Error()
+			}
+			rej = append(rej, fmt.Sprintf("%s: %s (%s)", rj.Strategy, fault.ClassOf(rj.Err), msg))
+		}
+		detail := "-"
+		if len(rej) > 0 {
+			detail = strings.Join(rej, "; ")
+		}
+		fmt.Fprintf(&b, "%-16s %-9s %s\n", t.Task, t.Strategy, detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package dae
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dae/internal/fault"
+	"dae/internal/ir"
+)
+
+const ladderSrc = `
+task triad(float A[n], float B[n], float C[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = B[i] + 2.5 * C[i];
+	}
+}
+`
+
+var ladderHints = map[string]int64{"n": 1024}
+
+// TestLadderHealthyAffineHasNoRejections: a task that lands on the top rung
+// records nothing.
+func TestLadderHealthyAffineHasNoRejections(t *testing.T) {
+	_, results := genFromSrc(t, ladderSrc, ladderHints)
+	res := results["triad"]
+	if res.Strategy != StrategyAffine {
+		t.Fatalf("strategy = %v, want affine (%s)", res.Strategy, res.Reason)
+	}
+	if len(res.Rejections) != 0 {
+		t.Errorf("healthy affine task has rejections: %v", res.Rejections)
+	}
+}
+
+// TestLadderDegradesAffineFaultToSkeleton: a fault inside the affine rung
+// (here a purity-style verify fault via the test hook) rejects the rung with
+// its typed class and the task lands on the skeleton rung — compilation
+// never fails hard.
+func TestLadderDegradesAffineFaultToSkeleton(t *testing.T) {
+	testRungHook = func(s Strategy, f *ir.Func) error {
+		if s == StrategyAffine {
+			return fault.New(fault.KindVerify, "injected impure affine slice")
+		}
+		return nil
+	}
+	defer func() { testRungHook = nil }()
+
+	_, results := genFromSrc(t, ladderSrc, ladderHints)
+	res := results["triad"]
+	if res.Strategy != StrategySkeleton || res.Access == nil {
+		t.Fatalf("did not degrade to skeleton: strategy=%v access=%v", res.Strategy, res.Access)
+	}
+	if len(res.Rejections) != 1 {
+		t.Fatalf("rejections = %v, want exactly the affine rung", res.Rejections)
+	}
+	rej := res.Rejections[0]
+	if rej.Strategy != StrategyAffine || !errors.Is(rej.Err, fault.ErrVerify) {
+		t.Errorf("wrong rejection recorded: %+v", rej)
+	}
+	if !rej.Faulted() {
+		t.Error("a verify fault must count as a real fault, not an analysis decision")
+	}
+}
+
+// TestLadderPanicFaultsRungNotProcess: a panic inside a generation rung is
+// recovered into a KindPanic rejection and the ladder keeps descending.
+func TestLadderPanicFaultsRungNotProcess(t *testing.T) {
+	testRungHook = func(s Strategy, f *ir.Func) error {
+		if s == StrategyAffine {
+			panic("injected codegen crash")
+		}
+		return nil
+	}
+	defer func() { testRungHook = nil }()
+
+	_, results := genFromSrc(t, ladderSrc, ladderHints)
+	res := results["triad"]
+	if res.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %v, want skeleton", res.Strategy)
+	}
+	if len(res.Rejections) != 1 || !errors.Is(res.Rejections[0].Err, fault.ErrPanic) {
+		t.Errorf("panic not recorded as rejection: %v", res.Rejections)
+	}
+}
+
+// TestLadderBottomsOutCoupled: when both rungs fault the task runs coupled
+// (StrategyNone) with both rejections recorded — still no hard failure.
+func TestLadderBottomsOutCoupled(t *testing.T) {
+	testRungHook = func(s Strategy, f *ir.Func) error {
+		return fault.New(fault.KindVerify, "injected fault on %v rung", s)
+	}
+	defer func() { testRungHook = nil }()
+
+	_, results := genFromSrc(t, ladderSrc, ladderHints)
+	res := results["triad"]
+	if res.Strategy != StrategyNone || res.Access != nil {
+		t.Fatalf("did not bottom out coupled: strategy=%v", res.Strategy)
+	}
+	if len(res.Rejections) != 2 {
+		t.Fatalf("rejections = %v, want affine and skeleton", res.Rejections)
+	}
+	if res.Rejections[0].Strategy != StrategyAffine || res.Rejections[1].Strategy != StrategySkeleton {
+		t.Errorf("rungs out of ladder order: %v", res.Rejections)
+	}
+	if res.Reason == "" {
+		t.Error("coupled task must carry a Reason")
+	}
+}
+
+// TestLadderAnalysisDecisionIsNotAFault: a task the affine analysis rejects
+// by design (pointer chasing) lands on skeleton with a KindDegraded
+// rejection that does not count as faulted.
+func TestLadderAnalysisDecisionIsNotAFault(t *testing.T) {
+	src := `
+task chase(int next[n], float val[n], int n, int start, int hops) {
+	int p = start;
+	float acc = 0.0;
+	for (int i = 0; i < hops; i++) {
+		acc = acc + val[p];
+		p = next[p];
+	}
+	val[start] = acc;
+}
+`
+	_, results := genFromSrc(t, src, map[string]int64{"n": 256, "start": 0, "hops": 64})
+	res := results["chase"]
+	if res.Strategy != StrategySkeleton {
+		t.Fatalf("strategy = %v, want skeleton (%s)", res.Strategy, res.Reason)
+	}
+	if len(res.Rejections) != 1 {
+		t.Fatalf("rejections = %v", res.Rejections)
+	}
+	rej := res.Rejections[0]
+	if !errors.Is(rej.Err, fault.ErrDegraded) || rej.Faulted() {
+		t.Errorf("analysis decision misclassified as fault: %+v", rej)
+	}
+}
+
+// TestDegradationReport: the module-level report is sorted, renders fault
+// classes, and only counts real faults as degradation.
+func TestDegradationReport(t *testing.T) {
+	src := ladderSrc + `
+task chase(int next[n], float val[n], int n, int start, int hops) {
+	int p = start;
+	float acc = 0.0;
+	for (int i = 0; i < hops; i++) {
+		acc = acc + val[p];
+		p = next[p];
+	}
+	val[start] = acc;
+}
+`
+	_, results := genFromSrc(t, src, map[string]int64{"n": 1024, "start": 0, "hops": 64})
+	rep := NewDegradationReport(results)
+	if len(rep.Tasks) != 2 || rep.Tasks[0].Task != "chase" || rep.Tasks[1].Task != "triad" {
+		t.Fatalf("report not sorted by task: %+v", rep.Tasks)
+	}
+	if rep.Faulted() {
+		t.Error("healthy module reported as faulted")
+	}
+	out := rep.String()
+	for _, want := range []string{"task", "strategy", "chase", "skeleton", "triad", "affine", "degraded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// With an injected rung fault, the report flags the module.
+	testRungHook = func(s Strategy, f *ir.Func) error {
+		if s == StrategyAffine && f.Name == "triad" {
+			return fault.New(fault.KindVerify, "injected")
+		}
+		return nil
+	}
+	defer func() { testRungHook = nil }()
+	_, results = genFromSrc(t, src, map[string]int64{"n": 1024, "start": 0, "hops": 64})
+	rep = NewDegradationReport(results)
+	if !rep.Faulted() {
+		t.Error("rung fault not reported")
+	}
+	if !strings.Contains(rep.String(), "verify") {
+		t.Errorf("fault class missing from report:\n%s", rep.String())
+	}
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/rt"
+)
+
+// DegradationRow summarizes runtime supervision outcomes for one traced run:
+// which task types lost their access variant (and to what fault class), and
+// how many task executions ran degraded or failed.
+type DegradationRow struct {
+	// App and Run identify the traced run ("coupled", "manual-dae",
+	// "compiler-dae").
+	App, Run string
+	// Quarantined maps quarantined task types to their fault class.
+	Quarantined map[string]string
+	// DegradedTasks counts task executions demoted to coupled.
+	DegradedTasks int
+	// FailedTasks counts task executions whose execute phase faulted.
+	FailedTasks int
+}
+
+// DegradationRows scans collected data for supervision outcomes, returning
+// one row per run that degraded (none for a fully healthy collection), in
+// deterministic app-then-run order.
+func DegradationRows(data []*AppData) []DegradationRow {
+	var rows []DegradationRow
+	for _, d := range data {
+		for _, run := range []struct {
+			kind  string
+			trace *rt.Trace
+		}{
+			{runCAE.String(), d.CAE},
+			{runManual.String(), d.Manual},
+			{runAuto.String(), d.Auto},
+		} {
+			if run.trace == nil || !run.trace.Degraded() {
+				continue
+			}
+			row := DegradationRow{App: d.Name, Run: run.kind, Quarantined: run.trace.Quarantined}
+			for i := range run.trace.Records {
+				if run.trace.Records[i].Degraded {
+					row.DegradedTasks++
+				}
+				if run.trace.Records[i].Failed {
+					row.FailedTasks++
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// AnyDegraded reports whether any run in the collection degraded.
+func AnyDegraded(data []*AppData) bool {
+	return len(DegradationRows(data)) > 0
+}
+
+// FormatDegradation renders the degradation summary table the CLIs print
+// when a collection completes degraded (exit code 3): one line per degraded
+// run naming the quarantined task types with their fault classes.
+func FormatDegradation(rows []DegradationRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d run(s) completed degraded:\n", len(rows))
+	fmt.Fprintf(&sb, "  %-10s %-14s %9s %7s %s\n", "app", "run", "degraded", "failed", "quarantined tasks")
+	for _, r := range rows {
+		names := make([]string, 0, len(r.Quarantined))
+		for name := range r.Quarantined {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var q []string
+		for _, name := range names {
+			q = append(q, fmt.Sprintf("%s (%s)", name, r.Quarantined[name]))
+		}
+		detail := "-"
+		if len(q) > 0 {
+			detail = strings.Join(q, ", ")
+		}
+		fmt.Fprintf(&sb, "  %-10s %-14s %9d %7d %s\n", r.App, r.Run, r.DegradedTasks, r.FailedTasks, detail)
+	}
+	sb.WriteString("(degraded tasks ran coupled at the fixed frequency; their DVFS benefit is lost)\n")
+	return sb.String()
+}

@@ -1,0 +1,239 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dae/internal/bench"
+	"dae/internal/fault"
+	"dae/internal/fault/inject"
+	"dae/internal/rt"
+)
+
+// encodeAll serializes every trace of a collection so runs can be compared
+// byte-for-byte against a baseline.
+func encodeAll(t *testing.T, data []*AppData) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, d := range data {
+		for _, run := range []struct {
+			kind  string
+			trace *rt.Trace
+		}{
+			{runCAE.String(), d.CAE},
+			{runManual.String(), d.Manual},
+			{runAuto.String(), d.Auto},
+		} {
+			if run.trace == nil {
+				continue
+			}
+			b, err := rt.EncodeTrace(run.trace)
+			if err != nil {
+				t.Fatalf("encode %s/%s: %v", d.Name, run.kind, err)
+			}
+			out[d.Name+"/"+run.kind] = b
+		}
+	}
+	return out
+}
+
+// TestAccessFaultsDegradeCollection is the PR's acceptance scenario:
+// injecting an access-phase fault into 2 of the 21 benchmark runs must yield
+// a complete, error-free collection where the affected task types are
+// quarantined and re-run coupled, the other 19 runs are byte-identical to a
+// fault-free baseline, and the degradation summary names the quarantined
+// task types with their fault kinds.
+func TestAccessFaultsDegradeCollection(t *testing.T) {
+	ctx := context.Background()
+	cfg := rt.DefaultTraceConfig()
+	cfg.Degrade = rt.DegradeAccess
+
+	baseline, err := CollectAllWith(ctx, cfg, CollectOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("fault-free baseline: %v", err)
+	}
+	if AnyDegraded(baseline) {
+		t.Fatal("fault-free baseline reports degradation")
+	}
+
+	in := inject.New(
+		inject.Rule{Site: inject.SiteAccessPhase, App: "LU", Kind: "compiler-dae",
+			Mode: inject.ModeTrap, Trap: fault.TrapOutOfBounds, Once: true},
+		inject.Rule{Site: inject.SiteAccessPhase, App: "FFT", Kind: "manual-dae",
+			Mode: inject.ModePanic, Once: true},
+	)
+	data, err := CollectAllWith(ctx, cfg, CollectOptions{Workers: 4, InjectPhase: in.PhaseFunc()})
+	if err != nil {
+		t.Fatalf("supervised collection must complete despite access faults, got: %v", err)
+	}
+	if !AnyDegraded(data) {
+		t.Fatal("injected access faults left no degradation mark")
+	}
+
+	rows := DegradationRows(data)
+	if len(rows) != 2 {
+		t.Fatalf("degraded rows = %d, want exactly the 2 injected runs: %+v", len(rows), rows)
+	}
+	// Rows follow app-then-run order: LU (app 0) before FFT (app 2).
+	if rows[0].App != "LU" || rows[0].Run != "compiler-dae" {
+		t.Errorf("rows[0] = %s/%s, want LU/compiler-dae", rows[0].App, rows[0].Run)
+	}
+	if rows[1].App != "FFT" || rows[1].Run != "manual-dae" {
+		t.Errorf("rows[1] = %s/%s, want FFT/manual-dae", rows[1].App, rows[1].Run)
+	}
+	wantKind := []string{"trap", "panic"}
+	for i, row := range rows {
+		if len(row.Quarantined) == 0 {
+			t.Errorf("%s/%s: no task type quarantined", row.App, row.Run)
+		}
+		for task, class := range row.Quarantined {
+			if class != wantKind[i] {
+				t.Errorf("%s/%s task %s quarantined as %q, want %q",
+					row.App, row.Run, task, class, wantKind[i])
+			}
+		}
+		if row.DegradedTasks == 0 {
+			t.Errorf("%s/%s: quarantined run has no degraded task executions", row.App, row.Run)
+		}
+		if row.FailedTasks != 0 {
+			t.Errorf("%s/%s: access faults must not fail tasks, got %d failed",
+				row.App, row.Run, row.FailedTasks)
+		}
+	}
+
+	// The 19 untouched runs are byte-identical to the fault-free baseline.
+	base, got := encodeAll(t, baseline), encodeAll(t, data)
+	if len(base) != len(got) {
+		t.Fatalf("run count changed: baseline %d, degraded collection %d", len(base), len(got))
+	}
+	degraded := map[string]bool{"LU/compiler-dae": true, "FFT/manual-dae": true}
+	same := 0
+	for name, b := range base {
+		if degraded[name] {
+			if bytes.Equal(got[name], b) {
+				t.Errorf("%s: expected a degraded trace, got bytes identical to baseline", name)
+			}
+			continue
+		}
+		if !bytes.Equal(got[name], b) {
+			t.Errorf("%s: healthy run diverged from fault-free baseline", name)
+		}
+		same++
+	}
+	if same != len(base)-2 {
+		t.Errorf("byte-identical healthy runs = %d, want %d", same, len(base)-2)
+	}
+
+	// The summary table names the quarantined task types and fault kinds.
+	summary := FormatDegradation(rows)
+	if !strings.Contains(summary, "2 run(s) completed degraded") {
+		t.Errorf("summary missing degraded-run count:\n%s", summary)
+	}
+	for i, row := range rows {
+		for task := range row.Quarantined {
+			if !strings.Contains(summary, task+" ("+wantKind[i]+")") {
+				t.Errorf("summary missing quarantined task %q (%s):\n%s", task, wantKind[i], summary)
+			}
+		}
+	}
+}
+
+// TestExecuteFaultIsNeverSilentlyDegraded pins the no-masking rule at the
+// collection level: an execute-phase fault must fail its run in every
+// degradation mode, never quietly demote it.
+func TestExecuteFaultIsNeverSilentlyDegraded(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []rt.DegradeMode{rt.DegradeOff, rt.DegradeAccess, rt.DegradeFull} {
+		cfg := rt.DefaultTraceConfig()
+		cfg.Degrade = mode
+		in := inject.New(inject.Rule{Site: inject.SiteExecPhase, App: "LibQ", Kind: "coupled",
+			Mode: inject.ModeTrap, Trap: fault.TrapDivByZero, Once: true})
+		_, err := CollectWith(context.Background(), app, cfg,
+			CollectOptions{Workers: 3, InjectPhase: in.PhaseFunc()})
+		if err == nil {
+			t.Fatalf("degrade=%s: execute-phase fault was silently absorbed", mode)
+		}
+		if !errors.Is(err, fault.ErrTrap) {
+			t.Errorf("degrade=%s: error lost its trap class: %v", mode, err)
+		}
+		fails := Failures(err)
+		if len(fails) != 1 || fails[0].App != "LibQ" || fails[0].Kind != "coupled" {
+			t.Errorf("degrade=%s: failures = %+v, want exactly LibQ/coupled", mode, fails)
+		}
+	}
+}
+
+// TestDegradedTraceNotCached: a trace that degraded under injection must not
+// poison the cache — a later fault-free collection through the same cache
+// re-traces and comes back healthy.
+func TestDegradedTraceNotCached(t *testing.T) {
+	app, err := bench.AppByName("LU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	cfg.Degrade = rt.DegradeAccess
+	cache := NewTraceCache("")
+	ctx := context.Background()
+
+	in := inject.New(inject.Rule{Site: inject.SiteAccessPhase, App: "LU", Kind: "compiler-dae",
+		Mode: inject.ModeTrap, Trap: fault.TrapOutOfBounds, Once: true})
+	hurt, err := CollectWith(ctx, app, cfg,
+		CollectOptions{Workers: 3, Cache: cache, InjectPhase: in.PhaseFunc()})
+	if err != nil {
+		t.Fatalf("supervised collection: %v", err)
+	}
+	if hurt.Auto == nil || !hurt.Auto.Degraded() {
+		t.Fatal("injected run did not degrade")
+	}
+
+	healed, err := CollectWith(ctx, app, cfg, CollectOptions{Workers: 3, Cache: cache})
+	if err != nil {
+		t.Fatalf("fault-free re-collection: %v", err)
+	}
+	if healed.Auto == nil || healed.Auto.Degraded() {
+		t.Fatal("degraded trace was served from the cache on a fault-free re-collection")
+	}
+	if len(healed.Auto.Quarantined) != 0 {
+		t.Fatalf("healed trace still carries quarantine set %v", healed.Auto.Quarantined)
+	}
+}
+
+// TestTable1ReportsDegradedTasks: the Table 1 rendering must flag degraded
+// runs and carry the forfeited-DVFS footnote, so degraded TA%/EDP numbers
+// are never presented as healthy operation.
+func TestTable1ReportsDegradedTasks(t *testing.T) {
+	cfg := rt.DefaultTraceConfig()
+	cfg.Degrade = rt.DegradeAccess
+	app, err := bench.AppByName("LU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inject.New(inject.Rule{Site: inject.SiteAccessPhase, App: "LU", Kind: "compiler-dae",
+		Mode: inject.ModeTrap, Trap: fault.TrapOutOfBounds, Once: true})
+	data, err := CollectWith(context.Background(), app, cfg,
+		CollectOptions{Workers: 3, InjectPhase: in.PhaseFunc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table1([]*AppData{data}, rt.DefaultMachine())
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0].DegradedTasks == 0 {
+		t.Fatal("Table1 row does not count degraded tasks")
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "degraded") {
+		t.Errorf("Table 1 missing degraded column:\n%s", out)
+	}
+	if !strings.Contains(out, "forfeit the DVFS benefit") {
+		t.Errorf("Table 1 missing degradation footnote:\n%s", out)
+	}
+}

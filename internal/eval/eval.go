@@ -65,6 +65,11 @@ type CollectOptions struct {
 	// Inject, when non-nil, is the fault-injection hook consulted at every
 	// pipeline boundary (tests only; nil in production).
 	Inject inject.Hook
+	// InjectPhase, when non-nil, is consulted by the runtime supervisor
+	// immediately before every task phase of every run, with the run's app
+	// and kind bound in (tests only; nil in production). An inject.Injector's
+	// PhaseFunc has exactly this signature.
+	InjectPhase func(app, kind, task string, access bool) error
 }
 
 // runKind identifies one of the three independent traced runs of an app.
@@ -141,6 +146,12 @@ func collectRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceCo
 	}
 	c := cfg
 	c.Decoupled = kind != runCAE
+	if opts.InjectPhase != nil {
+		app, kind := app.Name, kind.String()
+		c.PhaseHook = func(task string, access bool) error {
+			return opts.InjectPhase(app, kind, task, access)
+		}
+	}
 	var tr *rt.Trace
 	if err := guard(inject.SiteTraceRun, app.Name, kind, opts.Inject, func() error {
 		var err error
@@ -176,6 +187,12 @@ func cachedRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceCon
 	out, err := collectRun(ctx, app, kind, cfg, opts)
 	if err != nil {
 		return nil, err
+	}
+	if out.Trace != nil && out.Trace.Degraded() {
+		// Degradation reflects transient runtime faults, not trace content:
+		// never cache it, so a later fault-free collection re-traces cleanly
+		// instead of replaying the quarantine forever.
+		return out, nil
 	}
 	opts.Cache.put(key, out)
 	return out, nil
@@ -313,6 +330,13 @@ type Table1Row struct {
 	TAPercent float64
 	// TAMicros is the mean access-phase duration in µs.
 	TAMicros float64
+	// DegradedTasks counts task executions the runtime supervisor demoted to
+	// coupled (quarantined access variant). Degraded tasks contribute no
+	// access time, so a nonzero count deflates TA% — the column says so.
+	DegradedTasks int
+	// FailedTasks counts task executions whose execute phase faulted under
+	// full degradation.
+	FailedTasks int
 }
 
 // Table1 computes the application characteristics from the Auto traces.
@@ -321,10 +345,12 @@ func Table1(data []*AppData, m rt.Machine) []Table1Row {
 	for _, d := range data {
 		met := rt.Evaluate(d.Auto, m, rt.PolicyMinMax)
 		row := Table1Row{
-			App:       d.Name,
-			Tasks:     met.Tasks,
-			TAPercent: met.TAFraction() * 100,
-			TAMicros:  met.MeanAccessSeconds() * 1e6,
+			App:           d.Name,
+			Tasks:         met.Tasks,
+			TAPercent:     met.TAFraction() * 100,
+			TAMicros:      met.MeanAccessSeconds() * 1e6,
+			DegradedTasks: met.DegradedTasks,
+			FailedTasks:   met.FailedTasks,
 		}
 		for _, r := range d.Results {
 			row.AffineLoops += r.AffineLoops

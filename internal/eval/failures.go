@@ -80,3 +80,22 @@ func FormatFailures(err error) string {
 	}
 	return sb.String()
 }
+
+// FormatFailuresVerbose is FormatFailures followed by the captured panic
+// stack of every failure that has one (fault.Recover attaches stacks to
+// panic-kind faults at each pipeline boundary). The CLIs print this form
+// under -v.
+func FormatFailuresVerbose(err error) string {
+	out := FormatFailures(err)
+	if out == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(out)
+	for _, f := range Failures(err) {
+		if st := fault.StackOf(f.Err); len(st) > 0 {
+			fmt.Fprintf(&sb, "\n--- stack of %s (%s):\n%s", f.App, f.Kind, st)
+		}
+	}
+	return sb.String()
+}

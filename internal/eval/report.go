@@ -12,11 +12,24 @@ import (
 func FormatTable1(rows []Table1Row) string {
 	var sb strings.Builder
 	sb.WriteString("Table 1. Application characteristics\n")
-	sb.WriteString(fmt.Sprintf("%-10s %14s %10s %8s %10s\n",
-		"Application", "#affine/total", "#tasks", "TA%", "TA(usec)"))
+	sb.WriteString(fmt.Sprintf("%-10s %14s %10s %8s %10s %9s\n",
+		"Application", "#affine/total", "#tasks", "TA%", "TA(usec)", "degraded"))
+	degraded := false
 	for _, r := range rows {
-		sb.WriteString(fmt.Sprintf("%-10s %10d/%-3d %10d %8.2f %10.2f\n",
-			r.App, r.AffineLoops, r.TotalLoops, r.Tasks, r.TAPercent, r.TAMicros))
+		deg := "-"
+		if r.DegradedTasks > 0 || r.FailedTasks > 0 {
+			deg = fmt.Sprintf("%d", r.DegradedTasks)
+			if r.FailedTasks > 0 {
+				deg += fmt.Sprintf("+%df", r.FailedTasks)
+			}
+			degraded = true
+		}
+		sb.WriteString(fmt.Sprintf("%-10s %10d/%-3d %10d %8.2f %10.2f %9s\n",
+			r.App, r.AffineLoops, r.TotalLoops, r.Tasks, r.TAPercent, r.TAMicros, deg))
+	}
+	if degraded {
+		sb.WriteString("(degraded tasks ran coupled at the fixed frequency and forfeit the DVFS benefit;\n" +
+			" TA% and EDP for those apps understate healthy operation)\n")
 	}
 	return sb.String()
 }

@@ -1,13 +1,16 @@
 package eval
 
 import (
+	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dae/internal/dae"
 	"dae/internal/fault"
@@ -27,6 +30,10 @@ type TraceCache struct {
 	dir string
 	mu  sync.Mutex
 	mem map[string]*runOutput
+	// saveFault, when non-nil, is consulted before each disk-save attempt
+	// with the 0-based attempt number; a non-nil return fails that attempt.
+	// Tests use it to exercise the write-retry path.
+	saveFault func(attempt int) error
 }
 
 // NewTraceCache returns a cache. dir may be empty for a purely in-memory
@@ -54,13 +61,14 @@ func runKey(app string, kind runKind, cfg rt.TraceConfig, refine *RefineSpec) st
 
 // cacheVersion is bumped whenever the trace semantics or the envelope layout
 // change, invalidating stale on-disk entries. v2 added the content checksum
-// and the MaxSteps field to the TraceConfig fingerprint.
-const cacheVersion = 2
+// and the MaxSteps field to the TraceConfig fingerprint; v3 added the
+// supervision fields (trace format v2, Degrade in the fingerprint).
+const cacheVersion = 3
 
-// saveAttempts is how many times a failed envelope write is retried; disk
-// writes are best-effort (the cache degrades to memory-only) but transient
-// errors — a full temp dir being cleaned, a racing rename — deserve one
-// more try before giving up.
+// saveAttempts is how many times a failed envelope write is tried in total;
+// disk writes are best-effort (the cache degrades to memory-only) but
+// transient errors — a full temp dir being cleaned, a racing rename —
+// deserve one more try before giving up.
 const saveAttempts = 2
 
 // resultJSON is the persistable summary of a dae.Result. The generated IR
@@ -139,11 +147,22 @@ func (tc *TraceCache) put(key string, out *runOutput) {
 	if tc.dir == "" {
 		return
 	}
-	for attempt := 0; attempt < saveAttempts; attempt++ {
-		if err := tc.save(key, out); err == nil {
-			return
+	// Save failures are treated as retryable infra faults, with the backoff
+	// jitter seeded by the key so two workers retrying distinct entries (or
+	// racing the same one) do not stay in lockstep.
+	sum := sha256.Sum256([]byte(key))
+	backoff := fault.Backoff(time.Millisecond, binary.LittleEndian.Uint64(sum[:8]))
+	attempt := 0
+	_ = fault.Retry(context.Background(), saveAttempts, backoff, func() error {
+		a := attempt
+		attempt++
+		if tc.saveFault != nil {
+			if err := tc.saveFault(a); err != nil {
+				return fault.MarkRetryable(err)
+			}
 		}
-	}
+		return fault.MarkRetryable(tc.save(key, out))
+	})
 }
 
 // path maps a key to its cache file.

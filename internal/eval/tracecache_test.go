@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"dae/internal/fault"
@@ -261,5 +262,83 @@ func TestTraceCacheTruncatedEntry(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first.Auto, second.Auto) {
 		t.Error("recollected traces differ from the originals")
+	}
+}
+
+// smallOutput builds a minimal but valid cache entry for write-path tests.
+func smallOutput(t *testing.T) *runOutput {
+	t.Helper()
+	return &runOutput{Trace: &rt.Trace{Workload: "write-test", Cores: 1}}
+}
+
+// TestTraceCacheWriteRetry: a transient failure of the first disk-save
+// attempt is retried, and the retried write lands on disk (a fresh cache
+// instance — a later process — gets a hit).
+func TestTraceCacheWriteRetry(t *testing.T) {
+	dir := t.TempDir()
+	tc := NewTraceCache(dir)
+	failed := 0
+	tc.saveFault = func(attempt int) error {
+		if attempt == 0 {
+			failed++
+			return errors.New("transient write failure")
+		}
+		return nil
+	}
+	tc.put("retry-key", smallOutput(t))
+	if failed != 1 {
+		t.Fatalf("first save attempt consulted %d times, want 1", failed)
+	}
+	if _, ok := NewTraceCache(dir).get("retry-key"); !ok {
+		t.Fatal("retried write did not persist the entry")
+	}
+}
+
+// TestTraceCacheWriteFailureDegradesToMemory: when every save attempt
+// fails, the entry stays usable in memory and nothing lands on disk — the
+// cache degrades instead of failing the collection.
+func TestTraceCacheWriteFailureDegradesToMemory(t *testing.T) {
+	dir := t.TempDir()
+	tc := NewTraceCache(dir)
+	attempts := 0
+	tc.saveFault = func(int) error {
+		attempts++
+		return errors.New("disk gone")
+	}
+	tc.put("doomed-key", smallOutput(t))
+	if attempts != saveAttempts {
+		t.Fatalf("save tried %d times, want %d", attempts, saveAttempts)
+	}
+	if _, ok := tc.get("doomed-key"); !ok {
+		t.Error("entry lost from memory after disk-save failure")
+	}
+	if _, ok := NewTraceCache(dir).get("doomed-key"); ok {
+		t.Error("failed write left a disk entry")
+	}
+}
+
+// TestTraceCachePutRace: two goroutines racing put on the same key must not
+// corrupt the entry (write-then-rename keeps each write atomic). Run under
+// -race in tier 1.
+func TestTraceCachePutRace(t *testing.T) {
+	dir := t.TempDir()
+	tc := NewTraceCache(dir)
+	out := smallOutput(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc.put("raced-key", out)
+		}()
+	}
+	wg.Wait()
+	fresh := NewTraceCache(dir)
+	got, ok := fresh.get("raced-key")
+	if !ok {
+		t.Fatal("racing puts lost the entry")
+	}
+	if got.Trace == nil || got.Trace.Workload != "write-test" {
+		t.Fatalf("racing puts corrupted the entry: %+v", got)
 	}
 }

@@ -15,9 +15,11 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 )
 
 // Kind classifies a fault by the pipeline stage or resource that failed.
@@ -45,6 +47,14 @@ const (
 	KindCacheCorrupt
 	// KindPanic is a recovered panic from a pipeline stage.
 	KindPanic
+	// KindDegraded marks work that completed on a lower rung of the
+	// degradation ladder: a generation strategy that was rejected in favor
+	// of the next one, or a run that finished with quarantined task types.
+	KindDegraded
+	// KindQuarantined marks a task type whose access variant was disabled
+	// by the runtime supervisor for the rest of the workload; the wrapped
+	// cause is the access-phase fault that triggered the quarantine.
+	KindQuarantined
 )
 
 // String returns the short class name used in failure summaries.
@@ -68,6 +78,10 @@ func (k Kind) String() string {
 		return "cache-corrupt"
 	case KindPanic:
 		return "panic"
+	case KindDegraded:
+		return "degraded"
+	case KindQuarantined:
+		return "quarantined"
 	}
 	return "unknown"
 }
@@ -112,6 +126,8 @@ var (
 	ErrTimeout      = errors.New("fault: timed out")
 	ErrCacheCorrupt = errors.New("fault: corrupt cache entry")
 	ErrPanic        = errors.New("fault: recovered panic")
+	ErrDegraded     = errors.New("fault: completed degraded")
+	ErrQuarantined  = errors.New("fault: access variant quarantined")
 )
 
 func sentinel(k Kind) error {
@@ -134,6 +150,10 @@ func sentinel(k Kind) error {
 		return ErrCacheCorrupt
 	case KindPanic:
 		return ErrPanic
+	case KindDegraded:
+		return ErrDegraded
+	case KindQuarantined:
+		return ErrQuarantined
 	}
 	return nil
 }
@@ -155,6 +175,9 @@ type Error struct {
 	Err error
 	// Stack is the panic stack for KindPanic faults.
 	Stack []byte
+	// Retryable marks transient infrastructure faults (cache I/O, a racing
+	// rename) that a bounded retry may clear; see Retry.
+	Retryable bool
 }
 
 // Error implements error.
@@ -218,11 +241,15 @@ func ClassOf(err error) string {
 	return "error"
 }
 
-// TrapOf returns the TrapKind of err (TrapNone when err carries no trap).
+// TrapOf returns the TrapKind of err: the first fault in the chain carrying
+// one, so classification wrappers (e.g. KindQuarantined around a trap) stay
+// transparent. TrapNone when err carries no trap.
 func TrapOf(err error) TrapKind {
-	var fe *Error
-	if errors.As(err, &fe) {
-		return fe.Trap
+	for err != nil {
+		if fe, ok := err.(*Error); ok && fe.Trap != TrapNone {
+			return fe.Trap
+		}
+		err = errors.Unwrap(err)
 	}
 	return TrapNone
 }
@@ -245,6 +272,12 @@ func Recover(errp *error, boundary string) {
 		return
 	}
 	if fe, ok := r.(*Error); ok {
+		if fe.Kind == KindPanic && fe.Stack == nil {
+			// A typed panic fault re-raised across a boundary: keep the
+			// classification but capture the stack it unwound through, so
+			// verbose failure reports can show where it came from.
+			fe.Stack = debug.Stack()
+		}
 		*errp = fe
 		return
 	}
@@ -253,4 +286,87 @@ func Recover(errp *error, boundary string) {
 		Msg:   fmt.Sprintf("%s: panic: %v", boundary, r),
 		Stack: debug.Stack(),
 	}
+}
+
+// StackOf returns the captured panic stack of err, or nil when its chain
+// carries none.
+func StackOf(err error) []byte {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Stack
+	}
+	return nil
+}
+
+// MarkRetryable classifies err as a transient infrastructure fault worth a
+// bounded retry. An already-typed *Error is flagged in place; anything else
+// is wrapped in a KindUnknown fault with the flag set. A nil err yields nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		fe.Retryable = true
+		return err
+	}
+	return &Error{Kind: KindUnknown, Err: err, Retryable: true}
+}
+
+// IsRetryable reports whether err's chain carries a fault flagged retryable.
+func IsRetryable(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Retryable
+}
+
+// Backoff returns the retry delay schedule used by Retry: exponential in the
+// attempt number, starting at base, with deterministic jitter derived from
+// seed so that two callers retrying the same contended resource (e.g. two
+// workers writing the same cache entry) do not stay in lockstep. The jitter
+// spreads each delay over [0.5, 1.5)× its nominal value.
+func Backoff(base time.Duration, seed uint64) func(attempt int) time.Duration {
+	state := seed | 1 // xorshift must not start at zero
+	return func(attempt int) time.Duration {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		d := base << uint(attempt) // 1x, 2x, 4x, ...
+		jitter := time.Duration(state % uint64(d))
+		return d/2 + jitter
+	}
+}
+
+// Retry runs fn up to attempts times, sleeping backoff(i) between tries. It
+// stops early — returning the last error — as soon as fn fails with an
+// error that is not IsRetryable, or when ctx is done (the context error is
+// reported as a KindTimeout fault wrapping the last failure). A nil backoff
+// retries immediately.
+func Retry(ctx context.Context, attempts int, backoff func(int) time.Duration, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !IsRetryable(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return &Error{Kind: KindTimeout, Msg: "retry aborted", Err: errors.Join(ctx.Err(), err)}
+		}
+		if backoff == nil {
+			continue
+		}
+		t := time.NewTimer(backoff(i))
+		if ctx == nil {
+			<-t.C
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return &Error{Kind: KindTimeout, Msg: "retry aborted", Err: errors.Join(ctx.Err(), err)}
+		case <-t.C:
+		}
+	}
+	return err
 }

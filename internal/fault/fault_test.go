@@ -1,10 +1,12 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSentinelMatching(t *testing.T) {
@@ -21,6 +23,8 @@ func TestSentinelMatching(t *testing.T) {
 		{KindTimeout, ErrTimeout},
 		{KindCacheCorrupt, ErrCacheCorrupt},
 		{KindPanic, ErrPanic},
+		{KindDegraded, ErrDegraded},
+		{KindQuarantined, ErrQuarantined},
 	}
 	for _, c := range cases {
 		err := New(c.kind, "boom")
@@ -103,5 +107,153 @@ func TestRecoverConvertsPanics(t *testing.T) {
 	err = run(func() { panic(typed) })
 	if !errors.Is(err, ErrHeapBudget) {
 		t.Fatalf("typed panic reclassified: %v", err)
+	}
+}
+
+func TestQuarantineWrapKeepsCauseClass(t *testing.T) {
+	// The supervisor wraps the original access-phase fault when it
+	// quarantines a task type: the result must match both sentinels.
+	cause := NewTrap(TrapOutOfBounds, "lu_access", "b2: load", "boom")
+	err := Wrap(KindQuarantined, cause)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Error("quarantine wrapper does not match ErrQuarantined")
+	}
+	if !errors.Is(err, ErrTrap) {
+		t.Error("quarantine wrapper hides the original trap")
+	}
+	if TrapOf(err) != TrapOutOfBounds {
+		t.Errorf("TrapOf = %v, want out-of-bounds", TrapOf(err))
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if IsRetryable(nil) {
+		t.Error("nil is not retryable")
+	}
+	if MarkRetryable(nil) != nil {
+		t.Error("MarkRetryable(nil) must stay nil")
+	}
+	plain := errors.New("disk full")
+	if IsRetryable(plain) {
+		t.Error("unmarked errors are not retryable")
+	}
+	marked := MarkRetryable(plain)
+	if !IsRetryable(marked) {
+		t.Error("marked error not classified retryable")
+	}
+	if !errors.Is(marked, plain) {
+		t.Error("marking lost the cause")
+	}
+	// Marking a typed fault flags it in place, keeping its kind.
+	fe := New(KindCacheCorrupt, "torn write")
+	if got := MarkRetryable(fe); got != error(fe) {
+		t.Error("typed fault should be flagged in place")
+	}
+	if !IsRetryable(fe) || !errors.Is(fe, ErrCacheCorrupt) {
+		t.Error("flagged fault lost class or flag")
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	calls := 0
+	err := Retry(nil, 5, nil, func() error {
+		calls++
+		return New(KindVerify, "permanent")
+	})
+	if calls != 1 {
+		t.Errorf("non-retryable error retried %d times", calls)
+	}
+	if !errors.Is(err, ErrVerify) {
+		t.Errorf("wrong error surfaced: %v", err)
+	}
+}
+
+func TestRetryBoundedAndEventualSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(nil, 3, nil, func() error {
+		calls++
+		if calls < 2 {
+			return MarkRetryable(errors.New("transient"))
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Errorf("first-retry success: err=%v calls=%d", err, calls)
+	}
+	calls = 0
+	err = Retry(nil, 3, nil, func() error {
+		calls++
+		return MarkRetryable(errors.New("always"))
+	})
+	if calls != 3 {
+		t.Errorf("budget of 3 made %d calls", calls)
+	}
+	if !IsRetryable(err) {
+		t.Errorf("exhausted retry must surface the last error, got %v", err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, 10, Backoff(time.Millisecond, 42), func() error {
+		calls++
+		return MarkRetryable(errors.New("transient"))
+	})
+	if calls != 1 {
+		t.Errorf("canceled context still made %d calls", calls)
+	}
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation not classified: %v", err)
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	a, b := Backoff(8*time.Millisecond, 7), Backoff(8*time.Millisecond, 7)
+	for i := 0; i < 4; i++ {
+		da, db := a(i), b(i)
+		if da != db {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, da, db)
+		}
+		nominal := 8 * time.Millisecond << uint(i)
+		if da < nominal/2 || da >= nominal+nominal/2 {
+			t.Errorf("attempt %d delay %v outside [%v, %v)", i, da, nominal/2, nominal+nominal/2)
+		}
+	}
+	// Different seeds should not stay in lockstep across the schedule.
+	c := Backoff(8*time.Millisecond, 99)
+	same := 0
+	for i := 0; i < 4; i++ {
+		if a(i) == c(i) {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Error("distinct seeds produced identical schedules")
+	}
+}
+
+func TestRecoverAttachesStackToTypedPanic(t *testing.T) {
+	// The interpreter raises typed faults through panics (e.g. the heap
+	// budget); the boundary must preserve the class and capture the stack.
+	run := func() (err error) {
+		defer Recover(&err, "trace-run")
+		panic(New(KindPanic, "typed crash"))
+	}
+	err := run()
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("typed panic lost its class: %v", err)
+	}
+	if st := StackOf(err); len(st) == 0 || !strings.Contains(string(st), "fault.TestRecoverAttachesStackToTypedPanic") {
+		t.Errorf("stack not captured for typed panic fault: %q", st)
+	}
+	// Non-panic typed faults keep flowing through without a stack.
+	run2 := func() (err error) {
+		defer Recover(&err, "trace-run")
+		panic(New(KindHeapBudget, "budget"))
+	}
+	if st := StackOf(run2()); st != nil {
+		t.Errorf("heap-budget fault should not grow a stack, got %d bytes", len(st))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"dae/internal/fault"
@@ -33,6 +34,12 @@ const (
 	SiteAccessGen Site = "access-gen"
 	// SiteTraceRun guards workload tracing and output verification.
 	SiteTraceRun Site = "trace-run"
+	// SiteAccessPhase fires inside the runtime, immediately before one
+	// task's access phase runs — the supervisor must degrade it.
+	SiteAccessPhase Site = "access-phase"
+	// SiteExecPhase fires inside the runtime, immediately before one task's
+	// execute phase runs — the supervisor must surface it, never mask it.
+	SiteExecPhase Site = "execute-phase"
 )
 
 // Hook is consulted by the pipeline at each site before the real stage
@@ -88,16 +95,24 @@ type Rule struct {
 	// Kind selects the run kind: "coupled", "manual-dae", or
 	// "compiler-dae" ("" = any).
 	Kind string
+	// Task selects the task type by name for the phase sites ("" = any);
+	// pipeline-boundary sites ignore it.
+	Task string
 	// Mode is the fault shape.
 	Mode Mode
 	// Trap refines ModeTrap.
 	Trap fault.TrapKind
+	// Once limits the rule to its first firing; later matches pass clean.
+	// This is how a test injects "a fault in 2 of the 21 runs" without also
+	// failing the replays that supervision triggers.
+	Once bool
 }
 
-func (r Rule) matches(site Site, app, kind string) bool {
+func (r Rule) matches(site Site, app, kind, task string) bool {
 	return (r.Site == "" || r.Site == site) &&
 		(r.App == "" || r.App == app) &&
-		(r.Kind == "" || r.Kind == kind)
+		(r.Kind == "" || r.Kind == kind) &&
+		(r.Task == "" || r.Task == task)
 }
 
 // Injector is a race-safe rule set that records every fault it fires.
@@ -105,43 +120,82 @@ type Injector struct {
 	rules []Rule
 	mu    sync.Mutex
 	fired []string
+	spent []bool // per-rule: a Once rule that already fired
 }
 
 // New returns an injector over rules.
-func New(rules ...Rule) *Injector { return &Injector{rules: rules} }
+func New(rules ...Rule) *Injector {
+	return &Injector{rules: rules, spent: make([]bool, len(rules))}
+}
 
-// Hook returns the pipeline hook of the injector.
-func (in *Injector) Hook() Hook {
-	return func(site Site, app, kind string) error {
-		for _, r := range in.rules {
-			if !r.matches(site, app, kind) {
-				continue
-			}
-			in.record(site, app, kind, r.Mode)
-			switch r.Mode {
-			case ModePanic:
-				panic(fmt.Sprintf("inject: %s/%s/%s", site, app, kind))
-			case ModeTrap:
-				return fault.NewTrap(r.Trap, app, "",
-					"inject: trap at %s", site)
-			case ModeStepBudget:
-				return fault.New(fault.KindStepBudget, "inject: budget at %s/%s", site, app)
-			case ModeHeapBudget:
-				return fault.New(fault.KindHeapBudget, "inject: budget at %s/%s", site, app)
-			case ModeTimeout:
-				return fault.New(fault.KindTimeout, "inject: timeout at %s/%s", site, app)
-			default:
-				return fmt.Errorf("inject: error at %s/%s/%s", site, app, kind)
-			}
+// fire finds the first live rule matching the coordinates, records it, and
+// raises its fault (returning the error form, or panicking for ModePanic).
+// A nil return means no rule matched.
+func (in *Injector) fire(site Site, app, kind, task string) error {
+	in.mu.Lock()
+	var rule *Rule
+	for i := range in.rules {
+		r := &in.rules[i]
+		if in.spent[i] || !r.matches(site, app, kind, task) {
+			continue
 		}
+		if r.Once {
+			in.spent[i] = true
+		}
+		rule = r
+		break
+	}
+	if rule != nil {
+		at := fmt.Sprintf("%s/%s/%s", site, app, kind)
+		if task != "" {
+			at += "/" + task
+		}
+		in.fired = append(in.fired, at+":"+rule.Mode.String())
+	}
+	in.mu.Unlock()
+	if rule == nil {
 		return nil
+	}
+	switch rule.Mode {
+	case ModePanic:
+		panic(fmt.Sprintf("inject: %s/%s/%s", site, app, kind))
+	case ModeTrap:
+		return fault.NewTrap(rule.Trap, app, "",
+			"inject: trap at %s", site)
+	case ModeStepBudget:
+		return fault.New(fault.KindStepBudget, "inject: budget at %s/%s", site, app)
+	case ModeHeapBudget:
+		return fault.New(fault.KindHeapBudget, "inject: budget at %s/%s", site, app)
+	case ModeTimeout:
+		return fault.New(fault.KindTimeout, "inject: timeout at %s/%s", site, app)
+	default:
+		return fmt.Errorf("inject: error at %s/%s/%s", site, app, kind)
 	}
 }
 
-func (in *Injector) record(site Site, app, kind string, mode Mode) {
-	in.mu.Lock()
-	in.fired = append(in.fired, fmt.Sprintf("%s/%s/%s:%s", site, app, kind, mode))
-	in.mu.Unlock()
+// Hook returns the pipeline-boundary hook of the injector. Phase-site rules
+// never fire here; they are served by PhaseFunc.
+func (in *Injector) Hook() Hook {
+	return func(site Site, app, kind string) error {
+		switch site {
+		case SiteAccessPhase, SiteExecPhase:
+			return nil
+		}
+		return in.fire(site, app, kind, "")
+	}
+}
+
+// PhaseFunc returns the per-task-phase hook the runtime supervisor consults
+// (wired through eval.CollectOptions.InjectPhase): only SiteAccessPhase and
+// SiteExecPhase rules fire here.
+func (in *Injector) PhaseFunc() func(app, kind, task string, access bool) error {
+	return func(app, kind, task string, access bool) error {
+		site := SiteExecPhase
+		if access {
+			site = SiteAccessPhase
+		}
+		return in.fire(site, app, kind, task)
+	}
 }
 
 // Fired returns the injected faults in sorted (deterministic) order; the
@@ -153,6 +207,75 @@ func (in *Injector) Fired() []string {
 	in.mu.Unlock()
 	sort.Strings(out)
 	return out
+}
+
+// ParseRules parses the CLI rule syntax of the -inject flag: rules are
+// separated by ';', each rule is "site,app,kind,task,mode[,trap]" with empty
+// fields matching anything. A mode suffixed "!" fires only once. Examples:
+//
+//	access-phase,LU,compiler-dae,,trap          every LU access phase traps
+//	trace-run,FFT,,,panic                       all FFT trace runs crash
+//	execute-phase,,,diag,step-budget!           first diag execute phase only
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		f := strings.Split(raw, ",")
+		if len(f) < 5 || len(f) > 6 {
+			return nil, fmt.Errorf("inject: rule %q: want site,app,kind,task,mode[,trap]", raw)
+		}
+		for i := range f {
+			f[i] = strings.TrimSpace(f[i])
+		}
+		r := Rule{Site: Site(f[0]), App: f[1], Kind: f[2], Task: f[3]}
+		switch r.Site {
+		case "", SiteCompile, SiteAccessGen, SiteTraceRun, SiteAccessPhase, SiteExecPhase:
+		default:
+			return nil, fmt.Errorf("inject: rule %q: unknown site %q", raw, f[0])
+		}
+		mode := f[4]
+		if strings.HasSuffix(mode, "!") {
+			r.Once = true
+			mode = strings.TrimSuffix(mode, "!")
+		}
+		switch mode {
+		case "error":
+			r.Mode = ModeError
+		case "panic":
+			r.Mode = ModePanic
+		case "trap":
+			r.Mode = ModeTrap
+			r.Trap = fault.TrapOutOfBounds
+		case "step-budget":
+			r.Mode = ModeStepBudget
+		case "heap-budget":
+			r.Mode = ModeHeapBudget
+		case "timeout":
+			r.Mode = ModeTimeout
+		default:
+			return nil, fmt.Errorf("inject: rule %q: unknown mode %q", raw, mode)
+		}
+		if len(f) == 6 {
+			if r.Mode != ModeTrap {
+				return nil, fmt.Errorf("inject: rule %q: trap kind given for non-trap mode", raw)
+			}
+			switch f[5] {
+			case "div-by-zero":
+				r.Trap = fault.TrapDivByZero
+			case "out-of-bounds":
+				r.Trap = fault.TrapOutOfBounds
+			case "nil-deref":
+				r.Trap = fault.TrapNilDeref
+			default:
+				return nil, fmt.Errorf("inject: rule %q: unknown trap kind %q", raw, f[5])
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
 }
 
 // CorruptCacheDir damages every trace-cache entry under dir: with truncate

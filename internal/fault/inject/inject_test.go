@@ -140,3 +140,83 @@ func TestCorruptCacheDir(t *testing.T) {
 		t.Errorf("bit-flip mode: len %d→%d, equal=%v", len(orig), len(b), reflect.DeepEqual(b, orig))
 	}
 }
+
+func TestPhaseFuncFiresOnlyPhaseSites(t *testing.T) {
+	in := New(
+		Rule{Site: SiteAccessPhase, App: "LU", Task: "diag", Mode: ModeTrap, Trap: fault.TrapNilDeref},
+		Rule{Site: SiteExecPhase, App: "LU", Mode: ModeStepBudget},
+		Rule{Site: SiteTraceRun, App: "LU", Mode: ModeError},
+	)
+	phase := in.PhaseFunc()
+	// Access phase of the selected task traps; other tasks pass.
+	if err := phase("LU", "compiler-dae", "diag", true); !errors.Is(err, fault.ErrTrap) {
+		t.Errorf("access-phase rule did not fire: %v", err)
+	}
+	if err := phase("LU", "compiler-dae", "row", true); err != nil {
+		t.Errorf("unselected task faulted: %v", err)
+	}
+	// Execute phases match the execute rule (any task).
+	if err := phase("LU", "compiler-dae", "row", false); !errors.Is(err, fault.ErrStepBudget) {
+		t.Errorf("execute-phase rule did not fire: %v", err)
+	}
+	// The boundary hook must not serve phase rules, and vice versa.
+	hook := in.Hook()
+	if err := hook(SiteAccessPhase, "LU", "compiler-dae"); err != nil {
+		t.Errorf("boundary hook served a phase site: %v", err)
+	}
+	if err := hook(SiteTraceRun, "LU", "compiler-dae"); err == nil {
+		t.Error("boundary rule did not fire through the hook")
+	}
+	if got := len(in.Fired()); got != 3 {
+		t.Errorf("fired %d, want 3: %v", got, in.Fired())
+	}
+}
+
+func TestOnceRuleFiresOnce(t *testing.T) {
+	in := New(Rule{Site: SiteAccessPhase, Task: "diag", Mode: ModePanic, Once: true})
+	phase := in.PhaseFunc()
+	mustPanic := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		phase("LU", "compiler-dae", "diag", true)
+		return false
+	}
+	if !mustPanic() {
+		t.Fatal("first match did not panic")
+	}
+	if err := phase("LU", "compiler-dae", "diag", true); err != nil {
+		t.Errorf("once rule fired twice: %v", err)
+	}
+	if got := len(in.Fired()); got != 1 {
+		t.Errorf("fired %d, want 1", got)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("access-phase,LU,compiler-dae,,trap; trace-run,FFT,,,panic; execute-phase,,,diag,step-budget!; compile,,coupled,,trap,nil-deref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Site: SiteAccessPhase, App: "LU", Kind: "compiler-dae", Mode: ModeTrap, Trap: fault.TrapOutOfBounds},
+		{Site: SiteTraceRun, App: "FFT", Mode: ModePanic},
+		{Site: SiteExecPhase, Task: "diag", Mode: ModeStepBudget, Once: true},
+		{Site: SiteCompile, Kind: "coupled", Mode: ModeTrap, Trap: fault.TrapNilDeref},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Errorf("parsed rules differ:\n got %+v\nwant %+v", rules, want)
+	}
+	if rules, err := ParseRules(" "); err != nil || rules != nil {
+		t.Errorf("blank spec: rules=%v err=%v", rules, err)
+	}
+	for _, bad := range []string{
+		"nope,,,,error",              // unknown site
+		"compile,,,,explode",         // unknown mode
+		"compile,,,,error,nil-deref", // trap kind on non-trap
+		"compile,,,,trap,sideways",   // unknown trap kind
+		"compile,error",              // wrong arity
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted an invalid rule", bad)
+		}
+	}
+}

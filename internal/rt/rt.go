@@ -16,6 +16,7 @@ package rt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"dae/internal/cpu"
@@ -61,6 +62,16 @@ type TaskRecord struct {
 	AccessWork cpu.PhaseWork
 	// ExecWork is the execute phase's work.
 	ExecWork cpu.PhaseWork
+	// Degraded is set when the supervisor dropped (or quarantine skipped)
+	// the task's access phase and the task ran coupled; Evaluate pins such
+	// tasks at Machine.FixedFreq — they forfeit the DVFS benefit.
+	Degraded bool
+	// Failed is set when the execute phase itself faulted under DegradeFull:
+	// the batch completed, but this task produced no result and ExecWork is
+	// zero. The fault is also returned from RunContext — never masked.
+	Failed bool
+	// FaultKind is the fault class behind Degraded or Failed ("" otherwise).
+	FaultKind string
 }
 
 // Trace is the frequency-independent record of one workload execution.
@@ -71,6 +82,24 @@ type Trace struct {
 	Records   []TaskRecord
 	// NumBatches is the barrier count.
 	NumBatches int
+	// Quarantined maps each task type whose access variant the supervisor
+	// disabled to the fault class that triggered the quarantine. The set only
+	// grows during a run (monotone); nil for a fault-free trace.
+	Quarantined map[string]string
+}
+
+// Degraded reports whether supervision altered the run: any quarantined
+// task type or any degraded or failed record.
+func (tr *Trace) Degraded() bool {
+	if len(tr.Quarantined) > 0 {
+		return true
+	}
+	for i := range tr.Records {
+		if tr.Records[i].Degraded || tr.Records[i].Failed {
+			return true
+		}
+	}
+	return false
 }
 
 // coreTracer adapts interpreter memory events onto a core's hierarchy.
@@ -96,6 +125,54 @@ const (
 	PlaceLeastLoaded
 )
 
+// DegradeMode selects how much of a faulting workload the runtime
+// supervisor salvages. See RunContext.
+type DegradeMode int
+
+// Degradation modes, in increasing tolerance.
+const (
+	// DegradeOff disables supervision: the first task-phase fault aborts the
+	// whole trace (the pre-supervisor behaviour).
+	DegradeOff DegradeMode = iota
+	// DegradeAccess supervises access phases only: an access-phase fault
+	// quarantines that task type's access variant for the rest of the
+	// workload and the task runs coupled; execute-phase faults still abort.
+	// Dropping an access phase is always safe — access phases are store-free
+	// by construction (dae purity verification), so they have no effect the
+	// execute phase depends on.
+	DegradeAccess
+	// DegradeFull additionally contains execute-phase faults to task
+	// granularity: the task is marked Failed, the batch completes, and
+	// RunContext returns the completed trace together with the joined
+	// execute faults. The faults are never masked — callers that treat a
+	// non-nil error as failure still see one.
+	DegradeFull
+)
+
+// String returns the CLI spelling of the mode.
+func (d DegradeMode) String() string {
+	switch d {
+	case DegradeAccess:
+		return "access"
+	case DegradeFull:
+		return "full"
+	}
+	return "off"
+}
+
+// ParseDegradeMode parses the CLI spelling ("off", "access", "full").
+func ParseDegradeMode(s string) (DegradeMode, error) {
+	switch s {
+	case "off":
+		return DegradeOff, nil
+	case "access":
+		return DegradeAccess, nil
+	case "full":
+		return DegradeFull, nil
+	}
+	return DegradeOff, fmt.Errorf("rt: unknown degrade mode %q (want off, access, or full)", s)
+}
+
 // TraceConfig controls workload tracing.
 type TraceConfig struct {
 	// Cores is the number of simulated cores (the paper evaluates 4).
@@ -110,6 +187,14 @@ type TraceConfig struct {
 	// budget: a phase that executes more operations fails the run with a
 	// fault.ErrStepBudget error instead of hanging the trace.
 	MaxSteps int64
+	// Degrade selects the runtime supervisor's tolerance (default DegradeOff).
+	Degrade DegradeMode
+	// PhaseHook, when non-nil, is consulted immediately before each task
+	// phase; a non-nil return faults the phase as if execution had failed,
+	// and a panic is recovered like a real crash. It exists for fault
+	// injection and is deliberately excluded from Fingerprint — hooks must
+	// not change healthy traces.
+	PhaseHook func(task string, access bool) error
 }
 
 // DefaultTraceConfig returns the quad-core evaluation setup with the
@@ -125,8 +210,8 @@ func (c TraceConfig) Fingerprint() string {
 	h := func(cc mem.Config) string {
 		return fmt.Sprintf("%d/%d/%d", cc.SizeBytes, cc.LineBytes, cc.Assoc)
 	}
-	return fmt.Sprintf("cores=%d;l1=%s;l2=%s;l3=%s;dec=%t;place=%d;steps=%d",
-		c.Cores, h(c.Hierarchy.L1), h(c.Hierarchy.L2), h(c.Hierarchy.L3), c.Decoupled, c.Place, c.MaxSteps)
+	return fmt.Sprintf("cores=%d;l1=%s;l2=%s;l3=%s;dec=%t;place=%d;steps=%d;deg=%d",
+		c.Cores, h(c.Hierarchy.L1), h(c.Hierarchy.L2), h(c.Hierarchy.L3), c.Decoupled, c.Place, c.MaxSteps, c.Degrade)
 }
 
 // Run traces the workload: every task executes for real through the
@@ -143,6 +228,16 @@ func Run(w *Workload, cfg TraceConfig) (*Trace, error) {
 // error shortly after ctx expires. A panic while tracing (a compiler or
 // runtime bug surfaced by an untrusted input) is recovered into a
 // fault.ErrPanic error rather than crashing the process.
+//
+// With cfg.Degrade above DegradeOff, RunContext supervises task phases
+// instead of aborting on the first fault: a faulting access phase is
+// discarded (access phases are store-free, so the simulated heap is
+// untouched), the task type's access variant is quarantined for the rest of
+// the workload, and the task — plus every later instance of its type — runs
+// coupled with its record marked Degraded. Under DegradeFull a faulting
+// execute phase marks only that task Failed and the batch completes, but the
+// fault is still returned (joined, alongside the completed trace) so it can
+// never be silently swallowed. Real cancellation always aborts.
 func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, err error) {
 	defer fault.Recover(&err, "trace-run")
 	if cfg.Cores <= 0 {
@@ -156,26 +251,41 @@ func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, e
 		env  *interp.Env
 		tr   *coreTracer
 	}
+	newEnv := func(ct *coreTracer) *interp.Env {
+		env := interp.NewEnv(prog, ct)
+		env.SetContext(ctx)
+		env.SetMaxSteps(cfg.MaxSteps)
+		return env
+	}
 	cores := make([]*core, cfg.Cores)
 	for i := range cores {
 		h := mem.NewHierarchy(cfg.Hierarchy, l3)
-		tr := &coreTracer{h: h}
-		env := interp.NewEnv(prog, tr)
-		env.SetContext(ctx)
-		env.SetMaxSteps(cfg.MaxSteps)
-		cores[i] = &core{hier: h, env: env, tr: tr}
+		ct := &coreTracer{h: h}
+		cores[i] = &core{hier: h, env: newEnv(ct), tr: ct}
 	}
 
 	tr = &Trace{Workload: w.Name, Decoupled: cfg.Decoupled, Cores: cfg.Cores, NumBatches: len(w.Batches)}
 
-	runPhase := func(c *core, fn *ir.Func, args []interp.Value) (cpu.PhaseWork, error) {
+	// runPhase consults the injection hook, then interprets fn on c. Panics
+	// are recovered here (not just at the trace boundary) so the supervisor
+	// can act on a crashing phase like on any other fault.
+	runPhase := func(c *core, task string, fn *ir.Func, args []interp.Value, access bool) (w cpu.PhaseWork, err error) {
+		defer fault.Recover(&err, "task-phase")
+		if cfg.PhaseHook != nil {
+			if herr := cfg.PhaseHook(task, access); herr != nil {
+				return cpu.PhaseWork{}, herr
+			}
+		}
 		c.env.ResetCounts()
 		c.hier.ResetStats()
-		if _, err := c.env.Call(fn, args...); err != nil {
-			return cpu.PhaseWork{}, err
+		if _, cerr := c.env.Call(fn, args...); cerr != nil {
+			return cpu.PhaseWork{}, cerr
 		}
 		return cpu.PhaseWork{Counts: c.env.Counts(), Mem: c.hier.Stats}, nil
 	}
+
+	// execFaults accumulates contained execute-phase faults (DegradeFull).
+	var execFaults []error
 
 	// load tracks accumulated instruction counts per core within the
 	// current batch, for the least-loaded placement policy.
@@ -203,24 +313,60 @@ func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, e
 				return nil, fmt.Errorf("rt: no task function %q", task.Name)
 			}
 			rec := TaskRecord{Name: task.Name, Core: ci, Batch: bi}
-			if cfg.Decoupled {
-				if acc := w.Access[task.Name]; acc != nil {
-					work, err := runPhase(c, acc, task.Args)
-					if err != nil {
-						return nil, fmt.Errorf("rt: access phase of %s: %w", task.Name, err)
+			if acc := w.Access[task.Name]; cfg.Decoupled && acc != nil {
+				if kind, q := tr.Quarantined[task.Name]; q {
+					// Access variant already quarantined: run coupled.
+					rec.Degraded = true
+					rec.FaultKind = kind
+				} else {
+					work, aerr := runPhase(c, task.Name, acc, task.Args, true)
+					switch {
+					case aerr == nil:
+						rec.HasAccess = true
+						rec.AccessWork = work
+					case ctx.Err() != nil:
+						return nil, fault.Wrap(fault.KindTimeout, ctx.Err())
+					case cfg.Degrade == DegradeOff:
+						return nil, fmt.Errorf("rt: access phase of %s: %w", task.Name, aerr)
+					default:
+						// Supervise: the access phase stored nothing (purity-
+						// verified), so discard it, quarantine the task type's
+						// access variant, and run this task coupled. The
+						// interpreter may have unwound mid-call; rebuild the
+						// core's env rather than reason about its pools.
+						kind := fault.ClassOf(aerr)
+						if tr.Quarantined == nil {
+							tr.Quarantined = make(map[string]string)
+						}
+						tr.Quarantined[task.Name] = kind
+						rec.Degraded = true
+						rec.FaultKind = kind
+						c.env = newEnv(c.tr)
 					}
-					rec.HasAccess = true
-					rec.AccessWork = work
 				}
 			}
-			work, err := runPhase(c, fn, task.Args)
-			if err != nil {
-				return nil, fmt.Errorf("rt: execute phase of %s: %w", task.Name, err)
+			work, xerr := runPhase(c, task.Name, fn, task.Args, false)
+			switch {
+			case xerr == nil:
+				rec.ExecWork = work
+			case ctx.Err() != nil:
+				return nil, fault.Wrap(fault.KindTimeout, ctx.Err())
+			case cfg.Degrade != DegradeFull:
+				return nil, fmt.Errorf("rt: execute phase of %s: %w", task.Name, xerr)
+			default:
+				// Contain to task granularity, but never mask: the joined
+				// fault is returned together with the completed trace.
+				rec.Failed = true
+				rec.FaultKind = fault.ClassOf(xerr)
+				execFaults = append(execFaults, fmt.Errorf("rt: execute phase of %s: %w", task.Name, xerr))
+				c.env = newEnv(c.tr)
 			}
-			rec.ExecWork = work
 			load[ci] += rec.AccessWork.Counts.Total() + rec.ExecWork.Counts.Total()
 			tr.Records = append(tr.Records, rec)
 		}
+	}
+	if len(execFaults) > 0 {
+		return tr, errors.Join(execFaults...)
 	}
 	return tr, nil
 }

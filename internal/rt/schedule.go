@@ -72,6 +72,14 @@ type Metrics struct {
 	Tasks int
 	// Transitions is the number of DVFS switches.
 	Transitions int
+	// DegradedTasks counts tasks that ran coupled under supervision
+	// (quarantined access variant); they are pinned at Machine.FixedFreq and
+	// contribute no access time, so they forfeit the DVFS benefit — TA% and
+	// EDP reflect that.
+	DegradedTasks int
+	// FailedTasks counts tasks whose execute phase faulted under
+	// DegradeFull; they contribute no time or energy at all.
+	FailedTasks int
 }
 
 // TAFraction returns the fraction of busy time spent in access phases
@@ -219,12 +227,36 @@ func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics {
 		return plan(m, w, level)
 	}
 
+	// Degraded tasks forfeit policy choice: they are pinned at the fixed
+	// (DVFS-less baseline) frequency, whatever the policy under evaluation.
+	fixed := m.DVFS.Fmax()
+	if l, err := m.DVFS.ByFreq(m.FixedFreq); err == nil {
+		fixed = l
+	}
+
 	// Replay batch by batch.
 	ri := 0
 	for b := 0; b < tr.NumBatches; b++ {
 		for ri < len(tr.Records) && tr.Records[ri].Batch == b {
 			rec := tr.Records[ri]
 			c := &cores[rec.Core]
+			if rec.Failed {
+				// The execute phase faulted: no work to charge, the task
+				// produced nothing.
+				out.Tasks++
+				out.FailedTasks++
+				ri++
+				continue
+			}
+			if rec.Degraded {
+				p := plan(m, rec.ExecWork, fixed)
+				switchTo(c, p.level)
+				runPhase(c, p, false)
+				out.Tasks++
+				out.DegradedTasks++
+				ri++
+				continue
+			}
 			if rec.HasAccess {
 				var p phasePlan
 				if pol == PolicyOnline {
