@@ -31,7 +31,14 @@
 //	daebench [-exp table1|fig3|fig4|zerolat|refined|strategies|all] [-cores 4]
 //	         [-csv dir] [-j N] [-cache-dir dir] [-timeout d] [-run-timeout d]
 //	         [-max-steps n] [-degrade off|access|full] [-inject rules] [-v]
-//	         [-cpuprofile f] [-memprofile f]
+//	         [-engine bytecode|tree] [-opstats] [-cpuprofile f] [-memprofile f]
+//
+// -engine selects the interpreter execution engine: the register-bytecode VM
+// (default) or the original compiled-op interpreter ("tree"), kept as a
+// differential oracle — both produce byte-identical traces. -opstats skips
+// the experiments and instead prints the dynamic op and op-pair histogram of
+// the whole collection, measured on the tree engine; it is the measurement
+// behind the bytecode engine's superinstruction selection.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"sync"
@@ -51,6 +59,7 @@ import (
 	"dae/internal/dvfs"
 	"dae/internal/eval"
 	"dae/internal/fault/inject"
+	"dae/internal/interp"
 	"dae/internal/rt"
 )
 
@@ -73,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	degrade := fs.String("degrade", "access", "runtime supervision mode: off (abort on fault), access (quarantine faulting access variants), full (also contain execute faults)")
 	injectSpec := fs.String("inject", "", "fault-injection rules, \"site,app,kind,task,mode[,trap]\" separated by ';' (testing)")
 	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
+	engine := fs.String("engine", "bytecode", "interpreter execution engine: bytecode (register VM) or tree (compiled-op oracle)")
+	opstats := fs.Bool("opstats", false, "print the dynamic op/op-pair histogram of the collection (tree engine) instead of running experiments")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +105,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usage(err)
 	}
+	engineKind, err := interp.ParseEngine(*engine)
+	if err != nil {
+		return usage(err)
+	}
+
+	// daebench is a short-lived batch process whose footprint is dominated by
+	// trace buffers that live to the end anyway; a lazier GC pace trades a
+	// bounded amount of heap headroom for collection passes that otherwise
+	// burn a measurable slice of a cold run (visible as GC work in the
+	// -cpuprofile output). Benchmarks of library packages are unaffected.
+	debug.SetGCPercent(400)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -119,6 +141,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Cores = *cores
 	cfg.MaxSteps = *maxSteps
 	cfg.Degrade = degradeMode
+	cfg.Engine = engineKind
+
+	if *opstats {
+		fmt.Fprintf(stderr, "daebench: collecting the dynamic op histogram (7 benchmarks x 3 versions, tree engine)...\n")
+		st, err := eval.CollectOpStats(ctx, nil, cfg, eval.CollectOptions{RunTimeout: *runTimeout})
+		if err != nil {
+			return failRuns(stderr, "daebench", err, *verbose)
+		}
+		fmt.Fprint(stdout, st.Format())
+		return 0
+	}
 	// The in-process cache is always on: it lets the refined experiment
 	// reuse the coupled and manual traces of the main collection. -cache-dir
 	// additionally persists entries across daebench invocations.

@@ -32,6 +32,34 @@ func TestRunStepBudgetFailureSummary(t *testing.T) {
 	}
 }
 
+func TestRunBadEngine(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-engine", "jit"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown engine") {
+		t.Errorf("stderr should name the bad engine:\n%s", errb.String())
+	}
+}
+
+// TestRunOpStats: -opstats replaces the experiments with the dynamic op and
+// op-pair histogram of the whole collection, measured on the tree engine.
+func TestRunOpStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects all benchmarks")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-opstats"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	msg := out.String()
+	for _, want := range []string{"dynamic op histogram", "top op pairs", "loadF", "condbr"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("opstats output missing %q:\n%s", want, msg)
+		}
+	}
+}
+
 func TestRunStrategies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("collects all benchmarks")

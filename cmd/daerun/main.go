@@ -22,7 +22,11 @@
 //
 //	daerun [-cores 4] [-zero-latency] [-timeout d] [-run-timeout d]
 //	       [-max-steps n] [-degrade off|access|full] [-inject rules] [-v]
-//	       [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
+//	       [-engine bytecode|tree] [LU|Cholesky|FFT|LBM|LibQ|Cigar|CG]
+//
+// -engine selects the interpreter execution engine: the register-bytecode VM
+// (default) or the compiled-op oracle ("tree"); both produce byte-identical
+// traces.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"dae/internal/dvfs"
 	"dae/internal/eval"
 	"dae/internal/fault/inject"
+	"dae/internal/interp"
 	"dae/internal/rt"
 )
 
@@ -61,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	degrade := fs.String("degrade", "access", "runtime supervision mode: off (abort on fault), access (quarantine faulting access variants), full (also contain execute faults)")
 	injectSpec := fs.String("inject", "", "fault-injection rules, \"site,app,kind,task,mode[,trap]\" separated by ';' (testing)")
 	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
+	engine := fs.String("engine", "bytecode", "interpreter execution engine: bytecode (register VM) or tree (compiled-op oracle)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,6 +80,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	injectRules, err := inject.ParseRules(*injectSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "daerun:", err)
+		return 2
+	}
+	engineKind, err := interp.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintln(stderr, "daerun:", err)
 		return 2
@@ -99,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Cores = *cores
 	cfg.MaxSteps = *maxSteps
 	cfg.Degrade = degradeMode
+	cfg.Engine = engineKind
 	fmt.Fprintf(stdout, "tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", app.Name, cfg.Cores)
 	opts := eval.CollectOptions{Workers: *jobs, RunTimeout: *runTimeout}
 	if *cacheDir != "" {

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dae/internal/bench"
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// TestEngineDifferentialAllRuns is the tentpole acceptance gate: the
+// register-bytecode engine and the tree oracle must produce byte-identical
+// traces — records, work counts, memory statistics, quarantine state — on
+// all 21 (app, version) runs. Both collections run on 4 workers, so under
+// -race this additionally proves the engines share no hidden mutable state
+// (the Program snapshot is read from many goroutines).
+func TestEngineDifferentialAllRuns(t *testing.T) {
+	cfg := rt.DefaultTraceConfig()
+	cfg.Engine = interp.EngineBytecode
+	byc, err := CollectAllWith(context.Background(), cfg, CollectOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = interp.EngineTree
+	tree, err := CollectAllWith(context.Background(), cfg, CollectOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTraces(t, byc, tree)
+}
+
+// TestCollectOpStatsHistogram: the dynamic op histogram of a fixed app must
+// record the op classes every benchmark kernel executes, pair counts must be
+// consistent with op counts, and the rendering must be deterministic.
+func TestCollectOpStatsHistogram(t *testing.T) {
+	app, err := bench.AppByName("LibQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt.DefaultTraceConfig()
+	st, err := CollectOpStats(context.Background(), []bench.App{app}, cfg, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() == 0 {
+		t.Fatal("histogram is empty")
+	}
+	again, err := CollectOpStats(context.Background(), []bench.App{app}, cfg, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format() != again.Format() {
+		t.Error("op histogram is not deterministic across collections")
+	}
+	out := st.Format()
+	for _, want := range []string{"dynamic op histogram", "top op pairs", "loadF", "condbr", "prefetch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram output missing %q:\n%s", want, out)
+		}
+	}
+}

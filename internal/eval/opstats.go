@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"context"
+
+	"dae/internal/bench"
+	"dae/internal/interp"
+	"dae/internal/rt"
+)
+
+// CollectOpStats traces every (app, version) run of apps on the tree engine
+// with a dynamic op-histogram collector installed and returns the merged op
+// and op-pair counts. nil apps means every benchmark. The histogram measures
+// the unfused compiled-op stream — the measurement that justifies the
+// bytecode engine's superinstruction selection — so the engine choice in cfg
+// is overridden to the tree oracle. Runs execute sequentially with a fresh
+// collector each (the collector is not synchronized), and the trace cache is
+// bypassed: a cached trace records no op stream.
+func CollectOpStats(ctx context.Context, apps []bench.App, cfg rt.TraceConfig, opts CollectOptions) (*interp.OpStats, error) {
+	if apps == nil {
+		apps = bench.Apps()
+	}
+	cfg.Engine = interp.EngineTree
+	opts.Cache = nil
+	total := &interp.OpStats{}
+	for _, app := range apps {
+		for kind := runKind(0); kind < numRunKinds; kind++ {
+			st := &interp.OpStats{}
+			c := cfg
+			c.OpStats = st
+			if _, err := collectRun(ctx, app, kind, c, opts); err != nil {
+				return nil, &RunError{App: app.Name, Kind: kind.String(), Err: err}
+			}
+			total.Merge(st)
+		}
+	}
+	return total, nil
+}

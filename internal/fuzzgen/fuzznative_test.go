@@ -110,5 +110,14 @@ func FuzzPipeline(f *testing.F) {
 					af.Name, rec.stores, src)
 			}
 		}
+
+		// Engine differential: the register-bytecode VM and the tree oracle
+		// must agree on every observable — ordered trace events, bit-exact
+		// outputs, counts, steps, and fault kind — for the task and every
+		// generated access version, on every seed the fuzzer finds.
+		prog2, fns := compileForEngines(t, seed, src)
+		for _, fn := range fns {
+			engineDifferential(t, prog2, fn, seed, 4<<20, src)
+		}
 	})
 }

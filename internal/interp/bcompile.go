@@ -1,0 +1,318 @@
+package interp
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// translate lowers a compiled-op function body to flat register bytecode in
+// one pass: tree registers are remapped onto dense typed planes, branch
+// targets become resolved instruction offsets (no block-pointer chasing),
+// phi edge moves and call argument copies move into shared side pools, and
+// the dominant op pairs from the measured histogram are fused into
+// superinstructions. Callees are translated first (the call graph is acyclic;
+// the tree compiler rejects recursion), so bCall references resolved *bcode.
+func translate(p *Program, c *code) (*bcode, error) {
+	var callees []*bcode
+	calleeIdx := make(map[*code]int32)
+	for i := range c.ops {
+		op := &c.ops[i]
+		if op.kind != opCall {
+			continue
+		}
+		if _, ok := calleeIdx[op.callee]; ok {
+			continue
+		}
+		cb, err := p.bytecodeLocked(op.callee)
+		if err != nil {
+			return nil, err
+		}
+		calleeIdx[op.callee] = int32(len(callees))
+		callees = append(callees, cb)
+	}
+
+	bc := &bcode{
+		fn:      c.fn,
+		callees: callees,
+		nStackF: c.nStackF,
+		nStackI: c.nStackI,
+	}
+
+	// Remap every tree register onto a dense index in its typed plane.
+	nreg := make([]int32, c.nregs)
+	var nI, nF, nP int32
+	for r := 0; r < c.nregs; r++ {
+		switch c.regPlane[r] {
+		case planeI:
+			nreg[r] = nI
+			nI++
+		case planeF:
+			nreg[r] = nF
+			nF++
+		default:
+			nreg[r] = nP
+			nP++
+		}
+	}
+	bc.nI, bc.nF, bc.nP = int(nI), int(nF), int(nP)
+
+	for _, pr := range c.params {
+		bc.params = append(bc.params, paramReg{reg: nreg[pr], pl: c.regPlane[pr]})
+	}
+	for _, ci := range c.consts {
+		bc.consts = append(bc.consts, bconst{
+			reg: nreg[ci.reg], pl: c.regPlane[ci.reg], i: ci.v.i, f: ci.v.f,
+		})
+	}
+	for _, a := range c.allocas {
+		bc.allocas = append(bc.allocas, balloca{reg: nreg[a.reg], elem: a.elem, slot: a.slot})
+	}
+
+	// Superinstruction selection. consumed[i] marks an op absorbed as the
+	// second component of the pair headed at i-1. A pair is only legal when
+	// its second op is not a branch target; structurally that always holds
+	// (blocks end in terminators and targets point at block starts, while
+	// every pair head is a non-terminator), but the guard keeps the remap
+	// sound even if the tree layout ever changes.
+	isTarget := make([]bool, len(c.ops)+1)
+	for i := range c.ops {
+		switch c.ops[i].kind {
+		case opBr:
+			isTarget[c.ops[i].t0] = true
+		case opCondBr:
+			isTarget[c.ops[i].t0] = true
+			isTarget[c.ops[i].t1] = true
+		}
+	}
+	consumed := make([]bool, len(c.ops))
+	fused := make([]bool, len(c.ops))
+	for i := 0; i+1 < len(c.ops); i++ {
+		if consumed[i] || isTarget[i+1] {
+			continue
+		}
+		a, b := &c.ops[i], &c.ops[i+1]
+		ok := false
+		switch {
+		case (a.kind == opCmpI || a.kind == opCmpF) && b.kind == opCondBr && b.a == a.dst:
+			ok = true // cmp feeding the immediately-following conditional branch
+		case a.kind == opBinI && ir.BinOp(a.aux) == ir.IAdd && b.kind == opBr:
+			ok = true // induction-variable increment + loop back-edge
+		case (a.kind == opLoadF || a.kind == opLoadI) && b.kind == opPrefetch:
+			ok = true // access-phase signature: load then prefetch
+		case a.kind == opGEP && (b.kind == opLoadF || b.kind == opLoadI || b.kind == opPrefetch) && b.a == a.dst:
+			ok = true // address compute feeding the memory op it addresses
+		case a.kind == opBinF && b.kind == opBinF && (b.a == a.dst || b.b == a.dst):
+			ok = true // float multiply-add (and similar) chains
+		}
+		if ok {
+			fused[i] = true
+			consumed[i+1] = true
+		}
+	}
+
+	// Old-pc -> new-pc map for branch target resolution. Consumed ops map to
+	// the following emitted instruction; no branch ever targets one.
+	newPC := make([]int32, len(c.ops)+1)
+	n := int32(0)
+	for i := range c.ops {
+		newPC[i] = n
+		if !consumed[i] {
+			n++
+		}
+	}
+	newPC[len(c.ops)] = n
+
+	emit := func(in binstr, src, src2 ir.Instr) {
+		bc.ins = append(bc.ins, in)
+		bc.src = append(bc.src, src)
+		bc.src2 = append(bc.src2, src2)
+	}
+	addMoves := func(ms []move) (int32, int32) {
+		off := int32(len(bc.moves))
+		for _, m := range ms {
+			bc.moves = append(bc.moves, bmove{src: nreg[m.src], dst: nreg[m.dst], pl: c.regPlane[m.dst]})
+		}
+		if len(ms) > bc.maxMoves {
+			bc.maxMoves = len(ms)
+		}
+		return off, int32(len(ms))
+	}
+	addArm := func(target int, ms []move) int32 {
+		moff, mlen := addMoves(ms)
+		bc.arms = append(bc.arms, barm{target: newPC[target], moff: moff, mlen: mlen})
+		return int32(len(bc.arms) - 1)
+	}
+
+	for i := 0; i < len(c.ops); i++ {
+		if consumed[i] {
+			continue
+		}
+		op := &c.ops[i]
+		if fused[i] {
+			nx := &c.ops[i+1]
+			switch {
+			case op.kind == opCmpI || op.kind == opCmpF:
+				k := bCmpBrI
+				if op.kind == opCmpF {
+					k = bCmpBrF
+				}
+				arm := addArm(nx.t0, nx.moves0) // then-arm; else-arm is arm+1
+				addArm(nx.t1, nx.moves1)
+				emit(binstr{op: k, aux: op.aux, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b], c: arm}, op.src, nx.src)
+			case op.kind == opBinI:
+				arm := addArm(nx.t0, nx.moves0)
+				emit(binstr{op: bIncBr, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b], c: arm}, op.src, nx.src)
+			case op.kind == opLoadF || op.kind == opLoadI:
+				k := bLoadPreF
+				if op.kind == opLoadI {
+					k = bLoadPreI
+				}
+				emit(binstr{op: k, dst: nreg[op.dst], a: nreg[op.a], b: nreg[nx.a]}, op.src, nx.src)
+			case op.kind == opGEP && len(op.idx) == 1:
+				k, c2 := bGEPPre, int32(0)
+				switch nx.kind {
+				case opLoadF:
+					k, c2 = bGEPLoadF, nreg[nx.dst]
+				case opLoadI:
+					k, c2 = bGEPLoadI, nreg[nx.dst]
+				}
+				emit(binstr{op: k, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.idx[0]], c: c2}, op.src, nx.src)
+			case op.kind == opGEP:
+				off := int32(len(bc.pool))
+				bc.pool = append(bc.pool, nreg[op.idx[0]])
+				for k := 1; k < len(op.idx); k++ {
+					bc.pool = append(bc.pool, nreg[op.dims[k]], nreg[op.idx[k]])
+				}
+				k := bGEPNPre
+				switch nx.kind {
+				case opLoadF:
+					k = bGEPNLoadF
+				case opLoadI:
+					k = bGEPNLoadI
+				}
+				var d int32
+				if nx.kind != opPrefetch {
+					d = nreg[nx.dst]
+				}
+				emit(binstr{op: k, dst: nreg[op.dst], a: nreg[op.a], b: off, c: int32(len(op.idx)), d: d}, op.src, nx.src)
+			default: // binF + binF
+				aux2 := nx.aux
+				other := nx.b
+				if nx.a != op.dst {
+					// First result is the right operand of the second op.
+					aux2 |= binFFRight
+					other = nx.a
+				}
+				emit(binstr{op: bBinFF, aux: op.aux, aux2: aux2, dst: nreg[op.dst],
+					a: nreg[op.a], b: nreg[op.b], c: nreg[other], d: nreg[nx.dst]}, op.src, nx.src)
+			}
+			continue
+		}
+		switch op.kind {
+		case opBinI:
+			emit(binstr{op: bBinI, aux: op.aux, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b]}, op.src, nil)
+		case opBinF:
+			emit(binstr{op: bBinF, aux: op.aux, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b]}, op.src, nil)
+		case opCmpI:
+			emit(binstr{op: bCmpI, aux: op.aux, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b]}, op.src, nil)
+		case opCmpF:
+			emit(binstr{op: bCmpF, aux: op.aux, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b]}, op.src, nil)
+		case opCastIF:
+			emit(binstr{op: bCastIF, dst: nreg[op.dst], a: nreg[op.a]}, op.src, nil)
+		case opCastFI:
+			emit(binstr{op: bCastFI, dst: nreg[op.dst], a: nreg[op.a]}, op.src, nil)
+		case opMath:
+			emit(binstr{op: bMath, aux: op.aux, dst: nreg[op.dst], a: nreg[op.a]}, op.src, nil)
+		case opSelect:
+			k := bSelI
+			switch c.regPlane[op.dst] {
+			case planeF:
+				k = bSelF
+			case planeP:
+				k = bSelP
+			}
+			emit(binstr{op: k, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.b], c: nreg[op.c]}, op.src, nil)
+		case opLoadF:
+			emit(binstr{op: bLoadF, dst: nreg[op.dst], a: nreg[op.a]}, op.src, nil)
+		case opLoadI:
+			emit(binstr{op: bLoadI, dst: nreg[op.dst], a: nreg[op.a]}, op.src, nil)
+		case opStoreF:
+			emit(binstr{op: bStoreF, a: nreg[op.a], b: nreg[op.b]}, op.src, nil)
+		case opStoreI:
+			emit(binstr{op: bStoreI, a: nreg[op.a], b: nreg[op.b]}, op.src, nil)
+		case opPrefetch:
+			emit(binstr{op: bPrefetch, a: nreg[op.a]}, op.src, nil)
+		case opGEP:
+			if len(op.idx) == 1 {
+				emit(binstr{op: bGEP1, dst: nreg[op.dst], a: nreg[op.a], b: nreg[op.idx[0]]}, op.src, nil)
+				break
+			}
+			off := int32(len(bc.pool))
+			bc.pool = append(bc.pool, nreg[op.idx[0]])
+			for k := 1; k < len(op.idx); k++ {
+				bc.pool = append(bc.pool, nreg[op.dims[k]], nreg[op.idx[k]])
+			}
+			emit(binstr{op: bGEP, dst: nreg[op.dst], a: nreg[op.a], b: off, c: int32(len(op.idx))}, op.src, nil)
+		case opCall:
+			cb := bc.callees[calleeIdx[op.callee]]
+			moff := int32(len(bc.moves))
+			for ai, r := range op.args {
+				bc.moves = append(bc.moves, bmove{src: nreg[r], dst: cb.params[ai].reg, pl: cb.params[ai].pl})
+			}
+			dst, aux := int32(-1), uint8(planeNone)
+			if op.dst >= 0 {
+				dst, aux = nreg[op.dst], uint8(c.regPlane[op.dst])
+			}
+			emit(binstr{op: bCall, aux: aux, dst: dst, a: moff, b: int32(len(op.args)), c: calleeIdx[op.callee]}, op.src, nil)
+		case opBr:
+			arm := addArm(op.t0, op.moves0)
+			emit(binstr{op: bBr, a: arm}, op.src, nil)
+		case opCondBr:
+			arm := addArm(op.t0, op.moves0) // then-arm; else-arm is arm+1
+			addArm(op.t1, op.moves1)
+			emit(binstr{op: bCondBr, a: nreg[op.a], b: arm}, op.src, nil)
+		case opRet:
+			a, aux := int32(-1), uint8(planeNone)
+			if op.a >= 0 {
+				a, aux = nreg[op.a], uint8(c.regPlane[op.a])
+			}
+			emit(binstr{op: bRet, aux: aux, a: a}, op.src, nil)
+		case opNop:
+			emit(binstr{op: bNop}, op.src, nil)
+		default:
+			return nil, fmt.Errorf("interp: cannot lower op kind %d in @%s", op.kind, c.fn.Name)
+		}
+	}
+	if int32(len(bc.ins)) != n {
+		return nil, fmt.Errorf("interp: bytecode layout mismatch in @%s (emitted %d, mapped %d)", c.fn.Name, len(bc.ins), n)
+	}
+
+	// Back-edge fusion pass: an incBr whose (unconditional) target is a
+	// cmpBrI becomes one bIncCmpBr executing all four components. The header
+	// cmpBrI stays at its offset for the loop's other predecessors; the
+	// rewrite only inlines the continuation the back-edge was going to run
+	// anyway, so it is behavior-preserving no matter how control reaches the
+	// rewritten pc. Runs after layout so targets are resolved.
+	for pc := range bc.ins {
+		in := &bc.ins[pc]
+		if in.op != bIncBr {
+			continue
+		}
+		t := bc.arms[in.c].target
+		h := bc.ins[t]
+		if h.op != bCmpBrI {
+			continue
+		}
+		if bc.src3 == nil {
+			bc.src3 = make([]ir.Instr, len(bc.ins))
+			bc.src4 = make([]ir.Instr, len(bc.ins))
+		}
+		off := int32(len(bc.pool))
+		bc.pool = append(bc.pool, in.c, h.dst, h.a, h.b, h.c)
+		bc.ins[pc] = binstr{op: bIncCmpBr, aux: h.aux, dst: in.dst, a: in.a, b: in.b, c: off}
+		bc.src3[pc] = bc.src[t]
+		bc.src4[pc] = bc.src2[t]
+	}
+	return bc, nil
+}

@@ -1,0 +1,294 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dae/internal/ir"
+)
+
+// Engine selects which execution engine an Env runs compiled functions on.
+//
+// The register-bytecode VM (EngineBytecode, the default) executes a compact
+// flat instruction array with typed register planes, superinstructions for
+// the dominant op pairs, and the cache probe fused into the memory
+// instructions. The compiled-op interpreter (EngineTree) is the original
+// engine, kept as a differential oracle: both engines are required to
+// produce byte-identical traces, counts, step accounting and typed faults on
+// every program.
+type Engine uint8
+
+// Engines.
+const (
+	EngineBytecode Engine = iota
+	EngineTree
+)
+
+// String returns the CLI spelling of the engine.
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "bytecode"
+}
+
+// ParseEngine parses the CLI spelling ("bytecode", "tree").
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "bytecode":
+		return EngineBytecode, nil
+	case "tree":
+		return EngineTree, nil
+	}
+	return EngineBytecode, fmt.Errorf("interp: unknown engine %q (want bytecode or tree)", s)
+}
+
+// bop enumerates the bytecode opcodes. The first block is a 1:1 lowering of
+// the compiled-op kinds; the final block is the superinstruction set, chosen
+// from the measured dynamic op-pair histogram (see OpStats): cmp feeding the
+// immediately-following conditional branch, the induction-variable increment
+// feeding a loop back-edge, and a load followed by a prefetch (the signature
+// pair of access phases).
+type bop uint8
+
+const (
+	bBinI     bop = iota // ri[dst] = ri[a] <aux:ir.BinOp> ri[b]
+	bBinF                // rf[dst] = rf[a] <aux:ir.BinOp> rf[b]
+	bCmpI                // ri[dst] = cmp<aux:ir.CmpPred>(ri[a], ri[b])
+	bCmpF                // ri[dst] = cmp<aux:ir.CmpPred>(rf[a], rf[b])
+	bCastIF              // rf[dst] = float64(ri[a])
+	bCastFI              // ri[dst] = int64(rf[a])
+	bMath                // rf[dst] = <aux:ir.MathOp>(rf[a])
+	bSelI                // ri[dst] = ri[a] != 0 ? ri[b] : ri[c]
+	bSelF                // rf[dst] = ri[a] != 0 ? rf[b] : rf[c]
+	bSelP                // rp[dst] = ri[a] != 0 ? rp[b] : rp[c]
+	bLoadF               // rf[dst] = *rp[a]
+	bLoadI               // ri[dst] = *rp[a]
+	bStoreF              // *rp[b] = rf[a]
+	bStoreI              // *rp[b] = ri[a]
+	bPrefetch            // prefetch rp[a]
+	bGEP1                // rp[dst] = rp[a] + ri[b] (single-index GEP)
+	bGEP                 // rp[dst] = rp[a] + horner(pool[b:], c indices)
+	bCall                // call callees[c] with moves[a:a+b] arg copies; result -> plane<aux>[dst]
+	bBr                  // jump arms[a]
+	bCondBr              // ri[a] != 0 ? arms[b] : arms[b+1]
+	bRet                 // return plane<aux>[a] (a < 0: void)
+	bNop
+	// Superinstructions (two fused component ops each; src2 carries the
+	// second component's IR instruction for faults and hooks).
+	bCmpBrI   // ri[dst] = cmp<aux>(ri[a], ri[b]); branch arms[c]/arms[c+1]
+	bCmpBrF   // ri[dst] = cmp<aux>(rf[a], rf[b]); branch arms[c]/arms[c+1]
+	bIncBr    // ri[dst] = ri[a] + ri[b]; jump arms[c]
+	bLoadPreF // rf[dst] = *rp[a]; prefetch rp[b]
+	bLoadPreI // ri[dst] = *rp[a]; prefetch rp[b]
+	// Address-compute fusion: a GEP whose result immediately feeds the
+	// following memory op (gep->loadF alone is the hottest measured pair).
+	// The GEP result register is still written — later ops may reuse it.
+	bGEPLoadF  // rp[dst] = rp[a]+ri[b]; rf[c] = *rp[dst]
+	bGEPLoadI  // rp[dst] = rp[a]+ri[b]; ri[c] = *rp[dst]
+	bGEPPre    // rp[dst] = rp[a]+ri[b]; prefetch rp[dst]
+	bGEPNLoadF // rp[dst] = rp[a]+horner(pool[b:], c); rf[d] = *rp[dst]
+	bGEPNLoadI // rp[dst] = rp[a]+horner(pool[b:], c); ri[d] = *rp[dst]
+	bGEPNPre   // rp[dst] = rp[a]+horner(pool[b:], c); prefetch rp[dst]
+	// Float ALU fusion: back-to-back float binops where the second consumes
+	// the first's result (multiply-add chains in the numeric kernels).
+	bBinFF // rf[dst] = rf[a]<aux>rf[b]; rf[d] = rf[dst]<aux2>rf[c] (or swapped)
+	// Back-edge fusion (four components): the induction increment, the loop
+	// back-edge, and the loop-header compare-and-branch it jumps to. The
+	// header instruction itself stays in place for its other predecessors;
+	// the fused op merely inlines the unconditional continuation, so the pair
+	// incBr->cmpBrI (the hottest pair in the bytecode stream, ~14% of all
+	// dispatches) costs one dispatch per iteration instead of two. Operands
+	// beyond the increment live in the pool: [backArm, cmpDst, cmpX, cmpY,
+	// condArmBase].
+	bIncCmpBr // ri[dst]=ri[a]+ri[b]; moves[backArm]; cmp; branch
+)
+
+// binFFRight, set in aux2, marks that the first component's result is the
+// RIGHT operand of the second: rf[d] = rf[c] <op2> rf[dst].
+const binFFRight = 0x80
+
+// plane identifies a typed register file: the bytecode VM splits the
+// all-purpose 32-byte val registers of the tree engine into dense int64,
+// float64 and ptr planes, quartering register-file traffic for scalar code.
+type plane uint8
+
+const (
+	planeI plane = iota
+	planeF
+	planeP
+	planeNone
+)
+
+// binstr is one fixed-width bytecode instruction (24 bytes, vs ~200 for the
+// tree engine's cop): all operands are plane-local register indices or pool
+// offsets, and branch targets are resolved instruction offsets. aux2 and d
+// carry the second component of three-address superinstructions (bBinFF, the
+// multi-index GEP fusions); they are zero elsewhere.
+type binstr struct {
+	op         bop
+	aux, aux2  uint8
+	dst        int32
+	a, b, c, d int32
+}
+
+// bmove is one typed register copy, used for phi edge moves and call
+// argument passing (caller register -> callee parameter register).
+type bmove struct {
+	src, dst int32
+	pl       plane
+}
+
+// barm is one branch edge: the resolved target offset and the phi move list
+// for the edge.
+type barm struct {
+	target     int32
+	moff, mlen int32
+}
+
+// bconst is a register pre-initialized with a constant at frame entry.
+type bconst struct {
+	reg int32
+	pl  plane
+	i   int64
+	f   float64
+}
+
+// balloca is a pointer register pre-initialized with a frame-local stack
+// slot at frame entry.
+type balloca struct {
+	reg  int32
+	elem ElemKind
+	slot int64
+}
+
+// paramReg locates one parameter in the callee's register planes.
+type paramReg struct {
+	reg int32
+	pl  plane
+}
+
+// bcode is a function body compiled to register bytecode.
+type bcode struct {
+	fn      *ir.Func
+	ins     []binstr
+	src     []ir.Instr // per-pc originating IR instruction (faults, hooks)
+	src2    []ir.Instr // second component of a fused pair, nil otherwise
+	src3    []ir.Instr // third/fourth components (bIncCmpBr only); allocated
+	src4    []ir.Instr // lazily by the back-edge fusion pass
+	pool    []int32    // multi-index GEP operands: idx0, dim1, idx1, ...
+	moves   []bmove    // phi edge and call argument copies
+	arms    []barm
+	callees []*bcode
+	consts  []bconst
+	allocas []balloca
+	params  []paramReg
+
+	nI, nF, nP       int // register-plane sizes
+	nStackF, nStackI int
+	maxMoves         int
+}
+
+// OpStats is the dynamic opcode histogram of a tree-engine execution: how
+// often each compiled op ran, and how often each ordered pair of ops ran
+// back to back in the dynamic instruction stream. The histogram is the
+// measurement that justifies the bytecode engine's superinstruction set
+// (fuse the hottest pairs), surfaced by `daebench -opstats`.
+type OpStats struct {
+	Ops   [numOpKinds]int64
+	Pairs [numOpKinds][numOpKinds]int64
+}
+
+// Merge accumulates other into s.
+func (s *OpStats) Merge(other *OpStats) {
+	for i := range s.Ops {
+		s.Ops[i] += other.Ops[i]
+	}
+	for i := range s.Pairs {
+		for j := range s.Pairs[i] {
+			s.Pairs[i][j] += other.Pairs[i][j]
+		}
+	}
+}
+
+// Total returns the total dynamic op count.
+func (s *OpStats) Total() int64 {
+	var n int64
+	for _, v := range s.Ops {
+		n += v
+	}
+	return n
+}
+
+// opNames spells the compiled-op kinds in histogram output.
+var opNames = [numOpKinds]string{
+	opBinI: "binI", opBinF: "binF", opCmpI: "cmpI", opCmpF: "cmpF",
+	opCastIF: "castIF", opCastFI: "castFI", opMath: "math",
+	opSelect: "select", opLoadF: "loadF", opLoadI: "loadI",
+	opStoreF: "storeF", opStoreI: "storeI", opPrefetch: "prefetch",
+	opGEP: "gep", opCall: "call", opBr: "br", opCondBr: "condbr",
+	opRet: "ret", opNop: "nop",
+}
+
+// topPairs is how many op pairs Format lists.
+const topPairs = 16
+
+// Format renders the histogram as two tables: every executed op sorted by
+// dynamic count, then the topPairs hottest ordered op pairs. Output is
+// deterministic (count-descending, name tie-break) so it can be golden
+// tested.
+func (s *OpStats) Format() string {
+	var b strings.Builder
+	total := s.Total()
+	fmt.Fprintf(&b, "dynamic op histogram (%d ops executed)\n", total)
+	fmt.Fprintf(&b, "  %-10s %14s %7s\n", "op", "count", "share")
+	type row struct {
+		name  string
+		count int64
+	}
+	var ops []row
+	for k, n := range s.Ops {
+		if n > 0 {
+			ops = append(ops, row{opNames[k], n})
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].count != ops[j].count {
+			return ops[i].count > ops[j].count
+		}
+		return ops[i].name < ops[j].name
+	})
+	share := func(n int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	for _, r := range ops {
+		fmt.Fprintf(&b, "  %-10s %14d %6.2f%%\n", r.name, r.count, share(r.count))
+	}
+	var pairs []row
+	for i := range s.Pairs {
+		for j, n := range s.Pairs[i] {
+			if n > 0 {
+				pairs = append(pairs, row{opNames[i] + "->" + opNames[j], n})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].count != pairs[j].count {
+			return pairs[i].count > pairs[j].count
+		}
+		return pairs[i].name < pairs[j].name
+	})
+	if len(pairs) > topPairs {
+		pairs = pairs[:topPairs]
+	}
+	fmt.Fprintf(&b, "top op pairs (%d shown)\n", len(pairs))
+	fmt.Fprintf(&b, "  %-20s %14s %7s\n", "pair", "count", "share")
+	for _, r := range pairs {
+		fmt.Fprintf(&b, "  %-20s %14d %6.2f%%\n", r.name, r.count, share(r.count))
+	}
+	return b.String()
+}

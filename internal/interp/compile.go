@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dae/internal/ir"
 )
@@ -31,6 +32,9 @@ const (
 	opRet
 	opNop
 )
+
+// numOpKinds sizes the OpStats histograms.
+const numOpKinds = int(opNop) + 1
 
 // move is one phi-edge register copy.
 type move struct {
@@ -77,7 +81,8 @@ type allocaReg struct {
 type code struct {
 	fn        *ir.Func
 	nregs     int
-	params    []int // register of each parameter
+	regPlane  []plane // typed plane of each register, for the bytecode lowering
+	params    []int   // register of each parameter
 	consts    []constReg
 	allocas   []allocaReg
 	nStackF   int
@@ -87,27 +92,118 @@ type code struct {
 	hasResult bool
 }
 
-// Program compiles IR functions on demand and caches the result. The cache
-// is mutex-guarded so Envs on different goroutines may share one Program
-// (each Env additionally memoizes lookups to stay off the lock in steady
-// state); the compiled code itself is immutable after construction.
+// Program compiles IR functions on demand and caches the result. Lookups
+// read an immutable published snapshot through an atomic pointer, so
+// parallel collection workers sharing one Program never contend on a lock in
+// steady state; the mutex only serializes compilation of functions absent
+// from the snapshot. The compiled code itself is immutable after
+// construction.
 type Program struct {
-	mod   *ir.Module
-	mu    sync.Mutex
-	cache map[*ir.Func]*code
+	mod *ir.Module
+
+	// snap is the immutable prepared-program snapshot: a consistent pair of
+	// maps rebuilt and republished after every compilation. Readers load it
+	// lock-free; writers mutate the master maps below under mu and publish
+	// fresh copies.
+	snap atomic.Pointer[progSnap]
+
+	mu     sync.Mutex
+	cache  map[*ir.Func]*code  // master tree map; nil entry = in-progress (recursion guard)
+	bcache map[*ir.Func]*bcode // master bytecode map; same guard convention
+}
+
+// progSnap is one immutable published view of the compilation caches.
+type progSnap struct {
+	tree map[*ir.Func]*code
+	bc   map[*ir.Func]*bcode
 }
 
 // NewProgram returns a compilation cache for mod. The module is not copied;
 // callers must not mutate functions after their first execution.
 func NewProgram(mod *ir.Module) *Program {
-	return &Program{mod: mod, cache: make(map[*ir.Func]*code)}
+	return &Program{
+		mod:    mod,
+		cache:  make(map[*ir.Func]*code),
+		bcache: make(map[*ir.Func]*bcode),
+	}
 }
 
 // compiled returns the compiled form of f.
 func (p *Program) compiled(f *ir.Func) (*code, error) {
+	if s := p.snap.Load(); s != nil {
+		if c, ok := s.tree[f]; ok {
+			return c, nil
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.compiledLocked(f)
+	c, err := p.compiledLocked(f)
+	if err != nil {
+		return nil, err
+	}
+	p.publishLocked()
+	return c, nil
+}
+
+// bytecode returns the register-bytecode form of f, compiling (and caching)
+// the tree form first: the bytecode is a translation of the compiled ops, so
+// both engines agree structurally by construction.
+func (p *Program) bytecode(f *ir.Func) (*bcode, error) {
+	if s := p.snap.Load(); s != nil {
+		if b, ok := s.bc[f]; ok {
+			return b, nil
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, err := p.compiledLocked(f)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.bytecodeLocked(c)
+	if err != nil {
+		return nil, err
+	}
+	p.publishLocked()
+	return b, nil
+}
+
+// publishLocked rebuilds and publishes the immutable snapshot from the
+// master maps. In-progress (nil) entries are excluded.
+func (p *Program) publishLocked() {
+	s := &progSnap{
+		tree: make(map[*ir.Func]*code, len(p.cache)),
+		bc:   make(map[*ir.Func]*bcode, len(p.bcache)),
+	}
+	for f, c := range p.cache {
+		if c != nil {
+			s.tree[f] = c
+		}
+	}
+	for f, b := range p.bcache {
+		if b != nil {
+			s.bc[f] = b
+		}
+	}
+	p.snap.Store(s)
+}
+
+// bytecodeLocked translates c (and, recursively, its callees) under the lock.
+func (p *Program) bytecodeLocked(c *code) (*bcode, error) {
+	if b, ok := p.bcache[c.fn]; ok {
+		if b == nil {
+			return nil, fmt.Errorf("interp: recursive call to @%s", c.fn.Name)
+		}
+		return b, nil
+	}
+	p.bcache[c.fn] = nil // recursion guard (the tree compiler already rejects cycles)
+	b, err := translate(p, c)
+	if err != nil {
+		delete(p.bcache, c.fn)
+		return nil, err
+	}
+	p.bcache[c.fn] = b
+	return b, nil
 }
 
 // compiledLocked is compiled without the lock; the compiler's recursive
@@ -215,6 +311,20 @@ func (p *Program) compile(f *ir.Func) (*code, error) {
 	return cp.c, nil
 }
 
+// planeOf maps an IR type to the typed register plane that holds its values
+// in the bytecode VM. Bools live in the integer plane as 0/1, matching the
+// tree engine's val.i convention.
+func planeOf(t *ir.Type) plane {
+	switch {
+	case t.IsFloat():
+		return planeF
+	case t.IsPtr():
+		return planeP
+	default:
+		return planeI
+	}
+}
+
 // reg returns the register index of v, allocating one if needed. Constants
 // get a dedicated register recorded in the const-init list.
 func (cp *compiler) reg(v ir.Value) int {
@@ -224,6 +334,7 @@ func (cp *compiler) reg(v ir.Value) int {
 	r := cp.c.nregs
 	cp.c.nregs++
 	cp.regOf[v] = r
+	cp.c.regPlane = append(cp.c.regPlane, planeOf(v.Type()))
 	switch k := v.(type) {
 	case *ir.ConstInt:
 		cp.c.consts = append(cp.c.consts, constReg{reg: r, v: val{i: k.V}})

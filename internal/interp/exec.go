@@ -7,6 +7,7 @@ import (
 
 	"dae/internal/fault"
 	"dae/internal/ir"
+	"dae/internal/mem"
 )
 
 // val is a runtime value. The statically known IR type selects which field is
@@ -119,12 +120,28 @@ type Env struct {
 	tracer   Tracer
 	prefHook PrefetchHook
 	counts   Counts
+	// engine selects the execution engine: the flat register-bytecode VM
+	// (default) or the original compiled-op interpreter, kept as a
+	// differential oracle. Both produce byte-identical traces and faults.
+	engine Engine
+	// hier, when non-nil, receives memory events directly from the bytecode
+	// VM's memory instructions (the fused cache probe), bypassing the Tracer
+	// interface dispatch. The tree engine ignores it and keeps using tracer.
+	hier *mem.Hierarchy
+	// stats, when non-nil, accumulates the dynamic op and op-pair histogram.
+	// Only the tree engine records (it executes the unfused op stream the
+	// superinstruction selection is justified against).
+	stats *OpStats
 	// free is the frame freelist: frames are pushed back on function return,
 	// so steady-state calls (including the opCall hot path) allocate nothing.
 	free []*frame
+	// bfree is the bytecode VM's frame freelist (see bframe).
+	bfree []*bframe
 	// memo caches Program.compiled results per Env, keeping the top-level
-	// Call path off the Program's shared, mutex-guarded cache.
+	// Call path off the Program's shared snapshot entirely.
 	memo map[*ir.Func]*code
+	// bmemo is memo's bytecode counterpart.
+	bmemo map[*ir.Func]*bcode
 	// callArgs is the reusable top-level Call argument buffer (the callee
 	// copies arguments into its registers at frame entry).
 	callArgs []val
@@ -198,7 +215,7 @@ func (e *Env) getFrame(c *code) *frame {
 func (e *Env) putFrame(f *frame) { e.free = append(e.free, f) }
 
 // compiledMemo resolves f through the per-Env memo, falling back to the
-// Program's shared cache (one lock acquisition per new function).
+// Program's immutable snapshot (lock-free in steady state).
 func (e *Env) compiledMemo(f *ir.Func) (*code, error) {
 	if c, ok := e.memo[f]; ok {
 		return c, nil
@@ -214,6 +231,22 @@ func (e *Env) compiledMemo(f *ir.Func) (*code, error) {
 	return c, nil
 }
 
+// bytecodeMemo is compiledMemo for the bytecode engine.
+func (e *Env) bytecodeMemo(f *ir.Func) (*bcode, error) {
+	if b, ok := e.bmemo[f]; ok {
+		return b, nil
+	}
+	b, err := e.prog.bytecode(f)
+	if err != nil {
+		return nil, err
+	}
+	if e.bmemo == nil {
+		e.bmemo = make(map[*ir.Func]*bcode)
+	}
+	e.bmemo[f] = b
+	return b, nil
+}
+
 // Counts returns the instruction counts accumulated since the last Reset.
 func (e *Env) Counts() Counts { return e.counts }
 
@@ -222,6 +255,27 @@ func (e *Env) ResetCounts() { e.counts = Counts{} }
 
 // SetTracer replaces the tracer.
 func (e *Env) SetTracer(t Tracer) { e.tracer = t }
+
+// SetEngine selects the execution engine. Prepared handles returned earlier
+// keep the engine they were prepared with.
+func (e *Env) SetEngine(eng Engine) { e.engine = eng }
+
+// EngineKind returns the engine the Env executes with.
+func (e *Env) EngineKind() Engine { return e.engine }
+
+// SetHierarchy installs (or clears, with nil) the fused cache probe: the
+// bytecode VM's memory instructions feed h.Access directly, skipping the
+// per-event Tracer interface dispatch. The event stream is identical to
+// routing a Tracer adapter over the same hierarchy. While set, the tracer is
+// not consulted for bytecode-engine memory events (the tree engine keeps
+// using the tracer); the PrefetchHook still takes precedence for prefetches.
+func (e *Env) SetHierarchy(h *mem.Hierarchy) { e.hier = h }
+
+// SetOpStats installs (or clears, with nil) the dynamic op-histogram
+// collector. Only the tree engine records into it: the histogram's purpose
+// is to measure the unfused op stream that justifies the bytecode engine's
+// superinstruction selection.
+func (e *Env) SetOpStats(s *OpStats) { e.stats = s }
 
 // SetPrefetchHook installs (or clears, with nil) a per-instruction prefetch
 // observer; while set, it receives prefetch events instead of the tracer.
@@ -268,54 +322,65 @@ func (e *Env) armCheck() {
 
 // stepCheck runs at budget/poll boundaries: it raises the typed fault when
 // the budget is exhausted or the context is done, and re-arms otherwise.
-func (e *Env) stepCheck(c *code, op *cop) error {
+// Both engines call it with the function name and the IR instruction about
+// to execute, so budget and timeout faults are byte-identical across them.
+func (e *Env) stepCheck(fname string, src ir.Instr) error {
 	if e.maxSteps > 0 && e.steps >= e.maxSteps {
 		return &fault.Error{
 			Kind: fault.KindStepBudget,
-			Func: c.fn.Name,
-			Pos:  instrPos(op),
+			Func: fname,
+			Pos:  instrPos(src),
 			Msg:  fmt.Sprintf("interp: exceeded step budget of %d operations", e.maxSteps),
 		}
 	}
 	if e.ctx != nil {
 		if err := e.ctx.Err(); err != nil {
-			return &fault.Error{Kind: fault.KindTimeout, Func: c.fn.Name, Pos: instrPos(op), Err: err}
+			return &fault.Error{Kind: fault.KindTimeout, Func: fname, Pos: instrPos(src), Err: err}
 		}
 	}
 	e.armCheck()
 	return nil
 }
 
-// instrPos renders the position of a compiled op: its basic block and the
-// originating IR instruction.
-func instrPos(op *cop) string {
-	if op == nil || op.src == nil {
+// instrPos renders the position of an executed operation: its basic block
+// and the originating IR instruction.
+func instrPos(src ir.Instr) string {
+	if src == nil {
 		return ""
 	}
-	if b := op.src.Parent(); b != nil {
-		return "%" + b.Name + ": " + ir.FormatInstr(op.src)
+	if b := src.Parent(); b != nil {
+		return "%" + b.Name + ": " + ir.FormatInstr(src)
 	}
-	return ir.FormatInstr(op.src)
+	return ir.FormatInstr(src)
 }
 
-// trap builds a typed execution-fault error at op.
-func trap(kind fault.TrapKind, c *code, op *cop, format string, args ...any) error {
-	return fault.NewTrap(kind, c.fn.Name, instrPos(op), format, args...)
+// trap builds a typed execution-fault error at src.
+func trap(kind fault.TrapKind, fname string, src ir.Instr, format string, args ...any) error {
+	return fault.NewTrap(kind, fname, instrPos(src), format, args...)
 }
 
 // memTrap classifies a failed dereference: nil segments are nil-deref traps,
 // everything else is out-of-bounds, named with segment, offset, and length.
-func memTrap(c *code, op *cop, what string, p ptr) error {
+func memTrap(fname string, src ir.Instr, what string, p ptr) error {
 	if p.seg == nil {
-		return trap(fault.TrapNilDeref, c, op, "interp: %s through nil segment", what)
+		return trap(fault.TrapNilDeref, fname, src, "interp: %s through nil segment", what)
 	}
-	return trap(fault.TrapOutOfBounds, c, op, "interp: %s out of bounds (seg=%s off=%d len=%d)",
+	return trap(fault.TrapOutOfBounds, fname, src, "interp: %s out of bounds (seg=%s off=%d len=%d)",
 		what, segName(p.seg), p.off, p.seg.Len())
 }
 
 // Call executes function name with args. Array arguments are passed with
-// Ptr, scalars with Int/Float.
+// Ptr, scalars with Int/Float. The configured engine runs the body; both
+// engines produce identical results, traces, counts and faults.
 func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
+	if e.engine == EngineTree {
+		return e.callTree(f, args...)
+	}
+	return e.callBytecode(f, args...)
+}
+
+// callTree is Call on the tree (compiled-op) engine.
+func (e *Env) callTree(f *ir.Func, args ...Value) (Value, error) {
 	if e.ctx != nil {
 		if err := e.ctx.Err(); err != nil {
 			return Value{}, &fault.Error{Kind: fault.KindTimeout, Func: f.Name, Err: err}
@@ -341,6 +406,12 @@ func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
+	return retValue(f, out), nil
+}
+
+// retValue wraps an interpreter result in the public Value kind selected by
+// the function's return type.
+func retValue(f *ir.Func, out val) Value {
 	k := voidVal
 	switch {
 	case f.RetType.IsInt() || f.RetType.IsBool():
@@ -348,7 +419,7 @@ func (e *Env) Call(f *ir.Func, args ...Value) (Value, error) {
 	case f.RetType.IsFloat():
 		k = floatVal
 	}
-	return Value{v: out, k: k}, nil
+	return Value{v: out, k: k}
 }
 
 // run executes c in a pooled frame. The frame is returned to the freelist on
@@ -385,13 +456,21 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 	cnt := &e.counts
 	ops := c.ops
 	pc := 0
+	prev := -1 // previous executed op kind, for the op-pair histogram
 	for pc < len(ops) {
 		op := &ops[pc]
 		e.steps++
 		if e.steps >= e.checkAt {
-			if err := e.stepCheck(c, op); err != nil {
+			if err := e.stepCheck(c.fn.Name, op.src); err != nil {
 				return val{}, err
 			}
+		}
+		if st := e.stats; st != nil {
+			st.Ops[op.kind]++
+			if prev >= 0 {
+				st.Pairs[prev][op.kind]++
+			}
+			prev = int(op.kind)
 		}
 		switch op.kind {
 		case opBinI:
@@ -406,12 +485,12 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 				r = x * y
 			case ir.IDiv:
 				if y == 0 {
-					return val{}, trap(fault.TrapDivByZero, c, op, "interp: integer division by zero")
+					return val{}, trap(fault.TrapDivByZero, c.fn.Name, op.src, "interp: integer division by zero")
 				}
 				r = x / y
 			case ir.IRem:
 				if y == 0 {
-					return val{}, trap(fault.TrapDivByZero, c, op, "interp: integer remainder by zero")
+					return val{}, trap(fault.TrapDivByZero, c.fn.Name, op.src, "interp: integer remainder by zero")
 				}
 				r = x % y
 			case ir.IAnd:
@@ -509,7 +588,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opLoadF:
 			p := regs[op.a].p
 			if !p.inBounds() {
-				return val{}, memTrap(c, op, "load", p)
+				return val{}, memTrap(c.fn.Name, op.src, "load", p)
 			}
 			regs[op.dst].f = p.seg.F[p.off]
 			cnt.Loads++
@@ -520,7 +599,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opLoadI:
 			p := regs[op.a].p
 			if !p.inBounds() {
-				return val{}, memTrap(c, op, "load", p)
+				return val{}, memTrap(c.fn.Name, op.src, "load", p)
 			}
 			regs[op.dst].i = p.seg.I[p.off]
 			cnt.Loads++
@@ -531,7 +610,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opStoreF:
 			p := regs[op.b].p
 			if !p.inBounds() {
-				return val{}, memTrap(c, op, "store", p)
+				return val{}, memTrap(c.fn.Name, op.src, "store", p)
 			}
 			p.seg.F[p.off] = regs[op.a].f
 			cnt.Stores++
@@ -542,7 +621,7 @@ func (e *Env) exec(c *code, fr *frame, args []val) (val, error) {
 		case opStoreI:
 			p := regs[op.b].p
 			if !p.inBounds() {
-				return val{}, memTrap(c, op, "store", p)
+				return val{}, memTrap(c.fn.Name, op.src, "store", p)
 			}
 			p.seg.I[p.off] = regs[op.a].i
 			cnt.Stores++

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dae/internal/lower"
+	"dae/internal/mem"
 	"dae/internal/passes"
 )
 
@@ -90,6 +91,66 @@ func BenchmarkInterpDaxpyTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		call()
 	}
+}
+
+// benchEngines runs the same daxpy body once per execution engine, so a
+// single `-bench Dispatch` invocation compares the register-bytecode VM
+// against the compiled-op tree oracle under identical conditions. Both
+// engines retire the same component-op stream (that is the parity
+// contract), so Minstr/s differences are pure dispatch cost.
+func benchEngines(b *testing.B, setup func(env *Env)) {
+	for _, eng := range []Engine{EngineBytecode, EngineTree} {
+		b.Run(eng.String(), func(b *testing.B) {
+			env, call := setupBench(b, true)
+			env.SetEngine(eng)
+			if setup != nil {
+				setup(env)
+			}
+			call() // warm the compilation cache and frame pool
+			env.ResetCounts()
+			call()
+			perCall := env.Counts().Total()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				call()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(perCall)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// BenchmarkDispatch measures raw per-op dispatch speed of both engines with
+// no memory-event consumer installed.
+func BenchmarkDispatch(b *testing.B) { benchEngines(b, nil) }
+
+// BenchmarkDispatchTraced routes memory events through the Tracer interface,
+// the configuration the rt collection pipeline used before fused probes.
+func BenchmarkDispatchTraced(b *testing.B) {
+	benchEngines(b, func(env *Env) { env.SetTracer(&countingTracer{}) })
+}
+
+// hierTracer adapts the Tracer interface onto a hierarchy, mirroring the rt
+// pipeline's per-core adapter. The tree engine consumes events through it;
+// the bytecode engine bypasses it via the fused probes when a hierarchy is
+// installed.
+type hierTracer struct{ h *mem.Hierarchy }
+
+func (t *hierTracer) Load(a int64)     { t.h.Access(a, mem.Load) }
+func (t *hierTracer) Store(a int64)    { t.h.Access(a, mem.Store) }
+func (t *hierTracer) Prefetch(a int64) { t.h.Access(a, mem.Prefetch) }
+
+// BenchmarkDispatchHierarchy installs a real cache hierarchy the way the
+// collection pipeline does — hierarchy plus tracer adapter — so both engines
+// simulate the same event stream: the bytecode engine through its fused
+// cache probes, the tree engine through the Tracer interface.
+func BenchmarkDispatchHierarchy(b *testing.B) {
+	benchEngines(b, func(env *Env) {
+		cfg := mem.EvalHierarchy()
+		h := mem.NewHierarchy(cfg, mem.NewCache(cfg.L3))
+		env.SetTracer(&hierTracer{h: h})
+		env.SetHierarchy(h)
+	})
 }
 
 // BenchmarkEnvCallAllocs measures steady-state allocations of Env.Call with

@@ -1,0 +1,75 @@
+package interp
+
+import (
+	"fmt"
+
+	"dae/internal/fault"
+	"dae/internal/ir"
+)
+
+// Prepared is an engine-bound, resolution-free handle on one function. The
+// rt batch dispatcher prepares each task function once per core and then
+// invokes it once per task, so the per-task hot path carries no map lookup
+// or compile check — only frame setup and execution. A Prepared is tied to
+// its Env (not safe for concurrent use, like the Env itself) and keeps the
+// engine it was prepared with even if the Env's engine changes later.
+type Prepared struct {
+	env *Env
+	fn  *ir.Func
+	tc  *code  // tree engine
+	bc  *bcode // bytecode engine
+}
+
+// Prepare resolves f on the Env's current engine.
+func (e *Env) Prepare(f *ir.Func) (*Prepared, error) {
+	p := &Prepared{env: e, fn: f}
+	if e.engine == EngineTree {
+		c, err := e.compiledMemo(f)
+		if err != nil {
+			return nil, err
+		}
+		p.tc = c
+		return p, nil
+	}
+	b, err := e.bytecodeMemo(f)
+	if err != nil {
+		return nil, err
+	}
+	p.bc = b
+	return p, nil
+}
+
+// Call invokes the prepared function. Check ordering, step accounting, and
+// every error string are identical to Env.Call.
+func (p *Prepared) Call(args ...Value) (Value, error) {
+	e := p.env
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return Value{}, &fault.Error{Kind: fault.KindTimeout, Func: p.fn.Name, Err: err}
+		}
+	}
+	e.steps = 0
+	e.armCheck()
+	if len(args) != len(p.fn.Params) {
+		return Value{}, fmt.Errorf("interp: call @%s with %d args, want %d", p.fn.Name, len(args), len(p.fn.Params))
+	}
+	if p.bc != nil {
+		out, err := e.brun(p.bc, args)
+		if err != nil {
+			return Value{}, err
+		}
+		return retValue(p.fn, out), nil
+	}
+	if cap(e.callArgs) < len(args) {
+		e.callArgs = make([]val, len(args))
+	}
+	vs := e.callArgs[:len(args)]
+	for i, a := range args {
+		vs[i] = a.v
+	}
+	out, err := e.run(p.tc, vs)
+	if err != nil {
+		return Value{}, err
+	}
+	return retValue(p.fn, out), nil
+}

@@ -43,15 +43,28 @@ type Config struct {
 // Cache is a set-associative cache with LRU replacement. Tags are line
 // addresses; the cache stores no data (the interpreter holds the real
 // values).
+//
+// Storage is one flat tag array (nsets x assoc, each set MRU-first, empty
+// ways holding an invalid tag) so a probe touches a single contiguous run of
+// memory, and the MRU way is checked first: the interpreter's spatial
+// locality makes "same line as last time" the dominant outcome, and that
+// case costs one compare. Hit/miss accounting and replacement order are
+// identical to the per-set slice implementation this replaces.
 type Cache struct {
 	cfg   Config
-	sets  [][]int64 // per set: line addresses, MRU first
+	tags  []int64 // nsets*assoc line addresses, MRU first within each set
 	nsets int64
+	assoc int
 	shift uint
 
 	Hits   int64
 	Misses int64
 }
+
+// invalidTag marks an empty way. Heap addresses start at 1<<20 (the heap
+// never hands out address zero or below), so no real line address is
+// negative.
+const invalidTag = -1
 
 // NewCache returns an empty cache. Sizes must make a power-of-two set count.
 func NewCache(cfg Config) *Cache {
@@ -63,8 +76,9 @@ func NewCache(cfg Config) *Cache {
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		shift++
 	}
-	c := &Cache{cfg: cfg, nsets: int64(nsets), shift: shift}
-	c.sets = make([][]int64, nsets)
+	c := &Cache{cfg: cfg, nsets: int64(nsets), assoc: cfg.Assoc, shift: shift}
+	c.tags = make([]int64, nsets*cfg.Assoc)
+	c.Flush()
 	return c
 }
 
@@ -74,27 +88,46 @@ func (c *Cache) line(addr int64) int64 { return addr >> c.shift }
 // Lookup probes the cache and updates LRU and fills on miss. It reports
 // whether the access hit.
 func (c *Cache) Lookup(addr int64) bool {
-	ln := c.line(addr)
-	si := ln & (c.nsets - 1)
-	set := c.sets[si]
-	for i, tag := range set {
-		if tag == ln {
+	ln := addr >> c.shift
+	base := int(ln&(c.nsets-1)) * c.assoc
+	set := c.tags[base : base+c.assoc]
+	if set[0] == ln {
+		// MRU fast path: no reordering needed.
+		c.Hits++
+		return true
+	}
+	return c.lookupSlow(set, ln)
+}
+
+// lookupSlow scans the non-MRU ways, promoting a hit to MRU or filling the
+// line on a miss (evicting the LRU way).
+func (c *Cache) lookupSlow(set []int64, ln int64) bool {
+	for i := 1; i < len(set); i++ {
+		if set[i] == ln {
 			// Move to MRU position.
-			copy(set[1:i+1], set[:i])
+			for j := i; j > 0; j-- {
+				set[j] = set[j-1]
+			}
 			set[0] = ln
 			c.Hits++
 			return true
 		}
 	}
 	c.Misses++
-	c.insert(si, ln)
+	// Shift every way down one (dropping the LRU or an empty way) and fill
+	// the new line as MRU.
+	for j := len(set) - 1; j > 0; j-- {
+		set[j] = set[j-1]
+	}
+	set[0] = ln
 	return false
 }
 
 // Contains probes without side effects.
 func (c *Cache) Contains(addr int64) bool {
 	ln := c.line(addr)
-	for _, tag := range c.sets[ln&(c.nsets-1)] {
+	base := int(ln&(c.nsets-1)) * c.assoc
+	for _, tag := range c.tags[base : base+c.assoc] {
 		if tag == ln {
 			return true
 		}
@@ -102,24 +135,10 @@ func (c *Cache) Contains(addr int64) bool {
 	return false
 }
 
-// insert fills the line as MRU, evicting LRU if needed.
-func (c *Cache) insert(si, ln int64) {
-	set := c.sets[si]
-	if len(set) < c.cfg.Assoc {
-		set = append(set, 0)
-		copy(set[1:], set[:len(set)-1])
-		set[0] = ln
-		c.sets[si] = set
-		return
-	}
-	copy(set[1:], set[:len(set)-1])
-	set[0] = ln
-}
-
 // Flush empties the cache.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		c.sets[i] = c.sets[i][:0]
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 }
 
@@ -219,10 +238,49 @@ func NewHierarchy(cfg HierarchyConfig, sharedL3 *Cache) *Hierarchy {
 // Access services one memory event and returns the level that satisfied it.
 // All kinds (including prefetches) fill every level on their way in,
 // modelling allocate-on-miss with inclusive fills.
+//
+// The L1 MRU-way probe is open-coded here: the interpreter's spatial
+// locality makes "L1 hit in the most-recent way" the dominant outcome, and
+// inlining it saves the nested Lookup call on the simulator's hottest path.
+// Accounting is identical to routing through Cache.Lookup.
 func (h *Hierarchy) Access(addr int64, kind AccessKind) Level {
+	l1 := h.L1c
+	ln := addr >> l1.shift
+	base := int(ln&(l1.nsets-1)) * l1.assoc
+	if l1.tags[base] == ln {
+		l1.Hits++
+		h.Stats.At[kind][L1]++
+		return L1
+	}
+	return h.accessSlow(addr, kind, ln, base)
+}
+
+// AccessHit services a memory event only if it hits the L1 MRU way — the
+// dominant outcome under the interpreter's spatial locality — and reports
+// whether it did. On a miss it has no effect; the caller must fall back to
+// Access. The split exists for the bytecode dispatch loop: AccessHit is
+// small enough to inline there, so the common case costs no call, while the
+// general Access (whose accessSlow call keeps it over the inlining budget)
+// only runs on the miss path. Accounting across the pair is identical to
+// calling Access alone.
+func (h *Hierarchy) AccessHit(addr int64, kind AccessKind) bool {
+	l1 := h.L1c
+	ln := addr >> l1.shift
+	if base := int(ln&(l1.nsets-1)) * l1.assoc; l1.tags[base] == ln {
+		l1.Hits++
+		h.Stats.At[kind][L1]++
+		return true
+	}
+	return false
+}
+
+// accessSlow finishes an access that missed the L1 MRU way: the rest of the
+// L1 set, then L2, then the shared L3, with allocate-on-miss fills.
+func (h *Hierarchy) accessSlow(addr int64, kind AccessKind, ln int64, base int) Level {
+	l1 := h.L1c
 	level := Mem
 	switch {
-	case h.L1c.Lookup(addr):
+	case l1.lookupSlow(l1.tags[base:base+l1.assoc], ln):
 		level = L1
 	case h.L2c.Lookup(addr):
 		level = L2

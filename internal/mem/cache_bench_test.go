@@ -1,0 +1,44 @@
+package mem
+
+import "testing"
+
+// BenchmarkHierarchyAccessSequential walks lines in order, the
+// spatially-local pattern the interpreter's kernels produce: within a line
+// every access after the first is an L1 MRU-way hit, the case AccessHit and
+// the open-coded probe in Access are built around.
+func BenchmarkHierarchyAccessSequential(b *testing.B) {
+	cfg := EvalHierarchy()
+	h := NewHierarchy(cfg, NewCache(cfg.L3))
+	b.ResetTimer()
+	addr := int64(1 << 20)
+	for i := 0; i < b.N; i++ {
+		h.Access(addr, Load)
+		addr += 8
+	}
+}
+
+// BenchmarkHierarchyAccessStrided jumps a cache line per access, defeating
+// the MRU fast path so the set-scan, fill, and L2/L3 promotion paths (the
+// accessSlow side) dominate.
+func BenchmarkHierarchyAccessStrided(b *testing.B) {
+	cfg := EvalHierarchy()
+	h := NewHierarchy(cfg, NewCache(cfg.L3))
+	b.ResetTimer()
+	addr := int64(1 << 20)
+	for i := 0; i < b.N; i++ {
+		h.Access(addr, Load)
+		addr += int64(cfg.L1.LineBytes)
+	}
+}
+
+// BenchmarkHierarchyAccessHit measures the inlinable fast-path probe alone
+// on a guaranteed MRU hit.
+func BenchmarkHierarchyAccessHit(b *testing.B) {
+	cfg := EvalHierarchy()
+	h := NewHierarchy(cfg, NewCache(cfg.L3))
+	h.Access(1<<20, Load)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessHit(1<<20, Load)
+	}
+}

@@ -195,6 +195,16 @@ type TraceConfig struct {
 	// injection and is deliberately excluded from Fingerprint — hooks must
 	// not change healthy traces.
 	PhaseHook func(task string, access bool) error
+	// Engine selects the interpreter execution engine (bytecode default,
+	// tree oracle). Excluded from Fingerprint: the engines are required to
+	// produce byte-identical traces, so cached traces are shared across them
+	// (and the differential tests in internal/eval enforce the requirement).
+	Engine interp.Engine
+	// OpStats, when non-nil, accumulates the dynamic op/op-pair histogram of
+	// the run. Recording requires the tree engine (the histogram measures
+	// the unfused op stream). Excluded from Fingerprint: an observer, it
+	// cannot change traces.
+	OpStats *interp.OpStats
 }
 
 // DefaultTraceConfig returns the quad-core evaluation setup with the
@@ -250,18 +260,33 @@ func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, e
 		hier *mem.Hierarchy
 		env  *interp.Env
 		tr   *coreTracer
+		// prep memoizes engine-bound prepared handles per task function, so
+		// the per-task dispatch inside a batch carries no map lookup or
+		// compile check (batch-of-tasks amortization). Invalidated whenever
+		// the env is rebuilt.
+		prep map[*ir.Func]*interp.Prepared
 	}
 	newEnv := func(ct *coreTracer) *interp.Env {
 		env := interp.NewEnv(prog, ct)
 		env.SetContext(ctx)
 		env.SetMaxSteps(cfg.MaxSteps)
+		env.SetEngine(cfg.Engine)
+		// Fused cache probe: the bytecode VM feeds the hierarchy directly
+		// from its memory instructions; the tree engine keeps using the
+		// coreTracer adapter over the same hierarchy (identical events).
+		env.SetHierarchy(ct.h)
+		env.SetOpStats(cfg.OpStats)
 		return env
+	}
+	rebuild := func(c *core) {
+		c.env = newEnv(c.tr)
+		c.prep = make(map[*ir.Func]*interp.Prepared)
 	}
 	cores := make([]*core, cfg.Cores)
 	for i := range cores {
 		h := mem.NewHierarchy(cfg.Hierarchy, l3)
 		ct := &coreTracer{h: h}
-		cores[i] = &core{hier: h, env: newEnv(ct), tr: ct}
+		cores[i] = &core{hier: h, env: newEnv(ct), tr: ct, prep: make(map[*ir.Func]*interp.Prepared)}
 	}
 
 	tr = &Trace{Workload: w.Name, Decoupled: cfg.Decoupled, Cores: cfg.Cores, NumBatches: len(w.Batches)}
@@ -276,9 +301,18 @@ func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, e
 				return cpu.PhaseWork{}, herr
 			}
 		}
+		prep, ok := c.prep[fn]
+		if !ok {
+			var perr error
+			prep, perr = c.env.Prepare(fn)
+			if perr != nil {
+				return cpu.PhaseWork{}, perr
+			}
+			c.prep[fn] = prep
+		}
 		c.env.ResetCounts()
 		c.hier.ResetStats()
-		if _, cerr := c.env.Call(fn, args...); cerr != nil {
+		if _, cerr := prep.Call(args...); cerr != nil {
 			return cpu.PhaseWork{}, cerr
 		}
 		return cpu.PhaseWork{Counts: c.env.Counts(), Mem: c.hier.Stats}, nil
@@ -341,7 +375,7 @@ func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, e
 						tr.Quarantined[task.Name] = kind
 						rec.Degraded = true
 						rec.FaultKind = kind
-						c.env = newEnv(c.tr)
+						rebuild(c)
 					}
 				}
 			}
@@ -359,7 +393,7 @@ func RunContext(ctx context.Context, w *Workload, cfg TraceConfig) (tr *Trace, e
 				rec.Failed = true
 				rec.FaultKind = fault.ClassOf(xerr)
 				execFaults = append(execFaults, fmt.Errorf("rt: execute phase of %s: %w", task.Name, xerr))
-				c.env = newEnv(c.tr)
+				rebuild(c)
 			}
 			load[ci] += rec.AccessWork.Counts.Total() + rec.ExecWork.Counts.Total()
 			tr.Records = append(tr.Records, rec)

@@ -1,0 +1,31 @@
+package rt
+
+import (
+	"testing"
+
+	"dae/internal/interp"
+)
+
+// BenchmarkTraceRun drives the full collection pipeline — access and execute
+// phases, per-core cache hierarchies, schedule assembly — over the streaming
+// workload, once per execution engine. The kernel is idempotent, so one
+// built workload is reused across iterations and the figure isolates Run
+// itself (task dispatch plus simulation) from compilation.
+func BenchmarkTraceRun(b *testing.B) {
+	for _, eng := range []interp.Engine{interp.EngineBytecode, interp.EngineTree} {
+		b.Run(eng.String(), func(b *testing.B) {
+			w, _ := buildStream(b, 4096, 256)
+			cfg := DefaultTraceConfig()
+			cfg.Engine = eng
+			if _, err := Run(w, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

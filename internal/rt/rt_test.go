@@ -23,7 +23,7 @@ task triad(float A[n], float B[n], float C[n], int n, int lo, int hi) {
 
 // buildStream creates the workload plus its heap: total elements, chunked
 // into tasks of chunk elements each, all in one parallel batch.
-func buildStream(t *testing.T, total, chunk int) (*Workload, *interp.Heap) {
+func buildStream(t testing.TB, total, chunk int) (*Workload, *interp.Heap) {
 	t.Helper()
 	opts := dae.Defaults()
 	opts.ParamHints = map[string]int64{"n": int64(total), "lo": 0, "hi": int64(chunk)}
