@@ -1,0 +1,118 @@
+// Command daed serves the compile/simulate pipeline as a persistent
+// HTTP/JSON service. One long-running process amortizes compilation, access
+// generation, trace collection, and evaluation across requests:
+//
+//   - A content-addressed artifact store (and the trace cache beneath it)
+//     persists under -dir, so a warm server answers repeat requests without
+//     re-simulating — across restarts, and shared with any daerun/daebench
+//     pointed at the same directory.
+//   - Concurrent identical requests collapse onto a single pipeline
+//     execution (singleflight); a client that disconnects releases only its
+//     own interest, and the execution aborts when the last client is gone.
+//   - An admission-controlled job queue bounds concurrent executions
+//     (-workers) and the backlog (-queue-depth); beyond that the server
+//     sheds load with 429 + Retry-After instead of letting latency collapse.
+//   - Per-tenant quarantine (X-Dae-Tenant) contains one tenant's faults to
+//     that tenant's requests; the process and other tenants stay healthy.
+//
+// Endpoints: POST /v1/simulate, POST /v1/compile, GET /v1/stats,
+// DELETE /v1/quarantine, GET /healthz.
+//
+// Usage:
+//
+//	daed [-addr :8787] [-dir path] [-workers n] [-queue-depth n]
+//	     [-run-workers n] [-default-timeout d] [-max-timeout d]
+//	     [-max-run-time d] [-max-steps n]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dae/internal/daed"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so startup, serving, and
+// graceful shutdown are testable. It serves until ctx is canceled.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("daed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8787", "listen address (host:port; port 0 picks a free port)")
+	dir := fs.String("dir", "", "persist artifacts and traces under this directory (empty = memory only)")
+	workers := fs.Int("workers", 0, "max concurrent pipeline executions (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "max executions waiting for a worker before 429s (0 = default 64, -1 = none)")
+	runWorkers := fs.Int("run-workers", 0, "per-request collection parallelism (0 = 1)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "request wait bound when the request names none (0 = 60s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "ceiling on client-requested waits (0 = 5m)")
+	maxRunTime := fs.Duration("max-run-time", 0, "hard bound on one pipeline execution (0 = 10m)")
+	maxSteps := fs.Int64("max-steps", 0, "server-wide interpreter step-budget ceiling per task (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "daed: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	srv := daed.New(daed.Config{
+		Dir:            *dir,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RunWorkers:     *runWorkers,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRunTime:     *maxRunTime,
+		MaxSteps:       *maxSteps,
+		Log:            log.New(stderr, "", log.LstdFlags),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "daed:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(stdout, "daed: serving on http://%s\n", ln.Addr())
+	if *dir != "" {
+		fmt.Fprintf(stdout, "daed: persistent store at %s\n", *dir)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "daed:", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: in-flight requests get a grace period, then the
+	// server closes. In-flight pipelines see their request contexts die and
+	// abort through the refcounted flight cancellation.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		_ = hs.Close()
+	}
+	fmt.Fprintln(stdout, "daed: shut down")
+	return 0
+}

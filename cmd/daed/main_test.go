@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dae/internal/daed"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the server goroutine writes
+// while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb syncBuffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsArgs(t *testing.T) {
+	var out, errb syncBuffer
+	if code := run(context.Background(), []string{"extra"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, serves one
+// simulate request through it, and shuts it down gracefully.
+func TestServeAndShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the full server")
+	}
+	var out, errb syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-dir", t.TempDir(), "-workers", "2"}, &out, &errb)
+	}()
+
+	// Wait for the serving line to learn the bound address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout:\n%s\nstderr:\n%s", out.String(), errb.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "daed: serving on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	c := &daed.Client{Base: base}
+	resp, err := c.Simulate(context.Background(), &daed.SimulateRequest{App: "CG"})
+	if err != nil {
+		t.Fatalf("simulate against daemon: %v", err)
+	}
+	if resp.Report == "" {
+		t.Error("daemon returned an empty report")
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil || st.Requests == 0 {
+		t.Errorf("stats = %+v, %v; want requests > 0", st, err)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Errorf("no shutdown message; stdout:\n%s", out.String())
+	}
+}

@@ -27,20 +27,30 @@
 // -engine selects the interpreter execution engine: the register-bytecode VM
 // (default) or the compiled-op oracle ("tree"); both produce byte-identical
 // traces.
+//
+// -server runs the evaluation remotely against a daed server instead of
+// simulating locally: the report is byte-identical to a local run of the
+// same flags (one formatter renders both), but a warm server answers from
+// its content-addressed artifact store without re-simulating. -tenant names
+// the requesting tenant for the server's per-tenant quarantine.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"dae/internal/bench"
 	daepass "dae/internal/dae"
+	"dae/internal/daed"
 	"dae/internal/dvfs"
 	"dae/internal/eval"
+	"dae/internal/fault"
 	"dae/internal/fault/inject"
 	"dae/internal/interp"
 	"dae/internal/rt"
@@ -67,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	injectSpec := fs.String("inject", "", "fault-injection rules, \"site,app,kind,task,mode[,trap]\" separated by ';' (testing)")
 	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
 	engine := fs.String("engine", "bytecode", "interpreter execution engine: bytecode (register VM) or tree (compiled-op oracle)")
+	serverURL := fs.String("server", "", "evaluate remotely against the daed server at this base URL (e.g. http://127.0.0.1:8787)")
+	tenant := fs.String("tenant", "", "tenant identity sent to the daed server (with -server)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -104,6 +116,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *serverURL != "" {
+		for name, set := range map[string]bool{
+			"-j": *jobs != 0, "-cache-dir": *cacheDir != "",
+			"-run-timeout": *runTimeout != 0, "-trace-out": *traceOut != "",
+		} {
+			if set {
+				fmt.Fprintf(stderr, "daerun: %s configures the local simulation; it has no meaning with -server\n", name)
+				return 2
+			}
+		}
+		req := &daed.SimulateRequest{
+			App:         app.Name,
+			Cores:       *cores,
+			ZeroLatency: *zeroLat,
+			Refine:      *refine,
+			MaxSteps:    *maxSteps,
+			Degrade:     *degrade,
+			Engine:      *engine,
+			TimeoutMs:   timeout.Milliseconds(),
+			Inject:      *injectSpec,
+		}
+		return runRemote(ctx, *serverURL, *tenant, req, stdout, stderr)
 	}
 
 	cfg := rt.DefaultTraceConfig()
@@ -145,22 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m.DVFS = dvfs.Ideal()
 	}
 
-	base := rt.Evaluate(data.CAE, m, rt.PolicyFixed)
-	fmt.Fprintf(stdout, "\n%-28s %10s %10s %12s %8s %8s\n", "configuration", "time(ms)", "energy(J)", "EDP(mJ*s)", "T/Tbase", "EDP/base")
-	show := func(label string, met rt.Metrics) {
-		fmt.Fprintf(stdout, "%-28s %10.4f %10.4f %12.6f %8.3f %8.3f\n",
-			label, met.Time*1e3, met.Energy, met.EDP*1e3, met.Time/base.Time, met.EDP/base.EDP)
-	}
-	show("CAE (max f.)", base)
-	show("CAE (optimal f.)", rt.Evaluate(data.CAE, m, rt.PolicyOptimalEDP))
-	show("Manual DAE (min/max f.)", rt.Evaluate(data.Manual, m, rt.PolicyMinMax))
-	show("Manual DAE (optimal f.)", rt.Evaluate(data.Manual, m, rt.PolicyOptimalEDP))
-	show("Compiler DAE (min/max f.)", rt.Evaluate(data.Auto, m, rt.PolicyMinMax))
-	show("Compiler DAE (optimal f.)", rt.Evaluate(data.Auto, m, rt.PolicyOptimalEDP))
-
-	met := rt.Evaluate(data.Auto, m, rt.PolicyMinMax)
-	fmt.Fprintf(stdout, "\ncompiler DAE: %d tasks, TA=%.2f%%, mean access phase %.2f us, %d DVFS switches\n",
-		met.Tasks, met.TAFraction()*100, met.MeanAccessSeconds()*1e6, met.Transitions)
+	fmt.Fprint(stdout, eval.FormatRunReport(data, m))
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -176,10 +197,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
 	}
-	fmt.Fprint(stdout, "\n", eval.FormatStrategies([]*eval.AppData{data}))
 	if rows := eval.DegradationRows([]*eval.AppData{data}); len(rows) > 0 {
 		fmt.Fprintf(stderr, "daerun: %s", eval.FormatDegradation(rows))
 		return 3
 	}
 	return 0
+}
+
+// runRemote evaluates the benchmark against a daed server. The printed
+// report is byte-identical to the local simulation's: the server renders
+// with the same eval.FormatRunReport the local path uses.
+func runRemote(ctx context.Context, base, tenant string, req *daed.SimulateRequest, stdout, stderr io.Writer) int {
+	c := &daed.Client{Base: base, Tenant: tenant}
+	fmt.Fprintf(stdout, "tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", req.App, coresOrDefault(req.Cores))
+	resp, err := c.Simulate(ctx, req)
+	if err != nil {
+		var re *daed.RemoteError
+		if errors.As(err, &re) && re.Saturated() {
+			fmt.Fprintf(stderr, "daerun: server saturated, retry after %v: %v\n", re.RetryAfter, err)
+			return 1
+		}
+		if errors.Is(err, fault.ErrTimeout) {
+			fmt.Fprintf(stderr, "daerun: remote evaluation timed out: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "daerun:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, resp.Report)
+	if resp.Degraded {
+		tasks := make([]string, 0, len(resp.Quarantined))
+		for task, kind := range resp.Quarantined {
+			tasks = append(tasks, fmt.Sprintf("%s (%s)", task, kind))
+		}
+		sort.Strings(tasks)
+		fmt.Fprintf(stderr, "daerun: completed degraded: quarantined task types: %s\n",
+			strings.Join(tasks, ", "))
+		return 3
+	}
+	return 0
+}
+
+// coresOrDefault mirrors the server's defaulting for the progress line.
+func coresOrDefault(n int) int {
+	if n <= 0 {
+		return rt.DefaultTraceConfig().Cores
+	}
+	return n
 }

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"dae/internal/daed"
 )
 
 func TestRunUnknownBenchmark(t *testing.T) {
@@ -102,6 +105,75 @@ func TestExitCodes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRemoteByteIdentical is the remote-mode acceptance test: daerun
+// -server against a daed instance prints stdout byte-identical to the same
+// local invocation — the server and the CLI render through one formatter
+// over one trace semantics.
+func TestRemoteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects a full benchmark twice")
+	}
+	srv := daed.New(daed.Config{Workers: 2, Dir: t.TempDir()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var local, localErr bytes.Buffer
+	if code := run([]string{"CG"}, &local, &localErr); code != 0 {
+		t.Fatalf("local run exit = %d; stderr:\n%s", code, localErr.String())
+	}
+	var remote, remoteErr bytes.Buffer
+	if code := run([]string{"-server", ts.URL, "CG"}, &remote, &remoteErr); code != 0 {
+		t.Fatalf("remote run exit = %d; stderr:\n%s", code, remoteErr.String())
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatalf("remote stdout differs from local:\nlocal:\n%q\nremote:\n%q",
+			local.String(), remote.String())
+	}
+
+	// A second remote run answers from the warm store, still identically.
+	var warm, warmErr bytes.Buffer
+	if code := run([]string{"-server", ts.URL, "CG"}, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm remote run exit = %d; stderr:\n%s", code, warmErr.String())
+	}
+	if !bytes.Equal(local.Bytes(), warm.Bytes()) {
+		t.Fatal("warm remote stdout differs from local")
+	}
+}
+
+// TestRemoteRejectsLocalFlags: local-simulation flags have no remote
+// meaning and are usage errors with -server.
+func TestRemoteRejectsLocalFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-server", "http://localhost:1", "-cache-dir", "/tmp/x", "CG"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-cache-dir") {
+		t.Errorf("stderr does not name the offending flag: %q", errb.String())
+	}
+}
+
+// TestRemoteDegradedExit: a remote run that completes degraded keeps the
+// CLI's exit-status contract (3) and names the quarantined task types.
+func TestRemoteDegradedExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects a full benchmark")
+	}
+	srv := daed.New(daed.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", ts.URL, "-inject", "access-phase,CG,compiler-dae,,trap!", "CG"}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"completed degraded", "trap"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
 	}
 }
 

@@ -28,13 +28,17 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"reflect"
 	"strings"
+	"sync"
 	"time"
 
 	"dae/internal/bench"
 	"dae/internal/dae"
+	"dae/internal/daed"
 	"dae/internal/eval"
 	"dae/internal/fault"
 	"dae/internal/fault/inject"
@@ -78,6 +82,12 @@ type Config struct {
 	// evaluation layer (one benchmark collection, corrupt the entries,
 	// re-collect). It is optional because it costs a few seconds.
 	CacheSoak bool
+	// ServerSoak additionally exercises the daed service path: an in-process
+	// server takes a concurrent burst of identical, tenant-poisoned, and
+	// client-canceled requests, and the scenario checks request singleflight,
+	// per-tenant quarantine isolation, and worker-slot recovery. Optional for
+	// the same reason as CacheSoak.
+	ServerSoak bool
 	// Log, when non-nil, receives one progress line per scenario class.
 	Log func(format string, args ...any)
 }
@@ -91,12 +101,13 @@ type Report struct {
 	Mixed        int // iterations with both
 	Quarantines  int // total task types quarantined across iterations
 	CacheRuns    int // cache-corruption scenarios exercised
+	ServerRuns   int // daed service-path scenarios exercised
 }
 
 // String renders the report as one line.
 func (r *Report) String() string {
-	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs",
-		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns)
+	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs, %d server runs",
+		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns, r.ServerRuns)
 }
 
 // scenario is the fault shape of one iteration.
@@ -303,6 +314,13 @@ func Soak(cfg Config) (*Report, error) {
 			}
 			rep.CacheRuns++
 			logf("chaos: cache-corruption scenario ok")
+		}
+		if cfg.ServerSoak && rep.ServerRuns == 0 && (iters > 0 && it == cacheAt%iters || iters <= 0 && it == 0) {
+			if err := serverScenario(iterTimeout); err != nil {
+				return rep, fmt.Errorf("seed %d server scenario: %w", cfg.Seed, err)
+			}
+			rep.ServerRuns++
+			logf("chaos: server-path scenario ok")
 		}
 	}
 	return rep, nil
@@ -515,4 +533,112 @@ func cacheScenario(rng *rand.Rand, iterTimeout time.Duration) error {
 		return fmt.Errorf("chaos: re-collection after cache corruption diverged")
 	}
 	return nil
+}
+
+// serverScenario exercises the daed service path end to end over one
+// ephemeral in-process server: a concurrent burst of identical requests
+// (which must collapse onto a single pipeline execution and return
+// byte-identical reports), a tenant whose injected fault must be
+// quarantined without leaking to other tenants or the shared store, and a
+// client cancellation whose worker slot must free. Any violation — a lost
+// request, a cross-tenant leak, a wedged gauge — fails the soak.
+func serverScenario(iterTimeout time.Duration) error {
+	dir, err := os.MkdirTemp("", "chaos-daed-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: daed.New(daed.Config{Workers: 2, Dir: dir})}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*iterTimeout)
+	defer cancel()
+	clean := &daed.Client{Base: base}
+
+	// Burst of identical requests: request singleflight plus the artifact
+	// store must reduce them to exactly one execution.
+	const burst = 12
+	reports := make([]string, burst)
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := clean.Simulate(ctx, &daed.SimulateRequest{App: "CG"})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i] = resp.Report
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("chaos: server burst request %d lost: %w", i, errs[i])
+		}
+		if reports[i] != reports[0] {
+			return fmt.Errorf("chaos: server burst request %d diverged from request 0", i)
+		}
+	}
+	st, err := clean.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("chaos: server stats: %w", err)
+	}
+	if st.Executions != 1 {
+		return fmt.Errorf("chaos: %d identical requests ran %d executions, want 1", burst, st.Executions)
+	}
+
+	// Tenant poisoning: the injected fault degrades the chaos tenant only.
+	chaosTenant := &daed.Client{Base: base, Tenant: "chaos"}
+	poisoned, err := chaosTenant.Simulate(ctx, &daed.SimulateRequest{
+		App: "CG", Inject: "access-phase,CG,compiler-dae,,trap!",
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: injected server request: %w", err)
+	}
+	if !poisoned.Degraded || len(poisoned.Quarantined) == 0 {
+		return fmt.Errorf("chaos: injected access fault not quarantined by the server")
+	}
+	after, err := clean.Simulate(ctx, &daed.SimulateRequest{App: "CG"})
+	if err != nil {
+		return fmt.Errorf("chaos: clean-tenant request after poisoning: %w", err)
+	}
+	if after.Degraded || after.Report != reports[0] {
+		return fmt.Errorf("chaos: tenant poison leaked to the default tenant (degraded=%t, identical=%t)",
+			after.Degraded, after.Report == reports[0])
+	}
+
+	// Client cancellation: a cold request abandoned mid-collection must free
+	// its worker slot; the server keeps serving and its gauges drain.
+	shortCtx, shortCancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	_, err = clean.Simulate(shortCtx, &daed.SimulateRequest{App: "LU"})
+	shortCancel()
+	if err == nil {
+		return fmt.Errorf("chaos: 20ms-canceled cold request reported success")
+	}
+	if _, err := clean.Simulate(ctx, &daed.SimulateRequest{App: "CG"}); err != nil {
+		return fmt.Errorf("chaos: server wedged after client cancellation: %w", err)
+	}
+	deadline := time.Now().Add(iterTimeout)
+	for {
+		st, err = clean.Stats(ctx)
+		if err != nil {
+			return fmt.Errorf("chaos: server stats after cancellation: %w", err)
+		}
+		if st.InFlight == 0 && st.Waiting == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: server gauges wedged after cancellation: inFlight=%d waiting=%d",
+				st.InFlight, st.Waiting)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

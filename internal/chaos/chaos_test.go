@@ -79,6 +79,7 @@ func TestSoakTimed(t *testing.T) {
 		Duration:    time.Duration(secs) * time.Second,
 		IterTimeout: 60 * time.Second,
 		CacheSoak:   true,
+		ServerSoak:  true,
 		Log:         t.Logf,
 	})
 	if err != nil {
@@ -89,6 +90,9 @@ func TestSoakTimed(t *testing.T) {
 	}
 	if rep.CacheRuns != 1 {
 		t.Errorf("cache-corruption scenario ran %d times, want 1", rep.CacheRuns)
+	}
+	if rep.ServerRuns != 1 {
+		t.Errorf("server-path scenario ran %d times, want 1", rep.ServerRuns)
 	}
 	checkGoroutines(t, before)
 	t.Log(rep.String())

@@ -1,0 +1,134 @@
+package daed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dae/internal/fault"
+)
+
+// Client is a typed client for the daed HTTP API, used by daerun -server,
+// daeload, and the tests.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8787".
+	Base string
+	// Tenant, when non-empty, is sent as the X-Dae-Tenant header.
+	Tenant string
+	// HTTP is the underlying client; nil means a dedicated client with no
+	// overall timeout (deadlines travel per-request via context and the
+	// request's timeout_ms budget).
+	HTTP *http.Client
+}
+
+// RemoteError is a non-2xx response decoded into the server's error shape.
+type RemoteError struct {
+	Status     int
+	Body       ErrorResponse
+	RetryAfter time.Duration
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("daed: server returned %d: %s", e.Status, e.Body.Error)
+}
+
+// Saturated reports whether the failure was an admission rejection (HTTP
+// 429); the client should back off RetryAfter before retrying.
+func (e *RemoteError) Saturated() bool { return e.Status == http.StatusTooManyRequests }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do posts one JSON request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fault.Wrap(fault.KindTimeout, err)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		re := &RemoteError{Status: resp.StatusCode}
+		_ = json.Unmarshal(raw, &re.Body)
+		if re.Body.Error == "" {
+			re.Body.Error = string(bytes.TrimSpace(raw))
+		}
+		re.RetryAfter = time.Duration(re.Body.RetryAfterMs) * time.Millisecond
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Simulate runs one simulate request against the server.
+func (c *Client) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	var resp SimulateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Compile runs one compile request against the server.
+func (c *Client) Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
+	var resp CompileResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's serving counters.
+func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
+	var resp StatsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ClearQuarantine lifts every quarantine recorded for the client's tenant,
+// returning how many (app, task) entries were cleared.
+func (c *Client) ClearQuarantine(ctx context.Context) (int, error) {
+	var resp struct {
+		Cleared int `json:"cleared"`
+	}
+	if err := c.do(ctx, http.MethodDelete, "/v1/quarantine", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Cleared, nil
+}

@@ -1,0 +1,95 @@
+package daed
+
+import (
+	"context"
+	"sync"
+
+	"dae/internal/fault"
+)
+
+// pipeFlight is one in-flight pipeline execution shared by every concurrent
+// identical request. The execution runs in its own goroutine under a
+// context governed by a reference count of joined requests: a client that
+// disconnects releases only its own reference, and when the last interested
+// client is gone the pipeline context is canceled — the interpreter aborts
+// at its next cancellation poll and the worker slot frees mid-collection.
+type pipeFlight[A any] struct {
+	fm     *flightMap[A]
+	key    string
+	cancel context.CancelFunc
+	done   chan struct{}
+	art    A
+	err    error
+	refs   int // guarded by fm.mu
+}
+
+// flightMap deduplicates pipeline executions per content key. The zero
+// value is ready to use.
+type flightMap[A any] struct {
+	mu sync.Mutex
+	m  map[string]*pipeFlight[A]
+}
+
+// join returns the in-flight execution for key, starting one (in a new
+// goroutine, under a refcounted context) when none is running. leader
+// reports whether this call started the execution.
+func (fm *flightMap[A]) join(key string, run func(ctx context.Context) (A, error)) (f *pipeFlight[A], leader bool) {
+	fm.mu.Lock()
+	if f, ok := fm.m[key]; ok {
+		f.refs++
+		fm.mu.Unlock()
+		return f, false
+	}
+	if fm.m == nil {
+		fm.m = make(map[string]*pipeFlight[A])
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f = &pipeFlight[A]{fm: fm, key: key, cancel: cancel, done: make(chan struct{}), refs: 1}
+	fm.m[key] = f
+	fm.mu.Unlock()
+	go func() {
+		art, err := run(ctx)
+		fm.mu.Lock()
+		f.art, f.err = art, err
+		delete(fm.m, key)
+		fm.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return f, true
+}
+
+// wait blocks until the flight completes or ctx dies, then releases this
+// caller's reference. A caller whose context dies while waiting receives a
+// fault.KindTimeout error; if it was the last interested caller, the
+// pipeline context is canceled and the execution aborts mid-collection.
+func (f *pipeFlight[A]) wait(ctx context.Context) (A, error) {
+	select {
+	case <-f.done:
+		f.leave()
+		return f.art, f.err
+	case <-ctx.Done():
+		f.leave()
+		var zero A
+		return zero, fault.Wrap(fault.KindTimeout, ctx.Err())
+	}
+}
+
+// leave drops one reference; the last leaver of a still-running flight
+// cancels its pipeline context. The decision happens under the map lock so
+// a concurrent join cannot resurrect a flight that is about to be canceled
+// — a join that loses that race observes a doomed flight, receives its
+// timeout error, and retries on a fresh one (the handlers' retry loop).
+// Canceling a completed flight is a no-op.
+func (f *pipeFlight[A]) leave() {
+	f.fm.mu.Lock()
+	f.refs--
+	if f.refs == 0 {
+		select {
+		case <-f.done:
+		default:
+			f.cancel()
+		}
+	}
+	f.fm.mu.Unlock()
+}

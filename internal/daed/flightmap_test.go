@@ -1,0 +1,148 @@
+package daed
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dae/internal/fault"
+)
+
+// TestFlightMapCollapses: concurrent joins on one key share a single
+// execution and all observe its result.
+func TestFlightMapCollapses(t *testing.T) {
+	var fm flightMap[int]
+	var execs atomic.Int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	lead, leader := fm.join("k", func(ctx context.Context) (int, error) {
+		close(started)
+		execs.Add(1)
+		<-gate
+		return 42, nil
+	})
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	<-started
+
+	const followers = 16
+	var wg sync.WaitGroup
+	results := make([]int, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, lead := fm.join("k", func(ctx context.Context) (int, error) {
+				execs.Add(1)
+				return -1, nil
+			})
+			if lead {
+				t.Error("follower became leader while flight in progress")
+			}
+			v, err := f.wait(context.Background())
+			if err != nil {
+				t.Errorf("follower wait: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	if v, err := lead.wait(context.Background()); v != 42 || err != nil {
+		t.Fatalf("leader wait = %d, %v; want 42, nil", v, err)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("follower %d got %d, want 42", i, v)
+		}
+	}
+}
+
+// TestFlightMapLastLeaverCancels: when every joined caller abandons the
+// flight, the pipeline context is canceled — the execution aborts
+// mid-collection and a later join starts fresh.
+func TestFlightMapLastLeaverCancels(t *testing.T) {
+	var fm flightMap[int]
+	pipelineDead := make(chan struct{})
+
+	f, leader := fm.join("k", func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		close(pipelineDead)
+		return 0, fault.Wrap(fault.KindTimeout, ctx.Err())
+	})
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.wait(ctx); !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("abandoned wait = %v, want fault.ErrTimeout", err)
+	}
+	select {
+	case <-pipelineDead:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline context was not canceled by the last leaver")
+	}
+
+	// The key is free again once the doomed flight unwinds; a fresh join
+	// must eventually lead a new execution.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f2, lead2 := fm.join("k", func(ctx context.Context) (int, error) { return 7, nil })
+		v, err := f2.wait(context.Background())
+		if lead2 && err == nil && v == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fresh join never led: leader=%t v=%d err=%v", lead2, v, err)
+		}
+	}
+}
+
+// TestFlightMapSurvivesOneLeaver: a flight with two joined callers keeps its
+// pipeline alive when only one disconnects.
+func TestFlightMapSurvivesOneLeaver(t *testing.T) {
+	var fm flightMap[int]
+	gate := make(chan struct{})
+	canceled := make(chan struct{}, 1)
+
+	f1, _ := fm.join("k", func(ctx context.Context) (int, error) {
+		<-gate
+		select {
+		case <-ctx.Done():
+			canceled <- struct{}{}
+			return 0, ctx.Err()
+		default:
+		}
+		return 9, nil
+	})
+	f2, leader2 := fm.join("k", nil)
+	if leader2 {
+		t.Fatal("second join became leader")
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f1.wait(dead); !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("first leaver = %v, want timeout", err)
+	}
+	close(gate)
+	v, err := f2.wait(context.Background())
+	if err != nil || v != 9 {
+		t.Fatalf("surviving waiter = %d, %v; want 9, nil", v, err)
+	}
+	select {
+	case <-canceled:
+		t.Fatal("pipeline was canceled while a caller was still joined")
+	default:
+	}
+}

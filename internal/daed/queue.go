@@ -1,0 +1,97 @@
+package daed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dae/internal/fault"
+)
+
+// errSaturated is returned by queue.acquire when both every worker slot and
+// the whole wait queue are full. The server maps it to HTTP 429 with a
+// Retry-After hint — shedding load at admission instead of letting latency
+// collapse under an unbounded backlog.
+var errSaturated = errors.New("daed: job queue saturated")
+
+// saturatedError carries the backoff hint for one rejection.
+type saturatedError struct {
+	retryAfter time.Duration
+}
+
+func (e *saturatedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", errSaturated, e.retryAfter)
+}
+
+func (e *saturatedError) Is(target error) bool { return target == errSaturated }
+
+// queue is the admission-controlled job queue: workers bounds concurrent
+// pipeline executions, depth bounds how many executions may wait for a
+// slot. Store hits and collapsed requests never touch the queue — only
+// work that would actually run the pipeline is admitted, so a warm server
+// keeps serving cache traffic even while saturated with cold work.
+type queue struct {
+	slots   chan struct{}
+	waiting chan struct{}
+	stats   *stats
+}
+
+func newQueue(workers, depth int, st *stats) *queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &queue{
+		slots:   make(chan struct{}, workers),
+		waiting: make(chan struct{}, depth),
+		stats:   st,
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue when all slots
+// are busy. It fails with a saturatedError when the queue is full, and with
+// a fault.KindTimeout error when ctx dies while waiting — in both cases the
+// caller never held a slot.
+func (q *queue) acquire(ctx context.Context) error {
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case q.waiting <- struct{}{}:
+	default:
+		q.stats.rejected.Add(1)
+		return &saturatedError{retryAfter: q.retryAfter()}
+	}
+	q.stats.waiting.Add(1)
+	defer func() {
+		q.stats.waiting.Add(-1)
+		<-q.waiting
+	}()
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fault.Wrap(fault.KindTimeout, ctx.Err())
+	}
+}
+
+// release frees a slot claimed by acquire.
+func (q *queue) release() { <-q.slots }
+
+// retryAfter estimates how long a rejected client should back off: the
+// deeper the backlog relative to the worker pool, the longer the hint.
+// It is deliberately coarse — a scheduling signal, not a promise.
+func (q *queue) retryAfter() time.Duration {
+	backlog := len(q.waiting) + len(q.slots)
+	per := 250 * time.Millisecond
+	d := time.Duration(1+backlog/cap(q.slots)) * per
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}

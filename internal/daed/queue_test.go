@@ -1,0 +1,93 @@
+package daed
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dae/internal/fault"
+)
+
+// TestQueueAdmission: workers=1, depth=1. The first acquire takes the slot,
+// the second waits, the third is rejected with a saturatedError carrying a
+// Retry-After hint, and releasing the slot admits the waiter.
+func TestQueueAdmission(t *testing.T) {
+	var st stats
+	q := newQueue(1, 1, &st)
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	admitted := make(chan error, 1)
+	go func() { admitted <- q.acquire(context.Background()) }()
+	// Wait until the second caller is parked in the wait queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.waiting.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err := q.acquire(context.Background())
+	if !errors.Is(err, errSaturated) {
+		t.Fatalf("third acquire = %v, want errSaturated", err)
+	}
+	var sat *saturatedError
+	if !errors.As(err, &sat) || sat.retryAfter <= 0 {
+		t.Fatalf("saturation error carries no retry hint: %v", err)
+	}
+	if got := st.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+
+	q.release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	q.release()
+}
+
+// TestQueueCancelWhileWaiting: a caller whose context dies in the wait queue
+// gets a fault.KindTimeout error, frees its queue position, and never holds
+// a slot.
+func TestQueueCancelWhileWaiting(t *testing.T) {
+	var st stats
+	q := newQueue(1, 1, &st)
+	if err := q.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.waiting.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-errc
+	if !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("canceled wait = %v, want fault.ErrTimeout", err)
+	}
+	if st.waiting.Load() != 0 {
+		t.Errorf("waiting gauge = %d after cancellation, want 0", st.waiting.Load())
+	}
+	// The abandoned wait must have freed its queue position: a new caller
+	// can queue again (depth is 1).
+	go func() { errc <- q.acquire(context.Background()) }()
+	for st.waiting.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue position was not freed by the canceled waiter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.release()
+	if err := <-errc; err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	q.release()
+}

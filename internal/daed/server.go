@@ -1,0 +1,482 @@
+package daed
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"dae/internal/analysis"
+	"dae/internal/bench"
+	daepass "dae/internal/dae"
+	"dae/internal/daed/store"
+	"dae/internal/eval"
+	"dae/internal/fault"
+	"dae/internal/fault/inject"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Dir is the root of the persistent store. Traces live under Dir/traces
+	// (the eval.TraceCache envelope format — a directory shared with
+	// daebench/daerun -cache-dir warms both ways), rendered artifacts under
+	// Dir/artifacts. Empty means memory-only.
+	Dir string
+	// Workers bounds concurrent pipeline executions; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds how many executions may wait for a worker slot
+	// before admission control starts rejecting with 429; < 0 means 0
+	// (reject as soon as every worker is busy), 0 means the default 64.
+	QueueDepth int
+	// RunWorkers bounds the per-request collection parallelism (the three
+	// run kinds of one app); <= 0 means 1, keeping one admitted request ≈
+	// one busy worker so queue capacity stays an honest model of load.
+	RunWorkers int
+	// DefaultTimeout bounds a request's wait when it names none; 0 means
+	// 60s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested waits; 0 means 5m.
+	MaxTimeout time.Duration
+	// MaxRunTime bounds one pipeline execution regardless of waiters; 0
+	// means 10m. It is the server's hard defense against a pathological
+	// workload outliving every client.
+	MaxRunTime time.Duration
+	// MaxSteps, when positive, caps (and defaults) every request's
+	// interpreter step budget: a request asking for more (or for no budget
+	// at all) is clamped to this ceiling.
+	MaxSteps int64
+	// Log receives serving events; nil discards them.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RunWorkers <= 0 {
+		c.RunWorkers = 1
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxRunTime <= 0 {
+		c.MaxRunTime = 10 * time.Minute
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the daed service: an http.Handler serving the compile/simulate
+// pipeline behind a content-addressed artifact store, request singleflight,
+// an admission-controlled job queue, and per-tenant quarantine.
+type Server struct {
+	cfg     Config
+	traces  *eval.TraceCache
+	store   *store.Store
+	q       *queue
+	sims    flightMap[*simArtifact]
+	comps   flightMap[*compileArtifact]
+	tenants tenantRegistry
+	stats   stats
+	mux     *http.ServeMux
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	traceDir, artifactDir := "", ""
+	if cfg.Dir != "" {
+		traceDir = cfg.Dir + "/traces"
+		artifactDir = cfg.Dir + "/artifacts"
+	}
+	s := &Server{
+		cfg:    cfg,
+		traces: eval.NewTraceCache(traceDir),
+		store:  store.New(artifactDir, 0),
+	}
+	s.q = newQueue(cfg.Workers, cfg.QueueDepth, &s.stats)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("DELETE /v1/quarantine", s.handleClearQuarantine)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a point-in-time snapshot of the serving counters.
+func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot(s.tenants.tenants()) }
+
+// tenantOf resolves the requesting tenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// writeJSON renders one JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a pipeline failure to its HTTP shape and counts it: 429 +
+// Retry-After for admission rejections (already counted by the queue), 504
+// for deadline/cancellation (counted canceled), 500 with the fault taxonomy
+// class otherwise (counted faults).
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	var sat *saturatedError
+	switch {
+	case errors.As(err, &sat):
+		w.Header().Set("Retry-After", strconv.Itoa(int((sat.retryAfter+time.Second-1)/time.Second)))
+		s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: err.Error(), Class: "saturated", RetryAfterMs: sat.retryAfter.Milliseconds(),
+		})
+	case errors.Is(err, fault.ErrTimeout):
+		s.stats.canceled.Add(1)
+		if r.Context().Err() != nil {
+			// The client is gone; nothing we write is deliverable. Let the
+			// connection close.
+			return
+		}
+		s.writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Class: fault.ClassOf(err)})
+	default:
+		s.stats.faults.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Class: fault.ClassOf(err)})
+	}
+}
+
+// clampSteps applies the server's step-budget ceiling to a request budget.
+func (s *Server) clampSteps(req int64) int64 {
+	if s.cfg.MaxSteps > 0 && (req <= 0 || req > s.cfg.MaxSteps) {
+		return s.cfg.MaxSteps
+	}
+	return req
+}
+
+// handleSimulate serves POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.requests.Add(1)
+	var req SimulateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error(), Class: "parse"})
+		return
+	}
+	req.MaxSteps = s.clampSteps(req.MaxSteps)
+	p, err := req.plan()
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "parse"})
+		return
+	}
+	tenant := tenantOf(r)
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	// Fault injection and prior tenant quarantine route to the
+	// tenant-scoped path: isolated from the shared store in both
+	// directions, so one tenant's poison is never another tenant's result.
+	if prior := s.tenants.quarantined(tenant, p.app.Name); len(p.rules) > 0 || len(prior) > 0 {
+		s.simulateTenant(w, r, ctx, p, tenant, prior, start)
+		return
+	}
+
+	if b, ok := s.store.Get(p.key); ok {
+		var art simArtifact
+		if err := json.Unmarshal(b, &art); err == nil {
+			s.stats.storeHits.Add(1)
+			s.respondSim(w, &art, p.key, tenant, true, false, start)
+			return
+		}
+	}
+	for {
+		f, leader := s.sims.join(p.key, func(pctx context.Context) (*simArtifact, error) {
+			return s.runSimulate(pctx, p, true)
+		})
+		art, err := f.wait(ctx)
+		if err != nil {
+			if !leader && errors.Is(err, fault.ErrTimeout) && ctx.Err() == nil {
+				// The flight we joined died under someone else's deadline;
+				// ours is alive, so retry on a fresh flight.
+				continue
+			}
+			s.writeError(w, r, err)
+			return
+		}
+		if !leader {
+			s.stats.collapsed.Add(1)
+		}
+		s.respondSim(w, art, p.key, tenant, false, !leader, start)
+		return
+	}
+}
+
+// respondSim assembles and writes one successful simulate response,
+// recording any quarantine under the requesting tenant.
+func (s *Server) respondSim(w http.ResponseWriter, art *simArtifact, key, tenant string, cacheHit, collapsed bool, start time.Time) {
+	if len(art.Quarantined) > 0 {
+		s.tenants.record(tenant, art.App, art.Quarantined)
+	}
+	resp := &SimulateResponse{
+		App:         art.App,
+		Report:      art.Report,
+		Degraded:    len(art.Quarantined) > 0,
+		Quarantined: art.Quarantined,
+		CacheHit:    cacheHit,
+		Collapsed:   collapsed,
+		Key:         key,
+		ElapsedMs:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if resp.Degraded {
+		s.stats.degraded.Add(1)
+	}
+	s.stats.observe(resp.ElapsedMs)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// simulateTenant serves the tenant-scoped path: requests carrying fault
+// injection or arriving from a tenant with quarantine history. The
+// execution still shares the trace cache (healthy traces are
+// injection-invariant and degraded traces are never cached, so the shared
+// cache cannot be poisoned), but its artifacts are never stored and its
+// quarantines are recorded against this tenant only.
+func (s *Server) simulateTenant(w http.ResponseWriter, r *http.Request, ctx context.Context, p *simPlan, tenant string, prior map[string]string, start time.Time) {
+	art, err := s.runSimulate(ctx, p, false)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if len(art.Quarantined) > 0 {
+		s.tenants.record(tenant, art.App, art.Quarantined)
+	}
+	merged := make(map[string]string, len(prior)+len(art.Quarantined))
+	for k, v := range prior {
+		merged[k] = v
+	}
+	for k, v := range art.Quarantined {
+		merged[k] = v
+	}
+	resp := &SimulateResponse{
+		App:         art.App,
+		Report:      art.Report,
+		Degraded:    len(merged) > 0,
+		Quarantined: merged,
+		Key:         p.key,
+		ElapsedMs:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if resp.Degraded {
+		s.stats.degraded.Add(1)
+	}
+	s.stats.observe(resp.ElapsedMs)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runSimulate executes the collect+evaluate pipeline for one plan under the
+// admission-controlled queue. store controls whether a clean artifact is
+// persisted in the shared store (the tenant-scoped path never stores).
+func (s *Server) runSimulate(ctx context.Context, p *simPlan, storeArtifact bool) (*simArtifact, error) {
+	if err := s.q.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.q.release()
+	s.stats.executions.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.MaxRunTime)
+	defer cancel()
+
+	opts := eval.CollectOptions{Workers: s.cfg.RunWorkers, Cache: s.traces}
+	if p.refine {
+		opts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
+	}
+	if len(p.rules) > 0 {
+		// Injection must observe a real collection: a warm shared trace
+		// cache would serve the healthy trace and the fault would never
+		// fire. Injected requests collect uncached — and never write, so
+		// their degraded traces cannot reach other tenants either.
+		opts.Cache = nil
+		in := inject.New(p.rules...)
+		opts.Inject = in.Hook()
+		opts.InjectPhase = in.PhaseFunc()
+	}
+	data, err := eval.CollectWith(ctx, p.app, p.cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	art := &simArtifact{App: p.app.Name, Report: eval.FormatRunReport(data, p.machine)}
+	for _, row := range eval.DegradationRows([]*eval.AppData{data}) {
+		for task, kind := range row.Quarantined {
+			if art.Quarantined == nil {
+				art.Quarantined = make(map[string]string)
+			}
+			art.Quarantined[task] = kind
+		}
+	}
+	if storeArtifact && len(art.Quarantined) == 0 {
+		if b, err := json.Marshal(art); err == nil {
+			if err := s.store.Put(p.key, b); err != nil {
+				s.cfg.Log.Printf("daed: artifact store write failed for %s: %v", p.key, err)
+			}
+		}
+	}
+	return art, nil
+}
+
+// handleCompile serves POST /v1/compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.requests.Add(1)
+	var req CompileRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error(), Class: "parse"})
+		return
+	}
+	app, err := bench.AppByName(req.App)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "parse"})
+		return
+	}
+	key := req.compileKey()
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	if b, ok := s.store.Get(key); ok {
+		var art compileArtifact
+		if err := json.Unmarshal(b, &art); err == nil {
+			s.stats.storeHits.Add(1)
+			s.respondCompile(w, &art, key, true, false, start)
+			return
+		}
+	}
+	for {
+		f, leader := s.comps.join(key, func(pctx context.Context) (*compileArtifact, error) {
+			return s.runCompile(pctx, app, req.Refine, key)
+		})
+		art, err := f.wait(ctx)
+		if err != nil {
+			if !leader && errors.Is(err, fault.ErrTimeout) && ctx.Err() == nil {
+				continue
+			}
+			s.writeError(w, r, err)
+			return
+		}
+		if !leader {
+			s.stats.collapsed.Add(1)
+		}
+		s.respondCompile(w, art, key, false, !leader, start)
+		return
+	}
+}
+
+func (s *Server) respondCompile(w http.ResponseWriter, art *compileArtifact, key string, cacheHit, collapsed bool, start time.Time) {
+	resp := &CompileResponse{
+		App:        art.App,
+		Strategies: art.Strategies,
+		Purity:     art.Purity,
+		Modules:    art.Modules,
+		CacheHit:   cacheHit,
+		Collapsed:  collapsed,
+		Key:        key,
+		ElapsedMs:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	s.stats.observe(resp.ElapsedMs)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runCompile builds one app and renders its static artifacts: the
+// generation-decision report, per-task purity verdicts, and the generated
+// access variants' IR listings. Compilation is deterministic, so the
+// artifact always enters the shared store.
+func (s *Server) runCompile(ctx context.Context, app bench.App, refine bool, key string) (art *compileArtifact, err error) {
+	if err := s.q.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.q.release()
+	s.stats.executions.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	defer fault.Recover(&err, "compile")
+
+	b, err := app.Build(bench.Auto)
+	if err != nil {
+		return nil, err
+	}
+	if refine {
+		if _, err := b.Refine(daepass.DefaultRefine(), 4); err != nil {
+			return nil, err
+		}
+	}
+	art = &compileArtifact{
+		App:        app.Name,
+		Strategies: eval.FormatStrategies([]*eval.AppData{{Name: app.Name, Results: b.Results}}),
+		Modules:    make(map[string]string),
+	}
+	names := make([]string, 0, len(b.Results))
+	for n := range b.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	purity := ""
+	for _, n := range names {
+		res := b.Results[n]
+		if res.Access == nil {
+			purity += fmt.Sprintf("task @%s: no access version (%s)\n", n, res.Reason)
+			continue
+		}
+		diags := analysis.VerifyAccessPurity(res.Access)
+		if analysis.HasErrors(diags) {
+			purity += fmt.Sprintf("task @%s: purity FAIL\n%s", n, analysis.Format(diags))
+		} else {
+			purity += fmt.Sprintf("task @%s: purity PASS (strategy=%s)\n", n, res.Strategy)
+		}
+		art.Modules[n] = res.Access.String()
+	}
+	art.Purity = purity
+	if b, err := json.Marshal(art); err == nil {
+		if err := s.store.Put(key, b); err != nil {
+			s.cfg.Log.Printf("daed: artifact store write failed for %s: %v", key, err)
+		}
+	}
+	return art, nil
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleClearQuarantine serves DELETE /v1/quarantine: it lifts every
+// quarantine recorded for the requesting tenant (an explicit admin action,
+// mirroring how runtime quarantine is monotone within a trace).
+func (s *Server) handleClearQuarantine(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	n := s.tenants.clear(tenant)
+	s.writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "cleared": n})
+}

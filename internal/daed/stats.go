@@ -1,0 +1,103 @@
+package daed
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyWindow is how many recent request latencies the percentile
+// reservoir keeps. 4096 spans several daeload bursts while bounding the
+// server's accounting footprint.
+const latencyWindow = 4096
+
+// stats aggregates the server's serving counters. All fields are updated
+// atomically; the latency reservoir is a mutex-guarded ring.
+type stats struct {
+	requests   atomic.Int64 // requests accepted into a handler
+	storeHits  atomic.Int64 // served directly from the artifact store
+	collapsed  atomic.Int64 // joined an identical in-flight execution
+	executions atomic.Int64 // pipeline executions actually run
+	rejected   atomic.Int64 // 429s (queue saturated)
+	canceled   atomic.Int64 // requests whose wait ended in cancellation/deadline
+	faults     atomic.Int64 // pipeline executions that failed
+	degraded   atomic.Int64 // responses served degraded (tenant quarantine)
+	inFlight   atomic.Int64 // executions currently holding a worker slot
+	waiting    atomic.Int64 // executions currently queued for a slot
+
+	mu   sync.Mutex
+	ring [latencyWindow]float64
+	n    int // total recorded; ring index is n % latencyWindow
+}
+
+// observe records one served request's latency in milliseconds.
+func (s *stats) observe(ms float64) {
+	s.mu.Lock()
+	s.ring[s.n%latencyWindow] = ms
+	s.n++
+	s.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the reservoir (0, 0 when empty).
+func (s *stats) percentiles() (p50, p99 float64) {
+	s.mu.Lock()
+	n := s.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lat := make([]float64, n)
+	copy(lat, s.ring[:n])
+	s.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(lat)
+	idx := func(p float64) int {
+		i := int(p * float64(n-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	return lat[idx(0.50)], lat[idx(0.99)]
+}
+
+// StatsSnapshot is the wire form of GET /v1/stats.
+type StatsSnapshot struct {
+	Requests   int64 `json:"requests"`
+	StoreHits  int64 `json:"store_hits"`
+	Collapsed  int64 `json:"collapsed"`
+	Executions int64 `json:"executions"`
+	Rejected   int64 `json:"rejected"`
+	Canceled   int64 `json:"canceled"`
+	Faults     int64 `json:"faults"`
+	Degraded   int64 `json:"degraded"`
+	InFlight   int64 `json:"in_flight"`
+	Waiting    int64 `json:"waiting"`
+	// QuarantinedTenants counts tenants with recorded quarantine state.
+	QuarantinedTenants int64   `json:"quarantined_tenants"`
+	LatencyP50Ms       float64 `json:"latency_p50_ms"`
+	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+}
+
+func (s *stats) snapshot(quarantinedTenants int64) StatsSnapshot {
+	p50, p99 := s.percentiles()
+	return StatsSnapshot{
+		Requests:           s.requests.Load(),
+		StoreHits:          s.storeHits.Load(),
+		Collapsed:          s.collapsed.Load(),
+		Executions:         s.executions.Load(),
+		Rejected:           s.rejected.Load(),
+		Canceled:           s.canceled.Load(),
+		Faults:             s.faults.Load(),
+		Degraded:           s.degraded.Load(),
+		InFlight:           s.inFlight.Load(),
+		Waiting:            s.waiting.Load(),
+		QuarantinedTenants: quarantinedTenants,
+		LatencyP50Ms:       p50,
+		LatencyP99Ms:       p99,
+	}
+}

@@ -1,0 +1,174 @@
+// Package store implements daed's content-addressed artifact store: the
+// serving-layer generalization of the trace cache. Where eval.TraceCache
+// holds exactly one shape (collected traces keyed by run configuration),
+// Store holds any JSON artifact — rendered simulate reports, compiled-module
+// listings, generated access variants, analysis reports — under
+// caller-chosen content keys, with the same integrity discipline the trace
+// cache established: versioned envelopes, a SHA-256 content checksum
+// validated on load, and atomic write-then-rename persistence so concurrent
+// servers (or a server racing a CLI) sharing one directory never observe a
+// torn artifact.
+//
+// Corrupt, stale, or unreadable entries degrade to misses; the store never
+// fails a request over a damaged disk entry.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// version is bumped whenever the envelope layout changes, invalidating
+// stale on-disk artifacts.
+const version = 1
+
+// envelope is the on-disk form of one artifact.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is a two-level (memory, disk) content-addressed artifact store,
+// safe for concurrent use. The memory level is bounded; the disk level
+// (enabled by a non-empty directory) persists across processes.
+type Store struct {
+	dir    string
+	maxMem int
+
+	mu  sync.Mutex
+	mem map[string][]byte
+}
+
+// DefaultMaxMem bounds the in-memory level when New is given no explicit
+// cap. Artifacts are small (rendered reports, a few KB), so a few thousand
+// entries cost single-digit MB.
+const DefaultMaxMem = 4096
+
+// New returns a store. dir may be empty for a purely in-memory store;
+// maxMem <= 0 selects DefaultMaxMem.
+func New(dir string, maxMem int) *Store {
+	if maxMem <= 0 {
+		maxMem = DefaultMaxMem
+	}
+	return &Store{dir: dir, maxMem: maxMem, mem: make(map[string][]byte)}
+}
+
+// path maps a key to its artifact file.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+func contentSum(payload json.RawMessage) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the artifact payload stored under key, consulting memory
+// first and then disk. Damaged or stale entries are misses.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	b, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, false
+	}
+	if env.Version != version || env.Key != key || contentSum(env.Payload) != env.Sum {
+		return nil, false
+	}
+	s.remember(key, env.Payload)
+	return env.Payload, true
+}
+
+// Put stores payload (which must be valid JSON) under key, in memory and —
+// when persistence is enabled — on disk via an atomic write-then-rename.
+// Disk failures are non-fatal: the store degrades to memory-only for that
+// artifact.
+func (s *Store) Put(key string, payload []byte) error {
+	// Compact through a RawMessage round-trip so the checksummed bytes are
+	// exactly the bytes a later load decodes (json re-encoding strips
+	// whitespace and escapes HTML).
+	var compact json.RawMessage
+	if err := json.Unmarshal(payload, &compact); err != nil {
+		return err
+	}
+	enc, err := json.Marshal(compact)
+	if err != nil {
+		return err
+	}
+	s.remember(key, enc)
+	if s.dir == "" {
+		return nil
+	}
+	env := envelope{Version: version, Key: key, Payload: enc}
+	// Round-trip once more so Sum covers the stored form of the payload.
+	pre, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	var stored envelope
+	if err := json.Unmarshal(pre, &stored); err != nil {
+		return err
+	}
+	env.Sum = contentSum(stored.Payload)
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "artifact-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, s.path(key))
+}
+
+// remember installs an entry in the bounded memory level, evicting an
+// arbitrary entry when full (map iteration order; disk still holds every
+// artifact, so eviction only costs a re-read).
+func (s *Store) remember(key string, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[key]; !ok && len(s.mem) >= s.maxMem {
+		for k := range s.mem {
+			delete(s.mem, k)
+			break
+		}
+	}
+	s.mem[key] = payload
+}
+
+// Len reports the number of artifacts in the memory level (tests).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := New(t.TempDir(), 0)
+	payload := []byte(`{"report":"hello","n":3}`)
+	if err := s.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	var v struct {
+		Report string `json:"report"`
+		N      int    `json:"n"`
+	}
+	if err := json.Unmarshal(got, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Report != "hello" || v.N != 3 {
+		t.Fatalf("payload mangled: %s", got)
+	}
+}
+
+func TestDiskPersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	if err := New(dir, 0).Put("k", []byte(`"artifact"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := New(dir, 0).Get("k")
+	if !ok || !bytes.Equal(got, []byte(`"artifact"`)) {
+		t.Fatalf("second instance: got %q ok=%t", got, ok)
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := New(dir, 0)
+	if err := s.Put("k", []byte(`"good"`)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want 1 envelope, got %v (%v)", entries, err)
+	}
+	// Flip payload bytes in place: the checksum must catch it.
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := bytes.Replace(raw, []byte(`"good"`), []byte(`"evil"`), 1)
+	if bytes.Equal(raw, corrupted) {
+		t.Fatal("corruption did not apply")
+	}
+	if err := os.WriteFile(entries[0], corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := New(dir, 0).Get("k"); ok {
+		t.Fatal("corrupt envelope served as a hit")
+	}
+	// Truncated file: also a miss, not an error.
+	if err := os.WriteFile(entries[0], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := New(dir, 0).Get("k"); ok {
+		t.Fatal("truncated envelope served as a hit")
+	}
+}
+
+func TestWrongKeyIsMiss(t *testing.T) {
+	s := New(t.TempDir(), 0)
+	if err := s.Put("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("other"); ok {
+		t.Fatal("hit on a key never stored")
+	}
+}
+
+func TestInvalidJSONPayloadRejected(t *testing.T) {
+	s := New("", 0)
+	if err := s.Put("k", []byte(`{not json`)); err == nil {
+		t.Fatal("invalid JSON payload accepted")
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	s := New("", 8)
+	for i := 0; i < 64; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(`1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Len(); n > 8 {
+		t.Fatalf("memory level holds %d entries, cap is 8", n)
+	}
+}
+
+// TestConcurrentPutGet exercises the store under -race: concurrent writers
+// and readers on overlapping keys, plus eviction pressure.
+func TestConcurrentPutGet(t *testing.T) {
+	s := New(t.TempDir(), 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				key := fmt.Sprintf("k%d", i%4)
+				if err := s.Put(key, []byte(`"v"`)); err != nil {
+					t.Errorf("put %s: %v", key, err)
+				}
+				if b, ok := s.Get(key); ok && !bytes.Equal(b, []byte(`"v"`)) {
+					t.Errorf("get %s: damaged payload %q", key, b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b, ok := s.Get("k0"); !ok || !bytes.Equal(b, []byte(`"v"`)) {
+		t.Fatalf("final get: %q ok=%t", b, ok)
+	}
+}

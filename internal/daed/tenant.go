@@ -1,0 +1,83 @@
+package daed
+
+import (
+	"sync"
+)
+
+// tenantRegistry is the server's per-tenant quarantine ledger: the PR-4
+// runtime quarantine ladder lifted to serving scope. When a tenant's
+// request quarantines a task type (an access-phase fault, usually injected
+// through that tenant's own rules), the poisoning is recorded against the
+// tenant — that tenant's later requests for the app are served through the
+// degraded, tenant-scoped path and flagged, while every other tenant keeps
+// hitting the clean shared store and the process itself never degrades.
+type tenantRegistry struct {
+	mu sync.Mutex
+	// m maps tenant -> app -> task type -> fault kind.
+	m map[string]map[string]map[string]string
+}
+
+// record merges one collection's quarantined task types into the tenant's
+// ledger. Quarantine is monotone at the runtime level; the ledger mirrors
+// that — entries accumulate until the tenant explicitly clears them.
+func (tr *tenantRegistry) record(tenant, app string, quarantined map[string]string) {
+	if len(quarantined) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.m == nil {
+		tr.m = make(map[string]map[string]map[string]string)
+	}
+	apps := tr.m[tenant]
+	if apps == nil {
+		apps = make(map[string]map[string]string)
+		tr.m[tenant] = apps
+	}
+	tasks := apps[app]
+	if tasks == nil {
+		tasks = make(map[string]string)
+		apps[app] = tasks
+	}
+	for task, kind := range quarantined {
+		if _, ok := tasks[task]; !ok {
+			tasks[task] = kind
+		}
+	}
+}
+
+// quarantined returns a copy of the tenant's quarantine set for app (nil
+// when clean).
+func (tr *tenantRegistry) quarantined(tenant, app string) map[string]string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tasks := tr.m[tenant][app]
+	if len(tasks) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(tasks))
+	for k, v := range tasks {
+		out[k] = v
+	}
+	return out
+}
+
+// clear drops every quarantine recorded for tenant, returning how many
+// (app, task) entries were lifted.
+func (tr *tenantRegistry) clear(tenant string) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, tasks := range tr.m[tenant] {
+		n += len(tasks)
+	}
+	delete(tr.m, tenant)
+	return n
+}
+
+// tenants counts tenants with recorded quarantine state.
+func (tr *tenantRegistry) tenants() int64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return int64(len(tr.m))
+}

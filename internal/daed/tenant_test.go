@@ -1,0 +1,67 @@
+package daed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTenantRegistryRecordAndIsolation(t *testing.T) {
+	var tr tenantRegistry
+	if q := tr.quarantined("a", "LU"); q != nil {
+		t.Fatalf("fresh registry reports quarantine: %v", q)
+	}
+	tr.record("a", "LU", map[string]string{"diag": "trap"})
+	tr.record("a", "LU", map[string]string{"diag": "panic", "bmod": "panic"})
+
+	q := tr.quarantined("a", "LU")
+	// Quarantine is monotone: the first recorded kind for a task wins.
+	if len(q) != 2 || q["diag"] != "trap" || q["bmod"] != "panic" {
+		t.Fatalf("quarantined(a, LU) = %v, want diag:trap bmod:panic", q)
+	}
+	// The returned map is a copy: mutating it must not leak back.
+	q["diag"] = "mutated"
+	if got := tr.quarantined("a", "LU")["diag"]; got != "trap" {
+		t.Fatalf("registry mutated through returned copy: diag = %q", got)
+	}
+
+	// Other tenants and other apps stay clean.
+	if q := tr.quarantined("b", "LU"); q != nil {
+		t.Errorf("tenant b inherited tenant a's quarantine: %v", q)
+	}
+	if q := tr.quarantined("a", "FFT"); q != nil {
+		t.Errorf("app FFT inherited app LU's quarantine: %v", q)
+	}
+	if n := tr.tenants(); n != 1 {
+		t.Errorf("tenants() = %d, want 1", n)
+	}
+
+	if n := tr.clear("a"); n != 2 {
+		t.Errorf("clear(a) = %d entries, want 2", n)
+	}
+	if q := tr.quarantined("a", "LU"); q != nil {
+		t.Errorf("quarantine survived clear: %v", q)
+	}
+	if n := tr.clear("a"); n != 0 {
+		t.Errorf("second clear(a) = %d, want 0", n)
+	}
+}
+
+func TestTenantRegistryConcurrent(t *testing.T) {
+	var tr tenantRegistry
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i%4)
+			tr.record(tenant, "LU", map[string]string{"diag": "trap"})
+			tr.quarantined(tenant, "LU")
+			tr.tenants()
+		}(i)
+	}
+	wg.Wait()
+	if n := tr.tenants(); n != 4 {
+		t.Errorf("tenants() = %d, want 4", n)
+	}
+}

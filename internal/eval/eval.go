@@ -170,7 +170,10 @@ func collectRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceCo
 	return out, nil
 }
 
-// cachedRun resolves one run through the cache (when present).
+// cachedRun resolves one run through the cache (when present). Concurrent
+// collections that miss on the same key — two goroutines, two experiments,
+// two server requests sharing a cache — collapse onto one simulation via the
+// cache's singleflight; the others wait and share the result.
 func cachedRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceConfig, opts CollectOptions) (*runOutput, error) {
 	if err := ctx.Err(); err != nil {
 		// The collection was canceled before this run started; fail fast so
@@ -181,21 +184,20 @@ func cachedRun(ctx context.Context, app bench.App, kind runKind, cfg rt.TraceCon
 		return collectRun(ctx, app, kind, cfg, opts)
 	}
 	key := runKey(app.Name, kind, cfg, opts.Refine)
-	if out, ok := opts.Cache.get(key); ok {
-		return out, nil
+	for {
+		out, err, shared := opts.Cache.resolve(key, func() (*runOutput, error) {
+			return collectRun(ctx, app, kind, cfg, opts)
+		})
+		if shared && err != nil && errors.Is(err, fault.ErrTimeout) && ctx.Err() == nil {
+			// The in-flight collection we joined timed out under the
+			// *leader's* context, not ours: retry under our own. The loop
+			// terminates because each pass either makes us the leader
+			// (terminal either way) or follows a fresh flight whose leader
+			// had a live context when it started.
+			continue
+		}
+		return out, err
 	}
-	out, err := collectRun(ctx, app, kind, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	if out.Trace != nil && out.Trace.Degraded() {
-		// Degradation reflects transient runtime faults, not trace content:
-		// never cache it, so a later fault-free collection re-traces cleanly
-		// instead of replaying the quarantine forever.
-		return out, nil
-	}
-	opts.Cache.put(key, out)
-	return out, nil
 }
 
 // forEachJob runs do(0..n-1) on a bounded worker pool. workers <= 0 selects

@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dae/internal/rt"
+)
+
+// FormatRunReport renders the single-app evaluation report — the policy
+// comparison table, the compiler-DAE characteristics line, and the
+// generation-strategy summary — exactly as the daerun CLI prints it. The
+// daed server returns this same rendering in its simulate responses, so a
+// remote run is byte-identical to a local one: one formatter, one trace
+// semantics, two transports.
+func FormatRunReport(data *AppData, m rt.Machine) string {
+	var b strings.Builder
+	base := rt.Evaluate(data.CAE, m, rt.PolicyFixed)
+	fmt.Fprintf(&b, "\n%-28s %10s %10s %12s %8s %8s\n", "configuration", "time(ms)", "energy(J)", "EDP(mJ*s)", "T/Tbase", "EDP/base")
+	show := func(label string, met rt.Metrics) {
+		fmt.Fprintf(&b, "%-28s %10.4f %10.4f %12.6f %8.3f %8.3f\n",
+			label, met.Time*1e3, met.Energy, met.EDP*1e3, met.Time/base.Time, met.EDP/base.EDP)
+	}
+	show("CAE (max f.)", base)
+	show("CAE (optimal f.)", rt.Evaluate(data.CAE, m, rt.PolicyOptimalEDP))
+	show("Manual DAE (min/max f.)", rt.Evaluate(data.Manual, m, rt.PolicyMinMax))
+	show("Manual DAE (optimal f.)", rt.Evaluate(data.Manual, m, rt.PolicyOptimalEDP))
+	show("Compiler DAE (min/max f.)", rt.Evaluate(data.Auto, m, rt.PolicyMinMax))
+	show("Compiler DAE (optimal f.)", rt.Evaluate(data.Auto, m, rt.PolicyOptimalEDP))
+
+	met := rt.Evaluate(data.Auto, m, rt.PolicyMinMax)
+	fmt.Fprintf(&b, "\ncompiler DAE: %d tasks, TA=%.2f%%, mean access phase %.2f us, %d DVFS switches\n",
+		met.Tasks, met.TAFraction()*100, met.MeanAccessSeconds()*1e6, met.Transitions)
+	fmt.Fprint(&b, "\n", FormatStrategies([]*AppData{data}))
+	return b.String()
+}

@@ -14,6 +14,7 @@ import (
 
 	"dae/internal/dae"
 	"dae/internal/fault"
+	"dae/internal/flight"
 	"dae/internal/rt"
 )
 
@@ -30,6 +31,10 @@ type TraceCache struct {
 	dir string
 	mu  sync.Mutex
 	mem map[string]*runOutput
+	// flights collapses concurrent misses on one key onto a single
+	// collection: the second goroutine waits for the first instead of
+	// re-running the simulation and re-writing the disk envelope.
+	flights flight.Group[string, *runOutput]
 	// saveFault, when non-nil, is consulted before each disk-save attempt
 	// with the 0-based attempt number; a non-nil return fails that attempt.
 	// Tests use it to exercise the write-retry path.
@@ -115,6 +120,36 @@ func contentSum(trace json.RawMessage, results map[string]resultJSON) (string, e
 		h.Write(rb)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// resolve returns the entry for key, computing it with collect on a miss.
+// Concurrent resolve calls for the same key collapse onto one in-flight
+// collection — exactly one simulation runs and exactly one disk envelope is
+// written; the other callers wait and share the result. Degraded outputs
+// are returned to every waiter but never stored (transient runtime faults
+// must not poison the cache). shared reports whether the result came from
+// another caller's in-flight collection rather than this caller's own —
+// shared failures may be scoped to the leader (its deadline, its
+// cancellation) and are the callers' cue to retry under their own context.
+func (tc *TraceCache) resolve(key string, collect func() (*runOutput, error)) (out *runOutput, err error, shared bool) {
+	out, err, leader := tc.flights.Do(key, func() (*runOutput, error) {
+		if out, ok := tc.get(key); ok {
+			return out, nil
+		}
+		out, err := collect()
+		if err != nil {
+			return nil, err
+		}
+		if out.Trace != nil && out.Trace.Degraded() {
+			// Degradation reflects transient runtime faults, not trace
+			// content: never cache it, so a later fault-free collection
+			// re-traces cleanly instead of replaying the quarantine forever.
+			return out, nil
+		}
+		tc.put(key, out)
+		return out, nil
+	})
+	return out, err, !leader
 }
 
 // get returns the entry for key, consulting memory first and then disk.
@@ -263,19 +298,24 @@ func (tc *TraceCache) save(key string, out *runOutput) error {
 	if err := os.MkdirAll(tc.dir, 0o755); err != nil {
 		return err
 	}
-	// Write-then-rename keeps concurrent readers from seeing partial files.
+	// Write-then-rename keeps the final path atomic: a concurrent reader (or
+	// another process sharing the directory) sees either the previous
+	// complete envelope or the new one, never a partial file, and a crash
+	// mid-write leaves only a uniquely named temp file behind. The deferred
+	// remove reaps that temp on every failure path — after a successful
+	// rename the name no longer exists and the remove is a no-op.
 	tmp, err := os.CreateTemp(tc.dir, "entry-*.tmp")
 	if err != nil {
 		return err
 	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
 	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), tc.path(key))
+	return os.Rename(tmpName, tc.path(key))
 }

@@ -1,0 +1,67 @@
+// Package flight provides in-process call deduplication (singleflight):
+// concurrent callers asking for the same key share one execution of the
+// underlying function instead of each computing it independently. The trace
+// cache uses it so two goroutines missing on the same key run one collection
+// and write one disk envelope; the daed server builds its request-level
+// deduplication on the same primitive.
+//
+// Unlike golang.org/x/sync/singleflight (not vendored here; the repo is
+// dependency-free by policy), Group is generic over key and value types and
+// reports whether the caller was the leader — the goroutine that actually
+// executed the function — which the callers use both for statistics
+// (collapse ratios) and to decide whether a shared failure is worth
+// retrying under their own context.
+package flight
+
+import "sync"
+
+// call is one in-flight (or just-completed) execution.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group deduplicates concurrent executions per key. The zero value is ready
+// to use. A Group must not be copied after first use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do executes fn, making sure only one execution per key is in flight at a
+// time. Concurrent callers with the same key wait for the in-flight
+// execution and receive its value and error. leader reports whether this
+// caller ran fn itself; followers (leader == false) that receive an error
+// scoped to the leader — a deadline expiry of the leader's context, say —
+// can call Do again to compute under their own context, because the entry
+// is removed as soon as fn returns (completed calls are never memoized;
+// caching is the caller's concern).
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, false
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Release the waiters even when fn panics: the entry is removed and the
+	// panic propagates from the leader, while followers observe the zero
+	// value and a nil error — callers that guard fn with fault.Recover (as
+	// the whole pipeline does) never reach this path with a live panic.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, true
+}

@@ -1,0 +1,143 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoCollapsesConcurrent: N concurrent callers on one key execute fn
+// exactly once and all observe the leader's value.
+func TestDoCollapsesConcurrent(t *testing.T) {
+	var g Group[string, int]
+	var execs atomic.Int64
+
+	// One leader enters the flight and holds it open on gate; the followers
+	// then join the same key and park; releasing the gate completes all of
+	// them from the single execution. The 100ms grace is only there to let
+	// the followers reach Do — a follower that somehow missed the window
+	// would surface as a second leader and fail the execs assertion.
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+
+	const n = 32
+	vals := make([]int, n)
+	leaders := make([]bool, n)
+	var wg sync.WaitGroup
+	run := func(i int) {
+		defer wg.Done()
+		v, err, leader := g.Do("k", func() (int, error) {
+			if execs.Add(1) == 1 {
+				close(inFlight)
+			}
+			<-gate
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("caller %d: unexpected error %v", i, err)
+		}
+		vals[i], leaders[i] = v, leader
+	}
+	wg.Add(1)
+	go run(0)
+	<-inFlight
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	nLeaders := 0
+	for i := 0; i < n; i++ {
+		if vals[i] != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, vals[i])
+		}
+		if leaders[i] {
+			nLeaders++
+		}
+	}
+	if got := execs.Load(); got != 1 || nLeaders != 1 {
+		t.Fatalf("executions=%d leaders=%d, want exactly 1 of each", got, nLeaders)
+	}
+}
+
+// TestDoSharesError: followers of a failing flight see the same error.
+func TestDoSharesError(t *testing.T) {
+	var g Group[int, string]
+	errBoom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	go g.Do(7, func() (string, error) {
+		close(started)
+		<-release
+		return "", errBoom
+	})
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err, leader := g.Do(7, func() (string, error) { return "fresh", nil })
+		if leader {
+			done <- errors.New("follower became leader while flight in progress")
+			return
+		}
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the follower park on the flight
+	close(release)
+	if err := <-done; !errors.Is(err, errBoom) {
+		t.Fatalf("follower error = %v, want %v", err, errBoom)
+	}
+
+	// The entry is removed on completion: the next call computes afresh.
+	v, err, leader := g.Do(7, func() (string, error) { return "fresh", nil })
+	if err != nil || v != "fresh" || !leader {
+		t.Fatalf("post-failure call = (%q, %v, leader=%t), want fresh leader", v, err, leader)
+	}
+}
+
+// TestDoDistinctKeysIndependent: different keys never block each other.
+func TestDoDistinctKeysIndependent(t *testing.T) {
+	var g Group[int, int]
+	blockerIn := make(chan struct{})
+	go g.Do(1, func() (int, error) { <-blockerIn; return 0, nil })
+
+	v, err, leader := g.Do(2, func() (int, error) { return 9, nil })
+	close(blockerIn)
+	if v != 9 || err != nil || !leader {
+		t.Fatalf("key 2 = (%d, %v, %t), want (9, nil, true)", v, err, leader)
+	}
+}
+
+// TestDoPanicReleasesWaiters: a panicking leader does not strand followers
+// or wedge the key.
+func TestDoPanicReleasesWaiters(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		g.Do("p", func() (int, error) {
+			close(started)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		g.Do("p", func() (int, error) { return 0, nil })
+		close(done)
+	}()
+	close(release)
+	<-done // would hang forever if the panic leaked the entry
+
+	v, err, leader := g.Do("p", func() (int, error) { return 5, nil })
+	if v != 5 || err != nil || !leader {
+		t.Fatalf("post-panic call = (%d, %v, %t), want fresh leader", v, err, leader)
+	}
+}
