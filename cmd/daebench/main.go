@@ -32,6 +32,7 @@
 //	         [-csv dir] [-j N] [-cache-dir dir] [-timeout d] [-run-timeout d]
 //	         [-max-steps n] [-degrade off|access|full] [-inject rules] [-v]
 //	         [-engine bytecode|tree] [-opstats] [-cpuprofile f] [-memprofile f]
+//	         [-server url[,url...] [-tenant name]]
 //
 // -engine selects the interpreter execution engine: the register-bytecode VM
 // (default) or the original compiled-op interpreter ("tree"), kept as a
@@ -39,6 +40,13 @@
 // the experiments and instead prints the dynamic op and op-pair histogram of
 // the whole collection, measured on the tree engine; it is the measurement
 // behind the bytecode engine's superinstruction selection.
+//
+// -server collects the traces remotely from a daed server (or cluster:
+// comma-separate the URLs) instead of simulating locally; the experiment
+// tables are computed and rendered client-side from the fetched traces, so
+// the output is byte-identical to a local run of the same flags. A warm
+// server answers from its artifact store without re-simulating. -tenant
+// names the requesting tenant for the server's per-tenant quarantine.
 package main
 
 import (
@@ -55,7 +63,10 @@ import (
 	"strings"
 	"sync"
 
+	"dae/internal/bench"
 	daepass "dae/internal/dae"
+	"dae/internal/daed"
+	"dae/internal/daed/client"
 	"dae/internal/dvfs"
 	"dae/internal/eval"
 	"dae/internal/fault/inject"
@@ -84,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
 	engine := fs.String("engine", "bytecode", "interpreter execution engine: bytecode (register VM) or tree (compiled-op oracle)")
 	opstats := fs.Bool("opstats", false, "print the dynamic op/op-pair histogram of the collection (tree engine) instead of running experiments")
+	serverURL := fs.String("server", "", "collect traces remotely from daed at this base URL; comma-separate for a cluster")
+	tenant := fs.String("tenant", "", "tenant identity sent to the daed server (with -server)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +121,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	engineKind, err := interp.ParseEngine(*engine)
 	if err != nil {
 		return usage(err)
+	}
+	var cl *client.Cluster
+	if *serverURL != "" {
+		for name, set := range map[string]bool{
+			"-cache-dir": *cacheDir != "", "-run-timeout": *runTimeout != 0,
+			"-inject": *injectSpec != "", "-opstats": *opstats,
+		} {
+			if set {
+				fmt.Fprintf(stderr, "daebench: %s configures the local simulation; it has no meaning with -server\n", name)
+				return 2
+			}
+		}
+		cl = client.New(client.Config{Nodes: splitNodes(*serverURL)})
 	}
 
 	// daebench is a short-lived batch process whose footprint is dominated by
@@ -165,9 +191,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Inject = in.Hook()
 		opts.InjectPhase = in.PhaseFunc()
 	}
-	fmt.Fprintf(stderr, "daebench: tracing 7 benchmarks x 3 versions on %d simulated cores (%d workers)...\n",
-		cfg.Cores, effectiveWorkers(*jobs))
-	data, err := eval.CollectAllWith(ctx, cfg, opts)
+	// collect gathers the full trace set — simulated locally or fetched from
+	// the cluster; the refined experiment re-collects with profile-guided
+	// prefetch pruning enabled.
+	collect := func(refine bool) ([]*eval.AppData, error) {
+		if cl != nil {
+			tmpl := daed.TraceRequest{
+				Cores: *cores, Refine: refine, MaxSteps: *maxSteps,
+				Degrade: *degrade, Engine: *engine, TimeoutMs: timeout.Milliseconds(),
+			}
+			return collectRemote(ctx, cl, *tenant, tmpl, effectiveWorkers(*jobs))
+		}
+		o := opts
+		if refine {
+			o.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
+		}
+		return eval.CollectAllWith(ctx, cfg, o)
+	}
+	if cl != nil {
+		fmt.Fprintf(stderr, "daebench: fetching 7 benchmarks x 3 versions from %s...\n", *serverURL)
+	} else {
+		fmt.Fprintf(stderr, "daebench: tracing 7 benchmarks x 3 versions on %d simulated cores (%d workers)...\n",
+			cfg.Cores, effectiveWorkers(*jobs))
+	}
+	data, err := collect(false)
 	if err != nil {
 		return failRuns(stderr, "daebench", err, *verbose)
 	}
@@ -257,9 +304,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// decoupled runs differ, so the shared cache serves the coupled
 			// and manual traces without re-simulation.
 			fmt.Fprintln(stderr, "daebench: re-tracing with profile-refined access versions...")
-			ropts := opts
-			ropts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
-			refined, err := eval.CollectAllWith(ctx, cfg, ropts)
+			refined, err := collect(true)
 			if err != nil {
 				return err
 			}
@@ -347,6 +392,56 @@ func printFailure(stderr io.Writer, prog string, err error, verbose bool) {
 func failRuns(stderr io.Writer, prog string, err error, verbose bool) int {
 	printFailure(stderr, prog, err, verbose)
 	return 1
+}
+
+// collectRemote fetches every benchmark's collected trace set from the daed
+// cluster, preserving the canonical benchmark order so the experiments (and
+// their rendered output) match a local run byte for byte.
+func collectRemote(ctx context.Context, cl *client.Cluster, tenant string, tmpl daed.TraceRequest, workers int) ([]*eval.AppData, error) {
+	apps := bench.Apps()
+	data := make([]*eval.AppData, len(apps))
+	errs := make([]error, len(apps))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			req := tmpl
+			req.App = name
+			resp, err := cl.Trace(ctx, tenant, &req)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			d, err := resp.Data.Decode()
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: decoding trace set: %w", name, err)
+				return
+			}
+			data[i] = d
+		}(i, app.Name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// splitNodes parses a comma-separated -server value into a node list.
+func splitNodes(s string) []string {
+	var nodes []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+	}
+	return nodes
 }
 
 // effectiveWorkers resolves the -j flag's default.

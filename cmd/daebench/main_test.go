@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"dae/internal/daed"
 )
 
 func TestRunBadFlag(t *testing.T) {
@@ -143,5 +146,53 @@ func TestExperimentFailureDoesNotMaskOthers(t *testing.T) {
 		if !strings.Contains(errb.String(), want) {
 			t.Errorf("stderr missing %q:\n%s", want, errb.String())
 		}
+	}
+}
+
+// TestRemoteByteIdentical is the remote-mode acceptance test: daebench
+// -server fetches the trace sets from a daed instance and renders the same
+// experiment tables byte-identically to a local run — one formatter, one
+// trace semantics, with the server's artifact store in between.
+func TestRemoteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects all benchmarks twice")
+	}
+	srv := daed.New(daed.Config{Workers: 2, Dir: t.TempDir()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var local, localErr bytes.Buffer
+	if code := run([]string{"-exp", "table1"}, &local, &localErr); code != 0 {
+		t.Fatalf("local run exit = %d; stderr:\n%s", code, localErr.String())
+	}
+	var remote, remoteErr bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-server", ts.URL}, &remote, &remoteErr); code != 0 {
+		t.Fatalf("remote run exit = %d; stderr:\n%s", code, remoteErr.String())
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatalf("remote stdout differs from local:\nlocal:\n%q\nremote:\n%q",
+			local.String(), remote.String())
+	}
+
+	// A second remote run answers from the warm store, still identically.
+	var warm, warmErr bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-server", ts.URL}, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm remote run exit = %d; stderr:\n%s", code, warmErr.String())
+	}
+	if !bytes.Equal(local.Bytes(), warm.Bytes()) {
+		t.Fatal("warm remote stdout differs from local")
+	}
+}
+
+// TestRemoteRejectsLocalFlags: local-simulation flags have no remote
+// meaning and are usage errors with -server.
+func TestRemoteRejectsLocalFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", "http://localhost:1", "-cache-dir", "/tmp/x"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-cache-dir") {
+		t.Errorf("stderr does not name the offending flag: %q", errb.String())
 	}
 }

@@ -22,7 +22,16 @@
 //
 //	daed [-addr :8787] [-dir path] [-workers n] [-queue-depth n]
 //	     [-run-workers n] [-default-timeout d] [-max-timeout d]
-//	     [-max-run-time d] [-max-steps n]
+//	     [-max-run-time d] [-max-steps n] [-store-max-bytes n]
+//	     [-node url -peers url1,url2 [-replicas r]] [-drain-timeout d]
+//
+// Cluster mode: give every node its own advertised URL (-node) and the
+// other members' URLs (-peers). Content keys shard across the members on a
+// shared consistent-hash ring with replication factor -replicas; nodes
+// proxy requests for keys they do not own, replicate artifacts write-behind,
+// and on SIGTERM drain gracefully — refusing new work with 503 +
+// Retry-After, finishing in-flight requests, and handing hot artifacts to
+// the surviving owners before exit.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,11 +72,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 0, "ceiling on client-requested waits (0 = 5m)")
 	maxRunTime := fs.Duration("max-run-time", 0, "hard bound on one pipeline execution (0 = 10m)")
 	maxSteps := fs.Int64("max-steps", 0, "server-wide interpreter step-budget ceiling per task (0 = no limit)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "disk budget for the artifact store; LRU eviction above it (0 = unbounded)")
+	node := fs.String("node", "", "this node's advertised base URL, e.g. http://10.0.0.1:8787 (cluster mode)")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster members")
+	replicas := fs.Int("replicas", 0, "copies of each artifact across the cluster (0 = 2, clamped to membership)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "daed: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peerList) > 0 && *node == "" {
+		fmt.Fprintln(stderr, "daed: -peers requires -node (this node's advertised URL)")
 		return 2
 	}
 
@@ -79,6 +105,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxTimeout:     *maxTimeout,
 		MaxRunTime:     *maxRunTime,
 		MaxSteps:       *maxSteps,
+		StoreMaxBytes:  *storeMaxBytes,
+		Self:           strings.TrimRight(*node, "/"),
+		Peers:          peerList,
+		Replicas:       *replicas,
 		Log:            log.New(stderr, "", log.LstdFlags),
 	})
 
@@ -91,6 +121,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "daed: serving on http://%s\n", ln.Addr())
 	if *dir != "" {
 		fmt.Fprintf(stdout, "daed: persistent store at %s\n", *dir)
+	}
+	if len(peerList) > 0 {
+		fmt.Fprintf(stdout, "daed: cluster member %s with %d peer(s)\n", *node, len(peerList))
 	}
 
 	done := make(chan error, 1)
@@ -105,11 +138,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: in-flight requests get a grace period, then the
-	// server closes. In-flight pipelines see their request contexts die and
-	// abort through the refcounted flight cancellation.
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful drain: flip /healthz to draining and shed new work with 503 +
+	// Retry-After, finish in-flight requests, then (in cluster mode) hand hot
+	// artifacts to the surviving owners. Only after the drain completes does
+	// the HTTP server itself close. In-flight pipelines whose clients vanish
+	// still abort through the refcounted flight cancellation.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	srv.Drain(shutdownCtx)
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		_ = hs.Close()
 	}

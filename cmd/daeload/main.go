@@ -9,11 +9,19 @@
 // Every request is accounted for: the run fails if any request is lost —
 // the sum of ok + rejected(429) + canceled + failed must equal -n.
 //
+// -server accepts a comma-separated list of nodes; requests then route
+// through the failover-aware cluster client: 429 admission sheds are slept
+// out per the server's Retry-After hint (with seeded jitter) and re-issued
+// — counted as sheds and retries, not losses — and node deaths mid-run
+// cost failovers, not accepted requests. A request is "rejected" only when
+// the shed budget is exhausted.
+//
 // Usage:
 //
-//	daeload -server http://host:port [-n 2000] [-c 128] [-apps CG,FFT,LibQ]
-//	        [-hot 0.9] [-cancel 0] [-inject 0] [-compile 0.05] [-tenants 4]
-//	        [-seed 1] [-timeout-ms 120000] [-json file]
+//	daeload -server http://host:port[,http://host2:port] [-n 2000] [-c 128]
+//	        [-apps CG,FFT,LibQ] [-hot 0.9] [-cancel 0] [-inject 0]
+//	        [-compile 0.05] [-tenants 4] [-seed 1] [-timeout-ms 120000]
+//	        [-json file]
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"dae/internal/daed"
+	"dae/internal/daed/client"
 	"dae/internal/fault"
 )
 
@@ -75,6 +84,13 @@ type summary struct {
 	Throughput float64 `json:"requests_per_second"`
 	P50Ms      float64 `json:"latency_p50_ms"`
 	P99Ms      float64 `json:"latency_p99_ms"`
+	// Sheds/Retries/Failovers come from the cluster client: 429s slept out
+	// and re-issued, and node switches forced by failures. They are
+	// resilience work, not request outcomes — the outcome columns above
+	// still account for every request exactly once.
+	Sheds     int64 `json:"sheds"`
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
 	// Executions is the server-side pipeline execution count over the run;
 	// CollapseRatio is successful requests per execution — how much work
 	// the store and singleflight absorbed.
@@ -85,7 +101,7 @@ type summary struct {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("daeload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	server := fs.String("server", "", "daed server base URL (required)")
+	server := fs.String("server", "", "daed base URL(s), comma-separated for a cluster (required)")
 	n := fs.Int("n", 2000, "total requests to issue")
 	conc := fs.Int("c", 128, "concurrent in-flight requests")
 	appsFlag := fs.String("apps", "CG,FFT,LibQ", "comma-separated benchmark mix")
@@ -112,6 +128,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	for i := range apps {
 		apps[i] = strings.TrimSpace(apps[i])
 	}
+	var nodes []string
+	for _, u := range strings.Split(*server, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+	}
+	cl := client.New(client.Config{Nodes: nodes, BackoffSeed: uint64(*seed)})
 
 	// Build the whole schedule up front from the seed: the same flags
 	// always generate the same traffic.
@@ -153,7 +176,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = issue(ctx, *server, reqs[i])
+				results[i] = issue(ctx, cl, reqs[i])
 			}
 		}()
 	}
@@ -168,7 +191,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	wall := time.Since(start)
 
 	sum := summarize(results, *conc, wall)
-	if st := fetchStats(ctx, *server); st != nil {
+	c := cl.Counters()
+	sum.Sheds, sum.Retries, sum.Failovers = c.Sheds, c.Retries, c.Failovers
+	if st := fetchStats(ctx, cl); st != nil {
 		sum.Executions = st.Executions
 		if st.Executions > 0 {
 			sum.CollapseRatio = float64(sum.OK) / float64(st.Executions)
@@ -193,9 +218,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// issue fires one scheduled request and classifies the outcome.
-func issue(ctx context.Context, server string, r request) result {
-	c := &daed.Client{Base: server, Tenant: r.tenant}
+// issue fires one scheduled request through the cluster client and
+// classifies the outcome. A 429 surfacing here means the client already
+// slept out the shed budget — only then does it count as rejected.
+func issue(ctx context.Context, cl *client.Cluster, r request) result {
 	if r.cancelD > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.cancelD)
@@ -208,13 +234,13 @@ func issue(ctx context.Context, server string, r request) result {
 	)
 	if r.comp != nil {
 		var resp *daed.CompileResponse
-		resp, err = c.Compile(ctx, r.comp)
+		resp, err = cl.Compile(ctx, r.tenant, r.comp)
 		if err == nil {
 			res.storeHit, res.collapsed = resp.CacheHit, resp.Collapsed
 		}
 	} else {
 		var resp *daed.SimulateResponse
-		resp, err = c.Simulate(ctx, r.sim)
+		resp, err = cl.Simulate(ctx, r.tenant, r.sim)
 		if err == nil {
 			res.storeHit, res.collapsed, res.degraded = resp.CacheHit, resp.Collapsed, resp.Degraded
 		}
@@ -270,11 +296,10 @@ func summarize(results []result, conc int, wall time.Duration) *summary {
 	return sum
 }
 
-func fetchStats(ctx context.Context, server string) *daed.StatsSnapshot {
-	c := &daed.Client{Base: server}
+func fetchStats(ctx context.Context, cl *client.Cluster) *daed.StatsSnapshot {
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	st, err := c.Stats(sctx)
+	st, err := cl.Stats(sctx)
 	if err != nil {
 		return nil
 	}
@@ -286,6 +311,7 @@ func report(w io.Writer, server string, s *summary) {
 		s.Requests, s.Concurrent, s.WallSec, server, s.Throughput)
 	fmt.Fprintf(w, "  ok %d (store-hits %d, collapsed %d, degraded %d)  rejected(429) %d  canceled %d  failed %d\n",
 		s.OK, s.StoreHits, s.Collapsed, s.Degraded, s.Rejected, s.Canceled, s.Failed)
+	fmt.Fprintf(w, "  sheds %d  retries %d  failovers %d\n", s.Sheds, s.Retries, s.Failovers)
 	fmt.Fprintf(w, "  latency p50 %.2fms  p99 %.2fms\n", s.P50Ms, s.P99Ms)
 	if s.Executions > 0 {
 		fmt.Fprintf(w, "  server executions %d — singleflight/store collapse %.1fx\n",

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dae/internal/daed"
@@ -93,5 +95,57 @@ func TestLoadAgainstServer(t *testing.T) {
 		"-hot", "0.8", "-cancel", "0.05", "-inject", "0.05", "-seed", "7",
 	}, &out2, &errb2); code != 0 {
 		t.Fatalf("second run exit = %d; stderr:\n%s", code, errb2.String())
+	}
+}
+
+// TestShedIsRetriedNotRejected: a 429 with a Retry-After hint is slept out
+// and re-issued by the cluster client — the request ends ok, counted as a
+// shed + retry, and "rejected" stays zero because the shed budget was never
+// exhausted.
+func TestShedIsRetriedNotRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a load run")
+	}
+	srv := daed.New(daed.Config{Workers: 2})
+	var shedOnce atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/simulate" && shedOnce.CompareAndSwap(false, true) {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(&daed.ErrorResponse{
+				Error: "saturated", Class: "saturated", RetryAfterMs: 5,
+			})
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-server", ts.URL, "-n", "8", "-c", "2", "-apps", "CG",
+		"-hot", "1", "-seed", "3", "-json", jsonPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("json summary: %v", err)
+	}
+	var sum summary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		t.Fatalf("json summary: %v", err)
+	}
+	if sum.OK != 8 || sum.Rejected != 0 {
+		t.Errorf("ok = %d, rejected = %d; want 8 ok, 0 rejected", sum.OK, sum.Rejected)
+	}
+	if sum.Sheds < 1 || sum.Retries < 1 {
+		t.Errorf("sheds = %d, retries = %d; want >= 1 each", sum.Sheds, sum.Retries)
+	}
+	if !strings.Contains(out.String(), "sheds") {
+		t.Errorf("report missing the sheds column:\n%s", out.String())
 	}
 }

@@ -32,7 +32,10 @@
 // simulating locally: the report is byte-identical to a local run of the
 // same flags (one formatter renders both), but a warm server answers from
 // its content-addressed artifact store without re-simulating. -tenant names
-// the requesting tenant for the server's per-tenant quarantine.
+// the requesting tenant for the server's per-tenant quarantine. -server
+// accepts a comma-separated node list; requests then route through the
+// failover-aware cluster client, so a dead or draining node costs a
+// failover, not the run.
 package main
 
 import (
@@ -48,6 +51,7 @@ import (
 	"dae/internal/bench"
 	daepass "dae/internal/dae"
 	"dae/internal/daed"
+	"dae/internal/daed/client"
 	"dae/internal/dvfs"
 	"dae/internal/eval"
 	"dae/internal/fault"
@@ -77,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	injectSpec := fs.String("inject", "", "fault-injection rules, \"site,app,kind,task,mode[,trap]\" separated by ';' (testing)")
 	verbose := fs.Bool("v", false, "verbose failure reports (include captured panic stacks)")
 	engine := fs.String("engine", "bytecode", "interpreter execution engine: bytecode (register VM) or tree (compiled-op oracle)")
-	serverURL := fs.String("server", "", "evaluate remotely against the daed server at this base URL (e.g. http://127.0.0.1:8787)")
+	serverURL := fs.String("server", "", "evaluate remotely against daed at this base URL; comma-separate for a cluster")
 	tenant := fs.String("tenant", "", "tenant identity sent to the daed server (with -server)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -204,13 +208,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runRemote evaluates the benchmark against a daed server. The printed
-// report is byte-identical to the local simulation's: the server renders
-// with the same eval.FormatRunReport the local path uses.
+// runRemote evaluates the benchmark against a daed server or cluster. The
+// printed report is byte-identical to the local simulation's: the server
+// renders with the same eval.FormatRunReport the local path uses.
 func runRemote(ctx context.Context, base, tenant string, req *daed.SimulateRequest, stdout, stderr io.Writer) int {
-	c := &daed.Client{Base: base, Tenant: tenant}
+	cl := client.New(client.Config{Nodes: splitNodes(base)})
 	fmt.Fprintf(stdout, "tracing %s on %d cores (coupled, manual DAE, compiler DAE)...\n", req.App, coresOrDefault(req.Cores))
-	resp, err := c.Simulate(ctx, req)
+	resp, err := cl.Simulate(ctx, tenant, req)
 	if err != nil {
 		var re *daed.RemoteError
 		if errors.As(err, &re) && re.Saturated() {
@@ -236,6 +240,17 @@ func runRemote(ctx context.Context, base, tenant string, req *daed.SimulateReque
 		return 3
 	}
 	return 0
+}
+
+// splitNodes parses a comma-separated -server value into a node list.
+func splitNodes(s string) []string {
+	var nodes []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+	}
+	return nodes
 }
 
 // coresOrDefault mirrors the server's defaulting for the progress line.

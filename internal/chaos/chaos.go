@@ -88,6 +88,11 @@ type Config struct {
 	// per-tenant quarantine isolation, and worker-slot recovery. Optional for
 	// the same reason as CacheSoak.
 	ServerSoak bool
+	// ClusterSoak additionally runs the network-chaos cluster drill: a
+	// 3-node replicated daed cluster behind chaosnet fault-injecting proxies,
+	// with one node hard-killed mid-run — zero accepted requests lost,
+	// byte-identical answers across failover, tenant isolation intact.
+	ClusterSoak bool
 	// Log, when non-nil, receives one progress line per scenario class.
 	Log func(format string, args ...any)
 }
@@ -102,12 +107,13 @@ type Report struct {
 	Quarantines  int // total task types quarantined across iterations
 	CacheRuns    int // cache-corruption scenarios exercised
 	ServerRuns   int // daed service-path scenarios exercised
+	ClusterRuns  int // network-chaos cluster drills exercised
 }
 
 // String renders the report as one line.
 func (r *Report) String() string {
-	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs, %d server runs",
-		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns, r.ServerRuns)
+	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs, %d server runs, %d cluster runs",
+		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns, r.ServerRuns, r.ClusterRuns)
 }
 
 // scenario is the fault shape of one iteration.
@@ -321,6 +327,13 @@ func Soak(cfg Config) (*Report, error) {
 			}
 			rep.ServerRuns++
 			logf("chaos: server-path scenario ok")
+		}
+		if cfg.ClusterSoak && rep.ClusterRuns == 0 && (iters > 0 && it == cacheAt%iters || iters <= 0 && it == 0) {
+			if err := clusterScenario(cfg.Seed, iterTimeout); err != nil {
+				return rep, fmt.Errorf("seed %d cluster scenario: %w", cfg.Seed, err)
+			}
+			rep.ClusterRuns++
+			logf("chaos: cluster network-chaos scenario ok")
 		}
 	}
 	return rep, nil

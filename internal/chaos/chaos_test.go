@@ -80,6 +80,7 @@ func TestSoakTimed(t *testing.T) {
 		IterTimeout: 60 * time.Second,
 		CacheSoak:   true,
 		ServerSoak:  true,
+		ClusterSoak: true,
 		Log:         t.Logf,
 	})
 	if err != nil {
@@ -94,6 +95,22 @@ func TestSoakTimed(t *testing.T) {
 	if rep.ServerRuns != 1 {
 		t.Errorf("server-path scenario ran %d times, want 1", rep.ServerRuns)
 	}
+	if rep.ClusterRuns != 1 {
+		t.Errorf("cluster network-chaos scenario ran %d times, want 1", rep.ClusterRuns)
+	}
 	checkGoroutines(t, before)
 	t.Log(rep.String())
+}
+
+// TestClusterScenario runs the network-chaos cluster drill directly: a
+// 3-node replicated daed cluster behind chaosnet proxies, one node killed
+// mid-run, zero accepted requests lost and byte-identical answers across
+// failover.
+func TestClusterScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-node cluster and runs pipeline executions")
+	}
+	if err := clusterScenario(13, 30*time.Second); err != nil {
+		t.Fatalf("cluster drill invariant violation: %v", err)
+	}
 }

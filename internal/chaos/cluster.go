@@ -1,0 +1,156 @@
+// Cluster chaos: the network-level soak scenario. Three in-process daed
+// nodes form a replicated cluster; every client byte crosses a chaosnet
+// proxy that injects latency, resets, and truncations on a seeded schedule;
+// and one node is hard-killed mid-run. The scenario asserts the cluster's
+// contract under all of it: every accepted request is answered, answers for
+// one key are byte-identical no matter which node (or failover path) served
+// them, and tenant quarantine isolation survives both the wire faults and
+// the node death.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"dae/internal/chaosnet"
+	"dae/internal/daed"
+	"dae/internal/daed/client"
+	"dae/internal/daed/ring"
+)
+
+// clusterScenario runs the network-chaos cluster drill once. seed drives the
+// chaosnet fault schedules and the client's backoff jitter, so one seed
+// replays one exact drill.
+func clusterScenario(seed int64, iterTimeout time.Duration) (err error) {
+	const nNodes = 3
+	dir, err := os.MkdirTemp("", "chaos-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Boot the cluster on direct loopback URLs: peer replication and proxying
+	// run on the clean wire, the chaos sits between the clients and the
+	// cluster where the network actually fails.
+	lns := make([]net.Listener, nNodes)
+	direct := make([]string, nNodes)
+	for i := range lns {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return lerr
+		}
+		lns[i] = ln
+		direct[i] = "http://" + ln.Addr().String()
+	}
+	srvs := make([]*daed.Server, nNodes)
+	hss := make([]*http.Server, nNodes)
+	for i := range srvs {
+		var peers []string
+		for j, u := range direct {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		srvs[i] = daed.New(daed.Config{
+			Workers: 2, Dir: fmt.Sprintf("%s/node%d", dir, i),
+			Self: direct[i], Peers: peers, Replicas: 2,
+		})
+		hss[i] = &http.Server{Handler: srvs[i]}
+		go hss[i].Serve(lns[i])
+		defer hss[i].Close()
+	}
+
+	// One chaos proxy per node. The forced cycle keeps the schedule an exact
+	// function of the connection order: mostly clean, with latency, an RST,
+	// and a truncation recurring — every fault the failover client must
+	// absorb without losing a request.
+	cycle := []chaosnet.Fault{
+		chaosnet.Pass, chaosnet.Pass, chaosnet.Latency, chaosnet.Pass,
+		chaosnet.Reset, chaosnet.Pass, chaosnet.Pass, chaosnet.Truncate,
+	}
+	proxies := make([]*chaosnet.Proxy, nNodes)
+	proxyURLs := make([]string, nNodes)
+	for i := range proxies {
+		p, perr := chaosnet.New(chaosnet.Config{
+			Target: lns[i].Addr().String(), Seed: uint64(seed) + uint64(i),
+			Force: cycle, Latency: 5 * time.Millisecond, TruncateAfter: 256,
+		})
+		if perr != nil {
+			return perr
+		}
+		proxies[i] = p
+		defer p.Close()
+		proxyURLs[i] = p.URL()
+	}
+
+	cl := client.New(client.Config{
+		Nodes: proxyURLs, BackoffBase: 5 * time.Millisecond,
+		Probation: 100 * time.Millisecond, FailureThreshold: 2,
+		BackoffSeed: uint64(seed) | 1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 4*iterTimeout)
+	defer cancel()
+
+	hot := &daed.SimulateRequest{App: "CG"}
+	ref, err := cl.Simulate(ctx, "clean", hot)
+	if err != nil {
+		return fmt.Errorf("chaos: cluster reference request: %w", err)
+	}
+
+	// Kill the client's first-choice node for the hot key (the client ring
+	// hashes the proxy URLs), once half the drill has run: every later
+	// request must fail over off a dead preference head, and replication
+	// guarantees the survivors can still answer — whether or not the dead
+	// node was also the artifact's storage primary.
+	key, err := hot.Key()
+	if err != nil {
+		return err
+	}
+	victim := 0
+	head := ring.New(proxyURLs, 0, daed.DefaultRingSeed).Primary(key)
+	for i, u := range proxyURLs {
+		if u == head {
+			victim = i
+		}
+	}
+
+	const drill = 24
+	for i := 0; i < drill; i++ {
+		if i == drill/2 {
+			hss[victim].Close()
+			proxies[victim].Close()
+		}
+		if i%6 == 3 {
+			// A poisoned tenant: the injected access fault must degrade this
+			// tenant's request and only this tenant's.
+			resp, err := cl.Simulate(ctx, "chaos-tenant", &daed.SimulateRequest{
+				App: "CG", Inject: "access-phase,CG,compiler-dae,,trap!",
+			})
+			if err != nil {
+				return fmt.Errorf("chaos: cluster injected request %d lost: %w", i, err)
+			}
+			if !resp.Degraded || len(resp.Quarantined) == 0 {
+				return fmt.Errorf("chaos: cluster injected request %d not quarantined", i)
+			}
+			continue
+		}
+		resp, err := cl.Simulate(ctx, "clean", hot)
+		if err != nil {
+			return fmt.Errorf("chaos: cluster request %d lost (accepted work must survive faults): %w", i, err)
+		}
+		if resp.Report != ref.Report {
+			return fmt.Errorf("chaos: cluster request %d diverged from the reference report", i)
+		}
+		if resp.Degraded {
+			return fmt.Errorf("chaos: tenant poison leaked into clean request %d", i)
+		}
+	}
+	if got := cl.Counters(); got.Failovers == 0 {
+		return fmt.Errorf("chaos: cluster drill recorded no failovers despite injected faults and a dead node: %+v", got)
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Package chaosnet is an in-process TCP fault-injection proxy: it sits
+// between a client and a real listener and injects the network's failure
+// modes — added latency, connection resets, blackholes, slow-loris drip,
+// truncated responses — on a seeded per-connection schedule. Tests wrap a
+// daed node's listener in a Proxy and point clients at the proxy address;
+// the node under test is untouched, the wire between it and its clients
+// misbehaves deterministically.
+//
+// Faults are chosen per accepted connection by a seeded xorshift PRNG, so a
+// chaos scenario replays the exact same fault sequence for the same seed —
+// the property that lets ClusterSoak run in CI. A Proxy can also be
+// Partition()ed (every new connection refused, established ones reset) and
+// healed, modeling a node falling off the network without killing it.
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injectable network failure mode.
+type Fault int
+
+const (
+	// Pass forwards the connection untouched.
+	Pass Fault = iota
+	// Latency delays every chunk in both directions.
+	Latency
+	// Reset forcibly resets the connection (RST, not FIN) after a few
+	// forwarded bytes — the client sees ECONNRESET mid-exchange.
+	Reset
+	// Blackhole reads the request and never answers: the client hangs
+	// until its own deadline fires.
+	Blackhole
+	// SlowLoris forwards the response one small chunk at a time with long
+	// pauses — enough progress to defeat naive liveness checks, too slow
+	// to finish inside a sane deadline.
+	SlowLoris
+	// Truncate forwards a prefix of the response, then closes — the client
+	// sees a syntactically broken payload (io.ErrUnexpectedEOF territory).
+	Truncate
+	numFaults
+)
+
+// String names the fault for logs.
+func (f Fault) String() string {
+	switch f {
+	case Pass:
+		return "pass"
+	case Latency:
+		return "latency"
+	case Reset:
+		return "reset"
+	case Blackhole:
+		return "blackhole"
+	case SlowLoris:
+		return "slow-loris"
+	case Truncate:
+		return "truncate"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures a Proxy.
+type Config struct {
+	// Target is the real listener's address (host:port).
+	Target string
+	// Seed drives the per-connection fault schedule.
+	Seed uint64
+	// FaultRate is the fraction of connections (scaled by 1000: 250 =
+	// 25.0%) that receive a non-Pass fault; 0 means 250, negative means
+	// never (a transparent proxy). The fault kind itself is drawn uniformly
+	// from the non-Pass modes.
+	FaultRate int
+	// Latency is the per-chunk delay of the Latency fault; 0 means 20ms.
+	Latency time.Duration
+	// SlowChunk is the slow-loris chunk size; 0 means 64 bytes.
+	SlowChunk int
+	// SlowPause is the slow-loris inter-chunk pause; 0 means 200ms.
+	SlowPause time.Duration
+	// TruncateAfter is how many response bytes the Truncate fault forwards
+	// before closing; 0 means 128.
+	TruncateAfter int
+	// Log, when non-nil, receives one line per injected fault.
+	Log func(format string, args ...any)
+	// Force, when non-empty, overrides the seeded schedule entirely: the
+	// proxy cycles through the listed faults connection by connection.
+	// Tests use it to pin one failure mode.
+	Force []Fault
+}
+
+// Proxy is a fault-injecting TCP forwarder. Create with New, point clients
+// at Addr(), Close when done.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu          sync.Mutex
+	rng         uint64
+	partitioned bool
+	conns       map[net.Conn]struct{} // live client conns, for Partition/Close
+
+	accepted atomic.Int64
+	injected atomic.Int64
+	forceIdx atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to cfg.Target.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.FaultRate == 0 {
+		cfg.FaultRate = 250
+	}
+	if cfg.FaultRate < 0 {
+		cfg.FaultRate = 0
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 20 * time.Millisecond
+	}
+	if cfg.SlowChunk <= 0 {
+		cfg.SlowChunk = 64
+	}
+	if cfg.SlowPause <= 0 {
+		cfg.SlowPause = 200 * time.Millisecond
+	}
+	if cfg.TruncateAfter <= 0 {
+		cfg.TruncateAfter = 128
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		rng:   cfg.Seed | 1, // xorshift must not start at 0
+		conns: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address for clients.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's base URL for HTTP clients.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Accepted reports how many connections the proxy accepted.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// Injected reports how many connections received a non-Pass fault.
+func (p *Proxy) Injected() int64 { return p.injected.Load() }
+
+// Partition simulates the node falling off the network: new connections
+// are reset on accept and every established connection is torn down.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	for c := range p.conns {
+		reset(c)
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// Heal ends a Partition.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// Close stops the proxy and tears down every live connection.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// next draws from the seeded xorshift64 stream.
+func (p *Proxy) next() uint64 {
+	p.mu.Lock()
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	p.mu.Unlock()
+	return x
+}
+
+// pick decides this connection's fault.
+func (p *Proxy) pick() Fault {
+	if len(p.cfg.Force) > 0 {
+		i := int(p.forceIdx.Add(1) - 1)
+		return p.cfg.Force[i%len(p.cfg.Force)]
+	}
+	r := p.next()
+	if int(r%1000) >= p.cfg.FaultRate {
+		return Pass
+	}
+	return Fault(1 + p.next()%uint64(numFaults-1))
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.accepted.Add(1)
+		p.mu.Lock()
+		part := p.partitioned
+		if !part {
+			p.conns[c] = struct{}{}
+		}
+		p.mu.Unlock()
+		if part {
+			reset(c)
+			continue
+		}
+		p.wg.Add(1)
+		go p.serve(c)
+	}
+}
+
+// forget drops a finished connection from the live set.
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// reset closes a TCP connection with an RST instead of a graceful FIN, so
+// the peer observes ECONNRESET — the signature of a crashed process.
+func reset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// serve handles one client connection under its chosen fault.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	fault := p.pick()
+	if fault != Pass {
+		p.injected.Add(1)
+		p.cfg.Log("chaosnet: %s -> %s: injecting %s", client.RemoteAddr(), p.cfg.Target, fault)
+	}
+	upstream, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		reset(client)
+		return
+	}
+	defer upstream.Close()
+	defer client.Close()
+
+	switch fault {
+	case Reset:
+		// Let a few request bytes through so the failure lands mid-exchange,
+		// then slam the door.
+		io.CopyN(upstream, client, int64(16+p.next()%64))
+		reset(client)
+		return
+	case Blackhole:
+		// Consume the request, answer nothing; hold until the client goes
+		// away (its read returns) or the proxy closes.
+		io.Copy(io.Discard, client)
+		return
+	default:
+	}
+
+	done := make(chan struct{}, 2)
+	// Upstream direction: requests forward unmodified (Latency delays both
+	// directions below via the response path being the slow one that
+	// matters; request chunks get the same treatment for symmetry).
+	go func() {
+		p.pipe(upstream, client, fault, true)
+		// Half-close toward the server so it sees EOF on a streaming body.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		p.pipe(client, upstream, fault, false)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// pipe forwards src to dst under the fault's traffic shaping. request marks
+// the client→server direction.
+func (p *Proxy) pipe(dst io.Writer, src io.Reader, fault Fault, request bool) {
+	switch fault {
+	case Latency:
+		buf := make([]byte, 4096)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				time.Sleep(p.cfg.Latency)
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	case SlowLoris:
+		if request {
+			io.Copy(dst, src)
+			return
+		}
+		buf := make([]byte, p.cfg.SlowChunk)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				time.Sleep(p.cfg.SlowPause)
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	case Truncate:
+		if request {
+			io.Copy(dst, src)
+			return
+		}
+		if _, err := io.CopyN(dst, src, int64(p.cfg.TruncateAfter)); err != nil && !errors.Is(err, io.EOF) {
+			return
+		}
+		// Reset the client side so the truncation is abrupt, not a clean FIN
+		// that HTTP might mistake for end-of-body.
+		if c, ok := dst.(net.Conn); ok {
+			reset(c)
+		}
+	default:
+		io.Copy(dst, src)
+	}
+}

@@ -1,0 +1,177 @@
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dae/internal/fault"
+)
+
+// backend starts a plain HTTP server answering every request with body.
+func backend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// proxyFor wraps the backend in a proxy with a forced fault cycle.
+func proxyFor(t *testing.T, ts *httptest.Server, cfg Config, forced ...Fault) *Proxy {
+	t.Helper()
+	cfg.Target = strings.TrimPrefix(ts.URL, "http://")
+	cfg.Force = forced
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// get issues one HTTP GET through the proxy with a client-side timeout.
+func get(p *Proxy, timeout time.Duration) (string, error) {
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(p.URL())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestPassThrough: a transparent proxy (negative FaultRate) forwards
+// byte-identically.
+func TestPassThrough(t *testing.T) {
+	ts := backend(t, "hello through the proxy")
+	p := proxyFor(t, ts, Config{Seed: 1, FaultRate: -1})
+	body, err := get(p, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "hello through the proxy" {
+		t.Fatalf("body = %q", body)
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("transparent proxy injected %d faults", p.Injected())
+	}
+}
+
+// TestReset: a reset connection surfaces as a retryable transport error
+// under the fault taxonomy — exactly what the cluster client needs to see
+// to fail over.
+func TestReset(t *testing.T) {
+	ts := backend(t, "never delivered")
+	p := proxyFor(t, ts, Config{Seed: 1}, Reset)
+	_, err := get(p, 2*time.Second)
+	if err == nil {
+		t.Fatal("reset connection produced a clean response")
+	}
+	cerr := fault.ClassifyTransport(err)
+	if !errors.Is(cerr, fault.ErrTransport) {
+		t.Fatalf("reset classified as %v, want transport", cerr)
+	}
+	if !fault.IsRetryable(cerr) {
+		t.Fatal("transport error not marked retryable")
+	}
+}
+
+// TestBlackhole: the client hangs until its own deadline.
+func TestBlackhole(t *testing.T) {
+	ts := backend(t, "swallowed")
+	p := proxyFor(t, ts, Config{Seed: 1}, Blackhole)
+	start := time.Now()
+	_, err := get(p, 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("blackholed request completed")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("failed after %v — blackhole answered instead of hanging", elapsed)
+	}
+}
+
+// TestTruncate: a truncated response is a transport-level failure, not a
+// short-but-clean body.
+func TestTruncate(t *testing.T) {
+	ts := backend(t, strings.Repeat("x", 64<<10))
+	p := proxyFor(t, ts, Config{Seed: 1, TruncateAfter: 256}, Truncate)
+	body, err := get(p, 2*time.Second)
+	if err == nil && len(body) == 64<<10 {
+		t.Fatal("truncated response arrived complete")
+	}
+}
+
+// TestSlowLoris: the response drips too slowly to finish inside the
+// client's deadline.
+func TestSlowLoris(t *testing.T) {
+	ts := backend(t, strings.Repeat("y", 8<<10))
+	p := proxyFor(t, ts, Config{Seed: 1, SlowChunk: 64, SlowPause: 80 * time.Millisecond}, SlowLoris)
+	_, err := get(p, 250*time.Millisecond)
+	if err == nil {
+		t.Fatal("slow-loris response completed inside the deadline")
+	}
+}
+
+// TestLatency: the injected delay is observable end to end.
+func TestLatency(t *testing.T) {
+	ts := backend(t, "delayed")
+	p := proxyFor(t, ts, Config{Seed: 1, Latency: 60 * time.Millisecond}, Latency)
+	start := time.Now()
+	body, err := get(p, 5*time.Second)
+	if err != nil || body != "delayed" {
+		t.Fatalf("latency fault corrupted the exchange: %q, %v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("roundtrip took %v, injected latency is 60ms", elapsed)
+	}
+}
+
+// TestPartitionAndHeal: a partitioned proxy refuses everything; healing
+// restores service without restarting anything.
+func TestPartitionAndHeal(t *testing.T) {
+	ts := backend(t, "reachable")
+	p := proxyFor(t, ts, Config{Seed: 1, FaultRate: -1})
+	if _, err := get(p, time.Second); err != nil {
+		t.Fatalf("pre-partition request failed: %v", err)
+	}
+	p.Partition()
+	if _, err := get(p, time.Second); err == nil {
+		t.Fatal("request crossed a partition")
+	}
+	p.Heal()
+	body, err := get(p, time.Second)
+	if err != nil || body != "reachable" {
+		t.Fatalf("post-heal request: %q, %v", body, err)
+	}
+}
+
+// TestDeterministicSchedule: the fault schedule is a pure function of the
+// seed.
+func TestDeterministicSchedule(t *testing.T) {
+	mk := func() *Proxy {
+		return &Proxy{cfg: Config{FaultRate: 500}, rng: 42 | 1}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		if fa, fb := a.pick(), b.pick(); fa != fb {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, fa, fb)
+		}
+	}
+	c := &Proxy{cfg: Config{FaultRate: 500}, rng: 43 | 1}
+	same := true
+	for i := 0; i < 50; i++ {
+		if a.pick() != c.pick() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

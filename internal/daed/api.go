@@ -124,6 +124,18 @@ func (req *SimulateRequest) plan() (*simPlan, error) {
 	return p, nil
 }
 
+// Key returns the request's content key — the same key the server plans,
+// so cluster clients can route a request to the ring owners that likely
+// hold its artifact. Invalid requests return an error (the server would
+// reject them with 400 anyway).
+func (req *SimulateRequest) Key() (string, error) {
+	p, err := req.plan()
+	if err != nil {
+		return "", err
+	}
+	return p.key, nil
+}
+
 // timeout resolves the request's wait deadline against the server default
 // and ceiling.
 func (req *SimulateRequest) timeout(def, max time.Duration) time.Duration {
@@ -190,6 +202,9 @@ type CompileRequest struct {
 func (req *CompileRequest) compileKey() string {
 	return fmt.Sprintf("compile/v1;app=%s;refine=%t", req.App, req.Refine)
 }
+
+// Key returns the request's content key (see SimulateRequest.Key).
+func (req *CompileRequest) Key() (string, error) { return req.compileKey(), nil }
 
 func (req *CompileRequest) timeout(def, max time.Duration) time.Duration {
 	d := def

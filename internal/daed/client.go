@@ -103,6 +103,15 @@ func (c *Client) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 	return &resp, nil
 }
 
+// Trace fetches one app's collected trace set from the server.
+func (c *Client) Trace(ctx context.Context, req *TraceRequest) (*TraceResponse, error) {
+	var resp TraceResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/trace", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Compile runs one compile request against the server.
 func (c *Client) Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
 	var resp CompileResponse

@@ -1,0 +1,259 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dae/internal/daed"
+)
+
+// fakeNode is a scripted daed stand-in: a handler that answers /v1/simulate
+// according to a swappable per-request script and counts hits.
+type fakeNode struct {
+	ts      *httptest.Server
+	hits    atomic.Int64
+	handler atomic.Value // func(n int, w http.ResponseWriter, r *http.Request)
+}
+
+func newFakeNode(t *testing.T, handler func(n int, w http.ResponseWriter, r *http.Request)) *fakeNode {
+	t.Helper()
+	f := &fakeNode{}
+	f.handler.Store(handler)
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(f.hits.Add(1))
+		f.handler.Load().(func(int, http.ResponseWriter, *http.Request))(n, w, r)
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeNode) set(handler func(n int, w http.ResponseWriter, r *http.Request)) {
+	f.handler.Store(handler)
+}
+
+// primaryFor returns the fake node that is first in the cluster's
+// preference order for req's key — the node a failure test must sabotage
+// for the failover path to be exercised deterministically.
+func primaryFor(t *testing.T, cl *Cluster, req *daed.SimulateRequest, nodes ...*fakeNode) *fakeNode {
+	t.Helper()
+	key, err := req.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cl.prefs(key)[0].url
+	for _, n := range nodes {
+		if n.ts.URL == first {
+			return n
+		}
+	}
+	t.Fatalf("no fake node matches primary %s", first)
+	return nil
+}
+
+func okSim(w http.ResponseWriter, report string) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&daed.SimulateResponse{App: "CG", Report: report})
+}
+
+func simReq() *daed.SimulateRequest { return &daed.SimulateRequest{App: "CG", Cores: 2} }
+
+func testConfig(nodes ...string) Config {
+	return Config{
+		Nodes:            nodes,
+		FailureThreshold: 2,
+		Probation:        50 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffSeed:      7,
+	}
+}
+
+// TestFailoverOnNodeDeath: with one node hard-closed, every request still
+// succeeds via the survivors, and the dead node is ejected after its
+// failure threshold instead of being dialed forever.
+func TestFailoverOnNodeDeath(t *testing.T) {
+	alive := func(n int, w http.ResponseWriter, r *http.Request) { okSim(w, "report") }
+	a, b, c := newFakeNode(t, alive), newFakeNode(t, alive), newFakeNode(t, alive)
+	cl := New(testConfig(a.ts.URL, b.ts.URL, c.ts.URL))
+	ctx := context.Background()
+
+	// SIGKILL stand-in: close the key's primary, so every request must fail
+	// over. Connections are refused from here on.
+	primaryFor(t, cl, simReq(), a, b, c).ts.Close()
+	for i := 0; i < 12; i++ {
+		resp, err := cl.Simulate(ctx, "t", simReq())
+		if err != nil {
+			t.Fatalf("request %d lost after node death: %v", i, err)
+		}
+		if resp.Report != "report" {
+			t.Fatalf("request %d: wrong payload %q", i, resp.Report)
+		}
+	}
+	got := cl.Counters()
+	if got.Failovers == 0 {
+		t.Fatalf("no failovers recorded despite a dead node: %+v", got)
+	}
+	if got.Ejections == 0 {
+		t.Fatalf("dead node was never ejected: %+v", got)
+	}
+}
+
+// TestShedBackoffHonorsRetryAfter: a 429 with a Retry-After hint is slept
+// out (with jitter) and the request re-issued to the same node — counted as
+// a shed + retry, never as loss or failover.
+func TestShedBackoffHonorsRetryAfter(t *testing.T) {
+	const hintMs = 30
+	n := newFakeNode(t, func(hit int, w http.ResponseWriter, r *http.Request) {
+		if hit == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(&daed.ErrorResponse{
+				Error: "saturated", Class: "saturated", RetryAfterMs: hintMs,
+			})
+			return
+		}
+		okSim(w, "after-shed")
+	})
+	cl := New(testConfig(n.ts.URL))
+	start := time.Now()
+	resp, err := cl.Simulate(context.Background(), "t", simReq())
+	if err != nil {
+		t.Fatalf("shed request failed: %v", err)
+	}
+	if resp.Report != "after-shed" {
+		t.Fatalf("wrong payload %q", resp.Report)
+	}
+	if elapsed := time.Since(start); elapsed < hintMs*time.Millisecond {
+		t.Fatalf("retried after %v, before the %dms hint elapsed", elapsed, hintMs)
+	}
+	got := cl.Counters()
+	if got.Sheds != 1 || got.Retries != 1 || got.Failovers != 0 {
+		t.Fatalf("counters = %+v, want 1 shed, 1 retry, 0 failovers", got)
+	}
+}
+
+// TestEjectionAndProbation: a persistently failing node is ejected after
+// FailureThreshold consecutive failures, skipped while on probation, and
+// probed again after probation expires.
+func TestEjectionAndProbation(t *testing.T) {
+	ok := func(hit int, w http.ResponseWriter, r *http.Request) { okSim(w, "ok") }
+	n1, n2 := newFakeNode(t, ok), newFakeNode(t, ok)
+	cl := New(testConfig(n1.ts.URL, n2.ts.URL))
+	ctx := context.Background()
+	bad := primaryFor(t, cl, simReq(), n1, n2)
+	bad.set(func(hit int, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Simulate(ctx, "t", simReq()); err != nil {
+			t.Fatalf("request %d failed despite a healthy peer: %v", i, err)
+		}
+	}
+	hitsBeforeProbation := bad.hits.Load()
+	// At most FailureThreshold hits before ejection; while ejected the bad
+	// node must not be dialed (the healthy peer absorbs everything).
+	if hitsBeforeProbation > 2 {
+		t.Fatalf("ejected node was dialed %d times, threshold is 2", hitsBeforeProbation)
+	}
+	if cl.Counters().Ejections != 1 {
+		t.Fatalf("ejections = %d, want 1", cl.Counters().Ejections)
+	}
+	time.Sleep(60 * time.Millisecond) // probation (50ms) expires
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Simulate(ctx, "t", simReq()); err != nil {
+			t.Fatalf("post-probation request failed: %v", err)
+		}
+	}
+	if bad.hits.Load() == hitsBeforeProbation {
+		t.Fatal("node was never probed after probation expired")
+	}
+}
+
+// TestDrainingNodeIsEjectedImmediately: a 503 draining response ejects the
+// node at once — no threshold — and the request fails over.
+func TestDrainingNodeIsEjectedImmediately(t *testing.T) {
+	ok := func(hit int, w http.ResponseWriter, r *http.Request) { okSim(w, "ok") }
+	n1, n2 := newFakeNode(t, ok), newFakeNode(t, ok)
+	cl := New(testConfig(n1.ts.URL, n2.ts.URL))
+	draining := primaryFor(t, cl, simReq(), n1, n2)
+	draining.set(func(hit int, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(&daed.ErrorResponse{Error: "daed: draining", Class: "draining"})
+	})
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Simulate(context.Background(), "t", simReq()); err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	got := cl.Counters()
+	if got.Ejections != 1 {
+		t.Fatalf("ejections = %d, want exactly 1 (immediate on draining)", got.Ejections)
+	}
+	if draining.hits.Load() > 1 {
+		t.Fatalf("draining node dialed %d times, want 1", draining.hits.Load())
+	}
+}
+
+// TestClientErrorIsTerminal: a 4xx is the request's own fault; no failover,
+// no node penalty.
+func TestClientErrorIsTerminal(t *testing.T) {
+	ok := func(hit int, w http.ResponseWriter, r *http.Request) { okSim(w, "ok") }
+	a, b := newFakeNode(t, ok), newFakeNode(t, ok)
+	cl := New(testConfig(a.ts.URL, b.ts.URL))
+	primaryFor(t, cl, simReq(), a, b).set(func(hit int, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(&daed.ErrorResponse{Error: "bad request", Class: "parse"})
+	})
+	_, err := cl.Simulate(context.Background(), "t", simReq())
+	var re *daed.RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the 400 RemoteError", err)
+	}
+	if got := cl.Counters(); got.Failovers != 0 {
+		t.Fatalf("4xx caused failover: %+v", got)
+	}
+	if a.hits.Load()+b.hits.Load() != 1 {
+		t.Fatalf("4xx was retried: %d+%d dials", a.hits.Load(), b.hits.Load())
+	}
+}
+
+// TestAllNodesDownReturnsTransportError: when the whole cluster is gone the
+// client gives up with the last transport error after bounded rounds.
+func TestAllNodesDownReturnsTransportError(t *testing.T) {
+	a := newFakeNode(t, func(hit int, w http.ResponseWriter, r *http.Request) {})
+	b := newFakeNode(t, func(hit int, w http.ResponseWriter, r *http.Request) {})
+	a.ts.Close()
+	b.ts.Close()
+	cl := New(testConfig(a.ts.URL, b.ts.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cl.Simulate(ctx, "t", simReq()); err == nil {
+		t.Fatal("request against a fully-dead cluster succeeded")
+	}
+}
+
+// TestDeterministicRouting: two clients with the same seed and membership
+// agree on every key's preference order (the property daeload and the
+// servers rely on).
+func TestDeterministicRouting(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3"}
+	a, b := New(testConfig(nodes...)), New(testConfig(nodes...))
+	for _, key := range []string{"k1", "k2", "sim/v1;app=CG", "compile/v1;app=LU"} {
+		pa, pb := a.prefs(key), b.prefs(key)
+		for i := range pa {
+			if pa[i].url != pb[i].url {
+				t.Fatalf("clients disagree on %q: %v vs %v", key, pa[i].url, pb[i].url)
+			}
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package daed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dae/internal/daed/ring"
+)
+
+// DefaultRingSeed seeds the cluster's consistent-hash ring. Every node and
+// every client must agree on it (it is part of the cluster's identity, like
+// the membership list), so it has a fixed default; deployments that want a
+// different ring set the same seed everywhere.
+const DefaultRingSeed = 0xdae
+
+// ForwardHeader marks a request as proxied by a cluster peer. A node never
+// re-forwards a forwarded request, so a stale ring view cannot loop a
+// request around the cluster.
+const ForwardHeader = "X-Dae-Forward"
+
+// DefaultReplicas is the replication factor when the config names none:
+// every artifact lives on its primary plus one replica, so any single node
+// loss keeps the full artifact set reachable.
+const DefaultReplicas = 2
+
+// drainHandoffKeys bounds how many hot keys a draining node pushes to the
+// surviving owners on exit. The hottest keys dominate hit rate; shipping
+// the whole store would stretch the drain window for artifacts the ring
+// will re-derive on demand anyway.
+const drainHandoffKeys = 64
+
+// cluster holds a Server's view of its peers: the shared ring, the
+// replication factor, and the HTTP plumbing for replication, proxying, and
+// drain handoff. nil on a standalone server.
+type cluster struct {
+	self     string   // this node's advertised base URL (a ring member)
+	members  *ring.Ring
+	survivors *ring.Ring // the ring without self: ownership after this node exits
+	replicas int
+	peers    []string // every member but self
+	http     *http.Client
+}
+
+// newCluster builds the cluster view, or nil when the config describes a
+// standalone node.
+func newCluster(cfg Config) *cluster {
+	if cfg.Self == "" || len(cfg.Peers) == 0 {
+		return nil
+	}
+	seed := cfg.RingSeed
+	if seed == 0 {
+		seed = DefaultRingSeed
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	c := &cluster{
+		self:      cfg.Self,
+		members:   ring.New(members, 0, seed),
+		survivors: ring.New(cfg.Peers, 0, seed),
+		http:      &http.Client{},
+	}
+	c.replicas = cfg.Replicas
+	if c.replicas <= 0 {
+		c.replicas = DefaultReplicas
+	}
+	if c.replicas > c.members.Len() {
+		c.replicas = c.members.Len()
+	}
+	for _, m := range c.members.Members() {
+		if m != cfg.Self {
+			c.peers = append(c.peers, m)
+		}
+	}
+	return c
+}
+
+// owns reports whether this node is in key's replica set.
+func (c *cluster) owns(key string) bool {
+	return c.members.Owns(key, c.self, c.replicas)
+}
+
+// replicaPeers returns key's owners excluding self, in preference order.
+func (c *cluster) replicaPeers(key string) []string {
+	owners := c.members.Nodes(key, c.replicas)
+	out := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o != c.self {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// handoffTargets returns the nodes that own key once this node has left
+// the ring — the peers a drain must hand the artifact to.
+func (c *cluster) handoffTargets(key string) []string {
+	n := c.replicas
+	if n > c.survivors.Len() {
+		n = c.survivors.Len()
+	}
+	return c.survivors.Nodes(key, n)
+}
+
+// ArtifactPutRequest is the wire body of PUT /v1/artifact: peer-to-peer
+// artifact replication (write-behind and drain handoff).
+type ArtifactPutRequest struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// handleArtifactPut serves PUT /v1/artifact. It is the replication sink:
+// peers push envelopes here after executing a pipeline for a key this node
+// co-owns, and on drain handoff. The store re-validates and re-checksums the
+// payload, so a damaged envelope is rejected, never stored.
+func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	var req ArtifactPutRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error(), Class: "parse"})
+		return
+	}
+	if req.Key == "" || len(req.Payload) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "daed: artifact put needs key and payload", Class: "parse"})
+		return
+	}
+	if err := s.store.Put(req.Key, req.Payload); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "parse"})
+		return
+	}
+	s.stats.replicatedIn.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// replicate pushes one artifact envelope to key's other owners,
+// write-behind: the response to the executing request never waits on peers.
+// Failures are logged and dropped — the artifact is re-derivable, and the
+// next execution on a surviving owner re-replicates.
+func (s *Server) replicate(key string, payload []byte) {
+	c := s.cluster
+	if c == nil {
+		return
+	}
+	peers := c.replicaPeers(key)
+	if len(peers) == 0 {
+		return
+	}
+	body := append([]byte(nil), payload...)
+	s.repWG.Add(1)
+	go func() {
+		defer s.repWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, peer := range peers {
+			if err := s.putArtifact(ctx, peer, key, body); err != nil {
+				s.cfg.Log.Printf("daed: replicate %s to %s: %v", key, peer, err)
+				continue
+			}
+			s.stats.replicatedOut.Add(1)
+		}
+	}()
+}
+
+// putArtifact PUTs one envelope to a peer's replication sink.
+func (s *Server) putArtifact(ctx context.Context, peer, key string, payload []byte) error {
+	b, err := json.Marshal(ArtifactPutRequest{Key: key, Payload: payload})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/artifact", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cluster.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daed: peer %s: artifact put status %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// clearQuarantinePeers relays a tenant's quarantine lift to every peer.
+// Forwarded lifts stay local (ForwardHeader), so two nodes cannot bounce a
+// lift between each other. Unreachable peers are logged and skipped: they
+// lose their quarantine state anyway when they restart.
+func (s *Server) clearQuarantinePeers(r *http.Request, tenant string) int {
+	c := s.cluster
+	if c == nil || r.Header.Get(ForwardHeader) != "" {
+		return 0
+	}
+	total := 0
+	for _, peer := range c.peers {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, peer+"/v1/quarantine", nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(ForwardHeader, "1")
+		if t := r.Header.Get(TenantHeader); t != "" {
+			req.Header.Set(TenantHeader, t)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			s.cfg.Log.Printf("daed: quarantine lift for %s to %s: %v", tenant, peer, err)
+			continue
+		}
+		var body struct {
+			Cleared int `json:"cleared"`
+		}
+		json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+		resp.Body.Close()
+		total += body.Cleared
+	}
+	return total
+}
+
+// proxy forwards a request for a key this node does not own to the key's
+// owners in preference order, relaying the first successful response
+// verbatim (so a proxied response is byte-identical to one served by the
+// owner). It reports false when no owner could serve — the caller then
+// executes locally, because availability beats placement.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, path, key string, reqBody any) bool {
+	c := s.cluster
+	if c == nil || c.owns(key) || r.Header.Get(ForwardHeader) != "" {
+		return false
+	}
+	b, err := json.Marshal(reqBody)
+	if err != nil {
+		return false
+	}
+	for _, owner := range c.members.Nodes(key, c.replicas) {
+		if owner == c.self {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+path, bytes.NewReader(b))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ForwardHeader, "1")
+		if t := r.Header.Get(TenantHeader); t != "" {
+			req.Header.Set(TenantHeader, t)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			s.cfg.Log.Printf("daed: proxy %s to %s: %v", key, owner, err)
+			continue
+		}
+		// Only relay definitive successes. A saturated, draining, or failing
+		// owner is this node's cue to serve the request itself.
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			s.cfg.Log.Printf("daed: proxy %s to %s: status %d, serving locally", key, owner, resp.StatusCode)
+			continue
+		}
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		s.stats.proxied.Add(1)
+		return true
+	}
+	return false
+}
+
+// Draining reports whether the server has begun its drain protocol.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// rejectDraining answers a request arriving after drain began: 503 with a
+// Retry-After hint, so resilient clients fail over to a peer immediately.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error: "daed: draining", Class: "draining", RetryAfterMs: 1000,
+	})
+}
+
+// Drain runs the graceful-shutdown protocol: flip /healthz and admission to
+// draining (new work is refused with 503 + Retry-After), let in-flight and
+// queued executions finish, wait out write-behind replication, then hand the
+// hottest artifact envelopes to the nodes that own them once this node has
+// left the ring. ctx bounds the whole protocol; on expiry Drain returns
+// ctx.Err() with whatever handoff it managed.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.cfg.Log.Printf("daed: drain: refusing new work")
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for s.stats.inFlight.Load() > 0 || s.stats.waiting.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	// Write-behind replication still in flight belongs to executions that
+	// just finished; bound the wait with ctx.
+	done := make(chan struct{})
+	go func() { s.repWG.Wait(); close(done) }()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+	}
+	if s.cluster == nil {
+		s.cfg.Log.Printf("daed: drain: complete")
+		return nil
+	}
+	handed := 0
+	for _, key := range s.store.Hottest(drainHandoffKeys) {
+		payload, ok := s.store.Get(key)
+		if !ok {
+			continue
+		}
+		for _, peer := range s.cluster.handoffTargets(key) {
+			if err := s.putArtifact(ctx, peer, key, payload); err != nil {
+				s.cfg.Log.Printf("daed: drain: handoff %s to %s: %v", key, peer, err)
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				continue
+			}
+			s.stats.handedOff.Add(1)
+			handed++
+		}
+	}
+	s.cfg.Log.Printf("daed: drain: complete, handed off %d envelopes", handed)
+	return nil
+}

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dae/internal/analysis"
@@ -53,6 +55,25 @@ type Config struct {
 	// interpreter step budget: a request asking for more (or for no budget
 	// at all) is clamped to this ceiling.
 	MaxSteps int64
+	// StoreMaxBytes, when positive, is the artifact store's disk budget:
+	// past it, least-recently-used artifacts are evicted (keys with requests
+	// in flight are pinned and never evicted).
+	StoreMaxBytes int64
+	// Self is this node's advertised base URL (e.g. http://127.0.0.1:8081)
+	// — its identity on the cluster ring. Empty (or no Peers) means
+	// standalone.
+	Self string
+	// Peers lists the other cluster members' advertised base URLs. Every
+	// member must be configured with the same total membership (its own
+	// Self plus its Peers) for the rings to agree.
+	Peers []string
+	// Replicas is the replication factor R: each content key lives on its
+	// ring primary plus R-1 replicas. <= 0 means DefaultReplicas, clamped
+	// to the membership size.
+	Replicas int
+	// RingSeed seeds the consistent-hash ring; 0 means DefaultRingSeed.
+	// All members and clients must agree.
+	RingSeed uint64
 	// Log receives serving events; nil discards them.
 	Log *log.Logger
 }
@@ -89,15 +110,19 @@ func (c Config) withDefaults() Config {
 // pipeline behind a content-addressed artifact store, request singleflight,
 // an admission-controlled job queue, and per-tenant quarantine.
 type Server struct {
-	cfg     Config
-	traces  *eval.TraceCache
-	store   *store.Store
-	q       *queue
-	sims    flightMap[*simArtifact]
-	comps   flightMap[*compileArtifact]
-	tenants tenantRegistry
-	stats   stats
-	mux     *http.ServeMux
+	cfg      Config
+	traces   *eval.TraceCache
+	store    *store.Store
+	q            *queue
+	sims         flightMap[*simArtifact]
+	comps        flightMap[*compileArtifact]
+	traceFlights flightMap[*traceArtifact]
+	tenants  tenantRegistry
+	stats    stats
+	mux      *http.ServeMux
+	cluster  *cluster
+	draining atomic.Bool
+	repWG    sync.WaitGroup // in-flight write-behind replications
 }
 
 // New returns a ready-to-serve Server.
@@ -109,18 +134,26 @@ func New(cfg Config) *Server {
 		artifactDir = cfg.Dir + "/artifacts"
 	}
 	s := &Server{
-		cfg:    cfg,
-		traces: eval.NewTraceCache(traceDir),
-		store:  store.New(artifactDir, 0),
+		cfg:     cfg,
+		traces:  eval.NewTraceCache(traceDir),
+		store:   store.Open(store.Config{Dir: artifactDir, MaxBytes: cfg.StoreMaxBytes}),
+		cluster: newCluster(cfg),
 	}
 	s.q = newQueue(cfg.Workers, cfg.QueueDepth, &s.stats)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("PUT /v1/artifact", s.handleArtifactPut)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("DELETE /v1/quarantine", s.handleClearQuarantine)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return s
@@ -130,7 +163,12 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Stats returns a point-in-time snapshot of the serving counters.
-func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot(s.tenants.tenants()) }
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.stats.snapshot(s.tenants.tenants())
+	snap.Store = s.store.Stats()
+	snap.Draining = s.draining.Load()
+	return snap
+}
 
 // tenantOf resolves the requesting tenant.
 func tenantOf(r *http.Request) string {
@@ -185,6 +223,10 @@ func (s *Server) clampSteps(req int64) int64 {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.stats.requests.Add(1)
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
 	var req SimulateRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error(), Class: "parse"})
@@ -197,6 +239,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r)
+	// Pin the key for the life of the request: budget eviction must never
+	// race an in-flight execution (or a hit being re-read) on this key.
+	s.store.Pin(p.key)
+	defer s.store.Unpin(p.key)
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
 
@@ -215,6 +261,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.respondSim(w, &art, p.key, tenant, true, false, start)
 			return
 		}
+	}
+	// A miss on a key this node does not own goes to the owners first: they
+	// likely hold the artifact, and executing there keeps placement honest.
+	// If no owner can serve, fall through and execute locally.
+	if s.proxy(w, r.WithContext(ctx), "/v1/simulate", p.key, &req) {
+		return
 	}
 	for {
 		f, leader := s.sims.join(p.key, func(pctx context.Context) (*simArtifact, error) {
@@ -344,6 +396,7 @@ func (s *Server) runSimulate(ctx context.Context, p *simPlan, storeArtifact bool
 			if err := s.store.Put(p.key, b); err != nil {
 				s.cfg.Log.Printf("daed: artifact store write failed for %s: %v", p.key, err)
 			}
+			s.replicate(p.key, b)
 		}
 	}
 	return art, nil
@@ -353,6 +406,10 @@ func (s *Server) runSimulate(ctx context.Context, p *simPlan, storeArtifact bool
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.stats.requests.Add(1)
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
 	var req CompileRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error(), Class: "parse"})
@@ -364,6 +421,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.compileKey()
+	s.store.Pin(key)
+	defer s.store.Unpin(key)
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
 
@@ -374,6 +433,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			s.respondCompile(w, &art, key, true, false, start)
 			return
 		}
+	}
+	if s.proxy(w, r.WithContext(ctx), "/v1/compile", key, &req) {
+		return
 	}
 	for {
 		f, leader := s.comps.join(key, func(pctx context.Context) (*compileArtifact, error) {
@@ -463,6 +525,7 @@ func (s *Server) runCompile(ctx context.Context, app bench.App, refine bool, key
 		if err := s.store.Put(key, b); err != nil {
 			s.cfg.Log.Printf("daed: artifact store write failed for %s: %v", key, err)
 		}
+		s.replicate(key, b)
 	}
 	return art, nil
 }
@@ -474,9 +537,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleClearQuarantine serves DELETE /v1/quarantine: it lifts every
 // quarantine recorded for the requesting tenant (an explicit admin action,
-// mirroring how runtime quarantine is monotone within a trace).
+// mirroring how runtime quarantine is monotone within a trace). Quarantine
+// is per-node process state, so on a cluster member the lift fans out to
+// every peer — one DELETE unblocks the tenant cluster-wide.
 func (s *Server) handleClearQuarantine(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	n := s.tenants.clear(tenant)
+	n += s.clearQuarantinePeers(r, tenant)
 	s.writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "cleared": n})
 }

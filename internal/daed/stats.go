@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"dae/internal/daed/store"
 )
 
 // latencyWindow is how many recent request latencies the percentile
@@ -24,6 +26,12 @@ type stats struct {
 	degraded   atomic.Int64 // responses served degraded (tenant quarantine)
 	inFlight   atomic.Int64 // executions currently holding a worker slot
 	waiting    atomic.Int64 // executions currently queued for a slot
+
+	// cluster traffic
+	proxied       atomic.Int64 // requests relayed to a key's owner
+	replicatedIn  atomic.Int64 // artifact envelopes accepted from peers
+	replicatedOut atomic.Int64 // artifact envelopes pushed to peers
+	handedOff     atomic.Int64 // envelopes handed to survivors during drain
 
 	mu   sync.Mutex
 	ring [latencyWindow]float64
@@ -81,6 +89,17 @@ type StatsSnapshot struct {
 	QuarantinedTenants int64   `json:"quarantined_tenants"`
 	LatencyP50Ms       float64 `json:"latency_p50_ms"`
 	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+	// Cluster traffic: requests proxied to a key's owner, artifact envelopes
+	// replicated in/out, and envelopes handed to survivors during drain.
+	Proxied       int64 `json:"proxied"`
+	ReplicatedIn  int64 `json:"replicated_in"`
+	ReplicatedOut int64 `json:"replicated_out"`
+	HandedOff     int64 `json:"handed_off"`
+	// Draining reports the node has begun its drain protocol.
+	Draining bool `json:"draining,omitempty"`
+	// Store is the artifact store's accounting: retained bytes vs budget,
+	// evictions, and the startup scrub report.
+	Store store.Stats `json:"store"`
 }
 
 func (s *stats) snapshot(quarantinedTenants int64) StatsSnapshot {
@@ -99,5 +118,9 @@ func (s *stats) snapshot(quarantinedTenants int64) StatsSnapshot {
 		QuarantinedTenants: quarantinedTenants,
 		LatencyP50Ms:       p50,
 		LatencyP99Ms:       p99,
+		Proxied:            s.proxied.Load(),
+		ReplicatedIn:       s.replicatedIn.Load(),
+		ReplicatedOut:      s.replicatedOut.Load(),
+		HandedOff:          s.handedOff.Load(),
 	}
 }

@@ -131,3 +131,252 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Fatalf("final get: %q ok=%t", b, ok)
 	}
 }
+
+// TestBudgetEvictsLRU: writes past the byte budget evict least-recently-used
+// artifacts; a Get refreshes recency and spares its key.
+func TestBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(fmt.Sprintf(`{"pad":%q}`, make([]byte, 0)))
+	_ = payload
+	big := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"i":%d,"pad":"%s"}`, i, bytes.Repeat([]byte("x"), 200)))
+	}
+	probe := New(dir, 0)
+	if err := probe.Put("size-probe", big(0)); err != nil {
+		t.Fatal(err)
+	}
+	st := probe.Stats()
+	perEntry := st.Bytes
+	probe.Delete("size-probe")
+	probe.Close()
+
+	s := Open(Config{Dir: dir, MaxBytes: 3 * perEntry})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), big(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// k0 is oldest; touch it so k1 becomes the LRU victim.
+	if _, ok := s.Get("k0"); !ok {
+		t.Fatal("k0 evicted before budget exceeded")
+	}
+	if err := s.Put("k3", big(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("LRU key k1 survived past the budget")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("recently-used key %s was evicted", k)
+		}
+	}
+	st = s.Stats()
+	if st.Evictions == 0 || st.Bytes > st.MaxBytes || st.Entries != 3 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+// TestPinnedKeysSurviveEviction: a pinned (in-flight) key is never the
+// eviction victim, regardless of recency.
+func TestPinnedKeysSurviveEviction(t *testing.T) {
+	dir := t.TempDir()
+	big := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"i":%d,"pad":"%s"}`, i, bytes.Repeat([]byte("x"), 200)))
+	}
+	probe := New(dir, 0)
+	if err := probe.Put("size-probe", big(0)); err != nil {
+		t.Fatal(err)
+	}
+	perEntry := probe.Stats().Bytes
+	probe.Delete("size-probe")
+	probe.Close()
+
+	s := Open(Config{Dir: dir, MaxBytes: 2 * perEntry})
+	defer s.Close()
+	if err := s.Put("pinned", big(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin("pinned")
+	defer s.Unpin("pinned")
+	for i := 0; i < 6; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), big(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get("pinned"); !ok {
+		t.Fatal("pinned key was evicted under budget pressure")
+	}
+	if st := s.Stats(); st.Pinned != 1 {
+		t.Fatalf("Pinned = %d, want 1", st.Pinned)
+	}
+}
+
+// TestStartupScrubQuarantines: truncated and bit-flipped envelopes planted
+// on disk are moved to quarantine/ at Open, reported in Stats, and served
+// as clean misses — the node never crashes over them.
+func TestStartupScrubQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	seed := New(dir, 0)
+	for i := 0; i < 3; i++ {
+		if err := seed.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Close()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("want 3 envelopes, got %v (%v)", entries, err)
+	}
+	// Truncate one, bit-flip another.
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(entries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw2, []byte(`"payload"`))
+	raw2[i+12] ^= 0x40
+	if err := os.WriteFile(entries[1], raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(dir, 0)
+	defer s.Close()
+	st := s.Stats()
+	if st.ScrubScanned != 3 || st.ScrubQuarantined != 2 || st.Entries != 1 {
+		t.Fatalf("scrub stats: %+v", st)
+	}
+	hits := 0
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); ok {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("%d keys hit after scrub, want 1 survivor", hits)
+	}
+	q, err := filepath.Glob(filepath.Join(dir, quarantineDir, "*.json"))
+	if err != nil || len(q) != 2 {
+		t.Fatalf("quarantine dir holds %v (%v), want 2 files", q, err)
+	}
+	// A clean re-write of a quarantined key works and persists.
+	if err := s.Put("k0", []byte(`{"v":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k0"); !ok {
+		t.Fatal("re-written key missed")
+	}
+}
+
+// TestJournalPersistsRecencyAcrossRestart: Get bumps survive a restart via
+// the atime journal, changing which key a post-restart budget squeeze
+// evicts.
+func TestJournalPersistsRecencyAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	big := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"i":%d,"pad":"%s"}`, i, bytes.Repeat([]byte("x"), 200)))
+	}
+	s := New(dir, 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), big(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perEntry := s.Stats().Bytes / 3
+	// Touch k0 last so the journal records k0 as most recent.
+	if _, ok := s.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	s.Close()
+
+	// Reopen with a budget that forces one eviction: without the journal the
+	// scan order would evict by filename; with it, k1 (least recent) goes.
+	r := Open(Config{Dir: dir, MaxBytes: 2 * perEntry})
+	defer r.Close()
+	if _, ok := r.Get("k0"); !ok {
+		t.Fatal("most-recent key k0 evicted: journal recency lost across restart")
+	}
+	if _, ok := r.Get("k1"); ok {
+		t.Fatal("least-recent key k1 survived the post-restart squeeze")
+	}
+}
+
+// TestJournalTornTailTolerated: a crash mid-append leaves a torn last line;
+// reopen must not fail or mis-index.
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := New(dir, 0)
+	if err := s.Put("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("k-torn-no-newline"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r := New(dir, 0)
+	defer r.Close()
+	if _, ok := r.Get("k"); !ok {
+		t.Fatal("torn journal tail broke reopen")
+	}
+	if st := r.Stats(); st.Entries != 1 {
+		t.Fatalf("entries after torn-tail reopen: %+v", st)
+	}
+}
+
+// TestHottest: most-recently-used-first ordering for drain handoff.
+func TestHottest(t *testing.T) {
+	s := New(t.TempDir(), 0)
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(`1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get("k1") // k1 becomes hottest
+	got := s.Hottest(2)
+	if len(got) != 2 || got[0] != "k1" || got[1] != "k3" {
+		t.Fatalf("Hottest(2) = %v, want [k1 k3]", got)
+	}
+	if all := s.Hottest(0); len(all) != 4 {
+		t.Fatalf("Hottest(0) = %v, want all 4", all)
+	}
+}
+
+// TestJournalCompaction: the journal is rewritten when it grows far past the
+// entry count, and recency survives the rewrite.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := New(dir, 0)
+	defer s.Close()
+	if err := s.Put("a", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		s.Get("a")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(raw, []byte("\n")); n > 2000 {
+		t.Fatalf("journal never compacted: %d lines", n)
+	}
+	if got := s.Hottest(1); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("recency lost across compaction: %v", got)
+	}
+}

@@ -1,0 +1,204 @@
+package daed
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	daepass "dae/internal/dae"
+	"dae/internal/eval"
+	"dae/internal/fault"
+)
+
+// TraceRequest asks the server for one app's full collected trace set (the
+// coupled, manual-DAE and compiler-DAE traces plus compiler result
+// summaries). It is the bulk-data sibling of SimulateRequest: instead of a
+// rendered report, the client gets the traces themselves and evaluates any
+// number of policies locally — this is how a remote daebench reproduces
+// every experiment from one round-trip per app.
+type TraceRequest struct {
+	App string `json:"app"`
+	// Cores is the simulated core count; 0 means the default 4.
+	Cores int `json:"cores,omitempty"`
+	// Refine applies profile-guided prefetch pruning before tracing.
+	Refine bool `json:"refine,omitempty"`
+	// MaxSteps, Degrade and Engine are as in SimulateRequest.
+	MaxSteps int64  `json:"max_steps,omitempty"`
+	Degrade  string `json:"degrade,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	// TimeoutMs bounds the wait (QoS, not content).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// TraceResponse is the wire response of POST /v1/trace.
+type TraceResponse struct {
+	Data *eval.AppDataWire `json:"data"`
+	// Degraded marks a trace set collected through a degraded pipeline
+	// (runtime quarantines fired). Degraded sets are never stored.
+	Degraded  bool    `json:"degraded,omitempty"`
+	CacheHit  bool    `json:"cache_hit"`
+	Collapsed bool    `json:"collapsed"`
+	Key       string  `json:"key"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// traceArtifact is the stored part of a trace response.
+type traceArtifact struct {
+	Data     *eval.AppDataWire `json:"data"`
+	Degraded bool              `json:"degraded,omitempty"`
+}
+
+// simulateRequest projects the trace request onto the simulate planner —
+// same validation, same defaults — then rekeys the plan under the trace/
+// namespace (traces are frequency-independent, so ZeroLatency never
+// appears here).
+func (req *TraceRequest) plan() (*simPlan, error) {
+	sr := SimulateRequest{
+		App: req.App, Cores: req.Cores, Refine: req.Refine,
+		MaxSteps: req.MaxSteps, Degrade: req.Degrade, Engine: req.Engine,
+	}
+	p, err := sr.plan()
+	if err != nil {
+		return nil, err
+	}
+	p.key = "trace/v1;" + p.key
+	return p, nil
+}
+
+// Key returns the request's content key (see SimulateRequest.Key).
+func (req *TraceRequest) Key() (string, error) {
+	p, err := req.plan()
+	if err != nil {
+		return "", err
+	}
+	return p.key, nil
+}
+
+func (req *TraceRequest) timeout(def, max time.Duration) time.Duration {
+	d := def
+	if req.TimeoutMs > 0 {
+		d = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// handleTrace serves POST /v1/trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.requests.Add(1)
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
+	var req TraceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error(), Class: "parse"})
+		return
+	}
+	req.MaxSteps = s.clampSteps(req.MaxSteps)
+	p, err := req.plan()
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "parse"})
+		return
+	}
+	s.store.Pin(p.key)
+	defer s.store.Unpin(p.key)
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	if b, ok := s.store.Get(p.key); ok {
+		var art traceArtifact
+		if err := json.Unmarshal(b, &art); err == nil {
+			s.stats.storeHits.Add(1)
+			s.respondTrace(w, &art, p.key, true, false, start)
+			return
+		}
+	}
+	if s.proxy(w, r.WithContext(ctx), "/v1/trace", p.key, &req) {
+		return
+	}
+	for {
+		f, leader := s.traceFlights.join(p.key, func(pctx context.Context) (*traceArtifact, error) {
+			return s.runTrace(pctx, p)
+		})
+		art, err := f.wait(ctx)
+		if err != nil {
+			if !leader && errors.Is(err, fault.ErrTimeout) && ctx.Err() == nil {
+				continue
+			}
+			s.writeError(w, r, err)
+			return
+		}
+		if !leader {
+			s.stats.collapsed.Add(1)
+		}
+		s.respondTrace(w, art, p.key, false, !leader, start)
+		return
+	}
+}
+
+func (s *Server) respondTrace(w http.ResponseWriter, art *traceArtifact, key string, cacheHit, collapsed bool, start time.Time) {
+	if art.Degraded {
+		s.stats.degraded.Add(1)
+	}
+	resp := &TraceResponse{
+		Data:      art.Data,
+		Degraded:  art.Degraded,
+		CacheHit:  cacheHit,
+		Collapsed: collapsed,
+		Key:       key,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	s.stats.observe(resp.ElapsedMs)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runTrace collects one app's trace set under the admission-controlled
+// queue and encodes it for the wire. Clean sets enter the shared store and
+// replicate; degraded sets (transient runtime faults) are returned but
+// never stored, mirroring the trace cache's own rule.
+func (s *Server) runTrace(ctx context.Context, p *simPlan) (*traceArtifact, error) {
+	if err := s.q.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.q.release()
+	s.stats.executions.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.MaxRunTime)
+	defer cancel()
+
+	opts := eval.CollectOptions{Workers: s.cfg.RunWorkers, Cache: s.traces}
+	if p.refine {
+		opts.Refine = &eval.RefineSpec{Options: daepass.DefaultRefine(), PerTask: 4}
+	}
+	data, err := eval.CollectWith(ctx, p.app, p.cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := eval.EncodeAppData(data)
+	if err != nil {
+		return nil, err
+	}
+	art := &traceArtifact{Data: wire}
+	for _, row := range eval.DegradationRows([]*eval.AppData{data}) {
+		if len(row.Quarantined) > 0 || row.FailedTasks > 0 {
+			art.Degraded = true
+		}
+	}
+	if !art.Degraded {
+		if b, err := json.Marshal(art); err == nil {
+			if err := s.store.Put(p.key, b); err != nil {
+				s.cfg.Log.Printf("daed: artifact store write failed for %s: %v", p.key, err)
+			}
+			s.replicate(p.key, b)
+		}
+	}
+	return art, nil
+}

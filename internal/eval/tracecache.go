@@ -79,36 +79,22 @@ const cacheVersion = 4
 // deserve one more try before giving up.
 const saveAttempts = 2
 
-// resultJSON is the persistable summary of a dae.Result. The generated IR
-// functions are process-local and are not stored; loaded Results carry the
-// Table 1 / strategy-report fields only.
-type resultJSON struct {
-	Strategy    int    `json:"strategy"`
-	Reason      string `json:"reason,omitempty"`
-	TotalLoops  int    `json:"total_loops"`
-	AffineLoops int    `json:"affine_loops"`
-	Classes     int    `json:"classes"`
-	MergedNests int    `json:"merged_nests"`
-	NConvUn     int64  `json:"n_conv_un"`
-	NOrig       int64  `json:"n_orig"`
-	HasAccess   bool   `json:"has_access"`
-}
-
 // envelope is the on-disk form of one cache entry. Sum is the hex SHA-256
-// of the trace payload plus the serialized results, so bit rot or a torn
+// of the trace payload plus the serialized results (ResultSummary, the
+// shared persistable projection of dae.Result), so bit rot or a torn
 // write anywhere in the content is detected on load and degraded to a cache
 // miss rather than silently feeding a damaged trace into the evaluation.
 type envelope struct {
-	Version int                   `json:"version"`
-	Key     string                `json:"key"`
-	Sum     string                `json:"sum"`
-	Trace   json.RawMessage       `json:"trace"`
-	Results map[string]resultJSON `json:"results,omitempty"`
+	Version int                      `json:"version"`
+	Key     string                   `json:"key"`
+	Sum     string                   `json:"sum"`
+	Trace   json.RawMessage          `json:"trace"`
+	Results map[string]ResultSummary `json:"results,omitempty"`
 }
 
 // contentSum computes the envelope's content checksum over the trace bytes
 // and the (deterministically marshaled) results map.
-func contentSum(trace json.RawMessage, results map[string]resultJSON) (string, error) {
+func contentSum(trace json.RawMessage, results map[string]ResultSummary) (string, error) {
 	h := sha256.New()
 	h.Write(trace)
 	if results != nil {
@@ -238,16 +224,7 @@ func (tc *TraceCache) load(key string) (*runOutput, error) {
 	if env.Results != nil {
 		out.Results = make(map[string]*dae.Result, len(env.Results))
 		for name, rj := range env.Results {
-			out.Results[name] = &dae.Result{
-				Strategy:    dae.Strategy(rj.Strategy),
-				Reason:      rj.Reason,
-				TotalLoops:  rj.TotalLoops,
-				AffineLoops: rj.AffineLoops,
-				Classes:     rj.Classes,
-				MergedNests: rj.MergedNests,
-				NConvUn:     rj.NConvUn,
-				NOrig:       rj.NOrig,
-			}
+			out.Results[name] = rj.result()
 		}
 	}
 	return out, nil
@@ -260,19 +237,9 @@ func (tc *TraceCache) save(key string, out *runOutput) error {
 	}
 	env := envelope{Version: cacheVersion, Key: key, Trace: raw}
 	if out.Results != nil {
-		env.Results = make(map[string]resultJSON, len(out.Results))
+		env.Results = make(map[string]ResultSummary, len(out.Results))
 		for name, r := range out.Results {
-			env.Results[name] = resultJSON{
-				Strategy:    int(r.Strategy),
-				Reason:      r.Reason,
-				TotalLoops:  r.TotalLoops,
-				AffineLoops: r.AffineLoops,
-				Classes:     r.Classes,
-				MergedNests: r.MergedNests,
-				NConvUn:     r.NConvUn,
-				NOrig:       r.NOrig,
-				HasAccess:   r.Access != nil,
-			}
+			env.Results[name] = summarizeResult(r)
 		}
 	}
 	// Marshaling the envelope re-compacts the embedded raw trace (an

@@ -18,7 +18,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"net/url"
 	"runtime/debug"
+	"syscall"
 	"time"
 )
 
@@ -55,6 +59,12 @@ const (
 	// by the runtime supervisor for the rest of the workload; the wrapped
 	// cause is the access-phase fault that triggered the quarantine.
 	KindQuarantined
+	// KindTransport is a network-level failure talking to a remote daed
+	// node: a refused or reset connection, an unexpectedly closed response,
+	// a broken proxy. Transport faults are retryable by construction — the
+	// request never produced a result, so reissuing it (to the same node or
+	// a replica) is always safe.
+	KindTransport
 )
 
 // String returns the short class name used in failure summaries.
@@ -82,6 +92,8 @@ func (k Kind) String() string {
 		return "degraded"
 	case KindQuarantined:
 		return "quarantined"
+	case KindTransport:
+		return "transport"
 	}
 	return "unknown"
 }
@@ -128,6 +140,7 @@ var (
 	ErrPanic        = errors.New("fault: recovered panic")
 	ErrDegraded     = errors.New("fault: completed degraded")
 	ErrQuarantined  = errors.New("fault: access variant quarantined")
+	ErrTransport    = errors.New("fault: transport error")
 )
 
 func sentinel(k Kind) error {
@@ -154,6 +167,8 @@ func sentinel(k Kind) error {
 		return ErrDegraded
 	case KindQuarantined:
 		return ErrQuarantined
+	case KindTransport:
+		return ErrTransport
 	}
 	return nil
 }
@@ -317,6 +332,55 @@ func MarkRetryable(err error) error {
 func IsRetryable(err error) bool {
 	var fe *Error
 	return errors.As(err, &fe) && fe.Retryable
+}
+
+// Transport wraps err as a retryable KindTransport fault: the request never
+// produced a result, so a bounded retry (against the same node or a replica)
+// is always safe. A nil err yields nil.
+func Transport(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Kind: KindTransport, Err: err, Retryable: true}
+}
+
+// ClassifyTransport classifies an error returned by a network client call.
+// Context expiry anywhere in the chain becomes a KindTimeout fault (the
+// caller's deadline, not the network, ended the request — retrying under the
+// same dead context is pointless); network-level failures — refused or reset
+// connections, responses cut mid-body, any net.Error — become retryable
+// KindTransport faults; anything else (including an already-typed *Error)
+// passes through unchanged. A nil err yields nil.
+func ClassifyTransport(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Wrap(KindTimeout, err)
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return Transport(err)
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return Transport(err)
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		// url.Error wraps every transport-layer failure of net/http; by the
+		// time we are here it is not a context expiry, so treat it as the
+		// network misbehaving.
+		return Transport(err)
+	}
+	return err
 }
 
 // Backoff returns the retry delay schedule used by Retry: exponential in the

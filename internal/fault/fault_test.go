@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -255,5 +258,59 @@ func TestRecoverAttachesStackToTypedPanic(t *testing.T) {
 	}
 	if st := StackOf(run2()); st != nil {
 		t.Errorf("heap-budget fault should not grow a stack, got %d bytes", len(st))
+	}
+}
+
+func TestClassifyTransport(t *testing.T) {
+	if ClassifyTransport(nil) != nil {
+		t.Fatal("nil did not stay nil")
+	}
+
+	// Context expiry is the caller's deadline, not the network.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ClassifyTransport(&url.Error{Op: "Post", URL: "http://x", Err: ctx.Err()})
+	if !errors.Is(err, ErrTimeout) || IsRetryable(err) {
+		t.Fatalf("canceled-context error classified %v (retryable=%t), want timeout, not retryable",
+			err, IsRetryable(err))
+	}
+
+	// A refused connection from a dead listener is the canonical transport
+	// fault: retryable, classified, cause preserved.
+	ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, derr := net.Dial("tcp", addr)
+	if derr == nil {
+		t.Skip("dial to closed listener unexpectedly succeeded")
+	}
+	err = ClassifyTransport(derr)
+	if !errors.Is(err, ErrTransport) || !IsRetryable(err) {
+		t.Fatalf("refused connection classified %v (retryable=%t), want transport, retryable",
+			err, IsRetryable(err))
+	}
+	if ClassOf(err) != "transport" {
+		t.Fatalf("ClassOf = %q, want transport", ClassOf(err))
+	}
+
+	// A response cut mid-body.
+	if err := ClassifyTransport(io.ErrUnexpectedEOF); !errors.Is(err, ErrTransport) {
+		t.Fatalf("unexpected EOF classified %v", err)
+	}
+
+	// Already-typed faults pass through untouched: a remote 500 carrying a
+	// pipeline class must not be reclassified as the network's fault.
+	typed := New(KindStepBudget, "remote step budget")
+	if got := ClassifyTransport(typed); got != typed {
+		t.Fatalf("typed fault was rewrapped: %v", got)
+	}
+
+	// Arbitrary application errors pass through.
+	plain := errors.New("no such app")
+	if got := ClassifyTransport(plain); got != plain {
+		t.Fatalf("plain error was rewrapped: %v", got)
 	}
 }
