@@ -3,10 +3,12 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"dae"
 	"dae/internal/analysis"
+	"dae/internal/analysis/wcec"
 	"dae/internal/bench"
 	"dae/internal/eval"
 	"dae/internal/mem"
@@ -47,6 +49,41 @@ func analyzeModule(w io.Writer, results map[string]*dae.Result, hints map[string
 		fmt.Fprintf(w, "task @%s: coverage %.1f%% (%s)\n", n, 100*cov.Fraction(), kind)
 		for _, note := range cov.Notes {
 			fmt.Fprintf(w, "task @%s: note: %s\n", n, note)
+		}
+	}
+	errs += analyzeWCEC(w, results, hints)
+	return errs
+}
+
+// analyzeWCEC reports the static cost analysis per task at the parameter
+// hints: the WCEC bound with its provenance kind, the RWCEC decision-point
+// table the intra-task DVFS policy drives reselection from, and any wcec
+// diagnostics (unbounded loops are warnings, not errors — the simulator
+// falls back to profile bounds for those tasks).
+func analyzeWCEC(w io.Writer, results map[string]*dae.Result, hints map[string]int64) int {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	an := wcec.New(wcec.NewCostModel(rt.DefaultMachine().CPU))
+	errs := 0
+	for _, n := range names {
+		r := results[n]
+		b := an.BoundFunc(r.Task, hints)
+		if math.IsInf(b.Cycles, 1) {
+			fmt.Fprintf(w, "task @%s: wcec unbounded\n", n)
+		} else {
+			fmt.Fprintf(w, "task @%s: wcec %.0f cycles (%s), %d decision point(s)\n",
+				n, b.Cycles, b.Kind, len(b.Points))
+		}
+		for _, p := range b.Points {
+			fmt.Fprintf(w, "task @%s:   %c %d:%d %s: rwcec %.0f\n",
+				n, p.Kind, p.Pos.Line, p.Pos.Col, p.Block, p.RWCEC)
+		}
+		if len(b.Diags) > 0 {
+			errs += analysis.CountSev(b.Diags, analysis.SevError)
+			fmt.Fprint(w, analysis.Format(b.Diags))
 		}
 	}
 	return errs
@@ -108,5 +145,44 @@ func analyzeBenchmarks(w io.Writer) (int, error) {
 			fmt.Fprint(w, analysis.Format(diags))
 		}
 	}
+
+	m := rt.DefaultMachine()
+	fmt.Fprintln(w, "\n== static WCEC bounds ==")
+	an := wcec.New(wcec.NewCostModel(m.CPU))
+	for _, app := range bench.Apps() {
+		b, err := app.Build(bench.Auto)
+		if err != nil {
+			return errs, fmt.Errorf("build %s: %w", app.Name, err)
+		}
+		bs := rt.WorkloadBounds(b.W, an)
+		seen := make(map[string]bool)
+		for _, bd := range bs.Exec {
+			if bd == nil || seen[bd.Fn.Name] {
+				continue
+			}
+			seen[bd.Fn.Name] = true
+			if math.IsInf(bd.Cycles, 1) {
+				fmt.Fprintf(w, "%-10s %-14s unbounded\n", app.Name, bd.Fn.Name)
+			} else {
+				fmt.Fprintf(w, "%-10s %-14s %12.0f cycles (%s), %d decision point(s)\n",
+					app.Name, bd.Fn.Name, bd.Cycles, bd.Kind, len(bd.Points))
+			}
+		}
+	}
+
+	// The soundness gate re-runs every benchmark and asserts static >= observed
+	// per task record; any violation is an error-severity diagnostic, so a CI
+	// run of `daec -analyze -bench` fails on an unsound bound.
+	fmt.Fprintln(w, "\n== wcec soundness gate ==")
+	data, err := eval.CollectAll(rt.DefaultTraceConfig())
+	if err != nil {
+		return errs, err
+	}
+	rep, err := eval.WCECSoundness(data, m)
+	if err != nil {
+		return errs, err
+	}
+	errs += analysis.CountSev(rep.Diags, analysis.SevError)
+	fmt.Fprint(w, eval.FormatWCEC(rep))
 	return errs, nil
 }

@@ -52,7 +52,7 @@ func main() {
 	forceSkel := flag.Bool("force-skeleton", false, "disable the polyhedral path")
 	lineStride := flag.Int("line-stride", 0, "stride the innermost affine prefetch loop by this many elements (8 = one per cache line)")
 	fromIR := flag.Bool("ir", false, "treat the input as textual IR (as printed by -dump) instead of TaskC source")
-	analyze := flag.Bool("analyze", false, "run the static DAE-contract checker (purity, coverage; with -bench also races)")
+	analyze := flag.Bool("analyze", false, "run the static DAE-contract checker (purity, coverage, wcec/rwcec; with -bench also races and the WCEC soundness gate)")
 	benchMode := flag.Bool("bench", false, "with -analyze: check the seven paper benchmarks instead of a source file")
 	flag.Parse()
 

@@ -23,7 +23,13 @@ func TestAnalyzeModuleDemo(t *testing.T) {
 		t.Errorf("analyzeModule reported %d errors:\n%s", errs, sb.String())
 	}
 	out := sb.String()
-	for _, want := range []string{"task @lu: purity PASS", "coverage 100.0% (exact)"} {
+	for _, want := range []string{
+		"task @lu: purity PASS",
+		"coverage 100.0% (exact)",
+		"wcec",        // static bound line
+		"(exact)",     // affine nest at concrete hints → exact kind
+		"rwcec",       // at least one decision point in the RWCEC table
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -50,6 +56,12 @@ func TestAnalyzeBenchmarksClean(t *testing.T) {
 	for _, app := range []string{"LU", "Cholesky", "FFT", "LBM", "LibQ", "Cigar", "CG"} {
 		if !strings.Contains(out, app) {
 			t.Errorf("output missing app %s", app)
+		}
+	}
+	// The WCEC sections must be present and the soundness gate must pass.
+	for _, want := range []string{"== static WCEC bounds ==", "== wcec soundness gate ==", "soundness: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
 		}
 	}
 }

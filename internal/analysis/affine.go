@@ -71,74 +71,11 @@ func (l lin) row() []int64 {
 }
 
 // evalInt evaluates a loop-invariant integer value at concrete parameter
-// values (by parameter name). It covers the shapes the front end produces
-// for dimensions and bounds: constants, int parameters, and integer
-// arithmetic over them.
+// values (by parameter name). The evaluator lives in internal/scev
+// (scev.EvalInt) so the trip-count bounds and the affine extraction agree on
+// exactly which value shapes are concretely evaluable.
 func evalInt(v ir.Value, env map[string]int64) (int64, bool) {
-	switch x := v.(type) {
-	case *ir.ConstInt:
-		return x.V, true
-	case *ir.Param:
-		if !x.Typ.IsInt() {
-			return 0, false
-		}
-		val, ok := env[x.Nam]
-		return val, ok
-	case *ir.Bin:
-		a, ok := evalInt(x.X, env)
-		if !ok {
-			return 0, false
-		}
-		b, ok := evalInt(x.Y, env)
-		if !ok {
-			return 0, false
-		}
-		switch x.Op {
-		case ir.IAdd:
-			return a + b, true
-		case ir.ISub:
-			return a - b, true
-		case ir.IMul:
-			return a * b, true
-		case ir.IDiv:
-			if b == 0 {
-				return 0, false
-			}
-			return a / b, true
-		case ir.IRem:
-			if b == 0 {
-				return 0, false
-			}
-			return a % b, true
-		case ir.IAnd:
-			return a & b, true
-		case ir.IOr:
-			return a | b, true
-		case ir.IXor:
-			return a ^ b, true
-		case ir.IShl:
-			if b < 0 || b > 62 {
-				return 0, false
-			}
-			return a << uint(b), true
-		case ir.IShr:
-			if b < 0 || b > 62 {
-				return 0, false
-			}
-			return a >> uint(b), true
-		case ir.IMin:
-			if a < b {
-				return a, true
-			}
-			return b, true
-		case ir.IMax:
-			if a > b {
-				return a, true
-			}
-			return b, true
-		}
-	}
-	return 0, false
+	return scev.EvalInt(v, env)
 }
 
 // nestSpace is the trip-count space of one loop nest at concrete parameters.

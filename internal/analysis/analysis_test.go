@@ -298,3 +298,43 @@ func TestDiagnosticRendering(t *testing.T) {
 		t.Error("severity helpers broken")
 	}
 }
+
+// TestRaceEnumCapNotesSkippedArray: when the trip space is too large to
+// confirm a rational overlap over the integers, the conservative verdict must
+// come with an info note naming the skipped array — once per (task, array),
+// not once per instance pair.
+func TestRaceEnumCapNotesSkippedArray(t *testing.T) {
+	mod := compileOpt(t, `
+task big(float A[n], int n) {
+	for (int i = 0; i < n; i++) {
+		A[i] = A[i] + 1.0;
+	}
+}
+`)
+	fn := mod.Func("big")
+	inst := func(label string) TaskInstance {
+		return TaskInstance{
+			Label: label, Fn: fn,
+			// 2^21 iterations: past RaceEnumPoints, so elems() bails.
+			Ints:   map[string]int64{"n": int64(2 * RaceEnumPoints)},
+			Arrays: map[string]ArrayID{"A": "shared-A"},
+		}
+	}
+	ds := CheckBatch([]TaskInstance{inst("b0"), inst("b1"), inst("b2")})
+	if CountSev(ds, SevError) == 0 {
+		t.Fatalf("capped overlap must still err toward reporting: %v", ds)
+	}
+	notes := 0
+	for _, d := range ds {
+		if d.Sev != SevInfo {
+			continue
+		}
+		notes++
+		if !strings.Contains(d.Msg, "array A") || !strings.Contains(d.Msg, "integer confirmation skipped") {
+			t.Errorf("cap note does not name the array: %s", d)
+		}
+	}
+	if notes != 1 {
+		t.Fatalf("want exactly one deduplicated cap note, got %d: %v", notes, ds)
+	}
+}

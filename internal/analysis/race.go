@@ -80,6 +80,7 @@ func CheckBatch(tasks []TaskInstance) []Diagnostic {
 		}
 	}
 	pairs := 0
+	caps := &capTracker{}
 	for i := range tasks {
 		if tasks[i].Fn == nil || !infos[i].ok {
 			continue
@@ -94,34 +95,60 @@ func CheckBatch(tasks []TaskInstance) []Diagnostic {
 					Pass: "race", Sev: SevInfo, Task: tasks[i].Fn.Name,
 					Msg: fmt.Sprintf("batch exceeds %d instance pairs; remaining pairs unchecked", MaxRacePairs),
 				})
-				return diags
+				return append(diags, caps.diags...)
 			}
-			if d, found := conflict(&tasks[i], infos[i].fa, &tasks[j], infos[j].fa); found {
+			if d, found := conflict(&tasks[i], infos[i].fa, &tasks[j], infos[j].fa, caps); found {
 				diags = append(diags, d)
 			}
 		}
 	}
-	return diags
+	return append(diags, caps.diags...)
+}
+
+// capTracker collects the integer-confirmation skips of one batch: when a
+// rational overlap cannot be confirmed over the integers because the trip
+// space exceeds RaceEnumPoints, the conservative verdict must not be silent.
+// Notes are deduplicated per (task, array) — one batch repeats the same
+// access pattern across many instances.
+type capTracker struct {
+	seen  map[string]bool
+	diags []Diagnostic
+}
+
+func (c *capTracker) note(task, array string, pos ir.Pos) {
+	key := task + "/" + array
+	if c.seen[key] {
+		return
+	}
+	if c.seen == nil {
+		c.seen = make(map[string]bool)
+	}
+	c.seen[key] = true
+	c.diags = append(c.diags, Diagnostic{
+		Pass: "race", Sev: SevInfo, Task: task, Pos: pos,
+		Msg: fmt.Sprintf("array %s: trip space exceeds %d points; integer confirmation skipped, rational verdict stands",
+			array, RaceEnumPoints),
+	})
 }
 
 // conflict finds the first overlapping access pair between two instances:
 // write-write first (the more severe report), then each direction of
 // read-write. At most one diagnostic is produced per instance pair, so one
 // racy loop nest yields one report instead of one per subscript pair.
-func conflict(a *TaskInstance, fa *funcAccesses, b *TaskInstance, fb *funcAccesses) (Diagnostic, bool) {
-	if d, ok := overlapAny(a, fa.writes, b, fb.writes, "write-write"); ok {
+func conflict(a *TaskInstance, fa *funcAccesses, b *TaskInstance, fb *funcAccesses, caps *capTracker) (Diagnostic, bool) {
+	if d, ok := overlapAny(a, fa.writes, b, fb.writes, "write-write", caps); ok {
 		return d, true
 	}
-	if d, ok := overlapAny(a, fa.writes, b, fb.reads, "write-read"); ok {
+	if d, ok := overlapAny(a, fa.writes, b, fb.reads, "write-read", caps); ok {
 		return d, true
 	}
-	if d, ok := overlapAny(a, fa.reads, b, fb.writes, "read-write"); ok {
+	if d, ok := overlapAny(a, fa.reads, b, fb.writes, "read-write", caps); ok {
 		return d, true
 	}
 	return Diagnostic{}, false
 }
 
-func overlapAny(a *TaskInstance, as []*memAccess, b *TaskInstance, bs []*memAccess, kind string) (Diagnostic, bool) {
+func overlapAny(a *TaskInstance, as []*memAccess, b *TaskInstance, bs []*memAccess, kind string, caps *capTracker) (Diagnostic, bool) {
 	for _, ma := range as {
 		ida, ok := a.Arrays[ma.param.Nam]
 		if !ok || ida == nil {
@@ -132,7 +159,11 @@ func overlapAny(a *TaskInstance, as []*memAccess, b *TaskInstance, bs []*memAcce
 			if !ok || idb == nil || ida != idb {
 				continue
 			}
-			if overlaps(ma, mb) {
+			hit, capped := overlaps(ma, mb)
+			if capped {
+				caps.note(a.Fn.Name, ma.param.Nam, ma.in.Pos())
+			}
+			if hit {
 				return Diagnostic{
 					Pass: "race", Sev: SevError, Task: a.Fn.Name,
 					Pos: ma.in.Pos(), RelPos: mb.in.Pos(),
@@ -158,25 +189,26 @@ const RaceEnumPoints = 1 << 20
 // bounds), so it is confirmed by intersecting the concrete element sets —
 // the environment is fully instantiated, making enumeration exact. Only when
 // a domain exceeds RaceEnumPoints does the rational verdict stand
-// unconfirmed, erring toward reporting.
-func overlaps(a, b *memAccess) bool {
+// unconfirmed, erring toward reporting; capped is set so the caller can say
+// which array the confirmation was skipped for.
+func overlaps(a, b *memAccess) (hit, capped bool) {
 	if !rationalOverlap(a, b) {
-		return false
+		return false, false
 	}
 	sa, oka := a.elems(RaceEnumPoints)
 	sb, okb := b.elems(RaceEnumPoints)
 	if !oka || !okb {
-		return true
+		return true, true
 	}
 	if len(sb) < len(sa) {
 		sa, sb = sb, sa
 	}
 	for e := range sa {
 		if sb[e] {
-			return true
+			return true, false
 		}
 	}
-	return false
+	return false, false
 }
 
 func rationalOverlap(a, b *memAccess) bool {

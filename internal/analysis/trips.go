@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"dae/internal/ir"
+	"dae/internal/scev"
+)
+
+// This file exports per-block visit bounds for the WCEC cost analysis
+// (internal/analysis/wcec): how many times can each block of a function
+// execute in one invocation at concrete parameter values? On affine nests
+// the answer is exact lattice-point counting over the same trip-count
+// polytopes the coverage and race analyses instantiate (non-unit strides and
+// triangular bounds included); elsewhere it falls back to the product of
+// per-loop scev trip bounds, then to caller-supplied loop hints, and finally
+// to an explicit Unbounded verdict — never a silent clamp.
+
+// TripKind classifies the provenance of a visit bound, ordered by decreasing
+// confidence.
+type TripKind int
+
+// Trip-bound provenance, from strongest to weakest.
+const (
+	// TripExact: the nest's trip polytope was enumerated exactly.
+	TripExact TripKind = iota
+	// TripStatic: a static interval bound (sound, possibly loose — e.g. a
+	// triangular inner loop charged its worst outer iteration).
+	TripStatic
+	// TripHinted: at least one enclosing loop used a caller-supplied
+	// (annotated or profile-derived) iteration bound.
+	TripHinted
+	// TripUnbounded: no finite bound exists; Reason names the loop and cause.
+	TripUnbounded
+)
+
+// String returns the report spelling of the kind.
+func (k TripKind) String() string {
+	switch k {
+	case TripExact:
+		return "exact"
+	case TripStatic:
+		return "static"
+	case TripHinted:
+		return "profile"
+	}
+	return "unbounded"
+}
+
+// worse returns the weaker of two kinds.
+func (k TripKind) worse(o TripKind) TripKind {
+	if o > k {
+		return o
+	}
+	return k
+}
+
+// BlockTrips bounds the executions of one block in one function invocation.
+type BlockTrips struct {
+	// Visits is the execution bound (meaningless when Kind is TripUnbounded).
+	Visits int64
+	Kind   TripKind
+	// Reason explains an unbounded verdict.
+	Reason string
+	// Loop is the innermost enclosing loop that forced TripUnbounded (nil
+	// otherwise).
+	Loop *ir.Loop
+}
+
+// LoopHint supplies a fallback iteration bound (per loop entry) for loops the
+// static analysis cannot bound; return false when no hint exists.
+type LoopHint func(l *ir.Loop) (int64, bool)
+
+// tripSat is the saturation ceiling for visit-count products: large enough
+// that any real workload stays far below it, small enough that downstream
+// float conversions and additions cannot overflow.
+const tripSat = int64(1) << 50
+
+// TripCounts bounds, for every reachable block of f, how many times the block
+// executes in one invocation at the given concrete integer parameters.
+// maxPoints caps the lattice enumeration per loop (<= 0 selects a default);
+// hint may be nil. Loop headers are charged their extra bound-check
+// execution (trips+1 per entry), mirroring the interpreter's accounting.
+func TripCounts(f *ir.Func, env map[string]int64, maxPoints int, hint LoopHint) map[*ir.Block]BlockTrips {
+	if maxPoints <= 0 {
+		maxPoints = 1 << 20
+	}
+	x := &extractor{f: f, env: env, an: scev.Analyze(f), spaces: make(map[*ir.Block]*nestSpace)}
+	tc := &tripCounter{x: x, maxPoints: maxPoints, hint: hint, loops: make(map[*ir.Loop]BlockTrips)}
+
+	out := make(map[*ir.Block]BlockTrips)
+	for _, b := range f.ReversePostorder() {
+		l := x.an.Loops.Of[b]
+		bt := tc.ofLoop(l)
+		if l != nil && b == l.Header && bt.Kind != TripUnbounded {
+			// The header executes once more per loop entry: the final,
+			// failing bound check.
+			entries := tc.ofLoop(l.Parent)
+			if entries.Kind == TripUnbounded {
+				bt = entries
+			} else {
+				bt.Visits = satAdd(bt.Visits, entries.Visits)
+				bt.Kind = bt.Kind.worse(entries.Kind)
+			}
+		}
+		out[b] = bt
+	}
+	return out
+}
+
+type tripCounter struct {
+	x         *extractor
+	maxPoints int
+	hint      LoopHint
+	loops     map[*ir.Loop]BlockTrips
+}
+
+// ofLoop bounds the total body executions of loop l across the whole
+// function invocation (all entries). The nil loop is the function's straight-
+// line top level, which runs exactly once.
+func (tc *tripCounter) ofLoop(l *ir.Loop) BlockTrips {
+	if l == nil {
+		return BlockTrips{Visits: 1, Kind: TripExact}
+	}
+	if bt, ok := tc.loops[l]; ok {
+		return bt
+	}
+	// Recursion guard: self-referential parent chains cannot occur in valid
+	// loop forests, but memoize a pessimistic default first anyway.
+	tc.loops[l] = BlockTrips{Kind: TripUnbounded, Reason: "cyclic loop nest", Loop: l}
+	bt := tc.computeLoop(l)
+	tc.loops[l] = bt
+	return bt
+}
+
+func (tc *tripCounter) computeLoop(l *ir.Loop) BlockTrips {
+	// Exact path: enumerate the lattice points of the nest's trip polytope.
+	// The polytope includes every enclosing level's continuation constraint,
+	// so the count is the total body executions across all entries — exact
+	// for affine nests with non-unit strides and triangular bounds alike.
+	sp := tc.x.space(l.Header)
+	if sp.ok {
+		n := int64(0)
+		if sp.enumerate(tc.maxPoints, func([]int64) { n++ }) {
+			return BlockTrips{Visits: n, Kind: TripExact}
+		}
+	}
+
+	// Fallback: entries(parent) x per-entry trip bound of this level, where
+	// the trip bound comes from scev's interval analysis or, failing that,
+	// from a caller-supplied hint.
+	parent := tc.ofLoop(l.Parent)
+	if parent.Kind == TripUnbounded {
+		return parent
+	}
+	tr := tc.x.an.TripOf(l, tc.x.env)
+	kind := TripStatic
+	if tr.Exact {
+		kind = TripExact
+	}
+	count := tr.Count
+	if tr.Unbounded {
+		h, ok := int64(0), false
+		if tc.hint != nil {
+			h, ok = tc.hint(l)
+		}
+		if !ok {
+			return BlockTrips{Kind: TripUnbounded, Reason: tr.Reason, Loop: l}
+		}
+		count, kind = h, TripHinted
+	}
+	return BlockTrips{
+		Visits: satMul(parent.Visits, count),
+		Kind:   parent.Kind.worse(kind),
+	}
+}
+
+func satAdd(a, b int64) int64 {
+	if a > tripSat-b {
+		return tripSat
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > tripSat/b {
+		return tripSat
+	}
+	return a * b
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"testing"
+
+	"dae/internal/ir"
+)
+
+// headerAndBody finds the given function's outermost loop header plus one
+// body block that is not a header (nil when the body is the header itself).
+func loopBlocks(t *testing.T, f *ir.Func, trips map[*ir.Block]BlockTrips) (header, body *ir.Block) {
+	t.Helper()
+	li := ir.FindLoops(f, ir.NewDomTree(f))
+	if len(li.Top) == 0 {
+		t.Fatalf("no loops in %s", f.Name)
+	}
+	l := li.Top[0]
+	for len(l.Children) > 0 {
+		l = l.Children[0]
+	}
+	header = l.Header
+	for _, b := range f.Blocks {
+		if l.Contains(b) && b != l.Header {
+			body = b
+			break
+		}
+	}
+	return header, body
+}
+
+func TestTripCountsRectangular(t *testing.T) {
+	mod := compileOpt(t, `
+task k(float A[n][n], int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			A[i][j] = 0.0;
+		}
+	}
+}`)
+	f := mod.Func("k")
+	trips := TripCounts(f, map[string]int64{"n": 8}, 0, nil)
+	header, body := loopBlocks(t, f, trips)
+	if body == nil {
+		t.Fatal("no inner body block")
+	}
+	bt := trips[body]
+	if bt.Kind != TripExact || bt.Visits != 64 {
+		t.Fatalf("inner body = %+v, want exact 64", bt)
+	}
+	// Inner header: 64 body visits + 8 entries (one failing check each).
+	ht := trips[header]
+	if ht.Kind != TripExact || ht.Visits != 64+8 {
+		t.Fatalf("inner header = %+v, want exact 72", ht)
+	}
+	if et := trips[f.Entry()]; et.Visits != 1 || et.Kind != TripExact {
+		t.Fatalf("entry = %+v, want exact 1", et)
+	}
+}
+
+func TestTripCountsTriangular(t *testing.T) {
+	mod := compileOpt(t, `
+task k(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i + 1; j < N; j++) {
+			A[i][j] = 0.0;
+		}
+	}
+}`)
+	f := mod.Func("k")
+	trips := TripCounts(f, map[string]int64{"N": 8}, 0, nil)
+	_, body := loopBlocks(t, f, trips)
+	if body == nil {
+		t.Fatal("no inner body block")
+	}
+	// Exact lattice count: sum_{i=0}^{7} (7-i) = 28, not the 8*7=56 a
+	// per-loop product bound would give.
+	if bt := trips[body]; bt.Kind != TripExact || bt.Visits != 28 {
+		t.Fatalf("inner body = %+v, want exact 28", bt)
+	}
+}
+
+func TestTripCountsHintFallback(t *testing.T) {
+	mod := compileOpt(t, `
+task k(float A[n], int n) {
+	int i = 0;
+	while (A[i & 7] < 10.0) {
+		A[i & 7] = A[i & 7] + 1.0;
+		i = i + 1;
+	}
+}`)
+	f := mod.Func("k")
+	env := map[string]int64{"n": 8}
+
+	// Without a hint: unbounded, with a reason and the offending loop.
+	trips := TripCounts(f, env, 0, nil)
+	var unb *BlockTrips
+	for _, bt := range trips {
+		if bt.Kind == TripUnbounded {
+			bt := bt
+			unb = &bt
+			break
+		}
+	}
+	if unb == nil {
+		t.Skip("front end bounded the while loop")
+	}
+	if unb.Reason == "" || unb.Loop == nil {
+		t.Fatalf("unbounded verdict lacks reason/loop: %+v", unb)
+	}
+
+	// With a hint: every block gets a finite bound of TripHinted provenance.
+	trips = TripCounts(f, env, 0, func(l *ir.Loop) (int64, bool) { return 100, true })
+	for b, bt := range trips {
+		if bt.Kind == TripUnbounded {
+			t.Fatalf("block %s still unbounded under hint: %s", b.Name, bt.Reason)
+		}
+		if lt := trips[b]; lt.Loop != nil {
+			t.Fatalf("bounded block records a culprit loop: %+v", lt)
+		}
+	}
+	_, body := loopBlocks(t, f, trips)
+	if body == nil {
+		t.Skip("single-block loop body")
+	}
+	if bt := trips[body]; bt.Kind != TripHinted || bt.Visits != 100 {
+		t.Fatalf("hinted body = %+v, want profile 100", bt)
+	}
+}
+
+func TestTripKindString(t *testing.T) {
+	for k, want := range map[TripKind]string{
+		TripExact: "exact", TripStatic: "static", TripHinted: "profile", TripUnbounded: "unbounded",
+	} {
+		if k.String() != want {
+			t.Errorf("TripKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

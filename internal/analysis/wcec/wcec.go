@@ -1,0 +1,453 @@
+// Package wcec bounds the worst-case execution cycles (WCEC) and energy of
+// every task function statically, using the same calibrated machine model
+// (internal/cpu, internal/power) the simulator charges dynamically.
+//
+// The analysis assigns each basic block a cycle cost from its instruction
+// mix, bounds how often each block can execute via trip-count analysis
+// (exact lattice counts on affine nests, per-loop interval bounds, then
+// caller-supplied profile hints), and folds callee bounds in at call sites —
+// interprocedurally, at concrete argument values where they are evaluable.
+// Loops with no finite bound make the whole verdict BoundUnbounded with a
+// positioned diagnostic naming the loop; the bound is reported as +Inf,
+// never silently clamped.
+//
+// On top of the total the analyzer derives remaining-WCEC (RWCEC)
+// annotations at the function's top-level decision points: type-B edges
+// (conditional branches) and type-L edges (loop exits), following the
+// cfg-wcec-sim formulation. These drive the intra-task DVFS policy in
+// internal/rt: at each decision point the frequency is re-picked from
+// RWCEC(n)/deadline.
+package wcec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dae/internal/analysis"
+	"dae/internal/cpu"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/scev"
+)
+
+// CostModel converts an instruction-mix count vector into core cycles. It is
+// the static mirror of cpu.Params' timing terms: a sustained issue width over
+// all retired instructions plus fixed penalties for FP divides, math
+// intrinsics, and loads (charged at the L2-hit latency; the static model has
+// no cache, so every load pays the same — an intentional mid-point that the
+// soundness gate compensates for by applying the same model to the observed
+// counts).
+type CostModel struct {
+	IssueWidth float64
+	DivCycles  float64
+	MathCycles float64
+	LoadCycles float64
+}
+
+// NewCostModel derives the static cost model from the simulator's CPU
+// parameters, so static and dynamic cycle accounting share one calibration.
+func NewCostModel(p cpu.Params) CostModel {
+	return CostModel{
+		IssueWidth: p.IssueWidth,
+		DivCycles:  p.DivCycles,
+		MathCycles: p.MathCycles,
+		LoadCycles: p.L2HitCycles,
+	}
+}
+
+// Cycles converts a count vector into core cycles. The mapping is linear, so
+// it applies equally to a single block's static mix and to a whole run's
+// observed counts — which is exactly what the soundness gate compares.
+func (m CostModel) Cycles(c interp.Counts) float64 {
+	return float64(c.Total())/m.IssueWidth +
+		float64(c.FloatDiv)*m.DivCycles +
+		float64(c.MathOps)*m.MathCycles +
+		float64(c.Loads)*m.LoadCycles
+}
+
+// BoundKind classifies the provenance of a WCEC bound, ordered by decreasing
+// confidence. It aggregates the trip-count kinds of every loop contributing
+// to the bound (and of every callee's bound): one profile-hinted loop makes
+// the whole bound BoundProfile.
+type BoundKind int
+
+// Bound provenance, strongest first.
+const (
+	BoundExact BoundKind = iota
+	BoundStatic
+	BoundProfile
+	BoundUnbounded
+)
+
+// String returns the report spelling of the kind.
+func (k BoundKind) String() string {
+	switch k {
+	case BoundExact:
+		return "exact"
+	case BoundStatic:
+		return "static"
+	case BoundProfile:
+		return "profile"
+	}
+	return "unbounded"
+}
+
+func (k BoundKind) worse(o BoundKind) BoundKind {
+	if o > k {
+		return o
+	}
+	return k
+}
+
+func tripBoundKind(k analysis.TripKind) BoundKind {
+	switch k {
+	case analysis.TripExact:
+		return BoundExact
+	case analysis.TripStatic:
+		return BoundStatic
+	case analysis.TripHinted:
+		return BoundProfile
+	}
+	return BoundUnbounded
+}
+
+// Segment is one top-level piece of a function's worst-case execution: either
+// a single straight-line block or a whole top-level loop (nested loops and
+// calls folded in). Segments appear in reverse-postorder, so their suffix
+// sums are the RWCEC at each boundary; the rt rwcec policy replays them as
+// DVFS chunks.
+type Segment struct {
+	// Loop is the top-level loop this segment collapses, nil for a
+	// straight-line block.
+	Loop *ir.Loop
+	// Block is the segment's representative block (the loop header for loop
+	// segments).
+	Block *ir.Block
+	Pos   ir.Pos
+	// Cycles is the worst-case cycle total of the whole segment.
+	Cycles float64
+	// Iters bounds the header visits for loop segments (1 for straight-line).
+	Iters int64
+}
+
+// PointKind distinguishes the two decision-point edge types of the
+// cfg-wcec-sim formulation.
+type PointKind byte
+
+// Decision-point kinds.
+const (
+	// PointBranch is a type-B edge: a top-level conditional branch.
+	PointBranch PointKind = 'B'
+	// PointLoopExit is a type-L edge: the exit of a top-level loop.
+	PointLoopExit PointKind = 'L'
+)
+
+// Point is one DVFS decision point with its remaining-work annotation.
+type Point struct {
+	Kind PointKind
+	Pos  ir.Pos
+	// Block names the CFG node the point hangs off (the branch's block or
+	// the exited loop's header).
+	Block string
+	// RWCEC is the worst-case cycles remaining after the point is crossed.
+	RWCEC float64
+}
+
+// Bound is the static WCEC verdict for one function at one concrete
+// parameter binding.
+type Bound struct {
+	Fn   *ir.Func
+	Kind BoundKind
+	// Cycles is the worst-case core-cycle bound; +Inf when Kind is
+	// BoundUnbounded.
+	Cycles float64
+	// Segments is the top-level worst-case execution structure (empty when
+	// unbounded).
+	Segments []Segment
+	// Points are the RWCEC-annotated decision points, in execution order.
+	Points []Point
+	// Diags carries positioned wcec diagnostics (unbounded loops, recursion).
+	Diags []analysis.Diagnostic
+}
+
+// Analyzer computes and memoizes WCEC bounds across a module.
+type Analyzer struct {
+	Model CostModel
+	// MaxPoints caps exact lattice enumeration per loop nest (<= 0 default).
+	MaxPoints int
+	// LoopHint supplies profile/annotation fallback iteration bounds for
+	// loops the static analysis cannot bound; may be nil.
+	LoopHint func(fn *ir.Func, l *ir.Loop) (int64, bool)
+
+	memo   map[memoKey]*Bound
+	active map[*ir.Func]bool
+}
+
+type memoKey struct {
+	fn  *ir.Func
+	env string
+}
+
+// New returns an analyzer over the given cost model.
+func New(model CostModel) *Analyzer {
+	return &Analyzer{
+		Model:  model,
+		memo:   make(map[memoKey]*Bound),
+		active: make(map[*ir.Func]bool),
+	}
+}
+
+// envKey renders a parameter binding deterministically for memoization.
+func envKey(env map[string]int64) string {
+	if len(env) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(env))
+	for n := range env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s=%d;", n, env[n])
+	}
+	return sb.String()
+}
+
+// BoundFunc bounds fn's worst-case execution cycles at the given concrete
+// integer parameter values (by parameter name). Results are memoized per
+// (function, binding).
+func (a *Analyzer) BoundFunc(fn *ir.Func, env map[string]int64) *Bound {
+	key := memoKey{fn, envKey(env)}
+	if b, ok := a.memo[key]; ok {
+		return b
+	}
+	if a.active[fn] {
+		// Recursive call chain: no static bound.
+		b := &Bound{Fn: fn, Kind: BoundUnbounded, Cycles: math.Inf(1)}
+		b.Diags = append(b.Diags, diag(fn, fn.Entry().Pos(),
+			"recursive call cycle through @%s has no static bound", fn.Name))
+		return b
+	}
+	a.active[fn] = true
+	b := a.bound(fn, env)
+	delete(a.active, fn)
+	a.memo[key] = b
+	return b
+}
+
+func diag(fn *ir.Func, pos ir.Pos, format string, args ...any) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pass: "wcec",
+		Sev:  analysis.SevWarning,
+		Task: fn.Name,
+		Pos:  pos,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+}
+
+func (a *Analyzer) bound(fn *ir.Func, env map[string]int64) *Bound {
+	var hint analysis.LoopHint
+	if a.LoopHint != nil {
+		hint = func(l *ir.Loop) (int64, bool) { return a.LoopHint(fn, l) }
+	}
+	trips := analysis.TripCounts(fn, env, a.MaxPoints, hint)
+	li := ir.FindLoops(fn, ir.NewDomTree(fn))
+
+	b := &Bound{Fn: fn, Kind: BoundExact}
+	// Per-block worst-case cycles (callees folded in), then weight by the
+	// block's visit bound. Unbounded loops poison the total but the walk
+	// continues so every offending loop gets its own diagnostic.
+	blockCost := make(map[*ir.Block]float64, len(fn.Blocks))
+	unboundedLoops := make(map[*ir.Loop]bool)
+	total := 0.0
+	for _, blk := range fn.ReversePostorder() {
+		bt, ok := trips[blk]
+		if !ok {
+			continue // unreachable
+		}
+		cost := a.Model.Cycles(blockCounts(blk))
+		for _, in := range blk.Instrs {
+			call, okc := in.(*ir.Call)
+			if !okc {
+				continue
+			}
+			cb := a.BoundFunc(call.Callee, calleeEnv(call, env))
+			b.Kind = b.Kind.worse(cb.Kind)
+			if cb.Kind == BoundUnbounded {
+				b.Diags = append(b.Diags, diag(fn, in.Pos(),
+					"call to @%s has no static bound", call.Callee.Name))
+				for _, d := range cb.Diags {
+					if d.Task == call.Callee.Name {
+						b.Diags = append(b.Diags, d)
+					}
+				}
+			}
+			cost += cb.Cycles // +Inf propagates
+		}
+		blockCost[blk] = cost
+
+		if bt.Kind == analysis.TripUnbounded {
+			b.Kind = BoundUnbounded
+			if bt.Loop != nil && !unboundedLoops[bt.Loop] {
+				unboundedLoops[bt.Loop] = true
+				b.Diags = append(b.Diags, diag(fn, bt.Loop.Header.Pos(),
+					"loop at %s has no static trip bound: %s", bt.Loop.Header.Name, bt.Reason))
+			}
+			total = math.Inf(1)
+			continue
+		}
+		b.Kind = b.Kind.worse(tripBoundKind(bt.Kind))
+		total += float64(bt.Visits) * cost
+	}
+	b.Cycles = total
+	if b.Kind == BoundUnbounded {
+		b.Cycles = math.Inf(1)
+		return b
+	}
+
+	b.Segments = a.segments(fn, li, trips, blockCost)
+	b.Points = points(fn, b.Segments)
+	return b
+}
+
+// calleeEnv binds the callee's integer parameters to concretely evaluable
+// argument values in the caller's environment. Arguments that depend on loop
+// IVs (or otherwise fail to evaluate) are left unbound; the callee's own
+// analysis then reports any loop that needed them.
+func calleeEnv(call *ir.Call, env map[string]int64) map[string]int64 {
+	cenv := make(map[string]int64)
+	for i, p := range call.Callee.Params {
+		if i >= len(call.Args) || !p.Typ.IsInt() {
+			continue
+		}
+		if v, ok := scev.EvalInt(call.Args[i], env); ok {
+			cenv[p.Nam] = v
+		}
+	}
+	return cenv
+}
+
+// segments collapses the function's reverse-postorder into its top-level
+// worst-case execution structure: each top-level loop becomes one segment
+// holding the weighted cost of every block it contains; every other block is
+// its own straight-line segment.
+func (a *Analyzer) segments(fn *ir.Func, li *ir.LoopInfo, trips map[*ir.Block]analysis.BlockTrips, blockCost map[*ir.Block]float64) []Segment {
+	top := func(b *ir.Block) *ir.Loop {
+		l := li.Of[b]
+		for l != nil && l.Parent != nil {
+			l = l.Parent
+		}
+		return l
+	}
+	var segs []Segment
+	seen := make(map[*ir.Loop]bool)
+	for _, blk := range fn.ReversePostorder() {
+		bt, ok := trips[blk]
+		if !ok {
+			continue
+		}
+		l := top(blk)
+		if l == nil {
+			segs = append(segs, Segment{
+				Block:  blk,
+				Pos:    blk.Pos(),
+				Cycles: float64(bt.Visits) * blockCost[blk],
+				Iters:  1,
+			})
+			continue
+		}
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		cycles := 0.0
+		for _, lb := range fn.Blocks {
+			if lbt, ok := trips[lb]; ok && l.Contains(lb) {
+				cycles += float64(lbt.Visits) * blockCost[lb]
+			}
+		}
+		segs = append(segs, Segment{
+			Loop:   l,
+			Block:  l.Header,
+			Pos:    l.Header.Pos(),
+			Cycles: cycles,
+			Iters:  trips[l.Header].Visits,
+		})
+	}
+	return segs
+}
+
+// points derives the RWCEC-annotated decision points from the segment
+// sequence: suffix sums give the worst-case work remaining after each
+// boundary. A loop segment contributes a type-L point (its exit edge); a
+// straight-line segment ending in a conditional branch contributes a type-B
+// point.
+func points(fn *ir.Func, segs []Segment) []Point {
+	suffix := make([]float64, len(segs)+1)
+	for i := len(segs) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + segs[i].Cycles
+	}
+	var pts []Point
+	for i, s := range segs {
+		switch {
+		case s.Loop != nil:
+			pts = append(pts, Point{
+				Kind:  PointLoopExit,
+				Pos:   s.Pos,
+				Block: s.Block.Name,
+				RWCEC: suffix[i+1],
+			})
+		default:
+			if _, ok := s.Block.Term().(*ir.CondBr); ok {
+				pts = append(pts, Point{
+					Kind:  PointBranch,
+					Pos:   s.Block.Term().Pos(),
+					Block: s.Block.Name,
+					RWCEC: suffix[i+1],
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// blockCounts mirrors the interpreter's per-instruction count accounting
+// exactly (see internal/interp): terminators count as branches, phis,
+// allocas, and returns are free, and calls count one Calls event at the site
+// (the callee's own counts are charged separately).
+func blockCounts(b *ir.Block) interp.Counts {
+	var c interp.Counts
+	for _, in := range b.Instrs {
+		switch i := in.(type) {
+		case *ir.Bin:
+			switch {
+			case i.Op == ir.FDiv:
+				c.FloatDiv++
+			case i.Op.IsFloat():
+				c.Float++
+			default:
+				c.Int++
+			}
+		case *ir.Cmp, *ir.Cast, *ir.Select:
+			c.Int++
+		case *ir.Math:
+			c.MathOps++
+		case *ir.Load:
+			c.Loads++
+		case *ir.Store:
+			c.Stores++
+		case *ir.Prefetch:
+			c.Prefetches++
+		case *ir.GEP:
+			c.GEPs++
+		case *ir.Call:
+			c.Calls++
+		case *ir.Br, *ir.CondBr:
+			c.Branches++
+		}
+	}
+	return c
+}

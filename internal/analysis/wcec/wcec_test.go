@@ -1,0 +1,263 @@
+package wcec
+
+import (
+	"math"
+	"testing"
+
+	"dae/internal/cpu"
+	"dae/internal/interp"
+	"dae/internal/ir"
+	"dae/internal/lower"
+	"dae/internal/passes"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := lower.Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := passes.OptimizeModule(mod); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return mod
+}
+
+// observe runs fn in the interpreter with a float array of n elements per
+// array parameter and n bound to every int parameter, returning the observed
+// count vector.
+func observe(t *testing.T, mod *ir.Module, fn *ir.Func, n int) interp.Counts {
+	t.Helper()
+	h := interp.NewHeap()
+	var args []interp.Value
+	for _, p := range fn.Params {
+		switch {
+		case p.Typ.IsInt():
+			args = append(args, interp.Int(int64(n)))
+		case p.Typ.IsFloat():
+			args = append(args, interp.Float(1.5))
+		default:
+			seg := h.AllocFloat(p.Nam, n*n) // enough for 1-D and n x n 2-D
+			for i := 0; i < seg.Len(); i++ {
+				seg.F[i] = float64(i%7) + 0.5
+			}
+			args = append(args, interp.Ptr(seg))
+		}
+	}
+	env := interp.NewEnv(interp.NewProgram(mod), nil)
+	if _, err := env.Call(fn, args...); err != nil {
+		t.Fatalf("interp %s: %v", fn.Name, err)
+	}
+	return env.Counts()
+}
+
+// checkSound asserts bound >= observed under the shared cost model and
+// returns the tightness ratio bound/observed.
+func checkSound(t *testing.T, m CostModel, b *Bound, obs interp.Counts) float64 {
+	t.Helper()
+	got := m.Cycles(obs)
+	if b.Cycles < got {
+		t.Fatalf("unsound: static %.1f < observed %.1f cycles", b.Cycles, got)
+	}
+	if got == 0 {
+		return 1
+	}
+	return b.Cycles / got
+}
+
+func TestBoundRectangularNestExactAndTight(t *testing.T) {
+	mod := compile(t, `
+task mm(float A[n][n], float B[n][n], float C[n][n], int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			float s = 0.0;
+			for (int k = 0; k < n; k++) {
+				s += A[i][k] * B[k][j];
+			}
+			C[i][j] = s;
+		}
+	}
+}`)
+	fn := mod.Func("mm")
+	m := NewCostModel(cpu.DefaultParams())
+	a := New(m)
+	const n = 12
+	b := a.BoundFunc(fn, map[string]int64{"n": n})
+	if b.Kind != BoundExact {
+		t.Fatalf("kind = %s, want exact (diags %v)", b.Kind, b.Diags)
+	}
+	ratio := checkSound(t, m, b, observe(t, mod, fn, n))
+	if ratio > 1.05 {
+		t.Errorf("affine bound not tight: %.3fx observed", ratio)
+	}
+	if len(b.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	// The nest collapses to one type-L decision point with zero remaining
+	// work after it (nothing follows the loop but the return).
+	var lPoints int
+	for _, p := range b.Points {
+		if p.Kind == PointLoopExit {
+			lPoints++
+			if p.RWCEC > b.Cycles/10 {
+				t.Errorf("loop-exit RWCEC = %.0f, want near 0 of %.0f", p.RWCEC, b.Cycles)
+			}
+		}
+	}
+	if lPoints != 1 {
+		t.Errorf("type-L points = %d, want 1", lPoints)
+	}
+}
+
+func TestBoundBranchesAreWorstCase(t *testing.T) {
+	// Data-dependent branch: the static bound must cover whichever arm is
+	// costlier (here the sqrt arm), and the top-level structure of two
+	// sequential loops must yield a mid-function type-L point with nonzero
+	// RWCEC.
+	mod := compile(t, `
+task k(float A[n], float B[n], int n) {
+	for (int i = 0; i < n; i++) {
+		if (A[i] < 1.0) {
+			B[i] = sqrt(A[i] + 2.0);
+		} else {
+			B[i] = A[i];
+		}
+	}
+	for (int i = 0; i < n; i++) {
+		B[i] = B[i] * 0.5;
+	}
+}`)
+	fn := mod.Func("k")
+	m := NewCostModel(cpu.DefaultParams())
+	a := New(m)
+	const n = 64
+	b := a.BoundFunc(fn, map[string]int64{"n": n})
+	if b.Kind != BoundExact {
+		t.Fatalf("kind = %s, want exact (diags %v)", b.Kind, b.Diags)
+	}
+	checkSound(t, m, b, observe(t, mod, fn, n))
+
+	var withWork int
+	for _, p := range b.Points {
+		if p.Kind == PointLoopExit && p.RWCEC > 0 {
+			withWork++
+		}
+	}
+	if withWork == 0 {
+		t.Errorf("no loop-exit point with remaining work; points = %+v", b.Points)
+	}
+}
+
+func TestBoundInterprocedural(t *testing.T) {
+	mod := compile(t, `
+void scale(float A[n], int n, float f) {
+	for (int i = 0; i < n; i++) {
+		A[i] = A[i] * f;
+	}
+}
+task k(float A[n], int n) {
+	scale(A, n, 2.0);
+	scale(A, n, 0.5);
+}`)
+	fn := mod.Func("k")
+	m := NewCostModel(cpu.DefaultParams())
+	a := New(m)
+	const n = 32
+	b := a.BoundFunc(fn, map[string]int64{"n": n})
+	if b.Kind != BoundExact {
+		t.Fatalf("kind = %s, want exact (diags %v)", b.Kind, b.Diags)
+	}
+	ratio := checkSound(t, m, b, observe(t, mod, fn, n))
+	if ratio > 1.05 {
+		t.Errorf("interprocedural bound not tight: %.3fx observed", ratio)
+	}
+}
+
+func TestBoundUnboundedIsDiagnosedNotClamped(t *testing.T) {
+	mod := compile(t, `
+task k(float A[n], int n) {
+	int i = 0;
+	while (A[i & 7] < 100.0) {
+		A[i & 7] = A[i & 7] + 1.0;
+		i = i + 1;
+	}
+}`)
+	fn := mod.Func("k")
+	a := New(NewCostModel(cpu.DefaultParams()))
+	b := a.BoundFunc(fn, map[string]int64{"n": 8})
+	if b.Kind != BoundUnbounded {
+		t.Skipf("front end bounded the while loop: %s", b.Kind)
+	}
+	if !math.IsInf(b.Cycles, 1) {
+		t.Errorf("unbounded bound has finite cycles %.0f", b.Cycles)
+	}
+	if len(b.Diags) == 0 {
+		t.Fatal("unbounded verdict carries no diagnostic")
+	}
+	d := b.Diags[0]
+	if d.Pass != "wcec" || d.Task != "k" {
+		t.Errorf("diagnostic misattributed: %+v", d)
+	}
+
+	// A profile hint turns the same loop into a finite profile-kind bound.
+	a2 := New(NewCostModel(cpu.DefaultParams()))
+	a2.LoopHint = func(fn *ir.Func, l *ir.Loop) (int64, bool) { return 1000, true }
+	b2 := a2.BoundFunc(fn, map[string]int64{"n": 8})
+	if b2.Kind != BoundProfile {
+		t.Fatalf("hinted kind = %s, want profile", b2.Kind)
+	}
+	if math.IsInf(b2.Cycles, 1) || b2.Cycles <= 0 {
+		t.Errorf("hinted bound not finite positive: %v", b2.Cycles)
+	}
+}
+
+func TestBoundRecursionUnbounded(t *testing.T) {
+	// The optimizer's inliner rejects recursion outright, so this guard is
+	// only reachable on unoptimized IR — analyze the lowered module directly.
+	mod, err := lower.Compile(`
+void r(float A[n], int n) {
+	if (n > 0) {
+		A[0] = A[0] + 1.0;
+		r(A, n - 1);
+	}
+}
+task k(float A[n], int n) {
+	r(A, n);
+}`, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	fn := mod.Func("k")
+	a := New(NewCostModel(cpu.DefaultParams()))
+	b := a.BoundFunc(fn, map[string]int64{"n": 4})
+	if b.Kind != BoundUnbounded {
+		t.Fatalf("recursive call bound = %s, want unbounded", b.Kind)
+	}
+	found := false
+	for _, d := range b.Diags {
+		if d.Pass == "wcec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no wcec diagnostic for recursion: %v", b.Diags)
+	}
+}
+
+func TestBoundMemoized(t *testing.T) {
+	mod := compile(t, `
+task k(float A[n], int n) {
+	for (int i = 0; i < n; i++) { A[i] = 0.0; }
+}`)
+	fn := mod.Func("k")
+	a := New(NewCostModel(cpu.DefaultParams()))
+	b1 := a.BoundFunc(fn, map[string]int64{"n": 16})
+	b2 := a.BoundFunc(fn, map[string]int64{"n": 16})
+	if b1 != b2 {
+		t.Error("same binding not memoized")
+	}
+	b3 := a.BoundFunc(fn, map[string]int64{"n": 32})
+	if b3 == b1 || b3.Cycles <= b1.Cycles {
+		t.Errorf("different binding shares or shrinks the bound: %v vs %v", b3.Cycles, b1.Cycles)
+	}
+}

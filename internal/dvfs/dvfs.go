@@ -55,6 +55,21 @@ func (t Table) Fmin() Level { return t.Levels[0] }
 // Fmax returns the highest operating point.
 func (t Table) Fmax() Level { return t.Levels[len(t.Levels)-1] }
 
+// LevelFor returns the slowest level whose frequency meets or exceeds the
+// required frequency in GHz — the speed-update rule of RWCEC-driven DVFS:
+// given remaining worst-case work and remaining time, run just fast enough.
+// Requirements above fmax saturate at fmax (the deadline is then already
+// infeasible under the worst case); zero or negative requirements floor at
+// fmin.
+func (t Table) LevelFor(reqGHz float64) Level {
+	for _, l := range t.Levels {
+		if l.Freq >= reqGHz {
+			return l
+		}
+	}
+	return t.Fmax()
+}
+
 // ByFreq returns the level with the given frequency.
 func (t Table) ByFreq(f float64) (Level, error) {
 	for _, l := range t.Levels {

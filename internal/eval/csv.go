@@ -4,12 +4,21 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 )
+
+// csvEDP renders a normalized policy EDP for CSV ("" for NaN).
+func csvEDP(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%.6f", v)
+}
 
 // WriteTable1CSV writes Table 1 as CSV.
 func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"app", "affine_loops", "total_loops", "tasks", "ta_percent", "ta_usec"}); err != nil {
+	if err := cw.Write([]string{"app", "affine_loops", "total_loops", "tasks", "ta_percent", "ta_usec", "edp_minmax", "edp_optimal", "edp_rwcec"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -20,6 +29,9 @@ func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
 			fmt.Sprintf("%d", r.Tasks),
 			fmt.Sprintf("%.4f", r.TAPercent),
 			fmt.Sprintf("%.4f", r.TAMicros),
+			csvEDP(r.EDPMinMax),
+			csvEDP(r.EDPOptimal),
+			csvEDP(r.EDPRWCEC),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -339,13 +339,25 @@ type Table1Row struct {
 	// FailedTasks counts task executions whose execute phase faulted under
 	// full degradation.
 	FailedTasks int
+	// EDPMinMax, EDPOptimal, and EDPRWCEC compare the frequency policies on
+	// the compiler-DAE trace: EDP normalized to coupled execution at fmax.
+	// EDPRWCEC is the intra-task remaining-WCEC policy driven by the static
+	// bounds of internal/analysis/wcec; NaN (rendered "-") means the bounds
+	// could not be computed for this app.
+	EDPMinMax  float64
+	EDPOptimal float64
+	EDPRWCEC   float64
 }
 
-// Table1 computes the application characteristics from the Auto traces.
+// Table1 computes the application characteristics from the Auto traces. The
+// policy-EDP columns are evaluated sequentially from the traces (and, for
+// rwcec, from a deterministic rebuild of the static bounds), so rows are
+// byte-identical regardless of the Workers count used for collection.
 func Table1(data []*AppData, m rt.Machine) []Table1Row {
 	var rows []Table1Row
 	for _, d := range data {
 		met := rt.Evaluate(d.Auto, m, rt.PolicyMinMax)
+		base := rt.Evaluate(d.CAE, m, rt.PolicyFixed)
 		row := Table1Row{
 			App:           d.Name,
 			Tasks:         met.Tasks,
@@ -353,6 +365,9 @@ func Table1(data []*AppData, m rt.Machine) []Table1Row {
 			TAMicros:      met.MeanAccessSeconds() * 1e6,
 			DegradedTasks: met.DegradedTasks,
 			FailedTasks:   met.FailedTasks,
+			EDPMinMax:     met.EDP / base.EDP,
+			EDPOptimal:    rt.Evaluate(d.Auto, m, rt.PolicyOptimalEDP).EDP / base.EDP,
+			EDPRWCEC:      rwcecEDP(d, m, base.EDP),
 		}
 		for _, r := range d.Results {
 			row.AffineLoops += r.AffineLoops

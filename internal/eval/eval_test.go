@@ -288,8 +288,8 @@ func TestCSVOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("table1 csv unparsable: %v", err)
 	}
-	if len(recs) != 8 || len(recs[0]) != 6 {
-		t.Errorf("table1 csv shape %dx%d, want 8x6", len(recs), len(recs[0]))
+	if len(recs) != 8 || len(recs[0]) != 9 {
+		t.Errorf("table1 csv shape %dx%d, want 8x9 (policy EDP columns included)", len(recs), len(recs[0]))
 	}
 
 	rows := Fig3(data, m)

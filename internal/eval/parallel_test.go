@@ -64,6 +64,14 @@ func TestParallelCollectionDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameTraces(t, seq, par)
+	// Table 1 — including the rwcec policy column, whose bounds come from a
+	// deterministic per-app rebuild — must be byte-identical across worker
+	// counts.
+	m := rt.DefaultMachine()
+	t1, t2 := FormatTable1(Table1(seq, m)), FormatTable1(Table1(par, m))
+	if t1 != t2 {
+		t.Errorf("Table 1 differs across worker counts:\n--- workers=1\n%s--- workers=4\n%s", t1, t2)
+	}
 }
 
 // TestCollectAggregatesErrors: a failing benchmark must not mask the other

@@ -2,18 +2,31 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"dae/internal/dae"
 )
 
-// FormatTable1 renders Table 1 in the paper's layout.
+// edpCell renders a normalized policy EDP, with "-" for NaN (the policy
+// could not be evaluated — e.g. no static bounds for rwcec).
+func edpCell(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// FormatTable1 renders Table 1 in the paper's layout, extended with the
+// policy-EDP comparison columns (normalized to CAE @ fmax): min/max f.,
+// locally-optimal EDP, and the intra-task RWCEC policy.
 func FormatTable1(rows []Table1Row) string {
 	var sb strings.Builder
 	sb.WriteString("Table 1. Application characteristics\n")
-	sb.WriteString(fmt.Sprintf("%-10s %14s %10s %8s %10s %9s\n",
-		"Application", "#affine/total", "#tasks", "TA%", "TA(usec)", "degraded"))
+	sb.WriteString(fmt.Sprintf("%-10s %14s %10s %8s %10s %9s %9s %9s %9s\n",
+		"Application", "#affine/total", "#tasks", "TA%", "TA(usec)", "degraded",
+		"EDP(mm)", "EDP(opt)", "EDP(rwcec)"))
 	degraded := false
 	for _, r := range rows {
 		deg := "-"
@@ -24,8 +37,9 @@ func FormatTable1(rows []Table1Row) string {
 			}
 			degraded = true
 		}
-		sb.WriteString(fmt.Sprintf("%-10s %10d/%-3d %10d %8.2f %10.2f %9s\n",
-			r.App, r.AffineLoops, r.TotalLoops, r.Tasks, r.TAPercent, r.TAMicros, deg))
+		sb.WriteString(fmt.Sprintf("%-10s %10d/%-3d %10d %8.2f %10.2f %9s %9s %9s %9s\n",
+			r.App, r.AffineLoops, r.TotalLoops, r.Tasks, r.TAPercent, r.TAMicros, deg,
+			edpCell(r.EDPMinMax), edpCell(r.EDPOptimal), edpCell(r.EDPRWCEC)))
 	}
 	if degraded {
 		sb.WriteString("(degraded tasks ran coupled at the fixed frequency and forfeit the DVFS benefit;\n" +

@@ -1,0 +1,273 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dae/internal/analysis"
+	"dae/internal/analysis/wcec"
+	"dae/internal/bench"
+	"dae/internal/rt"
+)
+
+// This file is the WCEC soundness gate: for every task record of every
+// (app, version) run it asserts `static WCEC >= observed cycles` under the
+// shared cost model — the analysis is worthless as a policy input if the
+// bound can be violated. The gate is honest about what it can assert:
+// profile-kind bounds (derived from observation) and unbounded verdicts are
+// *excluded with an explicit reason* rather than circularly certified, and
+// failed records (no observed work) are excluded likewise. Every record is
+// therefore either asserted sound or listed with the reason it was not.
+
+// WCECCheck is the verdict for one phase of one task record.
+type WCECCheck struct {
+	App  string
+	Run  string // "coupled", "manual-dae", "compiler-dae"
+	Task string
+	// Index is the record index within the run's trace.
+	Index int
+	// Phase is "exec" or "access".
+	Phase string
+	// Kind is the bound's provenance ("exact", "static", "profile",
+	// "unbounded"), or "" when no bound was computed.
+	Kind     string
+	Bound    float64
+	Observed float64
+	// Excluded records are not asserted; Reason says why.
+	Excluded bool
+	Reason   string
+	// Violated is set when an asserted bound was below the observation.
+	Violated bool
+}
+
+// Tightness returns bound/observed (how loose the bound is), or 0 when the
+// check was excluded or the observation empty.
+func (c WCECCheck) Tightness() float64 {
+	if c.Excluded || c.Observed <= 0 {
+		return 0
+	}
+	return c.Bound / c.Observed
+}
+
+// WCECRunSummary aggregates one (app, run) pair.
+type WCECRunSummary struct {
+	App, Run                       string
+	Asserted, Excluded, Violations int
+	// MinTightness/MaxTightness cover the asserted execute-phase checks.
+	MinTightness, MaxTightness float64
+}
+
+// WCECReport is the gate's full result.
+type WCECReport struct {
+	Checks []WCECCheck
+	Runs   []WCECRunSummary
+	// Diags carries one SevError diagnostic per violation (the CI gate fails
+	// on any) plus the analyzers' own wcec warnings for unbounded tasks.
+	Diags []analysis.Diagnostic
+}
+
+// Violations counts asserted checks that failed.
+func (r *WCECReport) Violations() int {
+	n := 0
+	for _, c := range r.Checks {
+		if c.Violated {
+			n++
+		}
+	}
+	return n
+}
+
+// WCECSoundness checks every record of every run in data against the static
+// bounds. Builds are reconstructed per app (deterministically, like the
+// traces themselves), so the gate works on cached trace data too.
+func WCECSoundness(data []*AppData, m rt.Machine) (*WCECReport, error) {
+	rep := &WCECReport{}
+	an := wcec.New(wcec.NewCostModel(m.CPU))
+	for _, d := range data {
+		app, err := bench.AppByName(d.Name)
+		if err != nil {
+			return nil, err
+		}
+		auto, err := app.Build(bench.Auto)
+		if err != nil {
+			return nil, fmt.Errorf("wcec gate: rebuild %s (auto): %w", d.Name, err)
+		}
+		manual, err := app.Build(bench.Manual)
+		if err != nil {
+			return nil, fmt.Errorf("wcec gate: rebuild %s (manual): %w", d.Name, err)
+		}
+		runs := []struct {
+			run string
+			tr  *rt.Trace
+			w   *rt.Workload
+		}{
+			{"coupled", d.CAE, auto.W},
+			{"manual-dae", d.Manual, manual.W},
+			{"compiler-dae", d.Auto, auto.W},
+		}
+		for _, r := range runs {
+			bs := rt.WorkloadBounds(r.w, an)
+			rep.checkRun(d.Name, r.run, r.tr, bs)
+		}
+	}
+	return rep, nil
+}
+
+// checkRun verifies one trace against its aligned bound set.
+func (rep *WCECReport) checkRun(app, run string, tr *rt.Trace, bs *rt.BoundSet) {
+	sum := WCECRunSummary{App: app, Run: run}
+	if len(bs.Exec) != len(tr.Records) {
+		// Misalignment means the rebuilt workload diverged from the traced
+		// one — a gate bug, reported loudly rather than skipped quietly.
+		rep.Diags = append(rep.Diags, analysis.Diagnostic{
+			Pass: "wcec-gate", Sev: analysis.SevError, Task: app,
+			Msg: fmt.Sprintf("%s/%s: %d bounds for %d records (workload rebuild diverged)",
+				app, run, len(bs.Exec), len(tr.Records)),
+		})
+		rep.Runs = append(rep.Runs, sum)
+		return
+	}
+	add := func(c WCECCheck) {
+		rep.Checks = append(rep.Checks, c)
+		switch {
+		case c.Excluded:
+			sum.Excluded++
+		case c.Violated:
+			sum.Violations++
+			rep.Diags = append(rep.Diags, analysis.Diagnostic{
+				Pass: "wcec-gate", Sev: analysis.SevError, Task: c.Task,
+				Msg: fmt.Sprintf("%s/%s record %d %s phase: static bound %.0f cycles < observed %.0f (kind %s)",
+					c.App, c.Run, c.Index, c.Phase, c.Bound, c.Observed, c.Kind),
+			})
+		default:
+			sum.Asserted++
+			if c.Phase == "exec" {
+				t := c.Tightness()
+				if sum.MinTightness == 0 || t < sum.MinTightness {
+					sum.MinTightness = t
+				}
+				if t > sum.MaxTightness {
+					sum.MaxTightness = t
+				}
+			}
+		}
+	}
+	check := func(i int, phase string, b *wcec.Bound, observed float64, excludeReason string) {
+		rec := &tr.Records[i]
+		c := WCECCheck{App: app, Run: run, Task: rec.Name, Index: i, Phase: phase, Observed: observed}
+		if b != nil {
+			c.Kind = b.Kind.String()
+			c.Bound = b.Cycles
+		}
+		switch {
+		case excludeReason != "":
+			c.Excluded, c.Reason = true, excludeReason
+		case b == nil:
+			c.Excluded, c.Reason = true, "no static bound computed"
+		case b.Kind == wcec.BoundUnbounded:
+			c.Excluded, c.Reason = true, unboundedReason(b)
+		case b.Kind == wcec.BoundProfile:
+			c.Excluded, c.Reason = true, "profile-derived bound (would certify the observation against itself)"
+		case b.Cycles < observed:
+			c.Violated = true
+		}
+		add(c)
+	}
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		execReason := ""
+		if rec.Failed {
+			execReason = fmt.Sprintf("execute phase faulted (%s): no observed work to compare", rec.FaultKind)
+		}
+		// Degraded records ran coupled, but the execute phase still ran the
+		// task function the bound covers — assert it as usual.
+		check(i, "exec", bs.Exec[i], bs.Model.Cycles(rec.ExecWork.Counts), execReason)
+		switch {
+		case rec.Degraded:
+			check(i, "access", bs.Access[i], 0,
+				fmt.Sprintf("access phase degraded (%s): phase did not run", rec.FaultKind))
+		case rec.HasAccess:
+			check(i, "access", bs.Access[i], bs.Model.Cycles(rec.AccessWork.Counts), "")
+		}
+	}
+	rep.Runs = append(rep.Runs, sum)
+}
+
+func unboundedReason(b *wcec.Bound) string {
+	for _, d := range b.Diags {
+		return "unbounded: " + d.Msg
+	}
+	return "unbounded: no finite static bound"
+}
+
+// FormatWCEC renders the gate report: per-run summary rows, then every
+// exclusion with its reason, then every violation.
+func FormatWCEC(rep *WCECReport) string {
+	var sb strings.Builder
+	sb.WriteString("WCEC soundness (static bound vs observed cycles, shared cost model)\n")
+	fmt.Fprintf(&sb, "%-10s %-14s %9s %9s %11s %16s\n",
+		"app", "run", "asserted", "excluded", "violations", "tightness")
+	for _, s := range rep.Runs {
+		tight := "-"
+		if s.MinTightness > 0 {
+			tight = fmt.Sprintf("%.2f..%.2f", s.MinTightness, s.MaxTightness)
+		}
+		fmt.Fprintf(&sb, "%-10s %-14s %9d %9d %11d %16s\n",
+			s.App, s.Run, s.Asserted, s.Excluded, s.Violations, tight)
+	}
+	var excluded, violated []WCECCheck
+	for _, c := range rep.Checks {
+		switch {
+		case c.Violated:
+			violated = append(violated, c)
+		case c.Excluded:
+			excluded = append(excluded, c)
+		}
+	}
+	if len(excluded) > 0 {
+		sb.WriteString("excluded from assertion:\n")
+		seen := make(map[string]bool)
+		for _, c := range excluded {
+			// One line per (app, run, task, phase, reason): batches repeat
+			// task types with identical verdicts.
+			key := c.App + "/" + c.Run + "/" + c.Task + "/" + c.Phase + "/" + c.Reason
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintf(&sb, "  %s/%s task %s (%s): %s\n", c.App, c.Run, c.Task, c.Phase, c.Reason)
+		}
+	}
+	for _, c := range violated {
+		fmt.Fprintf(&sb, "VIOLATION %s/%s record %d task %s (%s): bound %.0f < observed %.0f\n",
+			c.App, c.Run, c.Index, c.Task, c.Phase, c.Bound, c.Observed)
+	}
+	if len(violated) == 0 {
+		sb.WriteString("soundness: PASS (all asserted bounds hold)\n")
+	}
+	return sb.String()
+}
+
+// rwcecEDP evaluates the intra-task RWCEC policy for one app's compiler-DAE
+// trace, returning the EDP normalized to base. The bounds come from a fresh
+// deterministic rebuild; profile fallback fills skeleton-path tasks from the
+// trace itself (margin 1.2). NaN reports an evaluation failure — rendered as
+// "-" in the table, never silently zero.
+func rwcecEDP(d *AppData, m rt.Machine, baseEDP float64) float64 {
+	app, err := bench.AppByName(d.Name)
+	if err != nil {
+		return math.NaN()
+	}
+	b, err := app.Build(bench.Auto)
+	if err != nil {
+		return math.NaN()
+	}
+	bs := rt.WorkloadBounds(b.W, wcec.New(wcec.NewCostModel(m.CPU)))
+	rt.FillProfileBounds(bs, d.Auto, 1.2)
+	met := rt.EvaluateWithBounds(d.Auto, m, rt.PolicyRWCEC, bs)
+	if met.EDP <= 0 || baseEDP <= 0 {
+		return math.NaN()
+	}
+	return met.EDP / baseEDP
+}

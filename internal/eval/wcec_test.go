@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dae/internal/fault"
+	"dae/internal/fault/inject"
+	"dae/internal/rt"
+)
+
+// TestWCECSoundnessAllRuns is the gate's acceptance scenario: for every task
+// record in all 21 (app, version) runs the static bound must hold against the
+// observed cycle count, and every record that cannot be asserted must carry
+// an explicit exclusion reason. Affine-path (exact) bounds must additionally
+// be within 2x of the observation on the dense-kernel apps.
+func TestWCECSoundnessAllRuns(t *testing.T) {
+	data := collect(t)
+	m := rt.DefaultMachine()
+	rep, err := WCECSoundness(data, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Violations(); n != 0 {
+		t.Fatalf("%d soundness violations:\n%s", n, FormatWCEC(rep))
+	}
+	if len(rep.Runs) != 3*len(data) {
+		t.Fatalf("%d run summaries, want %d", len(rep.Runs), 3*len(data))
+	}
+	asserted := 0
+	for _, c := range rep.Checks {
+		if c.Excluded {
+			if c.Reason == "" {
+				t.Errorf("%s/%s task %s (%s): excluded without a reason", c.App, c.Run, c.Task, c.Phase)
+			}
+			continue
+		}
+		asserted++
+		if c.Bound < c.Observed {
+			t.Errorf("%s/%s record %d (%s): asserted check not flagged: %.0f < %.0f",
+				c.App, c.Run, c.Index, c.Phase, c.Bound, c.Observed)
+		}
+	}
+	if asserted == 0 {
+		t.Fatal("gate asserted nothing — every check was excluded")
+	}
+	// Affine nests produce exact bounds; those must be tight (within 2x) on
+	// the dense kernels, or the analysis is too conservative to drive DVFS.
+	tight := map[string]bool{"LU": true, "Cholesky": true, "CG": true}
+	for _, c := range rep.Checks {
+		if c.Excluded || c.Phase != "exec" || c.Kind != "exact" || !tight[c.App] {
+			continue
+		}
+		if r := c.Tightness(); r > 2.0 {
+			t.Errorf("%s/%s task %s: exact bound %.2fx observed (want <= 2x)", c.App, c.Run, c.Task, r)
+		}
+	}
+	out := FormatWCEC(rep)
+	if !strings.Contains(out, "soundness: PASS") {
+		t.Errorf("report missing PASS line:\n%s", out)
+	}
+	for _, d := range data {
+		if !strings.Contains(out, d.Name) {
+			t.Errorf("report missing app %s", d.Name)
+		}
+	}
+	t.Logf("wcec gate: %d checks asserted across %d runs", asserted, len(rep.Runs))
+}
+
+// TestWCECSoundnessUnderDegradation covers the gate's behavior when a run
+// degrades: the quarantined task's execute phase still ran the bounded
+// function (coupled), so it stays asserted; its access phase never ran and
+// must be excluded with an explicit reason — never silently dropped and
+// never counted as a violation.
+func TestWCECSoundnessUnderDegradation(t *testing.T) {
+	ctx := context.Background()
+	cfg := rt.DefaultTraceConfig()
+	cfg.Degrade = rt.DegradeAccess
+	in := inject.New(inject.Rule{
+		Site: inject.SiteAccessPhase, App: "LU", Kind: "compiler-dae",
+		Mode: inject.ModeTrap, Trap: fault.TrapOutOfBounds, Once: true,
+	})
+	data, err := CollectAllWith(ctx, cfg, CollectOptions{Workers: 4, InjectPhase: in.PhaseFunc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AnyDegraded(data) {
+		t.Fatal("injection produced no degradation")
+	}
+	rep, err := WCECSoundness(data, rt.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Violations(); n != 0 {
+		t.Fatalf("degraded collection: %d violations:\n%s", n, FormatWCEC(rep))
+	}
+	sawDegradedAccess, sawDegradedExec := false, false
+	for _, c := range rep.Checks {
+		if c.App != "LU" || c.Run != "compiler-dae" {
+			continue
+		}
+		if c.Phase == "access" && c.Excluded && strings.Contains(c.Reason, "access phase degraded") {
+			sawDegradedAccess = true
+		}
+		if c.Phase == "exec" && !c.Excluded {
+			sawDegradedExec = true
+		}
+	}
+	if !sawDegradedAccess {
+		t.Error("no access check excluded with a degradation reason for LU/compiler-dae")
+	}
+	if !sawDegradedExec {
+		t.Error("no exec check asserted for LU/compiler-dae despite degradation (coupled exec still runs)")
+	}
+	if out := FormatWCEC(rep); !strings.Contains(out, "access phase degraded") {
+		t.Errorf("report does not surface the degradation exclusion:\n%s", out)
+	}
+}

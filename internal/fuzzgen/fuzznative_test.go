@@ -119,5 +119,11 @@ func FuzzPipeline(f *testing.F) {
 		for _, fn := range fns {
 			engineDifferential(t, prog2, fn, seed, 4<<20, src)
 		}
+
+		// WCEC soundness differential: any finite static bound the cost
+		// analysis produces for the task or an access version must dominate
+		// the cycles observed on the run, and unbounded verdicts must be
+		// diagnosed — on every seed the fuzzer finds.
+		wcecSoundnessCheck(t, prog2, fns, seed, src)
 	})
 }

@@ -22,6 +22,18 @@ func (b *Block) Term() Terminator {
 	return t
 }
 
+// Pos returns the block's best source position: the first instruction that
+// carries a valid one. Diagnostics that point at blocks (e.g. loop headers in
+// the WCEC analysis) use this to stay clickable after passes rewrite the CFG.
+func (b *Block) Pos() Pos {
+	for _, in := range b.Instrs {
+		if p := in.Pos(); p.IsValid() {
+			return p
+		}
+	}
+	return Pos{}
+}
+
 // Succs returns the successor blocks.
 func (b *Block) Succs() []*Block {
 	t := b.Term()

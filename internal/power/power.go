@@ -58,6 +58,17 @@ func (m Model) CorePower(ipc float64, l dvfs.Level) float64 {
 // during a DVFS transition, §6.1: "we count only the static energy").
 func (m Model) IdleCorePower(l dvfs.Level) float64 { return m.StaticCore(l) }
 
+// EnergyBound converts a static worst-case cycle bound into a worst-case
+// core energy bound in joules at operating point l: the cycles take
+// cycles/(f·1e9) seconds, charged at the core's full power with the
+// pipeline's sustained IPC (the worst case for dynamic power under the
+// linear Ceff model — observed IPC can only be lower). This is the static
+// mirror of the simulator's per-phase Energy(T, CorePower) charge.
+func (m Model) EnergyBound(cycles, issueWidth float64, l dvfs.Level) float64 {
+	t := cycles / (l.Freq * 1e9)
+	return Energy(t, m.CorePower(issueWidth, l))
+}
+
 // Energy returns E = T·P in joules.
 func Energy(timeSec, watts float64) float64 { return timeSec * watts }
 

@@ -114,3 +114,18 @@ func TestDVFSTableShape(t *testing.T) {
 		t.Error("ByFreq(5.0) should fail")
 	}
 }
+
+func TestEnergyBoundMirrorsPhaseCharge(t *testing.T) {
+	m := Default()
+	l := dvfs.Level{Freq: 2.0, Volt: 1.0}
+	const cycles, width = 2e9, 4.0
+	// 2e9 cycles at 2 GHz is one second at the core's full-IPC power.
+	want := Energy(1.0, m.CorePower(width, l))
+	if got := m.EnergyBound(cycles, width, l); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EnergyBound = %g, want %g", got, want)
+	}
+	// The bound dominates any observed-IPC charge of the same cycle count.
+	if got, obs := m.EnergyBound(cycles, width, l), Energy(1.0, m.CorePower(1.3, l)); got < obs {
+		t.Errorf("bound %g below observed-IPC energy %g", got, obs)
+	}
+}

@@ -2,7 +2,9 @@ package rt
 
 import (
 	"fmt"
+	"math"
 
+	"dae/internal/analysis/wcec"
 	"dae/internal/cpu"
 	"dae/internal/dvfs"
 	"dae/internal/power"
@@ -32,6 +34,14 @@ const (
 	// practical substitute for its offline-profiled optimum. The first
 	// instance of a task type runs at fmax.
 	PolicyOnline
+	// PolicyRWCEC reselects the execute-phase frequency *inside* the task at
+	// its static decision points (type-B branches, type-L loop exits and
+	// periodic loop checkpoints): at each point the core runs just fast
+	// enough to retire the remaining worst-case cycles (RWCEC) by the
+	// deadline — the worst case executed entirely at fmax. Requires a
+	// BoundSet (EvaluateWithBounds); tasks without a finite static bound
+	// fall back to fmax, and access phases run at fmin as under PolicyMinMax.
+	PolicyRWCEC
 )
 
 // Machine bundles the models a policy evaluation needs.
@@ -162,8 +172,23 @@ func localEDP(m Machine, p phasePlan) float64 {
 
 // Evaluate replays a trace under a frequency policy, charging phase times,
 // DVFS transition latencies (static-only energy, §6.1), and barrier idle
-// time (static energy at the core's current level).
+// time (static energy at the core's current level). PolicyRWCEC needs the
+// static bounds — use EvaluateWithBounds; without them it degenerates to
+// running every execute phase at fmax.
 func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics {
+	return EvaluateWithBounds(tr, m, pol, nil)
+}
+
+// EvaluateWithBounds is Evaluate with a static WCEC bound set (aligned with
+// tr.Records, see WorkloadBounds) for the intra-task PolicyRWCEC: each
+// execute phase is replayed as a sequence of chunks derived from the bound's
+// top-level segments (whole loops split into periodic checkpoints), and at
+// every chunk boundary the frequency is re-picked as the slowest level that
+// still retires the remaining worst-case cycles by the task's deadline —
+// the whole worst case executed at fmax. Tasks whose bound is missing,
+// unbounded, or already violated by the observed work fall back to a single
+// fmax phase. Other policies ignore bs entirely.
+func EvaluateWithBounds(tr *Trace, m Machine, pol FreqPolicy, bs *BoundSet) Metrics {
 	type coreState struct {
 		clock  float64
 		energy float64
@@ -234,6 +259,39 @@ func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics {
 		fixed = l
 	}
 
+	// runRWCEC replays one execute phase chunk by chunk, re-picking the
+	// level at every chunk boundary from remaining-WCEC over remaining time.
+	fmaxL := m.DVFS.Fmax()
+	runRWCEC := func(c *coreState, w cpu.PhaseWork, b *wcec.Bound) {
+		full := plan(m, w, fmaxL)
+		if bs == nil || b == nil || b.Kind == wcec.BoundUnbounded ||
+			math.IsInf(b.Cycles, 1) || b.Cycles <= 0 ||
+			bs.Model.Cycles(w.Counts) > b.Cycles {
+			// No usable bound (or the bound is already violated — unsound
+			// input): run the whole phase at fmax, the always-safe choice.
+			switchTo(c, fmaxL)
+			runPhase(c, full, false)
+			return
+		}
+		W := b.Cycles
+		deadline := W / (fmaxL.Freq * 1e9)
+		chunks := rwcecChunks(b)
+		start := c.clock
+		remaining := W
+		for _, cw := range chunks {
+			left := deadline - (c.clock - start)
+			l := fmaxL
+			if left > 0 {
+				l = m.DVFS.LevelFor(remaining / left / 1e9)
+			}
+			switchTo(c, l)
+			p := plan(m, w, l)
+			p.time *= cw / W
+			runPhase(c, p, false)
+			remaining -= cw
+		}
+	}
+
 	// Replay batch by batch.
 	ri := 0
 	for b := 0; b < tr.NumBatches; b++ {
@@ -259,13 +317,24 @@ func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics {
 			}
 			if rec.HasAccess {
 				var p phasePlan
-				if pol == PolicyOnline {
+				switch pol {
+				case PolicyOnline:
 					p = planOnline(rec.Name, rec.AccessWork, true)
-				} else {
+				case PolicyRWCEC:
+					// Access phases are memory-bound by construction: fmin,
+					// as under the naive policy.
+					p = plan(m, rec.AccessWork, m.DVFS.Fmin())
+				default:
 					p = planPhase(m, rec.AccessWork, true, pol)
 				}
 				switchTo(c, p.level)
 				runPhase(c, p, true)
+			}
+			if pol == PolicyRWCEC {
+				runRWCEC(c, rec.ExecWork, bs.BoundAt(ri))
+				out.Tasks++
+				ri++
+				continue
 			}
 			var p phasePlan
 			if pol == PolicyOnline {
@@ -308,6 +377,57 @@ func Evaluate(tr *Trace, m Machine, pol FreqPolicy) Metrics {
 	out.OtherEnergy += uncore
 	out.EDP = power.EDP(out.Time, out.Energy)
 	return out
+}
+
+// rwcec chunking limits: a loop segment is split into at most 16 periodic
+// checkpoints and a whole phase into at most 64 chunks, bounding the number
+// of reselection opportunities (and hence DVFS switches) per task.
+const (
+	rwcecLoopChunks = 16
+	rwcecMaxChunks  = 64
+)
+
+// rwcecChunks flattens a bound's top-level segments into chunk cycle
+// weights. Straight-line segments are one chunk (their boundaries are the
+// type-B/type-L decision points); loop segments split into equal periodic
+// checkpoints, the intra-loop reselection of the cfg-wcec-sim formulation.
+// Zero-cost segments are dropped.
+func rwcecChunks(b *wcec.Bound) []float64 {
+	var chunks []float64
+	for si, s := range b.Segments {
+		if len(chunks) >= rwcecMaxChunks {
+			// Out of reselection room: fold every remaining segment into one
+			// trailing chunk.
+			rest := 0.0
+			for _, r := range b.Segments[si:] {
+				rest += r.Cycles
+			}
+			if rest > 0 {
+				chunks = append(chunks, rest)
+			}
+			break
+		}
+		if s.Cycles <= 0 {
+			continue
+		}
+		k := 1
+		if s.Loop != nil && s.Iters > 1 {
+			k = rwcecLoopChunks
+			if int64(k) > s.Iters {
+				k = int(s.Iters)
+			}
+		}
+		if room := rwcecMaxChunks - len(chunks); k > room {
+			k = room
+		}
+		for i := 0; i < k; i++ {
+			chunks = append(chunks, s.Cycles/float64(k))
+		}
+	}
+	if len(chunks) == 0 {
+		chunks = []float64{b.Cycles}
+	}
+	return chunks
 }
 
 // String renders metrics compactly.

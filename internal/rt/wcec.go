@@ -1,0 +1,116 @@
+package rt
+
+import (
+	"dae/internal/analysis/wcec"
+	"dae/internal/interp"
+)
+
+// BoundSet carries the static WCEC bounds of a workload's task phases,
+// aligned with the records of a trace of that workload: RunContext appends
+// exactly one TaskRecord per task in batch iteration order, and
+// WorkloadBounds walks the same order, so Exec[i] and Access[i] bound
+// tr.Records[i]'s phases. The shared cost model converts both static
+// per-block mixes and observed count vectors into cycles, which is what
+// makes the two comparable (the soundness gate in internal/eval) and what
+// the rwcec policy divides by the deadline.
+type BoundSet struct {
+	Model wcec.CostModel
+	// Exec bounds each record's execute phase (nil entries carry no bound).
+	Exec []*wcec.Bound
+	// Access bounds each record's access phase (nil where the task has no
+	// access version).
+	Access []*wcec.Bound
+}
+
+// BoundAt returns the execute-phase bound for record index i, or nil.
+func (bs *BoundSet) BoundAt(i int) *wcec.Bound {
+	if bs == nil || i < 0 || i >= len(bs.Exec) {
+		return nil
+	}
+	return bs.Exec[i]
+}
+
+// taskEnv binds a task's integer parameters to its concrete arguments, the
+// environment every static analysis of this repo instantiates bounds at.
+func taskEnv(w *Workload, t Task) map[string]int64 {
+	fn := w.Module.Func(t.Name)
+	if fn == nil {
+		return nil
+	}
+	env := make(map[string]int64)
+	for i, p := range fn.Params {
+		if i < len(t.Args) && p.Typ.IsInt() && t.Args[i].IsInt() {
+			env[p.Nam] = t.Args[i].Int64()
+		}
+	}
+	return env
+}
+
+// WorkloadBounds statically bounds every task instance of the workload, in
+// the exact order RunContext records them (batch by batch, task by task), so
+// the result aligns index-for-index with any trace of w.
+func WorkloadBounds(w *Workload, a *wcec.Analyzer) *BoundSet {
+	bs := &BoundSet{Model: a.Model}
+	for _, batch := range w.Batches {
+		for _, t := range batch {
+			fn := w.Module.Func(t.Name)
+			if fn == nil {
+				bs.Exec = append(bs.Exec, nil)
+				bs.Access = append(bs.Access, nil)
+				continue
+			}
+			env := taskEnv(w, t)
+			bs.Exec = append(bs.Exec, a.BoundFunc(fn, env))
+			if acc := w.Access[t.Name]; acc != nil {
+				bs.Access = append(bs.Access, a.BoundFunc(acc, env))
+			} else {
+				bs.Access = append(bs.Access, nil)
+			}
+		}
+	}
+	return bs
+}
+
+// FillProfileBounds replaces unbounded execute bounds with profile-derived
+// ones taken from the trace itself: margin times the largest observed cycle
+// count of the same task type. This is the measured-profile fallback of
+// Profiling-Assisted DAE — it lets the rwcec policy act on skeleton paths
+// the static analysis cannot bound, at the cost of the bound's soundness
+// guarantee (the kind is BoundProfile, and the soundness gate excludes such
+// bounds from assertion rather than certifying them circularly).
+func FillProfileBounds(bs *BoundSet, tr *Trace, margin float64) {
+	if bs == nil || tr == nil || len(bs.Exec) != len(tr.Records) {
+		return
+	}
+	if margin < 1 {
+		margin = 1
+	}
+	worst := make(map[string]float64)
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if c := bs.Model.Cycles(rec.ExecWork.Counts); c > worst[rec.Name] {
+			worst[rec.Name] = c
+		}
+	}
+	for i, b := range bs.Exec {
+		if b == nil || b.Kind != wcec.BoundUnbounded {
+			continue
+		}
+		w := worst[tr.Records[i].Name] * margin
+		if w <= 0 {
+			continue
+		}
+		bs.Exec[i] = &wcec.Bound{
+			Fn:       b.Fn,
+			Kind:     wcec.BoundProfile,
+			Cycles:   w,
+			Segments: []wcec.Segment{{Cycles: w, Iters: 1}},
+		}
+	}
+}
+
+// observedCycles applies the bound set's cost model to an observed count
+// vector — the right-hand side of the soundness comparison.
+func (bs *BoundSet) ObservedCycles(c interp.Counts) float64 {
+	return bs.Model.Cycles(c)
+}

@@ -1,0 +1,112 @@
+package rt
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dae/internal/analysis/wcec"
+)
+
+func boundsFor(t *testing.T, w *Workload, m Machine) *BoundSet {
+	t.Helper()
+	return WorkloadBounds(w, wcec.New(wcec.NewCostModel(m.CPU)))
+}
+
+func TestWorkloadBoundsAlignAndHold(t *testing.T) {
+	w, _ := buildStream(t, 4096, 256)
+	tr, err := Run(w, DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	bs := boundsFor(t, w, m)
+	if len(bs.Exec) != len(tr.Records) || len(bs.Access) != len(tr.Records) {
+		t.Fatalf("bounds %d/%d not aligned with %d records", len(bs.Exec), len(bs.Access), len(tr.Records))
+	}
+	for i, rec := range tr.Records {
+		b := bs.Exec[i]
+		if b == nil || b.Kind == wcec.BoundUnbounded {
+			t.Fatalf("record %d (%s): no finite execute bound", i, rec.Name)
+		}
+		if obs := bs.ObservedCycles(rec.ExecWork.Counts); b.Cycles < obs {
+			t.Errorf("record %d: unsound bound %.0f < observed %.0f", i, b.Cycles, obs)
+		}
+		if a := bs.Access[i]; a == nil {
+			t.Errorf("record %d: missing access bound", i)
+		} else if obs := bs.ObservedCycles(rec.AccessWork.Counts); a.Cycles < obs {
+			t.Errorf("record %d: unsound access bound %.0f < observed %.0f", i, a.Cycles, obs)
+		}
+	}
+}
+
+func TestRWCECPolicyEvaluates(t *testing.T) {
+	w, _ := buildStream(t, 4096, 256)
+	tr, err := Run(w, DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	bs := boundsFor(t, w, m)
+
+	got := EvaluateWithBounds(tr, m, PolicyRWCEC, bs)
+	if got.Tasks != len(tr.Records) {
+		t.Fatalf("tasks = %d, want %d", got.Tasks, len(tr.Records))
+	}
+	if !(got.Time > 0) || !(got.Energy > 0) || math.IsInf(got.EDP, 0) || math.IsNaN(got.EDP) {
+		t.Fatalf("degenerate metrics: %+v", got)
+	}
+	// The policy replay is pure arithmetic over the trace and bounds: two
+	// evaluations must agree exactly (the Table 1 reproducibility claim).
+	again := EvaluateWithBounds(tr, m, PolicyRWCEC, bs)
+	if !reflect.DeepEqual(got, again) {
+		t.Errorf("rwcec evaluation not deterministic:\n%+v\n%+v", got, again)
+	}
+	// The deadline is the worst case at fmax, so actual time can only meet
+	// or beat the naive exec-at-fmax policy's on the time axis after adding
+	// slack — never undercut it (you cannot run faster than fmax).
+	minmax := Evaluate(tr, m, PolicyMinMax)
+	if got.Time < minmax.Time-1e-12 {
+		t.Errorf("rwcec time %.6g below minmax time %.6g", got.Time, minmax.Time)
+	}
+}
+
+func TestRWCECWithoutBoundsDegeneratesToMinMax(t *testing.T) {
+	w, _ := buildStream(t, 2048, 256)
+	tr, err := Run(w, DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	// No bounds: access at fmin, execute at fmax — exactly the naive policy.
+	got := EvaluateWithBounds(tr, m, PolicyRWCEC, nil)
+	want := Evaluate(tr, m, PolicyMinMax)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rwcec without bounds != minmax:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestFillProfileBounds(t *testing.T) {
+	w, _ := buildStream(t, 1024, 256)
+	tr, err := Run(w, DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultMachine()
+	bs := boundsFor(t, w, m)
+	// Force one bound unbounded, then fill from the trace profile.
+	orig := bs.Exec[1]
+	bs.Exec[1] = &wcec.Bound{Fn: orig.Fn, Kind: wcec.BoundUnbounded, Cycles: math.Inf(1)}
+	FillProfileBounds(bs, tr, 1.5)
+	b := bs.Exec[1]
+	if b.Kind != wcec.BoundProfile {
+		t.Fatalf("filled kind = %s, want profile", b.Kind)
+	}
+	if obs := bs.ObservedCycles(tr.Records[1].ExecWork.Counts); b.Cycles < obs {
+		t.Errorf("profile bound %.0f below its own observation %.0f", b.Cycles, obs)
+	}
+	// Finite bounds are left untouched.
+	if bs.Exec[0] == nil || bs.Exec[0].Kind == wcec.BoundProfile {
+		t.Errorf("finite bound rewritten: %+v", bs.Exec[0])
+	}
+}

@@ -1,0 +1,269 @@
+package scev
+
+import (
+	"fmt"
+
+	"dae/internal/ir"
+)
+
+// This file derives loop trip-count bounds from the recognized induction
+// variables — the foundation of the WCEC cost analysis (internal/analysis/
+// wcec). Every formula here is a *maximum* over the interval ranges of the
+// IV's lower and upper expressions at concrete parameter values, so a
+// returned count is an upper bound on the iterations of any single entry of
+// the loop; it is additionally exact when both range endpoints are single
+// points (rectangular bounds or fully concrete triangular corners).
+
+// Trip is the trip-count verdict for one loop at concrete parameters.
+type Trip struct {
+	// Count bounds the iterations of one entry of the loop (valid only when
+	// !Unbounded; always >= 0).
+	Count int64
+	// Exact reports that Count is the precise iteration count of every entry,
+	// not just an upper bound.
+	Exact bool
+	// Unbounded is set when no finite static bound exists; Reason says why.
+	Unbounded bool
+	Reason    string
+}
+
+// TripOf bounds the iterations of one entry of loop l given concrete integer
+// parameter values. It handles the shapes the front end produces plus the
+// edge cases the WCEC bound inherits: non-unit strides (ceil division),
+// downward-counting loops (gt/ge continuation with negative step), and
+// != exit conditions (bounded only when the stride provably lands on the
+// bound; a stride that steps over the bound wraps around and is reported
+// Unbounded rather than silently clamped).
+func (a *Analysis) TripOf(l *ir.Loop, env map[string]int64) Trip {
+	return a.tripOf(l, env, make(map[*ir.Loop]bool))
+}
+
+func unbounded(format string, args ...any) Trip {
+	return Trip{Unbounded: true, Reason: fmt.Sprintf(format, args...)}
+}
+
+func (a *Analysis) tripOf(l *ir.Loop, env map[string]int64, visiting map[*ir.Loop]bool) Trip {
+	iv := a.IVs[l]
+	if iv == nil {
+		return unbounded("no recognized induction variable")
+	}
+	if !iv.WellFormed() {
+		return unbounded("loop bounds are not affine")
+	}
+	if iv.Step == 0 {
+		return unbounded("zero-step induction variable")
+	}
+	if visiting[l] {
+		return unbounded("cyclic bound dependence")
+	}
+	visiting[l] = true
+	defer delete(visiting, l)
+
+	llo, lhi, ok := a.rangeOf(iv.Lower, env, visiting)
+	if !ok {
+		return unbounded("initial value %s not evaluable at these parameters", iv.Lower)
+	}
+	blo, bhi, ok := a.rangeOf(iv.Bound, env, visiting)
+	if !ok {
+		return unbounded("bound %s not evaluable at these parameters", iv.Bound)
+	}
+	exact := llo == lhi && blo == bhi
+	s := iv.Step
+
+	clamp := func(n int64) Trip {
+		if n < 0 {
+			n = 0
+		}
+		return Trip{Count: n, Exact: exact}
+	}
+	switch iv.Pred {
+	case ir.LT:
+		if s < 0 {
+			return unbounded("negative step with ascending bound (iv moves away from exit)")
+		}
+		return clamp(ceilDiv(bhi-llo, s))
+	case ir.LE:
+		if s < 0 {
+			return unbounded("negative step with ascending bound (iv moves away from exit)")
+		}
+		return clamp(floorDiv(bhi-llo, s) + 1)
+	case ir.GT:
+		if s > 0 {
+			return unbounded("positive step with descending bound (iv moves away from exit)")
+		}
+		return clamp(ceilDiv(lhi-blo, -s))
+	case ir.GE:
+		if s > 0 {
+			return unbounded("positive step with descending bound (iv moves away from exit)")
+		}
+		return clamp(floorDiv(lhi-blo, -s) + 1)
+	case ir.NE:
+		// The body runs while iv != bound: finite only when the stride
+		// provably lands on the bound, which needs point-interval endpoints.
+		if !exact {
+			return unbounded("!= exit with interval-valued bounds")
+		}
+		diff := blo - llo
+		if diff == 0 {
+			return Trip{Count: 0, Exact: true}
+		}
+		if (diff > 0) != (s > 0) {
+			return unbounded("!= exit with iv starting past the bound")
+		}
+		if diff%s != 0 {
+			return unbounded("!= exit stride %d never lands on the bound (distance %d)", s, diff)
+		}
+		return Trip{Count: diff / s, Exact: true}
+	case ir.EQ:
+		// The body runs while iv == bound; a nonzero step leaves the bound
+		// after one iteration, so the count is at most 1.
+		if lhi < blo || bhi < llo {
+			return Trip{Count: 0, Exact: exact}
+		}
+		return Trip{Count: 1, Exact: exact}
+	}
+	return unbounded("unsupported exit predicate %s", iv.Pred)
+}
+
+// ceilDiv returns ceil(a/b) for b > 0 and non-negative results of interest.
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// floorDiv returns floor(a/b) for b > 0, used only on a >= 0 paths (negative
+// numerators are clamped to a zero trip count by the caller).
+func floorDiv(a, b int64) int64 {
+	if a < 0 {
+		return -1 // caller adds 1 -> 0 trips
+	}
+	return a / b
+}
+
+// rangeOf evaluates an affine expression to an interval [lo, hi] at concrete
+// parameter values. Symbol terms must evaluate exactly; IV terms of enclosing
+// loops contribute the IV's full value range (derived from its own lower
+// bound and trip count), which is what makes triangular bounds evaluable —
+// conservatively, as an interval.
+func (a *Analysis) rangeOf(af Affine, env map[string]int64, visiting map[*ir.Loop]bool) (lo, hi int64, ok bool) {
+	lo, hi = af.Const, af.Const
+	for sym, co := range af.Sym {
+		v, ok := EvalInt(sym, env)
+		if !ok {
+			return 0, 0, false
+		}
+		lo += co * v
+		hi += co * v
+	}
+	for phi, co := range af.IV {
+		iv := a.ivOf[phi]
+		if iv == nil {
+			return 0, 0, false
+		}
+		rlo, rhi, ok := a.ivRange(iv, env, visiting)
+		if !ok {
+			return 0, 0, false
+		}
+		if co >= 0 {
+			lo += co * rlo
+			hi += co * rhi
+		} else {
+			lo += co * rhi
+			hi += co * rlo
+		}
+	}
+	return lo, hi, true
+}
+
+// ivRange bounds the values iv takes across all iterations of its loop.
+func (a *Analysis) ivRange(iv *IVInfo, env map[string]int64, visiting map[*ir.Loop]bool) (lo, hi int64, ok bool) {
+	llo, lhi, ok := a.rangeOf(iv.Lower, env, visiting)
+	if !ok {
+		return 0, 0, false
+	}
+	tr := a.tripOf(iv.Loop, env, visiting)
+	if tr.Unbounded {
+		return 0, 0, false
+	}
+	last := tr.Count - 1
+	if last < 0 {
+		last = 0
+	}
+	if iv.Step > 0 {
+		return llo, lhi + last*iv.Step, true
+	}
+	return llo + last*iv.Step, lhi, true
+}
+
+// EvalInt evaluates a loop-invariant integer value at concrete parameter
+// values (by parameter name). It covers the shapes the front end produces
+// for dimensions and bounds: constants, int parameters, and integer
+// arithmetic over them.
+func EvalInt(v ir.Value, env map[string]int64) (int64, bool) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return x.V, true
+	case *ir.Param:
+		if !x.Typ.IsInt() {
+			return 0, false
+		}
+		val, ok := env[x.Nam]
+		return val, ok
+	case *ir.Bin:
+		a, ok := EvalInt(x.X, env)
+		if !ok {
+			return 0, false
+		}
+		b, ok := EvalInt(x.Y, env)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case ir.IAdd:
+			return a + b, true
+		case ir.ISub:
+			return a - b, true
+		case ir.IMul:
+			return a * b, true
+		case ir.IDiv:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case ir.IRem:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case ir.IAnd:
+			return a & b, true
+		case ir.IOr:
+			return a | b, true
+		case ir.IXor:
+			return a ^ b, true
+		case ir.IShl:
+			if b < 0 || b > 62 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case ir.IShr:
+			if b < 0 || b > 62 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case ir.IMin:
+			if a < b {
+				return a, true
+			}
+			return b, true
+		case ir.IMax:
+			if a > b {
+				return a, true
+			}
+			return b, true
+		}
+	}
+	return 0, false
+}

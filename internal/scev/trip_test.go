@@ -1,0 +1,251 @@
+package scev
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTripOfTable pins the trip-count edge cases the WCEC bound inherits:
+// non-unit strides, downward-counting loops, != exits, and the unbounded
+// verdicts that must be reported rather than clamped. Each source has a
+// single top-level loop; the expectation is checked against TripOf at the
+// given environment.
+func TestTripOfTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		env  map[string]int64
+
+		count     int64
+		exact     bool
+		unbounded bool
+		reason    string // substring of the unbounded reason
+	}{
+		{
+			name: "unit stride upward",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i < n; i++) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 17},
+			count: 17, exact: true,
+		},
+		{
+			name: "non-unit stride needs ceil division",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i < n; i += 3) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 10},
+			count: 4, exact: true, // i = 0,3,6,9
+		},
+		{
+			name: "non-unit stride exact multiple",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i < n; i += 3) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 9},
+			count: 3, exact: true, // i = 0,3,6
+		},
+		{
+			name: "inclusive upper bound",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i <= n; i += 2) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 8},
+			count: 5, exact: true, // i = 0,2,4,6,8
+		},
+		{
+			name: "downward counting exclusive",
+			src: `task k(float A[n], int n) {
+				for (int i = n - 1; i > 0; i--) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 6},
+			count: 5, exact: true, // i = 5..1
+		},
+		{
+			name: "downward counting inclusive",
+			src: `task k(float A[n], int n) {
+				for (int i = n - 1; i >= 0; i--) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 6},
+			count: 6, exact: true, // i = 5..0
+		},
+		{
+			name: "downward with stride two",
+			src: `task k(float A[n], int n) {
+				for (int i = n; i > 0; i -= 2) { A[i - 1] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 7},
+			count: 4, exact: true, // i = 7,5,3,1
+		},
+		{
+			name: "negative trip count clamps to zero",
+			src: `task k(float A[n], int n) {
+				for (int i = 8; i < n; i++) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 3},
+			count: 0, exact: true,
+		},
+		{
+			name: "!= exit landing on the bound",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i != n; i++) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 12},
+			count: 12, exact: true,
+		},
+		{
+			name: "!= exit with stride dividing the distance",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i != n; i += 4) { A[i] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 12},
+			count: 3, exact: true, // i = 0,4,8
+		},
+		{
+			name: "!= exit downward",
+			src: `task k(float A[n], int n) {
+				for (int i = n; i != 0; i -= 3) { A[i - 1] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 9},
+			count: 3, exact: true, // i = 9,6,3
+		},
+		{
+			name: "!= exit stride steps over the bound",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i != n; i += 4) { A[i & 7] = 0.0; }
+			}`,
+			env:       map[string]int64{"n": 10},
+			unbounded: true, reason: "never lands on the bound",
+		},
+		{
+			name: "!= exit starting past the bound",
+			src: `task k(float A[n], int n) {
+				for (int i = 8; i != n; i++) { A[i & 7] = 0.0; }
+			}`,
+			env:       map[string]int64{"n": 3},
+			unbounded: true, reason: "starting past the bound",
+		},
+		{
+			name: "!= exit already at the bound",
+			src: `task k(float A[n], int n) {
+				for (int i = 4; i != n; i++) { A[i & 7] = 0.0; }
+			}`,
+			env:   map[string]int64{"n": 4},
+			count: 0, exact: true,
+		},
+		{
+			name: "step moves away from the bound",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i < n; i -= 1) { A[i & 7] = 0.0; }
+			}`,
+			env:       map[string]int64{"n": 5},
+			unbounded: true, reason: "moves away",
+		},
+		{
+			name: "unknown parameter leaves the bound unevaluable",
+			src: `task k(float A[n], int n) {
+				for (int i = 0; i < n; i++) { A[i] = 0.0; }
+			}`,
+			env:       map[string]int64{},
+			unbounded: true, reason: "not evaluable",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, f := analyzeTask(t, tc.src, "k")
+			if len(a.Loops.Top) != 1 {
+				t.Fatalf("top-level loops = %d, want 1:\n%s", len(a.Loops.Top), f)
+			}
+			tr := a.TripOf(a.Loops.Top[0], tc.env)
+			if tr.Unbounded != tc.unbounded {
+				t.Fatalf("unbounded = %v (reason %q), want %v", tr.Unbounded, tr.Reason, tc.unbounded)
+			}
+			if tc.unbounded {
+				if !strings.Contains(tr.Reason, tc.reason) {
+					t.Errorf("reason = %q, want substring %q", tr.Reason, tc.reason)
+				}
+				return
+			}
+			if tr.Count != tc.count {
+				t.Errorf("count = %d, want %d", tr.Count, tc.count)
+			}
+			if tr.Exact != tc.exact {
+				t.Errorf("exact = %v, want %v", tr.Exact, tc.exact)
+			}
+		})
+	}
+}
+
+// TestTripOfTriangular checks interval evaluation of inner bounds that
+// reference outer IVs: the inner count is a valid bound for every outer
+// iteration, exact only when the dependence vanishes.
+func TestTripOfTriangular(t *testing.T) {
+	a, f := analyzeTask(t, `
+task lu(float A[N][N], int N) {
+	for (int i = 0; i < N; i++) {
+		for (int j = i + 1; j < N; j++) {
+			A[i][j] = 0.0;
+		}
+	}
+}`, "lu")
+	env := map[string]int64{"N": 8}
+	outer := a.Loops.Top[0]
+	tr := a.TripOf(outer, env)
+	if tr.Unbounded || tr.Count != 8 || !tr.Exact {
+		t.Fatalf("outer trip = %+v, want exact 8 (%s)", tr, f)
+	}
+	inner := outer.Children[0]
+	itr := a.TripOf(inner, env)
+	if itr.Unbounded {
+		t.Fatalf("inner trip unbounded: %s", itr.Reason)
+	}
+	// j runs from i+1 to N-1: the worst case (i=0) is N-1 = 7 iterations,
+	// and the dependence on i makes the per-entry count inexact.
+	if itr.Count != 7 {
+		t.Errorf("inner count = %d, want 7", itr.Count)
+	}
+	if itr.Exact {
+		t.Error("inner count must not claim exactness (depends on outer IV)")
+	}
+}
+
+// TestTripOfNoIV: a loop whose exit condition is data-dependent has no
+// recognized IV and must report unbounded with the canonical reason.
+func TestTripOfNoIV(t *testing.T) {
+	a, _ := analyzeTask(t, `
+task k(float A[n], int n) {
+	int i = 0;
+	while (A[i & 255] < 10.0) {
+		A[i & 255] = A[i & 255] + 1.0;
+		i = i + 1;
+	}
+}`, "k")
+	if len(a.Loops.Top) != 1 {
+		t.Skip("front end restructured the while loop")
+	}
+	tr := a.TripOf(a.Loops.Top[0], map[string]int64{"n": 256})
+	if !tr.Unbounded {
+		t.Fatalf("data-dependent loop must be unbounded, got count %d", tr.Count)
+	}
+}
+
+// TestEvalInt covers the exported concrete evaluator directly.
+func TestEvalInt(t *testing.T) {
+	a, f := analyzeTask(t, `
+task k(float A[n], int n, int b) {
+	int lim = n / 2 + b * 3 - 1;
+	for (int i = 0; i < lim; i++) { A[i] = 0.0; }
+}`, "k")
+	env := map[string]int64{"n": 10, "b": 4}
+	iv := a.IVFor(a.Loops.Top[0])
+	if iv == nil {
+		t.Fatalf("no IV:\n%s", f)
+	}
+	tr := a.TripOf(a.Loops.Top[0], env)
+	if tr.Unbounded || tr.Count != 16 { // 10/2 + 12 - 1
+		t.Fatalf("trip = %+v, want 16", tr)
+	}
+	if _, ok := EvalInt(nil, env); ok {
+		t.Error("EvalInt(nil) must fail")
+	}
+}
