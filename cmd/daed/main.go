@@ -15,23 +15,30 @@
 //   - Per-tenant quarantine (X-Dae-Tenant) contains one tenant's faults to
 //     that tenant's requests; the process and other tenants stay healthy.
 //
-// Endpoints: POST /v1/simulate, POST /v1/compile, GET /v1/stats,
-// DELETE /v1/quarantine, GET /healthz.
+// Endpoints: POST /v1/simulate, POST /v1/compile, POST /v1/trace,
+// GET /v1/stats, GET /v1/ring, POST /v1/members, DELETE /v1/quarantine,
+// GET /healthz.
 //
 // Usage:
 //
 //	daed [-addr :8787] [-dir path] [-workers n] [-queue-depth n]
 //	     [-run-workers n] [-default-timeout d] [-max-timeout d]
 //	     [-max-run-time d] [-max-steps n] [-store-max-bytes n]
-//	     [-node url -peers url1,url2 [-replicas r]] [-drain-timeout d]
+//	     [-node url [-peers url1,url2] [-replicas r] [-join url]]
+//	     [-repair-interval d] [-drain-timeout d]
 //
-// Cluster mode: give every node its own advertised URL (-node) and the
-// other members' URLs (-peers). Content keys shard across the members on a
-// shared consistent-hash ring with replication factor -replicas; nodes
-// proxy requests for keys they do not own, replicate artifacts write-behind,
-// and on SIGTERM drain gracefully — refusing new work with 503 +
-// Retry-After, finishing in-flight requests, and handing hot artifacts to
-// the surviving owners before exit.
+// Cluster mode: give every node its own advertised URL (-node) and either
+// the other members' URLs (-peers) for a static boot, or -join with any
+// live member's URL to enter an existing cluster at the next membership
+// epoch (a -node with neither is a cluster of one that others can join).
+// Content keys shard across the members on a shared consistent-hash ring
+// with replication factor -replicas; nodes proxy requests for keys they do
+// not own, replicate artifacts write-behind, and converge divergence
+// through the anti-entropy repair loop (-repair-interval) and read-repair.
+// On SIGTERM — or on being removed via POST /v1/members — a node drains
+// gracefully: refusing new work with 503 + Retry-After, finishing
+// in-flight requests, and handing hot artifacts to the surviving owners
+// before exit.
 package main
 
 import (
@@ -76,6 +83,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	node := fs.String("node", "", "this node's advertised base URL, e.g. http://10.0.0.1:8787 (cluster mode)")
 	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster members")
 	replicas := fs.Int("replicas", 0, "copies of each artifact across the cluster (0 = 2, clamped to membership)")
+	joinURL := fs.String("join", "", "URL of a live cluster member to join at startup (requires -node)")
+	repairInterval := fs.Duration("repair-interval", 0, "anti-entropy repair period (0 = 30s, negative = disabled)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +104,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "daed: -peers requires -node (this node's advertised URL)")
 		return 2
 	}
+	if *joinURL != "" && *node == "" {
+		fmt.Fprintln(stderr, "daed: -join requires -node (this node's advertised URL)")
+		return 2
+	}
 
 	srv := daed.New(daed.Config{
 		Dir:            *dir,
@@ -109,6 +122,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Self:           strings.TrimRight(*node, "/"),
 		Peers:          peerList,
 		Replicas:       *replicas,
+		RepairInterval: *repairInterval,
+		DrainTimeout:   *drainTimeout,
 		Log:            log.New(stderr, "", log.LstdFlags),
 	})
 
@@ -128,6 +143,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
+
+	if *joinURL != "" {
+		// Join after the listener is up: the admin's gossip of the new epoch
+		// must be able to reach this node, and warmup streams arrive here.
+		if err := joinCluster(ctx, strings.TrimRight(*joinURL, "/"), strings.TrimRight(*node, "/")); err != nil {
+			fmt.Fprintln(stderr, "daed:", err)
+			hs.Close()
+			srv.Close()
+			return 1
+		}
+		fmt.Fprintf(stdout, "daed: joined cluster via %s\n", *joinURL)
+	}
+
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -149,6 +177,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		_ = hs.Close()
 	}
+	srv.Close()
 	fmt.Fprintln(stdout, "daed: shut down")
 	return 0
+}
+
+// joinCluster asks a live member to admit this node, retrying briefly: at
+// deploy time the rest of the cluster may still be coming up.
+func joinCluster(ctx context.Context, member, self string) error {
+	c := &daed.Client{Base: member}
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 500 * time.Millisecond):
+			}
+		}
+		jctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := c.Join(jctx, self)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("join via %s: %w", member, lastErr)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -98,5 +99,103 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shut down") {
 		t.Errorf("no shutdown message; stdout:\n%s", out.String())
+	}
+}
+
+func TestRunJoinRequiresNode(t *testing.T) {
+	var out, errb syncBuffer
+	if code := run(context.Background(), []string{"-join", "http://127.0.0.1:1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-join requires -node") {
+		t.Fatalf("missing diagnostic; stderr:\n%s", errb.String())
+	}
+}
+
+// startDaemon boots one daemon via run and returns its base URL plus the
+// channel its exit code lands on.
+func startDaemon(t *testing.T, ctx context.Context, args []string, out, errb *syncBuffer) (string, chan int) {
+	t.Helper()
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, out, errb) }()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout:\n%s\nstderr:\n%s", out.String(), errb.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "daed: serving on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, done
+}
+
+// freePort reserves an ephemeral loopback port and releases it for the
+// daemon to claim. The window between close and re-listen is racy in
+// principle; in a test process it is reliable.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestJoinFlagGrowsCluster: a first node boots as a cluster of one, a
+// second boots with -join against it, and both converge on a two-member
+// view at the next epoch.
+func TestJoinFlagGrowsCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two full servers")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrA, addrB := freePort(t), freePort(t)
+	urlA, urlB := "http://"+addrA, "http://"+addrB
+
+	var outA, errA, outB, errB syncBuffer
+	_, doneA := startDaemon(t, ctx, []string{
+		"-addr", addrA, "-node", urlA, "-workers", "2", "-repair-interval", "200ms",
+	}, &outA, &errA)
+	_, doneB := startDaemon(t, ctx, []string{
+		"-addr", addrB, "-node", urlB, "-workers", "2", "-repair-interval", "200ms",
+		"-join", urlA,
+	}, &outB, &errB)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged\nA stdout:\n%s\nB stdout:\n%s\nB stderr:\n%s",
+				outA.String(), outB.String(), errB.String())
+		}
+		if strings.Contains(outB.String(), "joined cluster via "+urlA) {
+			ra, errRA := (&daed.Client{Base: urlA}).Ring(context.Background())
+			rb, errRB := (&daed.Client{Base: urlB}).Ring(context.Background())
+			if errRA == nil && errRB == nil &&
+				ra.Epoch == rb.Epoch && len(ra.Members) == 2 && len(rb.Members) == 2 {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	for _, done := range []chan int{doneA, doneB} {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0\nA stderr:\n%s\nB stderr:\n%s", code, errA.String(), errB.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("a daemon did not shut down")
+		}
 	}
 }

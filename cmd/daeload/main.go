@@ -16,12 +16,20 @@
 // cost failovers, not accepted requests. A request is "rejected" only when
 // the shed budget is exhausted.
 //
+// A membership-churn window (-churn from-until, request indices) marks the
+// stretch of the run during which an operator is concurrently joining or
+// removing cluster nodes; those requests are reported as their own column
+// (issued/ok) so a drill can assert that churn cost zero accepted requests.
+// At exit the summary also scrapes the cluster's self-healing counters —
+// repair pushes and drops, read-repairs, warmup streams, drain handoffs —
+// summed across every reachable member.
+//
 // Usage:
 //
 //	daeload -server http://host:port[,http://host2:port] [-n 2000] [-c 128]
 //	        [-apps CG,FFT,LibQ] [-hot 0.9] [-cancel 0] [-inject 0]
 //	        [-compile 0.05] [-tenants 4] [-seed 1] [-timeout-ms 120000]
-//	        [-json file]
+//	        [-churn from-until] [-attempt-timeout d] [-json file]
 package main
 
 import (
@@ -66,6 +74,7 @@ type result struct {
 	storeHit  bool
 	collapsed bool
 	degraded  bool
+	churn     bool // issued inside the membership-churn window
 	latencyMs float64
 }
 
@@ -91,6 +100,19 @@ type summary struct {
 	Sheds     int64 `json:"sheds"`
 	Retries   int64 `json:"retries"`
 	Failovers int64 `json:"failovers"`
+	Redirects int64 `json:"redirects"`
+	// ChurnIssued/ChurnOK account for the requests issued inside the
+	// -churn window — the stretch where membership was changing under the
+	// load. ChurnOK == ChurnIssued - (rejected/canceled inside the window)
+	// is the zero-lost-under-churn check in drill form.
+	ChurnIssued int `json:"churn_issued,omitempty"`
+	ChurnOK     int `json:"churn_ok,omitempty"`
+	// Self-healing counters scraped from every reachable member at exit.
+	RepairPushed  int64 `json:"repair_pushed"`
+	RepairDropped int64 `json:"repair_dropped"`
+	ReadRepairs   int64 `json:"read_repairs"`
+	Warmed        int64 `json:"warmed"`
+	HandedOff     int64 `json:"handed_off"`
 	// Executions is the server-side pipeline execution count over the run;
 	// CollapseRatio is successful requests per execution — how much work
 	// the store and singleflight absorbed.
@@ -112,9 +134,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 4, "number of load tenants to spread requests across")
 	seed := fs.Int64("seed", 1, "PRNG seed for the request schedule")
 	timeoutMs := fs.Int64("timeout-ms", 120000, "per-request timeout budget sent to the server")
+	churn := fs.String("churn", "", "membership-churn window as request indices, e.g. 500-1500")
+	attemptTimeout := fs.Duration("attempt-timeout", 0, "per-attempt budget before failing over off a hung node (0 = none)")
 	jsonOut := fs.String("json", "", "also write the summary as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	churnFrom, churnUntil := -1, -1
+	if *churn != "" {
+		if _, err := fmt.Sscanf(*churn, "%d-%d", &churnFrom, &churnUntil); err != nil || churnFrom < 0 || churnUntil <= churnFrom {
+			fmt.Fprintf(stderr, "daeload: bad -churn window %q (want from-until, from < until)\n", *churn)
+			return 2
+		}
 	}
 	if *server == "" {
 		fmt.Fprintln(stderr, "daeload: -server is required")
@@ -134,7 +165,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			nodes = append(nodes, strings.TrimRight(u, "/"))
 		}
 	}
-	cl := client.New(client.Config{Nodes: nodes, BackoffSeed: uint64(*seed)})
+	cl := client.New(client.Config{Nodes: nodes, BackoffSeed: uint64(*seed), AttemptTimeout: *attemptTimeout})
 
 	// Build the whole schedule up front from the seed: the same flags
 	// always generate the same traffic.
@@ -177,6 +208,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = issue(ctx, cl, reqs[i])
+				results[i].churn = i >= churnFrom && i < churnUntil
 			}
 		}()
 	}
@@ -192,13 +224,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	sum := summarize(results, *conc, wall)
 	c := cl.Counters()
-	sum.Sheds, sum.Retries, sum.Failovers = c.Sheds, c.Retries, c.Failovers
-	if st := fetchStats(ctx, cl); st != nil {
-		sum.Executions = st.Executions
-		if st.Executions > 0 {
-			sum.CollapseRatio = float64(sum.OK) / float64(st.Executions)
-		}
-	}
+	sum.Sheds, sum.Retries, sum.Failovers, sum.Redirects = c.Sheds, c.Retries, c.Failovers, c.Redirects
+	scrapeCluster(ctx, cl, sum)
 	report(stdout, *server, sum)
 	if *jsonOut != "" {
 		b, _ := json.MarshalIndent(sum, "", "  ")
@@ -264,6 +291,9 @@ func summarize(results []result, conc int, wall time.Duration) *summary {
 	sum := &summary{Requests: len(results), Concurrent: conc, WallSec: wall.Seconds()}
 	var lat []float64
 	for _, r := range results {
+		if r.churn {
+			sum.ChurnIssued++
+		}
 		switch r.outcome {
 		case "ok":
 			sum.OK++
@@ -275,6 +305,9 @@ func summarize(results []result, conc int, wall time.Duration) *summary {
 			}
 			if r.degraded {
 				sum.Degraded++
+			}
+			if r.churn {
+				sum.ChurnOK++
 			}
 			lat = append(lat, r.latencyMs)
 		case "rejected":
@@ -296,14 +329,23 @@ func summarize(results []result, conc int, wall time.Duration) *summary {
 	return sum
 }
 
-func fetchStats(ctx context.Context, cl *client.Cluster) *daed.StatsSnapshot {
+// scrapeCluster sums server-side counters — executions for the collapse
+// ratio, and the self-healing counters — across every reachable member.
+// Unreachable members (a node killed mid-drill) are simply absent.
+func scrapeCluster(ctx context.Context, cl *client.Cluster, sum *summary) {
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
-	st, err := cl.Stats(sctx)
-	if err != nil {
-		return nil
+	for _, st := range cl.StatsAll(sctx) {
+		sum.Executions += st.Executions
+		sum.RepairPushed += st.RepairPushed
+		sum.RepairDropped += st.RepairDropped
+		sum.ReadRepairs += st.ReadRepairs
+		sum.Warmed += st.Warmed
+		sum.HandedOff += st.HandedOff
 	}
-	return st
+	if sum.Executions > 0 {
+		sum.CollapseRatio = float64(sum.OK) / float64(sum.Executions)
+	}
 }
 
 func report(w io.Writer, server string, s *summary) {
@@ -311,10 +353,17 @@ func report(w io.Writer, server string, s *summary) {
 		s.Requests, s.Concurrent, s.WallSec, server, s.Throughput)
 	fmt.Fprintf(w, "  ok %d (store-hits %d, collapsed %d, degraded %d)  rejected(429) %d  canceled %d  failed %d\n",
 		s.OK, s.StoreHits, s.Collapsed, s.Degraded, s.Rejected, s.Canceled, s.Failed)
-	fmt.Fprintf(w, "  sheds %d  retries %d  failovers %d\n", s.Sheds, s.Retries, s.Failovers)
+	fmt.Fprintf(w, "  sheds %d  retries %d  failovers %d  redirects %d\n", s.Sheds, s.Retries, s.Failovers, s.Redirects)
+	if s.ChurnIssued > 0 {
+		fmt.Fprintf(w, "  churn-window %d issued, %d ok\n", s.ChurnIssued, s.ChurnOK)
+	}
 	fmt.Fprintf(w, "  latency p50 %.2fms  p99 %.2fms\n", s.P50Ms, s.P99Ms)
 	if s.Executions > 0 {
 		fmt.Fprintf(w, "  server executions %d — singleflight/store collapse %.1fx\n",
 			s.Executions, s.CollapseRatio)
+	}
+	if s.RepairPushed+s.RepairDropped+s.ReadRepairs+s.Warmed+s.HandedOff > 0 {
+		fmt.Fprintf(w, "  self-healing: repair-pushed %d  repair-dropped %d  read-repairs %d  warmed %d  handed-off %d\n",
+			s.RepairPushed, s.RepairDropped, s.ReadRepairs, s.Warmed, s.HandedOff)
 	}
 }

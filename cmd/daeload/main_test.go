@@ -149,3 +149,57 @@ func TestShedIsRetriedNotRejected(t *testing.T) {
 		t.Errorf("report missing the sheds column:\n%s", out.String())
 	}
 }
+
+func TestRunRejectsBadChurnWindow(t *testing.T) {
+	for _, bad := range []string{"x", "10", "20-10", "5-5"} {
+		var out, errb bytes.Buffer
+		code := run(context.Background(), []string{"-server", "http://127.0.0.1:1", "-churn", bad}, &out, &errb)
+		if code != 2 {
+			t.Fatalf("churn window %q: exit code = %d, want 2", bad, code)
+		}
+		if !strings.Contains(errb.String(), "bad -churn window") {
+			t.Fatalf("churn window %q: missing diagnostic; stderr:\n%s", bad, errb.String())
+		}
+	}
+}
+
+// TestChurnWindowColumn: the -churn window shows up as its own issued/ok
+// column in both the text report and the JSON summary, and the scraped
+// self-healing counters are present in the JSON.
+func TestChurnWindowColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a load run")
+	}
+	srv := daed.New(daed.Config{Workers: 2, Dir: t.TempDir()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-server", ts.URL, "-n", "40", "-c", "8", "-apps", "CG",
+		"-hot", "1", "-seed", "3", "-churn", "10-30", "-json", jsonPath,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "churn-window 20 issued, 20 ok") {
+		t.Errorf("churn column missing or wrong; stdout:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("json summary: %v", err)
+	}
+	if sum.ChurnIssued != 20 || sum.ChurnOK != 20 {
+		t.Fatalf("churn = %d/%d, want 20/20", sum.ChurnOK, sum.ChurnIssued)
+	}
+	for _, key := range []string{"repair_pushed", "repair_dropped", "read_repairs", "warmed", "handed_off", "redirects"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("JSON summary missing %q field", key)
+		}
+	}
+}

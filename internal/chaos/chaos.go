@@ -93,6 +93,12 @@ type Config struct {
 	// with one node hard-killed mid-run — zero accepted requests lost,
 	// byte-identical answers across failover, tenant isolation intact.
 	ClusterSoak bool
+	// MembershipSoak additionally runs the membership-churn drill: a
+	// replicated cluster under load while asymmetric one-way partitions
+	// open and heal, a cold node joins, and an original member leaves and
+	// drains — zero accepted requests lost, byte-identical answers across
+	// epochs, and the repair machinery demonstrably moving envelopes.
+	MembershipSoak bool
 	// Log, when non-nil, receives one progress line per scenario class.
 	Log func(format string, args ...any)
 }
@@ -108,12 +114,14 @@ type Report struct {
 	CacheRuns    int // cache-corruption scenarios exercised
 	ServerRuns   int // daed service-path scenarios exercised
 	ClusterRuns  int // network-chaos cluster drills exercised
+	// MembershipRuns counts membership-churn drills exercised.
+	MembershipRuns int
 }
 
 // String renders the report as one line.
 func (r *Report) String() string {
-	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs, %d server runs, %d cluster runs",
-		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns, r.ServerRuns, r.ClusterRuns)
+	return fmt.Sprintf("chaos: %d iterations (%d healthy, %d access-fault, %d exec-fault, %d mixed), %d quarantines, %d cache runs, %d server runs, %d cluster runs, %d membership runs",
+		r.Iterations, r.Healthy, r.AccessFaults, r.ExecFaults, r.Mixed, r.Quarantines, r.CacheRuns, r.ServerRuns, r.ClusterRuns, r.MembershipRuns)
 }
 
 // scenario is the fault shape of one iteration.
@@ -334,6 +342,13 @@ func Soak(cfg Config) (*Report, error) {
 			}
 			rep.ClusterRuns++
 			logf("chaos: cluster network-chaos scenario ok")
+		}
+		if cfg.MembershipSoak && rep.MembershipRuns == 0 && (iters > 0 && it == cacheAt%iters || iters <= 0 && it == 0) {
+			if err := membershipScenario(cfg.Seed, iterTimeout); err != nil {
+				return rep, fmt.Errorf("seed %d membership scenario: %w", cfg.Seed, err)
+			}
+			rep.MembershipRuns++
+			logf("chaos: membership-churn scenario ok")
 		}
 	}
 	return rep, nil

@@ -78,10 +78,11 @@ func TestSoakTimed(t *testing.T) {
 		Seed:        7,
 		Duration:    time.Duration(secs) * time.Second,
 		IterTimeout: 60 * time.Second,
-		CacheSoak:   true,
-		ServerSoak:  true,
-		ClusterSoak: true,
-		Log:         t.Logf,
+		CacheSoak:      true,
+		ServerSoak:     true,
+		ClusterSoak:    true,
+		MembershipSoak: true,
+		Log:            t.Logf,
 	})
 	if err != nil {
 		t.Fatalf("invariant violation: %v", err)
@@ -98,6 +99,9 @@ func TestSoakTimed(t *testing.T) {
 	if rep.ClusterRuns != 1 {
 		t.Errorf("cluster network-chaos scenario ran %d times, want 1", rep.ClusterRuns)
 	}
+	if rep.MembershipRuns != 1 {
+		t.Errorf("membership-churn scenario ran %d times, want 1", rep.MembershipRuns)
+	}
 	checkGoroutines(t, before)
 	t.Log(rep.String())
 }
@@ -112,5 +116,18 @@ func TestClusterScenario(t *testing.T) {
 	}
 	if err := clusterScenario(13, 30*time.Second); err != nil {
 		t.Fatalf("cluster drill invariant violation: %v", err)
+	}
+}
+
+// TestMembershipScenario runs the membership-churn drill directly: load
+// through one-way partitions, a cold node joining, an original member
+// leaving — zero accepted requests lost and repair demonstrably moving
+// envelopes across epochs.
+func TestMembershipScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 4-node cluster and runs pipeline executions")
+	}
+	if err := membershipScenario(29, 30*time.Second); err != nil {
+		t.Fatalf("membership drill invariant violation: %v", err)
 	}
 }

@@ -58,9 +58,11 @@ func clusterScenario(seed int64, iterTimeout time.Duration) (err error) {
 		srvs[i] = daed.New(daed.Config{
 			Workers: 2, Dir: fmt.Sprintf("%s/node%d", dir, i),
 			Self: direct[i], Peers: peers, Replicas: 2,
+			RepairInterval: -1, // this drill is about wire faults, not repair
 		})
 		hss[i] = &http.Server{Handler: srvs[i]}
 		go hss[i].Serve(lns[i])
+		defer srvs[i].Close()
 		defer hss[i].Close()
 	}
 
@@ -87,8 +89,11 @@ func clusterScenario(seed int64, iterTimeout time.Duration) (err error) {
 		proxyURLs[i] = p.URL()
 	}
 
+	// Pin: the client dials chaos-proxy URLs; adopting a server view would
+	// swap in the direct member URLs and route every later request around
+	// the chaos this drill exists to inject.
 	cl := client.New(client.Config{
-		Nodes: proxyURLs, BackoffBase: 5 * time.Millisecond,
+		Nodes: proxyURLs, Pin: true, BackoffBase: 5 * time.Millisecond,
 		Probation: 100 * time.Millisecond, FailureThreshold: 2,
 		BackoffSeed: uint64(seed) | 1,
 	})

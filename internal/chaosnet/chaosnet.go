@@ -66,6 +66,31 @@ func (f Fault) String() string {
 	}
 }
 
+// Direction identifies one flow through the proxy, for asymmetric
+// partitions.
+type Direction int32
+
+const (
+	// DirInbound is the client→server flow: requests reaching the node.
+	DirInbound Direction = 1 << iota
+	// DirOutbound is the server→client flow: responses leaving the node.
+	DirOutbound
+)
+
+// String names the direction for logs.
+func (d Direction) String() string {
+	switch d {
+	case DirInbound:
+		return "inbound"
+	case DirOutbound:
+		return "outbound"
+	case DirInbound | DirOutbound:
+		return "both"
+	default:
+		return "none"
+	}
+}
+
 // Config configures a Proxy.
 type Config struct {
 	// Target is the real listener's address (host:port).
@@ -108,6 +133,7 @@ type Proxy struct {
 	accepted atomic.Int64
 	injected atomic.Int64
 	forceIdx atomic.Int64
+	oneWay   atomic.Int32 // Direction bitmask of dropped flows
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 }
@@ -174,11 +200,33 @@ func (p *Proxy) Partition() {
 	p.mu.Unlock()
 }
 
-// Heal ends a Partition.
+// PartitionOneWay blackholes every chunk flowing in direction d while the
+// opposite direction keeps forwarding — the asymmetric failure where a node
+// can hear the network but not be heard (or vice versa), the classic
+// gray-failure mode that symmetric Partition cannot model. Connections stay
+// established: bytes silently vanish with no RST, exactly like a dead link.
+// Applies to live and future connections until Heal. Deterministic: no
+// randomness is involved in which chunks drop (all of them do).
+func (p *Proxy) PartitionOneWay(d Direction) {
+	p.oneWay.Store(int32(d))
+}
+
+// Heal ends a Partition and/or PartitionOneWay.
 func (p *Proxy) Heal() {
 	p.mu.Lock()
 	p.partitioned = false
 	p.mu.Unlock()
+	p.oneWay.Store(0)
+}
+
+// dropping reports whether a chunk flowing in the given direction (request =
+// client→server) is currently swallowed by a one-way partition.
+func (p *Proxy) dropping(request bool) bool {
+	d := Direction(p.oneWay.Load())
+	if request {
+		return d&DirInbound != 0
+	}
+	return d&DirOutbound != 0
 }
 
 // Close stops the proxy and tears down every live connection.
@@ -318,40 +366,16 @@ func (p *Proxy) serve(client net.Conn) {
 func (p *Proxy) pipe(dst io.Writer, src io.Reader, fault Fault, request bool) {
 	switch fault {
 	case Latency:
-		buf := make([]byte, 4096)
-		for {
-			n, err := src.Read(buf)
-			if n > 0 {
-				time.Sleep(p.cfg.Latency)
-				if _, werr := dst.Write(buf[:n]); werr != nil {
-					return
-				}
-			}
-			if err != nil {
-				return
-			}
-		}
+		p.copyChunks(dst, src, request, p.cfg.Latency, 4096)
 	case SlowLoris:
 		if request {
-			io.Copy(dst, src)
+			p.copyChunks(dst, src, request, 0, 4096)
 			return
 		}
-		buf := make([]byte, p.cfg.SlowChunk)
-		for {
-			n, err := src.Read(buf)
-			if n > 0 {
-				time.Sleep(p.cfg.SlowPause)
-				if _, werr := dst.Write(buf[:n]); werr != nil {
-					return
-				}
-			}
-			if err != nil {
-				return
-			}
-		}
+		p.copyChunks(dst, src, request, p.cfg.SlowPause, p.cfg.SlowChunk)
 	case Truncate:
 		if request {
-			io.Copy(dst, src)
+			p.copyChunks(dst, src, request, 0, 4096)
 			return
 		}
 		if _, err := io.CopyN(dst, src, int64(p.cfg.TruncateAfter)); err != nil && !errors.Is(err, io.EOF) {
@@ -363,6 +387,28 @@ func (p *Proxy) pipe(dst io.Writer, src io.Reader, fault Fault, request bool) {
 			reset(c)
 		}
 	default:
-		io.Copy(dst, src)
+		p.copyChunks(dst, src, request, 0, 4096)
+	}
+}
+
+// copyChunks forwards src to dst chunk by chunk, pausing before each write
+// when pause > 0 and discarding chunks while a one-way partition drops this
+// direction. Discarded bytes vanish without closing anything: the sender
+// keeps writing into the void, which is what a dead link looks like.
+func (p *Proxy) copyChunks(dst io.Writer, src io.Reader, request bool, pause time.Duration, chunk int) {
+	buf := make([]byte, chunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 && !p.dropping(request) {
+			if pause > 0 {
+				time.Sleep(pause)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
 	}
 }

@@ -175,3 +175,60 @@ func TestDeterministicSchedule(t *testing.T) {
 		t.Fatal("different seeds produced identical schedules")
 	}
 }
+
+// TestPartitionOneWay: an outbound-dropped proxy swallows responses (the
+// client times out even though the server answered), an inbound-dropped
+// proxy swallows requests, and Heal restores byte-identical service in both
+// cases. Each HTTP attempt uses a fresh connection (Client keep-alives
+// disabled) so the drop applies per request deterministically.
+func TestPartitionOneWay(t *testing.T) {
+	ts := backend(t, "asym")
+	p := proxyFor(t, ts, Config{Seed: 1, FaultRate: -1})
+
+	fresh := func(timeout time.Duration) (string, error) {
+		c := &http.Client{
+			Timeout:   timeout,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		}
+		resp, err := c.Get(p.URL())
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	p.PartitionOneWay(DirOutbound)
+	if body, err := fresh(300 * time.Millisecond); err == nil {
+		t.Fatalf("outbound-dropped request succeeded: %q", body)
+	}
+	p.Heal()
+	if body, err := fresh(2 * time.Second); err != nil || body != "asym" {
+		t.Fatalf("after heal: %q, %v", body, err)
+	}
+
+	p.PartitionOneWay(DirInbound)
+	if body, err := fresh(300 * time.Millisecond); err == nil {
+		t.Fatalf("inbound-dropped request succeeded: %q", body)
+	}
+	p.Heal()
+	if body, err := fresh(2 * time.Second); err != nil || body != "asym" {
+		t.Fatalf("after second heal: %q, %v", body, err)
+	}
+}
+
+// TestDirectionString pins the log names.
+func TestDirectionString(t *testing.T) {
+	cases := map[Direction]string{
+		DirInbound:               "inbound",
+		DirOutbound:              "outbound",
+		DirInbound | DirOutbound: "both",
+		0:                        "none",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Fatalf("Direction(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -27,6 +27,14 @@ const TenantHeader = "X-Dae-Tenant"
 // DefaultTenant is the tenant of requests that carry no TenantHeader.
 const DefaultTenant = "default"
 
+// EpochHeader carries the membership epoch an epoch-aware client routed
+// under. When a node at a newer epoch receives a request for a key it does
+// not own, it answers 421 Misdirected Request carrying the fresh epoch and
+// membership instead of serving off-placement, and the client re-routes.
+// Requests without the header get the legacy behavior (proxy to the owners,
+// fall back to local execution) so plain clients keep working.
+const EpochHeader = "X-Dae-Epoch"
+
 // SimulateRequest asks the server for one app's full evaluation: collect
 // the coupled, manual-DAE and compiler-DAE traces and render the policy
 // comparison report (byte-identical to a local daerun of the same flags).
@@ -248,4 +256,47 @@ type ErrorResponse struct {
 	// RetryAfterMs accompanies 429 responses: the client should back off
 	// at least this long before retrying.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Epoch and Members accompany 421 Misdirected Request responses: the
+	// node's current membership epoch and member list, so an epoch-aware
+	// client adopts the fresh view and re-routes instead of blindly failing
+	// over.
+	Epoch   uint64   `json:"epoch,omitempty"`
+	Members []string `json:"members,omitempty"`
+}
+
+// MembersRequest is the wire body of POST /v1/members: admin join/leave
+// plus peer gossip of the newest membership epoch.
+type MembersRequest struct {
+	// Op is "join" or "leave" (admin operations naming Node), or "gossip"
+	// (peer-to-peer propagation carrying Epoch and Members).
+	Op string `json:"op"`
+	// Node is the advertised base URL joining or leaving (admin ops).
+	Node string `json:"node,omitempty"`
+	// Epoch and Members carry a full view for gossip. A receiver adopts the
+	// view iff it is newer than its own; receivers never re-gossip, so one
+	// admin change fans out exactly once.
+	Epoch   uint64   `json:"epoch,omitempty"`
+	Members []string `json:"members,omitempty"`
+}
+
+// MembersResponse answers POST /v1/members with the node's view after the
+// operation.
+type MembersResponse struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// RingResponse is the wire response of GET /v1/ring: the node's current
+// view of the cluster, for debugging and for client Refresh.
+type RingResponse struct {
+	Epoch    uint64   `json:"epoch"`
+	Self     string   `json:"self"`
+	Members  []string `json:"members"`
+	Replicas int      `json:"replicas"`
+	// Ownership maps each member to its fraction of the key space (primary
+	// arc length).
+	Ownership map[string]float64 `json:"ownership"`
+	// Warming reports the node is still streaming its newly-owned hot
+	// envelopes from prior owners after a join.
+	Warming bool `json:"warming,omitempty"`
 }

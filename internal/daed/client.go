@@ -19,6 +19,10 @@ type Client struct {
 	Base string
 	// Tenant, when non-empty, is sent as the X-Dae-Tenant header.
 	Tenant string
+	// Epoch, when non-empty, is sent as the X-Dae-Epoch header, marking the
+	// client epoch-aware: a non-owner node at a newer membership epoch
+	// answers 421 with the fresh view instead of serving off-placement.
+	Epoch string
 	// HTTP is the underlying client; nil means a dedicated client with no
 	// overall timeout (deadlines travel per-request via context and the
 	// request's timeout_ms budget).
@@ -66,6 +70,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if c.Tenant != "" {
 		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	if c.Epoch != "" {
+		req.Header.Set(EpochHeader, c.Epoch)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -128,6 +135,36 @@ func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Ring fetches the server's current membership view.
+func (c *Client) Ring(ctx context.Context) (*RingResponse, error) {
+	var resp RingResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/ring", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Members performs one membership operation (admin join/leave, or gossip)
+// and returns the server's resulting view.
+func (c *Client) Members(ctx context.Context, req *MembersRequest) (*MembersResponse, error) {
+	var resp MembersResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/members", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Join asks the server to admit node into the cluster at the next epoch.
+func (c *Client) Join(ctx context.Context, node string) (*MembersResponse, error) {
+	return c.Members(ctx, &MembersRequest{Op: "join", Node: node})
+}
+
+// Leave asks the server to remove node from the cluster at the next epoch;
+// the removed node drains and hands its hot artifacts off.
+func (c *Client) Leave(ctx context.Context, node string) (*MembersResponse, error) {
+	return c.Members(ctx, &MembersRequest{Op: "leave", Node: node})
 }
 
 // ClearQuarantine lifts every quarantine recorded for the client's tenant,

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,18 @@ type Config struct {
 	// request performs; <= 0 means 16. The request context's deadline is
 	// the real bound — this is the backstop when there is none.
 	MaxSheds int
+	// AttemptTimeout, when positive, bounds each individual node attempt
+	// with its own deadline. A node behind a one-way partition hangs
+	// instead of erroring; without an attempt bound that hang consumes the
+	// whole request deadline. With one, the attempt times out and the
+	// client fails over to a replica.
+	AttemptTimeout time.Duration
+	// Pin disables epoch adoption: no epoch header is sent and 421
+	// redirects are treated as plain failovers. Use it when the addresses
+	// this client dials differ from the cluster's advertised member URLs
+	// (e.g. chaos proxies fronting each node) — adopting advertised URLs
+	// would silently route around the proxies.
+	Pin bool
 	// HTTP is the underlying client; nil means http.DefaultClient semantics
 	// (per-request deadlines travel via context).
 	HTTP *http.Client
@@ -74,6 +87,9 @@ type Counters struct {
 	Failovers int64
 	// Ejections counts nodes placed on probation by consecutive failures.
 	Ejections int64
+	// Redirects counts 421 "not owner, epoch N" answers that made the
+	// client adopt a newer membership view and re-route.
+	Redirects int64
 }
 
 // node is the per-member health record.
@@ -132,9 +148,15 @@ func (n *node) ok() {
 // concurrent use; the tenant travels per call, so one Cluster serves every
 // tenant of a load generator.
 type Cluster struct {
-	cfg   Config
-	ring  *ring.Ring
-	nodes map[string]*node
+	cfg Config
+
+	// viewMu guards the adoptive membership view: the epoch, the ring built
+	// from it, and the per-member health records (grown on adoption, never
+	// shrunk — a removed member keeps its history in case it rejoins).
+	viewMu sync.Mutex
+	epoch  uint64
+	ring   *ring.Ring
+	nodes  map[string]*node
 
 	rngMu sync.Mutex
 	rng   uint64
@@ -143,6 +165,7 @@ type Cluster struct {
 	retries   atomic.Int64
 	failovers atomic.Int64
 	ejections atomic.Int64
+	redirects atomic.Int64
 }
 
 // New builds a Cluster client over cfg. A single-node Nodes list degrades
@@ -173,7 +196,11 @@ func New(cfg Config) *Cluster {
 		cfg.MaxSheds = 16
 	}
 	cl := &Cluster{
-		cfg:   cfg,
+		cfg: cfg,
+		// Epoch 1 matches every correctly-booted cluster's initial view, so
+		// a fresh client neither redirects on a fresh cluster nor misses a
+		// redirect on an evolved one.
+		epoch: 1,
 		ring:  ring.New(cfg.Nodes, 0, cfg.Seed),
 		nodes: make(map[string]*node, len(cfg.Nodes)),
 		rng:   cfg.BackoffSeed,
@@ -187,6 +214,71 @@ func New(cfg Config) *Cluster {
 	return cl
 }
 
+// Epoch returns the membership epoch the client currently routes under.
+func (cl *Cluster) Epoch() uint64 {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return cl.epoch
+}
+
+// Members returns the current view's member URLs in canonical order.
+func (cl *Cluster) Members() []string {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return cl.ring.Members()
+}
+
+// adopt installs a strictly newer membership view, growing the health map
+// for members this client has not seen before. Pinned clients never adopt.
+func (cl *Cluster) adopt(epoch uint64, members []string) bool {
+	if cl.cfg.Pin || epoch == 0 || len(members) == 0 {
+		return false
+	}
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	if epoch <= cl.epoch {
+		return false
+	}
+	cl.epoch = epoch
+	cl.ring = ring.New(members, 0, cl.cfg.Seed)
+	for _, u := range cl.ring.Members() {
+		if _, ok := cl.nodes[u]; !ok {
+			cl.nodes[u] = &node{url: u}
+		}
+	}
+	return true
+}
+
+// Refresh fetches the current membership from the first node that answers
+// GET /v1/ring and adopts it if newer. Pinned clients no-op: their dialed
+// addresses are not the advertised membership.
+func (cl *Cluster) Refresh(ctx context.Context) error {
+	if cl.cfg.Pin {
+		return nil
+	}
+	var lastErr error
+	for _, n := range cl.prefs("ring") {
+		c := &daed.Client{Base: n.url, HTTP: cl.cfg.HTTP}
+		r, err := c.Ring(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cl.adopt(r.Epoch, r.Members)
+		return nil
+	}
+	return lastErr
+}
+
+// epochHeader renders the current epoch for the request header ("" when
+// pinned, so the servers treat the client as legacy).
+func (cl *Cluster) epochHeader() string {
+	if cl.cfg.Pin {
+		return ""
+	}
+	return strconv.FormatUint(cl.Epoch(), 10)
+}
+
 // Counters returns a snapshot of the resilience accounting.
 func (cl *Cluster) Counters() Counters {
 	return Counters{
@@ -194,6 +286,7 @@ func (cl *Cluster) Counters() Counters {
 		Retries:   cl.retries.Load(),
 		Failovers: cl.failovers.Load(),
 		Ejections: cl.ejections.Load(),
+		Redirects: cl.redirects.Load(),
 	}
 }
 
@@ -228,10 +321,12 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// prefs returns the node preference order for key: the R owners first, the
-// remaining members after — availability beats placement, so a request
-// whose owners are all down still lands somewhere.
+// prefs returns the node preference order for key under the current view:
+// the R owners first, the remaining members after — availability beats
+// placement, so a request whose owners are all down still lands somewhere.
 func (cl *Cluster) prefs(key string) []*node {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
 	order := cl.ring.Nodes(key, 0)
 	out := make([]*node, 0, len(order))
 	for _, u := range order {
@@ -240,19 +335,26 @@ func (cl *Cluster) prefs(key string) []*node {
 	return out
 }
 
+// maxAdopts bounds how many 421 redirect adoptions one request performs:
+// each adoption restarts routing under the fresh view, and a healthy
+// cluster is never more than a few epochs ahead of a client.
+const maxAdopts = 4
+
 // dispatch routes one request: walk the preference list, skipping ejected
 // nodes (unless every node is ejected — then try them all anyway, because
 // an answer from a suspect node beats no answer), shed-backoff on 429,
-// fail over on transport/5xx/draining, and between full rounds sleep a
+// adopt-and-re-route on 421 (stale membership epoch), fail over on
+// transport/5xx/draining/attempt-timeout, and between full rounds sleep a
 // jittered exponential backoff.
-func (cl *Cluster) dispatch(ctx context.Context, tenant, key string, call func(c *daed.Client) error) error {
+func (cl *Cluster) dispatch(ctx context.Context, tenant, key string, call func(ctx context.Context, c *daed.Client) error) error {
 	backoff := fault.Backoff(cl.cfg.BackoffBase, cl.cfg.BackoffSeed^uint64(len(key)))
+	var lastErr error
+	sheds, adopts := 0, 0
+restart:
 	prefs := cl.prefs(key)
 	if len(prefs) == 0 {
 		return errors.New("client: no cluster nodes configured")
 	}
-	var lastErr error
-	sheds := 0
 	for round := 0; round < cl.cfg.MaxRounds; round++ {
 		if round > 0 {
 			if err := sleepCtx(ctx, backoff(round-1)); err != nil {
@@ -274,7 +376,13 @@ func (cl *Cluster) dispatch(ctx context.Context, tenant, key string, call func(c
 					return fault.Wrap(fault.KindTimeout, err)
 				}
 			issue:
-				err := call(&daed.Client{Base: n.url, Tenant: tenant, HTTP: cl.cfg.HTTP})
+				actx := ctx
+				acancel := context.CancelFunc(func() {})
+				if cl.cfg.AttemptTimeout > 0 {
+					actx, acancel = context.WithTimeout(ctx, cl.cfg.AttemptTimeout)
+				}
+				err := call(actx, &daed.Client{Base: n.url, Tenant: tenant, Epoch: cl.epochHeader(), HTTP: cl.cfg.HTTP})
+				acancel()
 				if err == nil {
 					n.ok()
 					return nil
@@ -301,6 +409,21 @@ func (cl *Cluster) dispatch(ctx context.Context, tenant, key string, call func(c
 						}
 						cl.retries.Add(1)
 						goto issue
+					case re.Status == http.StatusMisdirectedRequest:
+						// Not the owner at a newer epoch: adopt the view the
+						// node answered with and re-route immediately (no
+						// backoff — the node is healthy, the routing was
+						// stale).
+						lastErr = err
+						if adopts < maxAdopts && cl.adopt(re.Body.Epoch, re.Body.Members) {
+							adopts++
+							cl.redirects.Add(1)
+							goto restart
+						}
+						// Pinned, malformed, or already-adopted: plain
+						// failover.
+						cl.failovers.Add(1)
+						continue
 					case re.Status == http.StatusServiceUnavailable:
 						// Draining (or dying): eject immediately so other
 						// requests skip it, and fail over.
@@ -327,6 +450,17 @@ func (cl *Cluster) dispatch(ctx context.Context, tenant, key string, call func(c
 				}
 				cerr := fault.ClassifyTransport(err)
 				if errors.Is(cerr, fault.ErrTimeout) {
+					if ctx.Err() == nil && cl.cfg.AttemptTimeout > 0 {
+						// The per-attempt budget fired while the request
+						// deadline is alive: the node is hung (blackhole,
+						// one-way partition). Fail over.
+						if n.fail(cl.cfg.FailureThreshold, cl.cfg.Probation, time.Now()) {
+							cl.ejections.Add(1)
+						}
+						cl.failovers.Add(1)
+						lastErr = cerr
+						continue
+					}
 					// Our own deadline, not the node's fault.
 					if lastErr != nil {
 						return lastErr
@@ -363,7 +497,7 @@ func (cl *Cluster) Simulate(ctx context.Context, tenant string, req *daed.Simula
 		return nil, err
 	}
 	var resp *daed.SimulateResponse
-	err = cl.dispatch(ctx, tenant, key, func(c *daed.Client) error {
+	err = cl.dispatch(ctx, tenant, key, func(ctx context.Context, c *daed.Client) error {
 		r, err := c.Simulate(ctx, req)
 		if err == nil {
 			resp = r
@@ -377,7 +511,7 @@ func (cl *Cluster) Simulate(ctx context.Context, tenant string, req *daed.Simula
 func (cl *Cluster) Compile(ctx context.Context, tenant string, req *daed.CompileRequest) (*daed.CompileResponse, error) {
 	key, _ := req.Key()
 	var resp *daed.CompileResponse
-	err := cl.dispatch(ctx, tenant, key, func(c *daed.Client) error {
+	err := cl.dispatch(ctx, tenant, key, func(ctx context.Context, c *daed.Client) error {
 		r, err := c.Compile(ctx, req)
 		if err == nil {
 			resp = r
@@ -394,7 +528,7 @@ func (cl *Cluster) Trace(ctx context.Context, tenant string, req *daed.TraceRequ
 		return nil, err
 	}
 	var resp *daed.TraceResponse
-	err = cl.dispatch(ctx, tenant, key, func(c *daed.Client) error {
+	err = cl.dispatch(ctx, tenant, key, func(ctx context.Context, c *daed.Client) error {
 		r, err := c.Trace(ctx, req)
 		if err == nil {
 			resp = r
@@ -407,7 +541,7 @@ func (cl *Cluster) Trace(ctx context.Context, tenant string, req *daed.TraceRequ
 // Stats fetches serving counters from the first node that answers.
 func (cl *Cluster) Stats(ctx context.Context) (*daed.StatsSnapshot, error) {
 	var resp *daed.StatsSnapshot
-	err := cl.dispatch(ctx, "", "stats", func(c *daed.Client) error {
+	err := cl.dispatch(ctx, "", "stats", func(ctx context.Context, c *daed.Client) error {
 		r, err := c.Stats(ctx)
 		if err == nil {
 			resp = r
@@ -417,12 +551,27 @@ func (cl *Cluster) Stats(ctx context.Context) (*daed.StatsSnapshot, error) {
 	return resp, err
 }
 
+// StatsAll fetches serving counters from every reachable member, keyed by
+// the member's advertised URL. Partial results are returned; unreachable
+// members are simply absent. Used by load drivers to sum cluster-wide
+// repair and handoff counters at exit.
+func (cl *Cluster) StatsAll(ctx context.Context) map[string]*daed.StatsSnapshot {
+	out := make(map[string]*daed.StatsSnapshot)
+	for _, u := range cl.Members() {
+		c := &daed.Client{Base: u, HTTP: cl.cfg.HTTP}
+		if s, err := c.Stats(ctx); err == nil {
+			out[u] = s
+		}
+	}
+	return out
+}
+
 // ClearQuarantine lifts the tenant's quarantines on every reachable node
 // (quarantine state is per-node), returning the total cleared.
 func (cl *Cluster) ClearQuarantine(ctx context.Context, tenant string) (int, error) {
 	total := 0
 	var lastErr error
-	for _, u := range cl.ring.Members() {
+	for _, u := range cl.Members() {
 		c := &daed.Client{Base: u, Tenant: tenant, HTTP: cl.cfg.HTTP}
 		n, err := c.ClearQuarantine(ctx)
 		if err != nil {

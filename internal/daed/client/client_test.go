@@ -257,3 +257,132 @@ func TestDeterministicRouting(t *testing.T) {
 		}
 	}
 }
+
+// TestRedirectAdoption: a 421 Misdirected Request carrying a newer view
+// makes the client adopt the epoch and member list and re-route
+// immediately; the retried request succeeds against the grown cluster and
+// the adoption is counted as a redirect, not a failover round of backoff.
+func TestRedirectAdoption(t *testing.T) {
+	alive := func(n int, w http.ResponseWriter, r *http.Request) { okSim(w, "fresh") }
+	b := newFakeNode(t, alive)
+	var a *fakeNode
+	a = newFakeNode(t, func(n int, w http.ResponseWriter, r *http.Request) {
+		if n == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			_ = json.NewEncoder(w).Encode(&daed.ErrorResponse{
+				Error: "not the owner", Class: "misdirected",
+				Epoch: 2, Members: []string{a.ts.URL, b.ts.URL},
+			})
+			return
+		}
+		okSim(w, "fresh")
+	})
+	cl := New(testConfig(a.ts.URL)) // boots knowing only a, at epoch 1
+	resp, err := cl.Simulate(context.Background(), "t", simReq())
+	if err != nil {
+		t.Fatalf("simulate after redirect: %v", err)
+	}
+	if resp.Report != "fresh" {
+		t.Fatalf("wrong payload %q", resp.Report)
+	}
+	if got := cl.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2 after adoption", got)
+	}
+	if got := cl.Members(); len(got) != 2 {
+		t.Fatalf("members = %v, want both nodes after adoption", got)
+	}
+	if got := cl.Counters(); got.Redirects != 1 {
+		t.Fatalf("redirects = %d, want 1 (counters %+v)", got.Redirects, got)
+	}
+}
+
+// TestPinnedClientIgnoresRedirects: with Pin set the client never adopts a
+// server view (its dialed URLs may be chaos proxies that the server's
+// advertised member list would bypass); a 421 is handled as a plain
+// failover to the next preference.
+func TestPinnedClientIgnoresRedirects(t *testing.T) {
+	alive := func(n int, w http.ResponseWriter, r *http.Request) { okSim(w, "pinned") }
+	a, b := newFakeNode(t, alive), newFakeNode(t, alive)
+	cfg := testConfig(a.ts.URL, b.ts.URL)
+	cfg.Pin = true
+	cl := New(cfg)
+	primaryFor(t, cl, simReq(), a, b).set(func(n int, w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(daed.EpochHeader) != "" {
+			t.Errorf("pinned client sent epoch header %q", r.Header.Get(daed.EpochHeader))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		_ = json.NewEncoder(w).Encode(&daed.ErrorResponse{
+			Error: "not the owner", Class: "misdirected",
+			Epoch: 99, Members: []string{"http://bogus"},
+		})
+	})
+	resp, err := cl.Simulate(context.Background(), "t", simReq())
+	if err != nil {
+		t.Fatalf("simulate via failover: %v", err)
+	}
+	if resp.Report != "pinned" {
+		t.Fatalf("wrong payload %q", resp.Report)
+	}
+	if got := cl.Epoch(); got != 1 {
+		t.Fatalf("pinned client adopted epoch %d", got)
+	}
+	if got := cl.Counters(); got.Redirects != 0 || got.Failovers == 0 {
+		t.Fatalf("want failover without adoption, got %+v", got)
+	}
+}
+
+// TestAttemptTimeoutFailsOver: a node that accepts the connection but never
+// answers (one-way partition, blackhole) must not pin the request until the
+// caller's deadline — the per-attempt budget fires and the request fails
+// over to a healthy replica.
+func TestAttemptTimeoutFailsOver(t *testing.T) {
+	alive := func(n int, w http.ResponseWriter, r *http.Request) { okSim(w, "alive") }
+	a, b := newFakeNode(t, alive), newFakeNode(t, alive)
+	cfg := testConfig(a.ts.URL, b.ts.URL)
+	cfg.AttemptTimeout = 100 * time.Millisecond
+	cl := New(cfg)
+	hang := make(chan struct{})
+	defer close(hang) // release hung handlers so server Close can finish
+	primaryFor(t, cl, simReq(), a, b).set(func(n int, w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-hang:
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	resp, err := cl.Simulate(ctx, "t", simReq())
+	if err != nil {
+		t.Fatalf("simulate with hung primary: %v", err)
+	}
+	if resp.Report != "alive" {
+		t.Fatalf("wrong payload %q", resp.Report)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("failover took %v, attempt timeout did not fire", elapsed)
+	}
+	if got := cl.Counters(); got.Failovers == 0 {
+		t.Fatalf("no failover recorded for hung node: %+v", got)
+	}
+}
+
+// TestStatsAll: counters come back per-member, skipping unreachable nodes.
+func TestStatsAll(t *testing.T) {
+	stats := func(n int, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&daed.StatsSnapshot{Requests: int64(7)})
+	}
+	a, b := newFakeNode(t, stats), newFakeNode(t, stats)
+	cl := New(testConfig(a.ts.URL, b.ts.URL))
+	b.ts.Close()
+	got := cl.StatsAll(context.Background())
+	if len(got) != 1 {
+		t.Fatalf("StatsAll = %d members, want 1 reachable", len(got))
+	}
+	if s := got[a.ts.URL]; s == nil || s.Requests != 7 {
+		t.Fatalf("StatsAll[%s] = %+v", a.ts.URL, s)
+	}
+}

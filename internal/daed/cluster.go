@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"dae/internal/daed/ring"
@@ -16,7 +18,7 @@ import (
 // every client must agree on it (it is part of the cluster's identity, like
 // the membership list), so it has a fixed default; deployments that want a
 // different ring set the same seed everywhere.
-const DefaultRingSeed = 0xdae
+const DefaultRingSeed = ring.DefaultSeed
 
 // ForwardHeader marks a request as proxied by a cluster peer. A node never
 // re-forwards a forwarded request, so a stale ring view cannot loop a
@@ -29,63 +31,105 @@ const ForwardHeader = "X-Dae-Forward"
 const DefaultReplicas = 2
 
 // drainHandoffKeys bounds how many hot keys a draining node pushes to the
-// surviving owners on exit. The hottest keys dominate hit rate; shipping
-// the whole store would stretch the drain window for artifacts the ring
-// will re-derive on demand anyway.
+// surviving owners on exit (and how many a joining node streams per prior
+// owner when the config names no WarmKeys). The hottest keys dominate hit
+// rate; shipping the whole store would stretch the window for artifacts the
+// ring will re-derive on demand anyway.
 const drainHandoffKeys = 64
 
-// cluster holds a Server's view of its peers: the shared ring, the
-// replication factor, and the HTTP plumbing for replication, proxying, and
-// drain handoff. nil on a standalone server.
+// cluster holds a Server's mutable membership view: the epoch-stamped ring,
+// the replication factor, and the HTTP plumbing for replication, proxying,
+// gossip, repair, and drain handoff. nil on a standalone server (no Self
+// configured); a Self with no Peers is a cluster of one that peers can join.
 type cluster struct {
-	self     string   // this node's advertised base URL (a ring member)
-	members  *ring.Ring
-	survivors *ring.Ring // the ring without self: ownership after this node exits
-	replicas int
-	peers    []string // every member but self
-	http     *http.Client
+	self        string // this node's advertised base URL (a ring member)
+	seed        uint64
+	cfgReplicas int // configured R, clamped to the view size at use
+	http        *http.Client
+
+	mu   sync.Mutex
+	view *ring.View // immutable; membership changes install a new one
 }
 
 // newCluster builds the cluster view, or nil when the config describes a
 // standalone node.
 func newCluster(cfg Config) *cluster {
-	if cfg.Self == "" || len(cfg.Peers) == 0 {
+	if cfg.Self == "" {
 		return nil
 	}
 	seed := cfg.RingSeed
 	if seed == 0 {
 		seed = DefaultRingSeed
 	}
-	members := append([]string{cfg.Self}, cfg.Peers...)
 	c := &cluster{
-		self:      cfg.Self,
-		members:   ring.New(members, 0, seed),
-		survivors: ring.New(cfg.Peers, 0, seed),
-		http:      &http.Client{},
+		self:        cfg.Self,
+		seed:        seed,
+		cfgReplicas: cfg.Replicas,
+		http:        &http.Client{},
 	}
-	c.replicas = cfg.Replicas
-	if c.replicas <= 0 {
-		c.replicas = DefaultReplicas
+	if c.cfgReplicas <= 0 {
+		c.cfgReplicas = DefaultReplicas
 	}
-	if c.replicas > c.members.Len() {
-		c.replicas = c.members.Len()
-	}
-	for _, m := range c.members.Members() {
-		if m != cfg.Self {
-			c.peers = append(c.peers, m)
-		}
-	}
+	// Every correctly-configured member boots the same epoch-1 view, so the
+	// cluster agrees from the first request; later changes only ever move
+	// the epoch forward.
+	c.view = ring.At(1, append([]string{cfg.Self}, cfg.Peers...), 0, seed)
 	return c
 }
 
-// owns reports whether this node is in key's replica set.
-func (c *cluster) owns(key string) bool {
-	return c.members.Owns(key, c.self, c.replicas)
+// current returns the view a request pins at entry: ownership for the whole
+// request is computed against this epoch even if the cluster changes shape
+// while it is in flight.
+func (c *cluster) current() *ring.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
+// adopt installs (epoch, members) if it beats the current view: strictly
+// newer epoch wins; an equal epoch with different members resolves
+// deterministically to the lexically greater canonical member list, so two
+// concurrent changes minting the same epoch converge cluster-wide without
+// coordination. Returns the view now in force and whether it changed.
+func (c *cluster) adopt(epoch uint64, members []string) (*ring.View, bool) {
+	nv := ring.At(epoch, members, 0, c.seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.view
+	if nv.Epoch < cur.Epoch {
+		return cur, false
+	}
+	if nv.Epoch == cur.Epoch {
+		if strings.Join(nv.Members(), ",") <= strings.Join(cur.Members(), ",") {
+			return cur, false
+		}
+	}
+	c.view = nv
+	return nv, true
+}
+
+// replicasFor clamps the configured replication factor to a view's size.
+func (c *cluster) replicasFor(v *ring.View) int {
+	r := c.cfgReplicas
+	if r > v.Len() {
+		r = v.Len()
+	}
+	return r
+}
+
+// owns reports whether this node is in key's replica set under v.
+func (c *cluster) owns(v *ring.View, key string) bool {
+	return v.Owns(key, c.self, c.replicasFor(v))
+}
+
+// owners returns key's replica set under v, in preference order.
+func (c *cluster) owners(v *ring.View, key string) []string {
+	return v.Nodes(key, c.replicasFor(v))
 }
 
 // replicaPeers returns key's owners excluding self, in preference order.
-func (c *cluster) replicaPeers(key string) []string {
-	owners := c.members.Nodes(key, c.replicas)
+func (c *cluster) replicaPeers(v *ring.View, key string) []string {
+	owners := c.owners(v, key)
 	out := make([]string, 0, len(owners))
 	for _, o := range owners {
 		if o != c.self {
@@ -95,18 +139,26 @@ func (c *cluster) replicaPeers(key string) []string {
 	return out
 }
 
-// handoffTargets returns the nodes that own key once this node has left
-// the ring — the peers a drain must hand the artifact to.
-func (c *cluster) handoffTargets(key string) []string {
-	n := c.replicas
-	if n > c.survivors.Len() {
-		n = c.survivors.Len()
+// peers returns every member of v but self.
+func (c *cluster) peers(v *ring.View) []string {
+	ms := v.Members()
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		if m != c.self {
+			out = append(out, m)
+		}
 	}
-	return c.survivors.Nodes(key, n)
+	return out
+}
+
+// survivors returns the view with self removed at the next epoch: the
+// ownership a drain hands off under, and the leave view Drain gossips.
+func (c *cluster) survivors(v *ring.View) *ring.View {
+	return ring.At(v.Epoch+1, c.peers(v), 0, c.seed)
 }
 
 // ArtifactPutRequest is the wire body of PUT /v1/artifact: peer-to-peer
-// artifact replication (write-behind and drain handoff).
+// artifact replication (write-behind, drain handoff, repair, read-repair).
 type ArtifactPutRequest struct {
 	Key     string          `json:"key"`
 	Payload json.RawMessage `json:"payload"`
@@ -114,8 +166,10 @@ type ArtifactPutRequest struct {
 
 // handleArtifactPut serves PUT /v1/artifact. It is the replication sink:
 // peers push envelopes here after executing a pipeline for a key this node
-// co-owns, and on drain handoff. The store re-validates and re-checksums the
-// payload, so a damaged envelope is rejected, never stored.
+// co-owns, on drain handoff, and from the repair loops. The store
+// re-validates and re-checksums the payload, so a damaged envelope is
+// rejected, never stored. 204 means installed; 200 means the node already
+// held the key, so senders can count real installs.
 func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 	var req ArtifactPutRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
@@ -126,6 +180,10 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "daed: artifact put needs key and payload", Class: "parse"})
 		return
 	}
+	if s.store.Has(req.Key) {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	if err := s.store.Put(req.Key, req.Payload); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "parse"})
 		return
@@ -134,16 +192,59 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleArtifactGet serves GET /v1/artifact?key=: the raw stored envelope,
+// for join warmup, read-repair pulls, and repair pushes between peers. 404
+// on a miss. The receiving store re-verifies the envelope on install, so
+// this endpoint never needs to.
+func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "daed: artifact get needs key", Class: "parse"})
+		return
+	}
+	b, ok := s.store.Get(key)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "daed: no artifact for key", Class: "missing"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// handleArtifactHead serves HEAD /v1/artifact?key=: a presence probe that
+// does not bump the key's recency (repair must not distort the LRU signal).
+func (s *Server) handleArtifactHead(w http.ResponseWriter, r *http.Request) {
+	if s.store.Has(r.URL.Query().Get("key")) {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// handleKeys serves GET /v1/keys?n=: up to n hottest retained keys,
+// most-recently-used first — what a joining node streams from prior owners.
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n)
+	if n <= 0 {
+		n = drainHandoffKeys
+	}
+	s.writeJSON(w, http.StatusOK, map[string][]string{"keys": s.store.Hottest(n)})
+}
+
 // replicate pushes one artifact envelope to key's other owners,
 // write-behind: the response to the executing request never waits on peers.
-// Failures are logged and dropped — the artifact is re-derivable, and the
-// next execution on a surviving owner re-replicates.
+// Failures are logged and dropped — the artifact is re-derivable, the next
+// execution on a surviving owner re-replicates, and the anti-entropy loop
+// converges whatever both miss.
 func (s *Server) replicate(key string, payload []byte) {
 	c := s.cluster
 	if c == nil {
 		return
 	}
-	peers := c.replicaPeers(key)
+	v := c.current()
+	peers := c.replicaPeers(v, key)
 	if len(peers) == 0 {
 		return
 	}
@@ -163,27 +264,34 @@ func (s *Server) replicate(key string, payload []byte) {
 	}()
 }
 
-// putArtifact PUTs one envelope to a peer's replication sink.
+// putArtifact PUTs one envelope to a peer's replication sink. The returned
+// installed flag distinguishes a fresh install (204) from a peer that
+// already held the key (200).
 func (s *Server) putArtifact(ctx context.Context, peer, key string, payload []byte) error {
+	_, err := s.putArtifactInstalled(ctx, peer, key, payload)
+	return err
+}
+
+func (s *Server) putArtifactInstalled(ctx context.Context, peer, key string, payload []byte) (bool, error) {
 	b, err := json.Marshal(ArtifactPutRequest{Key: key, Payload: payload})
 	if err != nil {
-		return err
+		return false, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/artifact", bytes.NewReader(b))
 	if err != nil {
-		return err
+		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.cluster.http.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("daed: peer %s: artifact put status %d", peer, resp.StatusCode)
+		return false, fmt.Errorf("daed: peer %s: artifact put status %d", peer, resp.StatusCode)
 	}
-	return nil
+	return resp.StatusCode == http.StatusNoContent, nil
 }
 
 // clearQuarantinePeers relays a tenant's quarantine lift to every peer.
@@ -196,7 +304,7 @@ func (s *Server) clearQuarantinePeers(r *http.Request, tenant string) int {
 		return 0
 	}
 	total := 0
-	for _, peer := range c.peers {
+	for _, peer := range c.peers(c.current()) {
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, peer+"/v1/quarantine", nil)
 		if err != nil {
 			continue
@@ -220,21 +328,50 @@ func (s *Server) clearQuarantinePeers(r *http.Request, tenant string) int {
 	return total
 }
 
-// proxy forwards a request for a key this node does not own to the key's
-// owners in preference order, relaying the first successful response
-// verbatim (so a proxied response is byte-identical to one served by the
-// owner). It reports false when no owner could serve — the caller then
-// executes locally, because availability beats placement.
-func (s *Server) proxy(w http.ResponseWriter, r *http.Request, path, key string, reqBody any) bool {
+// notOwnerRedirect answers 421 Misdirected Request when an epoch-aware
+// client at a stale epoch routed a key this node does not own: the response
+// carries the fresh epoch and membership so the client adopts and re-routes
+// to the real owner. Clients at the current epoch that land here anyway are
+// deliberately failing over (their owners are down), so they get the legacy
+// proxy path instead — a redirect would just bounce them.
+func (s *Server) notOwnerRedirect(w http.ResponseWriter, r *http.Request, v *ring.View, key string) bool {
 	c := s.cluster
-	if c == nil || c.owns(key) || r.Header.Get(ForwardHeader) != "" {
+	if c == nil || r.Header.Get(ForwardHeader) != "" {
+		return false
+	}
+	var clientEpoch uint64
+	if _, err := fmt.Sscanf(r.Header.Get(EpochHeader), "%d", &clientEpoch); err != nil || clientEpoch == 0 {
+		return false
+	}
+	if clientEpoch >= v.Epoch || c.owns(v, key) {
+		return false
+	}
+	s.stats.redirected.Add(1)
+	s.writeJSON(w, http.StatusMisdirectedRequest, ErrorResponse{
+		Error:   fmt.Sprintf("daed: not an owner of this key at epoch %d", v.Epoch),
+		Class:   "misdirected",
+		Epoch:   v.Epoch,
+		Members: v.Members(),
+	})
+	return true
+}
+
+// proxy forwards a request for a key this node does not own (under the
+// request's pinned view v) to the key's owners in preference order, relaying
+// the first successful response verbatim (so a proxied response is
+// byte-identical to one served by the owner). It reports false when no owner
+// could serve — the caller then executes locally, because availability beats
+// placement.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, v *ring.View, path, key string, reqBody any) bool {
+	c := s.cluster
+	if c == nil || c.owns(v, key) || r.Header.Get(ForwardHeader) != "" {
 		return false
 	}
 	b, err := json.Marshal(reqBody)
 	if err != nil {
 		return false
 	}
-	for _, owner := range c.members.Nodes(key, c.replicas) {
+	for _, owner := range c.owners(v, key) {
 		if owner == c.self {
 			continue
 		}
@@ -283,16 +420,26 @@ func (s *Server) rejectDraining(w http.ResponseWriter) {
 }
 
 // Drain runs the graceful-shutdown protocol: flip /healthz and admission to
-// draining (new work is refused with 503 + Retry-After), let in-flight and
-// queued executions finish, wait out write-behind replication, then hand the
-// hottest artifact envelopes to the nodes that own them once this node has
-// left the ring. ctx bounds the whole protocol; on expiry Drain returns
-// ctx.Err() with whatever handoff it managed.
+// draining (new work is refused with 503 + Retry-After), gossip the leave
+// view (membership minus self at the next epoch) so peers converge without
+// an admin call, let in-flight and queued executions finish, wait out
+// write-behind replication, then hand the hottest artifact envelopes to the
+// nodes that own them once this node has left the ring. ctx bounds the whole
+// protocol; on expiry Drain returns ctx.Err() with whatever handoff it
+// managed. SIGTERM and an admin leave both land here, so every exit is a
+// leave.
 func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil
 	}
 	s.cfg.Log.Printf("daed: drain: refusing new work")
+	var leave *ring.View
+	if c := s.cluster; c != nil {
+		if cur := c.current(); cur.Len() > 1 {
+			leave = c.survivors(cur)
+			s.gossip(ctx, leave, c.peers(cur))
+		}
+	}
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for s.stats.inFlight.Load() > 0 || s.stats.waiting.Load() > 0 {
@@ -311,17 +458,19 @@ func (s *Server) Drain(ctx context.Context) error {
 		return ctx.Err()
 	case <-done:
 	}
-	if s.cluster == nil {
+	if leave == nil {
 		s.cfg.Log.Printf("daed: drain: complete")
 		return nil
 	}
+	c := s.cluster
 	handed := 0
+	replicas := c.replicasFor(leave)
 	for _, key := range s.store.Hottest(drainHandoffKeys) {
 		payload, ok := s.store.Get(key)
 		if !ok {
 			continue
 		}
-		for _, peer := range s.cluster.handoffTargets(key) {
+		for _, peer := range leave.Nodes(key, replicas) {
 			if err := s.putArtifact(ctx, peer, key, payload); err != nil {
 				s.cfg.Log.Printf("daed: drain: handoff %s to %s: %v", key, peer, err)
 				if ctx.Err() != nil {

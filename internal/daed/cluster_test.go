@@ -50,7 +50,10 @@ func startCluster(t *testing.T, n, r int) []*clusterNode {
 		hs := &http.Server{Handler: srv}
 		go hs.Serve(lns[i])
 		nodes[i] = &clusterNode{srv: srv, hs: hs, url: urls[i]}
-		t.Cleanup(func() { hs.Close() })
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+		})
 	}
 	return nodes
 }

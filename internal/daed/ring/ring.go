@@ -24,6 +24,12 @@ import (
 // points).
 const DefaultVirtualNodes = 64
 
+// DefaultSeed is the ring seed the daed cluster (and its clients) use when
+// none is configured. It is part of the cluster's identity: every member
+// and every client must project nodes with the same seed, or they derive
+// different rings from the same membership.
+const DefaultSeed = 0xdae
+
 // point is one virtual node on the ring.
 type point struct {
 	hash uint64
@@ -143,4 +149,45 @@ func (r *Ring) Owns(key, node string, replicas int) bool {
 		}
 	}
 	return false
+}
+
+// Fractions returns each member's share of the key space as the fraction of
+// ring arc whose primary it is. Virtual node p_i owns the arc (p_{i-1}, p_i]
+// counter-clockwise behind it (the first point also owns the wraparound arc
+// past the last point), so the fractions sum to 1 on any non-empty ring.
+func (r *Ring) Fractions() map[string]float64 {
+	if len(r.points) == 0 {
+		return map[string]float64{}
+	}
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 1 {
+		out[r.nodes[r.points[0].node]] = 1
+		return out
+	}
+	// Accumulate in float64: individual arcs fit a uint64 but their total is
+	// exactly 2^64, which does not.
+	prev := r.points[len(r.points)-1].hash // wraparound: arc from last point to first
+	for _, p := range r.points {
+		arc := p.hash - prev // uint64 wraparound is the arc length
+		out[r.nodes[p.node]] += float64(arc) / (1 << 63) / 2
+		prev = p.hash
+	}
+	return out
+}
+
+// View is a Ring stamped with the membership epoch it was built from. Views
+// are immutable; a membership change builds a new View at a higher epoch.
+// Request handlers capture one View at entry so an in-flight request keeps
+// computing ownership against the epoch it started with even if the cluster
+// changes shape underneath it.
+type View struct {
+	Epoch uint64
+	*Ring
+}
+
+// At builds the View for (epoch, members) with the given projection
+// parameters. Two nodes that agree on (epoch, members, vnodes, seed) derive
+// identical views without coordination.
+func At(epoch uint64, members []string, vnodes int, seed uint64) *View {
+	return &View{Epoch: epoch, Ring: New(members, vnodes, seed)}
 }

@@ -18,6 +18,7 @@ import (
 	"dae/internal/analysis"
 	"dae/internal/bench"
 	daepass "dae/internal/dae"
+	"dae/internal/daed/ring"
 	"dae/internal/daed/store"
 	"dae/internal/eval"
 	"dae/internal/fault"
@@ -74,6 +75,18 @@ type Config struct {
 	// RingSeed seeds the consistent-hash ring; 0 means DefaultRingSeed.
 	// All members and clients must agree.
 	RingSeed uint64
+	// RepairInterval is the anti-entropy period: how often the background
+	// repair loop walks the local store, pushes under-replicated envelopes
+	// to their owners, and releases keys this node no longer owns. 0 means
+	// 30s; negative disables the loop.
+	RepairInterval time.Duration
+	// WarmKeys bounds how many hot keys a joining node streams per prior
+	// owner during warmup; <= 0 means 64.
+	WarmKeys int
+	// DrainTimeout bounds the drain protocol a membership removal triggers
+	// in the background (an admin leave); 0 means 30s. SIGTERM drains are
+	// bounded by the caller's context instead.
+	DrainTimeout time.Duration
 	// Log receives serving events; nil discards them.
 	Log *log.Logger
 }
@@ -100,6 +113,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRunTime <= 0 {
 		c.MaxRunTime = 10 * time.Minute
 	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 30 * time.Second
+	}
+	if c.WarmKeys <= 0 {
+		c.WarmKeys = drainHandoffKeys
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
 	}
@@ -123,6 +145,12 @@ type Server struct {
 	cluster  *cluster
 	draining atomic.Bool
 	repWG    sync.WaitGroup // in-flight write-behind replications
+
+	stop         chan struct{}  // closed by Close: stops repair/gossip/warmup
+	loopWG       sync.WaitGroup // background loops (repair, gossip, warmup, leave-drain)
+	closed       atomic.Bool
+	warming      atomic.Bool // join warmup still streaming envelopes
+	readRepaired sync.Map    // (epoch, key) pairs already read-repaired
 }
 
 // New returns a ready-to-serve Server.
@@ -140,11 +168,17 @@ func New(cfg Config) *Server {
 		cluster: newCluster(cfg),
 	}
 	s.q = newQueue(cfg.Workers, cfg.QueueDepth, &s.stats)
+	s.stop = make(chan struct{})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("PUT /v1/artifact", s.handleArtifactPut)
+	s.mux.HandleFunc("GET /v1/artifact", s.handleArtifactGet)
+	s.mux.HandleFunc("HEAD /v1/artifact", s.handleArtifactHead)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("POST /v1/members", s.handleMembers)
+	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("DELETE /v1/quarantine", s.handleClearQuarantine)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -156,17 +190,69 @@ func New(cfg Config) *Server {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cluster != nil && cfg.RepairInterval > 0 {
+		s.loopWG.Add(1)
+		go s.repairLoop()
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close stops the background loops (repair, gossip, warmup) and waits for
+// them plus in-flight write-behind replication. It does not drain — call
+// Drain first for a graceful exit. Idempotent.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.stop)
+	s.loopWG.Wait()
+	s.repWG.Wait()
+}
+
+// clusterView returns the membership view a request pins at entry (nil on a
+// standalone server).
+func (s *Server) clusterView() *ring.View {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.current()
+}
+
+// boundedCtx returns a context bounded by d that is also canceled when the
+// server closes, so background loops never outlive Close.
+func (s *Server) boundedCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	stopper := make(chan struct{})
+	go func() {
+		select {
+		case <-s.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+		close(stopper)
+	}()
+	return ctx, func() { cancel(); <-stopper }
+}
+
 // Stats returns a point-in-time snapshot of the serving counters.
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.stats.snapshot(s.tenants.tenants())
 	snap.Store = s.store.Stats()
 	snap.Draining = s.draining.Load()
+	if c := s.cluster; c != nil {
+		v := c.current()
+		snap.Ring = &RingSnapshot{
+			Epoch:     v.Epoch,
+			Self:      c.self,
+			Members:   v.Members(),
+			Replicas:  c.replicasFor(v),
+			Ownership: v.Fractions(),
+			Warming:   s.warming.Load(),
+		}
+	}
 	return snap
 }
 
@@ -254,7 +340,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	v := s.clusterView() // pin the membership epoch for this request
 	if b, ok := s.store.Get(p.key); ok {
+		var art simArtifact
+		if err := json.Unmarshal(b, &art); err == nil {
+			s.stats.storeHits.Add(1)
+			s.respondSim(w, &art, p.key, tenant, true, false, start)
+			s.maybeReadRepair(v, p.key, b)
+			return
+		}
+	}
+	// A stale epoch-aware client is redirected to the current view (421)
+	// instead of served off-placement.
+	if s.notOwnerRedirect(w, r, v, p.key) {
+		return
+	}
+	// An owner that misses the envelope pulls it from a co-owner before
+	// paying a pipeline execution (read-repair, pull direction).
+	if b, ok := s.pullFromReplicas(ctx, v, p.key); ok {
 		var art simArtifact
 		if err := json.Unmarshal(b, &art); err == nil {
 			s.stats.storeHits.Add(1)
@@ -265,7 +368,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// A miss on a key this node does not own goes to the owners first: they
 	// likely hold the artifact, and executing there keeps placement honest.
 	// If no owner can serve, fall through and execute locally.
-	if s.proxy(w, r.WithContext(ctx), "/v1/simulate", p.key, &req) {
+	if v != nil && s.proxy(w, r.WithContext(ctx), v, "/v1/simulate", p.key, &req) {
 		return
 	}
 	for {
@@ -426,7 +529,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
 
+	v := s.clusterView()
 	if b, ok := s.store.Get(key); ok {
+		var art compileArtifact
+		if err := json.Unmarshal(b, &art); err == nil {
+			s.stats.storeHits.Add(1)
+			s.respondCompile(w, &art, key, true, false, start)
+			s.maybeReadRepair(v, key, b)
+			return
+		}
+	}
+	if s.notOwnerRedirect(w, r, v, key) {
+		return
+	}
+	if b, ok := s.pullFromReplicas(ctx, v, key); ok {
 		var art compileArtifact
 		if err := json.Unmarshal(b, &art); err == nil {
 			s.stats.storeHits.Add(1)
@@ -434,7 +550,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s.proxy(w, r.WithContext(ctx), "/v1/compile", key, &req) {
+	if v != nil && s.proxy(w, r.WithContext(ctx), v, "/v1/compile", key, &req) {
 		return
 	}
 	for {

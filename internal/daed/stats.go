@@ -33,6 +33,14 @@ type stats struct {
 	replicatedOut atomic.Int64 // artifact envelopes pushed to peers
 	handedOff     atomic.Int64 // envelopes handed to survivors during drain
 
+	// self-healing
+	repairRounds  atomic.Int64 // anti-entropy passes over the local store
+	repairPushed  atomic.Int64 // envelopes pushed to under-replicated owners
+	repairDropped atomic.Int64 // no-longer-owned keys released after confirming R copies
+	readRepairs   atomic.Int64 // envelopes installed by read-repair (push or pull)
+	warmed        atomic.Int64 // envelopes streamed from prior owners on join
+	redirected    atomic.Int64 // 421s answered to stale epoch-aware clients
+
 	mu   sync.Mutex
 	ring [latencyWindow]float64
 	n    int // total recorded; ring index is n % latencyWindow
@@ -95,11 +103,33 @@ type StatsSnapshot struct {
 	ReplicatedIn  int64 `json:"replicated_in"`
 	ReplicatedOut int64 `json:"replicated_out"`
 	HandedOff     int64 `json:"handed_off"`
+	// Self-healing: anti-entropy rounds/pushes/drops, read-repair installs,
+	// join warmup streams, and 421 redirects answered to stale clients.
+	RepairRounds  int64 `json:"repair_rounds"`
+	RepairPushed  int64 `json:"repair_pushed"`
+	RepairDropped int64 `json:"repair_dropped"`
+	ReadRepairs   int64 `json:"read_repairs"`
+	Warmed        int64 `json:"warmed"`
+	Redirected    int64 `json:"redirected"`
 	// Draining reports the node has begun its drain protocol.
 	Draining bool `json:"draining,omitempty"`
+	// Ring is the node's membership view (nil on a standalone server).
+	Ring *RingSnapshot `json:"ring,omitempty"`
 	// Store is the artifact store's accounting: retained bytes vs budget,
 	// evictions, and the startup scrub report.
 	Store store.Stats `json:"store"`
+}
+
+// RingSnapshot is the ring section of GET /v1/stats.
+type RingSnapshot struct {
+	Epoch    uint64   `json:"epoch"`
+	Self     string   `json:"self"`
+	Members  []string `json:"members"`
+	Replicas int      `json:"replicas"`
+	// Ownership maps each member to its primary share of the key space.
+	Ownership map[string]float64 `json:"ownership"`
+	// Warming reports a join warmup still streaming envelopes.
+	Warming bool `json:"warming,omitempty"`
 }
 
 func (s *stats) snapshot(quarantinedTenants int64) StatsSnapshot {
@@ -122,5 +152,11 @@ func (s *stats) snapshot(quarantinedTenants int64) StatsSnapshot {
 		ReplicatedIn:       s.replicatedIn.Load(),
 		ReplicatedOut:      s.replicatedOut.Load(),
 		HandedOff:          s.handedOff.Load(),
+		RepairRounds:       s.repairRounds.Load(),
+		RepairPushed:       s.repairPushed.Load(),
+		RepairDropped:      s.repairDropped.Load(),
+		ReadRepairs:        s.readRepairs.Load(),
+		Warmed:             s.warmed.Load(),
+		Redirected:         s.redirected.Load(),
 	}
 }

@@ -508,6 +508,47 @@ func (s *Store) Delete(key string) {
 	s.mu.Unlock()
 }
 
+// Release removes key only if no request holds it pinned, and reports
+// whether it was dropped. The anti-entropy loop uses it to shed keys the
+// node no longer owns: a pinned key is mid-request and will be retried on a
+// later repair round rather than yanked out from under the reader.
+func (s *Store) Release(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[key] > 0 {
+		return false
+	}
+	if _, ok := s.entries[key]; !ok {
+		return false
+	}
+	s.dropLocked(key)
+	return true
+}
+
+// Has reports whether key is retained, without promoting it in the LRU
+// order: repair probes must not distort the recency signal that decides
+// eviction and drain handoff.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Keys returns every retained key in sorted order: the anti-entropy loop's
+// walk of the journal-backed index. Sorted so repair rounds visit keys in a
+// stable order regardless of map iteration.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // Pin protects key from eviction until the matching Unpin: a request that
 // decided to execute against this key must not lose the artifact (or have a
 // concurrent writer's artifact evicted) mid-flight. Pins are counted, so

@@ -112,7 +112,20 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
 
+	v := s.clusterView()
 	if b, ok := s.store.Get(p.key); ok {
+		var art traceArtifact
+		if err := json.Unmarshal(b, &art); err == nil {
+			s.stats.storeHits.Add(1)
+			s.respondTrace(w, &art, p.key, true, false, start)
+			s.maybeReadRepair(v, p.key, b)
+			return
+		}
+	}
+	if s.notOwnerRedirect(w, r, v, p.key) {
+		return
+	}
+	if b, ok := s.pullFromReplicas(ctx, v, p.key); ok {
 		var art traceArtifact
 		if err := json.Unmarshal(b, &art); err == nil {
 			s.stats.storeHits.Add(1)
@@ -120,7 +133,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s.proxy(w, r.WithContext(ctx), "/v1/trace", p.key, &req) {
+	if v != nil && s.proxy(w, r.WithContext(ctx), v, "/v1/trace", p.key, &req) {
 		return
 	}
 	for {
